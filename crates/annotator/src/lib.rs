@@ -1,0 +1,314 @@
+//! The Fireworks code annotator (paper §3.2, Fig. 3).
+//!
+//! Given a user's serverless function source, the annotator produces a
+//! transformed program that drives the Fireworks install/invoke protocol:
+//!
+//! 1. every user function gets the `@jit` annotation (so
+//!    annotation-driven runtimes compile them — Numba's
+//!    `@jit(cache=True)`, and the V8 profile's equivalent);
+//! 2. a generated `__fireworks_jit()` warms the entry function with
+//!    default parameters, triggering JIT compilation of the whole call
+//!    graph;
+//! 3. a generated `__fireworks_main()` calls `__fireworks_jit()`, then
+//!    `fireworks_snapshot()` (the VM-snapshot request to the host), and —
+//!    after the snapshot point, i.e. on every restore — reads the microVM
+//!    id from MMDS, fetches the invocation parameters from the per-
+//!    instance message-bus topic, and enters the user's function.
+//!
+//! The transformation is source-to-source like the paper's annotator: it
+//! parses Flame, rewrites the AST, and prints Flame back out.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use fireworks_lang::ast::{Expr, FnDecl, Item, Stmt};
+use fireworks_lang::error::LangError;
+use fireworks_lang::{lexer, parser, printer};
+
+/// Name of the generated installer/invoker entry point.
+pub const FIREWORKS_MAIN: &str = "__fireworks_main";
+/// Name of the generated JIT-warming function.
+pub const FIREWORKS_JIT: &str = "__fireworks_jit";
+/// Host call that returns representative default parameters for warm-up.
+pub const DEFAULT_PARAMS_CALL: &str = "default_params";
+/// Host call that reads a key from the microVM metadata service.
+pub const MMDS_CALL: &str = "mmds_get";
+/// Host call that consumes one record from a message-bus topic.
+pub const BUS_CONSUME_CALL: &str = "bus_consume";
+
+/// Configuration for one annotation run.
+#[derive(Debug, Clone)]
+pub struct AnnotationConfig {
+    /// The user's entry function (must exist and take one parameter).
+    pub entry: String,
+    /// Prefix of the per-instance parameter topic; the instance id from
+    /// MMDS is appended.
+    pub topic_prefix: String,
+    /// Warm-up calls made by `__fireworks_jit()`. Two are needed so that
+    /// annotation-driven compilation sees type feedback from the first
+    /// call (the analogue of Numba's type inference).
+    pub warmup_calls: u32,
+}
+
+impl Default for AnnotationConfig {
+    fn default() -> Self {
+        AnnotationConfig {
+            entry: "main".to_string(),
+            topic_prefix: "params-".to_string(),
+            warmup_calls: 2,
+        }
+    }
+}
+
+/// The annotated program.
+#[derive(Debug, Clone)]
+pub struct Annotated {
+    /// Transformed source text.
+    pub source: String,
+    /// Entry point to run at install time ([`FIREWORKS_MAIN`]).
+    pub entry: String,
+    /// Number of user functions that received the `@jit` annotation.
+    pub annotated_functions: usize,
+}
+
+/// Annotates user source for the Fireworks protocol.
+///
+/// # Errors
+///
+/// Fails if the source does not parse, the entry function is missing or
+/// does not take exactly one parameter, or the source already defines
+/// reserved `__fireworks_*` names.
+///
+/// # Examples
+///
+/// ```
+/// use fireworks_annotator::{annotate, AnnotationConfig};
+///
+/// let user = r#"fn main(params) { return params["n"]; }"#;
+/// let out = annotate(user, &AnnotationConfig::default()).expect("annotates");
+/// assert!(out.source.contains("@jit"));
+/// assert!(out.source.contains("fireworks_snapshot()"));
+/// assert_eq!(out.entry, "__fireworks_main");
+/// ```
+pub fn annotate(source: &str, config: &AnnotationConfig) -> Result<Annotated, LangError> {
+    let tokens = lexer::lex(source)?;
+    let mut items = parser::parse(tokens)?;
+
+    let mut annotated_functions = 0;
+    let mut entry_found = false;
+    for item in &mut items {
+        if let Item::Fn(decl) = item {
+            if decl.name.starts_with("__fireworks") {
+                return Err(LangError::compile(format!(
+                    "`{}` uses a reserved Fireworks name",
+                    decl.name
+                )));
+            }
+            if decl.name == config.entry {
+                entry_found = true;
+                if decl.params.len() != 1 {
+                    return Err(LangError::compile(format!(
+                        "entry `{}` must take exactly one parameter (the request), has {}",
+                        decl.name,
+                        decl.params.len()
+                    )));
+                }
+            }
+            decl.jit_hint = true;
+            annotated_functions += 1;
+        }
+    }
+    if !entry_found {
+        return Err(LangError::compile(format!(
+            "entry function `{}` not found",
+            config.entry
+        )));
+    }
+
+    items.push(Item::Fn(make_jit_warmer(config)));
+    items.push(Item::Fn(make_fireworks_main(config)));
+
+    Ok(Annotated {
+        source: printer::print_items(&items),
+        entry: FIREWORKS_MAIN.to_string(),
+        annotated_functions,
+    })
+}
+
+/// Builds `__fireworks_jit()`: warm-up calls of the entry with default
+/// parameters (Fig. 3, lines 7–8).
+fn make_jit_warmer(config: &AnnotationConfig) -> FnDecl {
+    let call_entry = Stmt::Expr(Expr::Call {
+        callee: config.entry.clone(),
+        args: vec![Expr::Call {
+            callee: DEFAULT_PARAMS_CALL.to_string(),
+            args: vec![],
+        }],
+    });
+    // `let w = 0; while (w < warmup) { entry(default_params()); w = w + 1; }`
+    let body = vec![
+        Stmt::Let {
+            name: "w".to_string(),
+            value: Expr::Int(0),
+        },
+        Stmt::While {
+            cond: Expr::Binary {
+                op: fireworks_lang::ast::BinOp::Lt,
+                lhs: Box::new(Expr::Var("w".to_string())),
+                rhs: Box::new(Expr::Int(i64::from(config.warmup_calls))),
+            },
+            body: vec![
+                call_entry,
+                Stmt::Assign {
+                    target: fireworks_lang::ast::Target::Var("w".to_string()),
+                    value: Expr::Binary {
+                        op: fireworks_lang::ast::BinOp::Add,
+                        lhs: Box::new(Expr::Var("w".to_string())),
+                        rhs: Box::new(Expr::Int(1)),
+                    },
+                },
+            ],
+        },
+    ];
+    FnDecl {
+        name: FIREWORKS_JIT.to_string(),
+        params: vec![],
+        body,
+        jit_hint: false,
+    }
+}
+
+/// Builds `__fireworks_main()` (Fig. 3, lines 17–29).
+fn make_fireworks_main(config: &AnnotationConfig) -> FnDecl {
+    let body = vec![
+        // First it performs JIT compilation.
+        Stmt::Expr(Expr::Call {
+            callee: FIREWORKS_JIT.to_string(),
+            args: vec![],
+        }),
+        // Then it creates a VM snapshot. Execution resumes here on every
+        // restore.
+        Stmt::Expr(Expr::Call {
+            callee: "fireworks_snapshot".to_string(),
+            args: vec![],
+        }),
+        // Upon invocation, it first gets its instance id and parameters.
+        Stmt::Let {
+            name: "fc_id".to_string(),
+            value: Expr::Call {
+                callee: MMDS_CALL.to_string(),
+                args: vec![Expr::Str("instance-id".to_string())],
+            },
+        },
+        Stmt::Let {
+            name: "user_params".to_string(),
+            value: Expr::Call {
+                callee: BUS_CONSUME_CALL.to_string(),
+                args: vec![Expr::Binary {
+                    op: fireworks_lang::ast::BinOp::Add,
+                    lhs: Box::new(Expr::Str(config.topic_prefix.clone())),
+                    rhs: Box::new(Expr::Var("fc_id".to_string())),
+                }],
+            },
+        },
+        // Then it starts the entry point of the serverless function.
+        Stmt::Return(Some(Expr::Call {
+            callee: config.entry.clone(),
+            args: vec![Expr::Var("user_params".to_string())],
+        })),
+    ];
+    FnDecl {
+        name: FIREWORKS_MAIN.to_string(),
+        params: vec![],
+        body,
+        jit_hint: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fireworks_lang::compile;
+
+    const USER_SRC: &str = r#"
+        fn helper(x) { return x * 2; }
+        fn main(params) { return helper(params["n"]); }
+    "#;
+
+    #[test]
+    fn annotated_source_compiles() {
+        let out = annotate(USER_SRC, &AnnotationConfig::default()).expect("annotates");
+        let program = compile(&out.source).expect("compiles");
+        assert!(program.function(FIREWORKS_MAIN).is_some());
+        assert!(program.function(FIREWORKS_JIT).is_some());
+        assert!(program.function("main").is_some());
+        assert!(program.function("helper").is_some());
+    }
+
+    #[test]
+    fn all_user_functions_get_jit_hint() {
+        let out = annotate(USER_SRC, &AnnotationConfig::default()).expect("annotates");
+        let program = compile(&out.source).expect("compiles");
+        for name in ["main", "helper"] {
+            let idx = program.function(name).expect("exists");
+            assert!(program.functions[idx].jit_hint, "{name} should be @jit");
+        }
+        // Generated plumbing is not annotated.
+        for name in [FIREWORKS_MAIN, FIREWORKS_JIT] {
+            let idx = program.function(name).expect("exists");
+            assert!(!program.functions[idx].jit_hint);
+        }
+        assert_eq!(out.annotated_functions, 2);
+    }
+
+    #[test]
+    fn missing_entry_is_an_error() {
+        let err = annotate("fn other(x) { }", &AnnotationConfig::default());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn wrong_entry_arity_is_an_error() {
+        let err = annotate("fn main(a, b) { }", &AnnotationConfig::default());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn reserved_names_are_rejected() {
+        let err = annotate(
+            "fn __fireworks_evil() { } fn main(p) { }",
+            &AnnotationConfig::default(),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn custom_entry_and_topic_are_respected() {
+        let cfg = AnnotationConfig {
+            entry: "handler".to_string(),
+            topic_prefix: "args-".to_string(),
+            warmup_calls: 3,
+        };
+        let out = annotate("fn handler(req) { return req; }", &cfg).expect("annotates");
+        assert!(out.source.contains("handler(user_params)"));
+        assert!(out.source.contains("\"args-\""));
+        assert!(out.source.contains("w < 3"));
+    }
+
+    #[test]
+    fn snapshot_point_is_after_warmup_and_before_param_fetch() {
+        let out = annotate(USER_SRC, &AnnotationConfig::default()).expect("annotates");
+        let src = &out.source;
+        let jit_pos = src.find("__fireworks_jit()").expect("warmer call");
+        let snap_pos = src.find("fireworks_snapshot()").expect("snapshot call");
+        let params_pos = src.find("bus_consume(").expect("param fetch");
+        // Find the *call* inside __fireworks_main, which is after the
+        // declaration of __fireworks_jit.
+        let call_pos = src[jit_pos + 1..]
+            .find("__fireworks_jit()")
+            .map(|p| p + jit_pos + 1)
+            .expect("call site");
+        assert!(call_pos < snap_pos, "JIT before snapshot");
+        assert!(snap_pos < params_pos, "snapshot before param fetch");
+    }
+}

@@ -1,0 +1,453 @@
+//! The Firecracker baseline: microVM sandbox manager.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use fireworks_core::api::{
+    FunctionSpec, InstallReport, Invocation, Platform, PlatformError, StartKind, StartMode,
+};
+use fireworks_core::env::PlatformEnv;
+use fireworks_core::host::{GuestHost, NetMode};
+use fireworks_lang::Value;
+use fireworks_microvm::{MicroVm, MicroVmConfig, VmFullSnapshot, VmManager};
+use fireworks_runtime::RuntimeProfile;
+use fireworks_sandbox::{IoPath, IoPathKind, IsolationLevel};
+use fireworks_sim::trace::{Phase, Trace};
+
+/// Whether the platform uses VM-level snapshots for starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotPolicy {
+    /// Plain Firecracker: every cold start boots a fresh VM.
+    None,
+    /// The Fig. 11 "+VM-level OS snapshot" factor: install captures a
+    /// snapshot after boot + runtime launch + app load (no execution, no
+    /// JIT); starts restore it.
+    OsSnapshot,
+}
+
+struct Entry {
+    spec: FunctionSpec,
+    profile: RuntimeProfile,
+    snapshot: Option<Rc<VmFullSnapshot>>,
+}
+
+/// A resident Firecracker sandbox (for memory experiments).
+#[derive(Debug)]
+pub struct ResidentVm {
+    vm: MicroVm,
+}
+
+impl ResidentVm {
+    /// Proportional set size of the VM's guest memory.
+    pub fn pss_bytes(&self) -> u64 {
+        self.vm.pss_bytes()
+    }
+
+    /// Resident set size of the VM's guest memory.
+    pub fn rss_bytes(&self) -> u64 {
+        self.vm.rss_bytes()
+    }
+
+    /// Ages the VM by `extra_ops` guest ops of continued service (see
+    /// [`fireworks_microvm::MicroVm::age_ops`]).
+    pub fn age_ops(&mut self, extra_ops: u64) {
+        self.vm.age_ops(extra_ops);
+    }
+}
+
+/// The Firecracker sandbox-manager baseline.
+pub struct FirecrackerPlatform {
+    env: PlatformEnv,
+    mgr: VmManager,
+    policy: SnapshotPolicy,
+    registry: HashMap<String, Entry>,
+    warm: HashMap<String, Vec<MicroVm>>,
+}
+
+impl FirecrackerPlatform {
+    /// Creates the baseline with the given snapshot policy.
+    pub fn new(env: PlatformEnv, policy: SnapshotPolicy) -> Self {
+        let mgr = VmManager::new(env.clock.clone(), env.costs.clone(), env.host_mem.clone());
+        FirecrackerPlatform {
+            env,
+            mgr,
+            policy,
+            registry: HashMap::new(),
+            warm: HashMap::new(),
+        }
+    }
+
+    /// The environment this platform runs on.
+    pub fn env(&self) -> &PlatformEnv {
+        &self.env
+    }
+
+    /// The active snapshot policy.
+    pub fn policy(&self) -> SnapshotPolicy {
+        self.policy
+    }
+
+    fn guest_host(&self, default_params: &Value) -> GuestHost {
+        GuestHost::new(
+            self.env.clock.clone(),
+            IoPath::new(IoPathKind::VirtioBlk, self.env.costs.clone()),
+            &self.env.costs.net,
+            NetMode::Direct,
+            self.env.costs.microvm.mmds_lookup,
+            self.env.bus.clone(),
+            self.env.store.clone(),
+            default_params.deep_clone(),
+        )
+    }
+
+    /// Builds a fresh VM with the function loaded (cold-boot path).
+    fn cold_boot(&mut self, entry_name: &str) -> Result<MicroVm, PlatformError> {
+        let (source, profile) = {
+            let e = self
+                .registry
+                .get(entry_name)
+                .ok_or_else(|| PlatformError::UnknownFunction(entry_name.to_string()))?;
+            (e.spec.source.clone(), e.profile.clone())
+        };
+        let mut vm = self.mgr.create(MicroVmConfig::default());
+        self.mgr.boot(&mut vm);
+        self.mgr.launch_runtime(&mut vm, profile, &source, None)?;
+        Ok(vm)
+    }
+
+    fn execute(
+        &mut self,
+        name: &str,
+        vm: &mut MicroVm,
+        args: &Value,
+        trace: &mut Trace,
+    ) -> Result<(Value, fireworks_lang::ExecStats, GuestHost), PlatformError> {
+        let clock = self.env.clock.clone();
+        let (default_params, timeout) = {
+            let e = self.registry.get(name).expect("checked by caller");
+            (e.spec.default_params.deep_clone(), e.spec.timeout)
+        };
+        let mut host = self.guest_host(&default_params);
+        let result = {
+            let rt = vm
+                .runtime_mut()
+                .ok_or_else(|| PlatformError::Other("VM has no runtime".into()))?;
+            rt.run_toplevel(&clock, &mut host)?;
+            // Framework request path: interpreted and cold on the first
+            // request of a fresh or OS-snapshot-restored VM.
+            trace.scope(&clock, "framework", Phase::Exec, || {
+                rt.charge_request_overhead(&clock);
+            });
+            rt.set_invocation_timeout(timeout);
+            match rt.invoke(&clock, "main", vec![args.deep_clone()], &mut host) {
+                Ok(r) => r,
+                Err(fireworks_lang::LangError::Timeout { ops }) => {
+                    return Err(PlatformError::Timeout {
+                        function: name.to_string(),
+                        ops,
+                    })
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
+        trace.scope(&clock, "page_faults", Phase::Exec, || {
+            vm.sync_runtime_memory();
+            vm.dirty_invocation();
+        });
+        let anchor = clock.now();
+        trace.record(
+            "exec",
+            Phase::Exec,
+            anchor - result.exec_time - host.external_time,
+            anchor - host.external_time,
+        );
+        trace.record(
+            "guest_io",
+            Phase::Other,
+            anchor - host.external_time,
+            anchor,
+        );
+        Ok((result.value, result.stats, host))
+    }
+
+    fn invoke_on_vm(
+        &mut self,
+        name: &str,
+        args: &Value,
+        mode: StartMode,
+    ) -> Result<(Invocation, MicroVm), PlatformError> {
+        if !self.registry.contains_key(name) {
+            return Err(PlatformError::UnknownFunction(name.to_string()));
+        }
+        let clock = self.env.clock.clone();
+        let mut trace = Trace::new();
+
+        let (mut vm, start) = match mode {
+            StartMode::Warm | StartMode::Auto
+                if self.warm.get(name).map(|v| !v.is_empty()).unwrap_or(false) =>
+            {
+                let mut vm = self
+                    .warm
+                    .get_mut(name)
+                    .and_then(Vec::pop)
+                    .expect("non-empty checked");
+                trace.scope(&clock, "vm_resume", Phase::Startup, || {
+                    self.mgr.resume(&mut vm);
+                });
+                (vm, StartKind::WarmPool)
+            }
+            StartMode::Warm => return Err(PlatformError::NoWarmSandbox(name.to_string())),
+            _ => {
+                let snapshot = self.registry.get(name).and_then(|e| e.snapshot.clone());
+                match snapshot {
+                    Some(snap) => {
+                        let vm = trace.scope(&clock, "snapshot_restore", Phase::Startup, || {
+                            // Clones restored from one snapshot need the
+                            // same network-for-clones setup as Fireworks
+                            // (namespace + tap + NAT); charged here as a
+                            // cost (routing state is not exercised by the
+                            // baseline).
+                            let net_costs = &self.env.costs.net;
+                            clock.advance(net_costs.netns_create);
+                            clock.advance(net_costs.tap_create);
+                            clock.advance(net_costs.nat_rule_install);
+                            self.mgr.restore(&snap)
+                        });
+                        (vm, StartKind::SnapshotRestore)
+                    }
+                    None => {
+                        let vm = trace
+                            .scope(&clock, "vm_boot", Phase::Startup, || self.cold_boot(name))?;
+                        (vm, StartKind::ColdBoot)
+                    }
+                }
+            }
+        };
+
+        let (value, stats, host) = self.execute(name, &mut vm, args, &mut trace)?;
+        let invocation = Invocation {
+            value,
+            breakdown: trace.breakdown(),
+            trace,
+            start,
+            stats,
+            printed: host.printed,
+            response: host.responses.into_iter().next_back(),
+        };
+        Ok((invocation, vm))
+    }
+
+    /// Invokes and keeps the VM resident (for Fig. 10's density sweep).
+    pub fn invoke_resident(
+        &mut self,
+        name: &str,
+        args: &Value,
+    ) -> Result<(Invocation, ResidentVm), PlatformError> {
+        let (invocation, vm) = self.invoke_on_vm(name, args, StartMode::Cold)?;
+        Ok((invocation, ResidentVm { vm }))
+    }
+
+    /// Releases a resident VM.
+    pub fn release_resident(&mut self, vm: ResidentVm) {
+        drop(vm);
+    }
+}
+
+impl Platform for FirecrackerPlatform {
+    fn name(&self) -> &'static str {
+        match self.policy {
+            SnapshotPolicy::None => "firecracker",
+            SnapshotPolicy::OsSnapshot => "firecracker+snapshot",
+        }
+    }
+
+    fn isolation(&self) -> IsolationLevel {
+        IsolationLevel::Vm
+    }
+
+    fn install(&mut self, spec: &FunctionSpec) -> Result<InstallReport, PlatformError> {
+        let clock = self.env.clock.clone();
+        let t0 = clock.now();
+        let profile = RuntimeProfile::for_kind(spec.runtime);
+        self.registry.insert(
+            spec.name.clone(),
+            Entry {
+                spec: spec.clone(),
+                profile,
+                snapshot: None,
+            },
+        );
+        let (pages, bytes) = if self.policy == SnapshotPolicy::OsSnapshot {
+            // Snapshot after boot + runtime + load, before execution: no
+            // JIT code, no warm profile.
+            let mut vm = self.cold_boot(&spec.name)?;
+            let snap = Rc::new(self.mgr.snapshot(&mut vm));
+            assert!(!snap.is_post_jit(), "OS snapshot must predate JIT");
+            let info = (snap.pages(), snap.file_bytes());
+            self.registry
+                .get_mut(&spec.name)
+                .expect("inserted above")
+                .snapshot = Some(snap);
+            info
+        } else {
+            (0, 0)
+        };
+        Ok(InstallReport {
+            install_time: clock.now() - t0,
+            snapshot_pages: pages,
+            snapshot_bytes: bytes,
+            annotated_functions: 0,
+        })
+    }
+
+    fn invoke(
+        &mut self,
+        name: &str,
+        args: &Value,
+        mode: StartMode,
+    ) -> Result<Invocation, PlatformError> {
+        if mode == StartMode::Cold {
+            self.evict(name);
+        }
+        let (invocation, mut vm) = self.invoke_on_vm(name, args, mode)?;
+        // Keep the sandbox warm (paused in memory), like the paper's warm
+        // configuration.
+        self.mgr.pause(&mut vm);
+        self.warm.entry(name.to_string()).or_default().push(vm);
+        Ok(invocation)
+    }
+
+    fn evict(&mut self, name: &str) {
+        self.warm.remove(name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fireworks_runtime::RuntimeKind;
+    use fireworks_sim::Nanos;
+
+    const SRC: &str = "
+        fn main(params) {
+            let n = params[\"n\"];
+            let t = 0;
+            for (let i = 0; i < n; i = i + 1) { t = t + i; }
+            return t;
+        }";
+
+    fn spec() -> FunctionSpec {
+        FunctionSpec::new(
+            "f",
+            SRC,
+            RuntimeKind::NodeLike,
+            Value::map([("n".to_string(), Value::Int(1000))]),
+        )
+    }
+
+    fn args(n: i64) -> Value {
+        Value::map([("n".to_string(), Value::Int(n))])
+    }
+
+    #[test]
+    fn cold_start_boots_a_full_vm() {
+        let mut p = FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::None);
+        p.install(&spec()).expect("installs");
+        let inv = p.invoke("f", &args(10), StartMode::Cold).expect("invokes");
+        assert_eq!(inv.start, StartKind::ColdBoot);
+        assert_eq!(inv.value, Value::Int(45));
+        // VM + OS + runtime + load: seconds of start-up.
+        assert!(inv.breakdown.startup > Nanos::from_millis(1_500));
+    }
+
+    #[test]
+    fn warm_start_resumes_paused_vm() {
+        let mut p = FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::None);
+        p.install(&spec()).expect("installs");
+        let cold = p.invoke("f", &args(10), StartMode::Cold).expect("cold");
+        let warm = p.invoke("f", &args(10), StartMode::Warm).expect("warm");
+        assert_eq!(warm.start, StartKind::WarmPool);
+        assert!(
+            warm.breakdown.startup.as_nanos() * 20 < cold.breakdown.startup.as_nanos(),
+            "warm {} vs cold {}",
+            warm.breakdown.startup,
+            cold.breakdown.startup
+        );
+    }
+
+    #[test]
+    fn warm_without_pool_errors() {
+        let mut p = FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::None);
+        p.install(&spec()).expect("installs");
+        assert!(matches!(
+            p.invoke("f", &args(1), StartMode::Warm),
+            Err(PlatformError::NoWarmSandbox(_))
+        ));
+    }
+
+    #[test]
+    fn os_snapshot_policy_restores_instead_of_booting() {
+        let mut p =
+            FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::OsSnapshot);
+        p.install(&spec()).expect("installs");
+        let inv = p.invoke("f", &args(10), StartMode::Cold).expect("invokes");
+        assert_eq!(inv.start, StartKind::SnapshotRestore);
+        assert!(
+            inv.breakdown.startup < Nanos::from_millis(100),
+            "snapshot start {} should be fast",
+            inv.breakdown.startup
+        );
+    }
+
+    #[test]
+    fn os_snapshot_still_pays_jit_at_execution() {
+        // Unlike Fireworks, the OS snapshot contains no JIT code, so hot
+        // code compiles during the invocation.
+        let mut p =
+            FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::OsSnapshot);
+        p.install(&spec()).expect("installs");
+        let inv = p
+            .invoke("f", &args(300_000), StartMode::Cold)
+            .expect("invokes");
+        assert!(inv.stats.compiles > 0, "JIT happens during execution");
+    }
+
+    #[test]
+    fn warm_execution_is_faster_than_cold_for_node() {
+        let mut p = FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::None);
+        p.install(&spec()).expect("installs");
+        let cold = p
+            .invoke("f", &args(200_000), StartMode::Cold)
+            .expect("cold");
+        let warm = p
+            .invoke("f", &args(200_000), StartMode::Warm)
+            .expect("warm");
+        assert!(
+            warm.breakdown.exec < cold.breakdown.exec,
+            "warm exec {} vs cold exec {}",
+            warm.breakdown.exec,
+            cold.breakdown.exec
+        );
+    }
+
+    #[test]
+    fn chains_are_not_supported() {
+        let mut p = FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::None);
+        p.install(&spec()).expect("installs");
+        assert!(!p.supports_chains());
+        assert!(p.invoke_chain(&["f"], &args(1), StartMode::Auto).is_err());
+    }
+
+    #[test]
+    fn resident_vms_have_private_memory() {
+        let mut p = FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::None);
+        p.install(&spec()).expect("installs");
+        let (_, a) = p.invoke_resident("f", &args(10)).expect("a");
+        let (_, b) = p.invoke_resident("f", &args(10)).expect("b");
+        // Cold-booted VMs share nothing: PSS equals RSS.
+        assert_eq!(a.pss_bytes(), a.rss_bytes());
+        assert_eq!(b.pss_bytes(), b.rss_bytes());
+        p.release_resident(a);
+        p.release_resident(b);
+    }
+}

@@ -1,0 +1,358 @@
+//! The gVisor baseline: secure-container sandbox manager.
+
+use std::collections::HashMap;
+
+use fireworks_core::api::{
+    FunctionSpec, InstallReport, Invocation, Platform, PlatformError, StartKind, StartMode,
+};
+use fireworks_core::env::PlatformEnv;
+use fireworks_core::host::{GuestHost, NetMode};
+use fireworks_lang::Value;
+use fireworks_runtime::RuntimeProfile;
+use fireworks_sandbox::container::ContainerCheckpoint;
+use fireworks_sandbox::{Container, ContainerKind, ContainerManager, IsolationLevel};
+use fireworks_sim::trace::{Phase, Trace};
+
+struct Entry {
+    spec: FunctionSpec,
+    profile: RuntimeProfile,
+    checkpoint: Option<ContainerCheckpoint>,
+}
+
+/// The gVisor sandbox-manager baseline (Sentry + Gofer), optionally with
+/// process checkpoints for starts (Table 1's "Medium (snapshot)"
+/// performance column).
+pub struct GvisorPlatform {
+    env: PlatformEnv,
+    containers: ContainerManager,
+    registry: HashMap<String, Entry>,
+    warm: HashMap<String, Vec<Container>>,
+    use_checkpoints: bool,
+}
+
+impl GvisorPlatform {
+    /// Creates the platform without checkpoint-based starts (the paper's
+    /// Fig. 6/7 configuration: cold and warm starts only).
+    pub fn new(env: PlatformEnv) -> Self {
+        GvisorPlatform::with_checkpoints(env, false)
+    }
+
+    /// Creates the platform; with `use_checkpoints`, installs capture a
+    /// post-load checkpoint and non-warm starts restore it.
+    pub fn with_checkpoints(env: PlatformEnv, use_checkpoints: bool) -> Self {
+        let containers =
+            ContainerManager::new(env.clock.clone(), env.costs.clone(), env.host_mem.clone());
+        GvisorPlatform {
+            env,
+            containers,
+            registry: HashMap::new(),
+            warm: HashMap::new(),
+            use_checkpoints,
+        }
+    }
+
+    /// The environment this platform runs on.
+    pub fn env(&self) -> &PlatformEnv {
+        &self.env
+    }
+}
+
+impl Platform for GvisorPlatform {
+    fn name(&self) -> &'static str {
+        "gvisor"
+    }
+
+    fn isolation(&self) -> IsolationLevel {
+        IsolationLevel::SecureContainer
+    }
+
+    fn install(&mut self, spec: &FunctionSpec) -> Result<InstallReport, PlatformError> {
+        let t0 = self.env.clock.now();
+        let profile = RuntimeProfile::for_kind(spec.runtime);
+        let checkpoint = if self.use_checkpoints {
+            // Catalyzer-style: boot once, load the function, checkpoint
+            // the process before any execution.
+            let mut c = self.containers.create(
+                ContainerKind::Gvisor,
+                profile.clone(),
+                &spec.source,
+                None,
+            )?;
+            Some(self.containers.checkpoint(&mut c))
+        } else {
+            None
+        };
+        let (pages, bytes) = checkpoint
+            .as_ref()
+            .map(|c| (c.pages(), c.file_bytes()))
+            .unwrap_or((0, 0));
+        self.registry.insert(
+            spec.name.clone(),
+            Entry {
+                spec: spec.clone(),
+                profile,
+                checkpoint,
+            },
+        );
+        Ok(InstallReport {
+            install_time: self.env.clock.now() - t0,
+            snapshot_pages: pages,
+            snapshot_bytes: bytes,
+            annotated_functions: 0,
+        })
+    }
+
+    fn invoke(
+        &mut self,
+        name: &str,
+        args: &Value,
+        mode: StartMode,
+    ) -> Result<Invocation, PlatformError> {
+        if mode == StartMode::Cold {
+            self.evict(name);
+        }
+        let (source, profile, default_params, timeout) = {
+            let e = self
+                .registry
+                .get(name)
+                .ok_or_else(|| PlatformError::UnknownFunction(name.to_string()))?;
+            (
+                e.spec.source.clone(),
+                e.profile.clone(),
+                e.spec.default_params.deep_clone(),
+                e.spec.timeout,
+            )
+        };
+        let clock = self.env.clock.clone();
+        let mut trace = Trace::new();
+        let have_warm = self.warm.get(name).map(|v| !v.is_empty()).unwrap_or(false);
+
+        let (mut container, start) = match mode {
+            StartMode::Warm | StartMode::Auto if have_warm => {
+                let mut c = self
+                    .warm
+                    .get_mut(name)
+                    .and_then(Vec::pop)
+                    .expect("non-empty checked");
+                trace.scope(&clock, "warm_attach", Phase::Startup, || {
+                    self.containers.warm_attach(&mut c);
+                });
+                (c, StartKind::WarmPool)
+            }
+            StartMode::Warm => return Err(PlatformError::NoWarmSandbox(name.to_string())),
+            _ => {
+                let checkpoint = self.registry.get(name).and_then(|e| e.checkpoint.as_ref());
+                match checkpoint {
+                    Some(ckpt) => {
+                        let c = trace.scope(&clock, "checkpoint_restore", Phase::Startup, || {
+                            self.containers.restore(ckpt)
+                        });
+                        (c, StartKind::SnapshotRestore)
+                    }
+                    None => {
+                        let c = trace.scope(&clock, "sandbox_create", Phase::Startup, || {
+                            self.containers
+                                .create(ContainerKind::Gvisor, profile, &source, None)
+                        })?;
+                        (c, StartKind::ColdBoot)
+                    }
+                }
+            }
+        };
+
+        let mut host = GuestHost::new(
+            clock.clone(),
+            container.io().clone(),
+            &self.env.costs.net,
+            NetMode::Direct,
+            self.env.costs.microvm.mmds_lookup,
+            self.env.bus.clone(),
+            self.env.store.clone(),
+            default_params,
+        );
+        let result = {
+            let rt = container
+                .runtime_mut()
+                .ok_or_else(|| PlatformError::Other("sandbox has no runtime".into()))?;
+            rt.run_toplevel(&clock, &mut host)?;
+            trace.scope(&clock, "framework", Phase::Exec, || {
+                rt.charge_request_overhead(&clock);
+            });
+            rt.set_invocation_timeout(timeout);
+            match rt.invoke(&clock, "main", vec![args.deep_clone()], &mut host) {
+                Ok(r) => r,
+                Err(fireworks_lang::LangError::Timeout { ops }) => {
+                    return Err(PlatformError::Timeout {
+                        function: name.to_string(),
+                        ops,
+                    })
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
+        // Sentry intercepts the guest's syscalls; charge interception for
+        // the call-outs the guest made.
+        let intercepts = result.stats.host_calls + result.stats.builtin_calls;
+        trace.scope(&clock, "sentry_intercept", Phase::Exec, || {
+            container.io().charge_syscalls(&clock, intercepts);
+        });
+        container.sync_runtime_memory();
+        let anchor = clock.now();
+        trace.record(
+            "exec",
+            Phase::Exec,
+            anchor - result.exec_time - host.external_time,
+            anchor - host.external_time,
+        );
+        trace.record(
+            "guest_io",
+            Phase::Other,
+            anchor - host.external_time,
+            anchor,
+        );
+
+        self.containers.pause(&mut container);
+        self.warm
+            .entry(name.to_string())
+            .or_default()
+            .push(container);
+
+        Ok(Invocation {
+            value: result.value,
+            breakdown: trace.breakdown(),
+            trace,
+            start,
+            stats: result.stats,
+            printed: host.printed,
+            response: host.responses.into_iter().next_back(),
+        })
+    }
+
+    fn evict(&mut self, name: &str) {
+        self.warm.remove(name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FirecrackerPlatform, OpenWhiskPlatform, SnapshotPolicy};
+    use fireworks_runtime::RuntimeKind;
+
+    const DISKIO_SRC: &str = "
+        fn main(params) {
+            let n = params[\"ops\"];
+            let total = 0;
+            for (let i = 0; i < n; i = i + 1) {
+                total = total + io_read(\"data\", 10);
+                io_write(\"data\", 10);
+            }
+            return total;
+        }";
+
+    fn spec() -> FunctionSpec {
+        FunctionSpec::new(
+            "diskio",
+            DISKIO_SRC,
+            RuntimeKind::NodeLike,
+            Value::map([("ops".to_string(), Value::Int(10))]),
+        )
+    }
+
+    fn args(ops: i64) -> Value {
+        Value::map([("ops".to_string(), Value::Int(ops))])
+    }
+
+    #[test]
+    fn gvisor_cold_start_is_slowest_container_path() {
+        let mut gv = GvisorPlatform::new(PlatformEnv::default_env());
+        gv.install(&spec()).expect("installs");
+        let gv_inv = gv.invoke("diskio", &args(1), StartMode::Cold).expect("gv");
+
+        let mut ow = OpenWhiskPlatform::new(PlatformEnv::default_env());
+        ow.install(&spec()).expect("installs");
+        let ow_inv = ow.invoke("diskio", &args(1), StartMode::Cold).expect("ow");
+
+        assert!(
+            gv_inv.breakdown.startup > ow_inv.breakdown.startup,
+            "gvisor {} vs openwhisk {}",
+            gv_inv.breakdown.startup,
+            ow_inv.breakdown.startup
+        );
+    }
+
+    #[test]
+    fn gvisor_io_is_slowest_of_all_sandboxes() {
+        // §5.2.1(2): Sentry+Gofer I/O costs dominate; container overlayfs
+        // is fastest, virtio in between.
+        let io_time = |inv: &Invocation| inv.trace.total_for("guest_io");
+
+        let mut gv = GvisorPlatform::new(PlatformEnv::default_env());
+        gv.install(&spec()).expect("installs");
+        let gv_io = io_time(
+            &gv.invoke("diskio", &args(100), StartMode::Cold)
+                .expect("gv"),
+        );
+
+        let mut ow = OpenWhiskPlatform::new(PlatformEnv::default_env());
+        ow.install(&spec()).expect("installs");
+        let ow_io = io_time(
+            &ow.invoke("diskio", &args(100), StartMode::Cold)
+                .expect("ow"),
+        );
+
+        let mut fc = FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::None);
+        fc.install(&spec()).expect("installs");
+        let fc_io = io_time(
+            &fc.invoke("diskio", &args(100), StartMode::Cold)
+                .expect("fc"),
+        );
+
+        assert!(ow_io < fc_io, "overlayfs {ow_io} < virtio {fc_io}");
+        assert!(fc_io < gv_io, "virtio {fc_io} < gofer {gv_io}");
+        assert!(gv_io.as_nanos() > 3 * ow_io.as_nanos());
+    }
+
+    #[test]
+    fn warm_pool_works() {
+        let mut p = GvisorPlatform::new(PlatformEnv::default_env());
+        p.install(&spec()).expect("installs");
+        p.invoke("diskio", &args(1), StartMode::Cold).expect("cold");
+        let warm = p.invoke("diskio", &args(1), StartMode::Warm).expect("warm");
+        assert_eq!(warm.start, StartKind::WarmPool);
+    }
+
+    #[test]
+    fn checkpoint_mode_restores_instead_of_booting() {
+        let mut p = GvisorPlatform::with_checkpoints(PlatformEnv::default_env(), true);
+        let report = p.install(&spec()).expect("installs");
+        assert!(report.snapshot_pages > 0, "install captured a checkpoint");
+        let inv = p
+            .invoke("diskio", &args(1), StartMode::Cold)
+            .expect("invokes");
+        assert_eq!(inv.start, fireworks_core::api::StartKind::SnapshotRestore);
+
+        // Checkpoint start is far faster than a Sentry cold boot.
+        let mut cold = GvisorPlatform::new(PlatformEnv::default_env());
+        cold.install(&spec()).expect("installs");
+        let cold_inv = cold
+            .invoke("diskio", &args(1), StartMode::Cold)
+            .expect("cold");
+        assert!(
+            inv.breakdown.startup.as_nanos() * 5 < cold_inv.breakdown.startup.as_nanos(),
+            "checkpoint {} vs cold {}",
+            inv.breakdown.startup,
+            cold_inv.breakdown.startup
+        );
+    }
+
+    #[test]
+    fn chains_are_not_supported() {
+        let mut p = GvisorPlatform::new(PlatformEnv::default_env());
+        p.install(&spec()).expect("installs");
+        assert!(!p.supports_chains());
+        assert!(p
+            .invoke_chain(&["diskio"], &args(1), StartMode::Auto)
+            .is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! The baseline serverless platforms of the paper's evaluation (§5.1):
+//!
+//! - [`FirecrackerPlatform`]: microVM sandbox manager. Cold starts boot a
+//!   full VM; warm starts resume a paused one; an optional OS-level
+//!   snapshot policy (the "+VM-level OS snapshot" factor of Fig. 11)
+//!   snapshots after boot + runtime launch + app load, *before any
+//!   execution or JIT*.
+//! - [`OpenWhiskPlatform`]: container platform with controller overheads
+//!   (authentication, dispatch), a warm container pool, and support for
+//!   chains of functions (action sequences).
+//! - [`GvisorPlatform`]: secure-container sandbox manager (Sentry+Gofer
+//!   boot, intercepted I/O path).
+//!
+//! All three implement [`fireworks_core::api::Platform`], so the
+//! benchmark harness can sweep platforms uniformly.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod firecracker;
+pub mod gvisor;
+pub mod openwhisk;
+
+pub use firecracker::{FirecrackerPlatform, SnapshotPolicy};
+pub use gvisor::GvisorPlatform;
+pub use openwhisk::OpenWhiskPlatform;

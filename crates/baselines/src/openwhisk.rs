@@ -1,0 +1,400 @@
+//! The OpenWhisk baseline: container platform with a controller front end.
+
+use std::collections::HashMap;
+
+use fireworks_core::api::{
+    run_chain, FunctionSpec, InstallReport, Invocation, Platform, PlatformError, StartKind,
+    StartMode,
+};
+use fireworks_core::env::PlatformEnv;
+use fireworks_core::host::{GuestHost, NetMode};
+use fireworks_lang::Value;
+use fireworks_runtime::RuntimeProfile;
+use fireworks_sandbox::{Container, ContainerKind, ContainerManager, IsolationLevel};
+use fireworks_sim::trace::{Phase, Trace};
+
+struct Entry {
+    spec: FunctionSpec,
+    profile: RuntimeProfile,
+}
+
+/// The OpenWhisk-style container platform.
+pub struct OpenWhiskPlatform {
+    env: PlatformEnv,
+    containers: ContainerManager,
+    registry: HashMap<String, Entry>,
+    warm: HashMap<String, Vec<(Container, fireworks_sim::Nanos)>>,
+    keep_alive: Option<fireworks_sim::Nanos>,
+    cold_starts: u64,
+    warm_starts: u64,
+}
+
+impl OpenWhiskPlatform {
+    /// Creates the platform.
+    pub fn new(env: PlatformEnv) -> Self {
+        let containers =
+            ContainerManager::new(env.clock.clone(), env.costs.clone(), env.host_mem.clone());
+        OpenWhiskPlatform {
+            env,
+            containers,
+            registry: HashMap::new(),
+            warm: HashMap::new(),
+            keep_alive: None,
+            cold_starts: 0,
+            warm_starts: 0,
+        }
+    }
+
+    /// The environment this platform runs on.
+    pub fn env(&self) -> &PlatformEnv {
+        &self.env
+    }
+
+    /// Sets the warm-container keep-alive: idle containers are terminated
+    /// after this much virtual time (the provider practice described in
+    /// §2.2; `None` keeps them forever).
+    pub fn set_keep_alive(&mut self, timeout: Option<fireworks_sim::Nanos>) {
+        self.keep_alive = timeout;
+    }
+
+    /// (cold, warm) start counters since creation.
+    pub fn start_counts(&self) -> (u64, u64) {
+        (self.cold_starts, self.warm_starts)
+    }
+
+    /// Total resident bytes held by idle warm containers right now.
+    pub fn idle_warm_bytes(&mut self) -> u64 {
+        self.purge_expired();
+        self.warm
+            .values()
+            .flat_map(|v| v.iter())
+            .map(|(c, _)| c.rss_bytes())
+            .sum()
+    }
+
+    /// Drops warm containers idle past the keep-alive timeout.
+    fn purge_expired(&mut self) {
+        let Some(timeout) = self.keep_alive else {
+            return;
+        };
+        let now = self.env.clock.now();
+        for pool in self.warm.values_mut() {
+            pool.retain(|(_, last_used)| now - *last_used <= timeout);
+        }
+        self.warm.retain(|_, pool| !pool.is_empty());
+    }
+
+    fn guest_host(&self, c: &Container, default_params: &Value) -> GuestHost {
+        GuestHost::new(
+            self.env.clock.clone(),
+            c.io().clone(),
+            &self.env.costs.net,
+            NetMode::Direct,
+            self.env.costs.microvm.mmds_lookup,
+            self.env.bus.clone(),
+            self.env.store.clone(),
+            default_params.deep_clone(),
+        )
+    }
+}
+
+impl Platform for OpenWhiskPlatform {
+    fn name(&self) -> &'static str {
+        "openwhisk"
+    }
+
+    fn isolation(&self) -> IsolationLevel {
+        IsolationLevel::Container
+    }
+
+    fn install(&mut self, spec: &FunctionSpec) -> Result<InstallReport, PlatformError> {
+        // OpenWhisk registration is metadata-only (the action is stored);
+        // sandboxes are created lazily on invocation.
+        let t0 = self.env.clock.now();
+        let profile = RuntimeProfile::for_kind(spec.runtime);
+        self.registry.insert(
+            spec.name.clone(),
+            Entry {
+                spec: spec.clone(),
+                profile,
+            },
+        );
+        Ok(InstallReport {
+            install_time: self.env.clock.now() - t0,
+            snapshot_pages: 0,
+            snapshot_bytes: 0,
+            annotated_functions: 0,
+        })
+    }
+
+    fn invoke(
+        &mut self,
+        name: &str,
+        args: &Value,
+        mode: StartMode,
+    ) -> Result<Invocation, PlatformError> {
+        if mode == StartMode::Cold {
+            self.evict(name);
+        }
+        self.purge_expired();
+        let (source, profile, default_params, timeout) = {
+            let e = self
+                .registry
+                .get(name)
+                .ok_or_else(|| PlatformError::UnknownFunction(name.to_string()))?;
+            (
+                e.spec.source.clone(),
+                e.profile.clone(),
+                e.spec.default_params.deep_clone(),
+                e.spec.timeout,
+            )
+        };
+        let clock = self.env.clock.clone();
+        let mut trace = Trace::new();
+
+        // Controller front end: authentication and dispatch to an invoker
+        // (the paper's "authentication and message queue initialization"
+        // cold-start overhead; the auth path is also on warm starts but
+        // cheaper because the controller caches the subject).
+        let costs = self.env.costs.clone();
+        let have_warm = self.warm.get(name).map(|v| !v.is_empty()).unwrap_or(false);
+        trace.scope(&clock, "controller", Phase::Startup, || {
+            if have_warm {
+                clock.advance(costs.container.controller_dispatch);
+            } else {
+                clock.advance(costs.container.controller_auth);
+                clock.advance(costs.container.controller_dispatch);
+            }
+        });
+
+        let (mut container, start) = match mode {
+            StartMode::Warm | StartMode::Auto if have_warm => {
+                let (mut c, _) = self
+                    .warm
+                    .get_mut(name)
+                    .and_then(Vec::pop)
+                    .expect("non-empty checked");
+                trace.scope(&clock, "warm_attach", Phase::Startup, || {
+                    self.containers.warm_attach(&mut c);
+                });
+                self.warm_starts += 1;
+                (c, StartKind::WarmPool)
+            }
+            StartMode::Warm => return Err(PlatformError::NoWarmSandbox(name.to_string())),
+            _ => {
+                let c = trace.scope(&clock, "container_create", Phase::Startup, || {
+                    self.containers
+                        .create(ContainerKind::Plain, profile, &source, None)
+                })?;
+                self.cold_starts += 1;
+                (c, StartKind::ColdBoot)
+            }
+        };
+
+        // The `/init` + `/run` action proxy round trip.
+        trace.scope(&clock, "action_proxy", Phase::Startup, || {
+            clock.advance(self.env.costs.container.action_proxy);
+        });
+
+        let mut host = self.guest_host(&container, &default_params);
+        let result = {
+            let rt = container
+                .runtime_mut()
+                .ok_or_else(|| PlatformError::Other("container has no runtime".into()))?;
+            rt.run_toplevel(&clock, &mut host)?;
+            trace.scope(&clock, "framework", Phase::Exec, || {
+                rt.charge_request_overhead(&clock);
+            });
+            rt.set_invocation_timeout(timeout);
+            match rt.invoke(&clock, "main", vec![args.deep_clone()], &mut host) {
+                Ok(r) => r,
+                Err(fireworks_lang::LangError::Timeout { ops }) => {
+                    return Err(PlatformError::Timeout {
+                        function: name.to_string(),
+                        ops,
+                    })
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
+        container.sync_runtime_memory();
+        let anchor = clock.now();
+        trace.record(
+            "exec",
+            Phase::Exec,
+            anchor - result.exec_time - host.external_time,
+            anchor - host.external_time,
+        );
+        trace.record(
+            "guest_io",
+            Phase::Other,
+            anchor - host.external_time,
+            anchor,
+        );
+
+        // Keep the container warm, stamped with its last-use time.
+        self.containers.pause(&mut container);
+        self.warm
+            .entry(name.to_string())
+            .or_default()
+            .push((container, clock.now()));
+
+        Ok(Invocation {
+            value: result.value,
+            breakdown: trace.breakdown(),
+            trace,
+            start,
+            stats: result.stats,
+            printed: host.printed,
+            response: host.responses.into_iter().next_back(),
+        })
+    }
+
+    fn evict(&mut self, name: &str) {
+        self.warm.remove(name);
+    }
+
+    fn supports_chains(&self) -> bool {
+        true
+    }
+
+    fn invoke_chain(
+        &mut self,
+        names: &[&str],
+        args: &Value,
+        mode: StartMode,
+    ) -> Result<Vec<Invocation>, PlatformError> {
+        run_chain(self, names, args, mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fireworks_runtime::RuntimeKind;
+    use fireworks_sim::Nanos;
+
+    const SRC: &str = "
+        fn main(params) {
+            let n = params[\"n\"];
+            let t = 0;
+            for (let i = 0; i < n; i = i + 1) { t = t + i; }
+            return t;
+        }";
+
+    fn spec() -> FunctionSpec {
+        FunctionSpec::new(
+            "f",
+            SRC,
+            RuntimeKind::NodeLike,
+            Value::map([("n".to_string(), Value::Int(100))]),
+        )
+    }
+
+    fn args(n: i64) -> Value {
+        Value::map([("n".to_string(), Value::Int(n))])
+    }
+
+    #[test]
+    fn cold_start_includes_controller_and_container() {
+        let mut p = OpenWhiskPlatform::new(PlatformEnv::default_env());
+        p.install(&spec()).expect("installs");
+        let inv = p.invoke("f", &args(10), StartMode::Cold).expect("invokes");
+        assert_eq!(inv.start, StartKind::ColdBoot);
+        assert_eq!(inv.value, Value::Int(45));
+        assert!(inv.trace.total_for("controller") > Nanos::ZERO);
+        assert!(inv.trace.total_for("container_create") > Nanos::ZERO);
+    }
+
+    #[test]
+    fn openwhisk_cold_is_faster_than_firecracker_cold() {
+        // §5.2.1: the container platform's cold start beats the microVM's.
+        let mut ow = OpenWhiskPlatform::new(PlatformEnv::default_env());
+        ow.install(&spec()).expect("installs");
+        let ow_cold = ow.invoke("f", &args(10), StartMode::Cold).expect("ow");
+
+        let mut fc = crate::FirecrackerPlatform::new(
+            PlatformEnv::default_env(),
+            crate::SnapshotPolicy::None,
+        );
+        fc.install(&spec()).expect("installs");
+        let fc_cold = fc.invoke("f", &args(10), StartMode::Cold).expect("fc");
+
+        assert!(
+            ow_cold.breakdown.startup < fc_cold.breakdown.startup,
+            "openwhisk {} vs firecracker {}",
+            ow_cold.breakdown.startup,
+            fc_cold.breakdown.startup
+        );
+    }
+
+    #[test]
+    fn warm_start_reuses_container() {
+        let mut p = OpenWhiskPlatform::new(PlatformEnv::default_env());
+        p.install(&spec()).expect("installs");
+        let cold = p.invoke("f", &args(10), StartMode::Cold).expect("cold");
+        let warm = p.invoke("f", &args(10), StartMode::Warm).expect("warm");
+        assert_eq!(warm.start, StartKind::WarmPool);
+        assert!(warm.breakdown.startup.as_nanos() * 5 < cold.breakdown.startup.as_nanos());
+    }
+
+    #[test]
+    fn chains_pipe_results_between_functions() {
+        let mut p = OpenWhiskPlatform::new(PlatformEnv::default_env());
+        p.install(&spec()).expect("installs");
+        p.install(&FunctionSpec::new(
+            "wrap",
+            "fn main(prev) { return { n: prev * 2 }; }",
+            RuntimeKind::NodeLike,
+            Value::Int(1),
+        ))
+        .expect("installs");
+        assert!(p.supports_chains());
+        let results = p
+            .invoke_chain(&["f", "wrap"], &args(10), StartMode::Auto)
+            .expect("chain");
+        // f(10) = 45, wrap → { n: 90 }.
+        let Value::Map(m) = &results[1].value else {
+            panic!("map")
+        };
+        assert_eq!(m.borrow()["n"], Value::Int(90));
+    }
+
+    #[test]
+    fn keep_alive_expires_idle_containers() {
+        use fireworks_sim::Nanos;
+        let env = PlatformEnv::default_env();
+        let mut p = OpenWhiskPlatform::new(env.clone());
+        p.set_keep_alive(Some(Nanos::from_secs(60)));
+        p.install(&spec()).expect("installs");
+
+        p.invoke("f", &args(1), StartMode::Cold).expect("cold");
+        assert!(p.idle_warm_bytes() > 0, "warm container held in memory");
+
+        // Within the window: warm hit.
+        env.clock.advance(Nanos::from_secs(30));
+        let inv = p.invoke("f", &args(1), StartMode::Auto).expect("warm");
+        assert_eq!(inv.start, StartKind::WarmPool);
+
+        // Past the window: the container expired; cold again, and the
+        // idle memory was released.
+        env.clock.advance(Nanos::from_secs(61));
+        assert_eq!(p.idle_warm_bytes(), 0);
+        let inv = p
+            .invoke("f", &args(1), StartMode::Auto)
+            .expect("cold again");
+        assert_eq!(inv.start, StartKind::ColdBoot);
+        let (cold, warm) = p.start_counts();
+        assert_eq!((cold, warm), (2, 1));
+    }
+
+    #[test]
+    fn eviction_forces_cold_path() {
+        let mut p = OpenWhiskPlatform::new(PlatformEnv::default_env());
+        p.install(&spec()).expect("installs");
+        p.invoke("f", &args(1), StartMode::Cold).expect("cold");
+        p.evict("f");
+        let inv = p.invoke("f", &args(1), StartMode::Auto).expect("again");
+        assert_eq!(inv.start, StartKind::ColdBoot);
+    }
+}

@@ -1,0 +1,174 @@
+//! Criterion microbenchmarks of the mechanisms themselves (real
+//! wall-clock, unlike the virtual-time figure harness): snapshot
+//! capture/restore, CoW faults, PSS accounting, interpreter vs JIT tier,
+//! the annotator, the message bus, and NAT routing.
+
+use std::rc::Rc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use fireworks_annotator::{annotate, AnnotationConfig};
+use fireworks_guestmem::{AddressSpace, HostMemory, SnapshotFile, PAGE_SIZE};
+use fireworks_lang::{compile, JitPolicy, NoopHost, Outcome, Value, Vm};
+use fireworks_msgbus::MessageBus;
+use fireworks_netsim::{HostNetwork, Ip, Mac};
+use fireworks_sim::cost::{BusCosts, NetCosts};
+use fireworks_sim::Clock;
+
+const FACT_SRC: &str = "
+    fn factorize(n) {
+        let factors = [];
+        let m = n;
+        let d = 2;
+        while (d * d <= m) {
+            while (m % d == 0) { push(factors, d); m = m / d; }
+            d = d + 1;
+        }
+        if (m > 1) { push(factors, m); }
+        return factors;
+    }
+    fn main(n) {
+        let count = 0;
+        for (let r = 0; r < 50; r = r + 1) {
+            count = count + len(factorize(n + r));
+        }
+        return count;
+    }";
+
+fn host() -> HostMemory {
+    HostMemory::new(Clock::new(), 64 << 30, 60)
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("guestmem");
+    let pages = 16 * 1024; // 64 MiB image.
+    group.throughput(Throughput::Bytes((pages * PAGE_SIZE) as u64));
+
+    group.bench_function("snapshot_capture_64MiB", |b| {
+        let h = host();
+        let mut space = AddressSpace::new(h.clone(), 256 << 20);
+        space.touch_dirty(0, (pages * PAGE_SIZE) as u64);
+        b.iter(|| SnapshotFile::capture(&space, Vec::new()));
+    });
+
+    group.bench_function("snapshot_restore_64MiB", |b| {
+        let h = host();
+        let mut space = AddressSpace::new(h.clone(), 256 << 20);
+        space.touch_dirty(0, (pages * PAGE_SIZE) as u64);
+        let snap = SnapshotFile::capture(&space, Vec::new());
+        b.iter(|| snap.restore(&h));
+    });
+
+    group.bench_function("cow_dirty_1000_pages_of_clone", |b| {
+        let h = host();
+        let mut space = AddressSpace::new(h.clone(), 256 << 20);
+        space.touch_dirty(0, (pages * PAGE_SIZE) as u64);
+        let snap = SnapshotFile::capture(&space, Vec::new());
+        b.iter_batched(
+            || snap.restore(&h),
+            |mut clone| {
+                clone.touch_dirty(0, 1000 * PAGE_SIZE as u64);
+                clone
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("pss_of_shared_clone", |b| {
+        let h = host();
+        let mut space = AddressSpace::new(h.clone(), 256 << 20);
+        space.touch_dirty(0, (pages * PAGE_SIZE) as u64);
+        let snap = SnapshotFile::capture(&space, Vec::new());
+        let clone = snap.restore(&h);
+        b.iter(|| clone.pss_bytes());
+    });
+    group.finish();
+}
+
+fn run_vm(policy: JitPolicy) -> Value {
+    let program = Rc::new(compile(FACT_SRC).expect("compiles"));
+    let mut vm = Vm::with_policy(program, policy);
+    vm.start("main", vec![Value::Int(1_000_003)])
+        .expect("starts");
+    match vm.run(&mut NoopHost).expect("runs") {
+        Outcome::Done(v) => v,
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+fn bench_jit_tiers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flame_vm");
+    group.bench_function("fact_interpreter_only", |b| {
+        b.iter(|| run_vm(JitPolicy::Off));
+    });
+    group.bench_function("fact_with_jit", |b| {
+        b.iter(|| {
+            run_vm(JitPolicy::HotSpot {
+                call_threshold: 2,
+                loop_threshold: 8,
+            })
+        });
+    });
+    group.bench_function("warm_vm_snapshot_state", |b| {
+        let program = Rc::new(compile(FACT_SRC).expect("compiles"));
+        let mut vm = Vm::new(program);
+        vm.start("main", vec![Value::Int(1_000_003)])
+            .expect("starts");
+        vm.run(&mut NoopHost).expect("runs");
+        b.iter(|| vm.snapshot_state());
+    });
+    group.finish();
+}
+
+fn bench_annotator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("annotator");
+    group.bench_function("annotate_fact", |b| {
+        let cfg = AnnotationConfig::default();
+        let src = FACT_SRC.replace("fn main(n)", "fn main(params)");
+        b.iter(|| annotate(&src, &cfg).expect("annotates"));
+    });
+    group.finish();
+}
+
+fn bench_msgbus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("msgbus");
+    group.bench_function("produce_consume_latest", |b| {
+        let mut bus: MessageBus<Value> = MessageBus::new(Clock::new(), BusCosts::default());
+        bus.create_topic("t");
+        let v = Value::map([("n".to_string(), Value::Int(42))]);
+        b.iter(|| {
+            bus.produce("t", v.deep_clone(), 64);
+            bus.consume_latest("t", 64).expect("record")
+        });
+    });
+    group.finish();
+}
+
+fn bench_netsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim");
+    group.bench_function("namespace_setup_and_deliver", |b| {
+        b.iter_batched(
+            || HostNetwork::new(Clock::new(), NetCosts::default()),
+            |mut net| {
+                let ns = net.create_namespace();
+                let ip = Ip::new(172, 16, 0, 2);
+                net.attach_tap(ns, "tap0", ip, Mac([6, 0, 0, 0, 0, 1]))
+                    .expect("tap");
+                let ext = net.alloc_external_ip(ns).expect("ip");
+                net.install_nat(ns, ext, ip).expect("nat");
+                net.deliver(ext, 579).expect("delivers")
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_snapshot,
+    bench_jit_tiers,
+    bench_annotator,
+    bench_msgbus,
+    bench_netsim
+);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Runs every table and figure binary's logic in sequence — the one-shot
+//! reproduction of the paper's evaluation section.
+//!
+//! ```sh
+//! cargo run --release -p fireworks-bench --bin all_figures
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1",
+        "table2",
+        "install_time",
+        "fig6",
+        "fig7",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        let path = dir.join(bin);
+        println!("\n################################################################");
+        println!("# {bin}");
+        println!("################################################################\n");
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to run {}: {e}", path.display()));
+        if !status.success() {
+            eprintln!("{bin} failed with {status}");
+            std::process::exit(1);
+        }
+    }
+}

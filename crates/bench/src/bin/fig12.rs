@@ -1,0 +1,83 @@
+//! Fig. 12: factor analysis of memory — per-microVM PSS with 10
+//! concurrent microVMs running the same benchmark, for plain Firecracker,
+//! +OS snapshot, and +post-JIT (= Fireworks).
+
+use fireworks_baselines::{FirecrackerPlatform, SnapshotPolicy};
+use fireworks_core::api::Platform;
+use fireworks_core::{FireworksPlatform, PlatformEnv};
+use fireworks_runtime::RuntimeKind;
+use fireworks_workloads::faasdom::Bench;
+
+const VMS: usize = 10;
+
+fn mib(b: u64) -> f64 {
+    b as f64 / (1 << 20) as f64
+}
+
+fn main() {
+    println!("=== Fig.12: Memory impact of Fireworks optimizations ===");
+    println!("(PSS per microVM with {VMS} concurrent microVMs, light request)\n");
+    println!(
+        "{:<30} {:>14} {:>14} {:>14} {:>7} {:>7}",
+        "benchmark", "baseline MiB", "+OS snap MiB", "+post-JIT MiB", "os %", "jit %"
+    );
+
+    for runtime in [RuntimeKind::NodeLike, RuntimeKind::PythonLike] {
+        for bench in Bench::ALL {
+            let spec = bench.spec(runtime);
+            let args = bench.request_params();
+
+            // Baseline: 10 cold-booted Firecracker VMs, fully private.
+            let base = {
+                let mut p =
+                    FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::None);
+                p.install(&spec).expect("install");
+                let vms: Vec<_> = (0..VMS)
+                    .map(|_| p.invoke_resident(&spec.name, &args).expect("vm").1)
+                    .collect();
+                vms.iter().map(|v| v.pss_bytes()).sum::<u64>() / VMS as u64
+            };
+
+            // +OS snapshot: 10 VMs restored from the pre-execution image.
+            let os_snap = {
+                let mut p = FirecrackerPlatform::new(
+                    PlatformEnv::default_env(),
+                    SnapshotPolicy::OsSnapshot,
+                );
+                p.install(&spec).expect("install");
+                let vms: Vec<_> = (0..VMS)
+                    .map(|_| p.invoke_resident(&spec.name, &args).expect("vm").1)
+                    .collect();
+                vms.iter().map(|v| v.pss_bytes()).sum::<u64>() / VMS as u64
+            };
+
+            // +post-JIT: 10 Fireworks clones.
+            let post_jit = {
+                let mut p = FireworksPlatform::new(PlatformEnv::default_env());
+                p.install(&spec).expect("install");
+                let clones: Vec<_> = (0..VMS)
+                    .map(|_| p.invoke_resident(&spec.name, &args).expect("clone").1)
+                    .collect();
+                clones.iter().map(|c| c.pss_bytes()).sum::<u64>() / VMS as u64
+            };
+
+            println!(
+                "{:<30} {:>14.1} {:>14.1} {:>14.1} {:>6.0}% {:>6.0}%",
+                spec.name,
+                mib(base),
+                mib(os_snap),
+                mib(post_jit),
+                (1.0 - os_snap as f64 / base as f64) * 100.0,
+                (1.0 - post_jit as f64 / os_snap as f64) * 100.0,
+            );
+        }
+    }
+    println!();
+    println!("(os % = reduction of +OS snapshot vs baseline;");
+    println!(" jit % = additional reduction of +post-JIT vs +OS snapshot)");
+    println!("paper: OS snapshot improves memory utilization by up to 73%;");
+    println!("       post-JIT reduces Node.js memory up to a further 74% (V8's lazy");
+    println!("       execution-state allocation lands in the shared snapshot), but");
+    println!("       shows no significant improvement for Python (Numba/MCJIT");
+    println!("       duplicates JITted code per module).");
+}

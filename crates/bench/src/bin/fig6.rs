@@ -1,0 +1,12 @@
+//! Fig. 6: latency comparison of the Node.js FaaSdom benchmarks.
+
+use fireworks_bench::print_faasdom_figure;
+use fireworks_runtime::RuntimeKind;
+
+fn main() {
+    print_faasdom_figure("Fig.6", RuntimeKind::NodeLike);
+    println!();
+    println!("paper: Fireworks up to 133x faster cold start-up, up to 3.8x faster warm");
+    println!("       start-up; exec ~38% faster (cold) / ~25% faster (warm) on compute;");
+    println!("       geomean (e): up to 8.6x shorter end-to-end latency.");
+}

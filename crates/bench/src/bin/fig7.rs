@@ -1,0 +1,12 @@
+//! Fig. 7: latency comparison of the Python FaaSdom benchmarks.
+
+use fireworks_bench::print_faasdom_figure;
+use fireworks_runtime::RuntimeKind;
+
+fn main() {
+    print_faasdom_figure("Fig.7", RuntimeKind::PythonLike);
+    println!();
+    println!("paper: Fireworks up to 74.2x faster cold start-up, 4.4x faster warm;");
+    println!("       exec up to 20x (fact) and 80x (matrix) faster via post-JIT code;");
+    println!("       geomean (e): overall improvement up to 19x.");
+}

@@ -1,0 +1,17 @@
+//! Table 2: tested serverless applications.
+
+use fireworks_workloads::catalog;
+
+fn main() {
+    println!("=== Table 2: Tested serverless applications ===\n");
+    println!(
+        "{:<34} {:<58} {:<18}",
+        "Application Name", "Description", "Language"
+    );
+    for row in catalog() {
+        println!(
+            "{:<34} {:<58} {:<18}",
+            row.name, row.description, row.languages
+        );
+    }
+}

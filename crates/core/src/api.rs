@@ -1,0 +1,282 @@
+//! The platform API shared by Fireworks and the baseline platforms.
+
+use std::fmt;
+
+use fireworks_lang::{ExecStats, LangError, Value};
+use fireworks_msgbus::BusError;
+use fireworks_netsim::NetError;
+use fireworks_runtime::RuntimeKind;
+use fireworks_sandbox::IsolationLevel;
+use fireworks_sim::trace::{Breakdown, Trace};
+use fireworks_sim::Nanos;
+use fireworks_store::StoreError;
+
+/// Errors from platform operations.
+#[derive(Debug, Clone)]
+pub enum PlatformError {
+    /// Guest-language error (compile or runtime).
+    Lang(LangError),
+    /// The function is not installed.
+    UnknownFunction(String),
+    /// Networking failure.
+    Net(NetError),
+    /// Message-bus failure.
+    Bus(BusError),
+    /// Document-store failure.
+    Store(StoreError),
+    /// A warm start was requested but no warm sandbox exists.
+    NoWarmSandbox(String),
+    /// The invocation exceeded its timeout and was killed.
+    Timeout {
+        /// The function that timed out.
+        function: String,
+        /// Guest ops retired before the kill.
+        ops: u64,
+    },
+    /// Anything else.
+    Other(String),
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::Lang(e) => write!(f, "{e}"),
+            PlatformError::UnknownFunction(name) => write!(f, "function `{name}` not installed"),
+            PlatformError::Net(e) => write!(f, "{e}"),
+            PlatformError::Bus(e) => write!(f, "{e}"),
+            PlatformError::Store(e) => write!(f, "{e}"),
+            PlatformError::NoWarmSandbox(name) => {
+                write!(f, "no warm sandbox for `{name}` (invoke cold first)")
+            }
+            PlatformError::Timeout { function, ops } => {
+                write!(f, "`{function}` timed out after {ops} guest ops")
+            }
+            PlatformError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+impl From<LangError> for PlatformError {
+    fn from(e: LangError) -> Self {
+        PlatformError::Lang(e)
+    }
+}
+
+impl From<NetError> for PlatformError {
+    fn from(e: NetError) -> Self {
+        PlatformError::Net(e)
+    }
+}
+
+impl From<BusError> for PlatformError {
+    fn from(e: BusError) -> Self {
+        PlatformError::Bus(e)
+    }
+}
+
+impl From<StoreError> for PlatformError {
+    fn from(e: StoreError) -> Self {
+        PlatformError::Store(e)
+    }
+}
+
+/// A function to install on a platform.
+#[derive(Debug, Clone)]
+pub struct FunctionSpec {
+    /// Registered name.
+    pub name: String,
+    /// Flame source text with a `main(params)` entry.
+    pub source: String,
+    /// Which language runtime executes it.
+    pub runtime: RuntimeKind,
+    /// Representative parameters for install-time JIT warm-up.
+    pub default_params: Value,
+    /// Invocation timeout; `None` is unlimited. Exceeding it aborts the
+    /// invocation with [`PlatformError::Timeout`].
+    pub timeout: Option<Nanos>,
+}
+
+impl FunctionSpec {
+    /// Builds a spec with the conventions used throughout the benches
+    /// (no timeout).
+    pub fn new(
+        name: impl Into<String>,
+        source: impl Into<String>,
+        runtime: RuntimeKind,
+        default_params: Value,
+    ) -> Self {
+        FunctionSpec {
+            name: name.into(),
+            source: source.into(),
+            runtime,
+            default_params,
+            timeout: None,
+        }
+    }
+
+    /// Adds an invocation timeout.
+    pub fn with_timeout(mut self, timeout: Nanos) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+}
+
+/// Report from installing a function.
+#[derive(Debug, Clone)]
+pub struct InstallReport {
+    /// Total virtual install time (the paper's §5.1 measurement).
+    pub install_time: Nanos,
+    /// Pages in the snapshot memory file (0 for platforms that don't
+    /// snapshot).
+    pub snapshot_pages: usize,
+    /// On-disk snapshot size in bytes.
+    pub snapshot_bytes: u64,
+    /// Functions that received the `@jit` annotation (Fireworks only).
+    pub annotated_functions: usize,
+}
+
+/// Which start path served an invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartKind {
+    /// Fresh sandbox creation (VM boot or container create).
+    ColdBoot,
+    /// Re-attached kept-warm sandbox.
+    WarmPool,
+    /// Restored from a snapshot (OS-level or post-JIT).
+    SnapshotRestore,
+}
+
+/// How the caller wants the invocation started.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartMode {
+    /// Force a fresh sandbox (evicts any warm one first).
+    Cold,
+    /// Require a kept-warm sandbox (error if none).
+    Warm,
+    /// Platform's natural path (Fireworks: snapshot restore; baselines:
+    /// warm pool if available, else cold).
+    Auto,
+}
+
+/// A completed invocation with its latency breakdown.
+#[derive(Debug, Clone)]
+pub struct Invocation {
+    /// Value returned by the function.
+    pub value: Value,
+    /// Start-up / exec / others split (paper Figs. 6, 7, 9).
+    pub breakdown: Breakdown,
+    /// Labelled spans behind the breakdown.
+    pub trace: Trace,
+    /// Which start path served it.
+    pub start: StartKind,
+    /// Guest execution counters.
+    pub stats: ExecStats,
+    /// `print()` output captured from the guest.
+    pub printed: Vec<String>,
+    /// Body passed to `http_respond`, if the function responded.
+    pub response: Option<String>,
+}
+
+impl Invocation {
+    /// End-to-end latency.
+    pub fn total(&self) -> Nanos {
+        self.breakdown.total()
+    }
+}
+
+/// A serverless platform under test.
+pub trait Platform {
+    /// Platform name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Isolation level (paper Table 1).
+    fn isolation(&self) -> IsolationLevel;
+
+    /// Installs (registers) a function.
+    fn install(&mut self, spec: &FunctionSpec) -> Result<InstallReport, PlatformError>;
+
+    /// Invokes an installed function.
+    fn invoke(
+        &mut self,
+        name: &str,
+        args: &Value,
+        mode: StartMode,
+    ) -> Result<Invocation, PlatformError>;
+
+    /// Drops any kept-warm sandboxes for a function.
+    fn evict(&mut self, name: &str);
+
+    /// Whether the platform can execute a chain of functions (paper §5.3:
+    /// only OpenWhisk and Fireworks can).
+    fn supports_chains(&self) -> bool {
+        false
+    }
+
+    /// Invokes a chain of installed functions, piping each result into the
+    /// next function's arguments. Returns one invocation per stage.
+    fn invoke_chain(
+        &mut self,
+        names: &[&str],
+        args: &Value,
+        mode: StartMode,
+    ) -> Result<Vec<Invocation>, PlatformError> {
+        let _ = (names, args, mode);
+        Err(PlatformError::Other(format!(
+            "{} cannot process a chain of serverless functions",
+            self.name()
+        )))
+    }
+}
+
+/// Shared helper: thread a value through a chain by invoking one stage at
+/// a time (used by the platforms that do support chains).
+pub fn run_chain<P: Platform + ?Sized>(
+    platform: &mut P,
+    names: &[&str],
+    args: &Value,
+    mode: StartMode,
+) -> Result<Vec<Invocation>, PlatformError> {
+    let mut results = Vec::with_capacity(names.len());
+    let mut current = args.clone();
+    for name in names {
+        let inv = platform.invoke(name, &current, mode)?;
+        current = inv.value.clone();
+        results.push(inv);
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_error_display_covers_variants() {
+        let e = PlatformError::UnknownFunction("f".into());
+        assert!(e.to_string().contains("not installed"));
+        let e: PlatformError = LangError::runtime("boom").into();
+        assert!(e.to_string().contains("boom"));
+        let e = PlatformError::NoWarmSandbox("f".into());
+        assert!(e.to_string().contains("warm"));
+    }
+
+    #[test]
+    fn invocation_total_sums_breakdown() {
+        let inv = Invocation {
+            value: Value::Null,
+            breakdown: Breakdown {
+                startup: Nanos::from_millis(10),
+                exec: Nanos::from_millis(20),
+                other: Nanos::from_millis(5),
+            },
+            trace: Trace::new(),
+            start: StartKind::ColdBoot,
+            stats: ExecStats::default(),
+            printed: vec![],
+            response: None,
+        };
+        assert_eq!(inv.total(), Nanos::from_millis(35));
+    }
+}

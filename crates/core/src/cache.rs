@@ -1,0 +1,192 @@
+//! Snapshot cache with a disk budget and LRU replacement.
+//!
+//! The paper (§6, *Disk space overhead for function snapshots*) notes that
+//! per-function snapshots of thousands of functions strain disk space and
+//! proposes bounding the space with a replacement policy that keeps hot
+//! functions' snapshots. This is that cache: snapshots evicted here force
+//! a re-install on the next invocation.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use fireworks_microvm::VmFullSnapshot;
+
+/// An LRU snapshot cache bounded by on-disk bytes.
+#[derive(Debug)]
+pub struct SnapshotCache {
+    capacity_bytes: u64,
+    used_bytes: u64,
+    tick: u64,
+    entries: HashMap<String, Entry>,
+    evictions: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    snapshot: Rc<VmFullSnapshot>,
+    bytes: u64,
+    last_used: u64,
+}
+
+impl SnapshotCache {
+    /// Creates a cache holding at most `capacity_bytes` of snapshot files.
+    pub fn new(capacity_bytes: u64) -> Self {
+        SnapshotCache {
+            capacity_bytes,
+            used_bytes: 0,
+            tick: 0,
+            entries: HashMap::new(),
+            evictions: 0,
+        }
+    }
+
+    /// Inserts (or replaces) a function's snapshot, evicting least-
+    /// recently-used entries until the budget holds. A snapshot larger
+    /// than the whole budget is still stored alone (it must exist
+    /// somewhere to be restorable).
+    pub fn insert(&mut self, name: &str, snapshot: Rc<VmFullSnapshot>) {
+        let bytes = snapshot.file_bytes();
+        if let Some(old) = self.entries.remove(name) {
+            self.used_bytes -= old.bytes;
+        }
+        self.tick += 1;
+        self.entries.insert(
+            name.to_string(),
+            Entry {
+                snapshot,
+                bytes,
+                last_used: self.tick,
+            },
+        );
+        self.used_bytes += bytes;
+        self.evict_to_budget(name);
+    }
+
+    fn evict_to_budget(&mut self, keep: &str) {
+        while self.used_bytes > self.capacity_bytes && self.entries.len() > 1 {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(k, _)| k.as_str() != keep)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else { break };
+            if let Some(e) = self.entries.remove(&victim) {
+                self.used_bytes -= e.bytes;
+                self.evictions += 1;
+            }
+        }
+    }
+
+    /// Fetches a snapshot, marking it most-recently-used.
+    pub fn get(&mut self, name: &str) -> Option<Rc<VmFullSnapshot>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(name).map(|e| {
+            e.last_used = tick;
+            e.snapshot.clone()
+        })
+    }
+
+    /// Removes a snapshot explicitly (e.g. on security refresh).
+    pub fn remove(&mut self, name: &str) -> Option<Rc<VmFullSnapshot>> {
+        self.entries.remove(name).map(|e| {
+            self.used_bytes -= e.bytes;
+            e.snapshot
+        })
+    }
+
+    /// Bytes currently held.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total evictions performed.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fireworks_guestmem::HostMemory;
+    use fireworks_sim::Clock;
+
+    /// Builds a real snapshot through the microvm API (the cache only
+    /// reads `file_bytes`, but fidelity is cheap here).
+    fn snapshot_of(_tag: usize) -> Rc<VmFullSnapshot> {
+        use fireworks_microvm::{MicroVmConfig, VmManager};
+        use fireworks_runtime::RuntimeProfile;
+
+        let clock = Clock::new();
+        let host = HostMemory::new(clock.clone(), 4 << 30, 60);
+        let mut mgr = VmManager::new(clock, Rc::new(fireworks_sim::CostModel::default()), host);
+        let mut vm = mgr.create(MicroVmConfig::default());
+        mgr.boot(&mut vm);
+        mgr.launch_runtime(
+            &mut vm,
+            RuntimeProfile::node(),
+            "fn main(n) { return n; }",
+            None,
+        )
+        .expect("launches");
+        Rc::new(mgr.snapshot(&mut vm))
+    }
+
+    #[test]
+    fn lru_evicts_oldest_when_over_budget() {
+        let one = snapshot_of(100);
+        let bytes = one.file_bytes();
+        let mut cache = SnapshotCache::new(bytes * 2 + 1024);
+        cache.insert("a", one);
+        cache.insert("b", snapshot_of(100));
+        assert_eq!(cache.len(), 2);
+        // Touch `a` so `b` is the LRU victim.
+        cache.get("a").expect("a cached");
+        cache.insert("c", snapshot_of(100));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("b").is_none(), "b was evicted");
+        assert!(cache.get("c").is_some());
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn replacing_an_entry_does_not_leak_bytes() {
+        let s = snapshot_of(100);
+        let bytes = s.file_bytes();
+        let mut cache = SnapshotCache::new(bytes * 10);
+        cache.insert("a", s);
+        cache.insert("a", snapshot_of(100));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.used_bytes(), bytes);
+    }
+
+    #[test]
+    fn oversized_snapshot_is_still_kept() {
+        let s = snapshot_of(100);
+        let mut cache = SnapshotCache::new(1024);
+        cache.insert("big", s);
+        assert_eq!(cache.len(), 1, "must keep at least the newest snapshot");
+    }
+
+    #[test]
+    fn remove_returns_the_snapshot() {
+        let mut cache = SnapshotCache::new(u64::MAX);
+        cache.insert("a", snapshot_of(10));
+        assert!(cache.remove("a").is_some());
+        assert!(cache.is_empty());
+        assert_eq!(cache.used_bytes(), 0);
+    }
+}

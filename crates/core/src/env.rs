@@ -1,0 +1,115 @@
+//! Shared host services for one simulated machine.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use fireworks_guestmem::HostMemory;
+use fireworks_lang::Value;
+use fireworks_msgbus::MessageBus;
+use fireworks_netsim::HostNetwork;
+use fireworks_sim::{Clock, CostModel};
+use fireworks_store::{DocumentStore, StoreCosts};
+
+/// Host configuration for one experiment.
+#[derive(Debug, Clone)]
+pub struct EnvConfig {
+    /// Physical RAM of the host.
+    pub ram_bytes: u64,
+    /// Linux `vm.swappiness` (the paper's Fig. 10 uses 60).
+    pub swappiness: u8,
+    /// Infrastructure cost table.
+    pub costs: CostModel,
+}
+
+impl Default for EnvConfig {
+    fn default() -> Self {
+        EnvConfig {
+            // A scaled-down host (the paper's testbed has 128 GiB; scaling
+            // preserves every ratio while keeping simulations fast — see
+            // DESIGN.md).
+            ram_bytes: 24 << 30,
+            swappiness: 60,
+            costs: CostModel::default(),
+        }
+    }
+}
+
+/// The services all platforms on one host share: virtual clock, host
+/// memory, the message bus, the document store, and the host network.
+///
+/// Cloning an env clones handles to the *same* services.
+#[derive(Debug, Clone)]
+pub struct PlatformEnv {
+    /// The host's virtual clock.
+    pub clock: Clock,
+    /// The cost table.
+    pub costs: Rc<CostModel>,
+    /// Host physical memory.
+    pub host_mem: HostMemory,
+    /// Kafka-style message bus (parameter passer substrate).
+    pub bus: Rc<RefCell<MessageBus<Value>>>,
+    /// CouchDB-style document store.
+    pub store: Rc<RefCell<DocumentStore>>,
+    /// Host network (namespaces + NAT).
+    pub net: Rc<RefCell<HostNetwork>>,
+}
+
+impl PlatformEnv {
+    /// Builds the services for one host.
+    pub fn new(config: EnvConfig) -> Self {
+        let clock = Clock::new();
+        let costs = Rc::new(config.costs);
+        let host_mem = HostMemory::new(clock.clone(), config.ram_bytes, config.swappiness);
+        let bus = Rc::new(RefCell::new(MessageBus::new(
+            clock.clone(),
+            costs.bus.clone(),
+        )));
+        let store = Rc::new(RefCell::new(DocumentStore::new(
+            clock.clone(),
+            StoreCosts::default(),
+        )));
+        let net = Rc::new(RefCell::new(HostNetwork::new(
+            clock.clone(),
+            costs.net.clone(),
+        )));
+        PlatformEnv {
+            clock,
+            costs,
+            host_mem,
+            bus,
+            store,
+            net,
+        }
+    }
+
+    /// A default-configured environment.
+    pub fn default_env() -> Self {
+        PlatformEnv::new(EnvConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_services() {
+        let env = PlatformEnv::default_env();
+        let env2 = env.clone();
+        env.bus.borrow_mut().produce("t", Value::Int(1), 8);
+        assert_eq!(env2.bus.borrow().len("t"), 1);
+        let before = env2.clock.now();
+        env.clock.advance(fireworks_sim::Nanos::from_millis(5));
+        assert_eq!(
+            env2.clock.now() - before,
+            fireworks_sim::Nanos::from_millis(5)
+        );
+    }
+
+    #[test]
+    fn default_host_matches_fig10_methodology() {
+        let cfg = EnvConfig::default();
+        assert_eq!(cfg.swappiness, 60);
+        assert!(cfg.ram_bytes >= 8 << 30);
+    }
+}

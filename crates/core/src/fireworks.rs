@@ -1,0 +1,814 @@
+//! The FIREWORKS platform.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use fireworks_annotator::{annotate, Annotated, AnnotationConfig};
+use fireworks_lang::{JitPolicy, Value};
+use fireworks_microvm::reap::PagingCosts;
+use fireworks_microvm::{
+    MicroVm, MicroVmConfig, ReapMode, ReapSession, VmFullSnapshot, VmManager, WorkingSet,
+};
+use fireworks_netsim::{Ip, Mac, NsId};
+use fireworks_runtime::guest::RunOutcome;
+use fireworks_runtime::RuntimeProfile;
+use fireworks_sandbox::{IoPath, IoPathKind, IsolationLevel};
+use fireworks_sim::trace::{Phase, Trace};
+use fireworks_sim::Nanos;
+
+use crate::api::{
+    FunctionSpec, InstallReport, Invocation, Platform, PlatformError, StartKind, StartMode,
+};
+use crate::audit::{SecurityAudit, SecurityPolicy};
+use crate::cache::SnapshotCache;
+use crate::env::PlatformEnv;
+use crate::host::{GuestHost, NetMode};
+
+/// The guest IP baked into every snapshot (identical across clones —
+/// paper Fig. 5's `A.A.A.A`).
+pub const GUEST_IP: Ip = Ip::new(172, 16, 0, 2);
+/// The guest MAC baked into every snapshot.
+pub const GUEST_MAC: Mac = Mac([0x06, 0x00, 0xac, 0x10, 0x00, 0x02]);
+/// Tap device name baked into every snapshot.
+pub const GUEST_TAP: &str = "tap0";
+
+/// Where snapshot pages live when an invocation arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PagingPolicy {
+    /// Snapshot pages are resident in the host page cache (the paper's
+    /// single-host evaluation): restores fault cheaply via CoW.
+    WarmPageCache,
+    /// Snapshot pages live in cold storage (remote or evicted): first
+    /// touches are major faults unless prefetched. The REAP extension
+    /// records each function's working set on its first cold invocation
+    /// and prefetches it afterwards.
+    ColdStorage {
+        /// Whether REAP recording/prefetching is enabled.
+        reap: bool,
+    },
+}
+
+struct FunctionEntry {
+    spec: FunctionSpec,
+    annotated: Annotated,
+    profile: RuntimeProfile,
+    install_report: InstallReport,
+    clones_since_snapshot: u64,
+    refreshes: u64,
+    refresh_time: Nanos,
+    /// REAP-recorded working set (ColdStorage + reap only).
+    working_set: Option<WorkingSet>,
+}
+
+/// A restored microVM kept resident after its invocation (for memory
+/// density experiments — paper §5.4).
+#[derive(Debug)]
+pub struct ResidentClone {
+    vm: MicroVm,
+    ns: NsId,
+    /// The clone's instance id (MMDS).
+    pub instance: String,
+}
+
+impl ResidentClone {
+    /// Proportional set size of the clone's guest memory.
+    pub fn pss_bytes(&self) -> u64 {
+        self.vm.pss_bytes()
+    }
+
+    /// Resident set size of the clone's guest memory.
+    pub fn rss_bytes(&self) -> u64 {
+        self.vm.rss_bytes()
+    }
+
+    /// Ages the clone by `extra_ops` guest ops of continued service
+    /// (models the paper's Fig. 10 methodology of running every microVM
+    /// until the host swaps).
+    pub fn age_ops(&mut self, extra_ops: u64) {
+        self.vm.age_ops(extra_ops);
+    }
+}
+
+/// The Fireworks serverless platform.
+pub struct FireworksPlatform {
+    env: PlatformEnv,
+    mgr: VmManager,
+    registry: HashMap<String, FunctionEntry>,
+    cache: SnapshotCache,
+    next_instance: u64,
+    security: SecurityPolicy,
+    paging: PagingPolicy,
+}
+
+impl FireworksPlatform {
+    /// Creates a platform with a generous snapshot-cache budget.
+    pub fn new(env: PlatformEnv) -> Self {
+        FireworksPlatform::with_cache_budget(env, u64::MAX)
+    }
+
+    /// Creates a platform whose snapshot store is bounded to
+    /// `cache_budget_bytes` (paper §6: disk-space overhead).
+    pub fn with_cache_budget(env: PlatformEnv, cache_budget_bytes: u64) -> Self {
+        let mgr = VmManager::new(env.clock.clone(), env.costs.clone(), env.host_mem.clone());
+        FireworksPlatform {
+            env,
+            mgr,
+            registry: HashMap::new(),
+            cache: SnapshotCache::new(cache_budget_bytes),
+            next_instance: 1,
+            security: SecurityPolicy::default(),
+            paging: PagingPolicy::WarmPageCache,
+        }
+    }
+
+    /// Sets where snapshot pages live (page cache vs cold storage with
+    /// optional REAP prefetching).
+    pub fn set_paging_policy(&mut self, paging: PagingPolicy) {
+        self.paging = paging;
+    }
+
+    /// The environment this platform runs on.
+    pub fn env(&self) -> &PlatformEnv {
+        &self.env
+    }
+
+    /// Sets the snapshot security policy.
+    pub fn set_security_policy(&mut self, policy: SecurityPolicy) {
+        self.security = policy;
+    }
+
+    /// Snapshot-cache eviction count (for the disk-budget ablation).
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache.evictions()
+    }
+
+    fn guest_host(&self, default_params: &Value) -> GuestHost {
+        GuestHost::new(
+            self.env.clock.clone(),
+            IoPath::new(IoPathKind::VirtioBlk, self.env.costs.clone()),
+            &self.env.costs.net,
+            NetMode::ThroughNat,
+            self.env.costs.microvm.mmds_lookup,
+            self.env.bus.clone(),
+            self.env.store.clone(),
+            default_params.deep_clone(),
+        )
+    }
+
+    /// A host for the install phase: same cost model, but side effects go
+    /// to a staging store and bus so JIT warm-up never pollutes
+    /// production state.
+    fn install_host(&self, default_params: &Value) -> GuestHost {
+        use std::cell::RefCell;
+        let scratch_store = Rc::new(RefCell::new(fireworks_store::DocumentStore::new(
+            self.env.clock.clone(),
+            fireworks_store::StoreCosts::default(),
+        )));
+        let scratch_bus = Rc::new(RefCell::new(fireworks_msgbus::MessageBus::new(
+            self.env.clock.clone(),
+            self.env.costs.bus.clone(),
+        )));
+        GuestHost::new(
+            self.env.clock.clone(),
+            IoPath::new(IoPathKind::VirtioBlk, self.env.costs.clone()),
+            &self.env.costs.net,
+            NetMode::ThroughNat,
+            self.env.costs.microvm.mmds_lookup,
+            scratch_bus,
+            scratch_store,
+            default_params.deep_clone(),
+        )
+    }
+
+    /// Runs the install pipeline and returns the snapshot.
+    fn build_snapshot(
+        &mut self,
+        spec: &FunctionSpec,
+        annotated: &Annotated,
+        profile: &RuntimeProfile,
+    ) -> Result<Rc<VmFullSnapshot>, PlatformError> {
+        let clock = self.env.clock.clone();
+        let mut vm = self.mgr.create(MicroVmConfig::default());
+        self.mgr.boot(&mut vm);
+        self.mgr.launch_runtime(
+            &mut vm,
+            profile.clone(),
+            &annotated.source,
+            Some(JitPolicy::AnnotatedEager),
+        )?;
+        let mut host = self.install_host(&spec.default_params);
+        {
+            let rt = vm.runtime_mut().expect("runtime just launched");
+            rt.run_toplevel(&clock, &mut host)?;
+            rt.start(&annotated.entry, Vec::new())?;
+            match rt.run(&clock, &mut host)? {
+                RunOutcome::SnapshotPoint => {}
+                RunOutcome::Done(_) => {
+                    return Err(PlatformError::Other(format!(
+                        "`{}` finished without reaching the snapshot point",
+                        spec.name
+                    )))
+                }
+            }
+            // The warm-up served real requests: the snapshot starts warm.
+            rt.mark_warmed();
+        }
+        let snapshot = Rc::new(self.mgr.snapshot(&mut vm));
+        Ok(snapshot)
+    }
+
+    /// Regenerates a function's snapshot (security refresh / cache-miss
+    /// reinstall). Returns the new snapshot.
+    fn refresh_snapshot(&mut self, name: &str) -> Result<Rc<VmFullSnapshot>, PlatformError> {
+        let entry = self
+            .registry
+            .get(name)
+            .ok_or_else(|| PlatformError::UnknownFunction(name.to_string()))?;
+        let spec = entry.spec.clone();
+        let annotated = entry.annotated.clone();
+        let profile = entry.profile.clone();
+        let t0 = self.env.clock.now();
+        let snapshot = self.build_snapshot(&spec, &annotated, &profile)?;
+        let took = self.env.clock.now() - t0;
+        self.cache.insert(name, snapshot.clone());
+        let entry = self.registry.get_mut(name).expect("checked above");
+        entry.clones_since_snapshot = 0;
+        entry.refreshes += 1;
+        entry.refresh_time += took;
+        Ok(snapshot)
+    }
+
+    /// The common invoke path; returns the invocation and the still-live
+    /// clone.
+    fn invoke_internal(
+        &mut self,
+        name: &str,
+        args: &Value,
+    ) -> Result<(Invocation, ResidentClone), PlatformError> {
+        let clock = self.env.clock.clone();
+        let (default_params, known_working_set, timeout) = {
+            let entry = self
+                .registry
+                .get(name)
+                .ok_or_else(|| PlatformError::UnknownFunction(name.to_string()))?;
+            (
+                entry.spec.default_params.deep_clone(),
+                entry.working_set.clone(),
+                entry.spec.timeout,
+            )
+        };
+
+        let mut trace = Trace::new();
+
+        // Snapshot lookup; on an LRU miss the platform must rebuild it
+        // (the §6 disk-budget trade-off), charged to this invocation as a
+        // labelled start-up span.
+        let snapshot = match self.cache.get(name) {
+            Some(s) => s,
+            None => {
+                let t0 = clock.now();
+                let s = self.refresh_snapshot(name)?;
+                trace.record("snapshot_rebuild", Phase::Startup, t0, clock.now());
+                s
+            }
+        };
+
+        // Parameter passer: produce the arguments into the per-instance
+        // topic before resuming (paper §3.6).
+        let instance = format!("vm-{}", self.next_instance);
+        self.next_instance += 1;
+        trace.scope(&clock, "param_produce", Phase::Other, || {
+            self.env.bus.borrow_mut().produce(
+                &format!("params-{instance}"),
+                args.deep_clone(),
+                args.heap_estimate() as u64,
+            );
+        });
+
+        // Network namespace + NAT for the clone (paper §3.5).
+        let ns = trace.scope(&clock, "netns_setup", Phase::Startup, || {
+            let mut net = self.env.net.borrow_mut();
+            let ns = net.create_namespace();
+            net.attach_tap(ns, GUEST_TAP, GUEST_IP, GUEST_MAC)?;
+            let ext = net.alloc_external_ip(ns)?;
+            net.install_nat(ns, ext, GUEST_IP)?;
+            Ok::<NsId, PlatformError>(ns)
+        })?;
+
+        // Restore the snapshot and set per-instance metadata.
+        let mut vm = trace.scope(&clock, "snapshot_restore", Phase::Startup, || {
+            self.mgr.restore(&snapshot)
+        });
+        vm.mmds_set("instance-id", &instance);
+
+        // Cold-storage paging (the REAP extension, §7): when snapshot
+        // pages are not in the host page cache, the invocation's working
+        // set must come from storage — one major fault per page, or one
+        // bulk prefetch of the recorded set.
+        let mut recorded_ws: Option<WorkingSet> = None;
+        if let PagingPolicy::ColdStorage { reap } = self.paging {
+            let mode = match (&known_working_set, reap) {
+                (_, false) => ReapMode::Off,
+                (Some(_), true) => ReapMode::Prefetch,
+                (None, true) => ReapMode::Record,
+            };
+            let ws = known_working_set.unwrap_or_default();
+            recorded_ws = trace.scope(&clock, "paging", Phase::Exec, || {
+                let mut session = ReapSession::start(&clock, mode, PagingCosts::default(), ws);
+                for (first, count) in vm.working_set_ranges() {
+                    session.touch_range(&clock, first, count);
+                }
+                session.finish()
+            });
+        }
+
+        // Resume right after the snapshot point. Any failure from here on
+        // must tear down the clone's namespace and parameter topic.
+        let mut host = self.guest_host(&default_params);
+        host.mmds_set("instance-id", &instance);
+        let run_result = (|| {
+            let rt = vm
+                .runtime_mut()
+                .ok_or_else(|| PlatformError::Other("snapshot has no runtime".into()))?;
+            if !rt.is_suspended() {
+                return Err(PlatformError::Other(
+                    "snapshot is not suspended at the resume point".into(),
+                ));
+            }
+            // Request-handling framework path (already warmed into the
+            // post-JIT snapshot, so this is the steady-state cost).
+            trace.scope(&clock, "framework", Phase::Exec, || {
+                rt.charge_request_overhead(&clock);
+            });
+            rt.set_invocation_timeout(timeout);
+            loop {
+                match rt.run(&clock, &mut host) {
+                    Ok(RunOutcome::Done(r)) => return Ok(r),
+                    Ok(RunOutcome::SnapshotPoint) => continue,
+                    Err(fireworks_lang::LangError::Timeout { ops }) => {
+                        return Err(PlatformError::Timeout {
+                            function: name.to_string(),
+                            ops,
+                        })
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        })();
+        let result = match run_result {
+            Ok(r) => r,
+            Err(e) => {
+                // Kill the clone: namespace, topic, and VM all go.
+                let _ = self.env.net.borrow_mut().destroy_namespace(ns);
+                self.env
+                    .bus
+                    .borrow_mut()
+                    .delete_topic(&format!("params-{instance}"));
+                return Err(e);
+            }
+        };
+
+        // Copy-on-write page faults of this invocation's write set.
+        let fault_time = trace.scope(&clock, "page_faults", Phase::Exec, || {
+            let t0 = clock.now();
+            vm.sync_runtime_memory();
+            vm.dirty_invocation();
+            clock.now() - t0
+        });
+        let _ = fault_time;
+
+        // Attribute the guest's time: compute to exec, host I/O to others.
+        // The run slice charged `exec_time + external_time` on the clock.
+        let anchor = clock.now();
+        trace.record(
+            "exec",
+            Phase::Exec,
+            anchor - result.exec_time - host.external_time,
+            anchor - host.external_time,
+        );
+        trace.record(
+            "guest_io",
+            Phase::Other,
+            anchor - host.external_time,
+            anchor,
+        );
+
+        let entry = self.registry.get_mut(name).expect("checked at entry");
+        entry.clones_since_snapshot += 1;
+        if let Some(ws) = recorded_ws {
+            entry.working_set = Some(ws);
+        }
+        let needs_refresh = self.security.refresh_after_invocations > 0
+            && entry.clones_since_snapshot >= self.security.refresh_after_invocations;
+
+        let invocation = Invocation {
+            value: result.value,
+            breakdown: trace.breakdown(),
+            trace,
+            start: StartKind::SnapshotRestore,
+            stats: result.stats,
+            printed: host.printed,
+            response: host.responses.into_iter().next_back(),
+        };
+        let clone = ResidentClone { vm, ns, instance };
+
+        // Security maintenance off the invocation path (paper §6).
+        if needs_refresh {
+            self.refresh_snapshot(name)?;
+        }
+
+        Ok((invocation, clone))
+    }
+
+    /// Invokes a function and keeps the clone resident (for memory
+    /// experiments). Release it with [`FireworksPlatform::release_clone`].
+    pub fn invoke_resident(
+        &mut self,
+        name: &str,
+        args: &Value,
+    ) -> Result<(Invocation, ResidentClone), PlatformError> {
+        self.invoke_internal(name, args)
+    }
+
+    /// Tears down a resident clone: namespace, parameter topic, and guest
+    /// memory.
+    pub fn release_clone(&mut self, clone: ResidentClone) {
+        let _ = self.env.net.borrow_mut().destroy_namespace(clone.ns);
+        self.env
+            .bus
+            .borrow_mut()
+            .delete_topic(&format!("params-{}", clone.instance));
+        drop(clone.vm);
+    }
+
+    /// Security audit for an installed function (paper §6).
+    pub fn audit(&self, name: &str) -> Option<SecurityAudit> {
+        let entry = self.registry.get(name)?;
+        Some(SecurityAudit {
+            function: name.to_string(),
+            clones_from_current_snapshot: entry.clones_since_snapshot,
+            shared_aslr_layout: entry.clones_since_snapshot > 0,
+            rng_reseeded_on_restore: self.security.reseed_rng_on_restore,
+            refreshes: entry.refreshes,
+            refresh_time: entry.refresh_time,
+        })
+    }
+
+    /// The install report of a function.
+    pub fn install_report(&self, name: &str) -> Option<&InstallReport> {
+        self.registry.get(name).map(|e| &e.install_report)
+    }
+}
+
+impl Platform for FireworksPlatform {
+    fn name(&self) -> &'static str {
+        "fireworks"
+    }
+
+    fn isolation(&self) -> IsolationLevel {
+        IsolationLevel::Vm
+    }
+
+    fn install(&mut self, spec: &FunctionSpec) -> Result<InstallReport, PlatformError> {
+        let clock = self.env.clock.clone();
+        let t0 = clock.now();
+        let annotated = annotate(&spec.source, &AnnotationConfig::default())?;
+        let profile = RuntimeProfile::for_kind(spec.runtime);
+        let snapshot = self.build_snapshot(spec, &annotated, &profile)?;
+        let report = InstallReport {
+            install_time: clock.now() - t0,
+            snapshot_pages: snapshot.pages(),
+            snapshot_bytes: snapshot.file_bytes(),
+            annotated_functions: annotated.annotated_functions,
+        };
+        self.cache.insert(&spec.name, snapshot);
+        self.registry.insert(
+            spec.name.clone(),
+            FunctionEntry {
+                spec: spec.clone(),
+                annotated,
+                profile,
+                install_report: report.clone(),
+                clones_since_snapshot: 0,
+                refreshes: 0,
+                refresh_time: Nanos::ZERO,
+                working_set: None,
+            },
+        );
+        Ok(report)
+    }
+
+    fn invoke(
+        &mut self,
+        name: &str,
+        args: &Value,
+        _mode: StartMode,
+    ) -> Result<Invocation, PlatformError> {
+        // Fireworks has no cold/warm distinction (§5.1): every invocation
+        // is a snapshot restore.
+        let (invocation, clone) = self.invoke_internal(name, args)?;
+        self.release_clone(clone);
+        Ok(invocation)
+    }
+
+    fn evict(&mut self, _name: &str) {
+        // Fireworks keeps no warm sandboxes; nothing to evict.
+    }
+
+    fn supports_chains(&self) -> bool {
+        true
+    }
+
+    fn invoke_chain(
+        &mut self,
+        names: &[&str],
+        args: &Value,
+        mode: StartMode,
+    ) -> Result<Vec<Invocation>, PlatformError> {
+        crate::api::run_chain(self, names, args, mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fireworks_runtime::RuntimeKind;
+
+    const FACT_SRC: &str = "
+        fn factorize(n) {
+            let factors = [];
+            let d = 2;
+            let m = n;
+            while (d * d <= m) {
+                while (m % d == 0) { push(factors, d); m = m / d; }
+                d = d + 1;
+            }
+            if (m > 1) { push(factors, m); }
+            return factors;
+        }
+        fn main(params) { return len(factorize(params[\"n\"])); }";
+
+    fn spec(name: &str) -> FunctionSpec {
+        FunctionSpec::new(
+            name,
+            FACT_SRC,
+            RuntimeKind::NodeLike,
+            Value::map([("n".to_string(), Value::Int(1_000_003))]),
+        )
+    }
+
+    fn platform() -> FireworksPlatform {
+        FireworksPlatform::new(PlatformEnv::default_env())
+    }
+
+    fn args(n: i64) -> Value {
+        Value::map([("n".to_string(), Value::Int(n))])
+    }
+
+    #[test]
+    fn install_creates_post_jit_snapshot() {
+        let mut p = platform();
+        let report = p.install(&spec("fact")).expect("installs");
+        assert!(report.snapshot_pages > 10_000, "full VM image captured");
+        assert!(report.annotated_functions >= 2);
+        // §5.1: install takes seconds (boot + runtime + JIT + write).
+        assert!(report.install_time.as_secs_f64() > 1.0);
+    }
+
+    #[test]
+    fn invoke_runs_user_function_with_real_arguments() {
+        let mut p = platform();
+        p.install(&spec("fact")).expect("installs");
+        // 360 = 2^3 * 3^2 * 5 → 6 prime factors.
+        let inv = p
+            .invoke("fact", &args(360), StartMode::Auto)
+            .expect("invokes");
+        assert_eq!(inv.value, Value::Int(6));
+        assert_eq!(inv.start, StartKind::SnapshotRestore);
+    }
+
+    #[test]
+    fn startup_is_orders_of_magnitude_below_install() {
+        let mut p = platform();
+        let report = p.install(&spec("fact")).expect("installs");
+        let inv = p
+            .invoke("fact", &args(12345), StartMode::Auto)
+            .expect("invokes");
+        assert!(
+            inv.breakdown.startup.as_nanos() * 20 < report.install_time.as_nanos(),
+            "startup {} vs install {}",
+            inv.breakdown.startup,
+            report.install_time
+        );
+        // Fireworks startup target: tens of ms (§5.2).
+        assert!(inv.breakdown.startup < Nanos::from_millis(80));
+    }
+
+    #[test]
+    fn invocation_executes_jitted_without_compiles() {
+        let mut p = platform();
+        p.install(&spec("fact")).expect("installs");
+        let inv = p
+            .invoke("fact", &args(1_000_003), StartMode::Auto)
+            .expect("invokes");
+        assert_eq!(inv.stats.compiles, 0, "post-JIT: no compile at invoke");
+        assert!(
+            inv.stats.jit_ops > inv.stats.interp_ops,
+            "runs in the JIT tier: {:?}",
+            inv.stats
+        );
+    }
+
+    #[test]
+    fn concurrent_clones_share_memory() {
+        let mut p = platform();
+        p.install(&spec("fact")).expect("installs");
+        let (_, a) = p.invoke_resident("fact", &args(99)).expect("a");
+        let (_, b) = p.invoke_resident("fact", &args(100)).expect("b");
+        // Each clone's private write set (exec state + dirtied heap) is a
+        // small fraction of the image, so PSS sits well below RSS.
+        assert!(
+            (a.pss_bytes() as f64) < 0.65 * a.rss_bytes() as f64,
+            "pss {} vs rss {}",
+            a.pss_bytes(),
+            a.rss_bytes()
+        );
+        assert_ne!(a.instance, b.instance);
+        p.release_clone(a);
+        p.release_clone(b);
+    }
+
+    #[test]
+    fn clones_get_distinct_arguments_despite_identical_memory() {
+        let mut p = platform();
+        p.install(&spec("fact")).expect("installs");
+        let i1 = p.invoke("fact", &args(8), StartMode::Auto).expect("1");
+        let i2 = p.invoke("fact", &args(36), StartMode::Auto).expect("2");
+        assert_eq!(i1.value, Value::Int(3)); // 2*2*2
+        assert_eq!(i2.value, Value::Int(4)); // 2*2*3*3
+    }
+
+    #[test]
+    fn unknown_function_errors() {
+        let mut p = platform();
+        assert!(matches!(
+            p.invoke("ghost", &args(1), StartMode::Auto),
+            Err(PlatformError::UnknownFunction(_))
+        ));
+    }
+
+    #[test]
+    fn cache_eviction_triggers_rebuild_on_invoke() {
+        // Budget fits roughly one snapshot: installing two functions
+        // evicts the first; invoking it must transparently rebuild.
+        let mut p = FireworksPlatform::with_cache_budget(PlatformEnv::default_env(), 200 << 20);
+        p.install(&spec("f1")).expect("installs");
+        p.install(&spec("f2")).expect("installs");
+        assert!(p.cache_evictions() > 0, "budget forced an eviction");
+        let inv = p
+            .invoke("f1", &args(10), StartMode::Auto)
+            .expect("rebuilds");
+        assert_eq!(inv.value, Value::Int(2));
+        assert!(
+            inv.trace.total_for("snapshot_rebuild") > Nanos::ZERO,
+            "rebuild must be visible in the trace"
+        );
+    }
+
+    #[test]
+    fn security_refresh_regenerates_snapshot() {
+        let mut p = platform();
+        p.install(&spec("fact")).expect("installs");
+        p.set_security_policy(SecurityPolicy {
+            reseed_rng_on_restore: true,
+            refresh_after_invocations: 2,
+        });
+        for _ in 0..2 {
+            p.invoke("fact", &args(10), StartMode::Auto).expect("ok");
+        }
+        let audit = p.audit("fact").expect("installed");
+        assert_eq!(audit.refreshes, 1, "refresh after 2 invocations");
+        assert_eq!(audit.clones_from_current_snapshot, 0);
+        assert!(audit.refresh_time > Nanos::ZERO);
+    }
+
+    #[test]
+    fn audit_reports_shared_layout_without_refresh() {
+        let mut p = platform();
+        p.install(&spec("fact")).expect("installs");
+        for _ in 0..3 {
+            p.invoke("fact", &args(10), StartMode::Auto).expect("ok");
+        }
+        let audit = p.audit("fact").expect("installed");
+        assert_eq!(audit.clones_from_current_snapshot, 3);
+        assert!(audit.has_findings(), "shared ASLR across 3 clones");
+    }
+
+    #[test]
+    fn failed_invocations_release_namespace_and_topic() {
+        let mut p = platform();
+        p.install(&FunctionSpec::new(
+            "crashy",
+            "fn main(params) { return 1 / params[\"zero\"]; }",
+            RuntimeKind::NodeLike,
+            Value::map([("zero".to_string(), Value::Int(1))]),
+        ))
+        .expect("installs");
+        let ns_before = p.env().net.borrow().namespace_count();
+        for _ in 0..3 {
+            let err = p.invoke(
+                "crashy",
+                &Value::map([("zero".to_string(), Value::Int(0))]),
+                StartMode::Auto,
+            );
+            assert!(err.is_err());
+        }
+        assert_eq!(
+            p.env().net.borrow().namespace_count(),
+            ns_before,
+            "crashed invocations must not leak namespaces"
+        );
+        // Successful invocations clean up their parameter topics too.
+        p.invoke(
+            "crashy",
+            &Value::map([("zero".to_string(), Value::Int(2))]),
+            StartMode::Auto,
+        )
+        .expect("runs");
+        assert!(
+            !p.env().bus.borrow().has_topic("params-vm-1"),
+            "parameter topics must be deleted after teardown"
+        );
+    }
+
+    #[test]
+    fn cold_storage_paging_faults_and_reap_prefetch_recovers() {
+        let args10 = args(10);
+
+        // Warm page cache: no paging span at all.
+        let mut warm = platform();
+        warm.install(&spec("fact")).expect("installs");
+        let warm_inv = warm.invoke("fact", &args10, StartMode::Auto).expect("ok");
+        assert_eq!(warm_inv.trace.total_for("paging"), Nanos::ZERO);
+
+        // Cold storage without REAP: every invocation faults the whole
+        // working set from storage.
+        let mut cold = platform();
+        cold.install(&spec("fact")).expect("installs");
+        cold.set_paging_policy(PagingPolicy::ColdStorage { reap: false });
+        let c1 = cold.invoke("fact", &args10, StartMode::Auto).expect("ok");
+        let c2 = cold.invoke("fact", &args10, StartMode::Auto).expect("ok");
+        let cold_paging = c1.trace.total_for("paging");
+        assert!(
+            cold_paging > Nanos::from_millis(5),
+            "major faults hurt: {cold_paging}"
+        );
+        assert_eq!(c2.trace.total_for("paging"), cold_paging, "no learning");
+
+        // Cold storage with REAP: first invocation records, later ones
+        // prefetch in one sequential read — much cheaper.
+        let mut reap = platform();
+        reap.install(&spec("fact")).expect("installs");
+        reap.set_paging_policy(PagingPolicy::ColdStorage { reap: true });
+        let r1 = reap.invoke("fact", &args10, StartMode::Auto).expect("ok");
+        let r2 = reap.invoke("fact", &args10, StartMode::Auto).expect("ok");
+        assert_eq!(
+            r1.trace.total_for("paging"),
+            cold_paging,
+            "recording pass pays the same faults"
+        );
+        let prefetch = r2.trace.total_for("paging");
+        assert!(
+            prefetch.as_nanos() * 4 < cold_paging.as_nanos(),
+            "prefetch {prefetch} vs faulting {cold_paging}"
+        );
+        // Results are identical regardless of paging policy.
+        assert_eq!(warm_inv.value, r2.value);
+    }
+
+    #[test]
+    fn chains_are_supported() {
+        let mut p = platform();
+        p.install(&spec("fact")).expect("installs");
+        const WRAP_SRC: &str = "
+            fn main(params) { return { n: params + 1 }; }";
+        // A tiny adapter stage: takes the previous count, passes n+1 on.
+        p.install(&FunctionSpec::new(
+            "wrap",
+            WRAP_SRC,
+            RuntimeKind::NodeLike,
+            Value::Int(1),
+        ))
+        .expect("installs");
+        assert!(p.supports_chains());
+        let results = p
+            .invoke_chain(&["fact", "wrap"], &args(8), StartMode::Auto)
+            .expect("chain runs");
+        assert_eq!(results.len(), 2);
+        // fact(8) = 3 primes → wrap makes { n: 4 }.
+        let Value::Map(m) = &results[1].value else {
+            panic!("map")
+        };
+        assert_eq!(m.borrow()["n"], Value::Int(4));
+    }
+}

@@ -1,0 +1,40 @@
+//! FIREWORKS — a fast, efficient, and safe serverless platform using
+//! VM-level post-JIT snapshots (EuroSys '22 reproduction).
+//!
+//! The platform has two phases (paper Fig. 2):
+//!
+//! **Install** ([`FireworksPlatform::install`]): the code annotator
+//! rewrites the user's function (`@jit` on every function, a JIT warm-up
+//! driver, the snapshot request, and the parameter-fetch prologue); a
+//! microVM is created and booted; the annotated program runs until it has
+//! JIT-compiled the user code and requests a snapshot; the full VM —
+//! guest memory, runtime state, and JIT code cache — is written to a
+//! snapshot file.
+//!
+//! **Invoke** ([`FireworksPlatform::invoke`]): the invoker produces the
+//! request arguments into a per-instance message-bus topic, sets up a
+//! network namespace with NAT for the clone, restores the snapshot
+//! (copy-on-write shared with every other clone), sets the instance id in
+//! MMDS, and resumes the VM right after the snapshot point; the guest
+//! fetches its identity and arguments and enters the user function —
+//! already JIT-compiled, with no boot, load, or compile cost.
+//!
+//! The [`api`] module defines the [`api::Platform`] trait shared with the
+//! `fireworks-baselines` crate, and [`host::GuestHost`] is the common
+//! embedding that serves guest I/O against the sandbox's data path.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod api;
+pub mod audit;
+pub mod cache;
+pub mod env;
+pub mod fireworks;
+pub mod host;
+
+pub use api::{
+    FunctionSpec, InstallReport, Invocation, Platform, PlatformError, StartKind, StartMode,
+};
+pub use env::PlatformEnv;
+pub use fireworks::{FireworksPlatform, PagingPolicy, ResidentClone};

@@ -1,0 +1,27 @@
+//! Guest physical memory for the Fireworks simulation.
+//!
+//! This crate reproduces the memory mechanism the paper's density results
+//! (Figs. 10 and 12) depend on: microVM snapshots are mapped `MAP_PRIVATE`,
+//! so all clones share guest-physical frames until a guest write triggers a
+//! copy-on-write fault, and Linux's *proportional set size* (PSS) charges a
+//! frame shared by `N` mappers as `1/N` to each.
+//!
+//! The pieces:
+//!
+//! - [`HostMemory`]: the host frame table with reference-counted 4 KiB
+//!   frames, CoW, and a `vm.swappiness`-style swap-onset model.
+//! - [`AddressSpace`]: one microVM's guest-physical address space — a page
+//!   table over host frames with real byte contents where written.
+//! - [`SnapshotFile`]: a pinned set of frames plus an opaque device-state
+//!   blob; restoring maps every frame shared into a fresh address space.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod addr;
+pub mod host;
+pub mod snapshot;
+
+pub use addr::AddressSpace;
+pub use host::{FrameId, HostMemory, MemoryStats, PAGE_SIZE};
+pub use snapshot::SnapshotFile;

@@ -1,0 +1,132 @@
+//! Property-based tests for guest memory invariants.
+
+use fireworks_guestmem::{AddressSpace, HostMemory, SnapshotFile, PAGE_SIZE};
+use fireworks_sim::Clock;
+use proptest::prelude::*;
+
+fn host() -> HostMemory {
+    HostMemory::new(Clock::new(), 1 << 32, 60)
+}
+
+const SPACE_BYTES: u64 = 64 * PAGE_SIZE as u64;
+
+/// A mirror write: (address, bytes).
+fn write_strategy() -> impl Strategy<Value = (u64, Vec<u8>)> {
+    (0..SPACE_BYTES - 512).prop_flat_map(|addr| {
+        (
+            Just(addr),
+            proptest::collection::vec(any::<u8>(), 1..256usize),
+        )
+    })
+}
+
+proptest! {
+    /// Guest memory behaves exactly like a flat byte array.
+    #[test]
+    fn memory_matches_flat_mirror(writes in proptest::collection::vec(write_strategy(), 1..40)) {
+        let mut vm = AddressSpace::new(host(), SPACE_BYTES);
+        let mut mirror = vec![0u8; SPACE_BYTES as usize];
+        for (addr, bytes) in &writes {
+            vm.write(*addr, bytes);
+            mirror[*addr as usize..*addr as usize + bytes.len()].copy_from_slice(bytes);
+        }
+        let mut buf = vec![0u8; SPACE_BYTES as usize];
+        vm.read(0, &mut buf);
+        prop_assert_eq!(buf, mirror);
+    }
+
+    /// Restored clones see the snapshot contents, and clone writes never
+    /// alter the snapshot or sibling clones.
+    #[test]
+    fn snapshot_isolation(
+        base in proptest::collection::vec(write_strategy(), 1..20),
+        clone_writes in proptest::collection::vec(write_strategy(), 1..20),
+    ) {
+        let h = host();
+        let mut src = AddressSpace::new(h.clone(), SPACE_BYTES);
+        let mut mirror = vec![0u8; SPACE_BYTES as usize];
+        for (addr, bytes) in &base {
+            src.write(*addr, bytes);
+            mirror[*addr as usize..*addr as usize + bytes.len()].copy_from_slice(bytes);
+        }
+        let snap = SnapshotFile::capture(&src, Vec::new());
+        drop(src);
+
+        let mut a = snap.restore(&h);
+        let b = snap.restore(&h);
+        for (addr, bytes) in &clone_writes {
+            a.write(*addr, bytes);
+        }
+        // Clone b still sees the unmodified snapshot contents.
+        let mut buf = vec![0u8; SPACE_BYTES as usize];
+        b.read(0, &mut buf);
+        prop_assert_eq!(&buf, &mirror);
+        // A third restore also sees the snapshot contents.
+        let c = snap.restore(&h);
+        c.read(0, &mut buf);
+        prop_assert_eq!(&buf, &mirror);
+    }
+
+    /// PSS of all mappers sums to the host's live frame bytes for frames
+    /// mapped by at least one space (conservation of accounted memory).
+    #[test]
+    fn pss_is_conserved(
+        base_pages in 1usize..32,
+        clones in 1usize..6,
+        dirty_pages in 0usize..16,
+    ) {
+        let h = host();
+        let mut src = AddressSpace::new(h.clone(), SPACE_BYTES);
+        src.touch_dirty(0, (base_pages * PAGE_SIZE) as u64);
+        let snap = SnapshotFile::capture(&src, Vec::new());
+        drop(src);
+
+        let mut spaces = Vec::new();
+        for i in 0..clones {
+            let mut s = snap.restore(&h);
+            if i == 0 {
+                let d = dirty_pages.min(base_pages);
+                s.touch_dirty(0, (d * PAGE_SIZE) as u64);
+            }
+            spaces.push(s);
+        }
+        let pss_sum: u64 = spaces.iter().map(|s| s.pss_bytes()).sum();
+        // PSS must sum to the bytes of the distinct frames that are mapped
+        // by at least one space (a CoW'd snapshot frame may survive with a
+        // file pin only — it is resident but charged to nobody, exactly
+        // like a page-cache page with no mappers).
+        let mut unique = std::collections::HashSet::new();
+        for s in &spaces {
+            for (_, f) in s.mapped() {
+                unique.insert(f);
+            }
+        }
+        let mapped_bytes = unique.len() as u64 * PAGE_SIZE as u64;
+        let tolerance = unique.len() as u64;
+        prop_assert!(
+            pss_sum.abs_diff(mapped_bytes) <= tolerance,
+            "pss {pss_sum} vs mapped {mapped_bytes}"
+        );
+    }
+
+    /// Releasing every space and snapshot frees all host frames.
+    #[test]
+    fn no_frame_leaks(
+        pages in 1usize..32,
+        clones in 0usize..5,
+    ) {
+        let h = host();
+        {
+            let mut src = AddressSpace::new(h.clone(), SPACE_BYTES);
+            src.touch_dirty(0, (pages * PAGE_SIZE) as u64);
+            let snap = SnapshotFile::capture(&src, Vec::new());
+            let mut spaces = Vec::new();
+            for _ in 0..clones {
+                let mut s = snap.restore(&h);
+                s.touch_dirty(0, PAGE_SIZE as u64);
+                spaces.push(s);
+            }
+        }
+        prop_assert_eq!(h.live_frames(), 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! The Flame abstract syntax tree.
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (numeric addition or string/array concatenation).
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/`.
+    Div,
+    /// `%`.
+    Mod,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Numeric negation.
+    Neg,
+    /// Boolean not.
+    Not,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// Variable reference.
+    Var(String),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Short-circuit `&&`.
+    And(Box<Expr>, Box<Expr>),
+    /// Short-circuit `||`.
+    Or(Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// Function or builtin call: `callee(args...)`.
+    Call {
+        /// Called function name.
+        callee: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Indexing: `base[index]`.
+    Index {
+        /// Indexed expression.
+        base: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// Array literal.
+    Array(Vec<Expr>),
+    /// Map literal: `{ "k": v, ... }` (keys are string literals or idents).
+    Map(Vec<(String, Expr)>),
+}
+
+/// An assignment target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// Plain variable.
+    Var(String),
+    /// Indexed location: `base[index] = ...`.
+    Index {
+        /// Indexed expression.
+        base: Expr,
+        /// Index expression.
+        index: Expr,
+    },
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let name = expr;`.
+    Let {
+        /// Variable name.
+        name: String,
+        /// Initialiser.
+        value: Expr,
+    },
+    /// `target = expr;`.
+    Assign {
+        /// Assignment target.
+        target: Target,
+        /// New value.
+        value: Expr,
+    },
+    /// Expression statement (value discarded).
+    Expr(Expr),
+    /// `if (cond) { .. } else { .. }`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+    /// `while (cond) { .. }`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `for (init; cond; step) { .. }` — desugared by the parser into a
+    /// scoped `init` + `while`.
+    For {
+        /// Initialiser statement.
+        init: Box<Stmt>,
+        /// Condition.
+        cond: Expr,
+        /// Step statement.
+        step: Box<Stmt>,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `return expr;` (or `return;` which yields `null`).
+    Return(Option<Expr>),
+    /// `break;`.
+    Break,
+    /// `continue;`.
+    Continue,
+}
+
+/// A top-level function declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnDecl {
+    /// Function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Whether the declaration carries the `@jit` annotation (added by the
+    /// Fireworks code annotator, honoured by annotation-driven JIT
+    /// policies like the Numba-style Python profile).
+    pub jit_hint: bool,
+}
+
+/// A top-level item. Flame programs are a list of function declarations
+/// plus optional top-level statements (run in order as the module body,
+/// like a Python script).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// A function declaration.
+    Fn(FnDecl),
+    /// A top-level statement.
+    Stmt(Stmt),
+}

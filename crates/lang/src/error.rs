@@ -1,0 +1,103 @@
+//! Error types for every stage of the Flame pipeline.
+
+use std::fmt;
+
+/// Source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Any error produced while lexing, parsing, compiling, or running Flame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangError {
+    /// Lexical error (bad character, unterminated string, ...).
+    Lex {
+        /// Where the error occurred.
+        pos: Pos,
+        /// What went wrong.
+        message: String,
+    },
+    /// Syntax error.
+    Parse {
+        /// Where the error occurred.
+        pos: Pos,
+        /// What went wrong.
+        message: String,
+    },
+    /// Semantic/compile error (unknown variable, duplicate function, ...).
+    Compile {
+        /// What went wrong.
+        message: String,
+    },
+    /// Runtime error (type error, missing key, arity mismatch, ...).
+    Runtime {
+        /// What went wrong.
+        message: String,
+    },
+    /// The execution budget (fuel) was exhausted — the serverless
+    /// platform's invocation timeout.
+    Timeout {
+        /// Ops retired before the budget ran out.
+        ops: u64,
+    },
+}
+
+impl LangError {
+    /// Builds a runtime error from a message.
+    pub fn runtime(message: impl Into<String>) -> Self {
+        LangError::Runtime {
+            message: message.into(),
+        }
+    }
+
+    /// Builds a compile error from a message.
+    pub fn compile(message: impl Into<String>) -> Self {
+        LangError::Compile {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { pos, message } => write!(f, "lex error at {pos}: {message}"),
+            LangError::Parse { pos, message } => write!(f, "parse error at {pos}: {message}"),
+            LangError::Compile { message } => write!(f, "compile error: {message}"),
+            LangError::Runtime { message } => write!(f, "runtime error: {message}"),
+            LangError::Timeout { ops } => {
+                write!(f, "execution budget exhausted after {ops} ops")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_stage_and_position() {
+        let e = LangError::Lex {
+            pos: Pos { line: 3, col: 7 },
+            message: "bad char".into(),
+        };
+        assert_eq!(e.to_string(), "lex error at 3:7: bad char");
+        assert_eq!(
+            LangError::runtime("boom").to_string(),
+            "runtime error: boom"
+        );
+    }
+}

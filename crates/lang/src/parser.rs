@@ -1,0 +1,606 @@
+//! Recursive-descent parser for Flame.
+
+use crate::ast::{BinOp, Expr, FnDecl, Item, Stmt, Target, UnOp};
+use crate::error::{LangError, Pos};
+use crate::lexer::{Token, TokenKind};
+
+struct Parser {
+    tokens: Vec<Token>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.i].kind
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens[self.i].pos
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.i].kind.clone();
+        if self.i + 1 < self.tokens.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> LangError {
+        LangError::Parse {
+            pos: self.pos(),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), LangError> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, LangError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    // ---- items ----------------------------------------------------------
+
+    fn items(&mut self) -> Result<Vec<Item>, LangError> {
+        let mut items = Vec::new();
+        while *self.peek() != TokenKind::Eof {
+            items.push(self.item()?);
+        }
+        Ok(items)
+    }
+
+    fn item(&mut self) -> Result<Item, LangError> {
+        let jit_hint = self.eat(&TokenKind::AtJit);
+        if *self.peek() == TokenKind::Fn {
+            return Ok(Item::Fn(self.fn_decl(jit_hint)?));
+        }
+        if jit_hint {
+            return Err(self.err("@jit must precede a function declaration"));
+        }
+        Ok(Item::Stmt(self.stmt()?))
+    }
+
+    fn fn_decl(&mut self, jit_hint: bool) -> Result<FnDecl, LangError> {
+        self.expect(&TokenKind::Fn, "`fn`")?;
+        let name = self.ident("function name")?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                params.push(self.ident("parameter name")?);
+                if self.eat(&TokenKind::RParen) {
+                    break;
+                }
+                self.expect(&TokenKind::Comma, "`,`")?;
+            }
+        }
+        let body = self.block()?;
+        Ok(FnDecl {
+            name,
+            params,
+            body,
+            jit_hint,
+        })
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    fn block(&mut self) -> Result<Vec<Stmt>, LangError> {
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            if *self.peek() == TokenKind::Eof {
+                return Err(self.err("unclosed block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        match self.peek() {
+            TokenKind::Let => {
+                self.bump();
+                let name = self.ident("variable name")?;
+                self.expect(&TokenKind::Assign, "`=`")?;
+                let value = self.expr()?;
+                self.expect(&TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Let { name, value })
+            }
+            TokenKind::If => self.if_stmt(),
+            TokenKind::While => {
+                self.bump();
+                self.expect(&TokenKind::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            TokenKind::For => self.for_stmt(),
+            TokenKind::Return => {
+                self.bump();
+                if self.eat(&TokenKind::Semi) {
+                    Ok(Stmt::Return(None))
+                } else {
+                    let value = self.expr()?;
+                    self.expect(&TokenKind::Semi, "`;`")?;
+                    Ok(Stmt::Return(Some(value)))
+                }
+            }
+            TokenKind::Break => {
+                self.bump();
+                self.expect(&TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Break)
+            }
+            TokenKind::Continue => {
+                self.bump();
+                self.expect(&TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Continue)
+            }
+            _ => {
+                let stmt = self.simple_stmt()?;
+                self.expect(&TokenKind::Semi, "`;`")?;
+                Ok(stmt)
+            }
+        }
+    }
+
+    /// An expression or assignment statement, without the trailing `;`
+    /// (shared by regular statements and `for` headers).
+    fn simple_stmt(&mut self) -> Result<Stmt, LangError> {
+        let expr = self.expr()?;
+        if self.eat(&TokenKind::Assign) {
+            let value = self.expr()?;
+            let target = match expr {
+                Expr::Var(name) => Target::Var(name),
+                Expr::Index { base, index } => Target::Index {
+                    base: *base,
+                    index: *index,
+                },
+                _ => return Err(self.err("invalid assignment target")),
+            };
+            Ok(Stmt::Assign { target, value })
+        } else {
+            Ok(Stmt::Expr(expr))
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, LangError> {
+        self.expect(&TokenKind::If, "`if`")?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::RParen, "`)`")?;
+        let then_body = self.block()?;
+        let else_body = if self.eat(&TokenKind::Else) {
+            if *self.peek() == TokenKind::If {
+                vec![self.if_stmt()?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        })
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, LangError> {
+        self.expect(&TokenKind::For, "`for`")?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let init = if *self.peek() == TokenKind::Let {
+            self.bump();
+            let name = self.ident("variable name")?;
+            self.expect(&TokenKind::Assign, "`=`")?;
+            let value = self.expr()?;
+            Stmt::Let { name, value }
+        } else {
+            self.simple_stmt()?
+        };
+        self.expect(&TokenKind::Semi, "`;`")?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::Semi, "`;`")?;
+        let step = self.simple_stmt()?;
+        self.expect(&TokenKind::RParen, "`)`")?;
+        let body = self.block()?;
+        Ok(Stmt::For {
+            init: Box::new(init),
+            cond,
+            step: Box::new(step),
+            body,
+        })
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.equality()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.equality()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.comparison()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::EqEq => BinOp::Eq,
+                TokenKind::NotEq => BinOp::Ne,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.comparison()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.term()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.factor()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn factor(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Mod,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, LangError> {
+        match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    operand: Box::new(self.unary()?),
+                })
+            }
+            TokenKind::Bang => {
+                self.bump();
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    operand: Box::new(self.unary()?),
+                })
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, LangError> {
+        let mut expr = self.primary()?;
+        loop {
+            match self.peek() {
+                TokenKind::LBracket => {
+                    self.bump();
+                    let index = self.expr()?;
+                    self.expect(&TokenKind::RBracket, "`]`")?;
+                    expr = Expr::Index {
+                        base: Box::new(expr),
+                        index: Box::new(index),
+                    };
+                }
+                TokenKind::Dot => {
+                    self.bump();
+                    let field = self.ident("field name")?;
+                    expr = Expr::Index {
+                        base: Box::new(expr),
+                        index: Box::new(Expr::Str(field)),
+                    };
+                }
+                _ => return Ok(expr),
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, LangError> {
+        match self.bump() {
+            TokenKind::Int(v) => Ok(Expr::Int(v)),
+            TokenKind::Float(v) => Ok(Expr::Float(v)),
+            TokenKind::Str(s) => Ok(Expr::Str(s)),
+            TokenKind::Bool(b) => Ok(Expr::Bool(b)),
+            TokenKind::Null => Ok(Expr::Null),
+            TokenKind::Ident(name) => {
+                if *self.peek() == TokenKind::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&TokenKind::RParen) {
+                                break;
+                            }
+                            self.expect(&TokenKind::Comma, "`,`")?;
+                        }
+                    }
+                    Ok(Expr::Call { callee: name, args })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            TokenKind::LBracket => {
+                let mut items = Vec::new();
+                if !self.eat(&TokenKind::RBracket) {
+                    loop {
+                        items.push(self.expr()?);
+                        if self.eat(&TokenKind::RBracket) {
+                            break;
+                        }
+                        self.expect(&TokenKind::Comma, "`,`")?;
+                    }
+                }
+                Ok(Expr::Array(items))
+            }
+            TokenKind::LBrace => {
+                let mut entries = Vec::new();
+                if !self.eat(&TokenKind::RBrace) {
+                    loop {
+                        let key = match self.bump() {
+                            TokenKind::Str(s) => s,
+                            TokenKind::Ident(s) => s,
+                            other => {
+                                return Err(self.err(format!("expected map key, found {other:?}")))
+                            }
+                        };
+                        self.expect(&TokenKind::Colon, "`:`")?;
+                        let value = self.expr()?;
+                        entries.push((key, value));
+                        if self.eat(&TokenKind::RBrace) {
+                            break;
+                        }
+                        self.expect(&TokenKind::Comma, "`,`")?;
+                    }
+                }
+                Ok(Expr::Map(entries))
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+/// Parses a token stream into top-level items.
+pub fn parse(tokens: Vec<Token>) -> Result<Vec<Item>, LangError> {
+    assert!(
+        matches!(tokens.last(), Some(t) if t.kind == TokenKind::Eof),
+        "token stream must end with Eof"
+    );
+    let mut p = Parser { tokens, i: 0 };
+    p.items()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Vec<Item> {
+        parse(lex(src).expect("lexes")).expect("parses")
+    }
+
+    #[test]
+    fn parses_function_with_params() {
+        let items = parse_src("fn add(a, b) { return a + b; }");
+        let Item::Fn(f) = &items[0] else {
+            panic!("expected fn")
+        };
+        assert_eq!(f.name, "add");
+        assert_eq!(f.params, vec!["a", "b"]);
+        assert!(!f.jit_hint);
+        assert_eq!(f.body.len(), 1);
+    }
+
+    #[test]
+    fn parses_jit_annotation() {
+        let items = parse_src("@jit fn hot() { return 1; }");
+        let Item::Fn(f) = &items[0] else {
+            panic!("expected fn")
+        };
+        assert!(f.jit_hint);
+    }
+
+    #[test]
+    fn jit_annotation_requires_fn() {
+        let toks = lex("@jit let x = 1;").expect("lexes");
+        assert!(parse(toks).is_err());
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let items = parse_src("let x = 1 + 2 * 3;");
+        let Item::Stmt(Stmt::Let { value, .. }) = &items[0] else {
+            panic!("expected let")
+        };
+        let Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = value
+        else {
+            panic!("expected add at top, got {value:?}")
+        };
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn comparison_binds_looser_than_arithmetic() {
+        let items = parse_src("let x = a + 1 < b * 2;");
+        let Item::Stmt(Stmt::Let { value, .. }) = &items[0] else {
+            panic!("expected let")
+        };
+        assert!(matches!(value, Expr::Binary { op: BinOp::Lt, .. }));
+    }
+
+    #[test]
+    fn logical_operators_short_circuit_shape() {
+        let items = parse_src("let x = a && b || c;");
+        let Item::Stmt(Stmt::Let { value, .. }) = &items[0] else {
+            panic!("expected let")
+        };
+        assert!(matches!(value, Expr::Or(..)));
+    }
+
+    #[test]
+    fn member_access_desugars_to_index() {
+        let items = parse_src("let x = obj.field;");
+        let Item::Stmt(Stmt::Let { value, .. }) = &items[0] else {
+            panic!("expected let")
+        };
+        let Expr::Index { index, .. } = value else {
+            panic!("expected index")
+        };
+        assert_eq!(**index, Expr::Str("field".into()));
+    }
+
+    #[test]
+    fn parses_for_loop() {
+        let items = parse_src("for (let i = 0; i < 10; i = i + 1) { print(i); }");
+        assert!(matches!(items[0], Item::Stmt(Stmt::For { .. })));
+    }
+
+    #[test]
+    fn parses_if_else_if_chain() {
+        let items = parse_src("if (a) { } else if (b) { } else { let c = 1; }");
+        let Item::Stmt(Stmt::If { else_body, .. }) = &items[0] else {
+            panic!("expected if")
+        };
+        assert!(matches!(else_body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn parses_array_and_map_literals() {
+        let items = parse_src(r#"let x = [1, 2, [3]]; let y = { a: 1, "b c": 2 };"#);
+        assert_eq!(items.len(), 2);
+        let Item::Stmt(Stmt::Let { value, .. }) = &items[1] else {
+            panic!("expected let")
+        };
+        let Expr::Map(entries) = value else {
+            panic!("expected map")
+        };
+        assert_eq!(entries[1].0, "b c");
+    }
+
+    #[test]
+    fn parses_index_assignment() {
+        let items = parse_src("m[\"k\"] = 5;");
+        assert!(matches!(
+            items[0],
+            Item::Stmt(Stmt::Assign {
+                target: Target::Index { .. },
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_assignment_target() {
+        let toks = lex("1 + 2 = 3;").expect("lexes");
+        assert!(parse(toks).is_err());
+    }
+
+    #[test]
+    fn rejects_unclosed_block() {
+        let toks = lex("fn f() { let x = 1;").expect("lexes");
+        assert!(parse(toks).is_err());
+    }
+
+    #[test]
+    fn return_without_value() {
+        let items = parse_src("fn f() { return; }");
+        let Item::Fn(f) = &items[0] else {
+            panic!("expected fn")
+        };
+        assert_eq!(f.body[0], Stmt::Return(None));
+    }
+}

@@ -1,0 +1,125 @@
+//! Differential property tests: the JIT tier must be observationally
+//! equivalent to the interpreter on randomly generated programs.
+
+use std::rc::Rc;
+
+use fireworks_lang::{compile, JitPolicy, NoopHost, Outcome, Value, Vm};
+use proptest::prelude::*;
+
+/// Generates a small arithmetic expression over locals `a`, `b`, `c`.
+fn expr_strategy() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        (0i64..100).prop_map(|v| v.to_string()),
+        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(str::to_string),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        (
+            inner.clone(),
+            prop_oneof![Just("+"), Just("-"), Just("*")].prop_map(str::to_string),
+            inner,
+        )
+            .prop_map(|(l, op, r)| format!("({l} {op} {r})"))
+    })
+}
+
+fn run(src: &str, arg: i64, policy: JitPolicy) -> Result<Value, String> {
+    let program = Rc::new(compile(src).map_err(|e| e.to_string())?);
+    let mut vm = Vm::with_policy(program, policy);
+    vm.start("main", vec![Value::Int(arg)])
+        .map_err(|e| e.to_string())?;
+    // Resume through any snapshot points until completion.
+    loop {
+        match vm.run(&mut NoopHost).map_err(|e| e.to_string())? {
+            Outcome::Done(v) => return Ok(v),
+            Outcome::Snapshot => continue,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A hot loop over a random expression gives identical results with
+    /// the JIT on (low thresholds) and off.
+    #[test]
+    fn jit_matches_interpreter(expr in expr_strategy(), n in 50i64..400, seed in 0i64..50) {
+        let src = format!(
+            "fn body(a, b, c) {{ return {expr}; }}
+             fn main(n) {{
+                 let t = 0;
+                 for (let i = 0; i < n; i = i + 1) {{
+                     t = t + body(i, i % 7, {seed});
+                 }}
+                 return t;
+             }}"
+        );
+        let jit = run(
+            &src,
+            n,
+            JitPolicy::HotSpot { call_threshold: 2, loop_threshold: 4 },
+        );
+        let interp = run(&src, n, JitPolicy::Off);
+        prop_assert_eq!(jit, interp);
+    }
+
+    /// Snapshot/resume in the middle of a computation never changes the
+    /// final result, for original and clone alike.
+    #[test]
+    fn snapshot_resume_is_transparent(expr in expr_strategy(), n in 10i64..120) {
+        let src = format!(
+            "fn body(a, b, c) {{ return {expr}; }}
+             fn main(n) {{
+                 let t = 0;
+                 for (let i = 0; i < n; i = i + 1) {{ t = t + body(i, i, i); }}
+                 fireworks_snapshot();
+                 for (let i = 0; i < n; i = i + 1) {{ t = t + body(i, i, i); }}
+                 return t;
+             }}"
+        );
+        // Straight-through reference run (snapshot op is a no-op value-wise).
+        let reference = run(&src, n, JitPolicy::Off).expect("reference runs");
+
+        let program = Rc::new(compile(&src).expect("compiles"));
+        let mut vm = Vm::with_policy(
+            program,
+            JitPolicy::HotSpot { call_threshold: 2, loop_threshold: 4 },
+        );
+        vm.start("main", vec![Value::Int(n)]).expect("starts");
+        let out = vm.run(&mut NoopHost).expect("runs to snapshot");
+        prop_assert_eq!(out, Outcome::Snapshot);
+        let snap = vm.snapshot_state();
+
+        let mut clone = Vm::from_snapshot(&snap);
+        let Outcome::Done(from_clone) = clone.run(&mut NoopHost).expect("clone runs") else {
+            panic!("clone must finish");
+        };
+        let Outcome::Done(from_original) = vm.run(&mut NoopHost).expect("original runs") else {
+            panic!("original must finish");
+        };
+        prop_assert_eq!(&from_clone, &reference);
+        prop_assert_eq!(&from_original, &reference);
+    }
+
+    /// Deopt storms (argument types flipping between int and string per
+    /// call) still produce correct results.
+    #[test]
+    fn deopt_preserves_semantics(n in 20i64..200) {
+        let src = "
+            fn add(a, b) { return a + b; }
+            fn main(n) {
+                let ints = 0;
+                let strs = \"\";
+                for (let i = 0; i < n; i = i + 1) {
+                    if (i % 3 == 0) {
+                        strs = add(strs, \"x\");
+                    } else {
+                        ints = add(ints, i);
+                    }
+                }
+                return str(ints) + \":\" + str(len(strs));
+            }";
+        let jit = run(src, n, JitPolicy::HotSpot { call_threshold: 2, loop_threshold: 4 });
+        let interp = run(src, n, JitPolicy::Off);
+        prop_assert_eq!(jit, interp);
+    }
+}

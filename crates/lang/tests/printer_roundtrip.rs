@@ -1,0 +1,170 @@
+//! Property test: printing any AST and re-parsing it yields the same AST
+//! (`parse ∘ print = id`), over randomly generated Flame programs.
+
+use fireworks_lang::ast::{BinOp, Expr, FnDecl, Item, Stmt, Target, UnOp};
+use fireworks_lang::{lexer, parser, printer};
+use proptest::prelude::*;
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    // Avoid keywords and reserved names.
+    "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
+        !matches!(
+            s.as_str(),
+            "fn" | "let"
+                | "if"
+                | "else"
+                | "while"
+                | "for"
+                | "return"
+                | "break"
+                | "continue"
+                | "true"
+                | "false"
+                | "null"
+        )
+    })
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        // Non-negative only: the parser never produces negative literals
+        // (unary minus parses as `Unary { Neg, .. }`).
+        (0i64..i64::MAX).prop_map(Expr::Int),
+        // Floats restricted to values that survive text round-trips
+        // exactly and are not negative (unary minus parses as Unary).
+        (0u32..10_000).prop_map(|v| Expr::Float(f64::from(v) / 8.0)),
+        "[ -~&&[^\"\\\\]]{0,12}".prop_map(Expr::Str),
+        any::<bool>().prop_map(Expr::Bool),
+        Just(Expr::Null),
+        ident_strategy().prop_map(Expr::Var),
+    ];
+    leaf.prop_recursive(3, 40, 4, |inner| {
+        let bin_op = prop_oneof![
+            Just(BinOp::Add),
+            Just(BinOp::Sub),
+            Just(BinOp::Mul),
+            Just(BinOp::Div),
+            Just(BinOp::Mod),
+            Just(BinOp::Eq),
+            Just(BinOp::Ne),
+            Just(BinOp::Lt),
+            Just(BinOp::Le),
+            Just(BinOp::Gt),
+            Just(BinOp::Ge),
+        ];
+        prop_oneof![
+            (bin_op, inner.clone(), inner.clone()).prop_map(|(op, l, r)| Expr::Binary {
+                op,
+                lhs: Box::new(l),
+                rhs: Box::new(r),
+            }),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::And(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Or(Box::new(l), Box::new(r))),
+            (prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)], inner.clone()).prop_map(
+                |(op, operand)| Expr::Unary {
+                    op,
+                    operand: Box::new(operand),
+                }
+            ),
+            (
+                ident_strategy(),
+                proptest::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(callee, args)| Expr::Call { callee, args }),
+            (inner.clone(), inner.clone()).prop_map(|(base, index)| Expr::Index {
+                base: Box::new(base),
+                index: Box::new(index),
+            }),
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Expr::Array),
+            proptest::collection::vec(("[a-z]{1,6}".prop_map(String::from), inner), 0..3)
+                .prop_map(Expr::Map),
+        ]
+    })
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        (ident_strategy(), expr_strategy()).prop_map(|(name, value)| Stmt::Let { name, value }),
+        (ident_strategy(), expr_strategy()).prop_map(|(name, value)| Stmt::Assign {
+            target: Target::Var(name),
+            value,
+        }),
+        (expr_strategy(), expr_strategy(), expr_strategy()).prop_map(|(base, index, value)| {
+            Stmt::Assign {
+                target: Target::Index { base, index },
+                value,
+            }
+        }),
+        expr_strategy().prop_map(Stmt::Expr),
+        proptest::option::of(expr_strategy()).prop_map(Stmt::Return),
+    ];
+    leaf.prop_recursive(2, 16, 3, |inner| {
+        prop_oneof![
+            (
+                expr_strategy(),
+                proptest::collection::vec(inner.clone(), 0..3),
+                proptest::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(cond, then_body, else_body)| Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                }),
+            (
+                expr_strategy(),
+                proptest::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(cond, body)| Stmt::While { cond, body }),
+            (
+                (ident_strategy(), expr_strategy()),
+                expr_strategy(),
+                (ident_strategy(), expr_strategy()),
+                proptest::collection::vec(inner, 0..2)
+            )
+                .prop_map(|((iname, ival), cond, (sname, sval), body)| Stmt::For {
+                    init: Box::new(Stmt::Let {
+                        name: iname,
+                        value: ival,
+                    }),
+                    cond,
+                    step: Box::new(Stmt::Assign {
+                        target: Target::Var(sname),
+                        value: sval,
+                    }),
+                    body,
+                }),
+        ]
+    })
+}
+
+fn item_strategy() -> impl Strategy<Value = Item> {
+    prop_oneof![
+        (
+            ident_strategy(),
+            proptest::collection::vec(ident_strategy(), 0..3),
+            proptest::collection::vec(stmt_strategy(), 0..4),
+            any::<bool>()
+        )
+            .prop_map(|(name, params, body, jit_hint)| Item::Fn(FnDecl {
+                name,
+                params,
+                body,
+                jit_hint,
+            })),
+        stmt_strategy().prop_map(Item::Stmt),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn print_then_parse_is_identity(items in proptest::collection::vec(item_strategy(), 1..5)) {
+        let printed = printer::print_items(&items);
+        let tokens = lexer::lex(&printed)
+            .unwrap_or_else(|e| panic!("printed source must lex: {e}\n{printed}"));
+        let reparsed = parser::parse(tokens)
+            .unwrap_or_else(|e| panic!("printed source must parse: {e}\n{printed}"));
+        prop_assert_eq!(&items, &reparsed, "round trip changed the AST:\n{}", printed);
+    }
+}

@@ -1,0 +1,27 @@
+//! A Firecracker-style microVM layer.
+//!
+//! [`VmManager`] creates, boots, pauses, resumes, snapshots, and restores
+//! [`MicroVm`]s. A microVM couples:
+//!
+//! - a guest-physical [`fireworks_guestmem::AddressSpace`] whose pages are
+//!   shared copy-on-write with snapshot files,
+//! - a [`fireworks_runtime::GuestRuntime`] (language runtime + loaded
+//!   function) whose regions are laid out in that address space,
+//! - an MMDS-style metadata map, set from the host per instance (this is
+//!   how restored clones learn their identity, paper §3.5/3.6).
+//!
+//! Boot charges the VMM-setup → kernel-boot → guest-init pipeline;
+//! snapshot creation charges per resident page written; restore charges a
+//! small fixed cost plus lazy page mapping — the asymmetry at the heart of
+//! the paper's start-up results.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod manager;
+pub mod reap;
+pub mod vm;
+
+pub use manager::VmManager;
+pub use reap::{PagingCosts, ReapMode, ReapSession, WorkingSet};
+pub use vm::{MicroVm, MicroVmConfig, VmFullSnapshot, VmState};

@@ -1,0 +1,270 @@
+//! REAP-style working-set recording and prefetching (Ustiugov et al.,
+//! ASPLOS '21), the snapshot-loading optimisation the paper names as
+//! complementary to Fireworks (§7: "FIREWORKS can also employ REAP's
+//! prefetching to further reduce the overhead for reading snapshots from
+//! disk").
+//!
+//! When a snapshot's pages are *not* resident in the host page cache
+//! (cold storage, or thousands of functions competing for cache), every
+//! first touch after restore is a major fault: a random read from the
+//! snapshot file. REAP records the set of pages an invocation actually
+//! touches (the working set) and, on later restores, loads exactly those
+//! pages with one sequential read — turning many random major faults into
+//! one bulk prefetch.
+
+use std::collections::BTreeSet;
+
+use fireworks_sim::{Clock, Nanos};
+
+/// Cost model for snapshot-file paging.
+#[derive(Debug, Clone)]
+pub struct PagingCosts {
+    /// One random major fault (seek + 4 KiB read + fault handling).
+    pub major_fault: Nanos,
+    /// Per-page cost of one bulk sequential read (amortised).
+    pub sequential_read_per_page: Nanos,
+    /// Fixed cost of issuing the prefetch (open, iovec setup).
+    pub prefetch_base: Nanos,
+}
+
+impl Default for PagingCosts {
+    fn default() -> Self {
+        PagingCosts {
+            major_fault: Nanos::from_micros(11),
+            sequential_read_per_page: Nanos::from_nanos(900),
+            prefetch_base: Nanos::from_micros(250),
+        }
+    }
+}
+
+/// Operating mode of the REAP mechanism for one function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReapMode {
+    /// No recording, no prefetching: every first touch of a non-resident
+    /// snapshot page is a random major fault.
+    Off,
+    /// Record the pages touched by this invocation (the first invocation
+    /// after deploying to cold storage).
+    Record,
+    /// Prefetch the recorded working set before resuming; accesses outside
+    /// the recorded set still fault individually.
+    Prefetch,
+}
+
+/// The recorded working set of one function's invocations.
+#[derive(Debug, Clone, Default)]
+pub struct WorkingSet {
+    pages: BTreeSet<usize>,
+}
+
+impl WorkingSet {
+    /// Creates an empty working set.
+    pub fn new() -> Self {
+        WorkingSet::default()
+    }
+
+    /// Records a touched page.
+    pub fn record(&mut self, page: usize) {
+        self.pages.insert(page);
+    }
+
+    /// Records a contiguous page range.
+    pub fn record_range(&mut self, first: usize, count: usize) {
+        for p in first..first + count {
+            self.pages.insert(p);
+        }
+    }
+
+    /// Number of pages in the set.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Whether a page is in the set.
+    pub fn contains(&self, page: usize) -> bool {
+        self.pages.contains(&page)
+    }
+}
+
+/// Tracks paging state of one restored VM whose snapshot lives in cold
+/// storage, charging faults or prefetches on the clock.
+#[derive(Debug)]
+pub struct ReapSession {
+    mode: ReapMode,
+    costs: PagingCosts,
+    touched: WorkingSet,
+    resident: BTreeSet<usize>,
+    major_faults: u64,
+    prefetched_pages: u64,
+}
+
+impl ReapSession {
+    /// Starts a session. In [`ReapMode::Prefetch`], `working_set` is the
+    /// set recorded by an earlier [`ReapMode::Record`] session.
+    pub fn start(
+        clock: &Clock,
+        mode: ReapMode,
+        costs: PagingCosts,
+        working_set: WorkingSet,
+    ) -> Self {
+        let mut resident = BTreeSet::new();
+        let mut prefetched_pages = 0;
+        if mode == ReapMode::Prefetch && !working_set.is_empty() {
+            // One bulk sequential read of the whole working set.
+            clock.advance(
+                costs.prefetch_base + costs.sequential_read_per_page * working_set.len() as u64,
+            );
+            resident.extend(working_set.pages.iter().copied());
+            prefetched_pages = working_set.len() as u64;
+        }
+        ReapSession {
+            mode,
+            costs,
+            touched: WorkingSet::new(),
+            resident,
+            major_faults: 0,
+            prefetched_pages,
+        }
+    }
+
+    /// Notes that the guest touched `page` of the snapshot file, charging
+    /// a major fault if it is not resident yet.
+    pub fn touch(&mut self, clock: &Clock, page: usize) {
+        self.touched.record(page);
+        if self.resident.insert(page) {
+            clock.advance(self.costs.major_fault);
+            self.major_faults += 1;
+        }
+    }
+
+    /// Notes a touched page range.
+    pub fn touch_range(&mut self, clock: &Clock, first: usize, count: usize) {
+        for p in first..first + count {
+            self.touch(clock, p);
+        }
+    }
+
+    /// Finishes the session; in [`ReapMode::Record`] returns the recorded
+    /// working set for future prefetching.
+    pub fn finish(self) -> Option<WorkingSet> {
+        match self.mode {
+            ReapMode::Record => Some(self.touched),
+            _ => None,
+        }
+    }
+
+    /// Major faults taken so far.
+    pub fn major_faults(&self) -> u64 {
+        self.major_faults
+    }
+
+    /// Pages loaded by the upfront prefetch.
+    pub fn prefetched_pages(&self) -> u64 {
+        self.prefetched_pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn touch_workload(session: &mut ReapSession, clock: &Clock) {
+        // A working set of 3 ranges, 700 pages total.
+        session.touch_range(clock, 0, 200);
+        session.touch_range(clock, 10_000, 400);
+        session.touch_range(clock, 40_000, 100);
+    }
+
+    #[test]
+    fn off_mode_pays_one_major_fault_per_page() {
+        let clock = Clock::new();
+        let mut s = ReapSession::start(
+            &clock,
+            ReapMode::Off,
+            PagingCosts::default(),
+            WorkingSet::new(),
+        );
+        touch_workload(&mut s, &clock);
+        assert_eq!(s.major_faults(), 700);
+        let expected = PagingCosts::default().major_fault * 700;
+        assert_eq!(clock.now(), expected);
+        assert!(s.finish().is_none());
+    }
+
+    #[test]
+    fn repeated_touches_fault_once() {
+        let clock = Clock::new();
+        let mut s = ReapSession::start(
+            &clock,
+            ReapMode::Off,
+            PagingCosts::default(),
+            WorkingSet::new(),
+        );
+        s.touch(&clock, 42);
+        s.touch(&clock, 42);
+        s.touch(&clock, 42);
+        assert_eq!(s.major_faults(), 1);
+    }
+
+    #[test]
+    fn record_mode_captures_the_working_set() {
+        let clock = Clock::new();
+        let mut s = ReapSession::start(
+            &clock,
+            ReapMode::Record,
+            PagingCosts::default(),
+            WorkingSet::new(),
+        );
+        touch_workload(&mut s, &clock);
+        let ws = s.finish().expect("record mode returns a set");
+        assert_eq!(ws.len(), 700);
+        assert!(ws.contains(0) && ws.contains(10_399) && ws.contains(40_099));
+        assert!(!ws.contains(500));
+    }
+
+    #[test]
+    fn prefetch_is_much_cheaper_than_faulting() {
+        let costs = PagingCosts::default();
+
+        // Record pass.
+        let clock = Clock::new();
+        let mut rec =
+            ReapSession::start(&clock, ReapMode::Record, costs.clone(), WorkingSet::new());
+        touch_workload(&mut rec, &clock);
+        let faulting_time = clock.now();
+        let ws = rec.finish().expect("working set");
+
+        // Prefetch pass: same accesses, no major faults.
+        let clock2 = Clock::new();
+        let mut pre = ReapSession::start(&clock2, ReapMode::Prefetch, costs, ws);
+        let after_prefetch = clock2.now();
+        touch_workload(&mut pre, &clock2);
+        assert_eq!(pre.major_faults(), 0, "all accesses hit the prefetched set");
+        assert_eq!(clock2.now(), after_prefetch, "no further paging cost");
+        assert_eq!(pre.prefetched_pages(), 700);
+        // REAP's headline effect: bulk sequential read ≪ random faults.
+        assert!(
+            clock2.now().as_nanos() * 5 < faulting_time.as_nanos(),
+            "prefetch {} vs faulting {}",
+            clock2.now(),
+            faulting_time
+        );
+    }
+
+    #[test]
+    fn accesses_outside_the_recorded_set_still_fault() {
+        let clock = Clock::new();
+        let mut ws = WorkingSet::new();
+        ws.record_range(0, 10);
+        let mut s = ReapSession::start(&clock, ReapMode::Prefetch, PagingCosts::default(), ws);
+        s.touch(&clock, 5); // In set: free.
+        assert_eq!(s.major_faults(), 0);
+        s.touch(&clock, 99_999); // Outside: major fault.
+        assert_eq!(s.major_faults(), 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! Language-runtime profiles for the Fireworks simulation.
+//!
+//! The paper studies two runtimes with very different JIT behaviour:
+//!
+//! - **Node.js / V8**: tiers hot functions up automatically and quickly,
+//!   allocates execution state lazily ("a lighter V8"), so post-JIT
+//!   snapshots help execution time modestly (§5.2.1) but help memory a lot
+//!   (§5.5.2).
+//! - **CPython (+ Numba)**: no JIT by default — the interpreter is slow —
+//!   and annotation-driven Numba compilation, which is expensive, produces
+//!   large speedups (up to 80× in §5.2.2), and duplicates JITted code per
+//!   module under LLVM MCJIT, so post-JIT snapshots barely help memory
+//!   (§5.5.2).
+//!
+//! [`RuntimeProfile`] captures those differences as calibrated per-op
+//! costs, a [`fireworks_lang::JitPolicy`], and a memory model;
+//! [`GuestRuntime`] wraps a Flame VM and charges virtual time for launch,
+//! app load, execution, JIT compilation, and deopts; [`memmodel`] lays the
+//! runtime's regions out in a guest address space so snapshot sharing and
+//! CoW dirtying are accounted at page granularity.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod guest;
+pub mod memmodel;
+pub mod profile;
+
+pub use guest::{GuestRuntime, InvokeResult, RuntimeSnapshot};
+pub use memmodel::MemoryModel;
+pub use profile::{RuntimeKind, RuntimeProfile};

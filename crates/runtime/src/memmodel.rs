@@ -1,0 +1,195 @@
+//! Laying a runtime's memory out in a guest address space.
+//!
+//! The memory-density results (paper §5.4, §5.5.2) depend on *which pages
+//! of guest memory change after restore*. This module gives each region of
+//! the runtime a fixed home in guest-physical memory and materialises or
+//! dirties it in an [`AddressSpace`], so snapshot sharing and CoW are
+//! accounted at page granularity:
+//!
+//! | region       | contents                                | after restore     |
+//! |--------------|------------------------------------------|------------------|
+//! | OS           | guest kernel + userspace (microVM layer) | shared            |
+//! | runtime base | interpreter binary, stdlib, initial heap | shared            |
+//! | app code     | loaded bytecode / code objects           | shared            |
+//! | JIT code     | quickened machine code (× duplication)   | shared            |
+//! | heap         | live guest values                        | partially dirtied |
+//! | exec state   | per-invocation scratch                   | fully dirtied     |
+
+use fireworks_guestmem::AddressSpace;
+
+use crate::guest::GuestRuntime;
+
+/// Fixed guest-physical bases for the runtime regions (the OS owns
+/// everything below [`MemoryModel::RUNTIME_BASE`]).
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryModel {
+    /// Fraction of the heap rewritten by a typical invocation.
+    pub heap_dirty_fraction: f64,
+}
+
+impl Default for MemoryModel {
+    fn default() -> Self {
+        MemoryModel {
+            heap_dirty_fraction: 0.35,
+        }
+    }
+}
+
+impl MemoryModel {
+    /// Base of the runtime image region.
+    pub const RUNTIME_BASE: u64 = 96 << 20;
+    /// Base of the app bytecode region.
+    pub const APP_CODE_BASE: u64 = 160 << 20;
+    /// Base of the JIT code cache region.
+    pub const JIT_CODE_BASE: u64 = 176 << 20;
+    /// Base of the guest heap region.
+    pub const HEAP_BASE: u64 = 208 << 20;
+    /// Base of the per-invocation execution-state region.
+    pub const EXEC_STATE_BASE: u64 = 272 << 20;
+    /// Base of the lazily allocated first-run state region.
+    pub const FIRST_RUN_BASE: u64 = 296 << 20;
+    /// Base of the GC-churn arena (extends to the end of guest memory).
+    pub const CHURN_BASE: u64 = 320 << 20;
+    /// Size cap of the GC-churn arena.
+    pub const CHURN_ARENA: u64 = 184 << 20;
+
+    /// Bytes of the churn arena rewritten after `ops` retired guest ops
+    /// under `profile`.
+    pub fn churn_bytes(profile: &crate::profile::RuntimeProfile, ops: u64) -> u64 {
+        let churn = (ops as u128 * profile.gc_churn_bytes_per_mops as u128 / 1_000_000) as u64;
+        churn.min(Self::CHURN_ARENA)
+    }
+
+    /// Materialises the runtime's current resident regions in `space`
+    /// (called after launch+load, and again after JIT activity to extend
+    /// the code region). Pages are dirtied, so a later snapshot captures
+    /// them.
+    pub fn materialize(&self, space: &mut AddressSpace, rt: &GuestRuntime) {
+        let p = rt.profile();
+        space.touch_dirty(Self::RUNTIME_BASE, p.base_image_bytes);
+        let code_bytes = p.code_bytes_per_op * rt.program().total_ops() as u64;
+        if code_bytes > 0 {
+            space.touch_dirty(Self::APP_CODE_BASE, code_bytes);
+        }
+        let jit_bytes = rt.jit_code_bytes();
+        if jit_bytes > 0 {
+            space.touch_dirty(Self::JIT_CODE_BASE, jit_bytes);
+        }
+        let heap = rt.heap_bytes().max(1 << 20);
+        space.touch_dirty(Self::HEAP_BASE, heap);
+        if rt.first_run_done() {
+            space.touch_dirty(Self::FIRST_RUN_BASE, p.first_run_state_bytes);
+        }
+        let churn = Self::churn_bytes(p, rt.ops_since_reset());
+        if churn > 0 {
+            space.touch_dirty(Self::CHURN_BASE, churn);
+        }
+    }
+
+    /// Dirties the regions an invocation writes: the whole exec-state
+    /// region plus a fraction of the heap. Called once per invocation on a
+    /// restored clone; this is what limits snapshot sharing.
+    pub fn dirty_invocation(&self, space: &mut AddressSpace, rt: &GuestRuntime) {
+        let p = rt.profile();
+        space.touch_dirty(Self::EXEC_STATE_BASE, p.exec_state_bytes);
+        let heap = rt.heap_bytes().max(1 << 20);
+        let dirty = (heap as f64 * self.heap_dirty_fraction) as u64;
+        if dirty > 0 {
+            space.touch_dirty(Self::HEAP_BASE, dirty);
+        }
+        // First-run state allocated in *this* instance (private in clones
+        // restored from pre-execution snapshots); state inherited from a
+        // post-JIT snapshot stays shared.
+        if rt.first_run_local() {
+            space.touch_dirty(Self::FIRST_RUN_BASE, p.first_run_state_bytes);
+        }
+        // GC churn rewrites the arena from the start, CoW-copying any
+        // pages that came shared out of a snapshot.
+        let churn = Self::churn_bytes(p, rt.ops_since_reset());
+        if churn > 0 {
+            space.touch_dirty(Self::CHURN_BASE, churn);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::RuntimeProfile;
+    use fireworks_guestmem::{HostMemory, SnapshotFile, PAGE_SIZE};
+    use fireworks_lang::NoopHost;
+    use fireworks_lang::Value;
+    use fireworks_sim::Clock;
+
+    const SRC: &str =
+        "fn main(n) { let t = 0; for (let i = 0; i < n; i = i + 1) { t = t + i; } return t; }";
+
+    fn vm_space(host: &HostMemory) -> AddressSpace {
+        AddressSpace::new(host.clone(), 512 << 20)
+    }
+
+    #[test]
+    fn materialize_covers_runtime_and_code() {
+        let clock = Clock::new();
+        let host = HostMemory::new(clock.clone(), 4 << 30, 60);
+        let mut space = vm_space(&host);
+        let rt = GuestRuntime::launch(&clock, RuntimeProfile::node(), SRC, None).expect("ok");
+        MemoryModel::default().materialize(&mut space, &rt);
+        let expected_min = rt.profile().base_image_bytes / PAGE_SIZE as u64;
+        assert!(space.resident_pages() as u64 > expected_min);
+    }
+
+    #[test]
+    fn invocation_dirty_set_is_much_smaller_than_image() {
+        let clock = Clock::new();
+        let host = HostMemory::new(clock.clone(), 4 << 30, 60);
+        let model = MemoryModel::default();
+
+        let mut space = vm_space(&host);
+        let mut rt = GuestRuntime::launch(&clock, RuntimeProfile::node(), SRC, None).expect("ok");
+        rt.invoke(&clock, "main", vec![Value::Int(1000)], &mut NoopHost)
+            .expect("runs");
+        model.materialize(&mut space, &rt);
+        let image_pages = space.resident_pages();
+
+        // Snapshot, restore a clone, dirty one invocation.
+        let snap = SnapshotFile::capture(&space, Vec::new());
+        let mut clone_space = snap.restore(&host);
+        let before = host.stats().cow_faults;
+        model.dirty_invocation(&mut clone_space, &rt);
+        let dirtied = host.stats().cow_faults - before;
+        assert!(
+            (dirtied as usize) < image_pages / 2,
+            "dirty set {dirtied} pages vs image {image_pages} pages"
+        );
+        // The clone's PSS is well below its RSS thanks to sharing.
+        assert!(clone_space.pss_bytes() < clone_space.rss_bytes() / 2 * 2);
+        assert!(clone_space.pss_bytes() < clone_space.rss_bytes());
+    }
+
+    #[test]
+    fn python_invocation_dirties_more_than_node() {
+        let model = MemoryModel::default();
+        // Private pages an invocation adds to a restored clone: CoW'd heap
+        // pages plus freshly allocated exec-state pages.
+        let dirty_pages = |profile: RuntimeProfile| {
+            let clock = Clock::new();
+            let host = HostMemory::new(clock.clone(), 4 << 30, 60);
+            let mut space = vm_space(&host);
+            let rt = GuestRuntime::launch(&clock, profile, SRC, None).expect("ok");
+            model.materialize(&mut space, &rt);
+            let snap = SnapshotFile::capture(&space, Vec::new());
+            let mut clone = snap.restore(&host);
+            let live_before = host.live_frames();
+            model.dirty_invocation(&mut clone, &rt);
+            host.live_frames() - live_before
+        };
+        let node = dirty_pages(RuntimeProfile::node());
+        let python = dirty_pages(RuntimeProfile::python());
+        // Python's exec state (11 MiB) dwarfs Node's lazy 3 MiB.
+        assert!(
+            python > 2 * node,
+            "python dirty {python} !> node dirty {node}"
+        );
+    }
+}

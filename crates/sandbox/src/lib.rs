@@ -1,0 +1,61 @@
+//! Sandboxes and their data paths.
+//!
+//! The paper compares four sandboxing approaches (Table 1): plain
+//! containers (OpenWhisk), secure containers (gVisor's Sentry + Gofer),
+//! microVMs (Firecracker/Fireworks), and shared runtimes (Cloudflare
+//! Workers). They differ in three measurable ways reproduced here:
+//!
+//! - **isolation level** ([`IsolationLevel`], ordered),
+//! - **start pipeline** ([`ContainerManager`] charges create/start or
+//!   Sentry/Gofer boot; the microVM pipeline lives in `fireworks-microvm`),
+//! - **I/O path cost** ([`IoPath`]): overlayfs < virtio-blk < Sentry+Gofer
+//!   per operation, which determines the FaaSdom disk benchmark ordering
+//!   (§5.2.1(2)).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod container;
+pub mod iopath;
+
+pub use container::{Container, ContainerKind, ContainerManager, ContainerState};
+pub use iopath::{IoPath, IoPathKind};
+
+/// How strongly a sandbox isolates its tenant, ordered weakest to
+/// strongest (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum IsolationLevel {
+    /// Shared language runtime (V8 isolates — Cloudflare Workers).
+    RuntimeOnly,
+    /// OS container sharing the host kernel (OpenWhisk).
+    Container,
+    /// Container behind a user-space kernel (gVisor).
+    SecureContainer,
+    /// Hardware-virtualised microVM (Firecracker, Fireworks).
+    Vm,
+}
+
+impl IsolationLevel {
+    /// Table-1 style label.
+    pub fn label(self) -> &'static str {
+        match self {
+            IsolationLevel::RuntimeOnly => "Low (runtime)",
+            IsolationLevel::Container => "Medium (container)",
+            IsolationLevel::SecureContainer => "Medium (secure container)",
+            IsolationLevel::Vm => "High (VM)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolation_ordering_matches_table_1() {
+        assert!(IsolationLevel::Vm > IsolationLevel::SecureContainer);
+        assert!(IsolationLevel::SecureContainer > IsolationLevel::Container);
+        assert!(IsolationLevel::Container > IsolationLevel::RuntimeOnly);
+        assert_eq!(IsolationLevel::Vm.label(), "High (VM)");
+    }
+}

@@ -1,0 +1,128 @@
+//! A monotonically advancing virtual clock.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use crate::time::Nanos;
+
+/// A virtual clock shared by every component of one simulated host.
+///
+/// The clock is deliberately single-threaded (`Rc<Cell<_>>`): a simulation
+/// run models one host's timeline and determinism is the point. Components
+/// hold a cheap [`Clock`] clone and charge costs with [`Clock::advance`].
+///
+/// # Examples
+///
+/// ```
+/// use fireworks_sim::{Clock, Nanos};
+///
+/// let clock = Clock::new();
+/// let t0 = clock.now();
+/// clock.advance(Nanos::from_millis(3));
+/// assert_eq!(clock.now() - t0, Nanos::from_millis(3));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Clock {
+    now: Rc<Cell<u64>>,
+}
+
+impl Clock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Clock::default()
+    }
+
+    /// Current virtual instant.
+    #[inline]
+    pub fn now(&self) -> Nanos {
+        Nanos(self.now.get())
+    }
+
+    /// Advances the clock by `delta` and returns the new instant.
+    #[inline]
+    pub fn advance(&self, delta: Nanos) -> Nanos {
+        let next = self.now.get().saturating_add(delta.as_nanos());
+        self.now.set(next);
+        Nanos(next)
+    }
+
+    /// Runs `f` and returns both its result and the virtual time it charged.
+    pub fn measure<T>(&self, f: impl FnOnce() -> T) -> (T, Nanos) {
+        let start = self.now();
+        let value = f();
+        (value, self.now() - start)
+    }
+
+    /// Returns a [`Stopwatch`] started at the current instant.
+    pub fn stopwatch(&self) -> Stopwatch {
+        Stopwatch {
+            clock: self.clone(),
+            start: self.now(),
+        }
+    }
+}
+
+/// Measures elapsed virtual time from a fixed start instant.
+#[derive(Debug, Clone)]
+pub struct Stopwatch {
+    clock: Clock,
+    start: Nanos,
+}
+
+impl Stopwatch {
+    /// Virtual time elapsed since the stopwatch was created.
+    #[inline]
+    pub fn elapsed(&self) -> Nanos {
+        self.clock.now() - self.start
+    }
+
+    /// The instant the stopwatch was started.
+    #[inline]
+    pub fn start(&self) -> Nanos {
+        self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_timeline() {
+        let a = Clock::new();
+        let b = a.clone();
+        a.advance(Nanos::from_micros(5));
+        assert_eq!(b.now(), Nanos::from_micros(5));
+        b.advance(Nanos::from_micros(5));
+        assert_eq!(a.now(), Nanos::from_micros(10));
+    }
+
+    #[test]
+    fn measure_reports_charged_time() {
+        let clock = Clock::new();
+        let (value, took) = clock.measure(|| {
+            clock.advance(Nanos::from_millis(7));
+            42
+        });
+        assert_eq!(value, 42);
+        assert_eq!(took, Nanos::from_millis(7));
+    }
+
+    #[test]
+    fn stopwatch_tracks_elapsed() {
+        let clock = Clock::new();
+        clock.advance(Nanos::from_millis(1));
+        let sw = clock.stopwatch();
+        assert_eq!(sw.start(), Nanos::from_millis(1));
+        clock.advance(Nanos::from_millis(2));
+        assert_eq!(sw.elapsed(), Nanos::from_millis(2));
+    }
+
+    #[test]
+    fn advance_never_goes_backwards() {
+        let clock = Clock::new();
+        clock.advance(Nanos::MAX);
+        clock.advance(Nanos::from_secs(1));
+        assert_eq!(clock.now(), Nanos::MAX);
+    }
+}

@@ -1,0 +1,34 @@
+//! Simulation foundation for the Fireworks reproduction.
+//!
+//! Every latency reported by the benchmark harness is *virtual time*: a sum
+//! of explicitly charged costs on a [`Clock`]. This makes every figure in
+//! the evaluation bit-reproducible across machines, while the mechanisms
+//! that produce the costs (JIT tiers, copy-on-write faults, boot stages,
+//! syscall interception) are implemented for real in the other crates.
+//!
+//! The crate provides:
+//!
+//! - [`Nanos`]: a nanosecond duration/instant newtype with saturating
+//!   arithmetic and human-friendly formatting.
+//! - [`Clock`]: a monotonically advancing virtual clock.
+//! - [`CostModel`]: the calibrated cost table shared by the whole system.
+//! - [`rng::SplitMix64`]: a tiny deterministic RNG used where workloads
+//!   need pseudo-random data without pulling randomness into results.
+//! - [`trace`]: phase spans used to produce the paper's latency breakdowns
+//!   (start-up / exec / others).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod clock;
+pub mod cost;
+pub mod queueing;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use clock::Clock;
+pub use cost::CostModel;
+pub use time::Nanos;
+pub use trace::{Phase, Span, Trace};

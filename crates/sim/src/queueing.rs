@@ -1,0 +1,227 @@
+//! A deterministic multi-server queueing simulator.
+//!
+//! The paper's host consolidates many functions on limited cores; what a
+//! user feels under load is *sojourn time* — queueing delay plus service
+//! time — where service time is the platform's start-up + execution
+//! latency. This module simulates `k` invoker slots serving an arrival
+//! sequence FCFS, so the bench harness can turn per-invocation latencies
+//! into load/tail-latency curves.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::Nanos;
+
+/// One offered invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct Arrival {
+    /// Arrival instant.
+    pub at: Nanos,
+    /// Service duration (the invocation's end-to-end latency on an idle
+    /// host).
+    pub service: Nanos,
+}
+
+/// One served invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct Completion {
+    /// Arrival instant.
+    pub arrived: Nanos,
+    /// When a slot picked it up.
+    pub started: Nanos,
+    /// When it finished.
+    pub finished: Nanos,
+}
+
+impl Completion {
+    /// Time spent waiting for a slot.
+    pub fn waited(&self) -> Nanos {
+        self.started - self.arrived
+    }
+
+    /// Total time in the system (what the client observes).
+    pub fn sojourn(&self) -> Nanos {
+        self.finished - self.arrived
+    }
+}
+
+/// Serves `arrivals` (must be sorted by arrival time) on `slots` FCFS
+/// servers and returns one [`Completion`] per arrival, in arrival order.
+///
+/// # Panics
+///
+/// Panics if `slots == 0` or arrivals are not sorted by time.
+///
+/// # Examples
+///
+/// ```
+/// use fireworks_sim::queueing::{simulate, Arrival};
+/// use fireworks_sim::Nanos;
+///
+/// let ms = Nanos::from_millis;
+/// // Two simultaneous arrivals, one slot: the second waits.
+/// let done = simulate(1, &[
+///     Arrival { at: ms(0), service: ms(10) },
+///     Arrival { at: ms(0), service: ms(10) },
+/// ]);
+/// assert_eq!(done[0].waited(), Nanos::ZERO);
+/// assert_eq!(done[1].waited(), ms(10));
+/// ```
+pub fn simulate(slots: usize, arrivals: &[Arrival]) -> Vec<Completion> {
+    assert!(slots > 0, "need at least one slot");
+    assert!(
+        arrivals.windows(2).all(|w| w[0].at <= w[1].at),
+        "arrivals must be sorted by time"
+    );
+    // Min-heap of slot free times.
+    let mut free: BinaryHeap<Reverse<Nanos>> = (0..slots).map(|_| Reverse(Nanos::ZERO)).collect();
+    let mut out = Vec::with_capacity(arrivals.len());
+    for a in arrivals {
+        let Reverse(slot_free) = free.pop().expect("slots non-empty");
+        let started = a.at.max(slot_free);
+        let finished = started + a.service;
+        free.push(Reverse(finished));
+        out.push(Completion {
+            arrived: a.at,
+            started,
+            finished,
+        });
+    }
+    out
+}
+
+/// Builds a Poisson-like arrival sequence: exponential inter-arrival
+/// times with the given mean, deterministic under the seed.
+pub fn poisson_arrivals(
+    seed: u64,
+    count: usize,
+    mean_inter_arrival: Nanos,
+    mut service: impl FnMut(usize, &mut crate::rng::SplitMix64) -> Nanos,
+) -> Vec<Arrival> {
+    let mut rng = crate::rng::SplitMix64::new(seed);
+    let mut t = Nanos::ZERO;
+    (0..count)
+        .map(|i| {
+            // Inverse-CDF sample of Exp(1/mean): -ln(U) * mean.
+            let u = rng.next_f64().max(1e-12);
+            t += mean_inter_arrival.scale(-u.ln());
+            Arrival {
+                at: t,
+                service: service(i, &mut rng),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Nanos {
+        Nanos::from_millis(v)
+    }
+
+    #[test]
+    fn idle_server_serves_immediately() {
+        let done = simulate(
+            2,
+            &[
+                Arrival {
+                    at: ms(0),
+                    service: ms(5),
+                },
+                Arrival {
+                    at: ms(100),
+                    service: ms(5),
+                },
+            ],
+        );
+        assert!(done.iter().all(|c| c.waited() == Nanos::ZERO));
+        assert_eq!(done[1].finished, ms(105));
+    }
+
+    #[test]
+    fn single_slot_serialises_a_burst() {
+        let burst: Vec<Arrival> = (0..5)
+            .map(|_| Arrival {
+                at: ms(0),
+                service: ms(10),
+            })
+            .collect();
+        let done = simulate(1, &burst);
+        for (i, c) in done.iter().enumerate() {
+            assert_eq!(c.started, ms(10 * i as u64));
+            assert_eq!(c.sojourn(), ms(10 * (i as u64 + 1)));
+        }
+    }
+
+    #[test]
+    fn k_slots_run_k_in_parallel() {
+        let burst: Vec<Arrival> = (0..6)
+            .map(|_| Arrival {
+                at: ms(0),
+                service: ms(10),
+            })
+            .collect();
+        let done = simulate(3, &burst);
+        let immediate = done.iter().filter(|c| c.waited() == Nanos::ZERO).count();
+        assert_eq!(immediate, 3);
+        let max_finish = done.iter().map(|c| c.finished).max().expect("nonempty");
+        assert_eq!(max_finish, ms(20));
+    }
+
+    #[test]
+    fn shorter_service_times_shrink_tail_latency() {
+        // Same arrival process, service 100 ms vs 10 ms: the tail of the
+        // slow system is far worse — the queueing argument for fast
+        // starts.
+        let slow = poisson_arrivals(9, 300, ms(20), |_, _| ms(100));
+        let fast: Vec<Arrival> = slow
+            .iter()
+            .map(|a| Arrival {
+                at: a.at,
+                service: ms(10),
+            })
+            .collect();
+        let p99 = |completions: &[Completion]| {
+            let mut s: Vec<Nanos> = completions.iter().map(Completion::sojourn).collect();
+            s.sort_unstable();
+            s[(s.len() * 99) / 100]
+        };
+        let slow_done = simulate(4, &slow);
+        let fast_done = simulate(4, &fast);
+        assert!(
+            p99(&slow_done).as_nanos() > 5 * p99(&fast_done).as_nanos(),
+            "p99 slow {} vs fast {}",
+            p99(&slow_done),
+            p99(&fast_done)
+        );
+    }
+
+    #[test]
+    fn poisson_arrivals_are_sorted_and_deterministic() {
+        let a = poisson_arrivals(5, 100, ms(10), |_, _| ms(1));
+        let b = poisson_arrivals(5, 100, ms(10), |_, _| ms(1));
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x.at == y.at));
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_arrivals_panic() {
+        let _ = simulate(
+            1,
+            &[
+                Arrival {
+                    at: ms(5),
+                    service: ms(1),
+                },
+                Arrival {
+                    at: ms(0),
+                    service: ms(1),
+                },
+            ],
+        );
+    }
+}

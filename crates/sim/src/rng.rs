@@ -1,0 +1,152 @@
+//! A tiny deterministic RNG.
+//!
+//! Workload generators need pseudo-random data (wage records, matrix
+//! contents, request mixes) without letting host entropy into results. The
+//! [`SplitMix64`] generator is small, fast, seedable, and has well-known
+//! statistical quality for this purpose.
+
+/// SplitMix64 pseudo-random generator (Steele, Lea & Flood 2014).
+///
+/// # Examples
+///
+/// ```
+/// use fireworks_sim::rng::SplitMix64;
+///
+/// let mut a = SplitMix64::new(7);
+/// let mut b = SplitMix64::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; returns 0 when `bound == 0`.
+    ///
+    /// Uses the widening-multiply technique (Lemire 2016) without the
+    /// rejection step; the bias is < 2⁻³² for the bounds used here and
+    /// irrelevant for workload generation.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform value in `[lo, hi]` (inclusive); `lo > hi` yields `lo`.
+    pub fn next_range(&mut self, lo: u64, hi: u64) -> u64 {
+        if lo >= hi {
+            return lo;
+        }
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose from empty slice");
+        &items[self.next_below(items.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn bounded_values_respect_bound() {
+        let mut rng = SplitMix64::new(3);
+        for bound in [1u64, 2, 7, 100, 1 << 40] {
+            for _ in 0..100 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+        assert_eq!(rng.next_below(0), 0);
+    }
+
+    #[test]
+    fn range_is_inclusive_and_handles_degenerate() {
+        let mut rng = SplitMix64::new(4);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2_000 {
+            let v = rng.next_range(5, 8);
+            assert!((5..=8).contains(&v));
+            seen_lo |= v == 5;
+            seen_hi |= v == 8;
+        }
+        assert!(seen_lo && seen_hi);
+        assert_eq!(rng.next_range(9, 3), 9);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut rng = SplitMix64::new(5);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn bool_probability_is_respected() {
+        let mut rng = SplitMix64::new(6);
+        let hits = (0..10_000).filter(|_| rng.next_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits {hits}");
+        assert!(!rng.next_bool(0.0));
+        assert!(rng.next_bool(1.0));
+    }
+
+    #[test]
+    fn choose_returns_elements_from_slice() {
+        let mut rng = SplitMix64::new(7);
+        let items = [10, 20, 30];
+        for _ in 0..50 {
+            assert!(items.contains(rng.choose(&items)));
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Small statistics helpers used by the benchmark harness.
+
+use crate::time::Nanos;
+
+/// Arithmetic mean of a slice of durations (zero for empty input).
+pub fn mean(xs: &[Nanos]) -> Nanos {
+    if xs.is_empty() {
+        return Nanos::ZERO;
+    }
+    let total: u128 = xs.iter().map(|n| n.as_nanos() as u128).sum();
+    Nanos::from_nanos((total / xs.len() as u128) as u64)
+}
+
+/// Geometric mean of a slice of durations (zero for empty input or any
+/// zero element), as used for Fig. 6(e)/7(e)'s cross-benchmark summary.
+pub fn geomean(xs: &[Nanos]) -> Nanos {
+    if xs.is_empty() || xs.iter().any(|n| n.as_nanos() == 0) {
+        return Nanos::ZERO;
+    }
+    let log_sum: f64 = xs.iter().map(|n| (n.as_nanos() as f64).ln()).sum();
+    Nanos::from_nanos((log_sum / xs.len() as f64).exp().round() as u64)
+}
+
+/// Geometric mean of dimensionless ratios (zero elements are skipped).
+pub fn geomean_f64(xs: &[f64]) -> f64 {
+    let positive: Vec<f64> = xs.iter().copied().filter(|x| *x > 0.0).collect();
+    if positive.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = positive.iter().map(|x| x.ln()).sum();
+    (log_sum / positive.len() as f64).exp()
+}
+
+/// The `p`-th percentile (0–100) using nearest-rank on a sorted copy.
+pub fn percentile(xs: &[Nanos], p: f64) -> Nanos {
+    if xs.is_empty() {
+        return Nanos::ZERO;
+    }
+    let mut sorted: Vec<Nanos> = xs.to_vec();
+    sorted.sort_unstable();
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Nanos {
+        Nanos::from_millis(v)
+    }
+
+    #[test]
+    fn mean_of_values() {
+        assert_eq!(mean(&[ms(1), ms(2), ms(3)]), ms(2));
+        assert_eq!(mean(&[]), Nanos::ZERO);
+    }
+
+    #[test]
+    fn geomean_of_values() {
+        // geomean(1, 100) = 10.
+        let g = geomean(&[ms(1), ms(100)]);
+        let err = (g.as_millis_f64() - 10.0).abs();
+        assert!(err < 0.001, "geomean {g}");
+        assert_eq!(geomean(&[]), Nanos::ZERO);
+        assert_eq!(geomean(&[Nanos::ZERO, ms(5)]), Nanos::ZERO);
+    }
+
+    #[test]
+    fn geomean_f64_skips_nonpositive() {
+        let g = geomean_f64(&[1.0, 100.0, 0.0]);
+        assert!((g - 10.0).abs() < 1e-9);
+        assert_eq!(geomean_f64(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [ms(10), ms(20), ms(30), ms(40), ms(50)];
+        assert_eq!(percentile(&xs, 0.0), ms(10));
+        assert_eq!(percentile(&xs, 50.0), ms(30));
+        assert_eq!(percentile(&xs, 100.0), ms(50));
+        assert_eq!(percentile(&[], 50.0), Nanos::ZERO);
+    }
+}

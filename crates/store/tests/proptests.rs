@@ -1,0 +1,104 @@
+//! Property tests: the document store agrees with a reference map and
+//! its change feed is a faithful, monotone journal.
+
+use fireworks_lang::Value;
+use fireworks_sim::Clock;
+use fireworks_store::{DocumentStore, StoreCosts, StoreError};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put { id: u8, field: i64 },
+    PutGuarded { id: u8, field: i64, expected: u64 },
+    Get { id: u8 },
+    Delete { id: u8 },
+    Find { field: i64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u8..6, -3i64..3).prop_map(|(id, field)| Op::Put { id, field }),
+        2 => (0u8..6, -3i64..3, 0u64..4)
+            .prop_map(|(id, field, expected)| Op::PutGuarded { id, field, expected }),
+        3 => (0u8..6).prop_map(|id| Op::Get { id }),
+        1 => (0u8..6).prop_map(|id| Op::Delete { id }),
+        2 => (-3i64..3).prop_map(|field| Op::Find { field }),
+    ]
+}
+
+fn doc(field: i64) -> Value {
+    Value::map([("v".to_string(), Value::Int(field))])
+}
+
+proptest! {
+    #[test]
+    fn store_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..100)) {
+        let mut store = DocumentStore::new(Clock::new(), StoreCosts::default());
+        // Reference: id → (rev, field value).
+        let mut model: std::collections::BTreeMap<String, (u64, i64)> = Default::default();
+        let mut journal_len = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Put { id, field } => {
+                    let id = format!("d{id}");
+                    let rev = store.put("db", &id, &doc(field), None).expect("puts");
+                    let expected_rev = model.get(&id).map(|(r, _)| r + 1).unwrap_or(1);
+                    prop_assert_eq!(rev, expected_rev);
+                    model.insert(id, (rev, field));
+                    journal_len += 1;
+                }
+                Op::PutGuarded { id, field, expected } => {
+                    let id = format!("d{id}");
+                    let current = model.get(&id).map(|(r, _)| *r).unwrap_or(0);
+                    let result = store.put("db", &id, &doc(field), Some(expected));
+                    if expected == current {
+                        prop_assert_eq!(result.expect("guard matched"), current + 1);
+                        model.insert(id, (current + 1, field));
+                        journal_len += 1;
+                    } else {
+                        let conflicted = matches!(result, Err(StoreError::Conflict { .. }));
+                        prop_assert!(conflicted);
+                    }
+                }
+                Op::Get { id } => {
+                    let id = format!("d{id}");
+                    match (store.get("db", &id), model.get(&id)) {
+                        (Ok(d), Some((rev, field))) => {
+                            prop_assert_eq!(d.rev, *rev);
+                            let Value::Map(m) = &d.body else { panic!("map") };
+                            prop_assert_eq!(m.borrow()["v"].clone(), Value::Int(*field));
+                        }
+                        (Err(_), None) => {}
+                        (got, want) => prop_assert!(false, "mismatch: {got:?} vs {want:?}"),
+                    }
+                }
+                Op::Delete { id } => {
+                    let id = format!("d{id}");
+                    let result = store.delete("db", &id);
+                    if model.remove(&id).is_some() {
+                        prop_assert!(result.is_ok());
+                        journal_len += 1;
+                    } else {
+                        prop_assert!(result.is_err());
+                    }
+                }
+                Op::Find { field } => {
+                    let found = store
+                        .find("db", "v", &Value::Int(field))
+                        .unwrap_or_default();
+                    let expected = model.values().filter(|(_, f)| *f == field).count();
+                    prop_assert_eq!(found.len(), expected);
+                }
+            }
+            // The change feed is a monotone journal of every mutation.
+            if store.has_db("db") {
+                let changes = store.changes_since("db", 0).expect("changes");
+                prop_assert_eq!(changes.len() as u64, journal_len);
+                prop_assert!(changes.windows(2).all(|w| w[0].seq < w[1].seq));
+                prop_assert_eq!(store.last_seq("db"), journal_len);
+            }
+        }
+        prop_assert_eq!(store.count("db"), model.len());
+    }
+}

@@ -1,0 +1,78 @@
+//! The paper's workloads (Table 2):
+//!
+//! - [`faasdom`]: the four FaaSdom microbenchmarks — integer
+//!   factorisation, matrix multiplication, disk I/O, and network latency —
+//!   in Node.js-profile and Python-profile variants.
+//! - [`serverlessbench`]: the two ServerlessBench applications — Alexa
+//!   Skills and Data Analysis — as chains of serverless functions over the
+//!   document store, with the Cloud-trigger wiring for the analysis chain.
+//! - [`generators`]: deterministic request generators (utterances, wage
+//!   records).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod faasdom;
+pub mod generators;
+pub mod serverlessbench;
+pub mod trace;
+
+/// One row of the paper's Table 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogRow {
+    /// Application name.
+    pub name: &'static str,
+    /// Description.
+    pub description: &'static str,
+    /// Languages the paper evaluates it in.
+    pub languages: &'static str,
+}
+
+/// The tested-applications catalogue (paper Table 2).
+pub fn catalog() -> Vec<CatalogRow> {
+    vec![
+        CatalogRow {
+            name: "FaaSdom: faas-fact",
+            description: "Integer factorization",
+            languages: "Node.js, Python",
+        },
+        CatalogRow {
+            name: "FaaSdom: faas-matrix-mult",
+            description: "Multiplication of large matrices",
+            languages: "Node.js, Python",
+        },
+        CatalogRow {
+            name: "FaaSdom: faas-diskio",
+            description: "Disk I/O performance measurement",
+            languages: "Node.js, Python",
+        },
+        CatalogRow {
+            name: "FaaSdom: faas-netlatency",
+            description: "Network latency test that immediately responds upon invocation",
+            languages: "Node.js, Python",
+        },
+        CatalogRow {
+            name: "ServerlessBench: Alexa skills",
+            description: "Apps run through Alexa AI device",
+            languages: "Node.js",
+        },
+        CatalogRow {
+            name: "ServerlessBench: data analysis",
+            description: "Store and analyze the statistics of employees' wages",
+            languages: "Node.js",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_table_2() {
+        let rows = catalog();
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().take(4).all(|r| r.languages.contains("Python")));
+        assert!(rows.iter().skip(4).all(|r| r.languages == "Node.js"));
+    }
+}

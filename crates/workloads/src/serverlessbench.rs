@@ -1,0 +1,510 @@
+//! The ServerlessBench real-world applications (paper §5.3, Fig. 8) as
+//! chains of serverless functions.
+
+use fireworks_core::api::{FunctionSpec, Invocation, Platform, PlatformError, StartMode};
+use fireworks_core::env::PlatformEnv;
+use fireworks_lang::Value;
+use fireworks_runtime::RuntimeKind;
+
+/// One named stage of an application chain.
+#[derive(Debug, Clone)]
+pub struct StageResult {
+    /// Stage (function) name.
+    pub stage: &'static str,
+    /// The stage's invocation.
+    pub invocation: Invocation,
+}
+
+// ---------------------------------------------------------------------------
+// Alexa Skills (Fig. 8(a)): parse → {fact, reminder, smart home}.
+// ---------------------------------------------------------------------------
+
+/// Source of the Alexa intent parser.
+const ALEXA_PARSE_SRC: &str = r#"
+    fn classify(utterance) {
+        if (has(utterance, "fact") || has(utterance, "tell me")) { return "fact"; }
+        if (has(utterance, "remind") || has(utterance, "schedule")) { return "reminder"; }
+        if (has(utterance, "light") || has(utterance, "door") || has(utterance, "tv")) {
+            return "smarthome";
+        }
+        return "fact";
+    }
+    fn extract_slots(utterance, intent) {
+        let slots = {};
+        let words = split(utterance, " ");
+        if (intent == "reminder") {
+            let n = len(words);
+            if (n > 2) { slots["item"] = words[n - 2]; slots["place"] = words[n - 1]; }
+            slots["url"] = "https://calendar.example/" + str(len(utterance));
+        }
+        if (intent == "smarthome") {
+            for (let i = 0; i < len(words); i = i + 1) {
+                let w = words[i];
+                if (w == "light" || w == "door" || w == "tv") { slots["device"] = w; }
+            }
+        }
+        return slots;
+    }
+    fn main(params) {
+        let utterance = params["utterance"];
+        let intent = classify(utterance);
+        let slots = extract_slots(utterance, intent);
+        return { "intent": intent, "slots": slots, "utterance": utterance };
+    }
+"#;
+
+/// Source of the fact skill.
+const ALEXA_FACT_SRC: &str = r#"
+    fn pick_fact(utterance) {
+        let facts = [
+            "A year on Mercury is just 88 days long.",
+            "Honey never spoils.",
+            "Octopuses have three hearts.",
+            "Bananas are berries but strawberries are not.",
+            "The Eiffel Tower grows in summer."
+        ];
+        return facts[len(utterance) % len(facts)];
+    }
+    fn main(req) {
+        let fact = pick_fact(req["utterance"]);
+        http_respond(fact);
+        return { "intent": "fact", "response": fact };
+    }
+"#;
+
+/// Source of the reminder skill (uses CouchDB).
+const ALEXA_REMINDER_SRC: &str = r#"
+    fn main(req) {
+        let slots = req["slots"];
+        let item = slots["item"];
+        if (item == null) {
+            // Lookup mode: list existing reminders.
+            let found = db_find("reminders", "kind", "reminder");
+            http_respond("you have " + str(len(found)) + " reminders");
+            return { "intent": "reminder", "count": len(found) };
+        }
+        let doc = {
+            "kind": "reminder",
+            "item": item,
+            "place": slots["place"],
+            "url": slots["url"]
+        };
+        db_put("reminders", item, doc);
+        let found = db_find("reminders", "kind", "reminder");
+        http_respond("reminder saved: " + item);
+        return { "intent": "reminder", "stored": item, "count": len(found) };
+    }
+"#;
+
+/// Source of the smart-home skill (device state in CouchDB).
+const ALEXA_SMARTHOME_SRC: &str = r#"
+    fn main(req) {
+        let device = req["slots"]["device"];
+        if (device == null) { device = "light"; }
+        let state = db_get("home", device);
+        let on = false;
+        if (state != null) { on = state["on"]; }
+        let next = !on;
+        db_put("home", device, { "device": device, "on": next });
+        let word = "off";
+        if (next) { word = "on"; }
+        http_respond(device + " is now " + word);
+        return { "intent": "smarthome", "device": device, "on": next };
+    }
+"#;
+
+/// The Alexa Skills application: specs, install, and the request driver.
+pub struct AlexaApp;
+
+impl AlexaApp {
+    /// Function specs for all Alexa stages (Node.js, as in the paper).
+    pub fn specs() -> Vec<FunctionSpec> {
+        let default_req =
+            Value::map([("utterance".to_string(), Value::str("alexa tell me a fact"))]);
+        let default_parsed = Value::map([
+            ("intent".to_string(), Value::str("fact")),
+            ("slots".to_string(), Value::map([])),
+            ("utterance".to_string(), Value::str("alexa tell me a fact")),
+        ]);
+        vec![
+            FunctionSpec::new(
+                "alexa-parse",
+                ALEXA_PARSE_SRC,
+                RuntimeKind::NodeLike,
+                default_req,
+            ),
+            FunctionSpec::new(
+                "alexa-fact",
+                ALEXA_FACT_SRC,
+                RuntimeKind::NodeLike,
+                default_parsed.deep_clone(),
+            ),
+            FunctionSpec::new(
+                "alexa-reminder",
+                ALEXA_REMINDER_SRC,
+                RuntimeKind::NodeLike,
+                default_parsed.deep_clone(),
+            ),
+            FunctionSpec::new(
+                "alexa-smarthome",
+                ALEXA_SMARTHOME_SRC,
+                RuntimeKind::NodeLike,
+                default_parsed,
+            ),
+        ]
+    }
+
+    /// Installs every stage on a platform.
+    pub fn install<P: Platform + ?Sized>(platform: &mut P) -> Result<(), PlatformError> {
+        for spec in Self::specs() {
+            platform.install(&spec)?;
+        }
+        Ok(())
+    }
+
+    /// Runs one Alexa request through the chain: parse, then the skill the
+    /// parser picked — exactly Fig. 8(a)'s invocation shape.
+    pub fn run<P: Platform + ?Sized>(
+        platform: &mut P,
+        utterance: &str,
+        mode: StartMode,
+    ) -> Result<Vec<StageResult>, PlatformError> {
+        let request = Value::map([("utterance".to_string(), Value::str(utterance))]);
+        let parse = platform.invoke("alexa-parse", &request, mode)?;
+        let intent = match &parse.value {
+            Value::Map(m) => match m.borrow().get("intent") {
+                Some(Value::Str(s)) => s.to_string(),
+                _ => "fact".to_string(),
+            },
+            _ => "fact".to_string(),
+        };
+        let skill = match intent.as_str() {
+            "reminder" => "alexa-reminder",
+            "smarthome" => "alexa-smarthome",
+            _ => "alexa-fact",
+        };
+        let skill_stage: &'static str = match intent.as_str() {
+            "reminder" => "reminder",
+            "smarthome" => "smart home",
+            _ => "fact",
+        };
+        let skill_inv = platform.invoke(skill, &parse.value, mode)?;
+        Ok(vec![
+            StageResult {
+                stage: "parse",
+                invocation: parse,
+            },
+            StageResult {
+                stage: skill_stage,
+                invocation: skill_inv,
+            },
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Data Analysis (Fig. 8(b)): validate → insert, then a DB-triggered
+// analysis chain.
+// ---------------------------------------------------------------------------
+
+/// Format validation stage.
+const WAGE_VALIDATE_SRC: &str = r#"
+    fn valid_field(rec, field, kind) {
+        let v = rec[field];
+        if (v == null) { return false; }
+        return type(v) == kind;
+    }
+    fn main(rec) {
+        let ok = valid_field(rec, "name", "string")
+            && valid_field(rec, "id", "string")
+            && valid_field(rec, "role", "string")
+            && valid_field(rec, "base", "int");
+        return { "ok": ok, "record": rec };
+    }
+"#;
+
+/// Format transformation + insertion stage.
+const WAGE_INSERT_SRC: &str = r#"
+    fn main(checked) {
+        if (!checked["ok"]) {
+            http_respond("rejected");
+            return { "ok": false };
+        }
+        let rec = checked["record"];
+        let doc = {
+            "kind": "wage",
+            "name": rec["name"],
+            "id": rec["id"],
+            "role": rec["role"],
+            "base": rec["base"],
+            "annual": rec["base"] * 12
+        };
+        db_put("wages", rec["id"], doc);
+        http_respond("stored " + rec["id"]);
+        return { "ok": true, "id": rec["id"] };
+    }
+"#;
+
+/// The analysis stage: bonuses, taxes, statistics (triggered by DB update).
+const WAGE_STATS_SRC: &str = r#"
+    fn bonus_rate(role) {
+        if (role == "manager") { return 20; }
+        if (role == "dev") { return 15; }
+        return 10;
+    }
+    fn tax_rate(annual) {
+        if (annual > 100000) { return 40; }
+        if (annual > 50000) { return 30; }
+        return 20;
+    }
+    fn main(params) {
+        let rows = db_find("wages", "kind", "wage");
+        let n = len(rows);
+        let total_net = 0;
+        let total_bonus = 0;
+        let max_net = 0;
+        for (let i = 0; i < n; i = i + 1) {
+            let row = rows[i];
+            let annual = row["annual"];
+            let bonus = annual * bonus_rate(row["role"]) / 100;
+            let gross = annual + bonus;
+            let tax = gross * tax_rate(annual) / 100;
+            let net = gross - tax;
+            total_net = total_net + net;
+            total_bonus = total_bonus + bonus;
+            if (net > max_net) { max_net = net; }
+        }
+        let avg_net = 0;
+        if (n > 0) { avg_net = total_net / n; }
+        let stats = {
+            "kind": "stats",
+            "employees": n,
+            "total_net": total_net,
+            "total_bonus": total_bonus,
+            "avg_net": avg_net,
+            "max_net": max_net
+        };
+        db_put("stats", "latest", stats);
+        http_respond("analyzed " + str(n) + " employees");
+        return stats;
+    }
+"#;
+
+/// The Data Analysis application with its Cloud trigger.
+pub struct DataAnalysisApp {
+    env: PlatformEnv,
+    last_seq: u64,
+}
+
+impl DataAnalysisApp {
+    /// Function specs for all stages.
+    pub fn specs() -> Vec<FunctionSpec> {
+        let default_record = Value::map([
+            ("name".to_string(), Value::str("alice")),
+            ("id".to_string(), Value::str("e-0")),
+            ("role".to_string(), Value::str("dev")),
+            ("base".to_string(), Value::Int(5000)),
+        ]);
+        let default_checked = Value::map([
+            ("ok".to_string(), Value::Bool(true)),
+            ("record".to_string(), default_record.deep_clone()),
+        ]);
+        vec![
+            FunctionSpec::new(
+                "wage-validate",
+                WAGE_VALIDATE_SRC,
+                RuntimeKind::NodeLike,
+                default_record,
+            ),
+            FunctionSpec::new(
+                "wage-insert",
+                WAGE_INSERT_SRC,
+                RuntimeKind::NodeLike,
+                default_checked,
+            ),
+            FunctionSpec::new(
+                "wage-stats",
+                WAGE_STATS_SRC,
+                RuntimeKind::NodeLike,
+                Value::map([]),
+            ),
+        ]
+    }
+
+    /// Creates the app against a host environment (for the DB trigger) and
+    /// installs all stages.
+    pub fn install<P: Platform + ?Sized>(
+        platform: &mut P,
+        env: PlatformEnv,
+    ) -> Result<Self, PlatformError> {
+        for spec in Self::specs() {
+            platform.install(&spec)?;
+        }
+        let last_seq = env.store.borrow().last_seq("wages");
+        Ok(DataAnalysisApp { env, last_seq })
+    }
+
+    /// Runs the insertion chain (validate → insert) for one wage record.
+    pub fn insert<P: Platform + ?Sized>(
+        &mut self,
+        platform: &mut P,
+        record: &Value,
+        mode: StartMode,
+    ) -> Result<Vec<StageResult>, PlatformError> {
+        let results = platform.invoke_chain(&["wage-validate", "wage-insert"], record, mode)?;
+        let mut out = Vec::with_capacity(2);
+        let mut iter = results.into_iter();
+        out.push(StageResult {
+            stage: "validate",
+            invocation: iter.next().expect("two stages"),
+        });
+        out.push(StageResult {
+            stage: "insert",
+            invocation: iter.next().expect("two stages"),
+        });
+        Ok(out)
+    }
+
+    /// Polls the Cloud trigger: if the wages database changed since the
+    /// last poll, runs the analysis chain (Fig. 8(b)'s dashed box) and
+    /// returns its stages. Returns `None` when nothing changed.
+    pub fn poll_trigger<P: Platform + ?Sized>(
+        &mut self,
+        platform: &mut P,
+        mode: StartMode,
+    ) -> Result<Option<Vec<StageResult>>, PlatformError> {
+        let seq = self.env.store.borrow().last_seq("wages");
+        if seq <= self.last_seq {
+            return Ok(None);
+        }
+        self.last_seq = seq;
+        let inv = platform.invoke("wage-stats", &Value::map([]), mode)?;
+        Ok(Some(vec![StageResult {
+            stage: "analysis",
+            invocation: inv,
+        }]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fireworks_core::{FireworksPlatform, PlatformEnv};
+
+    fn fireworks() -> (FireworksPlatform, PlatformEnv) {
+        let env = PlatformEnv::default_env();
+        (FireworksPlatform::new(env.clone()), env)
+    }
+
+    #[test]
+    fn alexa_fact_request_round_trips() {
+        let (mut p, _env) = fireworks();
+        AlexaApp::install(&mut p).expect("installs");
+        let stages = AlexaApp::run(&mut p, "alexa tell me a fact", StartMode::Auto).expect("runs");
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].stage, "parse");
+        assert_eq!(stages[1].stage, "fact");
+        let response = stages[1].invocation.response.as_deref().expect("responds");
+        assert!(!response.is_empty());
+    }
+
+    #[test]
+    fn alexa_reminder_stores_in_couchdb() {
+        let (mut p, env) = fireworks();
+        AlexaApp::install(&mut p).expect("installs");
+        let stages = AlexaApp::run(
+            &mut p,
+            "alexa remind me to buy milk kitchen",
+            StartMode::Auto,
+        )
+        .expect("runs");
+        assert_eq!(stages[1].stage, "reminder");
+        assert_eq!(env.store.borrow().count("reminders"), 1);
+        let doc = env.store.borrow().get("reminders", "milk").expect("doc");
+        let Value::Map(m) = &doc.body else {
+            panic!("map")
+        };
+        assert_eq!(m.borrow()["place"], Value::str("kitchen"));
+    }
+
+    #[test]
+    fn alexa_smarthome_toggles_device_state() {
+        let (mut p, env) = fireworks();
+        AlexaApp::install(&mut p).expect("installs");
+        AlexaApp::run(&mut p, "alexa turn the light", StartMode::Auto).expect("first");
+        let doc = env.store.borrow().get("home", "light").expect("doc");
+        let Value::Map(m) = &doc.body else {
+            panic!("map")
+        };
+        assert_eq!(m.borrow()["on"], Value::Bool(true));
+        AlexaApp::run(&mut p, "alexa turn the light", StartMode::Auto).expect("second");
+        let doc = env.store.borrow().get("home", "light").expect("doc");
+        let Value::Map(m) = &doc.body else {
+            panic!("map")
+        };
+        assert_eq!(m.borrow()["on"], Value::Bool(false));
+    }
+
+    #[test]
+    fn data_analysis_end_to_end_with_trigger() {
+        let (mut p, env) = fireworks();
+        let mut app = DataAnalysisApp::install(&mut p, env.clone()).expect("installs");
+
+        // No changes yet → trigger stays quiet.
+        assert!(app
+            .poll_trigger(&mut p, StartMode::Auto)
+            .expect("polls")
+            .is_none());
+
+        let record = Value::map([
+            ("name".to_string(), Value::str("bob")),
+            ("id".to_string(), Value::str("e-1")),
+            ("role".to_string(), Value::str("manager")),
+            ("base".to_string(), Value::Int(10_000)),
+        ]);
+        let stages = app
+            .insert(&mut p, &record, StartMode::Auto)
+            .expect("inserts");
+        assert_eq!(stages.len(), 2);
+        assert_eq!(env.store.borrow().count("wages"), 1);
+
+        // The DB update fires the analysis chain.
+        let analysis = app
+            .poll_trigger(&mut p, StartMode::Auto)
+            .expect("polls")
+            .expect("triggered");
+        assert_eq!(analysis[0].stage, "analysis");
+        let Value::Map(stats) = &analysis[0].invocation.value else {
+            panic!("stats map")
+        };
+        // annual = 120000, bonus 20% = 24000, gross = 144000, tax 40% =
+        // 57600, net = 86400.
+        assert_eq!(stats.borrow()["employees"], Value::Int(1));
+        assert_eq!(stats.borrow()["max_net"], Value::Int(86_400));
+        assert_eq!(env.store.borrow().count("stats"), 1);
+
+        // Trigger does not refire without new changes.
+        assert!(app
+            .poll_trigger(&mut p, StartMode::Auto)
+            .expect("polls")
+            .is_none());
+    }
+
+    #[test]
+    fn invalid_wage_records_are_rejected() {
+        let (mut p, env) = fireworks();
+        let mut app = DataAnalysisApp::install(&mut p, env.clone()).expect("installs");
+        let bad = Value::map([
+            ("name".to_string(), Value::str("x")),
+            ("id".to_string(), Value::str("e-9")),
+            // Missing role; base has the wrong type.
+            ("base".to_string(), Value::str("lots")),
+        ]);
+        let stages = app.insert(&mut p, &bad, StartMode::Auto).expect("runs");
+        let Value::Map(m) = &stages[1].invocation.value else {
+            panic!("map")
+        };
+        assert_eq!(m.borrow()["ok"], Value::Bool(false));
+        assert_eq!(env.store.borrow().count("wages"), 0);
+    }
+}

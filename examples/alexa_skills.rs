@@ -1,0 +1,56 @@
+//! Run the ServerlessBench Alexa Skills application — a chain of
+//! serverless functions over the document store — on Fireworks and on
+//! OpenWhisk (the only two platforms that can run chains, §5.3).
+//!
+//! ```sh
+//! cargo run --example alexa_skills
+//! ```
+
+use fireworks::prelude::*;
+use fireworks::workloads::generators::AlexaRequestGen;
+use fireworks_workloads::serverlessbench::StageResult;
+
+fn drive<P: Platform>(platform: &mut P, requests: u32) {
+    AlexaApp::install(platform).expect("install");
+    let mut gen = AlexaRequestGen::new(2024);
+    let mut total_startup = Nanos::ZERO;
+    let mut total_exec = Nanos::ZERO;
+    println!("--- {} ---", platform.name());
+    for i in 0..requests {
+        let utterance = gen.next_utterance();
+        let stages: Vec<StageResult> =
+            AlexaApp::run(platform, &utterance, StartMode::Auto).expect("request");
+        let skill = &stages[1];
+        if i < 5 {
+            println!(
+                "  \"{}\" → [{}] {}",
+                utterance,
+                skill.stage,
+                skill
+                    .invocation
+                    .response
+                    .as_deref()
+                    .unwrap_or("(no response)")
+            );
+        }
+        for s in &stages {
+            total_startup += s.invocation.breakdown.startup;
+            total_exec += s.invocation.breakdown.exec;
+        }
+    }
+    println!("  totals over {requests} requests: startup {total_startup}, exec {total_exec}");
+}
+
+fn main() {
+    let requests = 12;
+
+    let mut fw = FireworksPlatform::new(PlatformEnv::default_env());
+    drive(&mut fw, requests);
+
+    let mut ow = OpenWhiskPlatform::new(PlatformEnv::default_env());
+    drive(&mut ow, requests);
+
+    println!();
+    println!("Fireworks serves every stage from a post-JIT snapshot; OpenWhisk");
+    println!("pays container cold starts until its warm pool fills.");
+}

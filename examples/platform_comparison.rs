@@ -1,0 +1,81 @@
+//! Compare cold, warm, and Fireworks starts across all four platforms on
+//! one FaaSdom benchmark — a miniature of the paper's Fig. 6(a).
+//!
+//! ```sh
+//! cargo run --example platform_comparison [fact|matrix|diskio|netlatency]
+//! ```
+
+use fireworks::prelude::*;
+use fireworks::workloads::faasdom::Bench;
+
+fn row(label: &str, inv: &Invocation) {
+    println!(
+        "  {label:<18} {:>12} {:>12} {:>12} {:>12}",
+        format!("{}", inv.breakdown.startup),
+        format!("{}", inv.breakdown.exec),
+        format!("{}", inv.breakdown.other),
+        format!("{}", inv.total()),
+    );
+}
+
+fn run_platform<P: Platform>(mut platform: P, spec: &FunctionSpec, args: &Value) {
+    platform.install(spec).expect("install");
+    let cold = platform
+        .invoke(&spec.name, args, StartMode::Cold)
+        .expect("cold");
+    row(&format!("{} (c)", platform.name()), &cold);
+    let warm = platform
+        .invoke(&spec.name, args, StartMode::Warm)
+        .expect("warm");
+    row(&format!("{} (w)", platform.name()), &warm);
+}
+
+fn main() {
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "fact".to_string());
+    let bench = match which.as_str() {
+        "fact" => Bench::Fact,
+        "matrix" => Bench::MatrixMult,
+        "diskio" => Bench::DiskIo,
+        "netlatency" => Bench::NetLatency,
+        other => {
+            eprintln!("unknown benchmark `{other}` (use fact|matrix|diskio|netlatency)");
+            std::process::exit(2);
+        }
+    };
+    let spec = bench.spec(RuntimeKind::NodeLike);
+    let args = bench.request_params();
+
+    println!("benchmark: {} (Node.js profile)", bench.name());
+    println!(
+        "  {:<18} {:>12} {:>12} {:>12} {:>12}",
+        "platform", "startup", "exec", "others", "total"
+    );
+
+    // Each platform gets its own pristine host so numbers are independent.
+    run_platform(
+        OpenWhiskPlatform::new(PlatformEnv::default_env()),
+        &spec,
+        &args,
+    );
+    run_platform(
+        GvisorPlatform::new(PlatformEnv::default_env()),
+        &spec,
+        &args,
+    );
+    run_platform(
+        FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::None),
+        &spec,
+        &args,
+    );
+
+    // Fireworks has no cold/warm split: every start restores the post-JIT
+    // snapshot.
+    let mut fw = FireworksPlatform::new(PlatformEnv::default_env());
+    fw.install(&spec).expect("install");
+    let inv = fw
+        .invoke(&spec.name, &args, StartMode::Auto)
+        .expect("invoke");
+    row("fireworks (both)", &inv);
+}

@@ -1,0 +1,76 @@
+//! Quickstart: install one serverless function on Fireworks and invoke it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use fireworks::prelude::*;
+
+fn main() {
+    // One simulated host: virtual clock, memory, message bus, store, NAT.
+    let env = PlatformEnv::default_env();
+    let mut platform = FireworksPlatform::new(env);
+
+    // A user's serverless function: count primes below `params["limit"]`.
+    let source = r#"
+        fn is_prime(n) {
+            if (n < 2) { return false; }
+            let d = 2;
+            while (d * d <= n) {
+                if (n % d == 0) { return false; }
+                d = d + 1;
+            }
+            return true;
+        }
+        fn main(params) {
+            let limit = params["limit"];
+            let count = 0;
+            for (let n = 2; n < limit; n = n + 1) {
+                if (is_prime(n)) { count = count + 1; }
+            }
+            http_respond("primes: " + str(count));
+            return count;
+        }
+    "#;
+    let spec = FunctionSpec::new(
+        "count-primes",
+        source,
+        RuntimeKind::NodeLike,
+        Value::map([("limit".to_string(), Value::Int(5_000))]),
+    );
+
+    // Install: annotate, boot a microVM, JIT the function, snapshot.
+    let report = platform.install(&spec).expect("install failed");
+    println!("== install (once per function) ==");
+    println!("  install time      : {}", report.install_time);
+    println!(
+        "  snapshot          : {} pages / {:.1} MiB on disk",
+        report.snapshot_pages,
+        report.snapshot_bytes as f64 / (1024.0 * 1024.0)
+    );
+    println!("  @jit annotations  : {}", report.annotated_functions);
+
+    // Invoke twice with different arguments: each invocation restores the
+    // post-JIT snapshot, fetches its own arguments from the message bus,
+    // and runs fully JIT-compiled.
+    for limit in [10_000i64, 20_000] {
+        let args = Value::map([("limit".to_string(), Value::Int(limit))]);
+        let inv = platform
+            .invoke("count-primes", &args, StartMode::Auto)
+            .expect("invoke failed");
+        println!("== invoke limit={limit} ==");
+        println!("  result            : {}", inv.value);
+        println!(
+            "  response          : {}",
+            inv.response.as_deref().unwrap_or("-")
+        );
+        println!("  start-up          : {}", inv.breakdown.startup);
+        println!("  exec              : {}", inv.breakdown.exec);
+        println!("  others            : {}", inv.breakdown.other);
+        println!("  end-to-end        : {}", inv.total());
+        println!(
+            "  JIT tier ops      : {} ({} interpreter, {} compiles)",
+            inv.stats.jit_ops, inv.stats.interp_ops, inv.stats.compiles
+        );
+    }
+}

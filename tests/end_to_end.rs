@@ -1,0 +1,220 @@
+//! Cross-crate integration tests: the full install → snapshot → restore →
+//! invoke pipeline with all substrates wired together.
+
+use fireworks::prelude::*;
+use fireworks::workloads::faasdom::Bench;
+use fireworks::workloads::generators::WageRecordGen;
+use fireworks::workloads::serverlessbench::{AlexaApp, DataAnalysisApp};
+
+fn fact_args(n: i64) -> Value {
+    Value::map([
+        ("n".to_string(), Value::Int(n)),
+        ("reps".to_string(), Value::Int(1)),
+    ])
+}
+
+#[test]
+fn fireworks_pipeline_runs_all_faasdom_benchmarks_in_both_runtimes() {
+    for runtime in [RuntimeKind::NodeLike, RuntimeKind::PythonLike] {
+        let mut platform = FireworksPlatform::new(PlatformEnv::default_env());
+        for bench in Bench::ALL {
+            let spec = bench.spec(runtime);
+            platform.install(&spec).expect("install");
+            let inv = platform
+                .invoke(&spec.name, &bench.request_params(), StartMode::Auto)
+                .expect("invoke");
+            assert_eq!(inv.start, StartKind::SnapshotRestore, "{}", spec.name);
+            assert!(inv.total() > Nanos::ZERO);
+            // Every FaaSdom function responds over HTTP.
+            assert!(inv.response.is_some(), "{} responded", spec.name);
+        }
+    }
+}
+
+#[test]
+fn snapshot_clones_are_isolated_but_share_the_snapshot() {
+    let mut platform = FireworksPlatform::new(PlatformEnv::default_env());
+    let spec = Bench::Fact.spec(RuntimeKind::NodeLike);
+    platform.install(&spec).expect("install");
+
+    // Distinct arguments produce distinct results even though all clones
+    // resume from byte-identical memory.
+    let r8 = platform
+        .invoke(&spec.name, &fact_args(8), StartMode::Auto)
+        .expect("invoke");
+    let r97 = platform
+        .invoke(&spec.name, &fact_args(97), StartMode::Auto)
+        .expect("invoke");
+    assert_eq!(r8.value, Value::Int(3));
+    assert_eq!(r97.value, Value::Int(1));
+
+    // Resident clones share guest frames.
+    let (_, a) = platform
+        .invoke_resident(&spec.name, &fact_args(50))
+        .expect("clone a");
+    let (_, b) = platform
+        .invoke_resident(&spec.name, &fact_args(60))
+        .expect("clone b");
+    let shared_fraction = a.pss_bytes() as f64 / a.rss_bytes() as f64;
+    assert!(
+        shared_fraction < 0.7,
+        "clone PSS should be well below RSS, got {shared_fraction:.2}"
+    );
+    platform.release_clone(a);
+    platform.release_clone(b);
+}
+
+#[test]
+fn install_once_invoke_many_start_latency_is_stable() {
+    let mut platform = FireworksPlatform::new(PlatformEnv::default_env());
+    let spec = Bench::NetLatency.spec(RuntimeKind::NodeLike);
+    platform.install(&spec).expect("install");
+    let mut startups = Vec::new();
+    for _ in 0..5 {
+        let inv = platform
+            .invoke(&spec.name, &Value::map([]), StartMode::Auto)
+            .expect("invoke");
+        startups.push(inv.breakdown.startup);
+    }
+    // Deterministic simulation: every restore costs the same.
+    assert!(startups.windows(2).all(|w| w[0] == w[1]), "{startups:?}");
+}
+
+#[test]
+fn all_four_platforms_agree_on_results() {
+    let spec = Bench::Fact.spec(RuntimeKind::NodeLike);
+    let args = fact_args(360);
+    let expected = Value::Int(6);
+
+    let mut fw = FireworksPlatform::new(PlatformEnv::default_env());
+    fw.install(&spec).expect("install");
+    assert_eq!(
+        fw.invoke(&spec.name, &args, StartMode::Auto)
+            .expect("fw")
+            .value,
+        expected
+    );
+
+    let mut ow = OpenWhiskPlatform::new(PlatformEnv::default_env());
+    ow.install(&spec).expect("install");
+    assert_eq!(
+        ow.invoke(&spec.name, &args, StartMode::Cold)
+            .expect("ow")
+            .value,
+        expected
+    );
+
+    let mut gv = GvisorPlatform::new(PlatformEnv::default_env());
+    gv.install(&spec).expect("install");
+    assert_eq!(
+        gv.invoke(&spec.name, &args, StartMode::Cold)
+            .expect("gv")
+            .value,
+        expected
+    );
+
+    let mut fc = FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::None);
+    fc.install(&spec).expect("install");
+    assert_eq!(
+        fc.invoke(&spec.name, &args, StartMode::Cold)
+            .expect("fc")
+            .value,
+        expected
+    );
+}
+
+#[test]
+fn alexa_chain_runs_on_both_chain_capable_platforms() {
+    let utterances = [
+        "alexa tell me a fact",
+        "alexa remind me to move car garage",
+        "alexa flip the tv",
+    ];
+
+    let mut fw = FireworksPlatform::new(PlatformEnv::default_env());
+    AlexaApp::install(&mut fw).expect("install fw");
+    let mut ow = OpenWhiskPlatform::new(PlatformEnv::default_env());
+    AlexaApp::install(&mut ow).expect("install ow");
+
+    for utterance in utterances {
+        let fw_stages = AlexaApp::run(&mut fw, utterance, StartMode::Auto).expect("fw");
+        let ow_stages = AlexaApp::run(&mut ow, utterance, StartMode::Auto).expect("ow");
+        assert_eq!(fw_stages[1].stage, ow_stages[1].stage, "same routing");
+    }
+}
+
+#[test]
+fn data_analysis_trigger_chain_accumulates_statistics() {
+    let env = PlatformEnv::default_env();
+    let mut platform = FireworksPlatform::new(env.clone());
+    let mut app = DataAnalysisApp::install(&mut platform, env.clone()).expect("install");
+    let mut gen = WageRecordGen::new(11);
+
+    for i in 1..=4u64 {
+        let record = gen.next_record();
+        app.insert(&mut platform, &record, StartMode::Auto)
+            .expect("insert");
+        let analysis = app
+            .poll_trigger(&mut platform, StartMode::Auto)
+            .expect("poll")
+            .expect("db update fires the chain");
+        let Value::Map(stats) = &analysis[0].invocation.value else {
+            panic!("stats map");
+        };
+        assert_eq!(stats.borrow()["employees"], Value::Int(i as i64));
+    }
+    assert_eq!(env.store.borrow().count("wages"), 4);
+    // The stats document is continuously updated (rev grows).
+    let stats = env
+        .store
+        .borrow()
+        .get("stats", "latest")
+        .expect("stats doc");
+    assert_eq!(stats.rev, 4);
+}
+
+#[test]
+fn shared_host_runs_multiple_platforms_on_one_timeline() {
+    // Fireworks and OpenWhisk on the *same* host share the clock, memory,
+    // bus, and store.
+    let env = PlatformEnv::default_env();
+    let mut fw = FireworksPlatform::new(env.clone());
+    let mut ow = OpenWhiskPlatform::new(env.clone());
+
+    let spec = Bench::Fact.spec(RuntimeKind::NodeLike);
+    fw.install(&spec).expect("install fw");
+    let mut spec_ow = spec.clone();
+    spec_ow.name = "fact-ow".to_string();
+    ow.install(&spec_ow).expect("install ow");
+
+    let t0 = env.clock.now();
+    fw.invoke(&spec.name, &fact_args(100), StartMode::Auto)
+        .expect("fw");
+    let t1 = env.clock.now();
+    ow.invoke("fact-ow", &fact_args(100), StartMode::Cold)
+        .expect("ow");
+    let t2 = env.clock.now();
+    assert!(t1 > t0 && t2 > t1, "one shared monotone timeline");
+}
+
+#[test]
+fn determinism_same_seed_same_virtual_latency() {
+    let run = || {
+        let mut platform = FireworksPlatform::new(PlatformEnv::default_env());
+        let spec = Bench::MatrixMult.spec(RuntimeKind::PythonLike);
+        platform.install(&spec).expect("install");
+        let inv = platform
+            .invoke(
+                &spec.name,
+                &Bench::MatrixMult.request_params(),
+                StartMode::Auto,
+            )
+            .expect("invoke");
+        (inv.total(), inv.value.clone(), inv.stats)
+    };
+    let (t1, v1, s1) = run();
+    let (t2, v2, s2) = run();
+    assert_eq!(t1, t2, "bit-identical virtual latency");
+    assert_eq!(v1, v2);
+    assert_eq!(s1, s2);
+}

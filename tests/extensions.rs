@@ -1,0 +1,139 @@
+//! Shape assertions for the beyond-the-paper experiments (motivation
+//! trace, load sweep), so the bench binaries cannot silently rot.
+
+use fireworks::prelude::*;
+use fireworks::sim::queueing::{simulate, Arrival};
+use fireworks::workloads::faasdom::Bench;
+use fireworks::workloads::trace::{generate, unpopular_fraction, TraceConfig};
+
+/// §2.2 motivation in miniature: on a Zipf trace with a keep-alive pool,
+/// tail functions see far worse average start-up on OpenWhisk than head
+/// functions, while Fireworks is flat.
+#[test]
+fn warm_pools_fail_the_unpopular_tail() {
+    let cfg = TraceConfig {
+        functions: 8,
+        horizon: Nanos::from_secs(15 * 60),
+        total_events: 120,
+        alpha: 1.2,
+        seed: 3,
+    };
+    let trace = generate(&cfg);
+    let bench = Bench::NetLatency;
+
+    let env = PlatformEnv::default_env();
+    let mut ow = OpenWhiskPlatform::new(env.clone());
+    ow.set_keep_alive(Some(Nanos::from_secs(60)));
+    let mut specs = Vec::new();
+    for i in 0..cfg.functions {
+        let mut spec = bench.spec(RuntimeKind::NodeLike);
+        spec.name = format!("fn-{i}");
+        ow.install(&spec).expect("install");
+        specs.push(spec);
+    }
+    let mut startup = vec![Nanos::ZERO; cfg.functions];
+    let mut count = vec![0u64; cfg.functions];
+    for e in &trace {
+        if env.clock.now() < e.at {
+            env.clock.advance(e.at - env.clock.now());
+        }
+        let inv = ow
+            .invoke(&specs[e.function].name, &Value::map([]), StartMode::Auto)
+            .expect("invoke");
+        startup[e.function] += inv.breakdown.startup;
+        count[e.function] += 1;
+    }
+    let head_avg = startup[0] / count[0].max(1);
+    let tail_idx = (0..cfg.functions)
+        .rev()
+        .find(|i| count[*i] > 0)
+        .expect("some tail function was invoked");
+    let tail_avg = startup[tail_idx] / count[tail_idx];
+    assert!(
+        tail_avg.as_nanos() > 3 * head_avg.as_nanos(),
+        "tail avg {tail_avg} should dwarf head avg {head_avg}"
+    );
+    let (cold, warm) = ow.start_counts();
+    assert!(cold > 0 && warm > 0, "mix of cold and warm starts");
+}
+
+/// The Shahrad-style skew: most functions fall below once-a-minute.
+#[test]
+fn zipf_traces_have_an_unpopular_majority() {
+    let cfg = TraceConfig {
+        functions: 100,
+        total_events: 1_500,
+        ..TraceConfig::default()
+    };
+    assert!(unpopular_fraction(&cfg) > 0.5);
+}
+
+/// Load sweep in miniature: with identical arrivals, a service time that
+/// mixes cold starts has a far worse p99 than uniform snapshot starts.
+#[test]
+fn cold_starts_poison_the_tail_under_load() {
+    let ms = Nanos::from_millis;
+    let cold = ms(1_800);
+    let warm = ms(50);
+    let snapshot = ms(18);
+    let mut seen = std::collections::HashSet::new();
+    let arrivals_ow: Vec<Arrival> = (0..400)
+        .map(|i| Arrival {
+            at: ms(20 * i),
+            service: if seen.insert(i % 30) { cold } else { warm },
+        })
+        .collect();
+    let arrivals_fw: Vec<Arrival> = arrivals_ow
+        .iter()
+        .map(|a| Arrival {
+            at: a.at,
+            service: snapshot,
+        })
+        .collect();
+    let p99 = |done: &[fireworks::sim::queueing::Completion]| {
+        let mut s: Vec<Nanos> = done.iter().map(|c| c.sojourn()).collect();
+        s.sort_unstable();
+        s[s.len() * 99 / 100]
+    };
+    let ow = simulate(4, &arrivals_ow);
+    let fw = simulate(4, &arrivals_fw);
+    assert!(
+        p99(&ow).as_nanos() > 20 * p99(&fw).as_nanos(),
+        "ow p99 {} vs fw p99 {}",
+        p99(&ow),
+        p99(&fw)
+    );
+}
+
+/// The REAP paging ablation shape: cold storage hurts every invocation;
+/// REAP recovers from the second one on.
+#[test]
+fn reap_prefetch_shape_holds() {
+    use fireworks::core::fireworks::PagingPolicy;
+    let spec = Bench::NetLatency.spec(RuntimeKind::NodeLike);
+    let mut totals = Vec::new();
+    for policy in [
+        PagingPolicy::WarmPageCache,
+        PagingPolicy::ColdStorage { reap: false },
+        PagingPolicy::ColdStorage { reap: true },
+    ] {
+        let mut p = FireworksPlatform::new(PlatformEnv::default_env());
+        p.install(&spec).expect("install");
+        p.set_paging_policy(policy);
+        let first = p
+            .invoke(&spec.name, &Value::map([]), StartMode::Auto)
+            .expect("1st");
+        let second = p
+            .invoke(&spec.name, &Value::map([]), StartMode::Auto)
+            .expect("2nd");
+        totals.push((first.total(), second.total()));
+    }
+    let (warm1, warm2) = totals[0];
+    let (cold1, cold2) = totals[1];
+    let (reap1, reap2) = totals[2];
+    assert_eq!(warm1, warm2);
+    assert_eq!(cold1, cold2, "no learning without REAP");
+    assert_eq!(reap1, cold1, "recording pass pays full faults");
+    assert!(reap2 < cold2 / 2, "prefetch recovers: {reap2} vs {cold2}");
+    assert!(warm2 < reap2, "page cache still beats prefetch");
+}

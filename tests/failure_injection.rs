@@ -1,0 +1,229 @@
+//! Failure injection: runaway functions, guest crashes, hostile inputs,
+//! and resource pressure must be contained by the platform — errors are
+//! reported, state stays consistent, and subsequent invocations work.
+
+use fireworks::prelude::*;
+use fireworks::workloads::faasdom::Bench;
+
+fn install<P: Platform>(p: &mut P, name: &str, src: &str) {
+    p.install(&FunctionSpec::new(
+        name,
+        src,
+        RuntimeKind::NodeLike,
+        Value::map([("n".to_string(), Value::Int(5))]),
+    ))
+    .expect("install");
+}
+
+#[test]
+fn runaway_function_is_killed_by_timeout() {
+    const SPIN: &str = "fn main(params) { let i = 0; while (true) { i = i + 1; } return i; }";
+    let mut p = FireworksPlatform::new(PlatformEnv::default_env());
+    let spec = FunctionSpec::new(
+        "spin",
+        SPIN,
+        RuntimeKind::NodeLike,
+        // Warm-up must terminate: give install a generous default but a
+        // tight invocation timeout. The warm-up loop is bounded by the
+        // installer's fuel-less run... so use a function that only spins
+        // on a flag in params.
+        Value::map([("spin".to_string(), Value::Bool(false))]),
+    );
+    // A function that loops forever only when asked to.
+    let spec = FunctionSpec {
+        source: "fn main(params) {
+            let i = 0;
+            while (params[\"spin\"]) { i = i + 1; }
+            return i;
+        }"
+        .to_string(),
+        ..spec
+    }
+    .with_timeout(Nanos::from_millis(50));
+    p.install(&spec).expect("install");
+
+    // Benign input completes.
+    let ok = p
+        .invoke(
+            "spin",
+            &Value::map([("spin".to_string(), Value::Bool(false))]),
+            StartMode::Auto,
+        )
+        .expect("completes");
+    assert_eq!(ok.value, Value::Int(0));
+
+    // Hostile input spins forever — the timeout kills it.
+    let err = p.invoke(
+        "spin",
+        &Value::map([("spin".to_string(), Value::Bool(true))]),
+        StartMode::Auto,
+    );
+    match err {
+        Err(PlatformError::Timeout { function, ops }) => {
+            assert_eq!(function, "spin");
+            assert!(ops > 0);
+        }
+        other => panic!("expected timeout, got {other:?}"),
+    }
+
+    // The platform still serves requests afterwards.
+    let again = p
+        .invoke(
+            "spin",
+            &Value::map([("spin".to_string(), Value::Bool(false))]),
+            StartMode::Auto,
+        )
+        .expect("recovers");
+    assert_eq!(again.value, Value::Int(0));
+}
+
+#[test]
+fn timeout_applies_on_baselines_too() {
+    let spec = FunctionSpec::new(
+        "spin",
+        "fn main(params) { let i = 0; while (params[\"spin\"]) { i = i + 1; } return i; }",
+        RuntimeKind::NodeLike,
+        Value::map([("spin".to_string(), Value::Bool(false))]),
+    )
+    .with_timeout(Nanos::from_millis(20));
+    let hostile = Value::map([("spin".to_string(), Value::Bool(true))]);
+
+    let mut ow = OpenWhiskPlatform::new(PlatformEnv::default_env());
+    ow.install(&spec).expect("install");
+    assert!(matches!(
+        ow.invoke("spin", &hostile, StartMode::Cold),
+        Err(PlatformError::Timeout { .. })
+    ));
+
+    let mut fc = FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::None);
+    fc.install(&spec).expect("install");
+    assert!(matches!(
+        fc.invoke("spin", &hostile, StartMode::Cold),
+        Err(PlatformError::Timeout { .. })
+    ));
+
+    let mut gv = GvisorPlatform::new(PlatformEnv::default_env());
+    gv.install(&spec).expect("install");
+    assert!(matches!(
+        gv.invoke("spin", &hostile, StartMode::Cold),
+        Err(PlatformError::Timeout { .. })
+    ));
+}
+
+#[test]
+fn guest_runtime_error_is_contained() {
+    const CRASH: &str = "fn main(params) {
+        if (params[\"boom\"]) { return 1 / 0; }
+        return 42;
+    }";
+    let mut p = FireworksPlatform::new(PlatformEnv::default_env());
+    install(&mut p, "crashy", CRASH);
+    // Install's warm-up uses default params (no boom) and succeeds; a
+    // hostile request divides by zero.
+    let err = p.invoke(
+        "crashy",
+        &Value::map([("boom".to_string(), Value::Bool(true))]),
+        StartMode::Auto,
+    );
+    assert!(matches!(err, Err(PlatformError::Lang(_))), "{err:?}");
+    // Next invocation gets a fresh clone and works.
+    let ok = p
+        .invoke(
+            "crashy",
+            &Value::map([("boom".to_string(), Value::Bool(false))]),
+            StartMode::Auto,
+        )
+        .expect("fresh clone works");
+    assert_eq!(ok.value, Value::Int(42));
+}
+
+#[test]
+fn install_fails_cleanly_on_bad_source() {
+    let mut p = FireworksPlatform::new(PlatformEnv::default_env());
+    let bad = FunctionSpec::new(
+        "broken",
+        "fn main(params { syntax error",
+        RuntimeKind::NodeLike,
+        Value::Null,
+    );
+    assert!(p.install(&bad).is_err());
+    // Nothing half-registered.
+    assert!(matches!(
+        p.invoke("broken", &Value::Null, StartMode::Auto),
+        Err(PlatformError::UnknownFunction(_))
+    ));
+}
+
+#[test]
+fn install_fails_cleanly_when_warmup_crashes() {
+    // The warm-up itself divides by zero (default params trigger it), so
+    // the snapshot can never be built.
+    let mut p = FireworksPlatform::new(PlatformEnv::default_env());
+    let bad = FunctionSpec::new(
+        "warmup-crash",
+        "fn main(params) { return 1 / params[\"zero\"]; }",
+        RuntimeKind::NodeLike,
+        Value::map([("zero".to_string(), Value::Int(0))]),
+    );
+    assert!(p.install(&bad).is_err());
+}
+
+#[test]
+fn memory_pressure_reports_swapping_not_a_crash() {
+    // A tiny host: a handful of resident clones pushes it past the swap
+    // threshold; the simulation keeps working and reports the state.
+    let env = PlatformEnv::new(EnvConfig {
+        ram_bytes: 512 << 20,
+        swappiness: 60,
+        costs: CostModel::default(),
+    });
+    let mut p = FireworksPlatform::new(env.clone());
+    let spec = Bench::NetLatency.spec(RuntimeKind::NodeLike);
+    p.install(&spec).expect("install");
+    let mut clones = Vec::new();
+    for _ in 0..64 {
+        let (_, c) = p
+            .invoke_resident(&spec.name, &Value::map([]))
+            .expect("clone");
+        clones.push(c);
+        if env.host_mem.is_swapping() {
+            break;
+        }
+    }
+    assert!(
+        env.host_mem.is_swapping(),
+        "tiny host must hit the threshold"
+    );
+    // Releasing clones brings the host back under the threshold.
+    for c in clones {
+        p.release_clone(c);
+    }
+    assert!(!env.host_mem.is_swapping());
+}
+
+#[test]
+fn timed_out_invocation_still_charges_its_execution() {
+    let spec = FunctionSpec::new(
+        "spin",
+        "fn main(params) { let i = 0; while (params[\"spin\"]) { i = i + 1; } return i; }",
+        RuntimeKind::NodeLike,
+        Value::map([("spin".to_string(), Value::Bool(false))]),
+    )
+    .with_timeout(Nanos::from_millis(25));
+    let env = PlatformEnv::default_env();
+    let mut p = FireworksPlatform::new(env.clone());
+    p.install(&spec).expect("install");
+    let before = env.clock.now();
+    let _ = p.invoke(
+        "spin",
+        &Value::map([("spin".to_string(), Value::Bool(true))]),
+        StartMode::Auto,
+    );
+    let elapsed = env.clock.now() - before;
+    // The runaway execution burned (roughly) its budget of virtual time
+    // before being killed.
+    assert!(
+        elapsed >= Nanos::from_millis(20),
+        "killed run must charge time, got {elapsed}"
+    );
+}

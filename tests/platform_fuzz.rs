@@ -1,0 +1,178 @@
+//! Randomised platform exercising: a seeded stream of installs, invokes
+//! (cold/warm/auto), evictions, clock jumps, and resident clones against
+//! every platform. Invariants: no panics, correct results for known
+//! inputs, monotone clock, and no host-memory leaks after teardown.
+
+use fireworks::prelude::*;
+use fireworks::sim::rng::SplitMix64;
+
+const FUNCS: [&str; 3] = ["alpha", "beta", "gamma"];
+
+/// alpha(n) = n², beta(n) = sum 0..n, gamma builds and folds an array.
+fn source_for(name: &str) -> String {
+    match name {
+        "alpha" => "fn main(p) { let n = p[\"n\"]; return n * n; }".to_string(),
+        "beta" => "fn main(p) {
+            let n = p[\"n\"];
+            let t = 0;
+            for (let i = 0; i < n; i = i + 1) { t = t + i; }
+            return t;
+        }"
+        .to_string(),
+        _ => "fn main(p) {
+            let n = p[\"n\"];
+            let a = [];
+            for (let i = 0; i < n; i = i + 1) { push(a, i * 2); }
+            let t = 0;
+            for (let i = 0; i < len(a); i = i + 1) { t = t + a[i]; }
+            return t;
+        }"
+        .to_string(),
+    }
+}
+
+fn expected(name: &str, n: i64) -> Value {
+    match name {
+        "alpha" => Value::Int(n * n),
+        "beta" => Value::Int(n * (n - 1) / 2),
+        _ => Value::Int(n * (n - 1)),
+    }
+}
+
+fn args(n: i64) -> Value {
+    Value::map([("n".to_string(), Value::Int(n))])
+}
+
+fn fuzz_platform<P: Platform>(mut platform: P, seed: u64, steps: u32) {
+    let mut rng = SplitMix64::new(seed);
+    let mut installed: Vec<&str> = Vec::new();
+    let mut cold_seen: std::collections::HashSet<&str> = Default::default();
+    for step in 0..steps {
+        match rng.next_below(10) {
+            0 | 1 => {
+                // Install (or reinstall) a function.
+                let name = *rng.choose(&FUNCS);
+                platform
+                    .install(&FunctionSpec::new(
+                        name,
+                        source_for(name),
+                        RuntimeKind::NodeLike,
+                        args(7),
+                    ))
+                    .unwrap_or_else(|e| panic!("step {step}: install {name}: {e}"));
+                if !installed.contains(&name) {
+                    installed.push(name);
+                }
+                cold_seen.remove(name);
+            }
+            2 => {
+                // Evict warm sandboxes.
+                if let Some(name) = installed.last() {
+                    platform.evict(name);
+                    cold_seen.remove(*name);
+                }
+            }
+            3 => {
+                // Invoking an unknown function must error, not panic.
+                assert!(matches!(
+                    platform.invoke("ghost", &args(1), StartMode::Auto),
+                    Err(PlatformError::UnknownFunction(_))
+                ));
+            }
+            _ => {
+                // Invoke an installed function with a random small n.
+                if installed.is_empty() {
+                    continue;
+                }
+                let name = *rng.choose(&installed);
+                let n = rng.next_range(2, 40) as i64;
+                let mode = match rng.next_below(3) {
+                    0 => StartMode::Cold,
+                    1 if cold_seen.contains(name) => StartMode::Warm,
+                    _ => StartMode::Auto,
+                };
+                let inv = platform
+                    .invoke(name, &args(n), mode)
+                    .unwrap_or_else(|e| panic!("step {step}: invoke {name}({n}) {mode:?}: {e}"));
+                assert_eq!(
+                    inv.value,
+                    expected(name, n),
+                    "step {step}: {name}({n}) wrong result"
+                );
+                if mode == StartMode::Cold {
+                    cold_seen.insert(name);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fuzz_fireworks() {
+    for seed in [1, 2, 3] {
+        let env = PlatformEnv::default_env();
+        let clock = env.clock.clone();
+        let before = clock.now();
+        fuzz_platform(FireworksPlatform::new(env), seed, 60);
+        assert!(clock.now() > before, "clock must advance");
+    }
+}
+
+#[test]
+fn fuzz_openwhisk() {
+    for seed in [4, 5] {
+        fuzz_platform(OpenWhiskPlatform::new(PlatformEnv::default_env()), seed, 60);
+    }
+}
+
+#[test]
+fn fuzz_gvisor_both_modes() {
+    fuzz_platform(GvisorPlatform::new(PlatformEnv::default_env()), 6, 50);
+    fuzz_platform(
+        GvisorPlatform::with_checkpoints(PlatformEnv::default_env(), true),
+        7,
+        50,
+    );
+}
+
+#[test]
+fn fuzz_firecracker_both_policies() {
+    fuzz_platform(
+        FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::None),
+        8,
+        50,
+    );
+    fuzz_platform(
+        FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::OsSnapshot),
+        9,
+        50,
+    );
+}
+
+#[test]
+fn fuzz_resident_clones_do_not_leak() {
+    let env = PlatformEnv::default_env();
+    let mut p = FireworksPlatform::new(env.clone());
+    p.install(&FunctionSpec::new(
+        "alpha",
+        source_for("alpha"),
+        RuntimeKind::NodeLike,
+        args(7),
+    ))
+    .expect("install");
+    let baseline = env.host_mem.used_bytes();
+    let mut rng = SplitMix64::new(11);
+    for _ in 0..5 {
+        let mut clones = Vec::new();
+        for _ in 0..rng.next_range(1, 6) {
+            let (_, c) = p.invoke_resident("alpha", &args(9)).expect("clone");
+            clones.push(c);
+        }
+        for c in clones {
+            p.release_clone(c);
+        }
+        // All clone memory returns to the host; only the pinned snapshot
+        // remains.
+        assert_eq!(env.host_mem.used_bytes(), baseline);
+    }
+}
