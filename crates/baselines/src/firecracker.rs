@@ -110,7 +110,7 @@ impl FirecrackerPlatform {
             (e.spec.source.clone(), e.profile.clone())
         };
         let mut vm = self.mgr.create(MicroVmConfig::default());
-        self.mgr.boot(&mut vm);
+        self.mgr.boot(&mut vm)?;
         self.mgr.launch_runtime(&mut vm, profile, &source, None)?;
         Ok(vm)
     }
@@ -212,7 +212,7 @@ impl FirecrackerPlatform {
                             clock.advance(net_costs.tap_create);
                             clock.advance(net_costs.nat_rule_install);
                             self.mgr.restore(&snap)
-                        });
+                        })?;
                         (vm, StartKind::SnapshotRestore)
                     }
                     None => {

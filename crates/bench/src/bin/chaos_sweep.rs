@@ -1,0 +1,157 @@
+//! Chaos sweep: Fireworks under an injected-fault storm.
+//!
+//! Sweeps uniform fault rates across every fault site (snapshot read
+//! errors, page corruption, VM crashes, store outages, packet loss) and
+//! reports, per rate, how the platform's recovery machinery holds up:
+//! success rate, recovery actions taken (retries, quarantines, snapshot
+//! rebuilds), circuit-breaker trips, and the latency cost of recovering.
+//!
+//! Output is a JSON document on stdout (one object per swept rate), so
+//! runs under different seeds diff cleanly — the injected schedule is a
+//! pure function of `(seed, rate)`.
+//!
+//! Usage: `chaos_sweep [seed]` (default seed 42).
+
+use fireworks_core::api::Platform;
+use fireworks_core::api::{PlatformError, StartMode};
+use fireworks_core::{FireworksPlatform, PlatformEnv};
+use fireworks_runtime::RuntimeKind;
+use fireworks_sim::fault::FaultPlan;
+use fireworks_sim::Nanos;
+use fireworks_workloads::faasdom::Bench;
+
+/// Invocations per swept fault rate.
+const INVOCATIONS: usize = 40;
+
+/// The swept per-check fault probabilities.
+const RATES: [f64; 5] = [0.0, 0.005, 0.01, 0.02, 0.05];
+
+struct RatePoint {
+    rate: f64,
+    invocations: usize,
+    successes: usize,
+    vm_failures: usize,
+    circuit_rejections: usize,
+    other_failures: usize,
+    injected_faults: usize,
+    fault_checks: u64,
+    recoveries: u64,
+    quarantines: u64,
+    rebuilds: u64,
+    mean_latency: Nanos,
+    mean_recovery_latency: Nanos,
+    schedule_fingerprint: u64,
+}
+
+fn run_rate(seed: u64, rate: f64) -> RatePoint {
+    let env = PlatformEnv::with_fault_plan(FaultPlan::uniform(seed, rate));
+    let mut platform = FireworksPlatform::new(env.clone());
+    let spec = Bench::Fact.spec(RuntimeKind::NodeLike);
+    let args = Bench::Fact.request_params();
+    platform.install(&spec).expect("install is fault-free here");
+
+    let mut successes = 0;
+    let mut vm_failures = 0;
+    let mut circuit_rejections = 0;
+    let mut other_failures = 0;
+    let mut total_latency = Nanos::ZERO;
+    let mut recovery_latency = Nanos::ZERO;
+    for _ in 0..INVOCATIONS {
+        match platform.invoke(&spec.name, &args, StartMode::Auto) {
+            Ok(inv) => {
+                successes += 1;
+                total_latency += inv.total();
+                recovery_latency += inv.trace.total_for("recovery_backoff")
+                    + inv.trace.total_for("snapshot_rebuild");
+            }
+            Err(PlatformError::Vm(_)) => vm_failures += 1,
+            Err(PlatformError::CircuitOpen { .. }) => {
+                circuit_rejections += 1;
+                // Give the breaker a chance to half-open again so the
+                // sweep measures recovery, not a stuck-open circuit.
+                env.clock.advance(Nanos::from_secs(11));
+            }
+            Err(_) => other_failures += 1,
+        }
+    }
+
+    let health = platform.health(&spec.name).expect("installed");
+    let injector = env.injector.borrow();
+    RatePoint {
+        rate,
+        invocations: INVOCATIONS,
+        successes,
+        vm_failures,
+        circuit_rejections,
+        other_failures,
+        injected_faults: injector.injected().len(),
+        fault_checks: injector.checks(),
+        recoveries: health.recoveries,
+        quarantines: health.quarantines,
+        rebuilds: health.rebuilds,
+        mean_latency: if successes > 0 {
+            Nanos::from_nanos(total_latency.as_nanos() / successes as u64)
+        } else {
+            Nanos::ZERO
+        },
+        mean_recovery_latency: if successes > 0 {
+            Nanos::from_nanos(recovery_latency.as_nanos() / successes as u64)
+        } else {
+            Nanos::ZERO
+        },
+        schedule_fingerprint: injector.schedule_fingerprint(),
+    }
+}
+
+fn main() {
+    let seed = match std::env::args().nth(1) {
+        None => 42,
+        Some(arg) => match arg.parse::<u64>() {
+            Ok(seed) => seed,
+            Err(_) => {
+                eprintln!("error: seed must be a non-negative integer, got {arg:?}");
+                eprintln!("usage: chaos_sweep [seed]");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    let points: Vec<RatePoint> = RATES.iter().map(|&rate| run_rate(seed, rate)).collect();
+
+    // Hand-rolled JSON (the workspace carries no serde).
+    println!("{{");
+    println!("  \"bench\": \"chaos_sweep\",");
+    println!("  \"seed\": {seed},");
+    println!("  \"invocations_per_rate\": {INVOCATIONS},");
+    println!("  \"points\": [");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        println!("    {{");
+        println!("      \"rate\": {},", p.rate);
+        println!("      \"invocations\": {},", p.invocations);
+        println!("      \"successes\": {},", p.successes);
+        println!("      \"vm_failures\": {},", p.vm_failures);
+        println!("      \"circuit_rejections\": {},", p.circuit_rejections);
+        println!("      \"other_failures\": {},", p.other_failures);
+        println!("      \"injected_faults\": {},", p.injected_faults);
+        println!("      \"fault_checks\": {},", p.fault_checks);
+        println!("      \"recoveries\": {},", p.recoveries);
+        println!("      \"quarantines\": {},", p.quarantines);
+        println!("      \"rebuilds\": {},", p.rebuilds);
+        println!(
+            "      \"mean_latency_us\": {:.1},",
+            p.mean_latency.as_nanos() as f64 / 1_000.0
+        );
+        println!(
+            "      \"mean_recovery_latency_us\": {:.1},",
+            p.mean_recovery_latency.as_nanos() as f64 / 1_000.0
+        );
+        println!(
+            "      \"schedule_fingerprint\": \"{:016x}\"",
+            p.schedule_fingerprint
+        );
+        println!("    }}{comma}");
+    }
+    println!("  ]");
+    println!("}}");
+}

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use fireworks_lang::{ExecStats, LangError, Value};
+use fireworks_microvm::VmError;
 use fireworks_msgbus::BusError;
 use fireworks_netsim::NetError;
 use fireworks_runtime::RuntimeKind;
@@ -26,6 +27,17 @@ pub enum PlatformError {
     Store(StoreError),
     /// A warm start was requested but no warm sandbox exists.
     NoWarmSandbox(String),
+    /// A microVM boot/restore failure that survived the platform's
+    /// recovery policy (retries, quarantine, rebuild).
+    Vm(VmError),
+    /// The function's circuit breaker is open after repeated
+    /// infrastructure failures; invocations fail fast until `until`.
+    CircuitOpen {
+        /// The function whose breaker is open.
+        function: String,
+        /// Virtual time at which the breaker half-opens again.
+        until: Nanos,
+    },
     /// The invocation exceeded its timeout and was killed.
     Timeout {
         /// The function that timed out.
@@ -47,6 +59,10 @@ impl fmt::Display for PlatformError {
             PlatformError::Store(e) => write!(f, "{e}"),
             PlatformError::NoWarmSandbox(name) => {
                 write!(f, "no warm sandbox for `{name}` (invoke cold first)")
+            }
+            PlatformError::Vm(e) => write!(f, "{e}"),
+            PlatformError::CircuitOpen { function, until } => {
+                write!(f, "circuit open for `{function}` until t={until}")
             }
             PlatformError::Timeout { function, ops } => {
                 write!(f, "`{function}` timed out after {ops} guest ops")
@@ -79,6 +95,12 @@ impl From<BusError> for PlatformError {
 impl From<StoreError> for PlatformError {
     fn from(e: StoreError) -> Self {
         PlatformError::Store(e)
+    }
+}
+
+impl From<VmError> for PlatformError {
+    fn from(e: VmError) -> Self {
+        PlatformError::Vm(e)
     }
 }
 

@@ -133,7 +133,7 @@ mod tests {
         let host = HostMemory::new(clock.clone(), 4 << 30, 60);
         let mut mgr = VmManager::new(clock, Rc::new(fireworks_sim::CostModel::default()), host);
         let mut vm = mgr.create(MicroVmConfig::default());
-        mgr.boot(&mut vm);
+        mgr.boot(&mut vm).expect("boots");
         mgr.launch_runtime(
             &mut vm,
             RuntimeProfile::node(),
@@ -179,6 +179,40 @@ mod tests {
         let mut cache = SnapshotCache::new(1024);
         cache.insert("big", s);
         assert_eq!(cache.len(), 1, "must keep at least the newest snapshot");
+    }
+
+    #[test]
+    fn tight_budget_keeps_only_the_hottest_entry() {
+        let s = snapshot_of(100);
+        let bytes = s.file_bytes();
+        // Budget fits exactly one snapshot: every insert evicts the rest.
+        let mut cache = SnapshotCache::new(bytes);
+        cache.insert("a", s);
+        cache.insert("b", snapshot_of(100));
+        cache.insert("c", snapshot_of(100));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.used_bytes() <= bytes);
+        assert_eq!(cache.evictions(), 2);
+        assert!(cache.get("c").is_some(), "newest entry survives");
+        assert!(cache.get("a").is_none() && cache.get("b").is_none());
+    }
+
+    #[test]
+    fn eviction_respects_get_recency_not_insert_order() {
+        let one = snapshot_of(100);
+        let bytes = one.file_bytes();
+        let mut cache = SnapshotCache::new(bytes * 3 + 1024);
+        cache.insert("a", one);
+        cache.insert("b", snapshot_of(100));
+        cache.insert("c", snapshot_of(100));
+        // Refresh the two oldest; the middle-aged `c` becomes the victim.
+        cache.get("a").expect("a");
+        cache.get("b").expect("b");
+        cache.insert("d", snapshot_of(100));
+        assert!(cache.get("c").is_none(), "least-recently-used loses");
+        for name in ["a", "b", "d"] {
+            assert!(cache.get(name).is_some(), "{name} survives");
+        }
     }
 
     #[test]

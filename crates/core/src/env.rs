@@ -7,6 +7,7 @@ use fireworks_guestmem::HostMemory;
 use fireworks_lang::Value;
 use fireworks_msgbus::MessageBus;
 use fireworks_netsim::HostNetwork;
+use fireworks_sim::fault::{self, FaultInjector, FaultPlan, SharedInjector};
 use fireworks_sim::{Clock, CostModel};
 use fireworks_store::{DocumentStore, StoreCosts};
 
@@ -19,6 +20,8 @@ pub struct EnvConfig {
     pub swappiness: u8,
     /// Infrastructure cost table.
     pub costs: CostModel,
+    /// Faults to inject (empty plan: nothing ever fails).
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for EnvConfig {
@@ -30,6 +33,7 @@ impl Default for EnvConfig {
             ram_bytes: 24 << 30,
             swappiness: 60,
             costs: CostModel::default(),
+            fault_plan: FaultPlan::default(),
         }
     }
 }
@@ -52,6 +56,10 @@ pub struct PlatformEnv {
     pub store: Rc<RefCell<DocumentStore>>,
     /// Host network (namespaces + NAT).
     pub net: Rc<RefCell<HostNetwork>>,
+    /// The host's fault injector, shared by the store, the network, and
+    /// the VM manager. Disabled (never fires) unless the [`EnvConfig`]
+    /// armed a fault plan.
+    pub injector: SharedInjector,
 }
 
 impl PlatformEnv {
@@ -60,18 +68,19 @@ impl PlatformEnv {
         let clock = Clock::new();
         let costs = Rc::new(config.costs);
         let host_mem = HostMemory::new(clock.clone(), config.ram_bytes, config.swappiness);
+        let mut inj = FaultInjector::new(config.fault_plan);
+        inj.attach_clock(clock.clone());
+        let injector = fault::shared(inj);
         let bus = Rc::new(RefCell::new(MessageBus::new(
             clock.clone(),
             costs.bus.clone(),
         )));
-        let store = Rc::new(RefCell::new(DocumentStore::new(
-            clock.clone(),
-            StoreCosts::default(),
-        )));
-        let net = Rc::new(RefCell::new(HostNetwork::new(
-            clock.clone(),
-            costs.net.clone(),
-        )));
+        let mut raw_store = DocumentStore::new(clock.clone(), StoreCosts::default());
+        raw_store.set_fault_injector(injector.clone());
+        let store = Rc::new(RefCell::new(raw_store));
+        let mut raw_net = HostNetwork::new(clock.clone(), costs.net.clone());
+        raw_net.set_fault_injector(injector.clone());
+        let net = Rc::new(RefCell::new(raw_net));
         PlatformEnv {
             clock,
             costs,
@@ -79,12 +88,21 @@ impl PlatformEnv {
             bus,
             store,
             net,
+            injector,
         }
     }
 
     /// A default-configured environment.
     pub fn default_env() -> Self {
         PlatformEnv::new(EnvConfig::default())
+    }
+
+    /// An environment with `plan` armed on the shared injector.
+    pub fn with_fault_plan(plan: FaultPlan) -> Self {
+        PlatformEnv::new(EnvConfig {
+            fault_plan: plan,
+            ..EnvConfig::default()
+        })
     }
 }
 

@@ -7,7 +7,7 @@ use fireworks_annotator::{annotate, Annotated, AnnotationConfig};
 use fireworks_lang::{JitPolicy, Value};
 use fireworks_microvm::reap::PagingCosts;
 use fireworks_microvm::{
-    MicroVm, MicroVmConfig, ReapMode, ReapSession, VmFullSnapshot, VmManager, WorkingSet,
+    MicroVm, MicroVmConfig, ReapMode, ReapSession, VmError, VmFullSnapshot, VmManager, WorkingSet,
 };
 use fireworks_netsim::{Ip, Mac, NsId};
 use fireworks_runtime::guest::RunOutcome;
@@ -48,6 +48,59 @@ pub enum PagingPolicy {
     },
 }
 
+/// How the platform reacts to infrastructure failures (injected or
+/// otherwise) on the snapshot-restore path.
+#[derive(Debug, Clone)]
+pub struct RecoveryPolicy {
+    /// Boot/restore attempts per invocation, first try included.
+    pub max_attempts: u32,
+    /// Backoff before retry `k` (1-based) is `backoff_base * 2^(k-1)`,
+    /// charged in virtual time and traced as a `recovery_backoff` span.
+    pub backoff_base: Nanos,
+    /// Consecutive infrastructure failures that open a function's
+    /// circuit breaker.
+    pub circuit_threshold: u32,
+    /// While the breaker is open, invocations fail fast with
+    /// [`PlatformError::CircuitOpen`] for this long; the first attempt
+    /// after the cooldown is let through (half-open).
+    pub circuit_cooldown: Nanos,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_attempts: 3,
+            backoff_base: Nanos::from_millis(2),
+            circuit_threshold: 3,
+            circuit_cooldown: Nanos::from_secs(10),
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Backoff charged before retry number `attempt` (1-based).
+    fn backoff(&self, attempt: u32) -> Nanos {
+        self.backoff_base * (1u64 << u64::from(attempt.saturating_sub(1).min(16)))
+    }
+}
+
+/// Reliability counters for one installed function (see
+/// [`FireworksPlatform::health`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionHealth {
+    /// Infrastructure failures since the last successful invocation.
+    pub consecutive_failures: u32,
+    /// When the circuit breaker half-opens, if it is open.
+    pub circuit_open_until: Option<Nanos>,
+    /// Invocations that succeeded only after restore/boot retries.
+    pub recoveries: u64,
+    /// Snapshots quarantined after failing their integrity check.
+    pub quarantines: u64,
+    /// Snapshot rebuilds from source (security refreshes, cache misses,
+    /// and corruption recoveries).
+    pub rebuilds: u64,
+}
+
 struct FunctionEntry {
     spec: FunctionSpec,
     annotated: Annotated,
@@ -58,6 +111,14 @@ struct FunctionEntry {
     refresh_time: Nanos,
     /// REAP-recorded working set (ColdStorage + reap only).
     working_set: Option<WorkingSet>,
+    /// Infrastructure failures since the last success (breaker input).
+    consecutive_failures: u32,
+    /// Open-circuit deadline, if the breaker has tripped.
+    circuit_open_until: Option<Nanos>,
+    /// Invocations that needed at least one retry to succeed.
+    recoveries: u64,
+    /// Snapshots evicted for failing their integrity check.
+    quarantines: u64,
 }
 
 /// A restored microVM kept resident after its invocation (for memory
@@ -98,6 +159,7 @@ pub struct FireworksPlatform {
     next_instance: u64,
     security: SecurityPolicy,
     paging: PagingPolicy,
+    recovery: RecoveryPolicy,
 }
 
 impl FireworksPlatform {
@@ -109,7 +171,8 @@ impl FireworksPlatform {
     /// Creates a platform whose snapshot store is bounded to
     /// `cache_budget_bytes` (paper §6: disk-space overhead).
     pub fn with_cache_budget(env: PlatformEnv, cache_budget_bytes: u64) -> Self {
-        let mgr = VmManager::new(env.clock.clone(), env.costs.clone(), env.host_mem.clone());
+        let mut mgr = VmManager::new(env.clock.clone(), env.costs.clone(), env.host_mem.clone());
+        mgr.set_fault_injector(env.injector.clone());
         FireworksPlatform {
             env,
             mgr,
@@ -118,7 +181,13 @@ impl FireworksPlatform {
             next_instance: 1,
             security: SecurityPolicy::default(),
             paging: PagingPolicy::WarmPageCache,
+            recovery: RecoveryPolicy::default(),
         }
+    }
+
+    /// Sets the recovery policy (retries, backoff, circuit breaker).
+    pub fn set_recovery_policy(&mut self, recovery: RecoveryPolicy) {
+        self.recovery = recovery;
     }
 
     /// Sets where snapshot pages live (page cache vs cold storage with
@@ -189,7 +258,21 @@ impl FireworksPlatform {
     ) -> Result<Rc<VmFullSnapshot>, PlatformError> {
         let clock = self.env.clock.clone();
         let mut vm = self.mgr.create(MicroVmConfig::default());
-        self.mgr.boot(&mut vm);
+        // Boot crashes during install are transient: the VM stays in the
+        // pre-boot state, so wait out the backoff and try again.
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.mgr.boot(&mut vm) {
+                Ok(()) => break,
+                Err(err) if attempt >= self.recovery.max_attempts => {
+                    return Err(PlatformError::Vm(err))
+                }
+                Err(_) => {
+                    clock.advance(self.recovery.backoff(attempt));
+                }
+            }
+        }
         self.mgr.launch_runtime(
             &mut vm,
             profile.clone(),
@@ -198,7 +281,9 @@ impl FireworksPlatform {
         )?;
         let mut host = self.install_host(&spec.default_params);
         {
-            let rt = vm.runtime_mut().expect("runtime just launched");
+            let rt = vm
+                .runtime_mut()
+                .ok_or_else(|| PlatformError::Other("runtime failed to launch".into()))?;
             rt.run_toplevel(&clock, &mut host)?;
             rt.start(&annotated.entry, Vec::new())?;
             match rt.run(&clock, &mut host)? {
@@ -231,11 +316,30 @@ impl FireworksPlatform {
         let snapshot = self.build_snapshot(&spec, &annotated, &profile)?;
         let took = self.env.clock.now() - t0;
         self.cache.insert(name, snapshot.clone());
-        let entry = self.registry.get_mut(name).expect("checked above");
+        let entry = self
+            .registry
+            .get_mut(name)
+            .ok_or_else(|| PlatformError::UnknownFunction(name.to_string()))?;
         entry.clones_since_snapshot = 0;
         entry.refreshes += 1;
         entry.refresh_time += took;
         Ok(snapshot)
+    }
+
+    /// Records an infrastructure failure against `name`'s breaker,
+    /// opening the circuit once the threshold is reached.
+    fn note_infra_failure(&mut self, name: &str) {
+        let now = self.env.clock.now();
+        let (threshold, cooldown) = (
+            self.recovery.circuit_threshold,
+            self.recovery.circuit_cooldown,
+        );
+        if let Some(entry) = self.registry.get_mut(name) {
+            entry.consecutive_failures += 1;
+            if entry.consecutive_failures >= threshold {
+                entry.circuit_open_until = Some(now + cooldown);
+            }
+        }
     }
 
     /// The common invoke path; returns the invocation and the still-live
@@ -251,6 +355,17 @@ impl FireworksPlatform {
                 .registry
                 .get(name)
                 .ok_or_else(|| PlatformError::UnknownFunction(name.to_string()))?;
+            // Open breaker: fail fast without touching any resources.
+            // Past the cooldown the attempt is let through (half-open);
+            // it either resets the breaker or re-opens it.
+            if let Some(until) = entry.circuit_open_until {
+                if clock.now() < until {
+                    return Err(PlatformError::CircuitOpen {
+                        function: name.to_string(),
+                        until,
+                    });
+                }
+            }
             (
                 entry.spec.default_params.deep_clone(),
                 entry.working_set.clone(),
@@ -263,7 +378,7 @@ impl FireworksPlatform {
         // Snapshot lookup; on an LRU miss the platform must rebuild it
         // (the §6 disk-budget trade-off), charged to this invocation as a
         // labelled start-up span.
-        let snapshot = match self.cache.get(name) {
+        let mut snapshot = match self.cache.get(name) {
             Some(s) => s,
             None => {
                 let t0 = clock.now();
@@ -295,10 +410,66 @@ impl FireworksPlatform {
             Ok::<NsId, PlatformError>(ns)
         })?;
 
-        // Restore the snapshot and set per-instance metadata.
-        let mut vm = trace.scope(&clock, "snapshot_restore", Phase::Startup, || {
-            self.mgr.restore(&snapshot)
-        });
+        // Restore the snapshot, recovering from infrastructure faults:
+        // transient failures (read errors, restore crashes) retry after an
+        // exponential virtual-time backoff; a failed integrity check
+        // quarantines the cached snapshot and rebuilds it from source —
+        // this start degrades to roughly a cold install, but the
+        // invocation still succeeds. A failure that survives the policy
+        // tears the clone's resources down, counts toward the function's
+        // circuit breaker, and surfaces as a typed error.
+        let mut attempt = 0u32;
+        let mut recovered = false;
+        let restored = loop {
+            attempt += 1;
+            let result = trace.scope(&clock, "snapshot_restore", Phase::Startup, || {
+                self.mgr.restore(&snapshot)
+            });
+            match result {
+                Ok(vm) => break Ok(vm),
+                Err(err) if attempt >= self.recovery.max_attempts => {
+                    break Err(PlatformError::Vm(err))
+                }
+                Err(VmError::Corrupt(_)) => {
+                    // Every later restore would fail the same checksums:
+                    // evict the damaged snapshot and rebuild from source.
+                    self.cache.remove(name);
+                    if let Some(entry) = self.registry.get_mut(name) {
+                        entry.quarantines += 1;
+                    }
+                    let t0 = clock.now();
+                    match self.refresh_snapshot(name) {
+                        Ok(s) => {
+                            trace.record("snapshot_rebuild", Phase::Startup, t0, clock.now());
+                            snapshot = s;
+                            recovered = true;
+                        }
+                        Err(e) => break Err(e),
+                    }
+                }
+                Err(_transient) => {
+                    trace.scope(&clock, "recovery_backoff", Phase::Startup, || {
+                        clock.advance(self.recovery.backoff(attempt));
+                    });
+                    recovered = true;
+                }
+            }
+        };
+        let mut vm = match restored {
+            Ok(vm) => vm,
+            Err(e) => {
+                let _ = self.env.net.borrow_mut().destroy_namespace(ns);
+                self.env
+                    .bus
+                    .borrow_mut()
+                    .delete_topic(&format!("params-{instance}"));
+                self.note_infra_failure(name);
+                // The failed invocation returns no trace; drop its fault
+                // events so they don't bleed into the next invocation.
+                let _ = self.env.injector.borrow_mut().drain_trace();
+                return Err(e);
+            }
+        };
         vm.mmds_set("instance-id", &instance);
 
         // Cold-storage paging (the REAP extension, §7): when snapshot
@@ -313,8 +484,22 @@ impl FireworksPlatform {
                 (None, true) => ReapMode::Record,
             };
             let ws = known_working_set.unwrap_or_default();
+            let injector = self.env.injector.clone();
             recorded_ws = trace.scope(&clock, "paging", Phase::Exec, || {
-                let mut session = ReapSession::start(&clock, mode, PagingCosts::default(), ws);
+                let mut session = match ReapSession::start_with_faults(
+                    &clock,
+                    mode,
+                    PagingCosts::default(),
+                    ws.clone(),
+                    Some(&injector),
+                    Some(snapshot.mem()),
+                ) {
+                    Ok(session) => session,
+                    // Prefetch failed (read fault or corrupt working-set
+                    // page): degrade gracefully to per-page major faults
+                    // instead of failing the invocation.
+                    Err(_) => ReapSession::start(&clock, ReapMode::Off, PagingCosts::default(), ws),
+                };
                 for (first, count) in vm.working_set_ranges() {
                     session.touch_range(&clock, first, count);
                 }
@@ -358,12 +543,15 @@ impl FireworksPlatform {
         let result = match run_result {
             Ok(r) => r,
             Err(e) => {
-                // Kill the clone: namespace, topic, and VM all go.
+                // Kill the clone: namespace, topic, and VM all go. Guest
+                // errors are not infrastructure failures and do not feed
+                // the circuit breaker.
                 let _ = self.env.net.borrow_mut().destroy_namespace(ns);
                 self.env
                     .bus
                     .borrow_mut()
                     .delete_topic(&format!("params-{instance}"));
+                let _ = self.env.injector.borrow_mut().drain_trace();
                 return Err(e);
             }
         };
@@ -393,13 +581,27 @@ impl FireworksPlatform {
             anchor,
         );
 
-        let entry = self.registry.get_mut(name).expect("checked at entry");
+        let entry = self
+            .registry
+            .get_mut(name)
+            .ok_or_else(|| PlatformError::UnknownFunction(name.to_string()))?;
         entry.clones_since_snapshot += 1;
         if let Some(ws) = recorded_ws {
             entry.working_set = Some(ws);
         }
+        // Success closes the breaker and resets the failure streak.
+        entry.consecutive_failures = 0;
+        entry.circuit_open_until = None;
+        if recovered {
+            entry.recoveries += 1;
+        }
         let needs_refresh = self.security.refresh_after_invocations > 0
             && entry.clones_since_snapshot >= self.security.refresh_after_invocations;
+
+        // Surface every fault injected during this invocation in its
+        // trace, so recovery is auditable alongside the latency spans.
+        let fault_trace = self.env.injector.borrow_mut().drain_trace();
+        trace.extend(&fault_trace);
 
         let invocation = Invocation {
             value: result.value,
@@ -458,6 +660,25 @@ impl FireworksPlatform {
     pub fn install_report(&self, name: &str) -> Option<&InstallReport> {
         self.registry.get(name).map(|e| &e.install_report)
     }
+
+    /// The function's cached snapshot, if the LRU still holds it. Touches
+    /// the LRU like any other access. Handy for inspecting (or, in
+    /// robustness tests, damaging) the exact pages later restores read.
+    pub fn cached_snapshot(&mut self, name: &str) -> Option<Rc<VmFullSnapshot>> {
+        self.cache.get(name)
+    }
+
+    /// Reliability counters and breaker state of an installed function.
+    pub fn health(&self, name: &str) -> Option<FunctionHealth> {
+        let entry = self.registry.get(name)?;
+        Some(FunctionHealth {
+            consecutive_failures: entry.consecutive_failures,
+            circuit_open_until: entry.circuit_open_until,
+            recoveries: entry.recoveries,
+            quarantines: entry.quarantines,
+            rebuilds: entry.refreshes,
+        })
+    }
 }
 
 impl Platform for FireworksPlatform {
@@ -493,6 +714,10 @@ impl Platform for FireworksPlatform {
                 refreshes: 0,
                 refresh_time: Nanos::ZERO,
                 working_set: None,
+                consecutive_failures: 0,
+                circuit_open_until: None,
+                recoveries: 0,
+                quarantines: 0,
             },
         );
         Ok(report)
@@ -784,6 +1009,122 @@ mod tests {
         );
         // Results are identical regardless of paging policy.
         assert_eq!(warm_inv.value, r2.value);
+    }
+
+    #[test]
+    fn transient_restore_fault_recovers_with_backoff() {
+        use fireworks_sim::fault::{FaultPlan, FaultSite};
+        let plan = FaultPlan::new(7).nth(FaultSite::SnapshotRead, 1);
+        let mut p = FireworksPlatform::new(PlatformEnv::with_fault_plan(plan));
+        p.install(&spec("fact")).expect("installs");
+        let inv = p
+            .invoke("fact", &args(360), StartMode::Auto)
+            .expect("recovers");
+        assert_eq!(inv.value, Value::Int(6), "result unaffected by the fault");
+        assert!(
+            inv.trace.total_for("recovery_backoff") > Nanos::ZERO,
+            "retry backoff must be visible in the trace"
+        );
+        assert!(
+            inv.trace.total_for("fault:snapshot_read") == Nanos::ZERO
+                && inv
+                    .trace
+                    .spans()
+                    .iter()
+                    .any(|s| s.label == "fault:snapshot_read"),
+            "the injected fault appears as a zero-width span"
+        );
+        let health = p.health("fact").expect("installed");
+        assert_eq!(health.recoveries, 1);
+        assert_eq!(health.consecutive_failures, 0);
+        assert_eq!(health.quarantines, 0);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_quarantined_and_rebuilt() {
+        let mut p = platform();
+        p.install(&spec("fact")).expect("installs");
+        // Damage a page of the cached snapshot behind the platform's back
+        // (disk corruption, not an armed injector).
+        p.cache.get("fact").expect("cached").mem().corrupt_page(123);
+        let inv = p
+            .invoke("fact", &args(360), StartMode::Auto)
+            .expect("self-heals");
+        assert_eq!(inv.value, Value::Int(6));
+        assert!(
+            inv.trace.total_for("snapshot_rebuild") > Nanos::ZERO,
+            "recovery rebuilds the snapshot from source"
+        );
+        let health = p.health("fact").expect("installed");
+        assert_eq!(health.quarantines, 1);
+        assert_eq!(health.rebuilds, 1);
+        // The rebuilt snapshot serves the next invocation cleanly.
+        let inv2 = p
+            .invoke("fact", &args(360), StartMode::Auto)
+            .expect("restores");
+        assert_eq!(inv2.start, StartKind::SnapshotRestore);
+        assert_eq!(inv2.trace.total_for("snapshot_rebuild"), Nanos::ZERO);
+        assert_eq!(inv2.trace.total_for("recovery_backoff"), Nanos::ZERO);
+    }
+
+    #[test]
+    fn repeated_infra_failures_open_the_circuit_breaker() {
+        use fireworks_sim::fault::{FaultPlan, FaultSite};
+        // Every snapshot read fails: each invocation exhausts its retries.
+        let plan = FaultPlan::new(3).probability(FaultSite::SnapshotRead, 1.0);
+        let mut p = FireworksPlatform::new(PlatformEnv::with_fault_plan(plan));
+        p.install(&spec("fact")).expect("installs");
+        let ns_before = p.env().net.borrow().namespace_count();
+        for i in 0..3 {
+            let err = p.invoke("fact", &args(10), StartMode::Auto);
+            assert!(matches!(err, Err(PlatformError::Vm(_))), "attempt {i}");
+        }
+        assert_eq!(
+            p.env().net.borrow().namespace_count(),
+            ns_before,
+            "failed restores must not leak namespaces"
+        );
+        // Threshold reached: the breaker fails fast without retrying.
+        let t0 = p.env().clock.now();
+        let err = p.invoke("fact", &args(10), StartMode::Auto);
+        assert!(matches!(err, Err(PlatformError::CircuitOpen { .. })));
+        assert_eq!(p.env().clock.now(), t0, "fail-fast charges nothing");
+        // After the cooldown one half-open attempt goes through (and, with
+        // the fault still armed, re-opens the breaker).
+        p.env().clock.advance(Nanos::from_secs(11));
+        let err = p.invoke("fact", &args(10), StartMode::Auto);
+        assert!(matches!(err, Err(PlatformError::Vm(_))));
+        let err = p.invoke("fact", &args(10), StartMode::Auto);
+        assert!(matches!(err, Err(PlatformError::CircuitOpen { .. })));
+        let health = p.health("fact").expect("installed");
+        assert!(health.circuit_open_until.is_some());
+        assert_eq!(health.consecutive_failures, 4);
+    }
+
+    #[test]
+    fn guest_errors_do_not_trip_the_breaker() {
+        let mut p = platform();
+        p.install(&FunctionSpec::new(
+            "crashy",
+            "fn main(params) { return 1 / params[\"zero\"]; }",
+            RuntimeKind::NodeLike,
+            Value::map([("zero".to_string(), Value::Int(1))]),
+        ))
+        .expect("installs");
+        for _ in 0..5 {
+            let err = p.invoke(
+                "crashy",
+                &Value::map([("zero".to_string(), Value::Int(0))]),
+                StartMode::Auto,
+            );
+            assert!(matches!(err, Err(PlatformError::Lang(_))));
+        }
+        let health = p.health("crashy").expect("installed");
+        assert_eq!(
+            health.consecutive_failures, 0,
+            "guest bugs are not infrastructure failures"
+        );
+        assert!(health.circuit_open_until.is_none());
     }
 
     #[test]

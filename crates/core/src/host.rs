@@ -15,7 +15,14 @@ use fireworks_lang::{Host, LangError, Value};
 use fireworks_msgbus::MessageBus;
 use fireworks_sandbox::IoPath;
 use fireworks_sim::{Clock, Nanos};
-use fireworks_store::DocumentStore;
+use fireworks_store::{DocumentStore, StoreError};
+
+/// Store requests that hit a transient outage are retried this many
+/// times in total before the outage surfaces to the guest.
+const STORE_RETRY_ATTEMPTS: u32 = 3;
+/// Backoff before the first store retry; doubles per retry, charged on
+/// the virtual clock.
+const STORE_RETRY_BACKOFF: Nanos = Nanos::from_micros(500);
 
 /// Network charging mode for guest responses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,6 +121,27 @@ impl GuestHost {
         }
     }
 
+    /// Runs a store request with bounded retries: a transient outage
+    /// ([`StoreError::Unavailable`]) backs off on the virtual clock and
+    /// tries again; every other result returns immediately.
+    fn retry_store<T>(
+        clock: &Clock,
+        mut op: impl FnMut() -> Result<T, StoreError>,
+    ) -> Result<T, StoreError> {
+        let mut backoff = STORE_RETRY_BACKOFF;
+        let mut attempt = 1;
+        loop {
+            match op() {
+                Err(StoreError::Unavailable) if attempt < STORE_RETRY_ATTEMPTS => {
+                    clock.advance(backoff);
+                    backoff = backoff * 2;
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
     fn serve(&mut self, name: &str, args: &[Value]) -> Result<Value, LangError> {
         match name {
             "io_read" | "io_write" => {
@@ -146,19 +174,21 @@ impl GuestHost {
                     .cloned()
                     .ok_or_else(|| LangError::runtime("db_put needs a document"))?;
                 self.clock.advance(self.net_packet(1));
-                let rev = self
-                    .store
-                    .borrow_mut()
-                    .put(&db, &id, &body, None)
-                    .map_err(|e| LangError::runtime(e.to_string()))?;
+                let rev = Self::retry_store(&self.clock, || {
+                    self.store.borrow_mut().put(&db, &id, &body, None)
+                })
+                .map_err(|e| LangError::runtime(e.to_string()))?;
                 Ok(Value::Int(rev as i64))
             }
             "db_get" => {
                 let db = Self::want_str(args.first(), "database")?;
                 let id = Self::want_str(args.get(1), "document id")?;
                 self.clock.advance(self.net_packet(1));
-                match self.store.borrow().get(&db, &id) {
+                match Self::retry_store(&self.clock, || self.store.borrow().get(&db, &id)) {
                     Ok(doc) => Ok(doc.body),
+                    // An outage that survives the retries is an error; a
+                    // missing document reads as null (HTTP 404).
+                    Err(e @ StoreError::Unavailable) => Err(LangError::runtime(e.to_string())),
                     Err(_) => Ok(Value::Null),
                 }
             }
@@ -166,9 +196,11 @@ impl GuestHost {
                 let db = Self::want_str(args.first(), "database")?;
                 let id = Self::want_str(args.get(1), "document id")?;
                 self.clock.advance(self.net_packet(1));
-                Ok(Value::Bool(
-                    self.store.borrow_mut().delete(&db, &id).is_ok(),
-                ))
+                match Self::retry_store(&self.clock, || self.store.borrow_mut().delete(&db, &id)) {
+                    Ok(_) => Ok(Value::Bool(true)),
+                    Err(e @ StoreError::Unavailable) => Err(LangError::runtime(e.to_string())),
+                    Err(_) => Ok(Value::Bool(false)),
+                }
             }
             "db_find" => {
                 let db = Self::want_str(args.first(), "database")?;
@@ -180,22 +212,30 @@ impl GuestHost {
                 self.clock.advance(self.net_packet(1));
                 // A missing database reads as empty (HTTP 404 → no rows),
                 // which install-time warm-up relies on.
-                let docs = self
-                    .store
-                    .borrow()
-                    .find(&db, &field, &value)
-                    .unwrap_or_default();
+                let docs = match Self::retry_store(&self.clock, || {
+                    self.store.borrow().find(&db, &field, &value)
+                }) {
+                    Ok(docs) => docs,
+                    Err(e @ StoreError::Unavailable) => {
+                        return Err(LangError::runtime(e.to_string()))
+                    }
+                    Err(_) => Vec::new(),
+                };
                 Ok(Value::array(docs.into_iter().map(|d| d.body).collect()))
             }
             "db_changes" => {
                 let db = Self::want_str(args.first(), "database")?;
                 let since = Self::want_int(args.get(1), "since")?.max(0) as u64;
                 self.clock.advance(self.net_packet(1));
-                let changes = self
-                    .store
-                    .borrow()
-                    .changes_since(&db, since)
-                    .unwrap_or_default();
+                let changes = match Self::retry_store(&self.clock, || {
+                    self.store.borrow().changes_since(&db, since)
+                }) {
+                    Ok(changes) => changes,
+                    Err(e @ StoreError::Unavailable) => {
+                        return Err(LangError::runtime(e.to_string()))
+                    }
+                    Err(_) => Vec::new(),
+                };
                 Ok(Value::array(
                     changes
                         .into_iter()

@@ -37,4 +37,6 @@ pub use api::{
     FunctionSpec, InstallReport, Invocation, Platform, PlatformError, StartKind, StartMode,
 };
 pub use env::PlatformEnv;
-pub use fireworks::{FireworksPlatform, PagingPolicy, ResidentClone};
+pub use fireworks::{
+    FireworksPlatform, FunctionHealth, PagingPolicy, RecoveryPolicy, ResidentClone,
+};

@@ -1,0 +1,166 @@
+//! An offline, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the API subset `benches/mechanisms.rs` uses: `criterion_group!` /
+//! `criterion_main!`, benchmark groups, `Bencher::iter` /
+//! `Bencher::iter_batched`, throughput annotation, and the `--test` CLI
+//! mode CI invokes (`cargo bench -- --test` runs every benchmark once).
+//!
+//! It makes no statistical claims: each benchmark runs a fixed, small
+//! number of iterations and prints a rough mean wall-clock time.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Iterations per benchmark in normal mode (1 in `--test` mode).
+const ITERS: u32 = 10;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments (`--test` runs each
+    /// benchmark exactly once, as upstream criterion does).
+    pub fn from_args() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            _throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, self.test_mode, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    _throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the per-iteration throughput (printed, not analysed).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self._throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, self.criterion.test_mode, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(name: &str, test_mode: bool, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: if test_mode { 1 } else { ITERS },
+        total_nanos: 0,
+        measured: 0,
+    };
+    f(&mut b);
+    if b.measured > 0 {
+        let mean = b.total_nanos / u128::from(b.measured);
+        println!("  {name}: ~{mean} ns/iter ({} iters)", b.measured);
+    } else {
+        println!("  {name}: no measurements");
+    }
+}
+
+/// Passed to each benchmark closure to drive timed iterations.
+pub struct Bencher {
+    iters: u32,
+    total_nanos: u128,
+    measured: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            let out = routine();
+            self.total_nanos += t0.elapsed().as_nanos();
+            self.measured += 1;
+            drop(out);
+        }
+    }
+
+    /// Times `routine` on fresh inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.iters {
+            let input = setup();
+            let t0 = Instant::now();
+            let out = routine(input);
+            self.total_nanos += t0.elapsed().as_nanos();
+            self.measured += 1;
+            drop(out);
+        }
+    }
+}
+
+/// Batch sizing hint (accepted, unused).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Inputs are cheap to hold; one per iteration.
+    SmallInput,
+    /// Larger inputs; identical behaviour in this shim.
+    LargeInput,
+}
+
+/// Per-iteration work annotation.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// An opaque value barrier (no-op strong enough for a shim).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $bench(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -10,6 +10,23 @@ use fireworks_sim::Clock;
 /// Size of one guest-physical page / host frame in bytes.
 pub const PAGE_SIZE: usize = 4096;
 
+/// FNV-1a over `bytes`.
+const fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut i = 0;
+    while i < bytes.len() {
+        h ^= bytes[i] as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        i += 1;
+    }
+    h
+}
+
+/// FNV-1a of an all-zero page: the checksum of every frame that was only
+/// touched for accounting (no data write), precomputed so checksumming a
+/// mostly-untouched VM image costs O(frames), not O(bytes).
+const ZERO_PAGE_FNV: u64 = fnv1a(&[0u8; PAGE_SIZE]);
+
 /// Identifier of a host frame. Non-zero so `Option<FrameId>` is pointer
 /// sized in page tables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -212,6 +229,26 @@ impl HostMemory {
         data[offset..offset + bytes.len()].copy_from_slice(bytes);
     }
 
+    /// Flips bytes in a frame *without* the CoW private-ownership check —
+    /// modelling bit-rot / media corruption of stored data rather than a
+    /// guest write. Shared and pinned frames are corrupted in place, which
+    /// is exactly what makes undetected corruption dangerous: every clone
+    /// restored from the frame sees the damage. Used by fault-injection
+    /// tests together with snapshot checksum verification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the write crosses the frame boundary.
+    pub fn poke_frame(&self, id: FrameId, offset: usize, bytes: &[u8]) {
+        assert!(offset + bytes.len() <= PAGE_SIZE, "poke crosses frame");
+        let mut inner = self.inner.borrow_mut();
+        let e = inner.entry_mut(id);
+        let data = e
+            .data
+            .get_or_insert_with(|| vec![0u8; PAGE_SIZE].into_boxed_slice());
+        data[offset..offset + bytes.len()].copy_from_slice(bytes);
+    }
+
     /// Copies bytes out of a frame at `offset`. Unwritten frames read as
     /// zeroes.
     pub fn read_frame(&self, id: FrameId, offset: usize, buf: &mut [u8]) {
@@ -220,6 +257,16 @@ impl HostMemory {
         match &inner.entry(id).data {
             Some(data) => buf.copy_from_slice(&data[offset..offset + buf.len()]),
             None => buf.fill(0),
+        }
+    }
+
+    /// FNV-1a checksum of a frame's stored contents. Unwritten frames
+    /// hash as all-zeroes (matching how they read) without scanning any
+    /// bytes, so checksumming a whole VM image is cheap.
+    pub fn checksum_frame(&self, id: FrameId) -> u64 {
+        match &self.inner.borrow().entry(id).data {
+            Some(data) => fnv1a(data),
+            None => ZERO_PAGE_FNV,
         }
     }
 

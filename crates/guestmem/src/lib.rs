@@ -24,4 +24,4 @@ pub mod snapshot;
 
 pub use addr::AddressSpace;
 pub use host::{FrameId, HostMemory, MemoryStats, PAGE_SIZE};
-pub use snapshot::SnapshotFile;
+pub use snapshot::{SnapshotFile, SnapshotIntegrityError};

@@ -1,7 +1,39 @@
-//! Snapshot files: pinned frame sets plus device state.
+//! Snapshot files: pinned frame sets plus device state, with per-page
+//! checksums so stored-page corruption is detected at restore time.
+
+use std::fmt;
 
 use crate::addr::AddressSpace;
 use crate::host::{FrameId, HostMemory, PAGE_SIZE};
+
+/// A snapshot failed checksum verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotIntegrityError {
+    /// Index (within the snapshot's frame list) of the first bad page.
+    pub page: usize,
+    /// Checksum recorded at capture time.
+    pub expected: u64,
+    /// Checksum of the page as stored now.
+    pub actual: u64,
+}
+
+impl fmt::Display for SnapshotIntegrityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "snapshot page {} corrupt: checksum {:#018x}, expected {:#018x}",
+            self.page, self.actual, self.expected
+        )
+    }
+}
+
+impl std::error::Error for SnapshotIntegrityError {}
+
+/// Checksum of one stored page (delegates to the host's frame table,
+/// which shortcuts unmaterialised frames).
+fn page_checksum(host: &HostMemory, frame: FrameId) -> u64 {
+    host.checksum_frame(frame)
+}
 
 /// A VM memory snapshot "file".
 ///
@@ -32,24 +64,49 @@ pub struct SnapshotFile {
     host: HostMemory,
     size_bytes: u64,
     frames: Vec<(usize, FrameId)>,
+    checksums: Vec<u64>,
+    digest: u64,
     device_state: Vec<u8>,
 }
 
 impl SnapshotFile {
     /// Captures the current state of `space` together with a device-state
-    /// blob (VM configuration, vCPU state, runtime state handle).
+    /// blob (VM configuration, vCPU state, runtime state handle). Every
+    /// stored page is checksummed at capture time so later corruption is
+    /// detectable via [`SnapshotFile::verify`].
     pub fn capture(space: &AddressSpace, device_state: Vec<u8>) -> Self {
         let host = space.host().clone();
         let frames: Vec<(usize, FrameId)> = space.mapped().collect();
         for (_, frame) in &frames {
             host.pin(*frame);
         }
+        let checksums: Vec<u64> = frames
+            .iter()
+            .map(|(_, frame)| page_checksum(&host, *frame))
+            .collect();
+        let digest = Self::fold_digest(&frames, &checksums);
         SnapshotFile {
             host,
             size_bytes: space.size_bytes(),
             frames,
+            checksums,
+            digest,
             device_state,
         }
+    }
+
+    /// Folds page numbers and page checksums into a whole-snapshot digest.
+    fn fold_digest(frames: &[(usize, FrameId)], checksums: &[u64]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for ((page, _), sum) in frames.iter().zip(checksums) {
+            mix(*page as u64);
+            mix(*sum);
+        }
+        h
     }
 
     /// Restores the snapshot into a new address space on `host`, mapping
@@ -65,6 +122,62 @@ impl SnapshotFile {
             space.map_shared(*page, *frame);
         }
         space
+    }
+
+    /// Re-checksums one stored page (by index in the frame list) against
+    /// its capture-time checksum — the per-page check REAP-style prefetch
+    /// performs as it reads pages.
+    pub fn verify_page(&self, index: usize) -> Result<(), SnapshotIntegrityError> {
+        let (_, frame) = self.frames[index];
+        let actual = page_checksum(&self.host, frame);
+        let expected = self.checksums[index];
+        if actual == expected {
+            Ok(())
+        } else {
+            Err(SnapshotIntegrityError {
+                page: index,
+                expected,
+                actual,
+            })
+        }
+    }
+
+    /// Re-checksums the stored copy of guest page `page`, if the snapshot
+    /// contains it (no-op otherwise). REAP-style prefetch calls this for
+    /// each working-set page it reads from the snapshot file.
+    pub fn verify_guest_page(&self, page: usize) -> Result<(), SnapshotIntegrityError> {
+        // `capture` collects frames in ascending page order.
+        match self.frames.binary_search_by_key(&page, |(p, _)| *p) {
+            Ok(index) => self.verify_page(index),
+            Err(_) => Ok(()),
+        }
+    }
+
+    /// Re-checksums every stored page against the capture-time checksums,
+    /// reporting the first corrupt page. Restore paths call this before
+    /// mapping the snapshot so clones never execute damaged pages.
+    pub fn verify(&self) -> Result<(), SnapshotIntegrityError> {
+        for index in 0..self.frames.len() {
+            self.verify_page(index)?;
+        }
+        Ok(())
+    }
+
+    /// The whole-snapshot digest computed at capture time (page numbers
+    /// folded with page checksums).
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Deliberately flips bytes in the stored copy of page `index`
+    /// (bit-rot on the snapshot "file"). Fault-injection helper: the
+    /// damage is visible to every later restore until the snapshot is
+    /// rebuilt, and [`SnapshotFile::verify`] detects it.
+    pub fn corrupt_page(&self, index: usize) {
+        let (_, frame) = self.frames[index];
+        let mut byte = [0u8];
+        self.host.read_frame(frame, 0, &mut byte);
+        self.host.poke_frame(frame, 0, &[byte[0] ^ 0xff]);
     }
 
     /// The device-state blob stored with the snapshot.
@@ -166,6 +279,61 @@ mod tests {
         let mut buf = [0u8; 6];
         clone.read(0, &mut buf);
         assert_eq!(&buf, b"before");
+    }
+
+    #[test]
+    fn pristine_snapshot_verifies() {
+        let h = host();
+        let mut src = AddressSpace::new(h.clone(), 1 << 20);
+        src.write(0, b"post-jit state");
+        let snap = SnapshotFile::capture(&src, Vec::new());
+        assert!(snap.verify().is_ok());
+        assert!(snap.verify_page(0).is_ok());
+    }
+
+    #[test]
+    fn corruption_is_detected_and_reported_per_page() {
+        let h = host();
+        let src = space_with_pages(&h, 4);
+        let snap = SnapshotFile::capture(&src, Vec::new());
+        snap.corrupt_page(2);
+        let err = snap.verify().expect_err("corruption must be detected");
+        assert_eq!(err.page, 2);
+        assert_ne!(err.actual, err.expected);
+        assert!(snap.verify_page(2).is_err());
+        assert!(snap.verify_page(0).is_ok(), "other pages stay good");
+        // The error formats with the page number.
+        assert!(err.to_string().contains("page 2"));
+    }
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        let h = host();
+        let mut a_src = AddressSpace::new(h.clone(), 1 << 20);
+        a_src.write(0, b"same bytes");
+        let a = SnapshotFile::capture(&a_src, Vec::new());
+        let b = SnapshotFile::capture(&a_src, Vec::new());
+        assert_eq!(a.digest(), b.digest(), "same content, same digest");
+
+        let mut c_src = AddressSpace::new(h.clone(), 1 << 20);
+        c_src.write(0, b"diff bytes");
+        let c = SnapshotFile::capture(&c_src, Vec::new());
+        assert_ne!(a.digest(), c.digest(), "different content, new digest");
+    }
+
+    #[test]
+    fn guest_cow_writes_do_not_trip_verification() {
+        // A clone dirtying its own CoW copy must not look like snapshot
+        // corruption: checksums cover the stored frames, and guest writes
+        // move the clone off them.
+        let h = host();
+        let mut src = AddressSpace::new(h.clone(), 1 << 20);
+        src.write(0, b"base");
+        let snap = SnapshotFile::capture(&src, Vec::new());
+        drop(src);
+        let mut clone = snap.restore(&h);
+        clone.write(0, b"dirty");
+        assert!(snap.verify().is_ok());
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! Typed failures of microVM lifecycle operations.
+
+use std::fmt;
+
+use fireworks_guestmem::SnapshotIntegrityError;
+
+/// A microVM lifecycle operation failed.
+///
+/// Boot and restore are the platform's single points of failure under
+/// load: the snapshot file can be unreadable, its pages can have rotted,
+/// and the VMM itself can crash mid-operation. Each case is typed so the
+/// platform can pick the right recovery (retry, quarantine + rebuild, or
+/// give up).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmError {
+    /// The VMM crashed while booting the guest; the VM is left in its
+    /// pre-boot state and may be booted again.
+    BootCrash,
+    /// The VMM crashed while restoring a snapshot; no VM was produced.
+    RestoreCrash,
+    /// An I/O error occurred reading the snapshot file (transient; a
+    /// retry may succeed).
+    SnapshotRead,
+    /// The snapshot failed checksum verification (persistent; the
+    /// snapshot must be rebuilt).
+    Corrupt(SnapshotIntegrityError),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::BootCrash => write!(f, "VM crashed during boot"),
+            VmError::RestoreCrash => write!(f, "VM crashed during snapshot restore"),
+            VmError::SnapshotRead => write!(f, "I/O error reading snapshot file"),
+            VmError::Corrupt(e) => write!(f, "snapshot integrity failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+impl From<SnapshotIntegrityError> for VmError {
+    fn from(e: SnapshotIntegrityError) -> Self {
+        VmError::Corrupt(e)
+    }
+}
+
+impl VmError {
+    /// Whether a retry of the same operation can plausibly succeed
+    /// (transient faults) — corruption never heals on its own.
+    pub fn is_transient(&self) -> bool {
+        !matches!(self, VmError::Corrupt(_))
+    }
+}

@@ -18,10 +18,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod error;
 pub mod manager;
 pub mod reap;
 pub mod vm;
 
+pub use error::VmError;
 pub use manager::VmManager;
 pub use reap::{PagingCosts, ReapMode, ReapSession, WorkingSet};
 pub use vm::{MicroVm, MicroVmConfig, VmFullSnapshot, VmState};

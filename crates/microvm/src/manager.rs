@@ -6,8 +6,10 @@ use std::rc::Rc;
 use fireworks_guestmem::{AddressSpace, HostMemory, SnapshotFile};
 use fireworks_lang::{JitPolicy, LangError};
 use fireworks_runtime::{GuestRuntime, MemoryModel, RuntimeProfile};
+use fireworks_sim::fault::{FaultSite, SharedInjector};
 use fireworks_sim::{Clock, CostModel, Nanos};
 
+use crate::error::VmError;
 use crate::vm::{MicroVm, MicroVmConfig, RegionExtents, VmFullSnapshot, VmState};
 
 /// Creates, boots, snapshots, and restores microVMs on one host.
@@ -24,7 +26,7 @@ use crate::vm::{MicroVm, MicroVmConfig, RegionExtents, VmFullSnapshot, VmState};
 /// let host = HostMemory::new(clock.clone(), 8 << 30, 60);
 /// let mut mgr = VmManager::new(clock, Rc::new(CostModel::default()), host);
 /// let mut vm = mgr.create(MicroVmConfig::default());
-/// mgr.boot(&mut vm);
+/// mgr.boot(&mut vm).expect("no faults armed");
 /// assert!(vm.boot_time().as_millis() > 500, "cold boots are expensive");
 /// ```
 #[derive(Debug)]
@@ -33,6 +35,7 @@ pub struct VmManager {
     costs: Rc<CostModel>,
     host_mem: HostMemory,
     next_id: u64,
+    injector: Option<SharedInjector>,
 }
 
 impl VmManager {
@@ -43,7 +46,22 @@ impl VmManager {
             costs,
             host_mem,
             next_id: 1,
+            injector: None,
         }
+    }
+
+    /// Attaches a fault injector; boot and restore consult it at their
+    /// fault sites. Without one, both operations are infallible.
+    pub fn set_fault_injector(&mut self, injector: SharedInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// Asks the attached injector (if any) whether `site` fails now.
+    fn should_fail(&self, site: FaultSite) -> bool {
+        self.injector
+            .as_ref()
+            .map(|inj| inj.borrow_mut().should_fail(site))
+            .unwrap_or(false)
     }
 
     /// The virtual clock all operations charge against.
@@ -87,17 +105,27 @@ impl VmManager {
 
     /// Boots the guest kernel and userspace, materialising the OS image.
     ///
+    /// With a fault injector attached, the VMM can crash mid-boot
+    /// ([`FaultSite::VmCrash`]): the boot time is still charged (the
+    /// wasted work is real), the VM stays in [`VmState::Created`], and
+    /// the caller may retry.
+    ///
     /// # Panics
     ///
     /// Panics if the VM is not in [`VmState::Created`].
-    pub fn boot(&mut self, vm: &mut MicroVm) {
+    pub fn boot(&mut self, vm: &mut MicroVm) -> Result<(), VmError> {
         assert_eq!(vm.state, VmState::Created, "boot from Created only");
         let start = self.clock.now();
         self.clock.advance(self.costs.microvm.kernel_boot);
+        if self.should_fail(FaultSite::VmCrash) {
+            vm.boot_time += self.clock.now() - start;
+            return Err(VmError::BootCrash);
+        }
         self.clock.advance(self.costs.microvm.guest_init);
         vm.sync_runtime_memory(); // Materialises the OS region.
         vm.state = VmState::Running;
         vm.boot_time += self.clock.now() - start;
+        Ok(())
     }
 
     /// Launches a language runtime inside the VM and loads `source`.
@@ -158,12 +186,40 @@ impl VmManager {
     /// Restores a snapshot into a fresh microVM, mapping all pages shared.
     /// This is the Fireworks start path: a small fixed cost plus lazy
     /// mapping, instead of the boot pipeline.
-    pub fn restore(&mut self, snapshot: &VmFullSnapshot) -> MicroVm {
+    ///
+    /// With a fault injector attached, three things can go wrong, in
+    /// order: the snapshot file read can fail transiently
+    /// ([`FaultSite::SnapshotRead`]); a stored page can be corrupt —
+    /// [`FaultSite::SnapshotCorruption`] physically damages a
+    /// deterministic page, and the per-page checksums recorded at capture
+    /// time then catch it (along with any pre-existing damage) before any
+    /// page is mapped; and the VMM can crash after mapping
+    /// ([`FaultSite::VmCrash`]). Costs accrued before the failure stay
+    /// charged.
+    pub fn restore(&mut self, snapshot: &VmFullSnapshot) -> Result<MicroVm, VmError> {
         self.clock.advance(self.costs.microvm.snapshot_restore_base);
+        if self.should_fail(FaultSite::SnapshotRead) {
+            return Err(VmError::SnapshotRead);
+        }
+        if snapshot.mem.pages() > 0 && self.should_fail(FaultSite::SnapshotCorruption) {
+            // Damage a deterministic (occurrence-dependent) page so the
+            // checksum machinery does real detection work below.
+            let occurrence = self
+                .injector
+                .as_ref()
+                .map(|inj| inj.borrow().injected_at(FaultSite::SnapshotCorruption))
+                .unwrap_or(1);
+            let index = occurrence.wrapping_mul(7919) % snapshot.mem.pages();
+            snapshot.mem.corrupt_page(index);
+        }
+        snapshot.mem.verify()?;
         self.clock
             .advance(self.costs.microvm.snapshot_map_per_page * snapshot.mem.pages() as u64);
+        if self.should_fail(FaultSite::VmCrash) {
+            return Err(VmError::RestoreCrash);
+        }
         let space = snapshot.mem.restore(&self.host_mem);
-        MicroVm {
+        Ok(MicroVm {
             id: self.next_id(),
             config: snapshot.config,
             state: VmState::Running,
@@ -177,7 +233,7 @@ impl VmManager {
             memmodel: snapshot.memmodel,
             boot_time: Nanos::ZERO,
             aged_ops: 0,
-        }
+        })
     }
 }
 
@@ -186,6 +242,7 @@ mod tests {
     use super::*;
     use fireworks_lang::{NoopHost, Value};
     use fireworks_runtime::guest::RunOutcome;
+    use fireworks_sim::fault::{self, FaultInjector, FaultPlan};
 
     const SRC: &str = "
         fn work(n) { let t = 0; for (let i = 0; i < n; i = i + 1) { t = t + i; } return t; }
@@ -208,7 +265,7 @@ mod tests {
 
     fn booted_vm(mgr: &mut VmManager, src: &str, policy: Option<JitPolicy>) -> MicroVm {
         let mut vm = mgr.create(MicroVmConfig::default());
-        mgr.boot(&mut vm);
+        mgr.boot(&mut vm).expect("boots");
         mgr.launch_runtime(&mut vm, RuntimeProfile::node(), src, policy)
             .expect("launches");
         vm
@@ -232,7 +289,7 @@ mod tests {
         let mut mgr = manager();
         let mut vm = mgr.create(MicroVmConfig::default());
         assert_eq!(vm.rss_bytes(), 0);
-        mgr.boot(&mut vm);
+        mgr.boot(&mut vm).expect("boots");
         assert!(vm.rss_bytes() >= crate::vm::OS_IMAGE_BYTES);
     }
 
@@ -270,7 +327,7 @@ mod tests {
         let boot = vm.boot_time();
         let snap = mgr.snapshot(&mut vm);
         let before = mgr.clock().now();
-        let restored = mgr.restore(&snap);
+        let restored = mgr.restore(&snap).expect("restores");
         let restore_time = mgr.clock().now() - before;
         assert!(
             restore_time.as_nanos() * 50 < boot.as_nanos(),
@@ -286,8 +343,8 @@ mod tests {
         let mut vm = booted_vm(&mut mgr, SRC, None);
         let snap = mgr.snapshot(&mut vm);
         drop(vm);
-        let a = mgr.restore(&snap);
-        let b = mgr.restore(&snap);
+        let a = mgr.restore(&snap).expect("restores");
+        let b = mgr.restore(&snap).expect("restores");
         // Fully shared: PSS is half of RSS for two clones.
         assert_eq!(a.rss_bytes(), b.rss_bytes());
         assert!(a.pss_bytes() <= a.rss_bytes() / 2 + 4096);
@@ -306,7 +363,7 @@ mod tests {
     fn post_jit_snapshot_round_trip_resumes_with_jit() {
         let mut mgr = manager();
         let mut vm = mgr.create(MicroVmConfig::default());
-        mgr.boot(&mut vm);
+        mgr.boot(&mut vm).expect("boots");
         mgr.launch_runtime(
             &mut vm,
             RuntimeProfile::python(),
@@ -327,7 +384,7 @@ mod tests {
         assert!(snap.is_post_jit(), "snapshot must carry JIT code");
 
         // Invoke phase: restore and resume.
-        let mut clone = mgr.restore(&snap);
+        let mut clone = mgr.restore(&snap).expect("restores");
         let rt = clone.runtime_mut().expect("runtime restored");
         assert!(rt.is_suspended(), "clone resumes mid-program");
         let RunOutcome::Done(r) = rt.run(&clock, &mut NoopHost).expect("resumes") else {
@@ -343,8 +400,8 @@ mod tests {
         let mut vm = booted_vm(&mut mgr, SRC, None);
         vm.mmds_set("instance-id", "original");
         let snap = mgr.snapshot(&mut vm);
-        let mut a = mgr.restore(&snap);
-        let mut b = mgr.restore(&snap);
+        let mut a = mgr.restore(&snap).expect("restores");
+        let mut b = mgr.restore(&snap).expect("restores");
         assert_eq!(
             mgr.mmds_get(&a, "instance-id"),
             None,
@@ -388,7 +445,7 @@ mod tests {
         let mut mgr = manager();
         let mut vm = booted_vm(&mut mgr, SRC, None);
         let snap = mgr.snapshot(&mut vm);
-        let mut clone = mgr.restore(&snap);
+        let mut clone = mgr.restore(&snap).expect("restores");
         let base = clone.pss_bytes();
         clone.age_ops(10_000_000);
         let aged_10m = clone.pss_bytes();
@@ -409,7 +466,7 @@ mod tests {
         // Snapshot without JIT (plain OS+runtime snapshot).
         let mut vm = booted_vm(&mut mgr, SRC, Some(JitPolicy::Off));
         let snap = mgr.snapshot(&mut vm);
-        let mut clone = mgr.restore(&snap);
+        let mut clone = mgr.restore(&snap).expect("restores");
         let rss_before = clone.rss_bytes();
 
         // Run hot code with JIT enabled after restore? The restored
@@ -421,5 +478,61 @@ mod tests {
         // Heap may grow a little; RSS must never shrink and extents only
         // extend.
         assert!(clone.rss_bytes() >= rss_before);
+    }
+
+    #[test]
+    fn boot_crash_leaves_vm_retryable() {
+        let mut mgr = manager();
+        let plan = FaultPlan::new(7).nth(FaultSite::VmCrash, 1);
+        mgr.set_fault_injector(fault::shared(FaultInjector::new(plan)));
+        let mut vm = mgr.create(MicroVmConfig::default());
+        assert_eq!(mgr.boot(&mut vm), Err(VmError::BootCrash));
+        assert_eq!(vm.state(), VmState::Created);
+        assert!(
+            vm.boot_time() > Nanos::ZERO,
+            "failed boot still burned time"
+        );
+        mgr.boot(&mut vm).expect("second attempt is clean");
+        assert_eq!(vm.state(), VmState::Running);
+    }
+
+    #[test]
+    fn restore_read_fault_is_transient() {
+        let mut mgr = manager();
+        let mut vm = booted_vm(&mut mgr, SRC, None);
+        let snap = mgr.snapshot(&mut vm);
+        let plan = FaultPlan::new(3).nth(FaultSite::SnapshotRead, 1);
+        mgr.set_fault_injector(fault::shared(FaultInjector::new(plan)));
+        let err = mgr.restore(&snap).expect_err("read fails once");
+        assert_eq!(err, VmError::SnapshotRead);
+        assert!(err.is_transient());
+        mgr.restore(&snap).expect("retry succeeds");
+    }
+
+    #[test]
+    fn injected_corruption_is_caught_by_checksums_and_persists() {
+        let mut mgr = manager();
+        let mut vm = booted_vm(&mut mgr, SRC, None);
+        let snap = mgr.snapshot(&mut vm);
+        let plan = FaultPlan::new(11).nth(FaultSite::SnapshotCorruption, 1);
+        mgr.set_fault_injector(fault::shared(FaultInjector::new(plan)));
+        let err = mgr.restore(&snap).expect_err("corruption detected");
+        assert!(matches!(err, VmError::Corrupt(_)), "got {err:?}");
+        assert!(!err.is_transient());
+        // The damage is physical: with the fault rule exhausted, the
+        // snapshot is still bad on the next attempt.
+        let err2 = mgr.restore(&snap).expect_err("still corrupt");
+        assert!(matches!(err2, VmError::Corrupt(_)));
+    }
+
+    #[test]
+    fn pristine_snapshot_restores_even_with_injector_at_rate_zero() {
+        let mut mgr = manager();
+        let mut vm = booted_vm(&mut mgr, SRC, None);
+        let snap = mgr.snapshot(&mut vm);
+        mgr.set_fault_injector(fault::shared(FaultInjector::new(FaultPlan::uniform(
+            42, 0.0,
+        ))));
+        mgr.restore(&snap).expect("rate-0 injector never fires");
     }
 }

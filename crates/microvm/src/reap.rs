@@ -14,7 +14,11 @@
 
 use std::collections::BTreeSet;
 
+use fireworks_guestmem::SnapshotFile;
+use fireworks_sim::fault::{FaultSite, SharedInjector};
 use fireworks_sim::{Clock, Nanos};
+
+use crate::error::VmError;
 
 /// Cost model for snapshot-file paging.
 #[derive(Debug, Clone)]
@@ -112,24 +116,57 @@ impl ReapSession {
         costs: PagingCosts,
         working_set: WorkingSet,
     ) -> Self {
+        match Self::start_with_faults(clock, mode, costs, working_set, None, None) {
+            Ok(session) => session,
+            Err(_) => unreachable!("no fault sources supplied"),
+        }
+    }
+
+    /// Starts a session like [`ReapSession::start`], but the prefetch bulk
+    /// read consults a fault injector ([`FaultSite::SnapshotRead`] — the
+    /// read from cold storage can fail transiently) and, when the backing
+    /// [`SnapshotFile`] is supplied, re-checksums each working-set page as
+    /// it is read, so stored-page corruption is caught at prefetch time
+    /// rather than when the guest executes the page.
+    ///
+    /// On failure the fixed prefetch-issue cost has already been charged;
+    /// the per-page read cost is only charged when the read succeeds.
+    pub fn start_with_faults(
+        clock: &Clock,
+        mode: ReapMode,
+        costs: PagingCosts,
+        working_set: WorkingSet,
+        injector: Option<&SharedInjector>,
+        snapshot: Option<&SnapshotFile>,
+    ) -> Result<Self, VmError> {
         let mut resident = BTreeSet::new();
         let mut prefetched_pages = 0;
         if mode == ReapMode::Prefetch && !working_set.is_empty() {
+            clock.advance(costs.prefetch_base);
+            let read_fails = injector
+                .map(|inj| inj.borrow_mut().should_fail(FaultSite::SnapshotRead))
+                .unwrap_or(false);
+            if read_fails {
+                return Err(VmError::SnapshotRead);
+            }
             // One bulk sequential read of the whole working set.
-            clock.advance(
-                costs.prefetch_base + costs.sequential_read_per_page * working_set.len() as u64,
-            );
+            clock.advance(costs.sequential_read_per_page * working_set.len() as u64);
+            if let Some(snap) = snapshot {
+                for page in &working_set.pages {
+                    snap.verify_guest_page(*page)?;
+                }
+            }
             resident.extend(working_set.pages.iter().copied());
             prefetched_pages = working_set.len() as u64;
         }
-        ReapSession {
+        Ok(ReapSession {
             mode,
             costs,
             touched: WorkingSet::new(),
             resident,
             major_faults: 0,
             prefetched_pages,
-        }
+        })
     }
 
     /// Notes that the guest touched `page` of the snapshot file, charging
@@ -266,5 +303,72 @@ mod tests {
         assert_eq!(s.major_faults(), 0);
         s.touch(&clock, 99_999); // Outside: major fault.
         assert_eq!(s.major_faults(), 1);
+    }
+
+    #[test]
+    fn prefetch_read_fault_aborts_after_issue_cost() {
+        use fireworks_sim::fault::{self, FaultInjector, FaultPlan};
+        let clock = Clock::new();
+        let costs = PagingCosts::default();
+        let inj = fault::shared(FaultInjector::new(
+            FaultPlan::new(5).nth(FaultSite::SnapshotRead, 1),
+        ));
+        let mut ws = WorkingSet::new();
+        ws.record_range(0, 100);
+        let err = ReapSession::start_with_faults(
+            &clock,
+            ReapMode::Prefetch,
+            costs.clone(),
+            ws.clone(),
+            Some(&inj),
+            None,
+        )
+        .expect_err("bulk read fails");
+        assert_eq!(err, VmError::SnapshotRead);
+        // Only the fixed issue cost was charged, not the per-page read.
+        assert_eq!(clock.now(), costs.prefetch_base);
+        // The retry succeeds (nth-trigger already fired).
+        let s =
+            ReapSession::start_with_faults(&clock, ReapMode::Prefetch, costs, ws, Some(&inj), None)
+                .expect("retry succeeds");
+        assert_eq!(s.prefetched_pages(), 100);
+    }
+
+    #[test]
+    fn prefetch_detects_corrupt_working_set_pages() {
+        use fireworks_guestmem::{AddressSpace, HostMemory, PAGE_SIZE};
+        let clock = Clock::new();
+        let host = HostMemory::new(clock.clone(), 1 << 30, 60);
+        let mut space = AddressSpace::new(host.clone(), 1 << 20);
+        space.write(0, &[7u8; 4 * PAGE_SIZE]);
+        let snap = SnapshotFile::capture(&space, Vec::new());
+        snap.corrupt_page(2); // Guest page 2 — inside the working set.
+
+        let mut ws = WorkingSet::new();
+        ws.record_range(0, 4);
+        let err = ReapSession::start_with_faults(
+            &clock,
+            ReapMode::Prefetch,
+            PagingCosts::default(),
+            ws,
+            None,
+            Some(&snap),
+        )
+        .expect_err("prefetch reads the bad page");
+        assert!(matches!(err, VmError::Corrupt(detail) if detail.page == 2));
+
+        // Pages outside the snapshot or outside the damage verify fine.
+        let mut clean = WorkingSet::new();
+        clean.record(0);
+        clean.record(50_000); // Not in the snapshot: nothing to verify.
+        ReapSession::start_with_faults(
+            &clock,
+            ReapMode::Prefetch,
+            PagingCosts::default(),
+            clean,
+            None,
+            Some(&snap),
+        )
+        .expect("clean pages prefetch");
     }
 }

@@ -282,6 +282,11 @@ pub struct VmFullSnapshot {
 }
 
 impl VmFullSnapshot {
+    /// The snapshot memory file, with its per-page checksums.
+    pub fn mem(&self) -> &SnapshotFile {
+        &self.mem
+    }
+
     /// Guest pages stored in the snapshot memory file.
     pub fn pages(&self) -> usize {
         self.mem.pages()

@@ -21,7 +21,13 @@ use std::collections::HashMap;
 use std::fmt;
 
 use fireworks_sim::cost::NetCosts;
+use fireworks_sim::fault::{FaultSite, SharedInjector};
 use fireworks_sim::{Clock, Nanos};
+
+/// Retransmission timeout before the first retry; doubles per retry.
+pub const RETRANSMIT_TIMEOUT: Nanos = Nanos::from_micros(500);
+/// Transmission attempts per packet (1 original + bounded retries).
+pub const MAX_TRANSMITS: u32 = 4;
 
 /// An IPv4 address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -72,6 +78,9 @@ pub enum NetError {
     NoRoute(Ip),
     /// The namespace has no tap to deliver into.
     NoTap(NsId),
+    /// The packet and every bounded retransmission of it were lost
+    /// (injected loss).
+    Lost(Ip),
 }
 
 impl fmt::Display for NetError {
@@ -81,6 +90,7 @@ impl fmt::Display for NetError {
             NetError::NoSuchNamespace(id) => write!(f, "no such namespace {id:?}"),
             NetError::NoRoute(ip) => write!(f, "no route to {ip}"),
             NetError::NoTap(id) => write!(f, "namespace {id:?} has no tap device"),
+            NetError::Lost(ip) => write!(f, "packet to {ip} lost after retransmissions"),
         }
     }
 }
@@ -110,8 +120,10 @@ pub struct Delivery {
     pub guest_ip: Ip,
     /// Tap device the packet entered through.
     pub tap: String,
-    /// One-way latency charged.
+    /// One-way latency charged (per successful transmission).
     pub latency: Nanos,
+    /// Lost transmissions that were retried before this delivery.
+    pub retransmits: u32,
 }
 
 /// The host's network state: a root namespace plus per-clone namespaces.
@@ -125,6 +137,7 @@ pub struct HostNetwork {
     /// namespace).
     external: HashMap<Ip, NsId>,
     next_external: u32,
+    injector: Option<SharedInjector>,
 }
 
 /// The root namespace id (taps attached here behave like a host without
@@ -143,7 +156,15 @@ impl HostNetwork {
             next_ns: 1,
             external: HashMap::new(),
             next_external: u32::from_be_bytes([10, 200, 0, 2]),
+            injector: None,
         }
+    }
+
+    /// Attaches a fault injector; [`HostNetwork::deliver`] then consults
+    /// [`FaultSite::NetLoss`] per transmission attempt and retransmits
+    /// lost packets with exponential backoff, up to [`MAX_TRANSMITS`].
+    pub fn set_fault_injector(&mut self, injector: SharedInjector) {
+        self.injector = Some(injector);
     }
 
     /// Creates a fresh network namespace.
@@ -259,14 +280,32 @@ impl HostNetwork {
             .iter()
             .find(|t| t.guest_ip == guest_ip)
             .ok_or(NetError::NoTap(ns))?;
-        let latency = self.packet_latency(payload_bytes, true);
-        self.clock.advance(latency);
-        Ok(Delivery {
-            ns,
-            guest_ip,
-            tap: tap.name.clone(),
-            latency,
-        })
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let latency = self.packet_latency(payload_bytes, true);
+            self.clock.advance(latency);
+            let lost = self
+                .injector
+                .as_ref()
+                .map(|inj| inj.borrow_mut().should_fail(FaultSite::NetLoss))
+                .unwrap_or(false);
+            if !lost {
+                return Ok(Delivery {
+                    ns,
+                    guest_ip,
+                    tap: tap.name.clone(),
+                    latency,
+                    retransmits: attempts - 1,
+                });
+            }
+            if attempts >= MAX_TRANSMITS {
+                return Err(NetError::Lost(dst));
+            }
+            // The sender times out and retransmits, doubling the wait.
+            self.clock
+                .advance(RETRANSMIT_TIMEOUT * (1u64 << (attempts - 1)));
+        }
     }
 
     /// Latency of one packet: base + size + (optionally) NAT translation.
@@ -403,5 +442,65 @@ mod tests {
             elapsed,
             costs.netns_create + costs.tap_create + costs.nat_rule_install
         );
+    }
+
+    fn routed_net(clock: Clock) -> (HostNetwork, Ip) {
+        let mut net = HostNetwork::new(clock, NetCosts::default());
+        let ns = net.create_namespace();
+        net.attach_tap(ns, "tap0", GUEST_IP, GUEST_MAC).expect("ok");
+        let ext = net.alloc_external_ip(ns).expect("ip");
+        net.install_nat(ns, ext, GUEST_IP).expect("nat");
+        (net, ext)
+    }
+
+    #[test]
+    fn lost_packets_are_retransmitted_with_backoff() {
+        use fireworks_sim::fault::{self, FaultInjector, FaultPlan};
+        let clock = Clock::new();
+        let (mut net, ext) = routed_net(clock.clone());
+        // Lose the first two transmissions; the third goes through.
+        net.set_fault_injector(fault::shared(FaultInjector::new(
+            FaultPlan::new(3)
+                .nth(FaultSite::NetLoss, 1)
+                .nth(FaultSite::NetLoss, 2),
+        )));
+        let before = clock.now();
+        let d = net.deliver(ext, 500).expect("third attempt delivers");
+        assert_eq!(d.retransmits, 2);
+        let elapsed = clock.now() - before;
+        // 3 transmissions + two doubling backoffs.
+        let expected = d.latency * 3 + RETRANSMIT_TIMEOUT + RETRANSMIT_TIMEOUT * 2;
+        assert_eq!(elapsed, expected);
+    }
+
+    #[test]
+    fn loss_on_every_attempt_gives_up_bounded() {
+        use fireworks_sim::fault::{self, FaultInjector, FaultPlan};
+        let clock = Clock::new();
+        let (mut net, ext) = routed_net(clock.clone());
+        let inj = fault::shared(FaultInjector::new(FaultPlan::uniform(1, 1.0)));
+        net.set_fault_injector(inj.clone());
+        let err = net.deliver(ext, 100).expect_err("all attempts lost");
+        assert_eq!(err, NetError::Lost(ext));
+        assert_eq!(
+            inj.borrow().injected_at(FaultSite::NetLoss),
+            MAX_TRANSMITS as usize,
+            "exactly MAX_TRANSMITS attempts were made"
+        );
+    }
+
+    #[test]
+    fn rate_zero_injector_changes_nothing() {
+        use fireworks_sim::fault::{self, FaultInjector, FaultPlan};
+        let clock = Clock::new();
+        let (plain, ext_a) = routed_net(clock.clone());
+        let (mut armed, ext_b) = routed_net(clock.clone());
+        armed.set_fault_injector(fault::shared(FaultInjector::new(FaultPlan::uniform(
+            9, 0.0,
+        ))));
+        let d_plain = plain.deliver(ext_a, 500).expect("ok");
+        let d_armed = armed.deliver(ext_b, 500).expect("ok");
+        assert_eq!(d_plain.latency, d_armed.latency);
+        assert_eq!(d_armed.retransmits, 0);
     }
 }

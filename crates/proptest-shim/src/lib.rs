@@ -1,0 +1,634 @@
+//! An offline, dependency-free stand-in for the `proptest` crate.
+//!
+//! The workspace's property tests were written against upstream proptest,
+//! but the build environment has no registry access, so this crate
+//! re-implements the API subset those tests use: strategies (ranges,
+//! `Just`, tuples, `prop_oneof!`, `prop_recursive`, collection/option
+//! combinators, a tiny regex-class generator for string strategies), the
+//! `proptest!` runner macro, and the `prop_assert*` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! - Generation only — no shrinking. A failing case reports the generated
+//!   values and panics.
+//! - Deterministic: the RNG seed is derived from the test's module path,
+//!   name, and case index, so failures reproduce bit-identically.
+//! - The regex-literal string strategy supports character classes with
+//!   ranges, `&&[^...]` subtraction, and `{m,n}` repetition — exactly the
+//!   forms used by this workspace's tests.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+use std::rc::Rc;
+
+/// Deterministic RNG used by every strategy (a SplitMix64 core, kept
+/// private to avoid a dependency on the simulation crates).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// An RNG seeded from an arbitrary byte string plus a case index.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use super::*;
+
+    /// A generator of test values.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value: Debug;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms every generated value with `f`.
+        fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Chooses a follow-up strategy from each generated value.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Discards generated values failing `pred` (bounded retries).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: impl Into<String>,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                whence: whence.into(),
+                pred,
+            }
+        }
+
+        /// Builds a recursive strategy: `self` is the leaf, and `branch`
+        /// maps a strategy for depth `d` to one for depth `d + 1`. The
+        /// `_desired_size`/`_branch_size` hints are accepted for API
+        /// compatibility but unused (no shrinking here).
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _branch_size: u32,
+            branch: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                // Lean towards leaves so expected size stays bounded.
+                strat = Union::new(vec![(2, leaf.clone()), (1, branch(strat).boxed())]).boxed();
+            }
+            strat
+        }
+
+        /// Type-erases this strategy behind a clonable handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// A clonable, type-erased strategy handle.
+    pub struct BoxedStrategy<T>(Rc<dyn ObjectStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<T: Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_obj(rng)
+        }
+    }
+
+    trait ObjectStrategy<T> {
+        fn generate_obj(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> ObjectStrategy<S::Value> for S {
+        fn generate_obj(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A strategy producing one fixed (cloned) value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted union over same-valued strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T: Debug> Union<T> {
+        /// A union of `(weight, strategy)` arms. At least one arm, all
+        /// weights non-zero.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! weights must not all be zero");
+            Union { arms, total }
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.next_below(self.total);
+            for (w, arm) in &self.arms {
+                if pick < u64::from(*w) {
+                    return arm.generate(rng);
+                }
+                pick -= u64::from(*w);
+            }
+            unreachable!("weights summed above")
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: String,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1024 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter({}) rejected 1024 candidates", self.whence)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as i128) - (self.start as i128);
+                    assert!(span > 0, "empty range strategy");
+                    let off = (rng.next_u64() as i128).rem_euclid(span);
+                    ((self.start as i128) + off) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+
+    /// String generation from a regex-class literal: a sequence of
+    /// character classes, each optionally followed by `{m,n}`/`{m}`.
+    /// Classes support ranges (`a-z`), literals, escapes, and one
+    /// `&&[^...]` subtraction.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let units = parse_pattern(self);
+            let mut out = String::new();
+            for (chars, lo, hi) in &units {
+                assert!(!chars.is_empty(), "empty character class in {self:?}");
+                let n = *lo + rng.next_below((*hi - *lo + 1) as u64) as usize;
+                for _ in 0..n {
+                    out.push(chars[rng.next_below(chars.len() as u64) as usize]);
+                }
+            }
+            out
+        }
+    }
+
+    /// Parses a pattern into `(allowed characters, min reps, max reps)`
+    /// units.
+    fn parse_pattern(pat: &str) -> Vec<(Vec<char>, usize, usize)> {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut units = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            assert_eq!(chars[i], '[', "unsupported pattern syntax in {pat:?}");
+            let (mut allowed, next) = parse_class(&chars, i + 1, pat);
+            i = next;
+            // Optional `&&[^...]` subtraction.
+            if chars.get(i) == Some(&'&') && chars.get(i + 1) == Some(&'&') {
+                assert_eq!(chars.get(i + 2), Some(&'['), "bad subtraction in {pat:?}");
+                assert_eq!(chars.get(i + 3), Some(&'^'), "bad subtraction in {pat:?}");
+                let (banned, next) = parse_class(&chars, i + 4, pat);
+                allowed.retain(|c| !banned.contains(c));
+                i = next;
+                assert_eq!(chars.get(i), Some(&']'), "unclosed class in {pat:?}");
+                i += 1;
+            }
+            // Optional `{m}` / `{m,n}` repetition.
+            let (lo, hi) = if chars.get(i) == Some(&'{') {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed repetition in {pat:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().expect("repetition lower bound"),
+                        hi.parse().expect("repetition upper bound"),
+                    ),
+                    None => {
+                        let n = body.parse().expect("repetition count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            units.push((allowed, lo, hi));
+        }
+        units
+    }
+
+    /// Parses a class body starting after `[` (or `[^`); returns the
+    /// characters and the index one past the closing `]`.
+    fn parse_class(chars: &[char], mut i: usize, pat: &str) -> (Vec<char>, usize) {
+        let mut set = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            // Stop before a `&&` subtraction inside the class.
+            if chars[i] == '&' && chars.get(i + 1) == Some(&'&') {
+                return (set, i);
+            }
+            let c = if chars[i] == '\\' {
+                i += 1;
+                chars[i]
+            } else {
+                chars[i]
+            };
+            // Range `c-d` (a trailing `-` is a literal).
+            if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&d| d != ']') {
+                let mut end = chars[i + 2];
+                if end == '\\' {
+                    i += 1;
+                    end = chars[i + 2];
+                }
+                for code in (c as u32)..=(end as u32) {
+                    set.push(char::from_u32(code).expect("valid class range"));
+                }
+                i += 3;
+            } else {
+                set.push(c);
+                i += 1;
+            }
+        }
+        assert!(i < chars.len(), "unclosed character class in {pat:?}");
+        (set, i + 1)
+    }
+}
+
+pub mod arbitrary {
+    //! The [`any`] entry point for primitive types.
+
+    use super::*;
+    use crate::strategy::Strategy;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Debug + Sized {
+        /// Generates one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    /// See [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::*;
+    use crate::strategy::Strategy;
+
+    /// A `Vec` whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let len = self.size.start + rng.next_below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::*;
+    use crate::strategy::Strategy;
+
+    /// `None` about a quarter of the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Runner configuration.
+
+    /// Number of cases per property (the only knob this shim honours).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// How many generated cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything the property tests import.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines property tests: an optional `#![proptest_config(..)]` header
+/// followed by `#[test]` functions whose arguments are `name in strategy`
+/// bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __pt_cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let __pt_name = concat!(module_path!(), "::", stringify!($name));
+                $( let $arg = $strat; )+
+                for __pt_case in 0..__pt_cfg.cases {
+                    let mut __pt_rng = $crate::TestRng::for_case(__pt_name, __pt_case);
+                    $( let $arg =
+                        $crate::strategy::Strategy::generate(&$arg, &mut __pt_rng); )+
+                    let __pt_vals = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let __pt_result = (move || -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(__pt_msg) = __pt_result {
+                        panic!(
+                            "property '{}' failed on case {}:\n  {}\n  with {}",
+                            __pt_name, __pt_case, __pt_msg, __pt_vals
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// A weighted or unweighted union of strategies over one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $w:literal => $s:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( ($w as u32, $crate::strategy::Strategy::boxed($s)) ),+
+        ])
+    };
+    ( $( $s:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($s)) ),+
+        ])
+    };
+}
+
+/// Fails the enclosing property case if `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the enclosing property case if the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __pt_l = $a;
+        let __pt_r = $b;
+        if !(__pt_l == __pt_r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n  right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                __pt_l,
+                __pt_r
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let __pt_l = $a;
+        let __pt_r = $b;
+        if !(__pt_l == __pt_r) {
+            return ::std::result::Result::Err(format!(
+                "{}\n  left: {:?}\n  right: {:?}",
+                format!($($fmt)+),
+                __pt_l,
+                __pt_r
+            ));
+        }
+    }};
+}

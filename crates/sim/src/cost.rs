@@ -14,12 +14,10 @@
 //! the first CoW fault. Absolute values are *not* the reproduction target —
 //! the cross-platform ratios are.
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::Nanos;
 
 /// Costs of the Firecracker-style microVM lifecycle.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MicroVmCosts {
     /// Spawning the VMM process and configuring it over its API socket.
     pub vmm_setup: Nanos,
@@ -62,7 +60,7 @@ impl Default for MicroVmCosts {
 }
 
 /// Costs of the OpenWhisk-style container platform path.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ContainerCosts {
     /// Controller work per request: authentication, entitlement checks.
     pub controller_auth: Nanos,
@@ -92,7 +90,7 @@ impl Default for ContainerCosts {
 }
 
 /// Costs of the gVisor-style secure container path.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GvisorCosts {
     /// Booting the Sentry (user-space kernel) for a new sandbox.
     pub sentry_boot: Nanos,
@@ -132,7 +130,7 @@ impl Default for GvisorCosts {
 }
 
 /// Network plumbing costs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NetCosts {
     /// Creating a network namespace.
     pub netns_create: Nanos,
@@ -162,7 +160,7 @@ impl Default for NetCosts {
 }
 
 /// Message-bus (Kafka-style) costs for parameter passing.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BusCosts {
     /// Producing one record (append + ack).
     pub produce: Nanos,
@@ -190,7 +188,7 @@ impl Default for BusCosts {
 /// The FaaSdom disk benchmark's ordering (§5.2.1(2)) is determined by these:
 /// containers on overlayfs beat microVMs on virtio, and gVisor's
 /// Sentry+Gofer path is slowest.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DiskCosts {
     /// Host-native file I/O (the floor).
     pub host_direct: Nanos,
@@ -218,7 +216,7 @@ impl Default for DiskCosts {
 }
 
 /// Host memory-system costs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MemCosts {
     /// Copying one 4 KiB page on a CoW fault.
     pub cow_fault: Nanos,
@@ -253,7 +251,7 @@ impl Default for MemCosts {
 ///     + costs.microvm.guest_init;
 /// assert!(boot.as_millis() > 800 && boot.as_millis() < 2_000);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CostModel {
     /// MicroVM lifecycle costs.
     pub microvm: MicroVmCosts,
@@ -306,13 +304,5 @@ mod tests {
         let t = c.microvm.snapshot_create_base + c.microvm.snapshot_write_per_page * (pages as u64);
         let secs = t.as_secs_f64();
         assert!((0.30..0.55).contains(&secs), "snapshot write {secs}s");
-    }
-
-    #[test]
-    fn cost_model_is_serializable() {
-        // Compile-time check that the derives exist (no JSON dependency in
-        // this crate).
-        fn assert_serializable<T: serde::Serialize + serde::de::DeserializeOwned>() {}
-        assert_serializable::<CostModel>();
     }
 }

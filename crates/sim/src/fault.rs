@@ -1,0 +1,376 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] names *fault sites* — places in the platform where the
+//! real system can fail (snapshot reads, restored pages, VM boots, the
+//! document store, the network) — and arms each with a trigger: a
+//! probability per check, or a specific nth occurrence. A
+//! [`FaultInjector`] executes the plan with the workspace's
+//! [`SplitMix64`] generator, so the injected-fault
+//! schedule is a pure function of the plan's seed and the sequence of
+//! checks the platform performs: the same seed replays the same faults.
+//!
+//! Every injected fault is appended to a log and recorded as a zero-width
+//! [`Trace`] event (label `fault:<site>`), so recovery behaviour is fully
+//! observable in the same traces that carry the latency breakdowns.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::clock::Clock;
+use crate::rng::SplitMix64;
+use crate::time::Nanos;
+use crate::trace::{Phase, Trace};
+
+/// A place in the platform where a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// I/O error while reading a snapshot file for restore/prefetch.
+    SnapshotRead,
+    /// Bit-rot in a stored snapshot page (detected via checksums).
+    SnapshotCorruption,
+    /// The VM crashes during boot or restore.
+    VmCrash,
+    /// The document store is transiently unavailable.
+    StoreUnavailable,
+    /// A delivered packet is dropped by the host network.
+    NetLoss,
+}
+
+impl FaultSite {
+    /// Every site, in a fixed order (indexes the injector's counters).
+    pub const ALL: [FaultSite; 5] = [
+        FaultSite::SnapshotRead,
+        FaultSite::SnapshotCorruption,
+        FaultSite::VmCrash,
+        FaultSite::StoreUnavailable,
+        FaultSite::NetLoss,
+    ];
+
+    /// Stable label used in trace events and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultSite::SnapshotRead => "snapshot_read",
+            FaultSite::SnapshotCorruption => "snapshot_corruption",
+            FaultSite::VmCrash => "vm_crash",
+            FaultSite::StoreUnavailable => "store_unavailable",
+            FaultSite::NetLoss => "net_loss",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultSite::SnapshotRead => 0,
+            FaultSite::SnapshotCorruption => 1,
+            FaultSite::VmCrash => 2,
+            FaultSite::StoreUnavailable => 3,
+            FaultSite::NetLoss => 4,
+        }
+    }
+}
+
+/// When an armed site actually fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultTrigger {
+    /// Fires independently on each check with this probability.
+    Probability(f64),
+    /// Fires exactly once, on the nth check of the site (1-based).
+    Nth(u64),
+}
+
+/// One armed fault site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRule {
+    /// Where the fault strikes.
+    pub site: FaultSite,
+    /// When it strikes.
+    pub trigger: FaultTrigger,
+}
+
+/// A seeded description of which faults to inject.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the injector's RNG (probability triggers).
+    pub seed: u64,
+    rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Arms `site` to fire with probability `p` on every check.
+    pub fn probability(mut self, site: FaultSite, p: f64) -> Self {
+        self.rules.push(FaultRule {
+            site,
+            trigger: FaultTrigger::Probability(p),
+        });
+        self
+    }
+
+    /// Arms `site` to fire exactly once, on its nth check (1-based).
+    pub fn nth(mut self, site: FaultSite, n: u64) -> Self {
+        self.rules.push(FaultRule {
+            site,
+            trigger: FaultTrigger::Nth(n),
+        });
+        self
+    }
+
+    /// Arms *every* site with the same probability — the chaos-sweep
+    /// configuration.
+    pub fn uniform(seed: u64, p: f64) -> Self {
+        let mut plan = FaultPlan::new(seed);
+        for site in FaultSite::ALL {
+            plan = plan.probability(site, p);
+        }
+        plan
+    }
+
+    /// The armed rules.
+    pub fn rules(&self) -> &[FaultRule] {
+        &self.rules
+    }
+}
+
+/// One fault that actually fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Which site fired.
+    pub site: FaultSite,
+    /// The site-local check count when it fired (1-based).
+    pub occurrence: u64,
+    /// The global check count when it fired (1-based).
+    pub sequence: u64,
+    /// Virtual time of the injection (zero when no clock is attached).
+    pub at: Nanos,
+}
+
+/// Executes a [`FaultPlan`]: the platform asks `should_fail(site)` at each
+/// fault site, and the injector answers deterministically.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SplitMix64,
+    occurrences: [u64; FaultSite::ALL.len()],
+    checks: u64,
+    injected: Vec<InjectedFault>,
+    clock: Option<Clock>,
+    trace: Trace,
+}
+
+impl FaultInjector {
+    /// An injector executing `plan` from its seed.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = SplitMix64::new(plan.seed);
+        FaultInjector {
+            plan,
+            rng,
+            occurrences: [0; FaultSite::ALL.len()],
+            checks: 0,
+            injected: Vec::new(),
+            clock: None,
+            trace: Trace::new(),
+        }
+    }
+
+    /// An injector with no armed sites (never fires).
+    pub fn disabled() -> Self {
+        FaultInjector::new(FaultPlan::new(0))
+    }
+
+    /// Attaches the virtual clock so injected faults are timestamped and
+    /// recorded as trace events at the moment they fire.
+    pub fn attach_clock(&mut self, clock: Clock) {
+        self.clock = Some(clock);
+    }
+
+    /// Whether any rule is armed (cheap fast-path check).
+    pub fn is_active(&self) -> bool {
+        !self.plan.rules.is_empty()
+    }
+
+    /// Checks the site once; returns `true` when a fault fires there.
+    ///
+    /// Each probability-armed rule consumes exactly one RNG draw per
+    /// check, so the schedule depends only on the seed and the sequence
+    /// of checks — not on wall clock, addresses, or iteration order
+    /// elsewhere.
+    pub fn should_fail(&mut self, site: FaultSite) -> bool {
+        self.checks += 1;
+        self.occurrences[site.index()] += 1;
+        let occurrence = self.occurrences[site.index()];
+        let mut fired = false;
+        for rule in &self.plan.rules {
+            if rule.site != site {
+                continue;
+            }
+            match rule.trigger {
+                FaultTrigger::Probability(p) => {
+                    if self.rng.next_bool(p) {
+                        fired = true;
+                    }
+                }
+                FaultTrigger::Nth(n) => {
+                    if occurrence == n {
+                        fired = true;
+                    }
+                }
+            }
+        }
+        if fired {
+            let at = self.clock.as_ref().map(Clock::now).unwrap_or(Nanos::ZERO);
+            self.trace
+                .record(format!("fault:{}", site.label()), Phase::Other, at, at);
+            self.injected.push(InjectedFault {
+                site,
+                occurrence,
+                sequence: self.checks,
+                at,
+            });
+        }
+        fired
+    }
+
+    /// Every fault injected so far, in firing order.
+    pub fn injected(&self) -> &[InjectedFault] {
+        &self.injected
+    }
+
+    /// Number of faults injected at `site` so far.
+    pub fn injected_at(&self, site: FaultSite) -> usize {
+        self.injected.iter().filter(|f| f.site == site).count()
+    }
+
+    /// Total site checks performed.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Takes the accumulated `fault:*` trace events, leaving the internal
+    /// log empty (platforms merge this into per-invocation traces).
+    pub fn drain_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// A digest of the injected-fault schedule: two runs with the same
+    /// plan and check sequence produce the same fingerprint.
+    pub fn schedule_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for f in &self.injected {
+            mix(f.site.index() as u64);
+            mix(f.occurrence);
+            mix(f.sequence);
+        }
+        h
+    }
+}
+
+/// A shareable injector handle: the platform, the store, the network, and
+/// the VM manager all consult the same injector state.
+pub type SharedInjector = Rc<RefCell<FaultInjector>>;
+
+/// Wraps an injector for sharing across subsystems.
+pub fn shared(injector: FaultInjector) -> SharedInjector {
+    Rc::new(RefCell::new(injector))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_injector_never_fires() {
+        let mut inj = FaultInjector::disabled();
+        for _ in 0..1000 {
+            for site in FaultSite::ALL {
+                assert!(!inj.should_fail(site));
+            }
+        }
+        assert!(inj.injected().is_empty());
+        assert!(!inj.is_active());
+    }
+
+    #[test]
+    fn probability_zero_never_fires_but_still_draws() {
+        let mut armed = FaultInjector::new(FaultPlan::uniform(9, 0.0));
+        assert!(armed.is_active());
+        for _ in 0..500 {
+            assert!(!armed.should_fail(FaultSite::NetLoss));
+        }
+        assert!(armed.injected().is_empty());
+    }
+
+    #[test]
+    fn nth_trigger_fires_exactly_once_at_the_nth_check() {
+        let mut inj = FaultInjector::new(FaultPlan::new(1).nth(FaultSite::SnapshotRead, 3));
+        let fired: Vec<bool> = (0..6)
+            .map(|_| inj.should_fail(FaultSite::SnapshotRead))
+            .collect();
+        assert_eq!(fired, vec![false, false, true, false, false, false]);
+        assert_eq!(inj.injected().len(), 1);
+        assert_eq!(inj.injected()[0].occurrence, 3);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let plan = FaultPlan::uniform(1234, 0.2);
+        let mut a = FaultInjector::new(plan.clone());
+        let mut b = FaultInjector::new(plan);
+        for i in 0..400 {
+            let site = FaultSite::ALL[i % FaultSite::ALL.len()];
+            assert_eq!(a.should_fail(site), b.should_fail(site));
+        }
+        assert_eq!(a.injected(), b.injected());
+        assert_eq!(a.schedule_fingerprint(), b.schedule_fingerprint());
+        assert!(!a.injected().is_empty(), "rate 0.2 must fire in 400 checks");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = FaultInjector::new(FaultPlan::uniform(1, 0.3));
+        let mut b = FaultInjector::new(FaultPlan::uniform(2, 0.3));
+        for _ in 0..200 {
+            a.should_fail(FaultSite::StoreUnavailable);
+            b.should_fail(FaultSite::StoreUnavailable);
+        }
+        assert_ne!(a.schedule_fingerprint(), b.schedule_fingerprint());
+    }
+
+    #[test]
+    fn injections_are_recorded_as_trace_events() {
+        let clock = Clock::new();
+        clock.advance(Nanos::from_millis(5));
+        let mut inj = FaultInjector::new(FaultPlan::new(0).nth(FaultSite::VmCrash, 1));
+        inj.attach_clock(clock.clone());
+        assert!(inj.should_fail(FaultSite::VmCrash));
+        let trace = inj.drain_trace();
+        assert_eq!(trace.spans().len(), 1);
+        assert_eq!(trace.spans()[0].label, "fault:vm_crash");
+        assert_eq!(trace.spans()[0].start, Nanos::from_millis(5));
+        // Draining leaves the log empty.
+        assert!(inj.drain_trace().spans().is_empty());
+    }
+
+    #[test]
+    fn sites_have_independent_occurrence_counters() {
+        let mut inj = FaultInjector::new(
+            FaultPlan::new(0)
+                .nth(FaultSite::NetLoss, 2)
+                .nth(FaultSite::StoreUnavailable, 1),
+        );
+        assert!(inj.should_fail(FaultSite::StoreUnavailable));
+        assert!(!inj.should_fail(FaultSite::NetLoss));
+        assert!(inj.should_fail(FaultSite::NetLoss));
+        assert_eq!(inj.injected_at(FaultSite::NetLoss), 1);
+        assert_eq!(inj.injected_at(FaultSite::StoreUnavailable), 1);
+    }
+}

@@ -16,12 +16,15 @@
 //!   need pseudo-random data without pulling randomness into results.
 //! - [`trace`]: phase spans used to produce the paper's latency breakdowns
 //!   (start-up / exec / others).
+//! - [`fault`]: a seeded, deterministic fault-injection plane used to
+//!   exercise the platform's recovery paths.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod clock;
 pub mod cost;
+pub mod fault;
 pub mod queueing;
 pub mod rng;
 pub mod stats;
@@ -30,5 +33,6 @@ pub mod trace;
 
 pub use clock::Clock;
 pub use cost::CostModel;
+pub use fault::{FaultInjector, FaultPlan, FaultSite};
 pub use time::Nanos;
 pub use trace::{Phase, Span, Trace};

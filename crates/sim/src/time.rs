@@ -4,8 +4,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// A duration or instant in virtual nanoseconds.
 ///
 /// `Nanos` is used both as a point on the virtual timeline (an instant on a
@@ -23,10 +21,7 @@ use serde::{Deserialize, Serialize};
 /// let runtime = Nanos::from_millis(950);
 /// assert_eq!((boot + runtime).as_millis_f64(), 1075.0);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Nanos(pub u64);
 
 impl Nanos {

@@ -4,13 +4,11 @@
 //! *start-up*, *exec*, and *others*. Platforms record [`Span`]s on a
 //! [`Trace`] as they work, and the harness folds them into a [`Breakdown`].
 
-use serde::{Deserialize, Serialize};
-
 use crate::clock::Clock;
 use crate::time::Nanos;
 
 /// The latency category a span belongs to, matching the paper's breakdown.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
     /// Time from invocation until the function body is entered: sandbox
     /// creation/restore, runtime launch, code load.
@@ -22,7 +20,7 @@ pub enum Phase {
 }
 
 /// One labelled interval of virtual time attributed to a [`Phase`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Span {
     /// Human-readable label (e.g. `"kernel_boot"`).
     pub label: String,
@@ -116,7 +114,7 @@ impl Trace {
 }
 
 /// The start-up / exec / others latency split used in Figs. 6, 7 and 9.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Breakdown {
     /// Total start-up time.
     pub startup: Nanos,

@@ -19,6 +19,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use fireworks_lang::Value;
+use fireworks_sim::fault::{FaultSite, SharedInjector};
 use fireworks_sim::{Clock, Nanos};
 
 /// Store operation costs (the service-side cost; the network hop to reach
@@ -67,6 +68,9 @@ pub enum StoreError {
         /// Revision currently stored.
         actual: u64,
     },
+    /// The store is transiently unavailable (injected outage); the
+    /// request may be retried.
+    Unavailable,
 }
 
 impl fmt::Display for StoreError {
@@ -82,6 +86,7 @@ impl fmt::Display for StoreError {
                 f,
                 "revision conflict on `{id}`: expected {expected}, is {actual}"
             ),
+            StoreError::Unavailable => write!(f, "document store temporarily unavailable"),
         }
     }
 }
@@ -136,6 +141,7 @@ pub struct DocumentStore {
     clock: Clock,
     costs: StoreCosts,
     databases: BTreeMap<String, Database>,
+    injector: Option<SharedInjector>,
 }
 
 impl DocumentStore {
@@ -145,6 +151,28 @@ impl DocumentStore {
             clock,
             costs,
             databases: BTreeMap::new(),
+            injector: None,
+        }
+    }
+
+    /// Attaches a fault injector; every request then consults
+    /// [`FaultSite::StoreUnavailable`] and may fail with
+    /// [`StoreError::Unavailable`].
+    pub fn set_fault_injector(&mut self, injector: SharedInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// Simulated outage check, performed at the front of every request.
+    fn check_available(&self) -> Result<(), StoreError> {
+        let down = self
+            .injector
+            .as_ref()
+            .map(|inj| inj.borrow_mut().should_fail(FaultSite::StoreUnavailable))
+            .unwrap_or(false);
+        if down {
+            Err(StoreError::Unavailable)
+        } else {
+            Ok(())
         }
     }
 
@@ -181,9 +209,10 @@ impl DocumentStore {
         body: &Value,
         expected_rev: Option<u64>,
     ) -> Result<u64, StoreError> {
+        self.check_available()?;
         self.clock.advance(self.costs.put);
         self.create_db(db);
-        let database = self.db_mut(db).expect("created above");
+        let database = self.db_mut(db)?;
         let current = database.docs.get(id).map(|d| d.rev).unwrap_or(0);
         if let Some(expected) = expected_rev {
             if expected != current {
@@ -209,6 +238,7 @@ impl DocumentStore {
 
     /// Reads a document.
     pub fn get(&self, db: &str, id: &str) -> Result<Document, StoreError> {
+        self.check_available()?;
         self.clock.advance(self.costs.get);
         let database = self.db(db)?;
         let doc = database.docs.get(id).ok_or_else(|| StoreError::NotFound {
@@ -224,6 +254,7 @@ impl DocumentStore {
 
     /// Deletes a document, recording a deletion change.
     pub fn delete(&mut self, db: &str, id: &str) -> Result<(), StoreError> {
+        self.check_available()?;
         self.clock.advance(self.costs.put);
         let database = self.db_mut(db)?;
         let doc = database
@@ -241,6 +272,7 @@ impl DocumentStore {
     /// (structural equality). A linear scan, like an unindexed Mango
     /// query.
     pub fn find(&self, db: &str, field: &str, value: &Value) -> Result<Vec<Document>, StoreError> {
+        self.check_available()?;
         let database = self.db(db)?;
         self.clock
             .advance(self.costs.scan_per_doc * database.docs.len() as u64);
@@ -272,6 +304,7 @@ impl DocumentStore {
     /// Changes with sequence number greater than `since` — the feed the
     /// Cloud trigger polls to start the Data-Analysis chain.
     pub fn changes_since(&self, db: &str, since: u64) -> Result<Vec<Change>, StoreError> {
+        self.check_available()?;
         self.clock.advance(self.costs.changes);
         let database = self.db(db)?;
         Ok(database
@@ -420,5 +453,47 @@ mod tests {
         let t0 = clock.now();
         s.put("db", "x", &doc(1), None).expect("puts");
         assert!(clock.now() > t0);
+    }
+
+    #[test]
+    fn change_feed_from_stale_or_future_sequence() {
+        let mut s = store();
+        s.put("db", "a", &doc(1), None).expect("puts");
+        s.put("db", "b", &doc(2), None).expect("puts");
+        // A consumer resuming from a sequence at (or beyond) the head sees
+        // nothing — no wraparound, no error.
+        assert!(s.changes_since("db", 2).expect("at head").is_empty());
+        assert!(s.changes_since("db", 999).expect("beyond head").is_empty());
+        // An unknown database is an error, not an empty feed.
+        assert!(matches!(
+            s.changes_since("ghost", 0),
+            Err(StoreError::NoSuchDatabase(_))
+        ));
+    }
+
+    #[test]
+    fn injected_outage_fails_requests_then_recovers() {
+        use fireworks_sim::fault::{self, FaultInjector, FaultPlan};
+        let clock = Clock::new();
+        let mut s = DocumentStore::new(clock.clone(), StoreCosts::default());
+        s.put("db", "x", &doc(1), None).expect("puts while healthy");
+        let t_before = clock.now();
+        // Fire on the 1st and 2nd requests after arming.
+        s.set_fault_injector(fault::shared(FaultInjector::new(
+            FaultPlan::new(7)
+                .nth(FaultSite::StoreUnavailable, 1)
+                .nth(FaultSite::StoreUnavailable, 2),
+        )));
+        assert_eq!(s.get("db", "x").unwrap_err(), StoreError::Unavailable);
+        assert_eq!(
+            s.put("db", "y", &doc(2), None).unwrap_err(),
+            StoreError::Unavailable
+        );
+        // A failed request never reaches the service: no cost, no state.
+        assert_eq!(clock.now(), t_before);
+        assert_eq!(s.count("db"), 1);
+        // Third request goes through.
+        assert_eq!(s.get("db", "x").expect("recovered").rev, 1);
+        assert!(StoreError::Unavailable.to_string().contains("unavailable"));
     }
 }

@@ -19,6 +19,7 @@ fn env() -> PlatformEnv {
         ram_bytes: HOST_RAM,
         swappiness: 60,
         costs: CostModel::default(),
+        ..EnvConfig::default()
     })
 }
 

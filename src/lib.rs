@@ -74,9 +74,10 @@ pub mod prelude {
         FunctionSpec, InstallReport, Invocation, Platform, PlatformError, StartKind, StartMode,
     };
     pub use fireworks_core::env::{EnvConfig, PlatformEnv};
-    pub use fireworks_core::{FireworksPlatform, ResidentClone};
+    pub use fireworks_core::{FireworksPlatform, FunctionHealth, RecoveryPolicy, ResidentClone};
     pub use fireworks_lang::Value;
     pub use fireworks_runtime::{RuntimeKind, RuntimeProfile};
+    pub use fireworks_sim::fault::{FaultInjector, FaultPlan, FaultSite};
     pub use fireworks_sim::{Clock, CostModel, Nanos};
     pub use fireworks_workloads::faasdom::Bench;
     pub use fireworks_workloads::serverlessbench::{AlexaApp, DataAnalysisApp};

@@ -176,6 +176,7 @@ fn memory_pressure_reports_swapping_not_a_crash() {
         ram_bytes: 512 << 20,
         swappiness: 60,
         costs: CostModel::default(),
+        ..EnvConfig::default()
     });
     let mut p = FireworksPlatform::new(env.clone());
     let spec = Bench::NetLatency.spec(RuntimeKind::NodeLike);
@@ -199,6 +200,104 @@ fn memory_pressure_reports_swapping_not_a_crash() {
         p.release_clone(c);
     }
     assert!(!env.host_mem.is_swapping());
+}
+
+#[test]
+fn injector_at_rate_zero_changes_nothing() {
+    // An armed injector whose every probability is 0 must be a perfect
+    // no-op: same results, same virtual-time costs as no injector at all.
+    let run = |env: PlatformEnv| {
+        let mut p = FireworksPlatform::new(env.clone());
+        let spec = Bench::Fact.spec(RuntimeKind::NodeLike);
+        p.install(&spec).expect("install");
+        let inv = p
+            .invoke(&spec.name, &Bench::Fact.request_params(), StartMode::Auto)
+            .expect("invoke");
+        (inv.value.deep_clone(), inv.total(), env.clock.now())
+    };
+    let plain = run(PlatformEnv::default_env());
+    let armed = run(PlatformEnv::with_fault_plan(FaultPlan::uniform(42, 0.0)));
+    assert_eq!(plain, armed);
+}
+
+#[test]
+fn same_fault_seed_gives_identical_schedule_and_recovery_trace() {
+    // Determinism: two fresh runs under the same fault plan must inject
+    // the same faults at the same virtual times and recover identically.
+    let run = || {
+        let plan = FaultPlan::uniform(1234, 0.03);
+        let env = PlatformEnv::with_fault_plan(plan);
+        let mut p = FireworksPlatform::new(env.clone());
+        let spec = Bench::Fact.spec(RuntimeKind::NodeLike);
+        p.install(&spec).expect("install");
+        let mut outcomes = Vec::new();
+        let mut spans = Vec::new();
+        for _ in 0..25 {
+            match p.invoke(&spec.name, &Bench::Fact.request_params(), StartMode::Auto) {
+                Ok(inv) => {
+                    outcomes.push(format!("ok:{}", inv.value));
+                    for s in inv.trace.spans() {
+                        if s.label.starts_with("fault:")
+                            || s.label == "recovery_backoff"
+                            || s.label == "snapshot_rebuild"
+                        {
+                            spans.push(format!("{}@{}+{}", s.label, s.start, s.duration()));
+                        }
+                    }
+                }
+                Err(e) => outcomes.push(format!("err:{e}")),
+            }
+        }
+        let fingerprint = env.injector.borrow().schedule_fingerprint();
+        let checks = env.injector.borrow().checks();
+        (outcomes, spans, fingerprint, checks, env.clock.now())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "fault schedule and recovery must be deterministic");
+    assert!(a.2 != 0, "the run must actually have injected faults");
+}
+
+#[test]
+fn corrupted_snapshot_self_heals_end_to_end() {
+    // Damage a cached snapshot page from outside (no injector): the next
+    // invocation must detect the bad checksum, rebuild from source, and
+    // still return the correct result; the one after restores cleanly
+    // from the rebuilt snapshot.
+    let mut p = FireworksPlatform::new(PlatformEnv::default_env());
+    let spec = Bench::Fact.spec(RuntimeKind::NodeLike);
+    p.install(&spec).expect("install");
+    let clean = p
+        .invoke(&spec.name, &Bench::Fact.request_params(), StartMode::Auto)
+        .expect("baseline");
+
+    p.cached_snapshot(&spec.name)
+        .expect("cached")
+        .mem()
+        .corrupt_page(4321);
+
+    let healed = p
+        .invoke(&spec.name, &Bench::Fact.request_params(), StartMode::Auto)
+        .expect("self-heals");
+    assert_eq!(healed.value, clean.value, "healed run returns the answer");
+    assert_eq!(healed.start, StartKind::SnapshotRestore);
+    assert!(
+        healed.trace.total_for("snapshot_rebuild") > Nanos::ZERO,
+        "the rebuild must be visible in the trace"
+    );
+    let health = p.health(&spec.name).expect("installed");
+    assert_eq!(health.quarantines, 1);
+
+    let after = p
+        .invoke(&spec.name, &Bench::Fact.request_params(), StartMode::Auto)
+        .expect("restores from rebuilt snapshot");
+    assert_eq!(after.start, StartKind::SnapshotRestore);
+    assert_eq!(after.value, clean.value);
+    assert_eq!(
+        after.trace.total_for("snapshot_rebuild"),
+        Nanos::ZERO,
+        "no further rebuilds once healed"
+    );
 }
 
 #[test]

@@ -198,6 +198,7 @@ fn memory_density_beats_firecracker() {
         ram_bytes: ram,
         swappiness: 60,
         costs: CostModel::default(),
+        ..EnvConfig::default()
     };
 
     let fw_env = PlatformEnv::new(env_cfg(ram));
