@@ -10,6 +10,7 @@ use fireworks_core::env::PlatformEnv;
 use fireworks_core::host::{GuestHost, NetMode};
 use fireworks_lang::Value;
 use fireworks_microvm::{MicroVm, MicroVmConfig, VmFullSnapshot, VmManager};
+use fireworks_obs::cat;
 use fireworks_runtime::RuntimeProfile;
 use fireworks_sandbox::{IoPath, IoPathKind, IsolationLevel};
 use fireworks_sim::trace::{Phase, Trace};
@@ -67,7 +68,8 @@ pub struct FirecrackerPlatform {
 impl FirecrackerPlatform {
     /// Creates the baseline with the given snapshot policy.
     pub fn new(env: PlatformEnv, policy: SnapshotPolicy) -> Self {
-        let mgr = VmManager::new(env.clock.clone(), env.costs.clone(), env.host_mem.clone());
+        let mut mgr = VmManager::new(env.clock.clone(), env.costs.clone(), env.host_mem.clone());
+        mgr.set_obs(env.obs.clone());
         FirecrackerPlatform {
             env,
             mgr,
@@ -121,6 +123,7 @@ impl FirecrackerPlatform {
         vm: &mut MicroVm,
         args: &Value,
         trace: &mut Trace,
+        rec: &fireworks_obs::Recorder,
     ) -> Result<(Value, fireworks_lang::ExecStats, GuestHost), PlatformError> {
         let clock = self.env.clock.clone();
         let (default_params, timeout) = {
@@ -135,9 +138,11 @@ impl FirecrackerPlatform {
             rt.run_toplevel(&clock, &mut host)?;
             // Framework request path: interpreted and cold on the first
             // request of a fresh or OS-snapshot-restored VM.
+            let sp = rec.start_phase("framework", cat::EXEC, Phase::Exec);
             trace.scope(&clock, "framework", Phase::Exec, || {
                 rt.charge_request_overhead(&clock);
             });
+            rec.end(sp);
             rt.set_invocation_timeout(timeout);
             match rt.invoke(&clock, "main", vec![args.deep_clone()], &mut host) {
                 Ok(r) => r,
@@ -167,6 +172,20 @@ impl FirecrackerPlatform {
             anchor - host.external_time,
             anchor,
         );
+        rec.record_closed(
+            "exec",
+            cat::EXEC,
+            Phase::Exec,
+            anchor - result.exec_time - host.external_time,
+            anchor - host.external_time,
+        );
+        rec.record_closed(
+            "guest_io",
+            cat::EXEC,
+            Phase::Other,
+            anchor - host.external_time,
+            anchor,
+        );
         Ok((result.value, result.stats, host))
     }
 
@@ -175,6 +194,32 @@ impl FirecrackerPlatform {
         name: &str,
         args: &Value,
         mode: StartMode,
+    ) -> Result<(Invocation, MicroVm), PlatformError> {
+        // Root observability span mirroring the one Fireworks records, so
+        // side-by-side traces line up (`trace_dump`). The VM manager's
+        // boot/restore/resume spans nest underneath it.
+        let obs = self.env.obs.clone();
+        let rec = obs.recorder().clone();
+        let inv_span = rec.start("invoke", cat::INVOKE);
+        rec.attr(inv_span, "function", name);
+        rec.attr(inv_span, "platform", self.name());
+        obs.metrics()
+            .inc("baseline.invoke.attempts", &[("function", name)]);
+        let result = self.invoke_on_vm_inner(name, args, mode, &rec);
+        if result.is_err() {
+            obs.metrics()
+                .inc("baseline.invoke.failures", &[("function", name)]);
+        }
+        rec.end(inv_span);
+        result
+    }
+
+    fn invoke_on_vm_inner(
+        &mut self,
+        name: &str,
+        args: &Value,
+        mode: StartMode,
+        rec: &fireworks_obs::Recorder,
     ) -> Result<(Invocation, MicroVm), PlatformError> {
         if !self.registry.contains_key(name) {
             return Err(PlatformError::UnknownFunction(name.to_string()));
@@ -224,7 +269,7 @@ impl FirecrackerPlatform {
             }
         };
 
-        let (value, stats, host) = self.execute(name, &mut vm, args, &mut trace)?;
+        let (value, stats, host) = self.execute(name, &mut vm, args, &mut trace, rec)?;
         let invocation = Invocation {
             value,
             breakdown: trace.breakdown(),

@@ -8,7 +8,9 @@
 //!
 //! Output is a JSON document on stdout (one object per swept rate), so
 //! runs under different seeds diff cleanly — the injected schedule is a
-//! pure function of `(seed, rate)`.
+//! pure function of `(seed, rate)`. Each rate point also carries the
+//! host's full metrics-registry snapshot (counters, gauges, histograms
+//! from every layer) so recovery behaviour is auditable per rate.
 //!
 //! Usage: `chaos_sweep [seed]` (default seed 42).
 
@@ -17,7 +19,7 @@ use fireworks_core::api::{PlatformError, StartMode};
 use fireworks_core::{FireworksPlatform, PlatformEnv};
 use fireworks_runtime::RuntimeKind;
 use fireworks_sim::fault::FaultPlan;
-use fireworks_sim::Nanos;
+use fireworks_sim::{stats, Nanos};
 use fireworks_workloads::faasdom::Bench;
 
 /// Invocations per swept fault rate.
@@ -40,7 +42,10 @@ struct RatePoint {
     rebuilds: u64,
     mean_latency: Nanos,
     mean_recovery_latency: Nanos,
+    p50_recovery_latency: Nanos,
+    p99_recovery_latency: Nanos,
     schedule_fingerprint: u64,
+    metrics_json: String,
 }
 
 fn run_rate(seed: u64, rate: f64) -> RatePoint {
@@ -56,13 +61,16 @@ fn run_rate(seed: u64, rate: f64) -> RatePoint {
     let mut other_failures = 0;
     let mut total_latency = Nanos::ZERO;
     let mut recovery_latency = Nanos::ZERO;
+    let mut recovery_latencies: Vec<Nanos> = Vec::new();
     for _ in 0..INVOCATIONS {
         match platform.invoke(&spec.name, &args, StartMode::Auto) {
             Ok(inv) => {
                 successes += 1;
                 total_latency += inv.total();
-                recovery_latency += inv.trace.total_for("recovery_backoff")
+                let recovered = inv.trace.total_for("recovery_backoff")
                     + inv.trace.total_for("snapshot_rebuild");
+                recovery_latency += recovered;
+                recovery_latencies.push(recovered);
             }
             Err(PlatformError::Vm(_)) => vm_failures += 1,
             Err(PlatformError::CircuitOpen { .. }) => {
@@ -99,7 +107,10 @@ fn run_rate(seed: u64, rate: f64) -> RatePoint {
         } else {
             Nanos::ZERO
         },
+        p50_recovery_latency: stats::percentile(&recovery_latencies, 50.0),
+        p99_recovery_latency: stats::percentile(&recovery_latencies, 99.0),
         schedule_fingerprint: injector.schedule_fingerprint(),
+        metrics_json: env.obs.metrics().snapshot().to_json(),
     }
 }
 
@@ -147,9 +158,18 @@ fn main() {
             p.mean_recovery_latency.as_nanos() as f64 / 1_000.0
         );
         println!(
-            "      \"schedule_fingerprint\": \"{:016x}\"",
+            "      \"p50_recovery_latency_us\": {:.1},",
+            p.p50_recovery_latency.as_nanos() as f64 / 1_000.0
+        );
+        println!(
+            "      \"p99_recovery_latency_us\": {:.1},",
+            p.p99_recovery_latency.as_nanos() as f64 / 1_000.0
+        );
+        println!(
+            "      \"schedule_fingerprint\": \"{:016x}\",",
             p.schedule_fingerprint
         );
+        println!("      \"metrics\": {}", p.metrics_json);
         println!("    }}{comma}");
     }
     println!("  ]");

@@ -10,6 +10,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use fireworks_microvm::VmFullSnapshot;
+use fireworks_obs::{cat, Obs};
 
 /// An LRU snapshot cache bounded by on-disk bytes.
 #[derive(Debug)]
@@ -19,6 +20,7 @@ pub struct SnapshotCache {
     tick: u64,
     entries: HashMap<String, Entry>,
     evictions: u64,
+    obs: Option<Obs>,
 }
 
 #[derive(Debug)]
@@ -37,6 +39,20 @@ impl SnapshotCache {
             tick: 0,
             entries: HashMap::new(),
             evictions: 0,
+            obs: None,
+        }
+    }
+
+    /// Attaches an observability plane; lookups, inserts, and evictions
+    /// are then counted (`core.cache.*`) and evictions become instant
+    /// events.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = Some(obs);
+    }
+
+    fn count(&self, name: &'static str) {
+        if let Some(obs) = &self.obs {
+            obs.metrics().inc(name, &[]);
         }
     }
 
@@ -59,6 +75,7 @@ impl SnapshotCache {
             },
         );
         self.used_bytes += bytes;
+        self.count("core.cache.inserts");
         self.evict_to_budget(name);
     }
 
@@ -74,6 +91,14 @@ impl SnapshotCache {
             if let Some(e) = self.entries.remove(&victim) {
                 self.used_bytes -= e.bytes;
                 self.evictions += 1;
+                self.count("core.cache.evictions");
+                if let Some(obs) = &self.obs {
+                    obs.recorder().instant_with(
+                        format!("cache_evict:{victim}"),
+                        cat::CACHE,
+                        vec![("bytes", e.bytes.into())],
+                    );
+                }
             }
         }
     }
@@ -82,10 +107,16 @@ impl SnapshotCache {
     pub fn get(&mut self, name: &str) -> Option<Rc<VmFullSnapshot>> {
         self.tick += 1;
         let tick = self.tick;
-        self.entries.get_mut(name).map(|e| {
+        let hit = self.entries.get_mut(name).map(|e| {
             e.last_used = tick;
             e.snapshot.clone()
-        })
+        });
+        self.count(if hit.is_some() {
+            "core.cache.hits"
+        } else {
+            "core.cache.misses"
+        });
+        hit
     }
 
     /// Removes a snapshot explicitly (e.g. on security refresh).

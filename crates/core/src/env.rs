@@ -7,6 +7,7 @@ use fireworks_guestmem::HostMemory;
 use fireworks_lang::Value;
 use fireworks_msgbus::MessageBus;
 use fireworks_netsim::HostNetwork;
+use fireworks_obs::Obs;
 use fireworks_sim::fault::{self, FaultInjector, FaultPlan, SharedInjector};
 use fireworks_sim::{Clock, CostModel};
 use fireworks_store::{DocumentStore, StoreCosts};
@@ -60,6 +61,9 @@ pub struct PlatformEnv {
     /// the VM manager. Disabled (never fires) unless the [`EnvConfig`]
     /// armed a fault plan.
     pub injector: SharedInjector,
+    /// The host's observability plane (span recorder + metrics registry),
+    /// shared by every service and platform on this host.
+    pub obs: Obs,
 }
 
 impl PlatformEnv {
@@ -75,11 +79,14 @@ impl PlatformEnv {
             clock.clone(),
             costs.bus.clone(),
         )));
+        let obs = Obs::new(clock.clone());
         let mut raw_store = DocumentStore::new(clock.clone(), StoreCosts::default());
         raw_store.set_fault_injector(injector.clone());
+        raw_store.set_obs(obs.clone());
         let store = Rc::new(RefCell::new(raw_store));
         let mut raw_net = HostNetwork::new(clock.clone(), costs.net.clone());
         raw_net.set_fault_injector(injector.clone());
+        raw_net.set_obs(obs.clone());
         let net = Rc::new(RefCell::new(raw_net));
         PlatformEnv {
             clock,
@@ -89,6 +96,7 @@ impl PlatformEnv {
             store,
             net,
             injector,
+            obs,
         }
     }
 

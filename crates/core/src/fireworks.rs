@@ -10,6 +10,7 @@ use fireworks_microvm::{
     MicroVm, MicroVmConfig, ReapMode, ReapSession, VmError, VmFullSnapshot, VmManager, WorkingSet,
 };
 use fireworks_netsim::{Ip, Mac, NsId};
+use fireworks_obs::cat;
 use fireworks_runtime::guest::RunOutcome;
 use fireworks_runtime::RuntimeProfile;
 use fireworks_sandbox::{IoPath, IoPathKind, IsolationLevel};
@@ -99,6 +100,13 @@ pub struct FunctionHealth {
     /// Snapshot rebuilds from source (security refreshes, cache misses,
     /// and corruption recoveries).
     pub rebuilds: u64,
+    /// Restore attempts that had to be retried (transient read faults,
+    /// restore crashes, or integrity failures). Also counted in the
+    /// metrics registry as `core.recovery.restore_retries{function=..}`.
+    pub restore_retries: u64,
+    /// Invocations whose REAP prefetch failed and degraded to per-page
+    /// major faults. Also `core.reap.prefetch_degraded{function=..}`.
+    pub prefetch_degraded: u64,
 }
 
 struct FunctionEntry {
@@ -119,6 +127,10 @@ struct FunctionEntry {
     recoveries: u64,
     /// Snapshots evicted for failing their integrity check.
     quarantines: u64,
+    /// Restore attempts that had to be retried.
+    restore_retries: u64,
+    /// Invocations whose REAP prefetch degraded to major faults.
+    prefetch_degraded: u64,
 }
 
 /// A restored microVM kept resident after its invocation (for memory
@@ -173,11 +185,14 @@ impl FireworksPlatform {
     pub fn with_cache_budget(env: PlatformEnv, cache_budget_bytes: u64) -> Self {
         let mut mgr = VmManager::new(env.clock.clone(), env.costs.clone(), env.host_mem.clone());
         mgr.set_fault_injector(env.injector.clone());
+        mgr.set_obs(env.obs.clone());
+        let mut cache = SnapshotCache::new(cache_budget_bytes);
+        cache.set_obs(env.obs.clone());
         FireworksPlatform {
             env,
             mgr,
             registry: HashMap::new(),
-            cache: SnapshotCache::new(cache_budget_bytes),
+            cache,
             next_instance: 1,
             security: SecurityPolicy::default(),
             paging: PagingPolicy::WarmPageCache,
@@ -373,6 +388,18 @@ impl FireworksPlatform {
             )
         };
 
+        // Root observability span for the invocation; every recorder
+        // span, instant, and counter below lands underneath it. It must
+        // be closed on every exit path (closing it also closes any still-
+        // open descendants).
+        let obs = self.env.obs.clone();
+        let rec = obs.recorder().clone();
+        let inv_span = rec.start("invoke", cat::INVOKE);
+        rec.attr(inv_span, "function", name);
+        obs.metrics()
+            .inc("core.invoke.attempts", &[("function", name)]);
+        let t_start = clock.now();
+
         let mut trace = Trace::new();
 
         // Snapshot lookup; on an LRU miss the platform must rebuild it
@@ -382,7 +409,16 @@ impl FireworksPlatform {
             Some(s) => s,
             None => {
                 let t0 = clock.now();
-                let s = self.refresh_snapshot(name)?;
+                let sp = rec.start_phase("snapshot_rebuild", cat::SNAPSHOT, Phase::Startup);
+                let s = self.refresh_snapshot(name);
+                rec.end(sp);
+                let s = match s {
+                    Ok(s) => s,
+                    Err(e) => {
+                        rec.end(inv_span);
+                        return Err(e);
+                    }
+                };
                 trace.record("snapshot_rebuild", Phase::Startup, t0, clock.now());
                 s
             }
@@ -392,6 +428,7 @@ impl FireworksPlatform {
         // topic before resuming (paper §3.6).
         let instance = format!("vm-{}", self.next_instance);
         self.next_instance += 1;
+        let sp = rec.start_phase("param_produce", cat::INVOKE, Phase::Other);
         trace.scope(&clock, "param_produce", Phase::Other, || {
             self.env.bus.borrow_mut().produce(
                 &format!("params-{instance}"),
@@ -399,8 +436,10 @@ impl FireworksPlatform {
                 args.heap_estimate() as u64,
             );
         });
+        rec.end(sp);
 
         // Network namespace + NAT for the clone (paper §3.5).
+        let sp = rec.start_phase("netns_setup", cat::NET, Phase::Startup);
         let ns = trace.scope(&clock, "netns_setup", Phase::Startup, || {
             let mut net = self.env.net.borrow_mut();
             let ns = net.create_namespace();
@@ -408,7 +447,15 @@ impl FireworksPlatform {
             let ext = net.alloc_external_ip(ns)?;
             net.install_nat(ns, ext, GUEST_IP)?;
             Ok::<NsId, PlatformError>(ns)
-        })?;
+        });
+        rec.end(sp);
+        let ns = match ns {
+            Ok(ns) => ns,
+            Err(e) => {
+                rec.end(inv_span);
+                return Err(e);
+            }
+        };
 
         // Restore the snapshot, recovering from infrastructure faults:
         // transient failures (read errors, restore crashes) retry after an
@@ -420,8 +467,12 @@ impl FireworksPlatform {
         // circuit breaker, and surfaces as a typed error.
         let mut attempt = 0u32;
         let mut recovered = false;
+        let mut restore_retries_now = 0u64;
         let restored = loop {
             attempt += 1;
+            // `VmManager::restore` opens its own `snapshot_restore` span
+            // (with read/verify/map children) under `inv_span`, so only
+            // the retry bookkeeping is recorded here.
             let result = trace.scope(&clock, "snapshot_restore", Phase::Startup, || {
                 self.mgr.restore(&snapshot)
             });
@@ -433,12 +484,25 @@ impl FireworksPlatform {
                 Err(VmError::Corrupt(_)) => {
                     // Every later restore would fail the same checksums:
                     // evict the damaged snapshot and rebuild from source.
+                    restore_retries_now += 1;
+                    obs.metrics()
+                        .inc("core.recovery.restore_retries", &[("function", name)]);
                     self.cache.remove(name);
                     if let Some(entry) = self.registry.get_mut(name) {
                         entry.quarantines += 1;
                     }
+                    obs.metrics()
+                        .inc("core.recovery.quarantines", &[("function", name)]);
+                    rec.instant_with(
+                        format!("snapshot_quarantine:{name}"),
+                        cat::CACHE,
+                        vec![("attempt", attempt.into())],
+                    );
                     let t0 = clock.now();
-                    match self.refresh_snapshot(name) {
+                    let sp = rec.start_phase("snapshot_rebuild", cat::SNAPSHOT, Phase::Startup);
+                    let refreshed = self.refresh_snapshot(name);
+                    rec.end(sp);
+                    match refreshed {
                         Ok(s) => {
                             trace.record("snapshot_rebuild", Phase::Startup, t0, clock.now());
                             snapshot = s;
@@ -448,9 +512,14 @@ impl FireworksPlatform {
                     }
                 }
                 Err(_transient) => {
+                    restore_retries_now += 1;
+                    obs.metrics()
+                        .inc("core.recovery.restore_retries", &[("function", name)]);
+                    let sp = rec.start_phase("recovery_backoff", cat::RESTORE, Phase::Startup);
                     trace.scope(&clock, "recovery_backoff", Phase::Startup, || {
                         clock.advance(self.recovery.backoff(attempt));
                     });
+                    rec.end(sp);
                     recovered = true;
                 }
             }
@@ -464,9 +533,17 @@ impl FireworksPlatform {
                     .borrow_mut()
                     .delete_topic(&format!("params-{instance}"));
                 self.note_infra_failure(name);
-                // The failed invocation returns no trace; drop its fault
-                // events so they don't bleed into the next invocation.
-                let _ = self.env.injector.borrow_mut().drain_trace();
+                if let Some(entry) = self.registry.get_mut(name) {
+                    entry.restore_retries += restore_retries_now;
+                }
+                obs.metrics()
+                    .inc("core.invoke.failures", &[("function", name)]);
+                // The failed invocation returns no trace; its fault events
+                // go to the recorder (as instants) instead of bleeding
+                // into the next invocation's trace.
+                let fault_trace = self.env.injector.borrow_mut().drain_trace();
+                rec.ingest_trace(&fault_trace, cat::FAULT);
+                rec.end(inv_span);
                 return Err(e);
             }
         };
@@ -477,6 +554,7 @@ impl FireworksPlatform {
         // set must come from storage — one major fault per page, or one
         // bulk prefetch of the recorded set.
         let mut recorded_ws: Option<WorkingSet> = None;
+        let mut prefetch_degraded_now = false;
         if let PagingPolicy::ColdStorage { reap } = self.paging {
             let mode = match (&known_working_set, reap) {
                 (_, false) => ReapMode::Off,
@@ -485,26 +563,37 @@ impl FireworksPlatform {
             };
             let ws = known_working_set.unwrap_or_default();
             let injector = self.env.injector.clone();
+            let sp = rec.start_phase("paging", cat::PREFETCH, Phase::Exec);
             recorded_ws = trace.scope(&clock, "paging", Phase::Exec, || {
-                let mut session = match ReapSession::start_with_faults(
+                let mut session = match ReapSession::start_observed(
                     &clock,
                     mode,
                     PagingCosts::default(),
                     ws.clone(),
                     Some(&injector),
                     Some(snapshot.mem()),
+                    Some(&obs),
                 ) {
                     Ok(session) => session,
                     // Prefetch failed (read fault or corrupt working-set
                     // page): degrade gracefully to per-page major faults
                     // instead of failing the invocation.
-                    Err(_) => ReapSession::start(&clock, ReapMode::Off, PagingCosts::default(), ws),
+                    Err(_) => {
+                        prefetch_degraded_now = true;
+                        ReapSession::start(&clock, ReapMode::Off, PagingCosts::default(), ws)
+                    }
                 };
                 for (first, count) in vm.working_set_ranges() {
                     session.touch_range(&clock, first, count);
                 }
                 session.finish()
             });
+            rec.end(sp);
+            if prefetch_degraded_now {
+                obs.metrics()
+                    .inc("core.reap.prefetch_degraded", &[("function", name)]);
+                rec.instant(format!("prefetch_degraded:{name}"), cat::PREFETCH);
+            }
         }
 
         // Resume right after the snapshot point. Any failure from here on
@@ -522,9 +611,11 @@ impl FireworksPlatform {
             }
             // Request-handling framework path (already warmed into the
             // post-JIT snapshot, so this is the steady-state cost).
+            let sp = rec.start_phase("framework", cat::EXEC, Phase::Exec);
             trace.scope(&clock, "framework", Phase::Exec, || {
                 rt.charge_request_overhead(&clock);
             });
+            rec.end(sp);
             rt.set_invocation_timeout(timeout);
             loop {
                 match rt.run(&clock, &mut host) {
@@ -551,18 +642,24 @@ impl FireworksPlatform {
                     .bus
                     .borrow_mut()
                     .delete_topic(&format!("params-{instance}"));
-                let _ = self.env.injector.borrow_mut().drain_trace();
+                let fault_trace = self.env.injector.borrow_mut().drain_trace();
+                rec.ingest_trace(&fault_trace, cat::FAULT);
+                obs.metrics()
+                    .inc("core.invoke.failures", &[("function", name)]);
+                rec.end(inv_span);
                 return Err(e);
             }
         };
 
         // Copy-on-write page faults of this invocation's write set.
+        let sp = rec.start_phase("page_faults", cat::MEM, Phase::Exec);
         let fault_time = trace.scope(&clock, "page_faults", Phase::Exec, || {
             let t0 = clock.now();
             vm.sync_runtime_memory();
             vm.dirty_invocation();
             clock.now() - t0
         });
+        rec.end(sp);
         let _ = fault_time;
 
         // Attribute the guest's time: compute to exec, host I/O to others.
@@ -580,6 +677,41 @@ impl FireworksPlatform {
             anchor - host.external_time,
             anchor,
         );
+        rec.record_closed(
+            "exec",
+            cat::EXEC,
+            Phase::Exec,
+            anchor - result.exec_time - host.external_time,
+            anchor - host.external_time,
+        );
+        rec.record_closed(
+            "guest_io",
+            cat::EXEC,
+            Phase::Other,
+            anchor - host.external_time,
+            anchor,
+        );
+
+        // Guest-memory accounting after this invocation's CoW faults
+        // (paper §5.4): recompute PSS and publish per-function sharing
+        // gauges.
+        rec.scope("pss_recompute", cat::MEM, || {
+            let sharing = vm.sharing_stats();
+            let labels: &[(&'static str, &str)] = &[("function", name)];
+            let m = obs.metrics();
+            m.gauge_set("guestmem.clone.pss_bytes", labels, vm.pss_bytes() as i64);
+            m.gauge_set("guestmem.clone.rss_bytes", labels, vm.rss_bytes() as i64);
+            m.gauge_set(
+                "guestmem.clone.shared_pages",
+                labels,
+                sharing.shared_pages as i64,
+            );
+            m.gauge_set(
+                "guestmem.clone.private_pages",
+                labels,
+                sharing.private_pages as i64,
+            );
+        });
 
         let entry = self
             .registry
@@ -592,6 +724,8 @@ impl FireworksPlatform {
         // Success closes the breaker and resets the failure streak.
         entry.consecutive_failures = 0;
         entry.circuit_open_until = None;
+        entry.restore_retries += restore_retries_now;
+        entry.prefetch_degraded += u64::from(prefetch_degraded_now);
         if recovered {
             entry.recoveries += 1;
         }
@@ -600,8 +734,11 @@ impl FireworksPlatform {
 
         // Surface every fault injected during this invocation in its
         // trace, so recovery is auditable alongside the latency spans.
+        // The recorder gets the same events (zero-width ones as instant
+        // events, per the `Recorder::ingest_trace` convention).
         let fault_trace = self.env.injector.borrow_mut().drain_trace();
         trace.extend(&fault_trace);
+        rec.ingest_trace(&fault_trace, cat::FAULT);
 
         let invocation = Invocation {
             value: result.value,
@@ -613,6 +750,12 @@ impl FireworksPlatform {
             response: host.responses.into_iter().next_back(),
         };
         let clone = ResidentClone { vm, ns, instance };
+        rec.end(inv_span);
+        obs.metrics().observe(
+            "core.invoke.latency_ns",
+            &[("function", name)],
+            (clock.now() - t_start).as_nanos(),
+        );
 
         // Security maintenance off the invocation path (paper §6).
         if needs_refresh {
@@ -677,6 +820,8 @@ impl FireworksPlatform {
             recoveries: entry.recoveries,
             quarantines: entry.quarantines,
             rebuilds: entry.refreshes,
+            restore_retries: entry.restore_retries,
+            prefetch_degraded: entry.prefetch_degraded,
         })
     }
 }
@@ -718,6 +863,8 @@ impl Platform for FireworksPlatform {
                 circuit_open_until: None,
                 recoveries: 0,
                 quarantines: 0,
+                restore_retries: 0,
+                prefetch_degraded: 0,
             },
         );
         Ok(report)
@@ -1038,6 +1185,57 @@ mod tests {
         assert_eq!(health.recoveries, 1);
         assert_eq!(health.consecutive_failures, 0);
         assert_eq!(health.quarantines, 0);
+    }
+
+    #[test]
+    fn observability_plane_sees_retries_spans_and_metrics() {
+        use fireworks_obs::Event;
+        use fireworks_sim::fault::{FaultPlan, FaultSite};
+        let plan = FaultPlan::new(7).nth(FaultSite::SnapshotRead, 1);
+        let mut p = FireworksPlatform::new(PlatformEnv::with_fault_plan(plan));
+        p.install(&spec("fact")).expect("installs");
+        p.invoke("fact", &args(360), StartMode::Auto)
+            .expect("recovers");
+
+        let health = p.health("fact").expect("installed");
+        assert_eq!(health.restore_retries, 1, "one transient retry");
+        assert_eq!(health.prefetch_degraded, 0);
+
+        let snap = p.env().obs.metrics().snapshot();
+        let fact = &[("function", "fact")];
+        assert_eq!(snap.counter("core.recovery.restore_retries", fact), 1);
+        assert_eq!(snap.counter("core.invoke.attempts", fact), 1);
+        assert_eq!(snap.counter("core.invoke.failures", fact), 0);
+        assert_eq!(snap.counter("core.cache.hits", &[]), 1);
+        assert_eq!(
+            snap.counter("microvm.restore.failures", &[("kind", "read")]),
+            1
+        );
+        assert!(snap.gauge("guestmem.clone.pss_bytes", fact).unwrap_or(0) > 0);
+        assert!(
+            snap.histogram("core.invoke.latency_ns", fact).is_some(),
+            "invoke latency lands in the default-bounds histogram"
+        );
+
+        let events = p.env().obs.recorder().events();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, Event::Span(s) if s.name == "invoke" && s.end.is_some())),
+            "root invoke span is recorded and closed"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, Event::Instant(i) if i.name == "fault:snapshot_read")),
+            "the injected fault surfaces as an instant event"
+        );
+        assert!(
+            events.iter().any(
+                |e| matches!(e, Event::Span(s) if s.name == "snapshot_restore" && s.parent.is_some())
+            ),
+            "the manager's restore span nests under the invocation"
+        );
     }
 
     #[test]

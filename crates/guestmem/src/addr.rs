@@ -181,6 +181,36 @@ impl AddressSpace {
         }
         pss.round() as u64
     }
+
+    /// Splits the resident set into CoW-shared and private pages, the
+    /// two terms PSS proportions between (Fig. 11's sharing story).
+    pub fn sharing_stats(&self) -> SharingStats {
+        let mut stats = SharingStats::default();
+        for (_, frame) in self.mapped() {
+            if self.host.mappers(frame) > 1 {
+                stats.shared_pages += 1;
+            } else {
+                stats.private_pages += 1;
+            }
+        }
+        stats
+    }
+}
+
+/// Resident-page sharing split for one address space.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharingStats {
+    /// Resident pages whose frame is mapped by more than one space.
+    pub shared_pages: usize,
+    /// Resident pages mapped only here (allocated or CoW-copied).
+    pub private_pages: usize,
+}
+
+impl SharingStats {
+    /// Total resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.shared_pages + self.private_pages
+    }
 }
 
 impl Drop for AddressSpace {
@@ -285,6 +315,16 @@ mod tests {
         // private, three shared by 2).
         b.write(0, b"x");
         assert_eq!(b.pss_bytes(), PAGE_SIZE as u64 + 3 * PAGE_SIZE as u64 / 2);
+        assert_eq!(
+            b.sharing_stats(),
+            SharingStats {
+                shared_pages: 3,
+                private_pages: 1
+            }
+        );
+        assert_eq!(b.sharing_stats().resident_pages(), 4);
+        // a still shares 3 frames with b; the 4th is now private to a.
+        assert_eq!(a.sharing_stats().shared_pages, 3);
     }
 
     #[test]

@@ -22,6 +22,6 @@ pub mod addr;
 pub mod host;
 pub mod snapshot;
 
-pub use addr::AddressSpace;
+pub use addr::{AddressSpace, SharingStats};
 pub use host::{FrameId, HostMemory, MemoryStats, PAGE_SIZE};
 pub use snapshot::{SnapshotFile, SnapshotIntegrityError};

@@ -5,6 +5,7 @@ use std::rc::Rc;
 
 use fireworks_guestmem::{AddressSpace, HostMemory, SnapshotFile};
 use fireworks_lang::{JitPolicy, LangError};
+use fireworks_obs::{cat, Obs, SpanId};
 use fireworks_runtime::{GuestRuntime, MemoryModel, RuntimeProfile};
 use fireworks_sim::fault::{FaultSite, SharedInjector};
 use fireworks_sim::{Clock, CostModel, Nanos};
@@ -36,6 +37,7 @@ pub struct VmManager {
     host_mem: HostMemory,
     next_id: u64,
     injector: Option<SharedInjector>,
+    obs: Option<Obs>,
 }
 
 impl VmManager {
@@ -47,6 +49,7 @@ impl VmManager {
             host_mem,
             next_id: 1,
             injector: None,
+            obs: None,
         }
     }
 
@@ -54,6 +57,31 @@ impl VmManager {
     /// fault sites. Without one, both operations are infallible.
     pub fn set_fault_injector(&mut self, injector: SharedInjector) {
         self.injector = Some(injector);
+    }
+
+    /// Attaches an observability plane; lifecycle operations then record
+    /// spans (boot stages, pause/resume, snapshot capture/restore) and
+    /// counters. Without one, operations record nothing.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = Some(obs);
+    }
+
+    fn span_start(&self, name: &'static str, category: &'static str) -> Option<SpanId> {
+        self.obs
+            .as_ref()
+            .map(|o| o.recorder().start(name, category))
+    }
+
+    fn span_end(&self, id: Option<SpanId>) {
+        if let (Some(obs), Some(id)) = (&self.obs, id) {
+            obs.recorder().end(id);
+        }
+    }
+
+    fn count(&self, name: &'static str, labels: &[(&'static str, &str)], delta: u64) {
+        if let Some(obs) = &self.obs {
+            obs.metrics().add(name, labels, delta);
+        }
     }
 
     /// Asks the attached injector (if any) whether `site` fails now.
@@ -88,7 +116,9 @@ impl VmManager {
     /// Spawns and configures a VMM process (no guest boot yet).
     pub fn create(&mut self, config: MicroVmConfig) -> MicroVm {
         let start = self.clock.now();
+        let span = self.span_start("vmm_setup", cat::BOOT);
         self.clock.advance(self.costs.microvm.vmm_setup);
+        self.span_end(span);
         MicroVm {
             id: self.next_id(),
             config,
@@ -116,15 +146,24 @@ impl VmManager {
     pub fn boot(&mut self, vm: &mut MicroVm) -> Result<(), VmError> {
         assert_eq!(vm.state, VmState::Created, "boot from Created only");
         let start = self.clock.now();
+        let boot_span = self.span_start("vm_boot", cat::BOOT);
+        let kernel = self.span_start("kernel_boot", cat::BOOT);
         self.clock.advance(self.costs.microvm.kernel_boot);
+        self.span_end(kernel);
         if self.should_fail(FaultSite::VmCrash) {
             vm.boot_time += self.clock.now() - start;
+            self.count("microvm.manager.boot_crashes", &[], 1);
+            self.span_end(boot_span);
             return Err(VmError::BootCrash);
         }
+        let init = self.span_start("guest_init", cat::BOOT);
         self.clock.advance(self.costs.microvm.guest_init);
+        self.span_end(init);
         vm.sync_runtime_memory(); // Materialises the OS region.
         vm.state = VmState::Running;
         vm.boot_time += self.clock.now() - start;
+        self.count("microvm.manager.boots", &[], 1);
+        self.span_end(boot_span);
         Ok(())
     }
 
@@ -138,7 +177,10 @@ impl VmManager {
     ) -> Result<(), LangError> {
         assert_eq!(vm.state, VmState::Running, "runtime needs a booted guest");
         let start = self.clock.now();
-        let rt = GuestRuntime::launch(&self.clock, profile, source, policy)?;
+        let span = self.span_start("runtime_launch", cat::BOOT);
+        let result = GuestRuntime::launch(&self.clock, profile, source, policy);
+        self.span_end(span);
+        let rt = result?;
         vm.runtime = Some(rt);
         vm.sync_runtime_memory();
         vm.boot_time += self.clock.now() - start;
@@ -148,14 +190,18 @@ impl VmManager {
     /// Pauses a running VM in memory (warm pool).
     pub fn pause(&mut self, vm: &mut MicroVm) {
         assert_eq!(vm.state, VmState::Running, "pause a running VM");
+        let span = self.span_start("vm_pause", cat::BOOT);
         self.clock.advance(self.costs.microvm.pause);
+        self.span_end(span);
         vm.state = VmState::Paused;
     }
 
     /// Resumes a paused VM — the Firecracker warm start.
     pub fn resume(&mut self, vm: &mut MicroVm) {
         assert_eq!(vm.state, VmState::Paused, "resume a paused VM");
+        let span = self.span_start("vm_resume", cat::BOOT);
         self.clock.advance(self.costs.microvm.resume_paused);
+        self.span_end(span);
         vm.state = VmState::Running;
     }
 
@@ -170,17 +216,26 @@ impl VmManager {
     /// install-time cost.
     pub fn snapshot(&mut self, vm: &mut MicroVm) -> VmFullSnapshot {
         vm.sync_runtime_memory();
+        let span = self.span_start("snapshot_capture", cat::SNAPSHOT);
         self.clock.advance(self.costs.microvm.snapshot_create_base);
         let pages = vm.space.resident_pages() as u64;
         self.clock
             .advance(self.costs.microvm.snapshot_write_per_page * pages);
-        VmFullSnapshot {
+        let snap = VmFullSnapshot {
             mem: SnapshotFile::capture(&vm.space, Vec::new()),
             runtime: vm.runtime.as_ref().map(|r| Rc::new(r.snapshot())),
             config: vm.config,
             extents: vm.extents,
             memmodel: vm.memmodel,
+        };
+        if let (Some(obs), Some(id)) = (&self.obs, span) {
+            obs.recorder().attr(id, "pages", pages);
+            obs.recorder().attr(id, "bytes", snap.file_bytes());
         }
+        self.count("microvm.snapshot.captures", &[], 1);
+        self.count("microvm.snapshot.pages_written", &[], pages);
+        self.span_end(span);
+        snap
     }
 
     /// Restores a snapshot into a fresh microVM, mapping all pages shared.
@@ -197,10 +252,20 @@ impl VmManager {
     /// ([`FaultSite::VmCrash`]). Costs accrued before the failure stay
     /// charged.
     pub fn restore(&mut self, snapshot: &VmFullSnapshot) -> Result<MicroVm, VmError> {
+        let restore_span = self.span_start("snapshot_restore", cat::RESTORE);
+        if let (Some(obs), Some(id)) = (&self.obs, restore_span) {
+            obs.recorder().attr(id, "pages", snapshot.mem.pages());
+        }
+        self.count("microvm.restore.attempts", &[], 1);
+        let read = self.span_start("restore_read", cat::RESTORE);
         self.clock.advance(self.costs.microvm.snapshot_restore_base);
         if self.should_fail(FaultSite::SnapshotRead) {
+            self.count("microvm.restore.failures", &[("kind", "read")], 1);
+            self.span_end(restore_span); // Closes the open read child too.
             return Err(VmError::SnapshotRead);
         }
+        self.span_end(read);
+        let verify = self.span_start("page_verify", cat::RESTORE);
         if snapshot.mem.pages() > 0 && self.should_fail(FaultSite::SnapshotCorruption) {
             // Damage a deterministic (occurrence-dependent) page so the
             // checksum machinery does real detection work below.
@@ -212,13 +277,28 @@ impl VmManager {
             let index = occurrence.wrapping_mul(7919) % snapshot.mem.pages();
             snapshot.mem.corrupt_page(index);
         }
-        snapshot.mem.verify()?;
+        if let Err(err) = snapshot.mem.verify() {
+            self.count("microvm.restore.failures", &[("kind", "corrupt")], 1);
+            self.span_end(restore_span);
+            return Err(err.into());
+        }
+        self.count(
+            "microvm.restore.pages_verified",
+            &[],
+            snapshot.mem.pages() as u64,
+        );
+        self.span_end(verify);
+        let map = self.span_start("map_pages", cat::RESTORE);
         self.clock
             .advance(self.costs.microvm.snapshot_map_per_page * snapshot.mem.pages() as u64);
         if self.should_fail(FaultSite::VmCrash) {
+            self.count("microvm.restore.failures", &[("kind", "crash")], 1);
+            self.span_end(restore_span);
             return Err(VmError::RestoreCrash);
         }
         let space = snapshot.mem.restore(&self.host_mem);
+        self.span_end(map);
+        self.span_end(restore_span);
         Ok(MicroVm {
             id: self.next_id(),
             config: snapshot.config,

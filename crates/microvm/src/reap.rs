@@ -15,6 +15,7 @@
 use std::collections::BTreeSet;
 
 use fireworks_guestmem::SnapshotFile;
+use fireworks_obs::{cat, Obs};
 use fireworks_sim::fault::{FaultSite, SharedInjector};
 use fireworks_sim::{Clock, Nanos};
 
@@ -105,6 +106,7 @@ pub struct ReapSession {
     resident: BTreeSet<usize>,
     major_faults: u64,
     prefetched_pages: u64,
+    obs: Option<Obs>,
 }
 
 impl ReapSession {
@@ -139,25 +141,66 @@ impl ReapSession {
         injector: Option<&SharedInjector>,
         snapshot: Option<&SnapshotFile>,
     ) -> Result<Self, VmError> {
+        Self::start_observed(clock, mode, costs, working_set, injector, snapshot, None)
+    }
+
+    /// Starts a session like [`ReapSession::start_with_faults`] and, when
+    /// an observability plane is supplied, records the prefetch bulk read
+    /// as a span (category `prefetch`) plus prefetch/fault counters:
+    /// `microvm.reap.prefetched_pages`, `microvm.reap.prefetch_hits`,
+    /// `microvm.reap.major_faults`, and `microvm.reap.prefetch_failures`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_observed(
+        clock: &Clock,
+        mode: ReapMode,
+        costs: PagingCosts,
+        working_set: WorkingSet,
+        injector: Option<&SharedInjector>,
+        snapshot: Option<&SnapshotFile>,
+        obs: Option<&Obs>,
+    ) -> Result<Self, VmError> {
         let mut resident = BTreeSet::new();
         let mut prefetched_pages = 0;
         if mode == ReapMode::Prefetch && !working_set.is_empty() {
+            let span = obs.map(|o| {
+                let id = o.recorder().start("reap_prefetch", cat::PREFETCH);
+                o.recorder().attr(id, "pages", working_set.len());
+                id
+            });
+            let end_span = |failed: bool| {
+                if let (Some(o), Some(id)) = (obs, span) {
+                    if failed {
+                        o.recorder().attr(id, "failed", true);
+                        o.metrics().inc("microvm.reap.prefetch_failures", &[]);
+                    }
+                    o.recorder().end(id);
+                }
+            };
             clock.advance(costs.prefetch_base);
             let read_fails = injector
                 .map(|inj| inj.borrow_mut().should_fail(FaultSite::SnapshotRead))
                 .unwrap_or(false);
             if read_fails {
+                end_span(true);
                 return Err(VmError::SnapshotRead);
             }
             // One bulk sequential read of the whole working set.
             clock.advance(costs.sequential_read_per_page * working_set.len() as u64);
             if let Some(snap) = snapshot {
                 for page in &working_set.pages {
-                    snap.verify_guest_page(*page)?;
+                    if let Err(err) = snap.verify_guest_page(*page) {
+                        end_span(true);
+                        return Err(err.into());
+                    }
                 }
             }
             resident.extend(working_set.pages.iter().copied());
             prefetched_pages = working_set.len() as u64;
+            if let Some(o) = obs {
+                o.metrics()
+                    .add("microvm.reap.prefetched_pages", &[], prefetched_pages);
+            }
+            end_span(false);
         }
         Ok(ReapSession {
             mode,
@@ -166,6 +209,7 @@ impl ReapSession {
             resident,
             major_faults: 0,
             prefetched_pages,
+            obs: obs.cloned(),
         })
     }
 
@@ -176,6 +220,11 @@ impl ReapSession {
         if self.resident.insert(page) {
             clock.advance(self.costs.major_fault);
             self.major_faults += 1;
+            if let Some(o) = &self.obs {
+                o.metrics().inc("microvm.reap.major_faults", &[]);
+            }
+        } else if let Some(o) = &self.obs {
+            o.metrics().inc("microvm.reap.prefetch_hits", &[]);
         }
     }
 

@@ -124,6 +124,12 @@ impl MicroVm {
         self.space.pss_bytes()
     }
 
+    /// Shared/private split of the resident set (CoW sharing with the
+    /// snapshot file and sibling clones vs privately dirtied pages).
+    pub fn sharing_stats(&self) -> fireworks_guestmem::SharingStats {
+        self.space.sharing_stats()
+    }
+
     /// Extends guest-memory regions to the runtime's current sizes,
     /// dirtying only growth beyond what is already materialised. Call
     /// after execution slices so JIT-code and heap growth is accounted.

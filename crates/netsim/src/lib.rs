@@ -20,6 +20,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use fireworks_obs::{cat, Obs};
 use fireworks_sim::cost::NetCosts;
 use fireworks_sim::fault::{FaultSite, SharedInjector};
 use fireworks_sim::{Clock, Nanos};
@@ -138,6 +139,7 @@ pub struct HostNetwork {
     external: HashMap<Ip, NsId>,
     next_external: u32,
     injector: Option<SharedInjector>,
+    obs: Option<Obs>,
 }
 
 /// The root namespace id (taps attached here behave like a host without
@@ -157,6 +159,7 @@ impl HostNetwork {
             external: HashMap::new(),
             next_external: u32::from_be_bytes([10, 200, 0, 2]),
             injector: None,
+            obs: None,
         }
     }
 
@@ -165,6 +168,14 @@ impl HostNetwork {
     /// lost packets with exponential backoff, up to [`MAX_TRANSMITS`].
     pub fn set_fault_injector(&mut self, injector: SharedInjector) {
         self.injector = Some(injector);
+    }
+
+    /// Attaches an observability plane; [`HostNetwork::deliver`] then
+    /// counts `net.host.delivered` / `net.host.retransmits` /
+    /// `net.host.drops` and records an instant event per retransmission
+    /// or final drop.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = Some(obs);
     }
 
     /// Creates a fresh network namespace.
@@ -291,6 +302,9 @@ impl HostNetwork {
                 .map(|inj| inj.borrow_mut().should_fail(FaultSite::NetLoss))
                 .unwrap_or(false);
             if !lost {
+                if let Some(obs) = &self.obs {
+                    obs.metrics().inc("net.host.delivered", &[]);
+                }
                 return Ok(Delivery {
                     ns,
                     guest_ip,
@@ -300,7 +314,23 @@ impl HostNetwork {
                 });
             }
             if attempts >= MAX_TRANSMITS {
+                if let Some(obs) = &self.obs {
+                    obs.metrics().inc("net.host.drops", &[]);
+                    obs.recorder().instant_with(
+                        format!("packet_lost:{dst}"),
+                        cat::NET,
+                        vec![("attempts", attempts.into())],
+                    );
+                }
                 return Err(NetError::Lost(dst));
+            }
+            if let Some(obs) = &self.obs {
+                obs.metrics().inc("net.host.retransmits", &[]);
+                obs.recorder().instant_with(
+                    format!("retransmit:{dst}"),
+                    cat::NET,
+                    vec![("attempt", attempts.into())],
+                );
             }
             // The sender times out and retransmits, doubling the wait.
             self.clock

@@ -1,0 +1,244 @@
+//! Exporters: JSONL event logs and Chrome trace-event files.
+//!
+//! Both formats are keyed to *virtual* nanoseconds and built with
+//! integer arithmetic only, so a given schedule exports byte-for-byte
+//! identically on every run and host.
+
+use std::fmt::Write as _;
+
+use fireworks_sim::trace::Phase;
+
+use crate::span::{AttrValue, Event, Recorder};
+
+/// Formats nanoseconds as decimal microseconds with exactly three
+/// fractional digits (`1234567` → `"1234.567"`), using integer math so
+/// output never depends on float formatting.
+pub fn fmt_micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn phase_json(phase: Option<Phase>) -> &'static str {
+    match phase {
+        Some(Phase::Startup) => "\"startup\"",
+        Some(Phase::Exec) => "\"exec\"",
+        Some(Phase::Other) => "\"other\"",
+        None => "null",
+    }
+}
+
+fn attrs_json(attrs: &[(&'static str, AttrValue)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", crate::json::escape(k), v.to_json());
+    }
+    out.push('}');
+    out
+}
+
+/// Renders a recorder's event log as JSONL: one JSON object per line,
+/// in recording order.
+///
+/// Span lines: `{"type":"span","id":N,"parent":N|null,"name":...,
+/// "cat":...,"phase":...,"start_ns":N,"end_ns":N|null,"dur_ns":N,
+/// "attrs":{...}}`. Instant lines carry `"type":"instant"` and
+/// `"at_ns"`. Still-open spans export `end_ns: null` and a zero
+/// duration; call [`Recorder::finish`] first to pin them.
+pub fn jsonl(recorder: &Recorder) -> String {
+    let mut out = String::new();
+    for event in recorder.events() {
+        match event {
+            Event::Span(s) => {
+                let parent = match s.parent {
+                    Some(p) => p.raw().to_string(),
+                    None => "null".to_string(),
+                };
+                let (end, dur) = match s.end {
+                    Some(end) => (
+                        end.as_nanos().to_string(),
+                        (end.as_nanos().saturating_sub(s.start.as_nanos())).to_string(),
+                    ),
+                    None => ("null".to_string(), "0".to_string()),
+                };
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"name\":{},\"cat\":{},\
+                     \"phase\":{},\"start_ns\":{},\"end_ns\":{},\"dur_ns\":{},\"attrs\":{}}}",
+                    s.id.raw(),
+                    parent,
+                    crate::json::escape(&s.name),
+                    crate::json::escape(s.category),
+                    phase_json(s.phase),
+                    s.start.as_nanos(),
+                    end,
+                    dur,
+                    attrs_json(&s.attrs),
+                );
+            }
+            Event::Instant(i) => {
+                let parent = match i.parent {
+                    Some(p) => p.raw().to_string(),
+                    None => "null".to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"instant\",\"parent\":{},\"name\":{},\"cat\":{},\
+                     \"at_ns\":{},\"attrs\":{}}}",
+                    parent,
+                    crate::json::escape(&i.name),
+                    crate::json::escape(i.category),
+                    i.at.as_nanos(),
+                    attrs_json(&i.attrs),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Renders one or more recorders as a single Chrome trace-event JSON
+/// document loadable in `chrome://tracing` or [Perfetto].
+///
+/// Each `(process_name, recorder)` pair becomes one process (pid 1, 2,
+/// …) named by a metadata event, so two platforms export side by side.
+/// Spans become complete events (`ph:"X"`) with microsecond `ts`/`dur`;
+/// instants become thread-scoped instant events (`ph:"i"`).
+///
+/// [Perfetto]: https://ui.perfetto.dev
+pub fn chrome_trace(processes: &[(&str, &Recorder)]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, event: String| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&event);
+    };
+    for (i, (name, recorder)) in processes.iter().enumerate() {
+        let pid = i + 1;
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+                 \"args\":{{\"name\":{}}}}}",
+                crate::json::escape(name)
+            ),
+        );
+        for event in recorder.events() {
+            match event {
+                Event::Span(s) => {
+                    let now = recorder.clock().now();
+                    let dur = s.duration_at(now).as_nanos();
+                    let mut args = format!("{{\"span_id\":{}", s.id.raw());
+                    if let Some(p) = s.parent {
+                        let _ = write!(args, ",\"parent\":{}", p.raw());
+                    }
+                    if let Some(phase) = s.phase {
+                        let _ = write!(args, ",\"phase\":{}", phase_json(Some(phase)));
+                    }
+                    for (k, v) in &s.attrs {
+                        let _ = write!(args, ",{}:{}", crate::json::escape(k), v.to_json());
+                    }
+                    args.push('}');
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!(
+                            "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":1,\"name\":{},\"cat\":{},\
+                             \"ts\":{},\"dur\":{},\"args\":{args}}}",
+                            crate::json::escape(&s.name),
+                            crate::json::escape(s.category),
+                            fmt_micros(s.start.as_nanos()),
+                            fmt_micros(dur),
+                        ),
+                    );
+                }
+                Event::Instant(inst) => {
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!(
+                            "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":1,\"name\":{},\"cat\":{},\
+                             \"ts\":{},\"s\":\"t\",\"args\":{}}}",
+                            crate::json::escape(&inst.name),
+                            crate::json::escape(inst.category),
+                            fmt_micros(inst.at.as_nanos()),
+                            attrs_json(&inst.attrs),
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::cat;
+    use fireworks_sim::{Clock, Nanos};
+
+    fn sample_recorder() -> (Clock, Recorder) {
+        let clock = Clock::new();
+        let rec = Recorder::new(clock.clone());
+        let root = rec.start_phase("invoke", cat::INVOKE, Phase::Exec);
+        rec.attr(root, "function", "fact");
+        rec.scope("snapshot_restore", cat::RESTORE, || {
+            clock.advance(Nanos::from_micros(1500));
+        });
+        rec.instant("fault:net_loss", cat::FAULT);
+        rec.end(root);
+        (clock, rec)
+    }
+
+    #[test]
+    fn fmt_micros_is_integer_exact() {
+        assert_eq!(fmt_micros(0), "0.000");
+        assert_eq!(fmt_micros(999), "0.999");
+        assert_eq!(fmt_micros(1_000), "1.000");
+        assert_eq!(fmt_micros(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn jsonl_lines_are_each_valid_json() {
+        let (_clock, rec) = sample_recorder();
+        let text = jsonl(&rec);
+        assert_eq!(text.lines().count(), 3);
+        for line in text.lines() {
+            crate::json::validate(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        assert!(text.lines().nth(1).unwrap().contains("\"dur_ns\":1500000"));
+        assert!(text
+            .lines()
+            .nth(2)
+            .unwrap()
+            .contains("\"type\":\"instant\""));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_metadata() {
+        let (_clock, rec) = sample_recorder();
+        let doc = chrome_trace(&[("fireworks", &rec), ("firecracker", &rec)]);
+        crate::json::validate(&doc).expect("well-formed");
+        assert!(doc.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(doc.contains("\"pid\":1"));
+        assert!(doc.contains("\"pid\":2"));
+        assert!(doc.contains("\"name\":\"process_name\""));
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"ph\":\"i\""));
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let (_c1, r1) = sample_recorder();
+        let (_c2, r2) = sample_recorder();
+        assert_eq!(jsonl(&r1), jsonl(&r2));
+        assert_eq!(chrome_trace(&[("p", &r1)]), chrome_trace(&[("p", &r2)]));
+    }
+}

@@ -1,0 +1,94 @@
+//! Unified observability plane for the Fireworks simulation.
+//!
+//! The paper's core claims are latency *breakdowns* (Figs. 6/7/9 split
+//! start-up vs exec vs others) and memory *attribution* (PSS/RSS sharing
+//! in Fig. 11). The flat three-phase [`fireworks_sim::trace::Trace`] can
+//! report those totals, but it cannot see *inside* a restore (checksum
+//! verify vs page mapping vs REAP prefetch), attribute a cache eviction,
+//! or correlate an injected fault with the recovery latency it caused.
+//! This crate is the measurement substrate for all of that:
+//!
+//! - [`Recorder`] — hierarchical spans over virtual time. Spans have
+//!   parent/child [`SpanId`]s, a category (see [`cat`]), typed
+//!   [`AttrValue`] attributes, and an optional
+//!   [`fireworks_sim::trace::Phase`]; [`Recorder::breakdown`] folds them
+//!   into the same [`fireworks_sim::trace::Breakdown`] the paper's
+//!   figures use (self-time attribution, so nesting never double-counts).
+//! - [`Metrics`] — a deterministic registry of counters, gauges, and
+//!   fixed-bucket histograms keyed by `&'static str` names plus label
+//!   pairs, with a [`Metrics::snapshot`] for tests and benches. Names
+//!   follow the `layer.component.event` convention (see DESIGN.md).
+//! - [`export`] — a JSONL event log and a Chrome trace-event file
+//!   (loadable in `chrome://tracing` or Perfetto), both keyed to virtual
+//!   nanoseconds and byte-for-byte deterministic for a given schedule.
+//!
+//! Everything is single-threaded simulation state: handles are cheap
+//! clones sharing one interior-mutable core, exactly like
+//! [`fireworks_sim::Clock`].
+//!
+//! # Examples
+//!
+//! ```
+//! use fireworks_obs::{cat, Obs};
+//! use fireworks_sim::trace::Phase;
+//! use fireworks_sim::{Clock, Nanos};
+//!
+//! let clock = Clock::new();
+//! let obs = Obs::new(clock.clone());
+//! let rec = obs.recorder();
+//!
+//! let boot = rec.start_phase("vm_boot", cat::BOOT, Phase::Startup);
+//! rec.scope("kernel_boot", cat::BOOT, || {
+//!     clock.advance(Nanos::from_millis(125));
+//! });
+//! rec.attr(boot, "os_pages", 18_432u64);
+//! rec.end(boot);
+//!
+//! obs.metrics().inc("microvm.manager.boots", &[]);
+//! assert_eq!(obs.metrics().snapshot().counter("microvm.manager.boots", &[]), 1);
+//! assert_eq!(rec.breakdown().startup, Nanos::from_millis(125));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use metrics::{HistogramSnapshot, Metrics, MetricsSnapshot};
+pub use span::{cat, AttrValue, Event, InstantRecord, Recorder, SpanId, SpanRecord};
+
+use fireworks_sim::Clock;
+
+/// The pair of observability handles one platform (or one simulated
+/// host) carries: a span [`Recorder`] and a [`Metrics`] registry.
+///
+/// Cloning an `Obs` clones handles to the *same* recorder and registry,
+/// so every layer a platform wires it into appends to one timeline.
+#[derive(Debug, Clone)]
+pub struct Obs {
+    recorder: Recorder,
+    metrics: Metrics,
+}
+
+impl Obs {
+    /// Creates a recorder (timestamping on `clock`) and an empty registry.
+    pub fn new(clock: Clock) -> Self {
+        Obs {
+            recorder: Recorder::new(clock),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// The span recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+}

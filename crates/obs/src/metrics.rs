@@ -1,0 +1,398 @@
+//! Deterministic metrics registry: counters, gauges, and fixed-bucket
+//! histograms keyed by `&'static str` names plus label pairs.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// Default histogram bucket upper bounds, in nanoseconds: 1µs to 10s in
+/// decades. Chosen so one set of buckets covers everything from a page
+/// fault (~11µs) to a circuit-breaker cooldown (10s).
+pub const DEFAULT_BOUNDS: [u64; 8] = [
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
+/// A metric identity: static name plus sorted label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: &'static str,
+    labels: Vec<(&'static str, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &'static str, labels: &[(&'static str, &str)]) -> Self {
+        let mut labels: Vec<(&'static str, String)> =
+            labels.iter().map(|&(k, v)| (k, v.to_string())).collect();
+        labels.sort();
+        MetricKey { name, labels }
+    }
+
+    /// Rendered form: `name` or `name{k=v,k2=v2}` with sorted labels.
+    fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.to_string();
+        }
+        let mut out = String::from(self.name);
+        out.push('{');
+        for (i, (k, v)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{k}={v}");
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn render_key(name: &'static str, labels: &[(&'static str, &str)]) -> String {
+    MetricKey::new(name, labels).render()
+}
+
+#[derive(Debug, Clone)]
+struct Histogram {
+    bounds: Vec<u64>,
+    /// One count per bound, plus a trailing overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+}
+
+impl Histogram {
+    fn new(bounds: Vec<u64>) -> Self {
+        let counts = vec![0; bounds.len() + 1];
+        Histogram {
+            bounds,
+            counts,
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    fn observe(&mut self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+    }
+}
+
+#[derive(Debug, Default)]
+struct MetricsInner {
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, i64>,
+    histograms: BTreeMap<MetricKey, Histogram>,
+    /// Registered bucket bounds by metric name; unregistered names fall
+    /// back to [`DEFAULT_BOUNDS`].
+    bounds: BTreeMap<&'static str, Vec<u64>>,
+}
+
+/// A registry of counters, gauges, and fixed-bucket histograms.
+///
+/// Handles are cheap clones sharing one interior-mutable store, like
+/// [`fireworks_sim::Clock`]. All iteration is over [`BTreeMap`]s, so
+/// snapshots and exports are deterministic regardless of insertion
+/// order.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    inner: Rc<RefCell<MetricsInner>>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Increments a counter by 1.
+    pub fn inc(&self, name: &'static str, labels: &[(&'static str, &str)]) {
+        self.add(name, labels, 1);
+    }
+
+    /// Increments a counter by `delta`.
+    pub fn add(&self, name: &'static str, labels: &[(&'static str, &str)], delta: u64) {
+        let key = MetricKey::new(name, labels);
+        *self.inner.borrow_mut().counters.entry(key).or_insert(0) += delta;
+    }
+
+    /// Sets a gauge to `value` (last write wins).
+    pub fn gauge_set(&self, name: &'static str, labels: &[(&'static str, &str)], value: i64) {
+        let key = MetricKey::new(name, labels);
+        self.inner.borrow_mut().gauges.insert(key, value);
+    }
+
+    /// Registers custom bucket bounds for histogram `name`. Must be
+    /// called before the first [`Metrics::observe`] of that name;
+    /// existing series keep the bounds they were created with.
+    pub fn register_histogram(&self, name: &'static str, bounds: &[u64]) {
+        let mut sorted = bounds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        self.inner.borrow_mut().bounds.insert(name, sorted);
+    }
+
+    /// Records one observation into histogram `name`. The value lands in
+    /// the first bucket whose upper bound is `>= value`, else overflow.
+    pub fn observe(&self, name: &'static str, labels: &[(&'static str, &str)], value: u64) {
+        let key = MetricKey::new(name, labels);
+        let mut inner = self.inner.borrow_mut();
+        let bounds = inner
+            .bounds
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| DEFAULT_BOUNDS.to_vec());
+        inner
+            .histograms
+            .entry(key)
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+
+    /// A point-in-time copy of every series, for assertions and export.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.borrow();
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, &v)| (k.render(), v))
+                .collect(),
+            gauges: inner.gauges.iter().map(|(k, &v)| (k.render(), v)).collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.render(),
+                        HistogramSnapshot {
+                            bounds: h.bounds.clone(),
+                            counts: h.counts.clone(),
+                            count: h.count,
+                            sum: h.sum,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A frozen copy of one histogram series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds (inclusive), ascending.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; the trailing entry is the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u128,
+}
+
+/// A frozen, deterministic copy of a [`Metrics`] registry.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value, or 0 if the series was never written.
+    pub fn counter(&self, name: &'static str, labels: &[(&'static str, &str)]) -> u64 {
+        self.counters
+            .get(&render_key(name, labels))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Gauge value, or `None` if never set.
+    pub fn gauge(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Option<i64> {
+        self.gauges.get(&render_key(name, labels)).copied()
+    }
+
+    /// Histogram series, or `None` if it has no observations.
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Option<&HistogramSnapshot> {
+        self.histograms.get(&render_key(name, labels))
+    }
+
+    /// All counters, by rendered key, sorted.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All gauges, by rendered key, sorted.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Whether the snapshot holds no series at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Compact deterministic JSON:
+    /// `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{v}", crate::json::escape(k));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{v}", crate::json::escape(k));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{{\"bounds\":[", crate::json::escape(k));
+            for (j, b) in h.bounds.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{b}");
+            }
+            out.push_str("],\"counts\":[");
+            for (j, c) in h.counts.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{c}");
+            }
+            let _ = write!(out, "],\"count\":{},\"sum\":{}}}", h.count, h.sum);
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let m = Metrics::new();
+        m.inc("core.cache.hits", &[]);
+        m.inc("core.cache.hits", &[]);
+        m.add("store.docstore.requests", &[("op", "get")], 3);
+        m.inc("store.docstore.requests", &[("op", "put")]);
+        let s = m.snapshot();
+        assert_eq!(s.counter("core.cache.hits", &[]), 2);
+        assert_eq!(s.counter("store.docstore.requests", &[("op", "get")]), 3);
+        assert_eq!(s.counter("store.docstore.requests", &[("op", "put")]), 1);
+        assert_eq!(s.counter("store.docstore.requests", &[("op", "scan")]), 0);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let m = Metrics::new();
+        m.inc("net.host.drops", &[("ns", "1"), ("proto", "udp")]);
+        m.inc("net.host.drops", &[("proto", "udp"), ("ns", "1")]);
+        let s = m.snapshot();
+        assert_eq!(
+            s.counter("net.host.drops", &[("ns", "1"), ("proto", "udp")]),
+            2
+        );
+    }
+
+    #[test]
+    fn gauges_keep_the_last_write() {
+        let m = Metrics::new();
+        m.gauge_set("guestmem.clone.pss_bytes", &[("function", "fact")], 900);
+        m.gauge_set("guestmem.clone.pss_bytes", &[("function", "fact")], 750);
+        let s = m.snapshot();
+        assert_eq!(
+            s.gauge("guestmem.clone.pss_bytes", &[("function", "fact")]),
+            Some(750)
+        );
+        assert_eq!(
+            s.gauge("guestmem.clone.pss_bytes", &[("function", "mapper")]),
+            None
+        );
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper_bounds() {
+        let m = Metrics::new();
+        m.register_histogram("lat", &[10, 100, 1_000]);
+        // Exactly on a bound lands in that bucket; one past it spills over.
+        for v in [0, 10, 11, 100, 101, 1_000, 1_001, u64::MAX] {
+            m.observe("lat", &[], v);
+        }
+        let s = m.snapshot();
+        let h = s.histogram("lat", &[]).expect("observed");
+        assert_eq!(h.bounds, vec![10, 100, 1_000]);
+        assert_eq!(h.counts, vec![2, 2, 2, 2], "<=10, <=100, <=1000, overflow");
+        assert_eq!(h.count, 8);
+        assert_eq!(
+            h.sum,
+            10 + 11 + 100 + 101 + 1_000 + 1_001 + u128::from(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn default_bounds_cover_microseconds_to_seconds() {
+        let m = Metrics::new();
+        m.observe("core.invoke.latency_ns", &[], 11_000); // 11µs page fault
+        m.observe("core.invoke.latency_ns", &[], 10_000_000_000); // 10s cooldown
+        m.observe("core.invoke.latency_ns", &[], 10_000_000_001); // overflow
+        let s = m.snapshot();
+        let h = s.histogram("core.invoke.latency_ns", &[]).unwrap();
+        assert_eq!(h.bounds, DEFAULT_BOUNDS.to_vec());
+        assert_eq!(h.counts.len(), DEFAULT_BOUNDS.len() + 1);
+        assert_eq!(h.counts[DEFAULT_BOUNDS.len()], 1, "one overflow");
+        assert_eq!(h.count, 3);
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic_and_sorted() {
+        let m = Metrics::new();
+        m.inc("z.last", &[]);
+        m.inc("a.first", &[]);
+        m.gauge_set("mid.gauge", &[], -5);
+        m.register_histogram("h", &[1, 2]);
+        m.observe("h", &[], 2);
+        let json = m.snapshot().to_json();
+        assert_eq!(
+            json,
+            "{\"counters\":{\"a.first\":1,\"z.last\":1},\"gauges\":{\"mid.gauge\":-5},\
+             \"histograms\":{\"h\":{\"bounds\":[1,2],\"counts\":[0,1,0],\"count\":1,\"sum\":2}}}"
+        );
+        crate::json::validate(&json).expect("well-formed");
+        assert_eq!(json, m.snapshot().to_json(), "stable across snapshots");
+    }
+
+    #[test]
+    fn clones_share_one_store() {
+        let m = Metrics::new();
+        let m2 = m.clone();
+        m2.inc("shared", &[]);
+        assert_eq!(m.snapshot().counter("shared", &[]), 1);
+    }
+}

@@ -1,0 +1,651 @@
+//! Hierarchical spans and instant events over virtual time.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use fireworks_sim::trace::{Breakdown, Phase, Trace};
+use fireworks_sim::{Clock, Nanos};
+
+/// Span category names used across the workspace.
+///
+/// Categories are coarse "which subsystem" tags (Chrome trace-event
+/// `cat` fields); the span *name* carries the fine-grained operation.
+pub mod cat {
+    /// VM lifecycle: VMM setup, kernel boot, guest init, pause/resume.
+    pub const BOOT: &str = "boot";
+    /// Snapshot restore: file read, checksum verify, page mapping.
+    pub const RESTORE: &str = "restore";
+    /// REAP working-set prefetching and cold-storage paging.
+    pub const PREFETCH: &str = "prefetch";
+    /// Snapshot cache lookups, inserts, evictions, quarantines.
+    pub const CACHE: &str = "cache";
+    /// Host networking: namespaces, NAT, delivery, retransmits.
+    pub const NET: &str = "net";
+    /// Injected faults (one instant event per injection).
+    pub const FAULT: &str = "fault";
+    /// Document-store requests and outages.
+    pub const STORE: &str = "store";
+    /// Guest-memory accounting: CoW sharing, PSS recomputation.
+    pub const MEM: &str = "mem";
+    /// Snapshot capture (the install-time write).
+    pub const SNAPSHOT: &str = "snapshot";
+    /// Guest execution: framework path, function body, guest I/O.
+    pub const EXEC: &str = "exec";
+    /// Top-level platform operations (one root span per invocation).
+    pub const INVOKE: &str = "invoke";
+}
+
+/// Identifier of one recorded span. Ids are assigned sequentially from 1
+/// by the [`Recorder`] that created the span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// The raw id (1-based, dense).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// A typed attribute value attached to a span or instant event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (page counts, bytes).
+    Uint(u64),
+    /// A float (ratios).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl AttrValue {
+    /// Renders the value as a JSON literal.
+    pub fn to_json(&self) -> String {
+        match self {
+            AttrValue::Int(v) => v.to_string(),
+            AttrValue::Uint(v) => v.to_string(),
+            AttrValue::Float(v) => {
+                if v.is_finite() {
+                    format!("{v}")
+                } else {
+                    "null".to_string()
+                }
+            }
+            AttrValue::Str(s) => crate::json::escape(s),
+            AttrValue::Bool(b) => b.to_string(),
+        }
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::Uint(v)
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::Uint(v as u64)
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::Uint(u64::from(v))
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+impl From<Nanos> for AttrValue {
+    fn from(v: Nanos) -> Self {
+        AttrValue::Uint(v.as_nanos())
+    }
+}
+
+/// One recorded interval of virtual time.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// This span's id.
+    pub id: SpanId,
+    /// The span that was open when this one started, if any.
+    pub parent: Option<SpanId>,
+    /// Operation name (e.g. `"kernel_boot"`).
+    pub name: String,
+    /// Subsystem category (see [`cat`]).
+    pub category: &'static str,
+    /// Latency-breakdown phase, if this span feeds the paper's
+    /// three-way split. `None` inherits the nearest phased ancestor.
+    pub phase: Option<Phase>,
+    /// Virtual start instant.
+    pub start: Nanos,
+    /// Virtual end instant; `None` while the span is still open.
+    pub end: Option<Nanos>,
+    /// Typed attributes, in attachment order.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl SpanRecord {
+    /// Span duration, treating a still-open span as ending at `now`.
+    pub fn duration_at(&self, now: Nanos) -> Nanos {
+        self.end.unwrap_or(now).max(self.start) - self.start
+    }
+}
+
+/// A zero-width event (fault injections, cache hits, retransmits).
+#[derive(Debug, Clone)]
+pub struct InstantRecord {
+    /// The span that was open when the event fired, if any.
+    pub parent: Option<SpanId>,
+    /// Event name (e.g. `"fault:snapshot_read"`).
+    pub name: String,
+    /// Subsystem category (see [`cat`]).
+    pub category: &'static str,
+    /// Virtual instant of the event.
+    pub at: Nanos,
+    /// Typed attributes, in attachment order.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+/// One entry of a recorder's event log, in recording order.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// An interval.
+    Span(SpanRecord),
+    /// A zero-width event.
+    Instant(InstantRecord),
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    events: Vec<Event>,
+    /// `events` index of span id `i + 1`.
+    span_pos: Vec<usize>,
+    /// Stack of currently open spans (innermost last).
+    open: Vec<SpanId>,
+}
+
+impl Inner {
+    fn span_mut(&mut self, id: SpanId) -> &mut SpanRecord {
+        let pos = self.span_pos[(id.0 - 1) as usize];
+        match &mut self.events[pos] {
+            Event::Span(s) => s,
+            Event::Instant(_) => unreachable!("span_pos points at spans only"),
+        }
+    }
+}
+
+/// An append-only log of hierarchical spans and instant events, stamped
+/// on a virtual [`Clock`].
+///
+/// The recorder subsumes the flat [`Trace`]: every flat span maps to one
+/// recorder span, [`Recorder::ingest_trace`] imports a `Trace` wholesale
+/// (zero-width spans become instants — the fault-injector convention),
+/// and [`Recorder::breakdown`] reproduces [`Trace::breakdown`] exactly
+/// for flat recordings while attributing only *self time* for nested
+/// ones, so hierarchy never double-counts.
+///
+/// Orphan handling: ending a span that has open descendants closes the
+/// descendants at the same instant; ending a span that is not open at
+/// all is a no-op.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    clock: Clock,
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder timestamping on `clock`.
+    pub fn new(clock: Clock) -> Self {
+        Recorder {
+            clock,
+            inner: Rc::new(RefCell::new(Inner::default())),
+        }
+    }
+
+    /// The clock this recorder stamps events with.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    fn start_impl(&self, name: String, category: &'static str, phase: Option<Phase>) -> SpanId {
+        let mut inner = self.inner.borrow_mut();
+        let id = SpanId(inner.span_pos.len() as u64 + 1);
+        let parent = inner.open.last().copied();
+        let pos = inner.events.len();
+        inner.events.push(Event::Span(SpanRecord {
+            id,
+            parent,
+            name,
+            category,
+            phase,
+            start: self.clock.now(),
+            end: None,
+            attrs: Vec::new(),
+        }));
+        inner.span_pos.push(pos);
+        inner.open.push(id);
+        id
+    }
+
+    /// Opens a span as a child of the innermost open span.
+    pub fn start(&self, name: impl Into<String>, category: &'static str) -> SpanId {
+        self.start_impl(name.into(), category, None)
+    }
+
+    /// Opens a span carrying a latency-breakdown [`Phase`].
+    pub fn start_phase(
+        &self,
+        name: impl Into<String>,
+        category: &'static str,
+        phase: Phase,
+    ) -> SpanId {
+        self.start_impl(name.into(), category, Some(phase))
+    }
+
+    /// Closes `id` at the current virtual instant. Open descendants are
+    /// closed at the same instant; ending a non-open span is a no-op.
+    pub fn end(&self, id: SpanId) {
+        let now = self.clock.now();
+        let mut inner = self.inner.borrow_mut();
+        let Some(depth) = inner.open.iter().rposition(|&s| s == id) else {
+            return;
+        };
+        let to_close: Vec<SpanId> = inner.open.split_off(depth);
+        for sid in to_close {
+            inner.span_mut(sid).end = Some(now);
+        }
+    }
+
+    /// Runs `f` inside a span, attributing the virtual time it charges.
+    pub fn scope<T>(
+        &self,
+        name: impl Into<String>,
+        category: &'static str,
+        f: impl FnOnce() -> T,
+    ) -> T {
+        let id = self.start(name, category);
+        let value = f();
+        self.end(id);
+        value
+    }
+
+    /// Like [`Recorder::scope`] with a latency-breakdown [`Phase`].
+    pub fn scope_phase<T>(
+        &self,
+        name: impl Into<String>,
+        category: &'static str,
+        phase: Phase,
+        f: impl FnOnce() -> T,
+    ) -> T {
+        let id = self.start_phase(name, category, phase);
+        let value = f();
+        self.end(id);
+        value
+    }
+
+    /// Attaches a typed attribute to a recorded span.
+    pub fn attr(&self, id: SpanId, key: &'static str, value: impl Into<AttrValue>) {
+        self.inner
+            .borrow_mut()
+            .span_mut(id)
+            .attrs
+            .push((key, value.into()));
+    }
+
+    /// Records a zero-width event under the innermost open span.
+    pub fn instant(&self, name: impl Into<String>, category: &'static str) {
+        self.instant_with(name, category, Vec::new());
+    }
+
+    /// Records a zero-width event with attributes.
+    pub fn instant_with(
+        &self,
+        name: impl Into<String>,
+        category: &'static str,
+        attrs: Vec<(&'static str, AttrValue)>,
+    ) {
+        let at = self.clock.now();
+        let mut inner = self.inner.borrow_mut();
+        let parent = inner.open.last().copied();
+        inner.events.push(Event::Instant(InstantRecord {
+            parent,
+            name: name.into(),
+            category,
+            at,
+            attrs,
+        }));
+    }
+
+    /// The innermost open span, if any.
+    pub fn current(&self) -> Option<SpanId> {
+        self.inner.borrow().open.last().copied()
+    }
+
+    /// Imports a flat [`Trace`] under the innermost open span: zero-width
+    /// trace spans (the fault-injector convention) become instants, all
+    /// others become closed child spans keeping their phase.
+    pub fn ingest_trace(&self, trace: &Trace, category: &'static str) {
+        for span in trace.spans() {
+            if span.start == span.end {
+                let mut inner = self.inner.borrow_mut();
+                let parent = inner.open.last().copied();
+                inner.events.push(Event::Instant(InstantRecord {
+                    parent,
+                    name: span.label.clone(),
+                    category,
+                    at: span.start,
+                    attrs: Vec::new(),
+                }));
+            } else {
+                let mut inner = self.inner.borrow_mut();
+                let id = SpanId(inner.span_pos.len() as u64 + 1);
+                let parent = inner.open.last().copied();
+                let pos = inner.events.len();
+                inner.events.push(Event::Span(SpanRecord {
+                    id,
+                    parent,
+                    name: span.label.clone(),
+                    category,
+                    phase: Some(span.phase),
+                    start: span.start,
+                    end: Some(span.end),
+                    attrs: Vec::new(),
+                }));
+                inner.span_pos.push(pos);
+            }
+        }
+    }
+
+    /// Records an already-measured interval as a closed child of the
+    /// innermost open span. Used for retroactive attribution, e.g.
+    /// splitting one clock slice into compute and I/O after the run.
+    pub fn record_closed(
+        &self,
+        name: impl Into<String>,
+        category: &'static str,
+        phase: Phase,
+        start: Nanos,
+        end: Nanos,
+    ) -> SpanId {
+        let mut inner = self.inner.borrow_mut();
+        let id = SpanId(inner.span_pos.len() as u64 + 1);
+        let parent = inner.open.last().copied();
+        let pos = inner.events.len();
+        inner.events.push(Event::Span(SpanRecord {
+            id,
+            parent,
+            name: name.into(),
+            category,
+            phase: Some(phase),
+            start,
+            end: Some(end.max(start)),
+            attrs: Vec::new(),
+        }));
+        inner.span_pos.push(pos);
+        id
+    }
+
+    /// Closes every open span at the current instant (call before
+    /// exporting a finished run).
+    pub fn finish(&self) {
+        let now = self.clock.now();
+        let mut inner = self.inner.borrow_mut();
+        let to_close: Vec<SpanId> = inner.open.split_off(0);
+        for sid in to_close {
+            inner.span_mut(sid).end = Some(now);
+        }
+    }
+
+    /// A snapshot of the event log, in recording order.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.borrow().events.clone()
+    }
+
+    /// Number of recorded events (spans + instants).
+    pub fn len(&self) -> usize {
+        self.inner.borrow().events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().events.is_empty()
+    }
+
+    /// Folds the recorded spans into the paper's three-way [`Breakdown`].
+    ///
+    /// Each span contributes its *self time* (duration minus the summed
+    /// durations of its direct children) to its phase; spans without a
+    /// phase inherit the nearest phased ancestor's. For a flat recording
+    /// this equals [`Trace::breakdown`] over the same spans.
+    pub fn breakdown(&self) -> Breakdown {
+        let now = self.clock.now();
+        let inner = self.inner.borrow();
+        let n = inner.span_pos.len();
+        let mut eff: Vec<Option<Phase>> = vec![None; n];
+        let mut child_sum: Vec<Nanos> = vec![Nanos::ZERO; n];
+        // Parents always precede children in id order.
+        for &pos in &inner.span_pos {
+            let Event::Span(s) = &inner.events[pos] else {
+                continue;
+            };
+            let idx = (s.id.0 - 1) as usize;
+            eff[idx] = s
+                .phase
+                .or_else(|| s.parent.and_then(|p| eff[(p.0 - 1) as usize]));
+            if let Some(p) = s.parent {
+                child_sum[(p.0 - 1) as usize] += s.duration_at(now);
+            }
+        }
+        let mut b = Breakdown::default();
+        for &pos in &inner.span_pos {
+            let Event::Span(s) = &inner.events[pos] else {
+                continue;
+            };
+            let idx = (s.id.0 - 1) as usize;
+            let Some(phase) = eff[idx] else { continue };
+            let self_time = s.duration_at(now).saturating_sub(child_sum[idx]);
+            match phase {
+                Phase::Startup => b.startup += self_time,
+                Phase::Exec => b.exec += self_time,
+                Phase::Other => b.other += self_time,
+            }
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Nanos {
+        Nanos::from_millis(v)
+    }
+
+    #[test]
+    fn spans_nest_under_the_open_span() {
+        let clock = Clock::new();
+        let rec = Recorder::new(clock.clone());
+        let root = rec.start("invoke", cat::INVOKE);
+        let child = rec.start("snapshot_restore", cat::RESTORE);
+        clock.advance(ms(3));
+        rec.instant("fault:snapshot_read", cat::FAULT);
+        rec.end(child);
+        rec.end(root);
+
+        let events = rec.events();
+        assert_eq!(events.len(), 3);
+        let Event::Span(c) = &events[1] else { panic!() };
+        assert_eq!(c.parent, Some(root));
+        assert_eq!(c.duration_at(clock.now()), ms(3));
+        let Event::Instant(i) = &events[2] else {
+            panic!()
+        };
+        assert_eq!(i.parent, Some(child));
+        assert_eq!(i.at, ms(3));
+    }
+
+    #[test]
+    fn ending_a_parent_closes_open_descendants() {
+        let clock = Clock::new();
+        let rec = Recorder::new(clock.clone());
+        let outer = rec.start("outer", cat::INVOKE);
+        let inner = rec.start("inner", cat::EXEC);
+        let innermost = rec.start("innermost", cat::EXEC);
+        clock.advance(ms(2));
+        rec.end(outer); // Closes all three at the same instant.
+        assert_eq!(rec.current(), None);
+        for ev in rec.events() {
+            let Event::Span(s) = ev else { panic!() };
+            assert_eq!(s.end, Some(ms(2)), "{}", s.name);
+        }
+        // Ending an already-closed span is a no-op, not a panic.
+        rec.end(inner);
+        rec.end(innermost);
+    }
+
+    #[test]
+    fn ending_a_never_opened_or_foreign_id_is_a_no_op() {
+        let clock = Clock::new();
+        let rec = Recorder::new(clock.clone());
+        let a = rec.start("a", cat::EXEC);
+        rec.end(a);
+        rec.end(a); // Double-end.
+        clock.advance(ms(1));
+        let events = rec.events();
+        let Event::Span(s) = &events[0] else { panic!() };
+        assert_eq!(s.end, Some(Nanos::ZERO), "first end wins");
+    }
+
+    #[test]
+    fn flat_breakdown_matches_trace_breakdown() {
+        let clock = Clock::new();
+        let rec = Recorder::new(clock.clone());
+        let mut trace = Trace::new();
+        for (label, phase, dur) in [
+            ("boot", Phase::Startup, 5),
+            ("exec", Phase::Exec, 20),
+            ("io", Phase::Other, 3),
+        ] {
+            let t0 = clock.now();
+            rec.scope_phase(label, cat::EXEC, phase, || clock.advance(ms(dur)));
+            trace.record(label, phase, t0, clock.now());
+        }
+        assert_eq!(rec.breakdown(), trace.breakdown());
+    }
+
+    #[test]
+    fn nested_spans_attribute_self_time_only() {
+        let clock = Clock::new();
+        let rec = Recorder::new(clock.clone());
+        let outer = rec.start_phase("startup", cat::BOOT, Phase::Startup);
+        clock.advance(ms(2)); // Outer self time.
+        rec.scope_phase("verify", cat::RESTORE, Phase::Startup, || {
+            clock.advance(ms(3));
+        });
+        // Unphased child inherits the parent's phase.
+        rec.scope("map", cat::RESTORE, || clock.advance(ms(4)));
+        rec.end(outer);
+        let b = rec.breakdown();
+        assert_eq!(b.startup, ms(9), "no double counting");
+        assert_eq!(b.exec, Nanos::ZERO);
+    }
+
+    #[test]
+    fn open_spans_count_up_to_now() {
+        let clock = Clock::new();
+        let rec = Recorder::new(clock.clone());
+        rec.start_phase("running", cat::EXEC, Phase::Exec);
+        clock.advance(ms(7));
+        assert_eq!(rec.breakdown().exec, ms(7));
+        rec.finish();
+        clock.advance(ms(100));
+        assert_eq!(rec.breakdown().exec, ms(7), "finish pinned the end");
+    }
+
+    #[test]
+    fn ingest_trace_maps_zero_width_to_instants() {
+        let clock = Clock::new();
+        let rec = Recorder::new(clock.clone());
+        let mut trace = Trace::new();
+        trace.record("fault:net_loss", Phase::Other, ms(1), ms(1));
+        trace.record("recovery_backoff", Phase::Startup, ms(1), ms(5));
+        let root = rec.start("invoke", cat::INVOKE);
+        rec.ingest_trace(&trace, cat::FAULT);
+        rec.end(root);
+        let events = rec.events();
+        let Event::Instant(i) = &events[1] else {
+            panic!("zero-width trace span becomes an instant")
+        };
+        assert_eq!(i.name, "fault:net_loss");
+        assert_eq!(i.parent, Some(root));
+        let Event::Span(s) = &events[2] else { panic!() };
+        assert_eq!(s.phase, Some(Phase::Startup));
+        assert_eq!(s.duration_at(clock.now()), ms(4));
+        // Ingested spans contribute to the breakdown like native ones.
+        assert_eq!(rec.breakdown().startup, ms(4));
+    }
+
+    #[test]
+    fn record_closed_nests_and_feeds_the_breakdown() {
+        let clock = Clock::new();
+        let rec = Recorder::new(clock.clone());
+        let root = rec.start("invoke", cat::INVOKE);
+        clock.advance(ms(10));
+        // Retroactively split the last 10 ms into compute and I/O.
+        let exec = rec.record_closed("exec", cat::EXEC, Phase::Exec, ms(0), ms(7));
+        rec.record_closed("guest_io", cat::EXEC, Phase::Other, ms(7), ms(10));
+        rec.end(root);
+        let Event::Span(s) = &rec.events()[1] else {
+            panic!()
+        };
+        assert_eq!(s.id, exec);
+        assert_eq!(s.parent, Some(root));
+        assert_eq!(s.end, Some(ms(7)));
+        let b = rec.breakdown();
+        assert_eq!(b.exec, ms(7));
+        assert_eq!(b.other, ms(3));
+        assert_eq!(b.startup, Nanos::ZERO, "root self time is fully covered");
+    }
+
+    #[test]
+    fn attrs_attach_in_order() {
+        let rec = Recorder::new(Clock::new());
+        let id = rec.start("restore", cat::RESTORE);
+        rec.attr(id, "pages", 42u64);
+        rec.attr(id, "verified", true);
+        rec.attr(id, "function", "fact");
+        rec.end(id);
+        let Event::Span(s) = &rec.events()[0] else {
+            panic!()
+        };
+        assert_eq!(s.attrs.len(), 3);
+        assert_eq!(s.attrs[0], ("pages", AttrValue::Uint(42)));
+        assert_eq!(s.attrs[2], ("function", AttrValue::Str("fact".into())));
+    }
+}

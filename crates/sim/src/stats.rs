@@ -31,8 +31,36 @@ pub fn geomean_f64(xs: &[f64]) -> f64 {
     (log_sum / positive.len() as f64).exp()
 }
 
-/// The `p`-th percentile (0–100) using nearest-rank on a sorted copy.
+/// The `p`-th percentile (0–100) using linear interpolation between the
+/// two nearest ranks on a sorted copy (the numpy/R-7 definition).
+///
+/// Nearest-rank makes p99 collapse to the maximum whenever `n < 100`,
+/// which skews small-sample tails like chaos_sweep's 40 invocations;
+/// interpolating fixes that. Use [`percentile_nearest`] where figure
+/// parity with older runs matters.
 pub fn percentile(xs: &[Nanos], p: f64) -> Nanos {
+    if xs.is_empty() {
+        return Nanos::ZERO;
+    }
+    let mut sorted: Vec<Nanos> = xs.to_vec();
+    sorted.sort_unstable();
+    let p = p.clamp(0.0, 100.0);
+    let rank = (p / 100.0) * (sorted.len() as f64 - 1.0);
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        return sorted[lo];
+    }
+    let frac = rank - lo as f64;
+    let a = sorted[lo].as_nanos() as f64;
+    let b = sorted[hi].as_nanos() as f64;
+    Nanos::from_nanos((a + (b - a) * frac).round() as u64)
+}
+
+/// The `p`-th percentile (0–100) using the historical nearest-rank rule
+/// (round to the closest index). Kept for parity with figures produced
+/// before [`percentile`] switched to linear interpolation.
+pub fn percentile_nearest(xs: &[Nanos], p: f64) -> Nanos {
     if xs.is_empty() {
         return Nanos::ZERO;
     }
@@ -75,11 +103,34 @@ mod tests {
     }
 
     #[test]
-    fn percentile_nearest_rank() {
+    fn percentile_exact_ranks() {
         let xs = [ms(10), ms(20), ms(30), ms(40), ms(50)];
         assert_eq!(percentile(&xs, 0.0), ms(10));
         assert_eq!(percentile(&xs, 50.0), ms(30));
         assert_eq!(percentile(&xs, 100.0), ms(50));
         assert_eq!(percentile(&[], 50.0), Nanos::ZERO);
+    }
+
+    #[test]
+    fn percentile_interpolates_between_ranks() {
+        let xs = [ms(10), ms(20), ms(30), ms(40), ms(50)];
+        // rank = 0.75 * 4 = 3 exactly for p75 on n=5; use p60: rank 2.4.
+        assert_eq!(percentile(&xs, 60.0), ms(34));
+        assert_eq!(percentile(&xs, 25.0), ms(20)); // rank 1.0
+        assert_eq!(percentile(&xs, 10.0), ms(14)); // rank 0.4
+                                                   // p99 on a small sample no longer collapses to the max.
+        let two = [ms(0), ms(100)];
+        assert_eq!(percentile(&two, 99.0), ms(99));
+        assert_eq!(percentile_nearest(&two, 99.0), ms(100));
+    }
+
+    #[test]
+    fn percentile_nearest_keeps_the_old_rule() {
+        let xs = [ms(10), ms(20), ms(30), ms(40), ms(50)];
+        assert_eq!(percentile_nearest(&xs, 0.0), ms(10));
+        assert_eq!(percentile_nearest(&xs, 50.0), ms(30));
+        assert_eq!(percentile_nearest(&xs, 60.0), ms(30)); // rank 2.4 rounds to 2
+        assert_eq!(percentile_nearest(&xs, 100.0), ms(50));
+        assert_eq!(percentile_nearest(&[], 50.0), Nanos::ZERO);
     }
 }

@@ -19,6 +19,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use fireworks_lang::Value;
+use fireworks_obs::{cat, Obs};
 use fireworks_sim::fault::{FaultSite, SharedInjector};
 use fireworks_sim::{Clock, Nanos};
 
@@ -142,6 +143,7 @@ pub struct DocumentStore {
     costs: StoreCosts,
     databases: BTreeMap<String, Database>,
     injector: Option<SharedInjector>,
+    obs: Option<Obs>,
 }
 
 impl DocumentStore {
@@ -152,6 +154,7 @@ impl DocumentStore {
             costs,
             databases: BTreeMap::new(),
             injector: None,
+            obs: None,
         }
     }
 
@@ -162,14 +165,30 @@ impl DocumentStore {
         self.injector = Some(injector);
     }
 
+    /// Attaches an observability plane; every request is then counted as
+    /// `store.docstore.requests{op=...}` and injected outages become
+    /// `store.docstore.outages` plus an instant event.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = Some(obs);
+    }
+
     /// Simulated outage check, performed at the front of every request.
-    fn check_available(&self) -> Result<(), StoreError> {
+    /// `op` names the request kind for the per-operation request counter.
+    fn check_available(&self, op: &'static str) -> Result<(), StoreError> {
+        if let Some(obs) = &self.obs {
+            obs.metrics().inc("store.docstore.requests", &[("op", op)]);
+        }
         let down = self
             .injector
             .as_ref()
             .map(|inj| inj.borrow_mut().should_fail(FaultSite::StoreUnavailable))
             .unwrap_or(false);
         if down {
+            if let Some(obs) = &self.obs {
+                obs.metrics().inc("store.docstore.outages", &[]);
+                obs.recorder()
+                    .instant_with("store_outage", cat::STORE, vec![("op", op.into())]);
+            }
             Err(StoreError::Unavailable)
         } else {
             Ok(())
@@ -209,7 +228,7 @@ impl DocumentStore {
         body: &Value,
         expected_rev: Option<u64>,
     ) -> Result<u64, StoreError> {
-        self.check_available()?;
+        self.check_available("put")?;
         self.clock.advance(self.costs.put);
         self.create_db(db);
         let database = self.db_mut(db)?;
@@ -238,7 +257,7 @@ impl DocumentStore {
 
     /// Reads a document.
     pub fn get(&self, db: &str, id: &str) -> Result<Document, StoreError> {
-        self.check_available()?;
+        self.check_available("get")?;
         self.clock.advance(self.costs.get);
         let database = self.db(db)?;
         let doc = database.docs.get(id).ok_or_else(|| StoreError::NotFound {
@@ -254,7 +273,7 @@ impl DocumentStore {
 
     /// Deletes a document, recording a deletion change.
     pub fn delete(&mut self, db: &str, id: &str) -> Result<(), StoreError> {
-        self.check_available()?;
+        self.check_available("delete")?;
         self.clock.advance(self.costs.put);
         let database = self.db_mut(db)?;
         let doc = database
@@ -272,7 +291,7 @@ impl DocumentStore {
     /// (structural equality). A linear scan, like an unindexed Mango
     /// query.
     pub fn find(&self, db: &str, field: &str, value: &Value) -> Result<Vec<Document>, StoreError> {
-        self.check_available()?;
+        self.check_available("find")?;
         let database = self.db(db)?;
         self.clock
             .advance(self.costs.scan_per_doc * database.docs.len() as u64);
@@ -304,7 +323,7 @@ impl DocumentStore {
     /// Changes with sequence number greater than `since` — the feed the
     /// Cloud trigger polls to start the Data-Analysis chain.
     pub fn changes_since(&self, db: &str, since: u64) -> Result<Vec<Change>, StoreError> {
-        self.check_available()?;
+        self.check_available("changes")?;
         self.clock.advance(self.costs.changes);
         let database = self.db(db)?;
         Ok(database

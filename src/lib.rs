@@ -9,6 +9,7 @@
 //! | crate | contents |
 //! |---|---|
 //! | [`sim`] | virtual clock, calibrated cost model, deterministic RNG, trace spans |
+//! | [`obs`] | observability plane: hierarchical spans, metrics registry, JSONL + Chrome trace exporters |
 //! | [`guestmem`] | page frames, copy-on-write, snapshot files, PSS accounting |
 //! | [`lang`] | Flame: a dynamic language with a profiling interpreter, quickening JIT, deopt, and snapshot/resume |
 //! | [`runtime`] | Node-like and Python-like runtime profiles and the guest memory model |
@@ -59,6 +60,7 @@ pub use fireworks_lang as lang;
 pub use fireworks_microvm as microvm;
 pub use fireworks_msgbus as msgbus;
 pub use fireworks_netsim as netsim;
+pub use fireworks_obs as obs;
 pub use fireworks_runtime as runtime;
 pub use fireworks_sandbox as sandbox;
 pub use fireworks_sim as sim;
@@ -76,6 +78,7 @@ pub mod prelude {
     pub use fireworks_core::env::{EnvConfig, PlatformEnv};
     pub use fireworks_core::{FireworksPlatform, FunctionHealth, RecoveryPolicy, ResidentClone};
     pub use fireworks_lang::Value;
+    pub use fireworks_obs::{Metrics, MetricsSnapshot, Obs, Recorder, SpanId};
     pub use fireworks_runtime::{RuntimeKind, RuntimeProfile};
     pub use fireworks_sim::fault::{FaultInjector, FaultPlan, FaultSite};
     pub use fireworks_sim::{Clock, CostModel, Nanos};
