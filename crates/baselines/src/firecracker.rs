@@ -4,7 +4,8 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use fireworks_core::api::{
-    FunctionSpec, InstallReport, Invocation, Platform, PlatformError, StartKind, StartMode,
+    ConcurrentPlatform, FunctionSpec, InFlightToken, InstallReport, Invocation, Platform,
+    PlatformError, StartKind, StartMode,
 };
 use fireworks_core::env::PlatformEnv;
 use fireworks_core::host::{GuestHost, NetMode};
@@ -282,6 +283,28 @@ impl FirecrackerPlatform {
         Ok((invocation, vm))
     }
 
+    /// Invokes without releasing the serving VM; pair with
+    /// [`ConcurrentPlatform::finish_invoke`] at the invocation's virtual
+    /// completion instant. While the token lives, the VM's guest memory
+    /// stays charged against the host, so concurrent populations contend
+    /// for RAM.
+    fn begin_invoke_internal(
+        &mut self,
+        name: &str,
+        args: &Value,
+        mode: StartMode,
+    ) -> Result<(Invocation, InFlightVm), PlatformError> {
+        if mode == StartMode::Cold {
+            self.evict(name);
+        }
+        let (invocation, vm) = self.invoke_on_vm(name, args, mode)?;
+        let inflight = InFlightVm {
+            vm,
+            function: name.to_string(),
+        };
+        Ok((invocation, inflight))
+    }
+
     /// Invokes and keeps the VM resident (for Fig. 10's density sweep).
     pub fn invoke_resident(
         &mut self,
@@ -295,6 +318,53 @@ impl FirecrackerPlatform {
     /// Releases a resident VM.
     pub fn release_resident(&mut self, vm: ResidentVm) {
         drop(vm);
+    }
+}
+
+/// An in-flight Firecracker invocation: the VM serving it, checked out of
+/// the pool until the completion event returns it warm.
+#[derive(Debug)]
+pub struct InFlightVm {
+    vm: MicroVm,
+    function: String,
+}
+
+impl InFlightVm {
+    /// Ages the VM by `extra_ops` guest ops of continued service.
+    pub fn age_ops(&mut self, extra_ops: u64) {
+        self.vm.age_ops(extra_ops);
+    }
+
+    /// Resident set size of the VM's guest memory.
+    pub fn rss_bytes(&self) -> u64 {
+        self.vm.rss_bytes()
+    }
+}
+
+impl InFlightToken for InFlightVm {
+    fn pss_bytes(&self) -> u64 {
+        self.vm.pss_bytes()
+    }
+}
+
+impl ConcurrentPlatform for FirecrackerPlatform {
+    type InFlight = InFlightVm;
+
+    fn begin_invoke(
+        &mut self,
+        name: &str,
+        args: &Value,
+        mode: StartMode,
+    ) -> Result<(Invocation, InFlightVm), PlatformError> {
+        self.begin_invoke_internal(name, args, mode)
+    }
+
+    fn finish_invoke(&mut self, inflight: InFlightVm) {
+        // Completion keeps the sandbox warm (paused in memory), like the
+        // paper's warm configuration.
+        let InFlightVm { mut vm, function } = inflight;
+        self.mgr.pause(&mut vm);
+        self.warm.entry(function).or_default().push(vm);
     }
 }
 
@@ -351,14 +421,10 @@ impl Platform for FirecrackerPlatform {
         args: &Value,
         mode: StartMode,
     ) -> Result<Invocation, PlatformError> {
-        if mode == StartMode::Cold {
-            self.evict(name);
-        }
-        let (invocation, mut vm) = self.invoke_on_vm(name, args, mode)?;
-        // Keep the sandbox warm (paused in memory), like the paper's warm
-        // configuration.
-        self.mgr.pause(&mut vm);
-        self.warm.entry(name.to_string()).or_default().push(vm);
+        // A blocking invoke is the degenerate one-event schedule: service
+        // and completion at the same instant.
+        let (invocation, inflight) = self.begin_invoke_internal(name, args, mode)?;
+        self.finish_invoke(inflight);
         Ok(invocation)
     }
 

@@ -3,7 +3,8 @@
 use std::collections::HashMap;
 
 use fireworks_core::api::{
-    FunctionSpec, InstallReport, Invocation, Platform, PlatformError, StartKind, StartMode,
+    ConcurrentPlatform, FunctionSpec, InFlightToken, InstallReport, Invocation, Platform,
+    PlatformError, StartKind, StartMode,
 };
 use fireworks_core::env::PlatformEnv;
 use fireworks_core::host::{GuestHost, NetMode};
@@ -55,59 +56,15 @@ impl GvisorPlatform {
     pub fn env(&self) -> &PlatformEnv {
         &self.env
     }
-}
 
-impl Platform for GvisorPlatform {
-    fn name(&self) -> &'static str {
-        "gvisor"
-    }
-
-    fn isolation(&self) -> IsolationLevel {
-        IsolationLevel::SecureContainer
-    }
-
-    fn install(&mut self, spec: &FunctionSpec) -> Result<InstallReport, PlatformError> {
-        let t0 = self.env.clock.now();
-        let profile = RuntimeProfile::for_kind(spec.runtime);
-        let checkpoint = if self.use_checkpoints {
-            // Catalyzer-style: boot once, load the function, checkpoint
-            // the process before any execution.
-            let mut c = self.containers.create(
-                ContainerKind::Gvisor,
-                profile.clone(),
-                &spec.source,
-                None,
-            )?;
-            Some(self.containers.checkpoint(&mut c))
-        } else {
-            None
-        };
-        let (pages, bytes) = checkpoint
-            .as_ref()
-            .map(|c| (c.pages(), c.file_bytes()))
-            .unwrap_or((0, 0));
-        self.registry.insert(
-            spec.name.clone(),
-            Entry {
-                spec: spec.clone(),
-                profile,
-                checkpoint,
-            },
-        );
-        Ok(InstallReport {
-            install_time: self.env.clock.now() - t0,
-            snapshot_pages: pages,
-            snapshot_bytes: bytes,
-            annotated_functions: 0,
-        })
-    }
-
-    fn invoke(
+    /// The service activity of one invocation; the sandbox stays checked
+    /// out until [`ConcurrentPlatform::finish_invoke`].
+    fn begin_invoke_internal(
         &mut self,
         name: &str,
         args: &Value,
         mode: StartMode,
-    ) -> Result<Invocation, PlatformError> {
+    ) -> Result<(Invocation, InFlightSandbox), PlatformError> {
         if mode == StartMode::Cold {
             self.evict(name);
         }
@@ -211,13 +168,7 @@ impl Platform for GvisorPlatform {
             anchor,
         );
 
-        self.containers.pause(&mut container);
-        self.warm
-            .entry(name.to_string())
-            .or_default()
-            .push(container);
-
-        Ok(Invocation {
+        let invocation = Invocation {
             value: result.value,
             breakdown: trace.breakdown(),
             trace,
@@ -225,7 +176,108 @@ impl Platform for GvisorPlatform {
             stats: result.stats,
             printed: host.printed,
             response: host.responses.into_iter().next_back(),
+        };
+        let inflight = InFlightSandbox {
+            container,
+            function: name.to_string(),
+        };
+        Ok((invocation, inflight))
+    }
+}
+
+/// An in-flight gVisor invocation: the sandbox serving it, checked out
+/// of the warm pool until the completion event returns it.
+#[derive(Debug)]
+pub struct InFlightSandbox {
+    container: Container,
+    function: String,
+}
+
+impl InFlightToken for InFlightSandbox {
+    fn pss_bytes(&self) -> u64 {
+        // Sandboxes share nothing; PSS equals RSS.
+        self.container.rss_bytes()
+    }
+}
+
+impl ConcurrentPlatform for GvisorPlatform {
+    type InFlight = InFlightSandbox;
+
+    fn begin_invoke(
+        &mut self,
+        name: &str,
+        args: &Value,
+        mode: StartMode,
+    ) -> Result<(Invocation, InFlightSandbox), PlatformError> {
+        self.begin_invoke_internal(name, args, mode)
+    }
+
+    fn finish_invoke(&mut self, inflight: InFlightSandbox) {
+        let InFlightSandbox {
+            mut container,
+            function,
+        } = inflight;
+        self.containers.pause(&mut container);
+        self.warm.entry(function).or_default().push(container);
+    }
+}
+
+impl Platform for GvisorPlatform {
+    fn name(&self) -> &'static str {
+        "gvisor"
+    }
+
+    fn isolation(&self) -> IsolationLevel {
+        IsolationLevel::SecureContainer
+    }
+
+    fn install(&mut self, spec: &FunctionSpec) -> Result<InstallReport, PlatformError> {
+        let t0 = self.env.clock.now();
+        let profile = RuntimeProfile::for_kind(spec.runtime);
+        let checkpoint = if self.use_checkpoints {
+            // Catalyzer-style: boot once, load the function, checkpoint
+            // the process before any execution.
+            let mut c = self.containers.create(
+                ContainerKind::Gvisor,
+                profile.clone(),
+                &spec.source,
+                None,
+            )?;
+            Some(self.containers.checkpoint(&mut c))
+        } else {
+            None
+        };
+        let (pages, bytes) = checkpoint
+            .as_ref()
+            .map(|c| (c.pages(), c.file_bytes()))
+            .unwrap_or((0, 0));
+        self.registry.insert(
+            spec.name.clone(),
+            Entry {
+                spec: spec.clone(),
+                profile,
+                checkpoint,
+            },
+        );
+        Ok(InstallReport {
+            install_time: self.env.clock.now() - t0,
+            snapshot_pages: pages,
+            snapshot_bytes: bytes,
+            annotated_functions: 0,
         })
+    }
+
+    fn invoke(
+        &mut self,
+        name: &str,
+        args: &Value,
+        mode: StartMode,
+    ) -> Result<Invocation, PlatformError> {
+        // A blocking invoke is the degenerate one-event schedule: service
+        // and completion at the same instant.
+        let (invocation, inflight) = self.begin_invoke_internal(name, args, mode)?;
+        self.finish_invoke(inflight);
+        Ok(invocation)
     }
 
     fn evict(&mut self, name: &str) {

@@ -3,8 +3,8 @@
 use std::collections::HashMap;
 
 use fireworks_core::api::{
-    run_chain, FunctionSpec, InstallReport, Invocation, Platform, PlatformError, StartKind,
-    StartMode,
+    run_chain, ConcurrentPlatform, FunctionSpec, InFlightToken, InstallReport, Invocation,
+    Platform, PlatformError, StartKind, StartMode,
 };
 use fireworks_core::env::PlatformEnv;
 use fireworks_core::host::{GuestHost, NetMode};
@@ -96,43 +96,15 @@ impl OpenWhiskPlatform {
             default_params.deep_clone(),
         )
     }
-}
 
-impl Platform for OpenWhiskPlatform {
-    fn name(&self) -> &'static str {
-        "openwhisk"
-    }
-
-    fn isolation(&self) -> IsolationLevel {
-        IsolationLevel::Container
-    }
-
-    fn install(&mut self, spec: &FunctionSpec) -> Result<InstallReport, PlatformError> {
-        // OpenWhisk registration is metadata-only (the action is stored);
-        // sandboxes are created lazily on invocation.
-        let t0 = self.env.clock.now();
-        let profile = RuntimeProfile::for_kind(spec.runtime);
-        self.registry.insert(
-            spec.name.clone(),
-            Entry {
-                spec: spec.clone(),
-                profile,
-            },
-        );
-        Ok(InstallReport {
-            install_time: self.env.clock.now() - t0,
-            snapshot_pages: 0,
-            snapshot_bytes: 0,
-            annotated_functions: 0,
-        })
-    }
-
-    fn invoke(
+    /// The service activity of one invocation; the container stays
+    /// checked out until [`ConcurrentPlatform::finish_invoke`].
+    fn begin_invoke_internal(
         &mut self,
         name: &str,
         args: &Value,
         mode: StartMode,
-    ) -> Result<Invocation, PlatformError> {
+    ) -> Result<(Invocation, InFlightContainer), PlatformError> {
         if mode == StartMode::Cold {
             self.evict(name);
         }
@@ -232,14 +204,7 @@ impl Platform for OpenWhiskPlatform {
             anchor,
         );
 
-        // Keep the container warm, stamped with its last-use time.
-        self.containers.pause(&mut container);
-        self.warm
-            .entry(name.to_string())
-            .or_default()
-            .push((container, clock.now()));
-
-        Ok(Invocation {
+        let invocation = Invocation {
             value: result.value,
             breakdown: trace.breakdown(),
             trace,
@@ -247,7 +212,97 @@ impl Platform for OpenWhiskPlatform {
             stats: result.stats,
             printed: host.printed,
             response: host.responses.into_iter().next_back(),
+        };
+        let inflight = InFlightContainer {
+            container,
+            function: name.to_string(),
+        };
+        Ok((invocation, inflight))
+    }
+}
+
+/// An in-flight OpenWhisk invocation: the container serving it, checked
+/// out of the warm pool until the completion event returns it.
+#[derive(Debug)]
+pub struct InFlightContainer {
+    container: Container,
+    function: String,
+}
+
+impl InFlightToken for InFlightContainer {
+    fn pss_bytes(&self) -> u64 {
+        // Containers share nothing across sandboxes; PSS equals RSS.
+        self.container.rss_bytes()
+    }
+}
+
+impl ConcurrentPlatform for OpenWhiskPlatform {
+    type InFlight = InFlightContainer;
+
+    fn begin_invoke(
+        &mut self,
+        name: &str,
+        args: &Value,
+        mode: StartMode,
+    ) -> Result<(Invocation, InFlightContainer), PlatformError> {
+        self.begin_invoke_internal(name, args, mode)
+    }
+
+    fn finish_invoke(&mut self, inflight: InFlightContainer) {
+        // Keep the container warm, stamped with its last-use time (the
+        // invocation's virtual completion instant).
+        let InFlightContainer {
+            mut container,
+            function,
+        } = inflight;
+        self.containers.pause(&mut container);
+        self.warm
+            .entry(function)
+            .or_default()
+            .push((container, self.env.clock.now()));
+    }
+}
+
+impl Platform for OpenWhiskPlatform {
+    fn name(&self) -> &'static str {
+        "openwhisk"
+    }
+
+    fn isolation(&self) -> IsolationLevel {
+        IsolationLevel::Container
+    }
+
+    fn install(&mut self, spec: &FunctionSpec) -> Result<InstallReport, PlatformError> {
+        // OpenWhisk registration is metadata-only (the action is stored);
+        // sandboxes are created lazily on invocation.
+        let t0 = self.env.clock.now();
+        let profile = RuntimeProfile::for_kind(spec.runtime);
+        self.registry.insert(
+            spec.name.clone(),
+            Entry {
+                spec: spec.clone(),
+                profile,
+            },
+        );
+        Ok(InstallReport {
+            install_time: self.env.clock.now() - t0,
+            snapshot_pages: 0,
+            snapshot_bytes: 0,
+            annotated_functions: 0,
         })
+    }
+
+    fn invoke(
+        &mut self,
+        name: &str,
+        args: &Value,
+        mode: StartMode,
+    ) -> Result<Invocation, PlatformError> {
+        // A blocking invoke is the degenerate one-event schedule: service
+        // and completion at the same instant.
+        let (invocation, inflight) = self.begin_invoke_internal(name, args, mode)?;
+        self.finish_invoke(inflight);
+        Ok(invocation)
     }
 
     fn evict(&mut self, name: &str) {

@@ -1,0 +1,160 @@
+//! Cross-platform coverage for function chains (paper §5.3).
+//!
+//! Only OpenWhisk and Fireworks can process a chain of serverless
+//! functions; Firecracker and gVisor fall back to the `Platform` trait's
+//! default `invoke_chain`, which must refuse with a descriptive error.
+//! The `run_chain` helper itself pipes each stage's value into the next
+//! stage's arguments on any platform and stops at the first failure.
+
+use fireworks_baselines::{FirecrackerPlatform, GvisorPlatform, OpenWhiskPlatform, SnapshotPolicy};
+use fireworks_core::api::{run_chain, PlatformError, StartMode};
+use fireworks_core::{FireworksPlatform, FunctionSpec, Platform, PlatformEnv};
+use fireworks_lang::Value;
+use fireworks_runtime::RuntimeKind;
+
+/// Stage 1: sums 0..n, returning a bare integer.
+const SUM_SRC: &str = "
+    fn main(params) {
+        let n = params[\"n\"];
+        let t = 0;
+        for (let i = 0; i < n; i = i + 1) { t = t + i; }
+        return t;
+    }";
+
+/// Stage 2: wraps the previous stage's bare integer back into request
+/// shape, doubling it — exercises value→args piping.
+const WRAP_SRC: &str = "fn main(prev) { return { n: prev * 2 }; }";
+
+fn args(n: i64) -> Value {
+    Value::map([("n".to_string(), Value::Int(n))])
+}
+
+fn install_stages(platform: &mut dyn Platform) {
+    platform
+        .install(&FunctionSpec::new(
+            "sum",
+            SUM_SRC,
+            RuntimeKind::NodeLike,
+            args(100),
+        ))
+        .expect("install sum");
+    platform
+        .install(&FunctionSpec::new(
+            "wrap",
+            WRAP_SRC,
+            RuntimeKind::NodeLike,
+            Value::Int(1),
+        ))
+        .expect("install wrap");
+}
+
+/// The default `invoke_chain` must refuse even when every stage is
+/// installed, and the error must name the refusing platform.
+fn assert_chain_refused(platform: &mut dyn Platform) {
+    assert!(!platform.supports_chains());
+    install_stages(platform);
+    let err = platform
+        .invoke_chain(&["sum", "wrap"], &args(10), StartMode::Auto)
+        .expect_err("chains must be refused");
+    match err {
+        PlatformError::Other(msg) => {
+            assert!(
+                msg.contains(platform.name()),
+                "error should name the platform: {msg}"
+            );
+            assert!(msg.contains("chain"), "error should mention chains: {msg}");
+        }
+        other => panic!("expected PlatformError::Other, got {other}"),
+    }
+}
+
+#[test]
+fn firecracker_refuses_chains_with_descriptive_error() {
+    for policy in [SnapshotPolicy::None, SnapshotPolicy::OsSnapshot] {
+        let mut p = FirecrackerPlatform::new(PlatformEnv::default_env(), policy);
+        assert_chain_refused(&mut p);
+    }
+}
+
+#[test]
+fn gvisor_refuses_chains_with_descriptive_error() {
+    let mut p = GvisorPlatform::new(PlatformEnv::default_env());
+    assert_chain_refused(&mut p);
+}
+
+/// `run_chain` pipes stage N's value into stage N+1's params; the final
+/// value is sum(0..10) = 45, doubled and re-wrapped by `wrap` → {n: 90},
+/// then summed again → sum(0..90) = 4005.
+fn assert_chain_pipes(platform: &mut dyn Platform) {
+    install_stages(platform);
+    let results = run_chain(
+        platform,
+        &["sum", "wrap", "sum"],
+        &args(10),
+        StartMode::Auto,
+    )
+    .expect("chain runs");
+    assert_eq!(results.len(), 3);
+    assert_eq!(results[0].value, Value::Int(45));
+    let Value::Map(m) = &results[1].value else {
+        panic!("wrap must return a map, got {:?}", results[1].value)
+    };
+    assert_eq!(m.borrow()["n"], Value::Int(90));
+    assert_eq!(results[2].value, Value::Int(4005));
+}
+
+#[test]
+fn openwhisk_run_chain_pipes_values() {
+    let mut p = OpenWhiskPlatform::new(PlatformEnv::default_env());
+    assert!(p.supports_chains());
+    assert_chain_pipes(&mut p);
+}
+
+#[test]
+fn fireworks_run_chain_pipes_values() {
+    let mut p = FireworksPlatform::new(PlatformEnv::default_env());
+    assert!(p.supports_chains());
+    assert_chain_pipes(&mut p);
+}
+
+/// `invoke_chain` on the supporting platforms is `run_chain`: identical
+/// staged values for the identical schedule.
+#[test]
+fn invoke_chain_matches_run_chain_on_supporting_platforms() {
+    let mut via_invoke = OpenWhiskPlatform::new(PlatformEnv::default_env());
+    install_stages(&mut via_invoke);
+    let a = via_invoke
+        .invoke_chain(&["sum", "wrap"], &args(10), StartMode::Auto)
+        .expect("chain");
+
+    let mut via_helper = OpenWhiskPlatform::new(PlatformEnv::default_env());
+    install_stages(&mut via_helper);
+    let b = run_chain(
+        &mut via_helper,
+        &["sum", "wrap"],
+        &args(10),
+        StartMode::Auto,
+    )
+    .expect("chain");
+
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.value, y.value);
+    }
+}
+
+/// A failure mid-chain stops the pipeline: stage 1 completes, the
+/// unknown stage 2 surfaces its error, stage 3 never runs.
+#[test]
+fn run_chain_stops_at_first_failure() {
+    let mut p = FireworksPlatform::new(PlatformEnv::default_env());
+    install_stages(&mut p);
+    let err = run_chain(
+        &mut p,
+        &["sum", "missing", "wrap"],
+        &args(10),
+        StartMode::Auto,
+    )
+    .expect_err("unknown stage must fail the chain");
+    assert!(matches!(err, PlatformError::UnknownFunction(name) if name == "missing"));
+}

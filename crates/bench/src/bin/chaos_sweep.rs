@@ -6,6 +6,12 @@
 //! success rate, recovery actions taken (retries, quarantines, snapshot
 //! rebuilds), circuit-breaker trips, and the latency cost of recovering.
 //!
+//! Invocations are driven through the concurrent invocation engine in
+//! waves, so faults land on a genuinely concurrent population and the
+//! engine gauges (`engine.inflight`, `engine.queue_depth`,
+//! `engine.live_pss_bytes` and their peaks) appear in each rate point's
+//! metrics snapshot.
+//!
 //! Output is a JSON document on stdout (one object per swept rate), so
 //! runs under different seeds diff cleanly — the injected schedule is a
 //! pure function of `(seed, rate)`. Each rate point also carries the
@@ -14,16 +20,24 @@
 //!
 //! Usage: `chaos_sweep [seed]` (default seed 42).
 
-use fireworks_core::api::Platform;
-use fireworks_core::api::{PlatformError, StartMode};
+use fireworks_core::api::{Platform, PlatformError};
+use fireworks_core::engine::{run_concurrent, EngineConfig};
 use fireworks_core::{FireworksPlatform, PlatformEnv};
 use fireworks_runtime::RuntimeKind;
 use fireworks_sim::fault::FaultPlan;
 use fireworks_sim::{stats, Nanos};
+use fireworks_workloads::arrivals::burst;
 use fireworks_workloads::faasdom::Bench;
 
 /// Invocations per swept fault rate.
 const INVOCATIONS: usize = 40;
+
+/// Concurrent invocations admitted per engine wave.
+const WAVE: usize = 8;
+
+/// Invoker slots per wave — smaller than the wave so the admission
+/// queue is exercised and `engine.queue_depth` is non-trivial.
+const SLOTS: usize = 4;
 
 /// The swept per-check fault probabilities.
 const RATES: [f64; 5] = [0.0, 0.005, 0.01, 0.02, 0.05];
@@ -40,6 +54,9 @@ struct RatePoint {
     recoveries: u64,
     quarantines: u64,
     rebuilds: u64,
+    peak_inflight: usize,
+    peak_queue_depth: usize,
+    peak_live_pss_bytes: u64,
     mean_latency: Nanos,
     mean_recovery_latency: Nanos,
     p50_recovery_latency: Nanos,
@@ -62,24 +79,47 @@ fn run_rate(seed: u64, rate: f64) -> RatePoint {
     let mut total_latency = Nanos::ZERO;
     let mut recovery_latency = Nanos::ZERO;
     let mut recovery_latencies: Vec<Nanos> = Vec::new();
-    for _ in 0..INVOCATIONS {
-        match platform.invoke(&spec.name, &args, StartMode::Auto) {
-            Ok(inv) => {
-                successes += 1;
-                total_latency += inv.total();
-                let recovered = inv.trace.total_for("recovery_backoff")
-                    + inv.trace.total_for("snapshot_rebuild");
-                recovery_latency += recovered;
-                recovery_latencies.push(recovered);
+    let mut peak_inflight = 0;
+    let mut peak_queue_depth = 0;
+    let mut peak_live_pss_bytes = 0;
+    let mut remaining = INVOCATIONS;
+    while remaining > 0 {
+        let batch = remaining.min(WAVE);
+        remaining -= batch;
+        let wave = burst(&spec.name, &args, batch, env.clock.now());
+        let report = run_concurrent(
+            &mut platform,
+            &env.clock,
+            &env.obs,
+            &EngineConfig::new(SLOTS),
+            &wave,
+        );
+        peak_inflight = peak_inflight.max(report.peak_inflight);
+        peak_queue_depth = peak_queue_depth.max(report.peak_queue_depth);
+        peak_live_pss_bytes = peak_live_pss_bytes.max(report.peak_live_pss_bytes);
+        let mut breaker_tripped = false;
+        for c in report.completions {
+            match c.result {
+                Ok(inv) => {
+                    successes += 1;
+                    total_latency += inv.total();
+                    let recovered = inv.trace.total_for("recovery_backoff")
+                        + inv.trace.total_for("snapshot_rebuild");
+                    recovery_latency += recovered;
+                    recovery_latencies.push(recovered);
+                }
+                Err(PlatformError::Vm(_)) => vm_failures += 1,
+                Err(PlatformError::CircuitOpen { .. }) => {
+                    circuit_rejections += 1;
+                    breaker_tripped = true;
+                }
+                Err(_) => other_failures += 1,
             }
-            Err(PlatformError::Vm(_)) => vm_failures += 1,
-            Err(PlatformError::CircuitOpen { .. }) => {
-                circuit_rejections += 1;
-                // Give the breaker a chance to half-open again so the
-                // sweep measures recovery, not a stuck-open circuit.
-                env.clock.advance(Nanos::from_secs(11));
-            }
-            Err(_) => other_failures += 1,
+        }
+        if breaker_tripped {
+            // Give the breaker a chance to half-open again so the
+            // sweep measures recovery, not a stuck-open circuit.
+            env.clock.advance(Nanos::from_secs(11));
         }
     }
 
@@ -97,6 +137,9 @@ fn run_rate(seed: u64, rate: f64) -> RatePoint {
         recoveries: health.recoveries,
         quarantines: health.quarantines,
         rebuilds: health.rebuilds,
+        peak_inflight,
+        peak_queue_depth,
+        peak_live_pss_bytes,
         mean_latency: if successes > 0 {
             Nanos::from_nanos(total_latency.as_nanos() / successes as u64)
         } else {
@@ -134,6 +177,7 @@ fn main() {
     println!("  \"bench\": \"chaos_sweep\",");
     println!("  \"seed\": {seed},");
     println!("  \"invocations_per_rate\": {INVOCATIONS},");
+    println!("  \"engine\": {{ \"wave\": {WAVE}, \"slots\": {SLOTS} }},");
     println!("  \"points\": [");
     for (i, p) in points.iter().enumerate() {
         let comma = if i + 1 < points.len() { "," } else { "" };
@@ -149,6 +193,9 @@ fn main() {
         println!("      \"recoveries\": {},", p.recoveries);
         println!("      \"quarantines\": {},", p.quarantines);
         println!("      \"rebuilds\": {},", p.rebuilds);
+        println!("      \"peak_inflight\": {},", p.peak_inflight);
+        println!("      \"peak_queue_depth\": {},", p.peak_queue_depth);
+        println!("      \"peak_live_pss_bytes\": {},", p.peak_live_pss_bytes);
         println!(
             "      \"mean_latency_us\": {:.1},",
             p.mean_latency.as_nanos() as f64 / 1_000.0

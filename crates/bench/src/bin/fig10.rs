@@ -4,14 +4,18 @@
 //! The paper runs a 128 GiB host to 565 (Fireworks) vs 337 (Firecracker)
 //! microVMs — 167% more sandboxes. We run a scaled-down host (see
 //! DESIGN.md), which preserves the ratio: both per-VM footprints scale
-//! identically.
+//! identically. Populations are built by the concurrent invocation
+//! engine in retain mode: each wave of invocations genuinely coexists,
+//! and every completed clone stays resident (and keeps serving, via
+//! `age_ops`) while later waves restore against the live population.
 
 use fireworks_baselines::{FirecrackerPlatform, SnapshotPolicy};
-use fireworks_core::api::Platform;
+use fireworks_core::engine::{run_concurrent, EngineConfig};
 use fireworks_core::env::EnvConfig;
-use fireworks_core::{FireworksPlatform, PlatformEnv};
+use fireworks_core::{ConcurrentPlatform, FireworksPlatform, PlatformEnv};
 use fireworks_runtime::RuntimeKind;
 use fireworks_sim::CostModel;
+use fireworks_workloads::arrivals::burst;
 use fireworks_workloads::faasdom::Bench;
 
 const HOST_RAM: u64 = 16 << 30;
@@ -20,6 +24,9 @@ const HOST_RAM: u64 = 16 << 30;
 /// until swap onset (the paper runs every VM continuously). At the Node
 /// profile's GC-churn rate this dirties ~2 MiB per million ops.
 const SERVICE_AGE_OPS: u64 = 50_000_000;
+
+/// Concurrent invocations admitted per engine wave.
+const WAVE: usize = 8;
 
 fn env() -> PlatformEnv {
     PlatformEnv::new(EnvConfig {
@@ -30,6 +37,45 @@ fn env() -> PlatformEnv {
     })
 }
 
+/// Grows a resident population through the engine until the host swaps;
+/// returns the host-memory series (one sample per aged clone).
+fn sweep<P, F, A>(make: F, age: A) -> Vec<u64>
+where
+    P: ConcurrentPlatform,
+    F: FnOnce(PlatformEnv) -> P,
+    A: Fn(&mut P::InFlight, u64),
+{
+    let host_env = env();
+    let mut platform = make(host_env.clone());
+    let spec = Bench::Fact.paper_spec(RuntimeKind::NodeLike);
+    let args = Bench::Fact.paper_params();
+    platform.install(&spec).expect("install");
+    let mut resident: Vec<P::InFlight> = Vec::new();
+    let mut series = Vec::new();
+    while !host_env.host_mem.is_swapping() {
+        let wave = burst(&spec.name, &args, WAVE, host_env.clock.now());
+        let report = run_concurrent(
+            &mut platform,
+            &host_env.clock,
+            &host_env.obs,
+            &EngineConfig::new(WAVE).retain_completed(),
+            &wave,
+        );
+        for c in &report.completions {
+            assert!(c.result.is_ok(), "density waves are fault-free");
+        }
+        for mut token in report.retained {
+            age(&mut token, SERVICE_AGE_OPS);
+            resident.push(token);
+            series.push(host_env.host_mem.used_bytes());
+            if host_env.host_mem.is_swapping() {
+                break;
+            }
+        }
+    }
+    series
+}
+
 fn main() {
     println!("=== Fig.10: Memory usage vs concurrent microVMs (faas-fact, Node.js) ===");
     println!(
@@ -37,41 +83,19 @@ fn main() {
         HOST_RAM >> 30,
         (HOST_RAM as f64 * 0.6) / (1 << 30) as f64
     );
-    let spec = Bench::Fact.paper_spec(RuntimeKind::NodeLike);
-    let args = Bench::Fact.paper_params();
 
     println!(
         "{:<8} {:>16} {:>16}",
         "microVMs", "fireworks (GiB)", "firecracker (GiB)"
     );
 
-    // Fireworks sweep.
-    let fw_env = env();
-    let mut fw = FireworksPlatform::new(fw_env.clone());
-    fw.install(&spec).expect("install");
-    let mut fw_series = Vec::new();
-    let mut fw_clones = Vec::new();
-    while !fw_env.host_mem.is_swapping() {
-        let (_, mut clone) = fw.invoke_resident(&spec.name, &args).expect("clone");
-        clone.age_ops(SERVICE_AGE_OPS);
-        fw_clones.push(clone);
-        fw_series.push(fw_env.host_mem.used_bytes());
-    }
-    let fw_max = fw_clones.len();
-
-    // Firecracker sweep.
-    let fc_env = env();
-    let mut fc = FirecrackerPlatform::new(fc_env.clone(), SnapshotPolicy::None);
-    fc.install(&spec).expect("install");
-    let mut fc_series = Vec::new();
-    let mut fc_vms = Vec::new();
-    while !fc_env.host_mem.is_swapping() {
-        let (_, mut vm) = fc.invoke_resident(&spec.name, &args).expect("vm");
-        vm.age_ops(SERVICE_AGE_OPS);
-        fc_vms.push(vm);
-        fc_series.push(fc_env.host_mem.used_bytes());
-    }
-    let fc_max = fc_vms.len();
+    let fw_series = sweep(FireworksPlatform::new, |clone, ops| clone.age_ops(ops));
+    let fc_series = sweep(
+        |e| FirecrackerPlatform::new(e, SnapshotPolicy::None),
+        |vm, ops| vm.age_ops(ops),
+    );
+    let fw_max = fw_series.len();
+    let fc_max = fc_series.len();
 
     let gib = |b: u64| b as f64 / (1 << 30) as f64;
     let step = (fw_max / 12).max(1);

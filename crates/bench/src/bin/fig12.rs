@@ -1,17 +1,54 @@
 //! Fig. 12: factor analysis of memory — per-microVM PSS with 10
 //! concurrent microVMs running the same benchmark, for plain Firecracker,
 //! +OS snapshot, and +post-JIT (= Fireworks).
+//!
+//! The 10-VM population is built by the concurrent invocation engine: a
+//! burst of 10 simultaneous requests admitted in retain mode, so all ten
+//! sandboxes genuinely coexist (and share copy-on-write pages) when PSS
+//! is sampled from their in-flight tokens.
 
 use fireworks_baselines::{FirecrackerPlatform, SnapshotPolicy};
-use fireworks_core::api::Platform;
-use fireworks_core::{FireworksPlatform, PlatformEnv};
+use fireworks_core::engine::{run_concurrent, EngineConfig};
+use fireworks_core::{ConcurrentPlatform, FireworksPlatform, InFlightToken, PlatformEnv};
+use fireworks_lang::Value;
 use fireworks_runtime::RuntimeKind;
+use fireworks_workloads::arrivals::burst;
 use fireworks_workloads::faasdom::Bench;
 
 const VMS: usize = 10;
 
 fn mib(b: u64) -> f64 {
     b as f64 / (1 << 20) as f64
+}
+
+/// Boots `VMS` concurrent sandboxes via one engine burst and returns the
+/// mean PSS across the retained (still-live) population.
+fn mean_pss<P, F>(make: F, spec: &fireworks_core::api::FunctionSpec, args: &Value) -> u64
+where
+    P: ConcurrentPlatform,
+    F: FnOnce(PlatformEnv) -> P,
+{
+    let env = PlatformEnv::default_env();
+    let mut platform = make(env.clone());
+    platform.install(spec).expect("install");
+    let wave = burst(&spec.name, args, VMS, env.clock.now());
+    let report = run_concurrent(
+        &mut platform,
+        &env.clock,
+        &env.obs,
+        &EngineConfig::new(VMS).retain_completed(),
+        &wave,
+    );
+    assert_eq!(report.peak_inflight, VMS, "all {VMS} microVMs must coexist");
+    for c in &report.completions {
+        assert!(c.result.is_ok(), "factor analysis is fault-free");
+    }
+    report
+        .retained
+        .iter()
+        .map(InFlightToken::pss_bytes)
+        .sum::<u64>()
+        / VMS as u64
 }
 
 fn main() {
@@ -28,38 +65,21 @@ fn main() {
             let args = bench.request_params();
 
             // Baseline: 10 cold-booted Firecracker VMs, fully private.
-            let base = {
-                let mut p =
-                    FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::None);
-                p.install(&spec).expect("install");
-                let vms: Vec<_> = (0..VMS)
-                    .map(|_| p.invoke_resident(&spec.name, &args).expect("vm").1)
-                    .collect();
-                vms.iter().map(|v| v.pss_bytes()).sum::<u64>() / VMS as u64
-            };
+            let base = mean_pss(
+                |env| FirecrackerPlatform::new(env, SnapshotPolicy::None),
+                &spec,
+                &args,
+            );
 
             // +OS snapshot: 10 VMs restored from the pre-execution image.
-            let os_snap = {
-                let mut p = FirecrackerPlatform::new(
-                    PlatformEnv::default_env(),
-                    SnapshotPolicy::OsSnapshot,
-                );
-                p.install(&spec).expect("install");
-                let vms: Vec<_> = (0..VMS)
-                    .map(|_| p.invoke_resident(&spec.name, &args).expect("vm").1)
-                    .collect();
-                vms.iter().map(|v| v.pss_bytes()).sum::<u64>() / VMS as u64
-            };
+            let os_snap = mean_pss(
+                |env| FirecrackerPlatform::new(env, SnapshotPolicy::OsSnapshot),
+                &spec,
+                &args,
+            );
 
             // +post-JIT: 10 Fireworks clones.
-            let post_jit = {
-                let mut p = FireworksPlatform::new(PlatformEnv::default_env());
-                p.install(&spec).expect("install");
-                let clones: Vec<_> = (0..VMS)
-                    .map(|_| p.invoke_resident(&spec.name, &args).expect("clone").1)
-                    .collect();
-                clones.iter().map(|c| c.pss_bytes()).sum::<u64>() / VMS as u64
-            };
+            let post_jit = mean_pss(FireworksPlatform::new, &spec, &args);
 
             println!(
                 "{:<30} {:>14.1} {:>14.1} {:>14.1} {:>6.0}% {:>6.0}%",

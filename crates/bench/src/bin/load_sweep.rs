@@ -1,113 +1,219 @@
-//! Load sweep: tail latency under increasing request rate.
+//! Load sweep: tail latency under increasing request rate, measured with
+//! real concurrent invocations.
 //!
 //! Start-up latency is not only a per-request cost — on a consolidated
 //! host with limited invoker slots it occupies capacity, so slow starts
 //! inflate queueing delay and the p99 long before the host saturates.
-//! This experiment measures each platform's idle-host invocation latency
-//! (cold and warm), then replays identical Poisson arrival sequences
-//! through a k-slot FCFS queue: OpenWhisk-style requests pay the cold
-//! latency on each function's first arrival and warm afterwards;
-//! Fireworks requests always pay the snapshot-restore latency.
+//! Identical open-loop Poisson schedules (from `workloads::arrivals`)
+//! are driven through the concurrent invocation engine for OpenWhisk and
+//! Fireworks: every request is a genuine invocation — cold starts happen
+//! when a function's warm pool is empty (including simultaneous arrivals
+//! racing for the same pool), snapshot restores contend for the cache,
+//! and in-flight sandboxes hold guest memory until their completion
+//! event.
+//!
+//! A second phase reruns the paper's density claim (§5.4) under the same
+//! engine: at equal host RAM, Fireworks sustains more concurrent clones
+//! than Firecracker+OS-snapshot because its post-JIT snapshot keeps the
+//! JIT code and warmed heap in shared copy-on-write pages, while the OS
+//! snapshot's clones re-JIT privately.
+//!
+//! Usage: `load_sweep [seed]` (default 42). Output is a pure function of
+//! the seed: two same-seed runs are byte-identical.
 
-use fireworks_baselines::OpenWhiskPlatform;
-use fireworks_core::api::{Platform, StartMode};
-use fireworks_core::{FireworksPlatform, PlatformEnv};
+use fireworks_baselines::{FirecrackerPlatform, OpenWhiskPlatform, SnapshotPolicy};
+use fireworks_core::engine::{run_concurrent, EngineCompletion, EngineConfig};
+use fireworks_core::env::EnvConfig;
+use fireworks_core::{ConcurrentPlatform, FireworksPlatform, PlatformEnv};
+use fireworks_lang::Value;
 use fireworks_runtime::RuntimeKind;
-use fireworks_sim::queueing::{poisson_arrivals, simulate, Arrival, Completion};
-use fireworks_sim::rng::SplitMix64;
-use fireworks_sim::Nanos;
+use fireworks_sim::{CostModel, Nanos};
+use fireworks_workloads::arrivals::{burst, poisson_schedule};
 use fireworks_workloads::faasdom::Bench;
 
+/// Invoker slots for the latency sweep.
 const SLOTS: usize = 8;
-const REQUESTS: usize = 2_000;
-const FUNCTIONS: u64 = 40;
+/// Requests per swept rate.
+const REQUESTS: usize = 240;
+/// Functions in the request mix.
+const FUNCTIONS: usize = 4;
+/// Swept mean inter-arrival times (ms), light to heavy load.
+const RATES_MS: [u64; 5] = [200, 100, 50, 25, 12];
 
-fn percentile(completions: &[Completion], p: f64) -> Nanos {
-    let mut s: Vec<Nanos> = completions.iter().map(Completion::sojourn).collect();
+/// Host RAM for the density phase; swap onset at 60% (vm.swappiness=60).
+const DENSITY_RAM: u64 = 6 << 30;
+/// Clones admitted per engine wave in the density phase.
+const DENSITY_WAVE: usize = 8;
+/// Safety cap on density waves.
+const DENSITY_MAX_WAVES: usize = 200;
+
+fn mix() -> Vec<(String, Value)> {
+    let bench = Bench::Fact;
+    (0..FUNCTIONS)
+        .map(|i| (format!("fact-{i}"), bench.request_params()))
+        .collect()
+}
+
+fn percentile(completions: &[EngineCompletion], p: f64) -> Nanos {
+    let mut s: Vec<Nanos> = completions.iter().map(EngineCompletion::sojourn).collect();
     s.sort_unstable();
     let idx = ((s.len() as f64 - 1.0) * p / 100.0).round() as usize;
     s[idx]
 }
 
+/// Installs the mix and drives one rate point's schedule through the
+/// engine; returns `(completions, peak_inflight, peak_queue_depth)`.
+fn run_rate<P, F>(make: F, seed: u64, mean: Nanos) -> (Vec<EngineCompletion>, usize, usize)
+where
+    P: ConcurrentPlatform,
+    F: FnOnce(PlatformEnv) -> P,
+{
+    let env = PlatformEnv::default_env();
+    let mut platform = make(env.clone());
+    let spec_src = Bench::Fact.spec(RuntimeKind::NodeLike);
+    let mix = mix();
+    for (name, _) in &mix {
+        let mut spec = spec_src.clone();
+        spec.name = name.clone();
+        platform.install(&spec).expect("install");
+    }
+    let borrowed: Vec<(&str, Value)> = mix
+        .iter()
+        .map(|(n, a)| (n.as_str(), a.deep_clone()))
+        .collect();
+    let schedule = poisson_schedule(seed, REQUESTS, mean, &borrowed);
+    let report = run_concurrent(
+        &mut platform,
+        &env.clock,
+        &env.obs,
+        &EngineConfig::new(SLOTS),
+        &schedule,
+    );
+    for c in &report.completions {
+        assert!(c.result.is_ok(), "fault-free sweep");
+    }
+    (
+        report.completions,
+        report.peak_inflight,
+        report.peak_queue_depth,
+    )
+}
+
+fn density_env() -> PlatformEnv {
+    PlatformEnv::new(EnvConfig {
+        ram_bytes: DENSITY_RAM,
+        swappiness: 60,
+        costs: CostModel::default(),
+        ..EnvConfig::default()
+    })
+}
+
+/// Admits waves of concurrent clones through the engine (retain mode)
+/// until the host starts swapping; returns the sustained clone count.
+fn density<P, F>(make: F) -> usize
+where
+    P: ConcurrentPlatform,
+    F: FnOnce(PlatformEnv) -> P,
+{
+    let env = density_env();
+    let mut platform = make(env.clone());
+    let spec = Bench::Fact.paper_spec(RuntimeKind::NodeLike);
+    let args = Bench::Fact.paper_params();
+    platform.install(&spec).expect("install");
+    let mut resident: Vec<P::InFlight> = Vec::new();
+    for _ in 0..DENSITY_MAX_WAVES {
+        if env.host_mem.is_swapping() {
+            break;
+        }
+        let wave = burst(&spec.name, &args, DENSITY_WAVE, env.clock.now());
+        let report = run_concurrent(
+            &mut platform,
+            &env.clock,
+            &env.obs,
+            &EngineConfig::new(DENSITY_WAVE).retain_completed(),
+            &wave,
+        );
+        for c in &report.completions {
+            assert!(c.result.is_ok(), "density waves are fault-free");
+        }
+        for token in report.retained {
+            resident.push(token);
+            if env.host_mem.is_swapping() {
+                break;
+            }
+        }
+    }
+    // Count the clones live before swap onset.
+    let mut count = resident.len();
+    if env.host_mem.is_swapping() && count > 0 {
+        count -= 1;
+    }
+    count
+}
+
 fn main() {
+    let seed = match std::env::args().nth(1) {
+        None => 42,
+        Some(arg) => match arg.parse::<u64>() {
+            Ok(seed) => seed,
+            Err(_) => {
+                eprintln!("error: seed must be a non-negative integer, got {arg:?}");
+                eprintln!("usage: load_sweep [seed]");
+                std::process::exit(2);
+            }
+        },
+    };
+
     println!("=== Load sweep: sojourn time vs offered load ({SLOTS} invoker slots) ===");
-    println!("{REQUESTS} requests across {FUNCTIONS} functions, Zipf-less uniform mix\n");
-
-    // Measure idle-host latencies once (deterministic).
-    let bench = Bench::Fact;
-    let spec = bench.spec(RuntimeKind::NodeLike);
-    let args = bench.request_params();
-
-    let mut ow = OpenWhiskPlatform::new(PlatformEnv::default_env());
-    ow.install(&spec).expect("install");
-    let ow_cold = ow
-        .invoke(&spec.name, &args, StartMode::Cold)
-        .expect("cold")
-        .total();
-    let ow_warm = ow
-        .invoke(&spec.name, &args, StartMode::Warm)
-        .expect("warm")
-        .total();
-
-    let mut fw = FireworksPlatform::new(PlatformEnv::default_env());
-    fw.install(&spec).expect("install");
-    let fw_any = fw
-        .invoke(&spec.name, &args, StartMode::Auto)
-        .expect("fw")
-        .total();
-
-    println!("idle-host latencies: openwhisk cold {ow_cold}, warm {ow_warm}; fireworks {fw_any}\n");
     println!(
-        "{:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
-        "load", "ow p50", "ow p99", "fw p50", "fw p99", "p99 ratio", "util"
+        "{REQUESTS} concurrent invocations per rate across {FUNCTIONS} functions, seed {seed}\n"
+    );
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "load", "ow p50", "ow p99", "fw p50", "fw p99", "p99 ratio", "ow queue", "fw queue"
     );
 
-    // Sweep mean inter-arrival times from light to heavy load.
-    for mean_ms in [200u64, 100, 50, 25, 12] {
+    for mean_ms in RATES_MS {
         let mean = Nanos::from_millis(mean_ms);
-        // OpenWhisk: each function's first arrival in the sequence is
-        // cold; later ones are warm (keep-alive assumed longer than the
-        // run).
-        let mut seen = std::collections::HashSet::new();
-        let mut fn_rng = SplitMix64::new(99);
-        let fn_of: Vec<u64> = (0..REQUESTS)
-            .map(|_| fn_rng.next_below(FUNCTIONS))
-            .collect();
-        let ow_arrivals = poisson_arrivals(7, REQUESTS, mean, |i, _| {
-            if seen.insert(fn_of[i]) {
-                ow_cold
-            } else {
-                ow_warm
-            }
-        });
-        // Fireworks: identical arrival instants, uniform service.
-        let fw_arrivals: Vec<Arrival> = ow_arrivals
-            .iter()
-            .map(|a| Arrival {
-                at: a.at,
-                service: fw_any,
-            })
-            .collect();
-
-        let ow_done = simulate(SLOTS, &ow_arrivals);
-        let fw_done = simulate(SLOTS, &fw_arrivals);
-        let horizon = ow_arrivals.last().expect("nonempty").at;
-        let offered =
-            fw_any.as_nanos() as f64 * REQUESTS as f64 / (horizon.as_nanos() as f64 * SLOTS as f64);
+        // Same seed → identical arrival schedules for both platforms.
+        let (ow_done, _ow_peak, ow_queue) =
+            run_rate(OpenWhiskPlatform::new, seed.wrapping_add(mean_ms), mean);
+        let (fw_done, fw_peak, fw_queue) =
+            run_rate(FireworksPlatform::new, seed.wrapping_add(mean_ms), mean);
+        assert!(fw_peak >= 1);
         println!(
-            "{:>9}ms {:>12} {:>12} {:>12} {:>12} {:>11.1}x {:>11.2}",
+            "{:>9}ms {:>12} {:>12} {:>12} {:>12} {:>11.1}x {:>9} {:>9}",
             mean_ms,
             format!("{}", percentile(&ow_done, 50.0)),
             format!("{}", percentile(&ow_done, 99.0)),
             format!("{}", percentile(&fw_done, 50.0)),
             format!("{}", percentile(&fw_done, 99.0)),
             percentile(&ow_done, 99.0).ratio(percentile(&fw_done, 99.0)),
-            offered,
+            ow_queue,
+            fw_queue,
         );
     }
     println!();
-    println!("(load = mean inter-arrival time; util = Fireworks' offered utilisation)");
+    println!("(load = mean inter-arrival time; queue = peak admission-queue depth)");
     println!("Cold starts poison the tail even at low load — and under pressure the");
     println!("slots they occupy push the whole queue out. Snapshot starts keep the");
-    println!("p99 within a small factor of the p50.");
+    println!("p99 within a small factor of the p50.\n");
+
+    println!(
+        "=== Density: concurrent clones at equal host RAM ({} GiB, swap onset 60%) ===",
+        DENSITY_RAM >> 30
+    );
+    let fw_count = density(FireworksPlatform::new);
+    let fc_count = density(|env| FirecrackerPlatform::new(env, SnapshotPolicy::OsSnapshot));
+    println!("fireworks            : {fw_count} concurrent clones before swapping");
+    println!("firecracker+snapshot : {fc_count} concurrent clones before swapping");
+    assert!(
+        fw_count > fc_count,
+        "paper-shape violated: fireworks {fw_count} vs firecracker+snapshot {fc_count}"
+    );
+    println!(
+        "consolidation        : {:.0}% more sandboxes (post-JIT snapshot keeps JIT code",
+        (fw_count as f64 / fc_count as f64) * 100.0 - 100.0
+    );
+    println!("and warmed heap in shared CoW pages; OS-snapshot clones re-JIT privately)");
 }

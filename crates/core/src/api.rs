@@ -252,6 +252,57 @@ pub trait Platform {
     }
 }
 
+/// The resources an in-flight invocation holds between its service phase
+/// and its completion event (a resident clone, a checked-out microVM, a
+/// warm container).
+///
+/// The invocation engine keeps tokens alive from service start to the
+/// invocation's virtual finish instant, so concurrent populations
+/// genuinely coexist: host-memory accounting, CoW sharing against the
+/// snapshot, and warm-pool contents all reflect who is live *now* on the
+/// virtual timeline.
+pub trait InFlightToken {
+    /// Proportional-set-size attributed to this in-flight invocation's
+    /// guest memory, if the platform tracks it (0 otherwise).
+    fn pss_bytes(&self) -> u64 {
+        0
+    }
+}
+
+impl InFlightToken for () {}
+
+/// A platform whose invocation path is split into non-blocking admission
+/// plus explicit completion, so a discrete-event driver can hold many
+/// invocations in flight at once.
+///
+/// [`ConcurrentPlatform::begin_invoke`] performs the whole service
+/// activity (charging its virtual cost on the shared clock) but does
+/// *not* release the sandbox; it returns the finished [`Invocation`]
+/// together with an in-flight token owning the resources. The driver
+/// schedules a completion event at the invocation's virtual finish
+/// instant and calls [`ConcurrentPlatform::finish_invoke`] there — which
+/// is where warm-pool returns, pause accounting, and memory release
+/// happen. The blocking [`Platform::invoke`] is equivalent to
+/// `begin_invoke` immediately followed by `finish_invoke` (a degenerate
+/// single-event schedule).
+pub trait ConcurrentPlatform: Platform {
+    /// Resources held while the invocation is in flight.
+    type InFlight: InFlightToken;
+
+    /// Runs the invocation's service activity without releasing its
+    /// sandbox.
+    fn begin_invoke(
+        &mut self,
+        name: &str,
+        args: &Value,
+        mode: StartMode,
+    ) -> Result<(Invocation, Self::InFlight), PlatformError>;
+
+    /// Releases the invocation's resources at its completion instant
+    /// (the current clock time).
+    fn finish_invoke(&mut self, inflight: Self::InFlight);
+}
+
 /// Shared helper: thread a value through a chain by invoking one stage at
 /// a time (used by the platforms that do support chains).
 pub fn run_chain<P: Platform + ?Sized>(

@@ -1,0 +1,480 @@
+//! The concurrent invocation engine: N invocations in flight at once.
+//!
+//! [`Platform::invoke`](crate::api::Platform::invoke) is a blocking call
+//! — by the time it returns, its sandbox has already been released, so no
+//! two invocations ever coexist and the load curves produced from it are
+//! post-hoc queueing math over idle-host latencies. This module drives a
+//! [`ConcurrentPlatform`] through the discrete-event engine
+//! ([`fireworks_sim::engine`]) instead: arrivals and completions are
+//! events on the shared virtual timeline, admission is a FIFO queue in
+//! front of a bounded set of invoker slots, and an invocation's resources
+//! (its in-flight token) are held from service start to its virtual
+//! finish instant. Concurrent clones therefore genuinely contend — for
+//! slots, for host RAM (guest-memory PSS under live populations), and
+//! for the snapshot cache — which is what the paper's consolidation
+//! claims (Figs. 10/12) are about.
+//!
+//! # Event model
+//!
+//! Each request contributes two events:
+//!
+//! - **Arrive**: at the request's arrival instant. If a slot is free the
+//!   service activity runs immediately (charging its cost on the clock,
+//!   which lands at the invocation's finish instant); otherwise the
+//!   request joins the FIFO admission queue.
+//! - **Complete**: scheduled at the invocation's finish instant. The
+//!   in-flight token is released (warm-pool return / clone teardown),
+//!   the slot frees, and the head of the admission queue — if any —
+//!   starts service at this instant.
+//!
+//! Determinism follows from the event queue's `(time, seq)` ordering plus
+//! the deterministic platforms underneath; identical request schedules
+//! produce byte-identical reports.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use fireworks_lang::Value;
+use fireworks_obs::Obs;
+use fireworks_sim::engine::EventQueue;
+use fireworks_sim::{Clock, Nanos};
+
+use crate::api::{ConcurrentPlatform, InFlightToken, Invocation, PlatformError, StartMode};
+
+/// One request offered to the engine.
+#[derive(Debug, Clone)]
+pub struct EngineRequest {
+    /// The installed function to invoke.
+    pub function: String,
+    /// Arrival instant on the virtual timeline.
+    pub arrival: Nanos,
+    /// Invocation arguments.
+    pub args: Value,
+    /// Requested start mode.
+    pub mode: StartMode,
+}
+
+/// What to do with an invocation's resources at its completion event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionPolicy {
+    /// Release the token (warm-pool return / teardown) — the normal
+    /// serving loop.
+    Release,
+    /// Keep every token resident and return them in the report — the
+    /// density experiments (paper §5.4), where clones keep serving and
+    /// the question is how many fit in host RAM.
+    Retain,
+}
+
+/// Engine knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Invoker slots (maximum concurrent service activities).
+    pub slots: usize,
+    /// What happens to in-flight tokens at completion.
+    pub completion: CompletionPolicy,
+}
+
+impl EngineConfig {
+    /// A serving configuration with `slots` invoker slots.
+    pub fn new(slots: usize) -> Self {
+        EngineConfig {
+            slots,
+            completion: CompletionPolicy::Release,
+        }
+    }
+
+    /// Switches the engine to retain completed invocations' resources.
+    pub fn retain_completed(mut self) -> Self {
+        self.completion = CompletionPolicy::Retain;
+        self
+    }
+}
+
+/// One request's outcome, with its queueing timeline.
+#[derive(Debug)]
+pub struct EngineCompletion {
+    /// Index of the request in the submitted schedule.
+    pub index: usize,
+    /// The function invoked.
+    pub function: String,
+    /// When the request arrived.
+    pub arrived: Nanos,
+    /// When a slot picked it up.
+    pub started: Nanos,
+    /// When its service activity finished (success or failure).
+    pub finished: Nanos,
+    /// The invocation, or the error that ended it.
+    pub result: Result<Invocation, PlatformError>,
+}
+
+impl EngineCompletion {
+    /// Time spent waiting for a slot.
+    pub fn waited(&self) -> Nanos {
+        self.started.saturating_sub(self.arrived)
+    }
+
+    /// Total time in the system (what the client observes).
+    pub fn sojourn(&self) -> Nanos {
+        self.finished.saturating_sub(self.arrived)
+    }
+}
+
+/// The engine's output: completions in request order, plus concurrency
+/// high-water marks.
+#[derive(Debug)]
+pub struct EngineReport<T> {
+    /// One entry per request, ordered by request index.
+    pub completions: Vec<EngineCompletion>,
+    /// Tokens still resident ([`CompletionPolicy::Retain`] only), in
+    /// completion order.
+    pub retained: Vec<T>,
+    /// Most invocations ever simultaneously in service.
+    pub peak_inflight: usize,
+    /// Deepest the admission queue ever got.
+    pub peak_queue_depth: usize,
+    /// Highest total PSS attributed to live in-flight (plus retained)
+    /// guest memory, sampled at event boundaries.
+    pub peak_live_pss_bytes: u64,
+}
+
+enum Event {
+    Arrive(usize),
+    Complete(usize),
+}
+
+/// Drives `requests` (sorted by arrival) through `platform` on the
+/// event engine and returns the completions with concurrency stats.
+///
+/// The engine publishes live gauges on `obs` at every event boundary —
+/// `engine.inflight`, `engine.queue_depth`, `engine.live_pss_bytes` —
+/// and their `engine.peak_*` high-water marks, so a metrics snapshot
+/// taken after a run carries the concurrency profile.
+///
+/// # Panics
+///
+/// Panics if `config.slots == 0` or `requests` are not sorted by
+/// arrival time.
+pub fn run_concurrent<P: ConcurrentPlatform>(
+    platform: &mut P,
+    clock: &Clock,
+    obs: &Obs,
+    config: &EngineConfig,
+    requests: &[EngineRequest],
+) -> EngineReport<P::InFlight> {
+    assert!(config.slots > 0, "need at least one invoker slot");
+    assert!(
+        requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+        "requests must be sorted by arrival time"
+    );
+
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    for (i, r) in requests.iter().enumerate() {
+        queue.schedule(r.arrival, Event::Arrive(i));
+    }
+
+    // The engine's mutable state between events.
+    struct State<T> {
+        free: usize,
+        waiting: VecDeque<usize>,
+        // BTreeMap keeps iteration (PSS sampling) deterministic.
+        inflight: BTreeMap<usize, T>,
+        retained: Vec<T>,
+        out: Vec<Option<EngineCompletion>>,
+        peak_inflight: usize,
+        peak_queue_depth: usize,
+        peak_live_pss: u64,
+    }
+
+    impl<T: InFlightToken> State<T> {
+        // Starts request `i`'s service activity at the current clock
+        // instant and schedules its completion at the finish instant.
+        fn start_service<P: ConcurrentPlatform<InFlight = T>>(
+            &mut self,
+            platform: &mut P,
+            clock: &Clock,
+            queue: &mut EventQueue<Event>,
+            requests: &[EngineRequest],
+            i: usize,
+        ) {
+            self.free -= 1;
+            let started = clock.now();
+            let r = &requests[i];
+            let result = platform.begin_invoke(&r.function, &r.args, r.mode);
+            let finished = clock.now();
+            let result = match result {
+                Ok((invocation, token)) => {
+                    self.inflight.insert(i, token);
+                    Ok(invocation)
+                }
+                // A failed invocation held its slot up to the failure
+                // instant; the Complete event frees it there.
+                Err(e) => Err(e),
+            };
+            self.out[i] = Some(EngineCompletion {
+                index: i,
+                function: r.function.clone(),
+                arrived: r.arrival,
+                started,
+                finished,
+                result,
+            });
+            queue.schedule(finished, Event::Complete(i));
+        }
+    }
+
+    let mut out: Vec<Option<EngineCompletion>> = Vec::with_capacity(requests.len());
+    out.resize_with(requests.len(), || None);
+    let mut state: State<P::InFlight> = State {
+        free: config.slots,
+        waiting: VecDeque::new(),
+        inflight: BTreeMap::new(),
+        retained: Vec::new(),
+        out,
+        peak_inflight: 0,
+        peak_queue_depth: 0,
+        peak_live_pss: 0,
+    };
+
+    while let Some(ev) = queue.pop() {
+        clock.warp_to(ev.at);
+        match ev.event {
+            Event::Arrive(i) => {
+                if state.free > 0 {
+                    state.start_service(platform, clock, &mut queue, requests, i);
+                } else {
+                    state.waiting.push_back(i);
+                }
+            }
+            Event::Complete(i) => {
+                if let Some(token) = state.inflight.remove(&i) {
+                    match config.completion {
+                        CompletionPolicy::Release => platform.finish_invoke(token),
+                        CompletionPolicy::Retain => state.retained.push(token),
+                    }
+                }
+                state.free += 1;
+                if let Some(next) = state.waiting.pop_front() {
+                    state.start_service(platform, clock, &mut queue, requests, next);
+                }
+            }
+        }
+
+        // Sample the engine gauges at the event boundary.
+        let live: u64 = state
+            .inflight
+            .values()
+            .map(InFlightToken::pss_bytes)
+            .chain(state.retained.iter().map(InFlightToken::pss_bytes))
+            .fold(0u64, u64::saturating_add);
+        state.peak_inflight = state.peak_inflight.max(state.inflight.len());
+        state.peak_queue_depth = state.peak_queue_depth.max(state.waiting.len());
+        state.peak_live_pss = state.peak_live_pss.max(live);
+        let m = obs.metrics();
+        m.gauge_set("engine.inflight", &[], state.inflight.len() as i64);
+        m.gauge_set("engine.queue_depth", &[], state.waiting.len() as i64);
+        m.gauge_set("engine.live_pss_bytes", &[], live as i64);
+        m.gauge_set("engine.peak_inflight", &[], state.peak_inflight as i64);
+        m.gauge_set(
+            "engine.peak_queue_depth",
+            &[],
+            state.peak_queue_depth as i64,
+        );
+        m.gauge_set(
+            "engine.peak_live_pss_bytes",
+            &[],
+            state.peak_live_pss as i64,
+        );
+    }
+
+    EngineReport {
+        completions: state
+            .out
+            .into_iter()
+            .map(|c| c.expect("every request completes"))
+            .collect(),
+        retained: state.retained,
+        peak_inflight: state.peak_inflight,
+        peak_queue_depth: state.peak_queue_depth,
+        peak_live_pss_bytes: state.peak_live_pss,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{FunctionSpec, StartKind};
+    use crate::env::PlatformEnv;
+    use crate::fireworks::FireworksPlatform;
+    use fireworks_runtime::RuntimeKind;
+
+    const SRC: &str = "
+        fn main(params) {
+            let n = params[\"n\"];
+            let t = 0;
+            for (let i = 0; i < n; i = i + 1) { t = t + i; }
+            return t;
+        }";
+
+    fn spec(name: &str) -> FunctionSpec {
+        FunctionSpec::new(
+            name,
+            SRC,
+            RuntimeKind::NodeLike,
+            Value::map([("n".to_string(), Value::Int(1000))]),
+        )
+    }
+
+    fn args(n: i64) -> Value {
+        Value::map([("n".to_string(), Value::Int(n))])
+    }
+
+    fn burst(count: usize, at: Nanos) -> Vec<EngineRequest> {
+        (0..count)
+            .map(|_| EngineRequest {
+                function: "f".into(),
+                arrival: at,
+                args: args(500),
+                mode: StartMode::Auto,
+            })
+            .collect()
+    }
+
+    fn installed_platform() -> FireworksPlatform {
+        let mut p = FireworksPlatform::new(PlatformEnv::default_env());
+        p.install(&spec("f")).expect("installs");
+        p
+    }
+
+    use crate::api::Platform;
+
+    #[test]
+    fn a_burst_genuinely_overlaps_in_flight() {
+        let mut p = installed_platform();
+        let env = p.env().clone();
+        let report = run_concurrent(
+            &mut p,
+            &env.clock,
+            &env.obs,
+            &EngineConfig::new(4),
+            &burst(4, Nanos::ZERO),
+        );
+        assert_eq!(report.peak_inflight, 4, "all four clones live at once");
+        assert_eq!(report.peak_queue_depth, 0);
+        assert!(report.peak_live_pss_bytes > 0, "live clones have PSS");
+        for c in &report.completions {
+            let inv = c.result.as_ref().expect("succeeds");
+            assert_eq!(inv.start, StartKind::SnapshotRestore);
+            assert_eq!(c.waited(), Nanos::ZERO);
+        }
+        // Concurrent arrivals all start at t=0: their service spans
+        // overlap on the virtual timeline.
+        assert!(report.completions.iter().all(|c| c.started == Nanos::ZERO));
+    }
+
+    #[test]
+    fn slots_gate_admission_fcfs() {
+        let mut p = installed_platform();
+        let env = p.env().clone();
+        let report = run_concurrent(
+            &mut p,
+            &env.clock,
+            &env.obs,
+            &EngineConfig::new(1),
+            &burst(3, Nanos::ZERO),
+        );
+        assert_eq!(report.peak_inflight, 1);
+        assert_eq!(report.peak_queue_depth, 2);
+        // FCFS: request k starts when request k-1 finishes.
+        for w in report.completions.windows(2) {
+            assert_eq!(w[1].started, w[0].finished);
+        }
+        let snap = env.obs.metrics().snapshot();
+        assert_eq!(snap.gauge("engine.peak_queue_depth", &[]), Some(2));
+        assert_eq!(snap.gauge("engine.inflight", &[]), Some(0), "drained");
+        assert_eq!(snap.gauge("engine.queue_depth", &[]), Some(0));
+    }
+
+    #[test]
+    fn retain_mode_keeps_clones_resident() {
+        let mut p = installed_platform();
+        let env = p.env().clone();
+        let used_before = env.host_mem.used_bytes();
+        let report = run_concurrent(
+            &mut p,
+            &env.clock,
+            &env.obs,
+            &EngineConfig::new(2).retain_completed(),
+            &burst(3, Nanos::ZERO),
+        );
+        assert_eq!(report.retained.len(), 3);
+        assert!(
+            env.host_mem.used_bytes() > used_before,
+            "retained clones keep their guest memory charged"
+        );
+        for clone in report.retained {
+            p.release_clone(clone);
+        }
+    }
+
+    #[test]
+    fn identical_schedules_produce_identical_reports() {
+        let run = || {
+            let mut p = installed_platform();
+            let env = p.env().clone();
+            let mut requests = burst(5, Nanos::ZERO);
+            for (k, r) in requests.iter_mut().enumerate() {
+                r.arrival = Nanos::from_millis(3 * k as u64);
+            }
+            let report = run_concurrent(
+                &mut p,
+                &env.clock,
+                &env.obs,
+                &EngineConfig::new(2),
+                &requests,
+            );
+            report
+                .completions
+                .iter()
+                .map(|c| (c.arrived, c.started, c.finished))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn failures_occupy_their_slot_until_the_failure_instant() {
+        let mut p = installed_platform();
+        let env = p.env().clone();
+        let requests = vec![
+            EngineRequest {
+                function: "ghost".into(),
+                arrival: Nanos::ZERO,
+                args: args(1),
+                mode: StartMode::Auto,
+            },
+            EngineRequest {
+                function: "f".into(),
+                arrival: Nanos::ZERO,
+                args: args(10),
+                mode: StartMode::Auto,
+            },
+        ];
+        let report = run_concurrent(
+            &mut p,
+            &env.clock,
+            &env.obs,
+            &EngineConfig::new(1),
+            &requests,
+        );
+        assert!(matches!(
+            report.completions[0].result,
+            Err(PlatformError::UnknownFunction(_))
+        ));
+        let inv = report.completions[1].result.as_ref().expect("succeeds");
+        assert_eq!(inv.value, Value::Int(45));
+        assert_eq!(
+            report.completions[1].started,
+            report.completions[0].finished
+        );
+    }
+}

@@ -18,7 +18,8 @@ use fireworks_sim::trace::{Phase, Trace};
 use fireworks_sim::Nanos;
 
 use crate::api::{
-    FunctionSpec, InstallReport, Invocation, Platform, PlatformError, StartKind, StartMode,
+    ConcurrentPlatform, FunctionSpec, InFlightToken, InstallReport, Invocation, Platform,
+    PlatformError, StartKind, StartMode,
 };
 use crate::audit::{SecurityAudit, SecurityPolicy};
 use crate::cache::SnapshotCache;
@@ -159,6 +160,12 @@ impl ResidentClone {
     /// until the host swaps).
     pub fn age_ops(&mut self, extra_ops: u64) {
         self.vm.age_ops(extra_ops);
+    }
+}
+
+impl InFlightToken for ResidentClone {
+    fn pss_bytes(&self) -> u64 {
+        ResidentClone::pss_bytes(self)
     }
 }
 
@@ -874,12 +881,12 @@ impl Platform for FireworksPlatform {
         &mut self,
         name: &str,
         args: &Value,
-        _mode: StartMode,
+        mode: StartMode,
     ) -> Result<Invocation, PlatformError> {
-        // Fireworks has no cold/warm distinction (§5.1): every invocation
-        // is a snapshot restore.
-        let (invocation, clone) = self.invoke_internal(name, args)?;
-        self.release_clone(clone);
+        // A blocking invoke is the degenerate one-event schedule: service
+        // and completion at the same instant.
+        let (invocation, clone) = self.begin_invoke(name, args, mode)?;
+        self.finish_invoke(clone);
         Ok(invocation)
     }
 
@@ -898,6 +905,26 @@ impl Platform for FireworksPlatform {
         mode: StartMode,
     ) -> Result<Vec<Invocation>, PlatformError> {
         crate::api::run_chain(self, names, args, mode)
+    }
+}
+
+impl ConcurrentPlatform for FireworksPlatform {
+    type InFlight = ResidentClone;
+
+    fn begin_invoke(
+        &mut self,
+        name: &str,
+        args: &Value,
+        _mode: StartMode,
+    ) -> Result<(Invocation, ResidentClone), PlatformError> {
+        // Fireworks has no cold/warm distinction (§5.1): every invocation
+        // is a snapshot restore, and the clone stays resident — its guest
+        // memory charged against the host — until `finish_invoke`.
+        self.invoke_internal(name, args)
+    }
+
+    fn finish_invoke(&mut self, clone: ResidentClone) {
+        self.release_clone(clone);
     }
 }
 

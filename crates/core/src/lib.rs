@@ -29,12 +29,17 @@
 pub mod api;
 pub mod audit;
 pub mod cache;
+pub mod engine;
 pub mod env;
 pub mod fireworks;
 pub mod host;
 
 pub use api::{
-    FunctionSpec, InstallReport, Invocation, Platform, PlatformError, StartKind, StartMode,
+    ConcurrentPlatform, FunctionSpec, InFlightToken, InstallReport, Invocation, Platform,
+    PlatformError, StartKind, StartMode,
+};
+pub use engine::{
+    run_concurrent, CompletionPolicy, EngineCompletion, EngineConfig, EngineReport, EngineRequest,
 };
 pub use env::PlatformEnv;
 pub use fireworks::{

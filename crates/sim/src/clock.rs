@@ -46,6 +46,20 @@ impl Clock {
         Nanos(next)
     }
 
+    /// Sets the clock to `instant`, moving backwards if necessary.
+    ///
+    /// This exists for the discrete-event engine ([`crate::engine`]):
+    /// events fire in nondecreasing time order, but a service that ran
+    /// long leaves the clock ahead of the *next* event's start instant,
+    /// so the driver warps back before handling it. Within any one
+    /// activity the clock still only moves forward (via
+    /// [`Clock::advance`]); everything else should treat the clock as
+    /// monotone and never warp.
+    #[inline]
+    pub fn warp_to(&self, instant: Nanos) {
+        self.now.set(instant.as_nanos());
+    }
+
     /// Runs `f` and returns both its result and the virtual time it charged.
     pub fn measure<T>(&self, f: impl FnOnce() -> T) -> (T, Nanos) {
         let start = self.now();

@@ -14,6 +14,9 @@
 //! - [`CostModel`]: the calibrated cost table shared by the whole system.
 //! - [`rng::SplitMix64`]: a tiny deterministic RNG used where workloads
 //!   need pseudo-random data without pulling randomness into results.
+//! - [`engine`]: a deterministic discrete-event queue over virtual time —
+//!   the substrate for genuinely concurrent activities (see
+//!   [`queueing`] and the platform invocation engine built on top).
 //! - [`trace`]: phase spans used to produce the paper's latency breakdowns
 //!   (start-up / exec / others).
 //! - [`fault`]: a seeded, deterministic fault-injection plane used to
@@ -24,6 +27,7 @@
 
 pub mod clock;
 pub mod cost;
+pub mod engine;
 pub mod fault;
 pub mod queueing;
 pub mod rng;

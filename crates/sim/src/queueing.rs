@@ -6,10 +6,19 @@
 //! latency. This module simulates `k` invoker slots serving an arrival
 //! sequence FCFS, so the bench harness can turn per-invocation latencies
 //! into load/tail-latency curves.
+//!
+//! Since the concurrent-invocation refactor, [`simulate`] is a thin shim
+//! over the discrete-event engine ([`crate::engine`]): arrivals and
+//! completions are events on a virtual timeline, admission is a FIFO
+//! queue in front of `k` slots, and determinism comes from the engine's
+//! `(time, seq)` ordering. The platform-level invocation engine
+//! (`fireworks-core`) uses the same event discipline with *real*
+//! invocations as the service activity; this module remains the
+//! closed-form fast path for known service durations.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 
+use crate::engine::EventQueue;
 use crate::time::Nanos;
 
 /// One offered invocation.
@@ -35,14 +44,55 @@ pub struct Completion {
 
 impl Completion {
     /// Time spent waiting for a slot.
+    ///
+    /// Malformed completions (started before arrived) clamp to zero with
+    /// a debug assertion; use [`Completion::checked_waited`] to detect
+    /// them programmatically.
     pub fn waited(&self) -> Nanos {
-        self.started - self.arrived
+        debug_assert!(
+            self.started >= self.arrived,
+            "malformed completion: started {} before arrival {}",
+            self.started,
+            self.arrived
+        );
+        self.started.saturating_sub(self.arrived)
     }
 
     /// Total time in the system (what the client observes).
+    ///
+    /// Malformed completions (finished before arrived) clamp to zero with
+    /// a debug assertion; use [`Completion::checked_sojourn`] to detect
+    /// them programmatically.
     pub fn sojourn(&self) -> Nanos {
-        self.finished - self.arrived
+        debug_assert!(
+            self.finished >= self.arrived,
+            "malformed completion: finished {} before arrival {}",
+            self.finished,
+            self.arrived
+        );
+        self.finished.saturating_sub(self.arrived)
     }
+
+    /// [`Completion::waited`] that returns `None` instead of clamping
+    /// when the completion is malformed.
+    pub fn checked_waited(&self) -> Option<Nanos> {
+        (self.started >= self.arrived)
+            .then(|| Nanos(self.started.as_nanos() - self.arrived.as_nanos()))
+    }
+
+    /// [`Completion::sojourn`] that returns `None` instead of clamping
+    /// when the completion is malformed.
+    pub fn checked_sojourn(&self) -> Option<Nanos> {
+        (self.finished >= self.arrived)
+            .then(|| Nanos(self.finished.as_nanos() - self.arrived.as_nanos()))
+    }
+}
+
+/// The simulator's event alphabet: request `i` arrives, or some request's
+/// service completes and frees its slot.
+enum Event {
+    Arrive(usize),
+    Complete,
 }
 
 /// Serves `arrivals` (must be sorted by arrival time) on `slots` FCFS
@@ -73,21 +123,50 @@ pub fn simulate(slots: usize, arrivals: &[Arrival]) -> Vec<Completion> {
         arrivals.windows(2).all(|w| w[0].at <= w[1].at),
         "arrivals must be sorted by time"
     );
-    // Min-heap of slot free times.
-    let mut free: BinaryHeap<Reverse<Nanos>> = (0..slots).map(|_| Reverse(Nanos::ZERO)).collect();
-    let mut out = Vec::with_capacity(arrivals.len());
-    for a in arrivals {
-        let Reverse(slot_free) = free.pop().expect("slots non-empty");
-        let started = a.at.max(slot_free);
-        let finished = started + a.service;
-        free.push(Reverse(finished));
-        out.push(Completion {
-            arrived: a.at,
-            started,
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    for (i, a) in arrivals.iter().enumerate() {
+        queue.schedule(a.at, Event::Arrive(i));
+    }
+    let mut free = slots;
+    let mut waiting: VecDeque<usize> = VecDeque::new();
+    let mut out: Vec<Option<Completion>> = vec![None; arrivals.len()];
+
+    // Starts request `i` on a free slot at instant `t`.
+    let start = |i: usize,
+                 t: Nanos,
+                 free: &mut usize,
+                 queue: &mut EventQueue<Event>,
+                 out: &mut Vec<Option<Completion>>| {
+        *free -= 1;
+        let finished = t + arrivals[i].service;
+        out[i] = Some(Completion {
+            arrived: arrivals[i].at,
+            started: t,
             finished,
         });
+        queue.schedule(finished, Event::Complete);
+    };
+
+    while let Some(ev) = queue.pop() {
+        match ev.event {
+            Event::Arrive(i) => {
+                if free > 0 {
+                    start(i, ev.at, &mut free, &mut queue, &mut out);
+                } else {
+                    waiting.push_back(i);
+                }
+            }
+            Event::Complete => {
+                free += 1;
+                if let Some(i) = waiting.pop_front() {
+                    start(i, ev.at, &mut free, &mut queue, &mut out);
+                }
+            }
+        }
     }
-    out
+    out.into_iter()
+        .map(|c| c.expect("every arrival completes"))
+        .collect()
 }
 
 /// Builds a Poisson-like arrival sequence: exponential inter-arrival
@@ -119,6 +198,29 @@ mod tests {
 
     fn ms(v: u64) -> Nanos {
         Nanos::from_millis(v)
+    }
+
+    /// The pre-engine FCFS implementation (slot free-time min-heap),
+    /// kept verbatim as the reference model for the equivalence
+    /// property test below.
+    fn simulate_fcfs_reference(slots: usize, arrivals: &[Arrival]) -> Vec<Completion> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut free: BinaryHeap<Reverse<Nanos>> =
+            (0..slots).map(|_| Reverse(Nanos::ZERO)).collect();
+        let mut out = Vec::with_capacity(arrivals.len());
+        for a in arrivals {
+            let Reverse(slot_free) = free.pop().expect("slots non-empty");
+            let started = a.at.max(slot_free);
+            let finished = started + a.service;
+            free.push(Reverse(finished));
+            out.push(Completion {
+                arrived: a.at,
+                started,
+                finished,
+            });
+        }
+        out
     }
 
     #[test]
@@ -223,5 +325,94 @@ mod tests {
                 },
             ],
         );
+    }
+
+    #[test]
+    fn checked_accessors_reject_malformed_completions() {
+        let bad = Completion {
+            arrived: ms(10),
+            started: ms(5),
+            finished: ms(7),
+        };
+        assert_eq!(bad.checked_waited(), None);
+        assert_eq!(bad.checked_sojourn(), None);
+        let good = Completion {
+            arrived: ms(10),
+            started: ms(12),
+            finished: ms(20),
+        };
+        assert_eq!(good.checked_waited(), Some(ms(2)));
+        assert_eq!(good.checked_sojourn(), Some(ms(10)));
+        assert_eq!(good.waited(), ms(2));
+        assert_eq!(good.sojourn(), ms(10));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "malformed completion")]
+    fn malformed_waited_trips_the_debug_assertion() {
+        let bad = Completion {
+            arrived: ms(10),
+            started: ms(5),
+            finished: ms(7),
+        };
+        let _ = bad.waited();
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn malformed_accessors_clamp_in_release() {
+        // Regression: these underflowed before the hardening; now they
+        // clamp to zero instead of wrapping or panicking.
+        let bad = Completion {
+            arrived: ms(10),
+            started: ms(5),
+            finished: ms(7),
+        };
+        assert_eq!(bad.waited(), Nanos::ZERO);
+        assert_eq!(bad.sojourn(), Nanos::ZERO);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arrivals_strategy() -> impl Strategy<Value = Vec<Arrival>> {
+            proptest::collection::vec((0u64..50_000, 0u64..20_000), 0..200).prop_map(|raw| {
+                let mut at = 0u64;
+                raw.into_iter()
+                    .map(|(gap, service)| {
+                        // Cumulative gaps keep the sequence sorted; gap 0
+                        // produces simultaneous arrivals, service 0
+                        // produces zero-width jobs — both tie-break paths
+                        // get exercised.
+                        at += gap % 500;
+                        Arrival {
+                            at: Nanos::from_nanos(at),
+                            service: Nanos::from_nanos(service),
+                        }
+                    })
+                    .collect()
+            })
+        }
+
+        proptest! {
+            /// The engine shim completes every sorted arrival sequence
+            /// identically to the original FCFS slot-heap model.
+            #[test]
+            fn engine_shim_matches_fcfs_reference(
+                slots in 1usize..6,
+                arrivals in arrivals_strategy(),
+            ) {
+                let engine = simulate(slots, &arrivals);
+                let reference = simulate_fcfs_reference(slots, &arrivals);
+                prop_assert_eq!(engine.len(), reference.len());
+                for (i, (e, r)) in engine.iter().zip(&reference).enumerate() {
+                    prop_assert_eq!(e.arrived, r.arrived, "arrival {}", i);
+                    prop_assert_eq!(e.started, r.started, "start {}", i);
+                    prop_assert_eq!(e.finished, r.finished, "finish {}", i);
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,110 @@
+//! Deterministic arrival schedules for the concurrent invocation engine.
+//!
+//! The load experiments drive [`fireworks_core::engine::run_concurrent`]
+//! with open-loop request schedules: arrivals land whether or not earlier
+//! requests finished, which is what exposes queueing delay and memory
+//! pressure. Every schedule here is a pure function of its seed, so
+//! same-seed runs are byte-identical.
+
+use fireworks_core::api::StartMode;
+use fireworks_core::engine::EngineRequest;
+use fireworks_lang::Value;
+use fireworks_sim::rng::SplitMix64;
+use fireworks_sim::Nanos;
+
+/// A Poisson-like open-loop schedule: exponential inter-arrival times
+/// with the given mean, each request picking uniformly from `mix`
+/// (function name plus its request arguments).
+///
+/// # Panics
+///
+/// Panics if `mix` is empty.
+pub fn poisson_schedule(
+    seed: u64,
+    count: usize,
+    mean_inter_arrival: Nanos,
+    mix: &[(&str, Value)],
+) -> Vec<EngineRequest> {
+    assert!(!mix.is_empty(), "need at least one function in the mix");
+    let mut rng = SplitMix64::new(seed);
+    let mut t = Nanos::ZERO;
+    (0..count)
+        .map(|_| {
+            // Inverse-CDF sample of Exp(1/mean): -ln(U) * mean.
+            let u = rng.next_f64().max(1e-12);
+            t += mean_inter_arrival.scale(-u.ln());
+            let (name, args) = &mix[rng.next_below(mix.len() as u64) as usize];
+            EngineRequest {
+                function: (*name).to_string(),
+                arrival: t,
+                args: args.deep_clone(),
+                mode: StartMode::Auto,
+            }
+        })
+        .collect()
+}
+
+/// A burst of `count` simultaneous arrivals of one function at `at` —
+/// the shape of the paper's density experiments (§5.4), where N clones
+/// must coexist.
+pub fn burst(function: &str, args: &Value, count: usize, at: Nanos) -> Vec<EngineRequest> {
+    (0..count)
+        .map(|_| EngineRequest {
+            function: function.to_string(),
+            arrival: at,
+            args: args.deep_clone(),
+            mode: StartMode::Auto,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix() -> Vec<(&'static str, Value)> {
+        vec![
+            ("alpha", Value::Int(1)),
+            ("beta", Value::Int(2)),
+            ("gamma", Value::Int(3)),
+        ]
+    }
+
+    #[test]
+    fn schedules_are_sorted_and_deterministic() {
+        let a = poisson_schedule(11, 200, Nanos::from_millis(10), &mix());
+        let b = poisson_schedule(11, 200, Nanos::from_millis(10), &mix());
+        assert_eq!(a.len(), 200);
+        assert!(a.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.arrival == y.arrival && x.function == y.function));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = poisson_schedule(1, 50, Nanos::from_millis(10), &mix());
+        let b = poisson_schedule(2, 50, Nanos::from_millis(10), &mix());
+        assert!(a.iter().zip(&b).any(|(x, y)| x.arrival != y.arrival));
+    }
+
+    #[test]
+    fn the_mix_is_covered() {
+        let sched = poisson_schedule(5, 300, Nanos::from_millis(1), &mix());
+        for (name, _) in mix() {
+            assert!(
+                sched.iter().any(|r| r.function == name),
+                "{name} never drawn"
+            );
+        }
+    }
+
+    #[test]
+    fn bursts_are_simultaneous() {
+        let b = burst("f", &Value::Int(7), 12, Nanos::from_millis(3));
+        assert_eq!(b.len(), 12);
+        assert!(b.iter().all(|r| r.arrival == Nanos::from_millis(3)));
+        assert!(b.iter().all(|r| r.args == Value::Int(7)));
+    }
+}

@@ -8,10 +8,13 @@
 //!   document store, with the Cloud-trigger wiring for the analysis chain.
 //! - [`generators`]: deterministic request generators (utterances, wage
 //!   records).
+//! - [`arrivals`]: deterministic open-loop arrival schedules for the
+//!   concurrent invocation engine.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arrivals;
 pub mod faasdom;
 pub mod generators;
 pub mod serverlessbench;
