@@ -4,9 +4,10 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use fireworks_core::api::{
-    ConcurrentPlatform, FunctionSpec, InFlightToken, InstallReport, Invocation, Platform,
-    PlatformError, StartKind, StartMode,
+    ConcurrentPlatform, FunctionSpec, InFlightToken, InstallReport, Invocation, InvokeRequest,
+    Platform, PlatformError, StartKind, StartMode,
 };
+use fireworks_core::config::PlatformConfig;
 use fireworks_core::env::PlatformEnv;
 use fireworks_core::host::{GuestHost, NetMode};
 use fireworks_lang::Value;
@@ -63,12 +64,21 @@ pub struct FirecrackerPlatform {
     mgr: VmManager,
     policy: SnapshotPolicy,
     registry: HashMap<String, Entry>,
-    warm: HashMap<String, Vec<MicroVm>>,
+    warm: HashMap<String, Vec<(MicroVm, fireworks_sim::Nanos)>>,
+    keep_alive: Option<fireworks_sim::Nanos>,
 }
 
 impl FirecrackerPlatform {
-    /// Creates the baseline with the given snapshot policy.
+    /// Creates the baseline with the given snapshot policy and the
+    /// default [`PlatformConfig`].
     pub fn new(env: PlatformEnv, policy: SnapshotPolicy) -> Self {
+        FirecrackerPlatform::with_config(env, policy, PlatformConfig::default())
+    }
+
+    /// Creates the baseline from a [`PlatformConfig`] (API v2).
+    /// Firecracker consumes the `keep_alive` field: paused warm VMs idle
+    /// past the window are terminated, releasing their guest memory.
+    pub fn with_config(env: PlatformEnv, policy: SnapshotPolicy, config: PlatformConfig) -> Self {
         let mut mgr = VmManager::new(env.clock.clone(), env.costs.clone(), env.host_mem.clone());
         mgr.set_obs(env.obs.clone());
         FirecrackerPlatform {
@@ -77,12 +87,25 @@ impl FirecrackerPlatform {
             policy,
             registry: HashMap::new(),
             warm: HashMap::new(),
+            keep_alive: config.keep_alive,
         }
     }
 
     /// The environment this platform runs on.
     pub fn env(&self) -> &PlatformEnv {
         &self.env
+    }
+
+    /// Drops warm VMs idle past the keep-alive timeout.
+    fn purge_expired(&mut self) {
+        let Some(timeout) = self.keep_alive else {
+            return;
+        };
+        let now = self.env.clock.now();
+        for pool in self.warm.values_mut() {
+            pool.retain(|(_, last_used)| now - *last_used <= timeout);
+        }
+        self.warm.retain(|_, pool| !pool.is_empty());
     }
 
     /// The active snapshot policy.
@@ -225,6 +248,7 @@ impl FirecrackerPlatform {
         if !self.registry.contains_key(name) {
             return Err(PlatformError::UnknownFunction(name.to_string()));
         }
+        self.purge_expired();
         let clock = self.env.clock.clone();
         let mut trace = Trace::new();
 
@@ -232,7 +256,7 @@ impl FirecrackerPlatform {
             StartMode::Warm | StartMode::Auto
                 if self.warm.get(name).map(|v| !v.is_empty()).unwrap_or(false) =>
             {
-                let mut vm = self
+                let (mut vm, _) = self
                     .warm
                     .get_mut(name)
                     .and_then(Vec::pop)
@@ -352,19 +376,36 @@ impl ConcurrentPlatform for FirecrackerPlatform {
 
     fn begin_invoke(
         &mut self,
-        name: &str,
-        args: &Value,
-        mode: StartMode,
+        req: &InvokeRequest,
     ) -> Result<(Invocation, InFlightVm), PlatformError> {
-        self.begin_invoke_internal(name, args, mode)
+        self.begin_invoke_internal(&req.function, &req.args, req.mode)
     }
 
     fn finish_invoke(&mut self, inflight: InFlightVm) {
         // Completion keeps the sandbox warm (paused in memory), like the
-        // paper's warm configuration.
+        // paper's warm configuration, stamped with its last-use time.
         let InFlightVm { mut vm, function } = inflight;
         self.mgr.pause(&mut vm);
-        self.warm.entry(function).or_default().push(vm);
+        self.warm
+            .entry(function)
+            .or_default()
+            .push((vm, self.env.clock.now()));
+    }
+
+    fn holds_snapshot(&self, function: &str) -> bool {
+        // Ready-to-restore artifacts: an OS snapshot captured at install,
+        // or a paused warm VM.
+        let snapshot = self
+            .registry
+            .get(function)
+            .map(|e| e.snapshot.is_some())
+            .unwrap_or(false);
+        snapshot
+            || self
+                .warm
+                .get(function)
+                .map(|pool| !pool.is_empty())
+                .unwrap_or(false)
     }
 }
 
@@ -415,15 +456,11 @@ impl Platform for FirecrackerPlatform {
         })
     }
 
-    fn invoke(
-        &mut self,
-        name: &str,
-        args: &Value,
-        mode: StartMode,
-    ) -> Result<Invocation, PlatformError> {
+    fn invoke(&mut self, req: &InvokeRequest) -> Result<Invocation, PlatformError> {
         // A blocking invoke is the degenerate one-event schedule: service
         // and completion at the same instant.
-        let (invocation, inflight) = self.begin_invoke_internal(name, args, mode)?;
+        let (invocation, inflight) =
+            self.begin_invoke_internal(&req.function, &req.args, req.mode)?;
         self.finish_invoke(inflight);
         Ok(invocation)
     }
@@ -460,11 +497,15 @@ mod tests {
         Value::map([("n".to_string(), Value::Int(n))])
     }
 
+    fn req(n: i64, mode: StartMode) -> InvokeRequest {
+        InvokeRequest::new("f", args(n)).with_mode(mode)
+    }
+
     #[test]
     fn cold_start_boots_a_full_vm() {
         let mut p = FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::None);
         p.install(&spec()).expect("installs");
-        let inv = p.invoke("f", &args(10), StartMode::Cold).expect("invokes");
+        let inv = p.invoke(&req(10, StartMode::Cold)).expect("invokes");
         assert_eq!(inv.start, StartKind::ColdBoot);
         assert_eq!(inv.value, Value::Int(45));
         // VM + OS + runtime + load: seconds of start-up.
@@ -475,8 +516,8 @@ mod tests {
     fn warm_start_resumes_paused_vm() {
         let mut p = FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::None);
         p.install(&spec()).expect("installs");
-        let cold = p.invoke("f", &args(10), StartMode::Cold).expect("cold");
-        let warm = p.invoke("f", &args(10), StartMode::Warm).expect("warm");
+        let cold = p.invoke(&req(10, StartMode::Cold)).expect("cold");
+        let warm = p.invoke(&req(10, StartMode::Warm)).expect("warm");
         assert_eq!(warm.start, StartKind::WarmPool);
         assert!(
             warm.breakdown.startup.as_nanos() * 20 < cold.breakdown.startup.as_nanos(),
@@ -487,11 +528,29 @@ mod tests {
     }
 
     #[test]
+    fn keep_alive_expires_idle_warm_vms() {
+        let env = PlatformEnv::default_env();
+        let mut p = FirecrackerPlatform::with_config(
+            env.clone(),
+            SnapshotPolicy::None,
+            PlatformConfig::builder()
+                .keep_alive(Some(Nanos::from_secs(60)))
+                .build(),
+        );
+        p.install(&spec()).expect("installs");
+        p.invoke(&req(10, StartMode::Cold)).expect("cold");
+        assert!(p.holds_snapshot("f"), "warm VM held");
+        env.clock.advance(Nanos::from_secs(61));
+        let inv = p.invoke(&req(10, StartMode::Auto)).expect("again");
+        assert_eq!(inv.start, StartKind::ColdBoot, "warm VM expired");
+    }
+
+    #[test]
     fn warm_without_pool_errors() {
         let mut p = FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::None);
         p.install(&spec()).expect("installs");
         assert!(matches!(
-            p.invoke("f", &args(1), StartMode::Warm),
+            p.invoke(&req(1, StartMode::Warm)),
             Err(PlatformError::NoWarmSandbox(_))
         ));
     }
@@ -501,7 +560,8 @@ mod tests {
         let mut p =
             FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::OsSnapshot);
         p.install(&spec()).expect("installs");
-        let inv = p.invoke("f", &args(10), StartMode::Cold).expect("invokes");
+        assert!(p.holds_snapshot("f"), "OS snapshot captured at install");
+        let inv = p.invoke(&req(10, StartMode::Cold)).expect("invokes");
         assert_eq!(inv.start, StartKind::SnapshotRestore);
         assert!(
             inv.breakdown.startup < Nanos::from_millis(100),
@@ -517,9 +577,7 @@ mod tests {
         let mut p =
             FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::OsSnapshot);
         p.install(&spec()).expect("installs");
-        let inv = p
-            .invoke("f", &args(300_000), StartMode::Cold)
-            .expect("invokes");
+        let inv = p.invoke(&req(300_000, StartMode::Cold)).expect("invokes");
         assert!(inv.stats.compiles > 0, "JIT happens during execution");
     }
 
@@ -527,12 +585,8 @@ mod tests {
     fn warm_execution_is_faster_than_cold_for_node() {
         let mut p = FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::None);
         p.install(&spec()).expect("installs");
-        let cold = p
-            .invoke("f", &args(200_000), StartMode::Cold)
-            .expect("cold");
-        let warm = p
-            .invoke("f", &args(200_000), StartMode::Warm)
-            .expect("warm");
+        let cold = p.invoke(&req(200_000, StartMode::Cold)).expect("cold");
+        let warm = p.invoke(&req(200_000, StartMode::Warm)).expect("warm");
         assert!(
             warm.breakdown.exec < cold.breakdown.exec,
             "warm exec {} vs cold exec {}",
@@ -546,7 +600,9 @@ mod tests {
         let mut p = FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::None);
         p.install(&spec()).expect("installs");
         assert!(!p.supports_chains());
-        assert!(p.invoke_chain(&["f"], &args(1), StartMode::Auto).is_err());
+        assert!(p
+            .invoke_chain(&["f"], &InvokeRequest::new("f", args(1)))
+            .is_err());
     }
 
     #[test]

@@ -3,9 +3,10 @@
 use std::collections::HashMap;
 
 use fireworks_core::api::{
-    ConcurrentPlatform, FunctionSpec, InFlightToken, InstallReport, Invocation, Platform,
-    PlatformError, StartKind, StartMode,
+    ConcurrentPlatform, FunctionSpec, InFlightToken, InstallReport, Invocation, InvokeRequest,
+    Platform, PlatformError, StartKind, StartMode,
 };
+use fireworks_core::config::PlatformConfig;
 use fireworks_core::env::PlatformEnv;
 use fireworks_core::host::{GuestHost, NetMode};
 use fireworks_lang::Value;
@@ -27,8 +28,9 @@ pub struct GvisorPlatform {
     env: PlatformEnv,
     containers: ContainerManager,
     registry: HashMap<String, Entry>,
-    warm: HashMap<String, Vec<Container>>,
+    warm: HashMap<String, Vec<(Container, fireworks_sim::Nanos)>>,
     use_checkpoints: bool,
+    keep_alive: Option<fireworks_sim::Nanos>,
 }
 
 impl GvisorPlatform {
@@ -41,6 +43,13 @@ impl GvisorPlatform {
     /// Creates the platform; with `use_checkpoints`, installs capture a
     /// post-load checkpoint and non-warm starts restore it.
     pub fn with_checkpoints(env: PlatformEnv, use_checkpoints: bool) -> Self {
+        GvisorPlatform::with_config(env, use_checkpoints, PlatformConfig::default())
+    }
+
+    /// Creates the platform from a [`PlatformConfig`] (API v2). gVisor
+    /// consumes the `keep_alive` field: idle warm sandboxes past the
+    /// window are terminated.
+    pub fn with_config(env: PlatformEnv, use_checkpoints: bool, config: PlatformConfig) -> Self {
         let containers =
             ContainerManager::new(env.clock.clone(), env.costs.clone(), env.host_mem.clone());
         GvisorPlatform {
@@ -49,12 +58,25 @@ impl GvisorPlatform {
             registry: HashMap::new(),
             warm: HashMap::new(),
             use_checkpoints,
+            keep_alive: config.keep_alive,
         }
     }
 
     /// The environment this platform runs on.
     pub fn env(&self) -> &PlatformEnv {
         &self.env
+    }
+
+    /// Drops warm sandboxes idle past the keep-alive timeout.
+    fn purge_expired(&mut self) {
+        let Some(timeout) = self.keep_alive else {
+            return;
+        };
+        let now = self.env.clock.now();
+        for pool in self.warm.values_mut() {
+            pool.retain(|(_, last_used)| now - *last_used <= timeout);
+        }
+        self.warm.retain(|_, pool| !pool.is_empty());
     }
 
     /// The service activity of one invocation; the sandbox stays checked
@@ -68,6 +90,7 @@ impl GvisorPlatform {
         if mode == StartMode::Cold {
             self.evict(name);
         }
+        self.purge_expired();
         let (source, profile, default_params, timeout) = {
             let e = self
                 .registry
@@ -86,7 +109,7 @@ impl GvisorPlatform {
 
         let (mut container, start) = match mode {
             StartMode::Warm | StartMode::Auto if have_warm => {
-                let mut c = self
+                let (mut c, _) = self
                     .warm
                     .get_mut(name)
                     .and_then(Vec::pop)
@@ -205,11 +228,9 @@ impl ConcurrentPlatform for GvisorPlatform {
 
     fn begin_invoke(
         &mut self,
-        name: &str,
-        args: &Value,
-        mode: StartMode,
+        req: &InvokeRequest,
     ) -> Result<(Invocation, InFlightSandbox), PlatformError> {
-        self.begin_invoke_internal(name, args, mode)
+        self.begin_invoke_internal(&req.function, &req.args, req.mode)
     }
 
     fn finish_invoke(&mut self, inflight: InFlightSandbox) {
@@ -218,7 +239,26 @@ impl ConcurrentPlatform for GvisorPlatform {
             function,
         } = inflight;
         self.containers.pause(&mut container);
-        self.warm.entry(function).or_default().push(container);
+        self.warm
+            .entry(function)
+            .or_default()
+            .push((container, self.env.clock.now()));
+    }
+
+    fn holds_snapshot(&self, function: &str) -> bool {
+        // Ready-to-restore artifacts: a process checkpoint captured at
+        // install, or a paused warm sandbox.
+        let checkpoint = self
+            .registry
+            .get(function)
+            .map(|e| e.checkpoint.is_some())
+            .unwrap_or(false);
+        checkpoint
+            || self
+                .warm
+                .get(function)
+                .map(|pool| !pool.is_empty())
+                .unwrap_or(false)
     }
 }
 
@@ -267,15 +307,11 @@ impl Platform for GvisorPlatform {
         })
     }
 
-    fn invoke(
-        &mut self,
-        name: &str,
-        args: &Value,
-        mode: StartMode,
-    ) -> Result<Invocation, PlatformError> {
+    fn invoke(&mut self, req: &InvokeRequest) -> Result<Invocation, PlatformError> {
         // A blocking invoke is the degenerate one-event schedule: service
         // and completion at the same instant.
-        let (invocation, inflight) = self.begin_invoke_internal(name, args, mode)?;
+        let (invocation, inflight) =
+            self.begin_invoke_internal(&req.function, &req.args, req.mode)?;
         self.finish_invoke(inflight);
         Ok(invocation)
     }
@@ -315,15 +351,19 @@ mod tests {
         Value::map([("ops".to_string(), Value::Int(ops))])
     }
 
+    fn req(ops: i64, mode: StartMode) -> InvokeRequest {
+        InvokeRequest::new("diskio", args(ops)).with_mode(mode)
+    }
+
     #[test]
     fn gvisor_cold_start_is_slowest_container_path() {
         let mut gv = GvisorPlatform::new(PlatformEnv::default_env());
         gv.install(&spec()).expect("installs");
-        let gv_inv = gv.invoke("diskio", &args(1), StartMode::Cold).expect("gv");
+        let gv_inv = gv.invoke(&req(1, StartMode::Cold)).expect("gv");
 
         let mut ow = OpenWhiskPlatform::new(PlatformEnv::default_env());
         ow.install(&spec()).expect("installs");
-        let ow_inv = ow.invoke("diskio", &args(1), StartMode::Cold).expect("ow");
+        let ow_inv = ow.invoke(&req(1, StartMode::Cold)).expect("ow");
 
         assert!(
             gv_inv.breakdown.startup > ow_inv.breakdown.startup,
@@ -341,24 +381,15 @@ mod tests {
 
         let mut gv = GvisorPlatform::new(PlatformEnv::default_env());
         gv.install(&spec()).expect("installs");
-        let gv_io = io_time(
-            &gv.invoke("diskio", &args(100), StartMode::Cold)
-                .expect("gv"),
-        );
+        let gv_io = io_time(&gv.invoke(&req(100, StartMode::Cold)).expect("gv"));
 
         let mut ow = OpenWhiskPlatform::new(PlatformEnv::default_env());
         ow.install(&spec()).expect("installs");
-        let ow_io = io_time(
-            &ow.invoke("diskio", &args(100), StartMode::Cold)
-                .expect("ow"),
-        );
+        let ow_io = io_time(&ow.invoke(&req(100, StartMode::Cold)).expect("ow"));
 
         let mut fc = FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::None);
         fc.install(&spec()).expect("installs");
-        let fc_io = io_time(
-            &fc.invoke("diskio", &args(100), StartMode::Cold)
-                .expect("fc"),
-        );
+        let fc_io = io_time(&fc.invoke(&req(100, StartMode::Cold)).expect("fc"));
 
         assert!(ow_io < fc_io, "overlayfs {ow_io} < virtio {fc_io}");
         assert!(fc_io < gv_io, "virtio {fc_io} < gofer {gv_io}");
@@ -369,8 +400,10 @@ mod tests {
     fn warm_pool_works() {
         let mut p = GvisorPlatform::new(PlatformEnv::default_env());
         p.install(&spec()).expect("installs");
-        p.invoke("diskio", &args(1), StartMode::Cold).expect("cold");
-        let warm = p.invoke("diskio", &args(1), StartMode::Warm).expect("warm");
+        assert!(!p.holds_snapshot("diskio"));
+        p.invoke(&req(1, StartMode::Cold)).expect("cold");
+        assert!(p.holds_snapshot("diskio"), "warm sandbox held");
+        let warm = p.invoke(&req(1, StartMode::Warm)).expect("warm");
         assert_eq!(warm.start, StartKind::WarmPool);
     }
 
@@ -379,17 +412,14 @@ mod tests {
         let mut p = GvisorPlatform::with_checkpoints(PlatformEnv::default_env(), true);
         let report = p.install(&spec()).expect("installs");
         assert!(report.snapshot_pages > 0, "install captured a checkpoint");
-        let inv = p
-            .invoke("diskio", &args(1), StartMode::Cold)
-            .expect("invokes");
+        assert!(p.holds_snapshot("diskio"), "checkpoint counts as held");
+        let inv = p.invoke(&req(1, StartMode::Cold)).expect("invokes");
         assert_eq!(inv.start, fireworks_core::api::StartKind::SnapshotRestore);
 
         // Checkpoint start is far faster than a Sentry cold boot.
         let mut cold = GvisorPlatform::new(PlatformEnv::default_env());
         cold.install(&spec()).expect("installs");
-        let cold_inv = cold
-            .invoke("diskio", &args(1), StartMode::Cold)
-            .expect("cold");
+        let cold_inv = cold.invoke(&req(1, StartMode::Cold)).expect("cold");
         assert!(
             inv.breakdown.startup.as_nanos() * 5 < cold_inv.breakdown.startup.as_nanos(),
             "checkpoint {} vs cold {}",
@@ -404,7 +434,7 @@ mod tests {
         p.install(&spec()).expect("installs");
         assert!(!p.supports_chains());
         assert!(p
-            .invoke_chain(&["diskio"], &args(1), StartMode::Auto)
+            .invoke_chain(&["diskio"], &InvokeRequest::new("diskio", args(1)))
             .is_err());
     }
 }

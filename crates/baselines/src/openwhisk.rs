@@ -4,8 +4,9 @@ use std::collections::HashMap;
 
 use fireworks_core::api::{
     run_chain, ConcurrentPlatform, FunctionSpec, InFlightToken, InstallReport, Invocation,
-    Platform, PlatformError, StartKind, StartMode,
+    InvokeRequest, Platform, PlatformError, StartKind, StartMode,
 };
+use fireworks_core::config::PlatformConfig;
 use fireworks_core::env::PlatformEnv;
 use fireworks_core::host::{GuestHost, NetMode};
 use fireworks_lang::Value;
@@ -30,8 +31,16 @@ pub struct OpenWhiskPlatform {
 }
 
 impl OpenWhiskPlatform {
-    /// Creates the platform.
+    /// Creates the platform with the default [`PlatformConfig`].
     pub fn new(env: PlatformEnv) -> Self {
+        OpenWhiskPlatform::with_config(env, PlatformConfig::default())
+    }
+
+    /// Creates the platform from a [`PlatformConfig`] (API v2). OpenWhisk
+    /// consumes the `keep_alive` field: idle warm containers are
+    /// terminated after that much virtual time (the provider practice
+    /// described in §2.2; `None` keeps them forever).
+    pub fn with_config(env: PlatformEnv, config: PlatformConfig) -> Self {
         let containers =
             ContainerManager::new(env.clock.clone(), env.costs.clone(), env.host_mem.clone());
         OpenWhiskPlatform {
@@ -39,7 +48,7 @@ impl OpenWhiskPlatform {
             containers,
             registry: HashMap::new(),
             warm: HashMap::new(),
-            keep_alive: None,
+            keep_alive: config.keep_alive,
             cold_starts: 0,
             warm_starts: 0,
         }
@@ -48,13 +57,6 @@ impl OpenWhiskPlatform {
     /// The environment this platform runs on.
     pub fn env(&self) -> &PlatformEnv {
         &self.env
-    }
-
-    /// Sets the warm-container keep-alive: idle containers are terminated
-    /// after this much virtual time (the provider practice described in
-    /// §2.2; `None` keeps them forever).
-    pub fn set_keep_alive(&mut self, timeout: Option<fireworks_sim::Nanos>) {
-        self.keep_alive = timeout;
     }
 
     /// (cold, warm) start counters since creation.
@@ -241,11 +243,9 @@ impl ConcurrentPlatform for OpenWhiskPlatform {
 
     fn begin_invoke(
         &mut self,
-        name: &str,
-        args: &Value,
-        mode: StartMode,
+        req: &InvokeRequest,
     ) -> Result<(Invocation, InFlightContainer), PlatformError> {
-        self.begin_invoke_internal(name, args, mode)
+        self.begin_invoke_internal(&req.function, &req.args, req.mode)
     }
 
     fn finish_invoke(&mut self, inflight: InFlightContainer) {
@@ -260,6 +260,15 @@ impl ConcurrentPlatform for OpenWhiskPlatform {
             .entry(function)
             .or_default()
             .push((container, self.env.clock.now()));
+    }
+
+    fn holds_snapshot(&self, function: &str) -> bool {
+        // OpenWhisk has no snapshots; its ready-to-start artifact is a
+        // non-empty warm pool.
+        self.warm
+            .get(function)
+            .map(|pool| !pool.is_empty())
+            .unwrap_or(false)
     }
 }
 
@@ -292,15 +301,11 @@ impl Platform for OpenWhiskPlatform {
         })
     }
 
-    fn invoke(
-        &mut self,
-        name: &str,
-        args: &Value,
-        mode: StartMode,
-    ) -> Result<Invocation, PlatformError> {
+    fn invoke(&mut self, req: &InvokeRequest) -> Result<Invocation, PlatformError> {
         // A blocking invoke is the degenerate one-event schedule: service
         // and completion at the same instant.
-        let (invocation, inflight) = self.begin_invoke_internal(name, args, mode)?;
+        let (invocation, inflight) =
+            self.begin_invoke_internal(&req.function, &req.args, req.mode)?;
         self.finish_invoke(inflight);
         Ok(invocation)
     }
@@ -316,10 +321,9 @@ impl Platform for OpenWhiskPlatform {
     fn invoke_chain(
         &mut self,
         names: &[&str],
-        args: &Value,
-        mode: StartMode,
+        req: &InvokeRequest,
     ) -> Result<Vec<Invocation>, PlatformError> {
-        run_chain(self, names, args, mode)
+        run_chain(self, names, req)
     }
 }
 
@@ -350,11 +354,15 @@ mod tests {
         Value::map([("n".to_string(), Value::Int(n))])
     }
 
+    fn req(n: i64, mode: StartMode) -> InvokeRequest {
+        InvokeRequest::new("f", args(n)).with_mode(mode)
+    }
+
     #[test]
     fn cold_start_includes_controller_and_container() {
         let mut p = OpenWhiskPlatform::new(PlatformEnv::default_env());
         p.install(&spec()).expect("installs");
-        let inv = p.invoke("f", &args(10), StartMode::Cold).expect("invokes");
+        let inv = p.invoke(&req(10, StartMode::Cold)).expect("invokes");
         assert_eq!(inv.start, StartKind::ColdBoot);
         assert_eq!(inv.value, Value::Int(45));
         assert!(inv.trace.total_for("controller") > Nanos::ZERO);
@@ -366,14 +374,14 @@ mod tests {
         // §5.2.1: the container platform's cold start beats the microVM's.
         let mut ow = OpenWhiskPlatform::new(PlatformEnv::default_env());
         ow.install(&spec()).expect("installs");
-        let ow_cold = ow.invoke("f", &args(10), StartMode::Cold).expect("ow");
+        let ow_cold = ow.invoke(&req(10, StartMode::Cold)).expect("ow");
 
         let mut fc = crate::FirecrackerPlatform::new(
             PlatformEnv::default_env(),
             crate::SnapshotPolicy::None,
         );
         fc.install(&spec()).expect("installs");
-        let fc_cold = fc.invoke("f", &args(10), StartMode::Cold).expect("fc");
+        let fc_cold = fc.invoke(&req(10, StartMode::Cold)).expect("fc");
 
         assert!(
             ow_cold.breakdown.startup < fc_cold.breakdown.startup,
@@ -387,8 +395,10 @@ mod tests {
     fn warm_start_reuses_container() {
         let mut p = OpenWhiskPlatform::new(PlatformEnv::default_env());
         p.install(&spec()).expect("installs");
-        let cold = p.invoke("f", &args(10), StartMode::Cold).expect("cold");
-        let warm = p.invoke("f", &args(10), StartMode::Warm).expect("warm");
+        assert!(!p.holds_snapshot("f"), "no warm artifact before first run");
+        let cold = p.invoke(&req(10, StartMode::Cold)).expect("cold");
+        assert!(p.holds_snapshot("f"), "warm pool counts as held artifact");
+        let warm = p.invoke(&req(10, StartMode::Warm)).expect("warm");
         assert_eq!(warm.start, StartKind::WarmPool);
         assert!(warm.breakdown.startup.as_nanos() * 5 < cold.breakdown.startup.as_nanos());
     }
@@ -406,7 +416,7 @@ mod tests {
         .expect("installs");
         assert!(p.supports_chains());
         let results = p
-            .invoke_chain(&["f", "wrap"], &args(10), StartMode::Auto)
+            .invoke_chain(&["f", "wrap"], &InvokeRequest::new("f", args(10)))
             .expect("chain");
         // f(10) = 45, wrap → { n: 90 }.
         let Value::Map(m) = &results[1].value else {
@@ -419,25 +429,27 @@ mod tests {
     fn keep_alive_expires_idle_containers() {
         use fireworks_sim::Nanos;
         let env = PlatformEnv::default_env();
-        let mut p = OpenWhiskPlatform::new(env.clone());
-        p.set_keep_alive(Some(Nanos::from_secs(60)));
+        let mut p = OpenWhiskPlatform::with_config(
+            env.clone(),
+            PlatformConfig::builder()
+                .keep_alive(Some(Nanos::from_secs(60)))
+                .build(),
+        );
         p.install(&spec()).expect("installs");
 
-        p.invoke("f", &args(1), StartMode::Cold).expect("cold");
+        p.invoke(&req(1, StartMode::Cold)).expect("cold");
         assert!(p.idle_warm_bytes() > 0, "warm container held in memory");
 
         // Within the window: warm hit.
         env.clock.advance(Nanos::from_secs(30));
-        let inv = p.invoke("f", &args(1), StartMode::Auto).expect("warm");
+        let inv = p.invoke(&req(1, StartMode::Auto)).expect("warm");
         assert_eq!(inv.start, StartKind::WarmPool);
 
         // Past the window: the container expired; cold again, and the
         // idle memory was released.
         env.clock.advance(Nanos::from_secs(61));
         assert_eq!(p.idle_warm_bytes(), 0);
-        let inv = p
-            .invoke("f", &args(1), StartMode::Auto)
-            .expect("cold again");
+        let inv = p.invoke(&req(1, StartMode::Auto)).expect("cold again");
         assert_eq!(inv.start, StartKind::ColdBoot);
         let (cold, warm) = p.start_counts();
         assert_eq!((cold, warm), (2, 1));
@@ -447,9 +459,9 @@ mod tests {
     fn eviction_forces_cold_path() {
         let mut p = OpenWhiskPlatform::new(PlatformEnv::default_env());
         p.install(&spec()).expect("installs");
-        p.invoke("f", &args(1), StartMode::Cold).expect("cold");
+        p.invoke(&req(1, StartMode::Cold)).expect("cold");
         p.evict("f");
-        let inv = p.invoke("f", &args(1), StartMode::Auto).expect("again");
+        let inv = p.invoke(&req(1, StartMode::Auto)).expect("again");
         assert_eq!(inv.start, StartKind::ColdBoot);
     }
 }

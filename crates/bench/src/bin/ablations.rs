@@ -9,9 +9,9 @@
 //!    mitigation) and measure the maintenance cost.
 
 use fireworks_baselines::{FirecrackerPlatform, SnapshotPolicy};
-use fireworks_core::api::{FunctionSpec, Platform, StartMode};
+use fireworks_core::api::{FunctionSpec, InvokeRequest, Platform, StartMode};
 use fireworks_core::audit::SecurityPolicy;
-use fireworks_core::{FireworksPlatform, PlatformEnv};
+use fireworks_core::{FireworksPlatform, PlatformConfig, PlatformEnv};
 use fireworks_lang::Value;
 use fireworks_runtime::RuntimeKind;
 use fireworks_sim::Nanos;
@@ -52,16 +52,16 @@ fn deopt_ablation() {
     fw.install(&spec).expect("install");
 
     let stable = fw
-        .invoke("poly", &int_items(2_000), StartMode::Auto)
+        .invoke(&InvokeRequest::new("poly", int_items(2_000)))
         .expect("stable");
     let hostile = fw
-        .invoke("poly", &str_items(2_000), StartMode::Auto)
+        .invoke(&InvokeRequest::new("poly", str_items(2_000)))
         .expect("hostile");
 
     let mut base = FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::None);
     base.install(&spec).expect("install");
     let baseline = base
-        .invoke("poly", &str_items(2_000), StartMode::Cold)
+        .invoke(&InvokeRequest::new("poly", str_items(2_000)).with_mode(StartMode::Cold))
         .expect("cold");
 
     println!(
@@ -100,13 +100,16 @@ fn cache_ablation() {
     let args = Bench::Fact.request_params();
 
     for budget in [u64::MAX, 400 << 20, 150 << 20] {
-        let mut p = FireworksPlatform::with_cache_budget(PlatformEnv::default_env(), budget);
+        let mut p = FireworksPlatform::with_config(
+            PlatformEnv::default_env(),
+            PlatformConfig::builder().cache_budget(budget).build(),
+        );
         p.install(&spec_a).expect("install a");
         p.install(&spec_b).expect("install b");
         // Invoking A after installing B: a hit under a big budget, a miss
         // (rebuild) when B's install evicted A.
         let inv = p
-            .invoke(&spec_a.name, &args, StartMode::Auto)
+            .invoke(&InvokeRequest::new(&spec_a.name, args.deep_clone()))
             .expect("invoke");
         let rebuild = inv.trace.total_for("snapshot_rebuild");
         let label = if budget == u64::MAX {
@@ -139,16 +142,20 @@ fn refresh_ablation() {
     );
     let spec = Bench::NetLatency.spec(RuntimeKind::NodeLike);
     for period in [0u64, 8, 2] {
-        let mut p = FireworksPlatform::new(PlatformEnv::default_env());
+        let mut p = FireworksPlatform::with_config(
+            PlatformEnv::default_env(),
+            PlatformConfig::builder()
+                .security(SecurityPolicy {
+                    reseed_rng_on_restore: true,
+                    refresh_after_invocations: period,
+                })
+                .build(),
+        );
         p.install(&spec).expect("install");
-        p.set_security_policy(SecurityPolicy {
-            reseed_rng_on_restore: true,
-            refresh_after_invocations: period,
-        });
         let mut total = Nanos::ZERO;
         for _ in 0..16 {
             let inv = p
-                .invoke(&spec.name, &Value::map([]), StartMode::Auto)
+                .invoke(&InvokeRequest::new(&spec.name, Value::map([])))
                 .expect("invoke");
             total += inv.total();
         }
@@ -170,7 +177,7 @@ fn refresh_ablation() {
 }
 
 fn reap_ablation() {
-    use fireworks_core::fireworks::PagingPolicy;
+    use fireworks_core::PagingPolicy;
     println!("--- Ablation 4: cold-storage paging + REAP prefetching (paper §7) ---\n");
     println!(
         "  {:<26} {:>14} {:>14}",
@@ -186,11 +193,14 @@ fn reap_ablation() {
             PagingPolicy::ColdStorage { reap: true },
         ),
     ] {
-        let mut p = FireworksPlatform::new(PlatformEnv::default_env());
+        let mut p = FireworksPlatform::with_config(
+            PlatformEnv::default_env(),
+            PlatformConfig::builder().paging(policy).build(),
+        );
         p.install(&spec).expect("install");
-        p.set_paging_policy(policy);
-        let first = p.invoke(&spec.name, &args, StartMode::Auto).expect("1st");
-        let second = p.invoke(&spec.name, &args, StartMode::Auto).expect("2nd");
+        let req = InvokeRequest::new(&spec.name, args.deep_clone());
+        let first = p.invoke(&req).expect("1st");
+        let second = p.invoke(&req).expect("2nd");
         println!(
             "  {:<26} {:>14} {:>14}",
             label,

@@ -4,7 +4,7 @@
 //! variants.
 
 use fireworks_baselines::{FirecrackerPlatform, SnapshotPolicy};
-use fireworks_core::api::{Platform, StartMode};
+use fireworks_core::api::{InvokeRequest, Platform, StartMode};
 use fireworks_core::{FireworksPlatform, PlatformEnv};
 use fireworks_runtime::RuntimeKind;
 use fireworks_sim::Nanos;
@@ -22,14 +22,14 @@ fn main() {
         for bench in Bench::ALL {
             let spec = bench.paper_spec(runtime);
             let args = bench.paper_params();
+            let req =
+                |mode: StartMode| InvokeRequest::new(&spec.name, args.deep_clone()).with_mode(mode);
 
             let t_base = {
                 let mut p =
                     FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::None);
                 p.install(&spec).expect("install");
-                p.invoke(&spec.name, &args, StartMode::Cold)
-                    .expect("invoke")
-                    .total()
+                p.invoke(&req(StartMode::Cold)).expect("invoke").total()
             };
             let t_os = {
                 let mut p = FirecrackerPlatform::new(
@@ -37,16 +37,12 @@ fn main() {
                     SnapshotPolicy::OsSnapshot,
                 );
                 p.install(&spec).expect("install");
-                p.invoke(&spec.name, &args, StartMode::Cold)
-                    .expect("invoke")
-                    .total()
+                p.invoke(&req(StartMode::Cold)).expect("invoke").total()
             };
             let t_jit = {
                 let mut p = FireworksPlatform::new(PlatformEnv::default_env());
                 p.install(&spec).expect("install");
-                p.invoke(&spec.name, &args, StartMode::Auto)
-                    .expect("invoke")
-                    .total()
+                p.invoke(&req(StartMode::Auto)).expect("invoke").total()
             };
             println!(
                 "{:<30} {:>12} {:>15} {:>15} {:>8.1}x {:>8.1}x",

@@ -13,8 +13,8 @@
 //! popularity class, and idle warm-pool memory.
 
 use fireworks_baselines::OpenWhiskPlatform;
-use fireworks_core::api::{Platform, StartMode};
-use fireworks_core::{FireworksPlatform, PlatformEnv};
+use fireworks_core::api::{InvokeRequest, Platform};
+use fireworks_core::{FireworksPlatform, PlatformConfig, PlatformEnv};
 use fireworks_runtime::RuntimeKind;
 use fireworks_sim::Nanos;
 use fireworks_workloads::faasdom::Bench;
@@ -60,8 +60,12 @@ fn main() {
 
     // --- OpenWhisk with a 60 s keep-alive.
     let ow_env = PlatformEnv::default_env();
-    let mut ow = OpenWhiskPlatform::new(ow_env.clone());
-    ow.set_keep_alive(Some(Nanos::from_secs(60)));
+    let mut ow = OpenWhiskPlatform::with_config(
+        ow_env.clone(),
+        PlatformConfig::builder()
+            .keep_alive(Some(Nanos::from_secs(60)))
+            .build(),
+    );
     let mut ow_specs = Vec::new();
     for i in 0..FUNCTIONS {
         let mut spec = bench.spec(RuntimeKind::NodeLike);
@@ -81,11 +85,10 @@ fn main() {
             ow_env.clock.advance(event.at - ow_env.clock.now());
         }
         let inv = ow
-            .invoke(
+            .invoke(&InvokeRequest::new(
                 &ow_specs[event.function].name,
-                &bench.request_params(),
-                StartMode::Auto,
-            )
+                bench.request_params(),
+            ))
             .expect("invoke");
         let c = class_of(event.function);
         ow_stats[c].invocations += 1;
@@ -116,11 +119,10 @@ fn main() {
             fw_env.clock.advance(event.at - fw_env.clock.now());
         }
         let inv = fw
-            .invoke(
+            .invoke(&InvokeRequest::new(
                 &fw_specs[event.function].name,
-                &bench.request_params(),
-                StartMode::Auto,
-            )
+                bench.request_params(),
+            ))
             .expect("invoke");
         let c = class_of(event.function);
         fw_stats[c].invocations += 1;

@@ -24,8 +24,8 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use fireworks_baselines::{FirecrackerPlatform, SnapshotPolicy};
-use fireworks_core::api::{Platform, StartMode};
-use fireworks_core::{FireworksPlatform, PagingPolicy, PlatformEnv};
+use fireworks_core::api::{InvokeRequest, Platform};
+use fireworks_core::{FireworksPlatform, PagingPolicy, PlatformConfig, PlatformEnv};
 use fireworks_obs::{export, json, Event, Obs};
 use fireworks_runtime::RuntimeKind;
 use fireworks_sim::fault::{FaultPlan, FaultSite};
@@ -40,8 +40,12 @@ fn run_fireworks(seed: u64) -> Obs {
         .nth(FaultSite::SnapshotRead, 2);
     let env = PlatformEnv::with_fault_plan(plan);
     let obs = env.obs.clone();
-    let mut platform = FireworksPlatform::new(env);
-    platform.set_paging_policy(PagingPolicy::ColdStorage { reap: true });
+    let mut platform = FireworksPlatform::with_config(
+        env,
+        PlatformConfig::builder()
+            .paging(PagingPolicy::ColdStorage { reap: true })
+            .build(),
+    );
     let spec = Bench::Fact.spec(RuntimeKind::NodeLike);
     let args = Bench::Fact.request_params();
     platform.install(&spec).expect("fireworks install");
@@ -50,7 +54,7 @@ fn run_fireworks(seed: u64) -> Obs {
     // the second prefetches the recorded set cleanly.
     for i in 0..2 {
         platform
-            .invoke(&spec.name, &args, StartMode::Auto)
+            .invoke(&InvokeRequest::new(&spec.name, args.deep_clone()))
             .unwrap_or_else(|e| panic!("fireworks invocation {i}: {e:?}"));
     }
     obs.recorder().finish();
@@ -68,7 +72,7 @@ fn run_firecracker(_seed: u64) -> Obs {
     platform.install(&spec).expect("firecracker install");
     for i in 0..2 {
         platform
-            .invoke(&spec.name, &args, StartMode::Auto)
+            .invoke(&InvokeRequest::new(&spec.name, args.deep_clone()))
             .unwrap_or_else(|e| panic!("firecracker invocation {i}: {e:?}"));
     }
     obs.recorder().finish();

@@ -9,7 +9,7 @@
 #![forbid(unsafe_code)]
 
 use fireworks_baselines::{FirecrackerPlatform, GvisorPlatform, OpenWhiskPlatform, SnapshotPolicy};
-use fireworks_core::api::{Invocation, Platform, StartMode};
+use fireworks_core::api::{Invocation, InvokeRequest, Platform, StartMode};
 use fireworks_core::env::PlatformEnv;
 use fireworks_core::FireworksPlatform;
 use fireworks_lang::Value;
@@ -77,38 +77,37 @@ pub fn print_latency_table(title: &str, bars: &[LatencyBar]) {
 pub fn faasdom_bars(bench: Bench, runtime: RuntimeKind) -> Vec<LatencyBar> {
     let spec = bench.paper_spec(runtime);
     let args = bench.paper_params();
+    let req = |mode: StartMode| InvokeRequest::new(&spec.name, args.deep_clone()).with_mode(mode);
     let mut bars = Vec::new();
 
     {
         let mut p = OpenWhiskPlatform::new(PlatformEnv::default_env());
         p.install(&spec).expect("install openwhisk");
-        let cold = p.invoke(&spec.name, &args, StartMode::Cold).expect("cold");
+        let cold = p.invoke(&req(StartMode::Cold)).expect("cold");
         bars.push(LatencyBar::from_invocation("openwhisk (c)", &cold));
-        let warm = p.invoke(&spec.name, &args, StartMode::Warm).expect("warm");
+        let warm = p.invoke(&req(StartMode::Warm)).expect("warm");
         bars.push(LatencyBar::from_invocation("openwhisk (w)", &warm));
     }
     {
         let mut p = GvisorPlatform::new(PlatformEnv::default_env());
         p.install(&spec).expect("install gvisor");
-        let cold = p.invoke(&spec.name, &args, StartMode::Cold).expect("cold");
+        let cold = p.invoke(&req(StartMode::Cold)).expect("cold");
         bars.push(LatencyBar::from_invocation("gvisor (c)", &cold));
-        let warm = p.invoke(&spec.name, &args, StartMode::Warm).expect("warm");
+        let warm = p.invoke(&req(StartMode::Warm)).expect("warm");
         bars.push(LatencyBar::from_invocation("gvisor (w)", &warm));
     }
     {
         let mut p = FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::None);
         p.install(&spec).expect("install firecracker");
-        let cold = p.invoke(&spec.name, &args, StartMode::Cold).expect("cold");
+        let cold = p.invoke(&req(StartMode::Cold)).expect("cold");
         bars.push(LatencyBar::from_invocation("firecracker (c)", &cold));
-        let warm = p.invoke(&spec.name, &args, StartMode::Warm).expect("warm");
+        let warm = p.invoke(&req(StartMode::Warm)).expect("warm");
         bars.push(LatencyBar::from_invocation("firecracker (w)", &warm));
     }
     {
         let mut p = FireworksPlatform::new(PlatformEnv::default_env());
         p.install(&spec).expect("install fireworks");
-        let inv = p
-            .invoke(&spec.name, &args, StartMode::Auto)
-            .expect("invoke");
+        let inv = p.invoke(&req(StartMode::Auto)).expect("invoke");
         bars.push(LatencyBar::from_invocation("fireworks (both)", &inv));
     }
     bars

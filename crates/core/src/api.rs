@@ -1,4 +1,13 @@
 //! The platform API shared by Fireworks and the baseline platforms.
+//!
+//! # API v2
+//!
+//! Invocations are described by a single [`InvokeRequest`] value — one
+//! thing a cluster router can carry, enqueue, and re-route — instead of
+//! the positional `(name, args, mode)` triple of v1. Platform-wide
+//! policies (recovery, paging, security, cache budget, keep-alive) are
+//! consumed at construction via [`crate::config::PlatformConfig`];
+//! the post-hoc mutators of v1 are gone.
 
 use std::fmt;
 
@@ -13,7 +22,13 @@ use fireworks_sim::Nanos;
 use fireworks_store::StoreError;
 
 /// Errors from platform operations.
+///
+/// Marked `#[non_exhaustive]`: new failure modes (cluster placement,
+/// deadlines) may be added without a breaking change, so downstream
+/// matches need a wildcard arm. Wrapped infrastructure errors are
+/// exposed through [`std::error::Error::source`].
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub enum PlatformError {
     /// Guest-language error (compile or runtime).
     Lang(LangError),
@@ -45,6 +60,23 @@ pub enum PlatformError {
         /// Guest ops retired before the kill.
         ops: u64,
     },
+    /// The cluster could not place (or re-place) the invocation on any
+    /// healthy host.
+    HostUnavailable {
+        /// The function that could not be placed.
+        function: String,
+        /// The host that failed while holding the invocation, if the
+        /// request had already been routed somewhere.
+        host: Option<usize>,
+    },
+    /// The request's [`InvokeRequest::deadline`] passed before a slot
+    /// could start serving it.
+    DeadlineExceeded {
+        /// The function whose request expired.
+        function: String,
+        /// The deadline that passed.
+        deadline: Nanos,
+    },
     /// Anything else.
     Other(String),
 }
@@ -67,12 +99,33 @@ impl fmt::Display for PlatformError {
             PlatformError::Timeout { function, ops } => {
                 write!(f, "`{function}` timed out after {ops} guest ops")
             }
+            PlatformError::HostUnavailable { function, host } => match host {
+                Some(h) => write!(f, "host {h} became unavailable while serving `{function}`"),
+                None => write!(f, "no healthy host available for `{function}`"),
+            },
+            PlatformError::DeadlineExceeded { function, deadline } => {
+                write!(
+                    f,
+                    "`{function}` missed its deadline t={deadline} before starting"
+                )
+            }
             PlatformError::Other(msg) => write!(f, "{msg}"),
         }
     }
 }
 
-impl std::error::Error for PlatformError {}
+impl std::error::Error for PlatformError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlatformError::Lang(e) => Some(e),
+            PlatformError::Net(e) => Some(e),
+            PlatformError::Bus(e) => Some(e),
+            PlatformError::Store(e) => Some(e),
+            PlatformError::Vm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<LangError> for PlatformError {
     fn from(e: LangError) -> Self {
@@ -182,6 +235,66 @@ pub enum StartMode {
     Auto,
 }
 
+/// A fully-specified invocation request (API v2).
+///
+/// One value carries everything a platform — or a cluster router in
+/// front of N platforms — needs to serve, enqueue, or re-route the
+/// invocation. Defaults: [`StartMode::Auto`], no deadline.
+///
+/// Deadlines are *absolute* virtual instants enforced by the drivers
+/// ([`crate::engine::run_concurrent`], [`crate::cluster::Cluster`]): a
+/// request still queued when its deadline passes completes with
+/// [`PlatformError::DeadlineExceeded`] instead of occupying a slot.
+/// Platforms themselves ignore the field (per-invocation *timeouts*
+/// belong to [`FunctionSpec::timeout`]).
+#[derive(Debug, Clone)]
+pub struct InvokeRequest {
+    /// The installed function to invoke.
+    pub function: String,
+    /// Invocation arguments.
+    pub args: Value,
+    /// Requested start path.
+    pub mode: StartMode,
+    /// Absolute virtual-time admission deadline, if any.
+    pub deadline: Option<Nanos>,
+}
+
+impl InvokeRequest {
+    /// A request for `function` with `args`, [`StartMode::Auto`], and no
+    /// deadline.
+    pub fn new(function: impl Into<String>, args: Value) -> Self {
+        InvokeRequest {
+            function: function.into(),
+            args,
+            mode: StartMode::Auto,
+            deadline: None,
+        }
+    }
+
+    /// Sets the start mode.
+    pub fn with_mode(mut self, mode: StartMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets an absolute admission deadline.
+    pub fn with_deadline(mut self, deadline: Nanos) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Derives the request for one chain stage: same mode and deadline,
+    /// next stage's name, the previous stage's result as arguments.
+    pub fn stage(&self, function: &str, args: Value) -> Self {
+        InvokeRequest {
+            function: function.to_string(),
+            args,
+            mode: self.mode,
+            deadline: self.deadline,
+        }
+    }
+}
+
 /// A completed invocation with its latency breakdown.
 #[derive(Debug, Clone)]
 pub struct Invocation {
@@ -209,6 +322,9 @@ impl Invocation {
 }
 
 /// A serverless platform under test.
+///
+/// Object-safe: routers and multi-platform harnesses hold
+/// `&mut dyn Platform` / `Box<dyn Platform>`.
 pub trait Platform {
     /// Platform name as used in the paper's figures.
     fn name(&self) -> &'static str;
@@ -220,12 +336,7 @@ pub trait Platform {
     fn install(&mut self, spec: &FunctionSpec) -> Result<InstallReport, PlatformError>;
 
     /// Invokes an installed function.
-    fn invoke(
-        &mut self,
-        name: &str,
-        args: &Value,
-        mode: StartMode,
-    ) -> Result<Invocation, PlatformError>;
+    fn invoke(&mut self, req: &InvokeRequest) -> Result<Invocation, PlatformError>;
 
     /// Drops any kept-warm sandboxes for a function.
     fn evict(&mut self, name: &str);
@@ -237,14 +348,16 @@ pub trait Platform {
     }
 
     /// Invokes a chain of installed functions, piping each result into the
-    /// next function's arguments. Returns one invocation per stage.
+    /// next function's arguments. The request's `args` seed the first
+    /// stage; its mode and deadline apply to every stage ( its
+    /// `function` field is ignored — stages come from `names`). Returns
+    /// one invocation per stage.
     fn invoke_chain(
         &mut self,
         names: &[&str],
-        args: &Value,
-        mode: StartMode,
+        req: &InvokeRequest,
     ) -> Result<Vec<Invocation>, PlatformError> {
-        let _ = (names, args, mode);
+        let _ = (names, req);
         Err(PlatformError::Other(format!(
             "{} cannot process a chain of serverless functions",
             self.name()
@@ -293,28 +406,38 @@ pub trait ConcurrentPlatform: Platform {
     /// sandbox.
     fn begin_invoke(
         &mut self,
-        name: &str,
-        args: &Value,
-        mode: StartMode,
+        req: &InvokeRequest,
     ) -> Result<(Invocation, Self::InFlight), PlatformError>;
 
     /// Releases the invocation's resources at its completion instant
     /// (the current clock time).
     fn finish_invoke(&mut self, inflight: Self::InFlight);
+
+    /// Whether this platform already holds a ready-to-restore start
+    /// artifact for `function` — a cached post-JIT snapshot (Fireworks),
+    /// an OS snapshot or checkpoint, or a non-empty warm pool. The
+    /// cluster's snapshot-locality router steers requests toward hosts
+    /// answering `true`. Must not disturb replacement state (no LRU
+    /// touch).
+    fn holds_snapshot(&self, function: &str) -> bool {
+        let _ = function;
+        false
+    }
 }
 
 /// Shared helper: thread a value through a chain by invoking one stage at
-/// a time (used by the platforms that do support chains).
+/// a time (used by the platforms that do support chains). Stage `k`
+/// receives stage `k-1`'s result as its arguments; the template request's
+/// mode and deadline apply to every stage.
 pub fn run_chain<P: Platform + ?Sized>(
     platform: &mut P,
     names: &[&str],
-    args: &Value,
-    mode: StartMode,
+    req: &InvokeRequest,
 ) -> Result<Vec<Invocation>, PlatformError> {
     let mut results = Vec::with_capacity(names.len());
-    let mut current = args.clone();
+    let mut current = req.args.clone();
     for name in names {
-        let inv = platform.invoke(name, &current, mode)?;
+        let inv = platform.invoke(&req.stage(name, current))?;
         current = inv.value.clone();
         results.push(inv);
     }
@@ -333,6 +456,60 @@ mod tests {
         assert!(e.to_string().contains("boom"));
         let e = PlatformError::NoWarmSandbox("f".into());
         assert!(e.to_string().contains("warm"));
+        let e = PlatformError::CircuitOpen {
+            function: "f".into(),
+            until: Nanos::from_millis(5),
+        };
+        assert!(e.to_string().contains("circuit open"));
+        let e = PlatformError::Timeout {
+            function: "f".into(),
+            ops: 10,
+        };
+        assert!(e.to_string().contains("timed out"));
+        let e = PlatformError::HostUnavailable {
+            function: "f".into(),
+            host: None,
+        };
+        assert!(e.to_string().contains("no healthy host"));
+        let e = PlatformError::HostUnavailable {
+            function: "f".into(),
+            host: Some(3),
+        };
+        assert!(e.to_string().contains("host 3"));
+        let e = PlatformError::DeadlineExceeded {
+            function: "f".into(),
+            deadline: Nanos::from_millis(9),
+        };
+        assert!(e.to_string().contains("deadline"));
+        let e = PlatformError::Other("misc".into());
+        assert!(e.to_string().contains("misc"));
+    }
+
+    #[test]
+    fn wrapped_causes_surface_through_source() {
+        use std::error::Error as _;
+        let e: PlatformError = LangError::runtime("boom").into();
+        assert!(e.source().is_some(), "Lang cause exposed");
+        let e = PlatformError::UnknownFunction("f".into());
+        assert!(e.source().is_none(), "leaf errors have no cause");
+    }
+
+    #[test]
+    fn invoke_request_builder_defaults_and_overrides() {
+        let req = InvokeRequest::new("f", Value::Int(1));
+        assert_eq!(req.function, "f");
+        assert_eq!(req.mode, StartMode::Auto);
+        assert!(req.deadline.is_none());
+        let req = req
+            .with_mode(StartMode::Cold)
+            .with_deadline(Nanos::from_millis(7));
+        assert_eq!(req.mode, StartMode::Cold);
+        assert_eq!(req.deadline, Some(Nanos::from_millis(7)));
+        // Chain stages inherit mode and deadline.
+        let stage = req.stage("g", Value::Int(2));
+        assert_eq!(stage.function, "g");
+        assert_eq!(stage.mode, StartMode::Cold);
+        assert_eq!(stage.deadline, Some(Nanos::from_millis(7)));
     }
 
     #[test]

@@ -119,6 +119,13 @@ impl SnapshotCache {
         hit
     }
 
+    /// Whether a snapshot is cached, without touching its recency or
+    /// counting a lookup. Used by the cluster's snapshot-locality router,
+    /// whose probes must not perturb replacement state.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
     /// Removes a snapshot explicitly (e.g. on security refresh).
     pub fn remove(&mut self, name: &str) -> Option<Rc<VmFullSnapshot>> {
         self.entries.remove(name).map(|e| {

@@ -1,0 +1,1055 @@
+//! Multi-host cluster scheduling with snapshot-locality routing.
+//!
+//! The single-host engine ([`crate::engine::run_concurrent`]) drives one
+//! [`ConcurrentPlatform`]; this module scales that model out: a
+//! [`Cluster`] owns N per-host platform instances, each with its *own*
+//! [`PlatformEnv`] — slot pool, RAM budget, snapshot cache, message bus,
+//! store, network, fault injector — all advancing one shared virtual
+//! clock and emitting into one shared obs plane. A [`Router`] policy
+//! decides which host serves each request.
+//!
+//! # Why routing policy matters here
+//!
+//! Each host's post-JIT snapshot cache is bounded (paper §6): a host that
+//! does not hold a function's snapshot must rebuild it from source —
+//! seconds of virtual time charged to that invocation's start-up.
+//! REAP (ASPLOS '21) showed snapshot working-set locality dominates
+//! restore latency; at cluster scale the analogue is *cache* locality:
+//! spraying requests round-robin thrashes every host's LRU, while
+//! affinity routing keeps each function's snapshot hot on a few hosts.
+//! [`LocalityAffinity`] implements that policy; `cluster_sweep` measures
+//! it against [`RoundRobin`] and [`LeastLoaded`].
+//!
+//! # Admission and backpressure
+//!
+//! Each host has a FIFO admission queue bounded by
+//! [`ClusterConfig::host_queue_cap`]. The router only places requests on
+//! hosts with capacity (a free slot or queue room); when no healthy host
+//! has capacity the request waits in the *cluster-level* admission queue,
+//! which drains — FIFO, re-consulting the router — every time any host
+//! completes an invocation. A request whose
+//! [`InvokeRequest::deadline`] passes while queued is rejected with
+//! [`PlatformError::DeadlineExceeded`] without consuming a slot.
+//!
+//! # Host failure
+//!
+//! Arm [`FaultSite::HostCrash`] on the cluster's fault plan and the
+//! per-host injector is checked at every service start on that host. A
+//! firing permanently fails the host: its queued requests drain and
+//! re-route through the router (counted in `cluster.rebalances`),
+//! invocations already in flight still complete (their events are on the
+//! timeline), and if no healthy host remains a request fails with
+//! [`PlatformError::HostUnavailable`].
+//!
+//! # Determinism
+//!
+//! Everything is a pure function of the config, the request schedule, and
+//! the fault-plan seed: hosts are stamped out in index order with
+//! per-host derived fault seeds, the event queue orders by `(time, seq)`,
+//! and every router policy is deterministic. Two runs with the same
+//! inputs produce byte-identical reports for any host count.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use fireworks_obs::Obs;
+use fireworks_sim::engine::EventQueue;
+use fireworks_sim::fault::FaultSite;
+use fireworks_sim::{Clock, Nanos};
+
+use crate::api::{
+    ConcurrentPlatform, FunctionSpec, InstallReport, Invocation, InvokeRequest, PlatformError,
+};
+use crate::config::PlatformConfig;
+use crate::engine::{CompletionPolicy, EngineRequest};
+use crate::env::{EnvConfig, PlatformEnv};
+
+/// Per-host seed spacing for the derived fault plans (golden-ratio
+/// increment, the SplitMix64 stream constant).
+const HOST_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Cluster shape and per-host configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of hosts.
+    pub hosts: usize,
+    /// Invoker slots per host.
+    pub slots_per_host: usize,
+    /// Per-host admission-queue bound; a host whose queue is full exerts
+    /// backpressure and receives no further requests until it drains.
+    pub host_queue_cap: usize,
+    /// Per-host environment template (RAM, costs, fault plan). Each host
+    /// gets its own services built from this; the fault-plan seed is
+    /// re-derived per host so hosts fail independently.
+    pub env: EnvConfig,
+    /// Per-host platform configuration (cache budget, recovery, …).
+    pub platform: PlatformConfig,
+    /// What happens to in-flight tokens at completion (retain for the
+    /// cluster-wide §5.4 consolidation experiment).
+    pub completion: CompletionPolicy,
+}
+
+impl ClusterConfig {
+    /// A serving cluster of `hosts` hosts with `slots_per_host` slots,
+    /// a queue bound of twice the slot count, default environment and
+    /// platform config.
+    pub fn new(hosts: usize, slots_per_host: usize) -> Self {
+        ClusterConfig {
+            hosts,
+            slots_per_host,
+            host_queue_cap: slots_per_host * 2,
+            env: EnvConfig::default(),
+            platform: PlatformConfig::default(),
+            completion: CompletionPolicy::Release,
+        }
+    }
+}
+
+/// What a router sees about one host when placing a request.
+#[derive(Debug, Clone, Copy)]
+pub struct HostView {
+    /// Host index.
+    pub id: usize,
+    /// Whether the host is alive (a crashed host never comes back).
+    pub healthy: bool,
+    /// Invocations currently in service on this host.
+    pub inflight: usize,
+    /// Requests waiting in this host's admission queue.
+    pub queue_depth: usize,
+    /// The host's invoker-slot count.
+    pub slots: usize,
+    /// The host's admission-queue bound.
+    pub queue_cap: usize,
+    /// Whether this host already holds the request's function's start
+    /// artifact (post-JIT snapshot / checkpoint / warm sandbox) — the
+    /// locality signal.
+    pub holds_snapshot: bool,
+}
+
+impl HostView {
+    /// Whether the host can accept one more request: alive, with a free
+    /// slot or room in its admission queue.
+    pub fn has_capacity(&self) -> bool {
+        self.healthy && (self.inflight < self.slots || self.queue_depth < self.queue_cap)
+    }
+
+    /// Queueing-relevant load: in-service plus waiting.
+    pub fn load(&self) -> usize {
+        self.inflight + self.queue_depth
+    }
+}
+
+/// A routing decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Serve on this host (the policy's genuine first choice).
+    Host(usize),
+    /// The policy's preferred host could not take the request; serve on
+    /// this fallback instead. The cluster counts these in
+    /// `cluster.rebalances`.
+    Fallback(usize),
+    /// No healthy host has capacity; wait in the cluster admission
+    /// queue.
+    Defer,
+}
+
+/// A deterministic request-placement policy.
+///
+/// The contract: return only hosts for which
+/// [`HostView::has_capacity`] holds, and [`Route::Defer`] when there is
+/// none. Policies must be pure functions of their own state and the
+/// views — no randomness, no wall clock — so cluster runs replay
+/// byte-identically.
+pub trait Router {
+    /// Policy name (used in reports and metric labels).
+    fn name(&self) -> &'static str;
+
+    /// Places one request given the current per-host views.
+    fn route(&mut self, req: &InvokeRequest, hosts: &[HostView]) -> Route;
+}
+
+/// Cycles through hosts in index order, skipping hosts without capacity.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// A round-robin router starting at host 0.
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+}
+
+impl Router for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round_robin"
+    }
+
+    fn route(&mut self, _req: &InvokeRequest, hosts: &[HostView]) -> Route {
+        let n = hosts.len();
+        for k in 0..n {
+            let h = (self.next + k) % n;
+            if hosts[h].has_capacity() {
+                self.next = (h + 1) % n;
+                return Route::Host(h);
+            }
+        }
+        Route::Defer
+    }
+}
+
+/// Places each request on the host with the lowest load (in-flight plus
+/// queue depth), ties broken by lowest host index.
+#[derive(Debug, Default)]
+pub struct LeastLoaded;
+
+impl LeastLoaded {
+    /// A least-loaded router.
+    pub fn new() -> Self {
+        LeastLoaded
+    }
+}
+
+impl Router for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least_loaded"
+    }
+
+    fn route(&mut self, _req: &InvokeRequest, hosts: &[HostView]) -> Route {
+        match least_loaded(hosts, |v| v.has_capacity()) {
+            Some(h) => Route::Host(h),
+            None => Route::Defer,
+        }
+    }
+}
+
+/// Prefers hosts whose cache already holds the function's snapshot;
+/// falls back under overload.
+///
+/// Placement order:
+/// 1. the least-loaded host *with capacity* that holds the snapshot;
+/// 2. else the function's stable home host (FNV-1a hash of its name,
+///    probing upward), so a function's rebuilds concentrate on one host
+///    whose cache then keeps it hot;
+/// 3. else — home and holders all saturated — the least-loaded host with
+///    capacity, reported as [`Route::Fallback`].
+#[derive(Debug, Default)]
+pub struct LocalityAffinity;
+
+impl LocalityAffinity {
+    /// A snapshot-locality-affinity router.
+    pub fn new() -> Self {
+        LocalityAffinity
+    }
+}
+
+impl Router for LocalityAffinity {
+    fn name(&self) -> &'static str {
+        "locality"
+    }
+
+    fn route(&mut self, req: &InvokeRequest, hosts: &[HostView]) -> Route {
+        if let Some(h) = least_loaded(hosts, |v| v.has_capacity() && v.holds_snapshot) {
+            return Route::Host(h);
+        }
+        // No available holder: send the function to its stable home so
+        // the rebuild happens where future requests will land.
+        let n = hosts.len();
+        let home = (fnv1a(&req.function) % n as u64) as usize;
+        for k in 0..n {
+            let h = (home + k) % n;
+            if hosts[h].has_capacity() {
+                return if h == home {
+                    Route::Host(h)
+                } else {
+                    Route::Fallback(h)
+                };
+            }
+        }
+        Route::Defer
+    }
+}
+
+/// Least-loaded host index among those passing `accept`; ties go to the
+/// lowest index.
+fn least_loaded(hosts: &[HostView], accept: impl Fn(&HostView) -> bool) -> Option<usize> {
+    hosts
+        .iter()
+        .filter(|v| accept(v))
+        .min_by_key(|v| (v.load(), v.id))
+        .map(|v| v.id)
+}
+
+/// FNV-1a over the function name: a stable hash (unlike `DefaultHasher`,
+/// which is randomly keyed per process) so home-host assignment is
+/// deterministic across runs.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One request's outcome on the cluster, with its placement.
+#[derive(Debug)]
+pub struct ClusterCompletion {
+    /// Index of the request in the submitted schedule.
+    pub index: usize,
+    /// The host that served (or was serving) it; `None` if it was never
+    /// placed (missed deadline, no healthy host).
+    pub host: Option<usize>,
+    /// The function invoked.
+    pub function: String,
+    /// When the request arrived.
+    pub arrived: Nanos,
+    /// When a slot picked it up (for a rejection: when it was rejected).
+    pub started: Nanos,
+    /// When its service activity finished.
+    pub finished: Nanos,
+    /// The invocation, or the error that ended it.
+    pub result: Result<Invocation, PlatformError>,
+}
+
+impl ClusterCompletion {
+    /// Time spent waiting for a slot (on any queue).
+    pub fn waited(&self) -> Nanos {
+        self.started.saturating_sub(self.arrived)
+    }
+
+    /// Total time in the system.
+    pub fn sojourn(&self) -> Nanos {
+        self.finished.saturating_sub(self.arrived)
+    }
+
+    /// Queueing delay plus the invocation's start-up phase — the
+    /// client-visible "time to first instruction of function code", the
+    /// quantity `cluster_sweep` reports percentiles of.
+    pub fn start_latency(&self) -> Option<Nanos> {
+        self.result
+            .as_ref()
+            .ok()
+            .map(|inv| self.waited() + inv.breakdown.startup)
+    }
+}
+
+/// The cluster's output: completions in request order plus routing and
+/// concurrency statistics.
+#[derive(Debug)]
+pub struct ClusterReport<T> {
+    /// One entry per request, ordered by request index.
+    pub completions: Vec<ClusterCompletion>,
+    /// `(host, token)` pairs still resident ([`CompletionPolicy::Retain`]
+    /// only), in completion order.
+    pub retained: Vec<(usize, T)>,
+    /// Most invocations ever simultaneously in service cluster-wide.
+    pub peak_inflight: usize,
+    /// Deepest any single host's admission queue ever got.
+    pub peak_host_queue_depth: usize,
+    /// Deepest the cluster-level admission queue ever got.
+    pub peak_cluster_queue_depth: usize,
+    /// Requests moved off their policy-preferred host (locality
+    /// fallbacks and crash re-routes).
+    pub rebalances: u64,
+    /// Service starts on a host already holding the function's snapshot.
+    pub locality_hits: u64,
+    /// Hosts that crashed during the run, in failure order.
+    pub failed_hosts: Vec<usize>,
+}
+
+struct Host<P: ConcurrentPlatform> {
+    platform: P,
+    env: PlatformEnv,
+    healthy: bool,
+    free: usize,
+    waiting: VecDeque<usize>,
+    inflight: BTreeMap<usize, P::InFlight>,
+    /// Preformatted host-index label for metrics.
+    label: String,
+}
+
+enum Event {
+    Arrive(usize),
+    Complete { host: usize, index: usize },
+}
+
+/// N per-host platforms on one virtual timeline, driven by a [`Router`].
+pub struct Cluster<P: ConcurrentPlatform> {
+    clock: Clock,
+    obs: Obs,
+    config: ClusterConfig,
+    hosts: Vec<Host<P>>,
+}
+
+impl<P: ConcurrentPlatform> Cluster<P> {
+    /// Builds a cluster, stamping out one platform per host with
+    /// `factory(env, &config.platform)`. Hosts are built in index order
+    /// on a fresh shared clock and obs plane; each host's fault-plan
+    /// seed is derived from the template seed and the host index, so
+    /// same-config clusters are bit-for-bit reproducible while hosts
+    /// still fail independently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.hosts == 0` or `config.slots_per_host == 0`.
+    pub fn new(
+        config: ClusterConfig,
+        mut factory: impl FnMut(PlatformEnv, &PlatformConfig) -> P,
+    ) -> Self {
+        assert!(config.hosts > 0, "need at least one host");
+        assert!(config.slots_per_host > 0, "need at least one slot per host");
+        let clock = Clock::new();
+        let obs = Obs::new(clock.clone());
+        let hosts = (0..config.hosts)
+            .map(|h| {
+                let mut env_config = config.env.clone();
+                env_config.fault_plan.seed = env_config
+                    .fault_plan
+                    .seed
+                    .wrapping_add((h as u64).wrapping_mul(HOST_SEED_STRIDE));
+                let env = PlatformEnv::with_shared(env_config, clock.clone(), obs.clone());
+                let platform = factory(env.clone(), &config.platform);
+                Host {
+                    platform,
+                    env,
+                    healthy: true,
+                    free: config.slots_per_host,
+                    waiting: VecDeque::new(),
+                    inflight: BTreeMap::new(),
+                    label: h.to_string(),
+                }
+            })
+            .collect();
+        Cluster {
+            clock,
+            obs,
+            config,
+            hosts,
+        }
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The shared observability plane.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Number of hosts (alive or crashed).
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Whether the cluster has no hosts (never true: construction
+    /// requires at least one).
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// Host `h`'s platform.
+    pub fn host(&self, h: usize) -> &P {
+        &self.hosts[h].platform
+    }
+
+    /// Host `h`'s platform, mutably.
+    pub fn host_mut(&mut self, h: usize) -> &mut P {
+        &mut self.hosts[h].platform
+    }
+
+    /// Host `h`'s environment (its RAM, bus, store, injector, …).
+    pub fn host_env(&self, h: usize) -> &PlatformEnv {
+        &self.hosts[h].env
+    }
+
+    /// Installs a function on every host (each host needs its own
+    /// snapshot to restore from). Returns per-host reports in host
+    /// order.
+    pub fn install(&mut self, spec: &FunctionSpec) -> Result<Vec<InstallReport>, PlatformError> {
+        self.hosts
+            .iter_mut()
+            .map(|host| host.platform.install(spec))
+            .collect()
+    }
+
+    /// Current per-host views for `function`.
+    fn views(&self, function: &str) -> Vec<HostView> {
+        self.hosts
+            .iter()
+            .enumerate()
+            .map(|(id, host)| HostView {
+                id,
+                healthy: host.healthy,
+                inflight: host.inflight.len(),
+                queue_depth: host.waiting.len(),
+                slots: self.config.slots_per_host,
+                queue_cap: self.config.host_queue_cap,
+                holds_snapshot: host.platform.holds_snapshot(function),
+            })
+            .collect()
+    }
+
+    /// Drives `requests` (sorted by arrival) through the cluster under
+    /// `router` and returns the completions with routing statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests` are not sorted by arrival time.
+    pub fn run<R: Router + ?Sized>(
+        &mut self,
+        router: &mut R,
+        requests: &[EngineRequest],
+    ) -> ClusterReport<P::InFlight> {
+        assert!(
+            requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "requests must be sorted by arrival time"
+        );
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        for (i, r) in requests.iter().enumerate() {
+            queue.schedule(r.arrival, Event::Arrive(i));
+        }
+
+        let mut run = RunState {
+            out: {
+                let mut v: Vec<Option<ClusterCompletion>> = Vec::with_capacity(requests.len());
+                v.resize_with(requests.len(), || None);
+                v
+            },
+            cluster_waiting: VecDeque::new(),
+            retained: Vec::new(),
+            rebalances: 0,
+            locality_hits: 0,
+            peak_inflight: 0,
+            peak_host_queue_depth: 0,
+            peak_cluster_queue_depth: 0,
+            failed_hosts: Vec::new(),
+        };
+
+        while let Some(ev) = queue.pop() {
+            self.clock.warp_to(ev.at);
+            match ev.event {
+                Event::Arrive(i) => {
+                    if !self.dispatch(router, requests, i, None, &mut run, &mut queue) {
+                        run.cluster_waiting.push_back(i);
+                    }
+                }
+                Event::Complete { host, index } => {
+                    if let Some(token) = self.hosts[host].inflight.remove(&index) {
+                        match self.config.completion {
+                            CompletionPolicy::Release => {
+                                self.hosts[host].platform.finish_invoke(token)
+                            }
+                            CompletionPolicy::Retain => run.retained.push((host, token)),
+                        }
+                    }
+                    self.hosts[host].free += 1;
+                    // Drain this host's own queue first (FIFO)…
+                    if self.hosts[host].healthy {
+                        while let Some(next) = self.hosts[host].waiting.pop_front() {
+                            if reject_if_expired(&mut run, requests, next, self.clock.now(), None) {
+                                continue;
+                            }
+                            self.start_service(router, requests, host, next, &mut run, &mut queue);
+                            break;
+                        }
+                    }
+                    // …then let cluster-queued requests try the router
+                    // again, stopping at the first that still can't place.
+                    while let Some(next) = run.cluster_waiting.pop_front() {
+                        if reject_if_expired(&mut run, requests, next, self.clock.now(), None) {
+                            continue;
+                        }
+                        if !self.dispatch(router, requests, next, None, &mut run, &mut queue) {
+                            run.cluster_waiting.push_front(next);
+                            break;
+                        }
+                    }
+                }
+            }
+            self.sample_gauges(&mut run);
+        }
+
+        ClusterReport {
+            completions: run
+                .out
+                .into_iter()
+                .map(|c| c.expect("every request completes"))
+                .collect(),
+            retained: run.retained,
+            peak_inflight: run.peak_inflight,
+            peak_host_queue_depth: run.peak_host_queue_depth,
+            peak_cluster_queue_depth: run.peak_cluster_queue_depth,
+            rebalances: run.rebalances,
+            locality_hits: run.locality_hits,
+            failed_hosts: run.failed_hosts,
+        }
+    }
+
+    /// Routes request `i` and places it: service, host queue, cluster
+    /// queue, or terminal rejection. Returns `false` only when the
+    /// request was parked on the cluster queue (so drains know to stop).
+    /// `rerouted_from` marks a request displaced by a host crash: its
+    /// placement counts as a rebalance and its terminal failure names
+    /// that host.
+    fn dispatch<R: Router + ?Sized>(
+        &mut self,
+        router: &mut R,
+        requests: &[EngineRequest],
+        i: usize,
+        rerouted_from: Option<usize>,
+        run: &mut RunState<P::InFlight>,
+        queue: &mut EventQueue<Event>,
+    ) -> bool {
+        let now = self.clock.now();
+        if reject_if_expired(run, requests, i, now, rerouted_from) {
+            return true;
+        }
+        let r = &requests[i];
+        if !self.hosts.iter().any(|h| h.healthy) {
+            // Nothing can ever serve this request: the cluster queue
+            // only drains on completions, and completions on dead hosts
+            // don't restore capacity a router could use.
+            run.out[i] = Some(ClusterCompletion {
+                index: i,
+                host: rerouted_from,
+                function: r.invoke.function.clone(),
+                arrived: r.arrival,
+                started: now,
+                finished: now,
+                result: Err(PlatformError::HostUnavailable {
+                    function: r.invoke.function.clone(),
+                    host: rerouted_from,
+                }),
+            });
+            return true;
+        }
+        let views = self.views(&r.invoke.function);
+        let (host, rebalanced) = match router.route(&r.invoke, &views) {
+            Route::Host(h) => (h, false),
+            Route::Fallback(h) => (h, true),
+            // The caller parks the request on the cluster queue (front or
+            // back, depending on whether it's a drain or an arrival).
+            Route::Defer => return false,
+        };
+        debug_assert!(views[host].has_capacity(), "router picked a full host");
+        if rebalanced || rerouted_from.is_some() {
+            run.rebalances += 1;
+            self.obs.metrics().inc("cluster.rebalances", &[]);
+        }
+        if self.hosts[host].free > 0 {
+            self.start_service(router, requests, host, i, run, queue);
+        } else {
+            self.hosts[host].waiting.push_back(i);
+        }
+        true
+    }
+
+    /// Starts request `i` on host `h` at the current instant — unless
+    /// the host's injector fires [`FaultSite::HostCrash`] at this
+    /// service boundary, in which case the host fails and everything it
+    /// was queueing (this request included) re-routes.
+    fn start_service<R: Router + ?Sized>(
+        &mut self,
+        router: &mut R,
+        requests: &[EngineRequest],
+        h: usize,
+        i: usize,
+        run: &mut RunState<P::InFlight>,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let crashed = self.hosts[h]
+            .env
+            .injector
+            .borrow_mut()
+            .should_fail(FaultSite::HostCrash);
+        if crashed {
+            self.crash_host(router, requests, h, i, run, queue);
+            return;
+        }
+        let host = &mut self.hosts[h];
+        host.free -= 1;
+        let started = self.clock.now();
+        let r = &requests[i];
+        if host.platform.holds_snapshot(&r.invoke.function) {
+            run.locality_hits += 1;
+            self.obs.metrics().inc("cluster.locality_hits", &[]);
+        }
+        let result = host.platform.begin_invoke(&r.invoke);
+        let finished = self.clock.now();
+        let result = match result {
+            Ok((invocation, token)) => {
+                host.inflight.insert(i, token);
+                Ok(invocation)
+            }
+            Err(e) => Err(e),
+        };
+        run.out[i] = Some(ClusterCompletion {
+            index: i,
+            host: Some(h),
+            function: r.invoke.function.clone(),
+            arrived: r.arrival,
+            started,
+            finished,
+            result,
+        });
+        queue.schedule(finished, Event::Complete { host: h, index: i });
+    }
+
+    /// Fails host `h` permanently: marks it unhealthy, then re-routes
+    /// `trigger` and every request in its admission queue through the
+    /// router. In-flight invocations on the host finish normally — their
+    /// completion events are already on the timeline.
+    fn crash_host<R: Router + ?Sized>(
+        &mut self,
+        router: &mut R,
+        requests: &[EngineRequest],
+        h: usize,
+        trigger: usize,
+        run: &mut RunState<P::InFlight>,
+        queue: &mut EventQueue<Event>,
+    ) {
+        self.hosts[h].healthy = false;
+        run.failed_hosts.push(h);
+        self.obs.metrics().inc(
+            "cluster.host_crashes",
+            &[("host", self.hosts[h].label.as_str())],
+        );
+        self.obs
+            .recorder()
+            .instant(format!("host_crash:{h}"), fireworks_obs::cat::FAULT);
+        let mut displaced: VecDeque<usize> = VecDeque::new();
+        displaced.push_back(trigger);
+        displaced.extend(std::mem::take(&mut self.hosts[h].waiting));
+        while let Some(i) = displaced.pop_front() {
+            if !self.dispatch(router, requests, i, Some(h), run, queue) {
+                run.cluster_waiting.push_back(i);
+            }
+        }
+    }
+
+    /// Publishes the per-host and cluster-wide gauges at an event
+    /// boundary, and advances the report's high-water marks.
+    fn sample_gauges(&self, run: &mut RunState<P::InFlight>) {
+        let m = self.obs.metrics();
+        let mut inflight_total = 0;
+        for host in &self.hosts {
+            let labels: &[(&str, &str)] = &[("host", host.label.as_str())];
+            m.gauge_set("engine.inflight", labels, host.inflight.len() as i64);
+            m.gauge_set("engine.queue_depth", labels, host.waiting.len() as i64);
+            inflight_total += host.inflight.len();
+            run.peak_host_queue_depth = run.peak_host_queue_depth.max(host.waiting.len());
+        }
+        run.peak_inflight = run.peak_inflight.max(inflight_total);
+        run.peak_cluster_queue_depth = run.peak_cluster_queue_depth.max(run.cluster_waiting.len());
+        m.gauge_set(
+            "cluster.hosts",
+            &[],
+            self.hosts.iter().filter(|h| h.healthy).count() as i64,
+        );
+        m.gauge_set("cluster.inflight", &[], inflight_total as i64);
+        m.gauge_set("cluster.queue_depth", &[], run.cluster_waiting.len() as i64);
+    }
+}
+
+/// Mutable per-run bookkeeping, separated from the cluster so host
+/// borrows and run borrows don't fight.
+struct RunState<T> {
+    out: Vec<Option<ClusterCompletion>>,
+    cluster_waiting: VecDeque<usize>,
+    retained: Vec<(usize, T)>,
+    rebalances: u64,
+    locality_hits: u64,
+    peak_inflight: usize,
+    peak_host_queue_depth: usize,
+    peak_cluster_queue_depth: usize,
+    failed_hosts: Vec<usize>,
+}
+
+/// Rejects request `i` with [`PlatformError::DeadlineExceeded`] if its
+/// deadline has passed at `now`; returns whether it was rejected.
+fn reject_if_expired<T>(
+    run: &mut RunState<T>,
+    requests: &[EngineRequest],
+    i: usize,
+    now: Nanos,
+    rerouted_from: Option<usize>,
+) -> bool {
+    let r = &requests[i];
+    let Some(deadline) = r.invoke.deadline else {
+        return false;
+    };
+    if now <= deadline {
+        return false;
+    }
+    run.out[i] = Some(ClusterCompletion {
+        index: i,
+        host: rerouted_from,
+        function: r.invoke.function.clone(),
+        arrived: r.arrival,
+        started: now,
+        finished: now,
+        result: Err(PlatformError::DeadlineExceeded {
+            function: r.invoke.function.clone(),
+            deadline,
+        }),
+    });
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::StartMode;
+    use crate::fireworks::FireworksPlatform;
+    use fireworks_lang::Value;
+    use fireworks_runtime::RuntimeKind;
+    use fireworks_sim::fault::FaultPlan;
+
+    fn view(id: usize, inflight: usize, queue_depth: usize, holds: bool) -> HostView {
+        HostView {
+            id,
+            healthy: true,
+            inflight,
+            queue_depth,
+            slots: 2,
+            queue_cap: 4,
+            holds_snapshot: holds,
+        }
+    }
+
+    fn some_req() -> InvokeRequest {
+        InvokeRequest::new("f", Value::Int(1)).with_mode(StartMode::Auto)
+    }
+
+    #[test]
+    fn round_robin_cycles_and_skips_saturated_hosts() {
+        let mut rr = RoundRobin::new();
+        let mut views = vec![
+            view(0, 0, 0, false),
+            view(1, 0, 0, false),
+            view(2, 0, 0, false),
+        ];
+        assert_eq!(rr.route(&some_req(), &views), Route::Host(0));
+        assert_eq!(rr.route(&some_req(), &views), Route::Host(1));
+        assert_eq!(rr.route(&some_req(), &views), Route::Host(2));
+        assert_eq!(rr.route(&some_req(), &views), Route::Host(0));
+        // Host 1 saturated (full slots and full queue): skipped.
+        views[1].inflight = 2;
+        views[1].queue_depth = 4;
+        assert_eq!(rr.route(&some_req(), &views), Route::Host(2));
+        // Everyone saturated: defer.
+        for v in &mut views {
+            v.inflight = 2;
+            v.queue_depth = 4;
+        }
+        assert_eq!(rr.route(&some_req(), &views), Route::Defer);
+    }
+
+    #[test]
+    fn least_loaded_picks_min_load_lowest_id() {
+        let mut ll = LeastLoaded::new();
+        let views = vec![
+            view(0, 2, 1, false),
+            view(1, 1, 0, false),
+            view(2, 0, 1, false),
+        ];
+        // Loads: 3, 1, 1 → tie between hosts 1 and 2 → lowest id wins.
+        assert_eq!(ll.route(&some_req(), &views), Route::Host(1));
+        let unhealthy: Vec<HostView> = views
+            .iter()
+            .map(|v| HostView {
+                healthy: false,
+                ..*v
+            })
+            .collect();
+        assert_eq!(ll.route(&some_req(), &unhealthy), Route::Defer);
+    }
+
+    #[test]
+    fn locality_prefers_holders_then_home_then_fallback() {
+        let mut loc = LocalityAffinity::new();
+        let req = some_req();
+        // Hosts 1 and 2 hold the snapshot; 2 is less loaded.
+        let views = vec![
+            view(0, 0, 0, false),
+            view(1, 2, 1, true),
+            view(2, 1, 0, true),
+        ];
+        assert_eq!(loc.route(&req, &views), Route::Host(2));
+        // No holder: the function's stable FNV home gets it (and will
+        // cache it for the next request).
+        let home = (fnv1a(&req.function) % 3) as usize;
+        let views = vec![
+            view(0, 1, 1, false),
+            view(1, 1, 1, false),
+            view(2, 1, 1, false),
+        ];
+        assert_eq!(loc.route(&req, &views), Route::Host(home));
+        // Home saturated: falls back (counted as a rebalance).
+        let mut views = views;
+        views[home].inflight = 2;
+        views[home].queue_depth = 4;
+        match loc.route(&req, &views) {
+            Route::Fallback(h) => assert_ne!(h, home),
+            other => panic!("expected fallback, got {other:?}"),
+        }
+        // All saturated: defer.
+        for v in &mut views {
+            v.inflight = 2;
+            v.queue_depth = 4;
+        }
+        assert_eq!(loc.route(&req, &views), Route::Defer);
+    }
+
+    #[test]
+    fn fnv_home_is_stable() {
+        assert_eq!(fnv1a("fact-0"), fnv1a("fact-0"));
+        assert_ne!(fnv1a("fact-0"), fnv1a("fact-1"));
+    }
+
+    const SRC: &str = "
+        fn main(params) {
+            let n = params[\"n\"];
+            let t = 0;
+            for (let i = 0; i < n; i = i + 1) { t = t + i; }
+            return t;
+        }";
+
+    fn spec(name: &str) -> FunctionSpec {
+        FunctionSpec::new(
+            name,
+            SRC,
+            RuntimeKind::NodeLike,
+            Value::map([("n".to_string(), Value::Int(1000))]),
+        )
+    }
+
+    fn burst(count: usize) -> Vec<EngineRequest> {
+        (0..count)
+            .map(|_| {
+                EngineRequest::at(
+                    Nanos::ZERO,
+                    InvokeRequest::new("f", Value::map([("n".to_string(), Value::Int(500))])),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_hosts_serve_a_burst_genuinely_in_parallel() {
+        let mut cluster = Cluster::new(ClusterConfig::new(2, 1), |env, cfg| {
+            FireworksPlatform::with_config(env, cfg.clone())
+        });
+        cluster.install(&spec("f")).expect("installs everywhere");
+        let mut rr = RoundRobin::new();
+        let report = cluster.run(&mut rr, &burst(2));
+        assert_eq!(report.peak_inflight, 2, "one clone per host, concurrently");
+        let hosts: Vec<Option<usize>> = report.completions.iter().map(|c| c.host).collect();
+        assert_eq!(hosts, vec![Some(0), Some(1)]);
+        for c in &report.completions {
+            assert!(c.result.is_ok());
+            assert_eq!(c.waited(), Nanos::ZERO, "no queueing across two hosts");
+        }
+        // Install populated every host's cache: both starts are local.
+        assert_eq!(report.locality_hits, 2);
+        assert_eq!(report.rebalances, 0);
+        assert!(report.failed_hosts.is_empty());
+        let snap = cluster.obs().metrics().snapshot();
+        assert_eq!(snap.gauge("cluster.hosts", &[]), Some(2));
+        assert_eq!(snap.gauge("engine.inflight", &[("host", "0")]), Some(0));
+    }
+
+    /// Prefers host 0, spills to host 1 — makes crash scheduling in the
+    /// test below deterministic and legible.
+    struct PrimaryBackup;
+    impl Router for PrimaryBackup {
+        fn name(&self) -> &'static str {
+            "primary_backup"
+        }
+        fn route(&mut self, _req: &InvokeRequest, hosts: &[HostView]) -> Route {
+            match hosts.iter().find(|v| v.has_capacity()) {
+                Some(v) => Route::Host(v.id),
+                None => Route::Defer,
+            }
+        }
+    }
+
+    #[test]
+    fn host_crash_drains_and_reroutes_its_queue() {
+        // Each host's injector crashes it at its 2nd service start. With
+        // a primary/backup router and one slot per host: request 0 starts
+        // on host 0 (check 1); request 1 queues behind it; at request 0's
+        // completion the drain tries to start request 1 on host 0 —
+        // check 2 fires, host 0 dies, and request 1 re-routes to host 1.
+        let env = EnvConfig {
+            fault_plan: FaultPlan::new(42).nth(FaultSite::HostCrash, 2),
+            ..EnvConfig::default()
+        };
+        let mut config = ClusterConfig::new(2, 1);
+        config.env = env;
+        let mut cluster = Cluster::new(config, |env, cfg| {
+            FireworksPlatform::with_config(env, cfg.clone())
+        });
+        cluster.install(&spec("f")).expect("installs");
+        let report = cluster.run(&mut PrimaryBackup, &burst(2));
+        assert_eq!(report.failed_hosts, vec![0]);
+        assert_eq!(report.rebalances, 1, "the drained request was re-routed");
+        assert_eq!(report.completions[0].host, Some(0));
+        assert_eq!(report.completions[1].host, Some(1));
+        for c in &report.completions {
+            assert!(c.result.is_ok(), "both requests still succeed");
+        }
+        assert!(
+            report.completions[1].started >= report.completions[0].finished,
+            "the re-routed request started at the drain instant"
+        );
+        let snap = cluster.obs().metrics().snapshot();
+        assert_eq!(snap.gauge("cluster.hosts", &[]), Some(1), "one host left");
+        assert_eq!(snap.counter("cluster.rebalances", &[]), 1);
+        assert_eq!(snap.counter("cluster.host_crashes", &[("host", "0")]), 1);
+    }
+
+    #[test]
+    fn all_hosts_down_surfaces_host_unavailable() {
+        // Crash every host at its first service start: nothing can serve.
+        let env = EnvConfig {
+            fault_plan: FaultPlan::new(42).nth(FaultSite::HostCrash, 1),
+            ..EnvConfig::default()
+        };
+        let mut config = ClusterConfig::new(2, 1);
+        config.env = env;
+        let mut cluster = Cluster::new(config, |env, cfg| {
+            FireworksPlatform::with_config(env, cfg.clone())
+        });
+        cluster.install(&spec("f")).expect("installs");
+        let report = cluster.run(&mut PrimaryBackup, &burst(1));
+        assert_eq!(report.failed_hosts, vec![0, 1]);
+        assert!(matches!(
+            &report.completions[0].result,
+            Err(PlatformError::HostUnavailable { host: Some(1), .. })
+        ));
+        let snap = cluster.obs().metrics().snapshot();
+        assert_eq!(snap.gauge("cluster.hosts", &[]), Some(0));
+    }
+
+    #[test]
+    fn retain_mode_reports_host_tagged_tokens() {
+        let mut config = ClusterConfig::new(2, 1);
+        config.completion = CompletionPolicy::Retain;
+        let mut cluster = Cluster::new(config, |env, cfg| {
+            FireworksPlatform::with_config(env, cfg.clone())
+        });
+        cluster.install(&spec("f")).expect("installs");
+        let report = cluster.run(&mut RoundRobin::new(), &burst(2));
+        assert_eq!(report.retained.len(), 2);
+        let hosts: Vec<usize> = report.retained.iter().map(|(h, _)| *h).collect();
+        assert_eq!(hosts, vec![0, 1]);
+        for (h, token) in report.retained {
+            assert!(token.pss_bytes() > 0, "retained clone on host {h} is live");
+            cluster.host_mut(h).release_clone(token);
+        }
+    }
+}

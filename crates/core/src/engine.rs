@@ -27,30 +27,37 @@
 //!   the slot frees, and the head of the admission queue — if any —
 //!   starts service at this instant.
 //!
+//! Requests carrying an [`InvokeRequest::deadline`] that passes while
+//! they wait are rejected at their would-be service start with
+//! [`PlatformError::DeadlineExceeded`]; they never consume a slot.
+//!
 //! Determinism follows from the event queue's `(time, seq)` ordering plus
 //! the deterministic platforms underneath; identical request schedules
 //! produce byte-identical reports.
 
 use std::collections::{BTreeMap, VecDeque};
 
-use fireworks_lang::Value;
 use fireworks_obs::Obs;
 use fireworks_sim::engine::EventQueue;
 use fireworks_sim::{Clock, Nanos};
 
-use crate::api::{ConcurrentPlatform, InFlightToken, Invocation, PlatformError, StartMode};
+use crate::api::{ConcurrentPlatform, InFlightToken, Invocation, InvokeRequest, PlatformError};
 
-/// One request offered to the engine.
+/// One request offered to the engine: an invocation plus its arrival
+/// instant on the virtual timeline.
 #[derive(Debug, Clone)]
 pub struct EngineRequest {
-    /// The installed function to invoke.
-    pub function: String,
     /// Arrival instant on the virtual timeline.
     pub arrival: Nanos,
-    /// Invocation arguments.
-    pub args: Value,
-    /// Requested start mode.
-    pub mode: StartMode,
+    /// The invocation to perform.
+    pub invoke: InvokeRequest,
+}
+
+impl EngineRequest {
+    /// A request arriving at `arrival`.
+    pub fn at(arrival: Nanos, invoke: InvokeRequest) -> Self {
+        EngineRequest { arrival, invoke }
+    }
 }
 
 /// What to do with an invocation's resources at its completion event.
@@ -99,7 +106,8 @@ pub struct EngineCompletion {
     pub function: String,
     /// When the request arrived.
     pub arrived: Nanos,
-    /// When a slot picked it up.
+    /// When a slot picked it up (for a missed deadline: when the engine
+    /// rejected it).
     pub started: Nanos,
     /// When its service activity finished (success or failure).
     pub finished: Nanos,
@@ -199,7 +207,7 @@ pub fn run_concurrent<P: ConcurrentPlatform>(
             self.free -= 1;
             let started = clock.now();
             let r = &requests[i];
-            let result = platform.begin_invoke(&r.function, &r.args, r.mode);
+            let result = platform.begin_invoke(&r.invoke);
             let finished = clock.now();
             let result = match result {
                 Ok((invocation, token)) => {
@@ -212,13 +220,37 @@ pub fn run_concurrent<P: ConcurrentPlatform>(
             };
             self.out[i] = Some(EngineCompletion {
                 index: i,
-                function: r.function.clone(),
+                function: r.invoke.function.clone(),
                 arrived: r.arrival,
                 started,
                 finished,
                 result,
             });
             queue.schedule(finished, Event::Complete(i));
+        }
+
+        // Whether request `i`'s deadline has passed at `now`; a missed
+        // deadline is recorded as a completion without consuming a slot.
+        fn reject_if_expired(&mut self, requests: &[EngineRequest], i: usize, now: Nanos) -> bool {
+            let r = &requests[i];
+            let Some(deadline) = r.invoke.deadline else {
+                return false;
+            };
+            if now <= deadline {
+                return false;
+            }
+            self.out[i] = Some(EngineCompletion {
+                index: i,
+                function: r.invoke.function.clone(),
+                arrived: r.arrival,
+                started: now,
+                finished: now,
+                result: Err(PlatformError::DeadlineExceeded {
+                    function: r.invoke.function.clone(),
+                    deadline,
+                }),
+            });
+            true
         }
     }
 
@@ -239,7 +271,9 @@ pub fn run_concurrent<P: ConcurrentPlatform>(
         clock.warp_to(ev.at);
         match ev.event {
             Event::Arrive(i) => {
-                if state.free > 0 {
+                if state.reject_if_expired(requests, i, clock.now()) {
+                    // Arrived already past its deadline: rejected above.
+                } else if state.free > 0 {
                     state.start_service(platform, clock, &mut queue, requests, i);
                 } else {
                     state.waiting.push_back(i);
@@ -253,8 +287,14 @@ pub fn run_concurrent<P: ConcurrentPlatform>(
                     }
                 }
                 state.free += 1;
-                if let Some(next) = state.waiting.pop_front() {
+                // Skip over queued requests whose deadline passed while
+                // they waited; serve the first still-admissible one.
+                while let Some(next) = state.waiting.pop_front() {
+                    if state.reject_if_expired(requests, next, clock.now()) {
+                        continue;
+                    }
                     state.start_service(platform, clock, &mut queue, requests, next);
+                    break;
                 }
             }
         }
@@ -305,6 +345,7 @@ mod tests {
     use crate::api::{FunctionSpec, StartKind};
     use crate::env::PlatformEnv;
     use crate::fireworks::FireworksPlatform;
+    use fireworks_lang::Value;
     use fireworks_runtime::RuntimeKind;
 
     const SRC: &str = "
@@ -330,12 +371,7 @@ mod tests {
 
     fn burst(count: usize, at: Nanos) -> Vec<EngineRequest> {
         (0..count)
-            .map(|_| EngineRequest {
-                function: "f".into(),
-                arrival: at,
-                args: args(500),
-                mode: StartMode::Auto,
-            })
+            .map(|_| EngineRequest::at(at, InvokeRequest::new("f", args(500))))
             .collect()
     }
 
@@ -446,18 +482,8 @@ mod tests {
         let mut p = installed_platform();
         let env = p.env().clone();
         let requests = vec![
-            EngineRequest {
-                function: "ghost".into(),
-                arrival: Nanos::ZERO,
-                args: args(1),
-                mode: StartMode::Auto,
-            },
-            EngineRequest {
-                function: "f".into(),
-                arrival: Nanos::ZERO,
-                args: args(10),
-                mode: StartMode::Auto,
-            },
+            EngineRequest::at(Nanos::ZERO, InvokeRequest::new("ghost", args(1))),
+            EngineRequest::at(Nanos::ZERO, InvokeRequest::new("f", args(10))),
         ];
         let report = run_concurrent(
             &mut p,
@@ -474,6 +500,48 @@ mod tests {
         assert_eq!(inv.value, Value::Int(45));
         assert_eq!(
             report.completions[1].started,
+            report.completions[0].finished
+        );
+    }
+
+    #[test]
+    fn queued_requests_past_their_deadline_are_rejected_without_a_slot() {
+        let mut p = installed_platform();
+        let env = p.env().clone();
+        // One slot; the first request occupies it for its whole service
+        // time, so the second — deadline 1 ns after arrival — expires in
+        // the queue, and the third still runs.
+        let requests = vec![
+            EngineRequest::at(Nanos::ZERO, InvokeRequest::new("f", args(500))),
+            EngineRequest::at(
+                Nanos::ZERO,
+                InvokeRequest::new("f", args(500)).with_deadline(Nanos::from_nanos(1)),
+            ),
+            EngineRequest::at(Nanos::ZERO, InvokeRequest::new("f", args(500))),
+        ];
+        let report = run_concurrent(
+            &mut p,
+            &env.clock,
+            &env.obs,
+            &EngineConfig::new(1),
+            &requests,
+        );
+        assert!(report.completions[0].result.is_ok());
+        assert!(matches!(
+            report.completions[1].result,
+            Err(PlatformError::DeadlineExceeded { .. })
+        ));
+        assert_eq!(
+            report.completions[1].sojourn(),
+            report.completions[0].finished,
+            "rejected exactly when its slot would have opened"
+        );
+        let inv2 = report.completions[2].result.as_ref().expect("succeeds");
+        assert_eq!(inv2.value, Value::Int(124750));
+        // The third request started right after the first finished: the
+        // expired request never held the slot.
+        assert_eq!(
+            report.completions[2].started,
             report.completions[0].finished
         );
     }

@@ -70,6 +70,16 @@ impl PlatformEnv {
     /// Builds the services for one host.
     pub fn new(config: EnvConfig) -> Self {
         let clock = Clock::new();
+        let obs = Obs::new(clock.clone());
+        PlatformEnv::with_shared(config, clock, obs)
+    }
+
+    /// Builds the services for one host on an *existing* clock and obs
+    /// plane. This is how a cluster stamps out per-host environments:
+    /// each host gets its own memory, bus, store, network, and fault
+    /// injector, but all hosts advance one virtual timeline and emit
+    /// into one trace/metrics registry.
+    pub fn with_shared(config: EnvConfig, clock: Clock, obs: Obs) -> Self {
         let costs = Rc::new(config.costs);
         let host_mem = HostMemory::new(clock.clone(), config.ram_bytes, config.swappiness);
         let mut inj = FaultInjector::new(config.fault_plan);
@@ -79,7 +89,6 @@ impl PlatformEnv {
             clock.clone(),
             costs.bus.clone(),
         )));
-        let obs = Obs::new(clock.clone());
         let mut raw_store = DocumentStore::new(clock.clone(), StoreCosts::default());
         raw_store.set_fault_injector(injector.clone());
         raw_store.set_obs(obs.clone());

@@ -18,11 +18,12 @@ use fireworks_sim::trace::{Phase, Trace};
 use fireworks_sim::Nanos;
 
 use crate::api::{
-    ConcurrentPlatform, FunctionSpec, InFlightToken, InstallReport, Invocation, Platform,
-    PlatformError, StartKind, StartMode,
+    ConcurrentPlatform, FunctionSpec, InFlightToken, InstallReport, Invocation, InvokeRequest,
+    Platform, PlatformError, StartKind,
 };
 use crate::audit::{SecurityAudit, SecurityPolicy};
 use crate::cache::SnapshotCache;
+use crate::config::{PagingPolicy, PlatformConfig, RecoveryPolicy};
 use crate::env::PlatformEnv;
 use crate::host::{GuestHost, NetMode};
 
@@ -33,58 +34,6 @@ pub const GUEST_IP: Ip = Ip::new(172, 16, 0, 2);
 pub const GUEST_MAC: Mac = Mac([0x06, 0x00, 0xac, 0x10, 0x00, 0x02]);
 /// Tap device name baked into every snapshot.
 pub const GUEST_TAP: &str = "tap0";
-
-/// Where snapshot pages live when an invocation arrives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PagingPolicy {
-    /// Snapshot pages are resident in the host page cache (the paper's
-    /// single-host evaluation): restores fault cheaply via CoW.
-    WarmPageCache,
-    /// Snapshot pages live in cold storage (remote or evicted): first
-    /// touches are major faults unless prefetched. The REAP extension
-    /// records each function's working set on its first cold invocation
-    /// and prefetches it afterwards.
-    ColdStorage {
-        /// Whether REAP recording/prefetching is enabled.
-        reap: bool,
-    },
-}
-
-/// How the platform reacts to infrastructure failures (injected or
-/// otherwise) on the snapshot-restore path.
-#[derive(Debug, Clone)]
-pub struct RecoveryPolicy {
-    /// Boot/restore attempts per invocation, first try included.
-    pub max_attempts: u32,
-    /// Backoff before retry `k` (1-based) is `backoff_base * 2^(k-1)`,
-    /// charged in virtual time and traced as a `recovery_backoff` span.
-    pub backoff_base: Nanos,
-    /// Consecutive infrastructure failures that open a function's
-    /// circuit breaker.
-    pub circuit_threshold: u32,
-    /// While the breaker is open, invocations fail fast with
-    /// [`PlatformError::CircuitOpen`] for this long; the first attempt
-    /// after the cooldown is let through (half-open).
-    pub circuit_cooldown: Nanos,
-}
-
-impl Default for RecoveryPolicy {
-    fn default() -> Self {
-        RecoveryPolicy {
-            max_attempts: 3,
-            backoff_base: Nanos::from_millis(2),
-            circuit_threshold: 3,
-            circuit_cooldown: Nanos::from_secs(10),
-        }
-    }
-}
-
-impl RecoveryPolicy {
-    /// Backoff charged before retry number `attempt` (1-based).
-    fn backoff(&self, attempt: u32) -> Nanos {
-        self.backoff_base * (1u64 << u64::from(attempt.saturating_sub(1).min(16)))
-    }
-}
 
 /// Reliability counters for one installed function (see
 /// [`FireworksPlatform::health`]).
@@ -182,18 +131,21 @@ pub struct FireworksPlatform {
 }
 
 impl FireworksPlatform {
-    /// Creates a platform with a generous snapshot-cache budget.
+    /// Creates a platform with the default [`PlatformConfig`] (generous
+    /// snapshot-cache budget, default recovery/paging/security).
     pub fn new(env: PlatformEnv) -> Self {
-        FireworksPlatform::with_cache_budget(env, u64::MAX)
+        FireworksPlatform::with_config(env, PlatformConfig::default())
     }
 
-    /// Creates a platform whose snapshot store is bounded to
-    /// `cache_budget_bytes` (paper §6: disk-space overhead).
-    pub fn with_cache_budget(env: PlatformEnv, cache_budget_bytes: u64) -> Self {
+    /// Creates a platform with an explicit construction-time config:
+    /// snapshot-cache budget (paper §6: disk-space overhead), recovery,
+    /// paging, and security policies. The config is fixed for the
+    /// platform's lifetime.
+    pub fn with_config(env: PlatformEnv, config: PlatformConfig) -> Self {
         let mut mgr = VmManager::new(env.clock.clone(), env.costs.clone(), env.host_mem.clone());
         mgr.set_fault_injector(env.injector.clone());
         mgr.set_obs(env.obs.clone());
-        let mut cache = SnapshotCache::new(cache_budget_bytes);
+        let mut cache = SnapshotCache::new(config.cache_budget_bytes);
         cache.set_obs(env.obs.clone());
         FireworksPlatform {
             env,
@@ -201,31 +153,15 @@ impl FireworksPlatform {
             registry: HashMap::new(),
             cache,
             next_instance: 1,
-            security: SecurityPolicy::default(),
-            paging: PagingPolicy::WarmPageCache,
-            recovery: RecoveryPolicy::default(),
+            security: config.security,
+            paging: config.paging,
+            recovery: config.recovery,
         }
-    }
-
-    /// Sets the recovery policy (retries, backoff, circuit breaker).
-    pub fn set_recovery_policy(&mut self, recovery: RecoveryPolicy) {
-        self.recovery = recovery;
-    }
-
-    /// Sets where snapshot pages live (page cache vs cold storage with
-    /// optional REAP prefetching).
-    pub fn set_paging_policy(&mut self, paging: PagingPolicy) {
-        self.paging = paging;
     }
 
     /// The environment this platform runs on.
     pub fn env(&self) -> &PlatformEnv {
         &self.env
-    }
-
-    /// Sets the snapshot security policy.
-    pub fn set_security_policy(&mut self, policy: SecurityPolicy) {
-        self.security = policy;
     }
 
     /// Snapshot-cache eviction count (for the disk-budget ablation).
@@ -877,15 +813,10 @@ impl Platform for FireworksPlatform {
         Ok(report)
     }
 
-    fn invoke(
-        &mut self,
-        name: &str,
-        args: &Value,
-        mode: StartMode,
-    ) -> Result<Invocation, PlatformError> {
+    fn invoke(&mut self, req: &InvokeRequest) -> Result<Invocation, PlatformError> {
         // A blocking invoke is the degenerate one-event schedule: service
         // and completion at the same instant.
-        let (invocation, clone) = self.begin_invoke(name, args, mode)?;
+        let (invocation, clone) = self.begin_invoke(req)?;
         self.finish_invoke(clone);
         Ok(invocation)
     }
@@ -901,10 +832,9 @@ impl Platform for FireworksPlatform {
     fn invoke_chain(
         &mut self,
         names: &[&str],
-        args: &Value,
-        mode: StartMode,
+        req: &InvokeRequest,
     ) -> Result<Vec<Invocation>, PlatformError> {
-        crate::api::run_chain(self, names, args, mode)
+        crate::api::run_chain(self, names, req)
     }
 }
 
@@ -913,18 +843,23 @@ impl ConcurrentPlatform for FireworksPlatform {
 
     fn begin_invoke(
         &mut self,
-        name: &str,
-        args: &Value,
-        _mode: StartMode,
+        req: &InvokeRequest,
     ) -> Result<(Invocation, ResidentClone), PlatformError> {
         // Fireworks has no cold/warm distinction (§5.1): every invocation
-        // is a snapshot restore, and the clone stays resident — its guest
-        // memory charged against the host — until `finish_invoke`.
-        self.invoke_internal(name, args)
+        // is a snapshot restore regardless of `req.mode`, and the clone
+        // stays resident — its guest memory charged against the host —
+        // until `finish_invoke`.
+        self.invoke_internal(&req.function, &req.args)
     }
 
     fn finish_invoke(&mut self, clone: ResidentClone) {
         self.release_clone(clone);
+    }
+
+    fn holds_snapshot(&self, function: &str) -> bool {
+        // The locality signal a cluster router steers by: is this host's
+        // LRU still holding the function's post-JIT snapshot?
+        self.cache.contains(function)
     }
 }
 
@@ -964,6 +899,10 @@ mod tests {
         Value::map([("n".to_string(), Value::Int(n))])
     }
 
+    fn req(name: &str, n: i64) -> InvokeRequest {
+        InvokeRequest::new(name, args(n))
+    }
+
     #[test]
     fn install_creates_post_jit_snapshot() {
         let mut p = platform();
@@ -979,9 +918,7 @@ mod tests {
         let mut p = platform();
         p.install(&spec("fact")).expect("installs");
         // 360 = 2^3 * 3^2 * 5 → 6 prime factors.
-        let inv = p
-            .invoke("fact", &args(360), StartMode::Auto)
-            .expect("invokes");
+        let inv = p.invoke(&req("fact", 360)).expect("invokes");
         assert_eq!(inv.value, Value::Int(6));
         assert_eq!(inv.start, StartKind::SnapshotRestore);
     }
@@ -990,9 +927,7 @@ mod tests {
     fn startup_is_orders_of_magnitude_below_install() {
         let mut p = platform();
         let report = p.install(&spec("fact")).expect("installs");
-        let inv = p
-            .invoke("fact", &args(12345), StartMode::Auto)
-            .expect("invokes");
+        let inv = p.invoke(&req("fact", 12345)).expect("invokes");
         assert!(
             inv.breakdown.startup.as_nanos() * 20 < report.install_time.as_nanos(),
             "startup {} vs install {}",
@@ -1007,9 +942,7 @@ mod tests {
     fn invocation_executes_jitted_without_compiles() {
         let mut p = platform();
         p.install(&spec("fact")).expect("installs");
-        let inv = p
-            .invoke("fact", &args(1_000_003), StartMode::Auto)
-            .expect("invokes");
+        let inv = p.invoke(&req("fact", 1_000_003)).expect("invokes");
         assert_eq!(inv.stats.compiles, 0, "post-JIT: no compile at invoke");
         assert!(
             inv.stats.jit_ops > inv.stats.interp_ops,
@@ -1041,8 +974,8 @@ mod tests {
     fn clones_get_distinct_arguments_despite_identical_memory() {
         let mut p = platform();
         p.install(&spec("fact")).expect("installs");
-        let i1 = p.invoke("fact", &args(8), StartMode::Auto).expect("1");
-        let i2 = p.invoke("fact", &args(36), StartMode::Auto).expect("2");
+        let i1 = p.invoke(&req("fact", 8)).expect("1");
+        let i2 = p.invoke(&req("fact", 36)).expect("2");
         assert_eq!(i1.value, Value::Int(3)); // 2*2*2
         assert_eq!(i2.value, Value::Int(4)); // 2*2*3*3
     }
@@ -1051,7 +984,7 @@ mod tests {
     fn unknown_function_errors() {
         let mut p = platform();
         assert!(matches!(
-            p.invoke("ghost", &args(1), StartMode::Auto),
+            p.invoke(&req("ghost", 1)),
             Err(PlatformError::UnknownFunction(_))
         ));
     }
@@ -1060,30 +993,40 @@ mod tests {
     fn cache_eviction_triggers_rebuild_on_invoke() {
         // Budget fits roughly one snapshot: installing two functions
         // evicts the first; invoking it must transparently rebuild.
-        let mut p = FireworksPlatform::with_cache_budget(PlatformEnv::default_env(), 200 << 20);
+        let mut p = FireworksPlatform::with_config(
+            PlatformEnv::default_env(),
+            PlatformConfig::builder().cache_budget(200 << 20).build(),
+        );
         p.install(&spec("f1")).expect("installs");
         p.install(&spec("f2")).expect("installs");
         assert!(p.cache_evictions() > 0, "budget forced an eviction");
-        let inv = p
-            .invoke("f1", &args(10), StartMode::Auto)
-            .expect("rebuilds");
+        assert!(
+            p.holds_snapshot("f2") && !p.holds_snapshot("f1"),
+            "the locality signal tracks the LRU"
+        );
+        let inv = p.invoke(&req("f1", 10)).expect("rebuilds");
         assert_eq!(inv.value, Value::Int(2));
         assert!(
             inv.trace.total_for("snapshot_rebuild") > Nanos::ZERO,
             "rebuild must be visible in the trace"
         );
+        assert!(p.holds_snapshot("f1"), "the rebuild re-populated the cache");
     }
 
     #[test]
     fn security_refresh_regenerates_snapshot() {
-        let mut p = platform();
+        let mut p = FireworksPlatform::with_config(
+            PlatformEnv::default_env(),
+            PlatformConfig::builder()
+                .security(SecurityPolicy {
+                    reseed_rng_on_restore: true,
+                    refresh_after_invocations: 2,
+                })
+                .build(),
+        );
         p.install(&spec("fact")).expect("installs");
-        p.set_security_policy(SecurityPolicy {
-            reseed_rng_on_restore: true,
-            refresh_after_invocations: 2,
-        });
         for _ in 0..2 {
-            p.invoke("fact", &args(10), StartMode::Auto).expect("ok");
+            p.invoke(&req("fact", 10)).expect("ok");
         }
         let audit = p.audit("fact").expect("installed");
         assert_eq!(audit.refreshes, 1, "refresh after 2 invocations");
@@ -1096,7 +1039,7 @@ mod tests {
         let mut p = platform();
         p.install(&spec("fact")).expect("installs");
         for _ in 0..3 {
-            p.invoke("fact", &args(10), StartMode::Auto).expect("ok");
+            p.invoke(&req("fact", 10)).expect("ok");
         }
         let audit = p.audit("fact").expect("installed");
         assert_eq!(audit.clones_from_current_snapshot, 3);
@@ -1115,11 +1058,10 @@ mod tests {
         .expect("installs");
         let ns_before = p.env().net.borrow().namespace_count();
         for _ in 0..3 {
-            let err = p.invoke(
+            let err = p.invoke(&InvokeRequest::new(
                 "crashy",
-                &Value::map([("zero".to_string(), Value::Int(0))]),
-                StartMode::Auto,
-            );
+                Value::map([("zero".to_string(), Value::Int(0))]),
+            ));
             assert!(err.is_err());
         }
         assert_eq!(
@@ -1128,11 +1070,10 @@ mod tests {
             "crashed invocations must not leak namespaces"
         );
         // Successful invocations clean up their parameter topics too.
-        p.invoke(
+        p.invoke(&InvokeRequest::new(
             "crashy",
-            &Value::map([("zero".to_string(), Value::Int(2))]),
-            StartMode::Auto,
-        )
+            Value::map([("zero".to_string(), Value::Int(2))]),
+        ))
         .expect("runs");
         assert!(
             !p.env().bus.borrow().has_topic("params-vm-1"),
@@ -1142,21 +1083,25 @@ mod tests {
 
     #[test]
     fn cold_storage_paging_faults_and_reap_prefetch_recovers() {
-        let args10 = args(10);
+        let req10 = req("fact", 10);
 
         // Warm page cache: no paging span at all.
         let mut warm = platform();
         warm.install(&spec("fact")).expect("installs");
-        let warm_inv = warm.invoke("fact", &args10, StartMode::Auto).expect("ok");
+        let warm_inv = warm.invoke(&req10).expect("ok");
         assert_eq!(warm_inv.trace.total_for("paging"), Nanos::ZERO);
 
         // Cold storage without REAP: every invocation faults the whole
         // working set from storage.
-        let mut cold = platform();
+        let mut cold = FireworksPlatform::with_config(
+            PlatformEnv::default_env(),
+            PlatformConfig::builder()
+                .paging(PagingPolicy::ColdStorage { reap: false })
+                .build(),
+        );
         cold.install(&spec("fact")).expect("installs");
-        cold.set_paging_policy(PagingPolicy::ColdStorage { reap: false });
-        let c1 = cold.invoke("fact", &args10, StartMode::Auto).expect("ok");
-        let c2 = cold.invoke("fact", &args10, StartMode::Auto).expect("ok");
+        let c1 = cold.invoke(&req10).expect("ok");
+        let c2 = cold.invoke(&req10).expect("ok");
         let cold_paging = c1.trace.total_for("paging");
         assert!(
             cold_paging > Nanos::from_millis(5),
@@ -1166,11 +1111,15 @@ mod tests {
 
         // Cold storage with REAP: first invocation records, later ones
         // prefetch in one sequential read — much cheaper.
-        let mut reap = platform();
+        let mut reap = FireworksPlatform::with_config(
+            PlatformEnv::default_env(),
+            PlatformConfig::builder()
+                .paging(PagingPolicy::ColdStorage { reap: true })
+                .build(),
+        );
         reap.install(&spec("fact")).expect("installs");
-        reap.set_paging_policy(PagingPolicy::ColdStorage { reap: true });
-        let r1 = reap.invoke("fact", &args10, StartMode::Auto).expect("ok");
-        let r2 = reap.invoke("fact", &args10, StartMode::Auto).expect("ok");
+        let r1 = reap.invoke(&req10).expect("ok");
+        let r2 = reap.invoke(&req10).expect("ok");
         assert_eq!(
             r1.trace.total_for("paging"),
             cold_paging,
@@ -1191,9 +1140,7 @@ mod tests {
         let plan = FaultPlan::new(7).nth(FaultSite::SnapshotRead, 1);
         let mut p = FireworksPlatform::new(PlatformEnv::with_fault_plan(plan));
         p.install(&spec("fact")).expect("installs");
-        let inv = p
-            .invoke("fact", &args(360), StartMode::Auto)
-            .expect("recovers");
+        let inv = p.invoke(&req("fact", 360)).expect("recovers");
         assert_eq!(inv.value, Value::Int(6), "result unaffected by the fault");
         assert!(
             inv.trace.total_for("recovery_backoff") > Nanos::ZERO,
@@ -1221,8 +1168,7 @@ mod tests {
         let plan = FaultPlan::new(7).nth(FaultSite::SnapshotRead, 1);
         let mut p = FireworksPlatform::new(PlatformEnv::with_fault_plan(plan));
         p.install(&spec("fact")).expect("installs");
-        p.invoke("fact", &args(360), StartMode::Auto)
-            .expect("recovers");
+        p.invoke(&req("fact", 360)).expect("recovers");
 
         let health = p.health("fact").expect("installed");
         assert_eq!(health.restore_retries, 1, "one transient retry");
@@ -1272,9 +1218,7 @@ mod tests {
         // Damage a page of the cached snapshot behind the platform's back
         // (disk corruption, not an armed injector).
         p.cache.get("fact").expect("cached").mem().corrupt_page(123);
-        let inv = p
-            .invoke("fact", &args(360), StartMode::Auto)
-            .expect("self-heals");
+        let inv = p.invoke(&req("fact", 360)).expect("self-heals");
         assert_eq!(inv.value, Value::Int(6));
         assert!(
             inv.trace.total_for("snapshot_rebuild") > Nanos::ZERO,
@@ -1284,9 +1228,7 @@ mod tests {
         assert_eq!(health.quarantines, 1);
         assert_eq!(health.rebuilds, 1);
         // The rebuilt snapshot serves the next invocation cleanly.
-        let inv2 = p
-            .invoke("fact", &args(360), StartMode::Auto)
-            .expect("restores");
+        let inv2 = p.invoke(&req("fact", 360)).expect("restores");
         assert_eq!(inv2.start, StartKind::SnapshotRestore);
         assert_eq!(inv2.trace.total_for("snapshot_rebuild"), Nanos::ZERO);
         assert_eq!(inv2.trace.total_for("recovery_backoff"), Nanos::ZERO);
@@ -1301,7 +1243,7 @@ mod tests {
         p.install(&spec("fact")).expect("installs");
         let ns_before = p.env().net.borrow().namespace_count();
         for i in 0..3 {
-            let err = p.invoke("fact", &args(10), StartMode::Auto);
+            let err = p.invoke(&req("fact", 10));
             assert!(matches!(err, Err(PlatformError::Vm(_))), "attempt {i}");
         }
         assert_eq!(
@@ -1311,15 +1253,15 @@ mod tests {
         );
         // Threshold reached: the breaker fails fast without retrying.
         let t0 = p.env().clock.now();
-        let err = p.invoke("fact", &args(10), StartMode::Auto);
+        let err = p.invoke(&req("fact", 10));
         assert!(matches!(err, Err(PlatformError::CircuitOpen { .. })));
         assert_eq!(p.env().clock.now(), t0, "fail-fast charges nothing");
         // After the cooldown one half-open attempt goes through (and, with
         // the fault still armed, re-opens the breaker).
         p.env().clock.advance(Nanos::from_secs(11));
-        let err = p.invoke("fact", &args(10), StartMode::Auto);
+        let err = p.invoke(&req("fact", 10));
         assert!(matches!(err, Err(PlatformError::Vm(_))));
-        let err = p.invoke("fact", &args(10), StartMode::Auto);
+        let err = p.invoke(&req("fact", 10));
         assert!(matches!(err, Err(PlatformError::CircuitOpen { .. })));
         let health = p.health("fact").expect("installed");
         assert!(health.circuit_open_until.is_some());
@@ -1337,11 +1279,10 @@ mod tests {
         ))
         .expect("installs");
         for _ in 0..5 {
-            let err = p.invoke(
+            let err = p.invoke(&InvokeRequest::new(
                 "crashy",
-                &Value::map([("zero".to_string(), Value::Int(0))]),
-                StartMode::Auto,
-            );
+                Value::map([("zero".to_string(), Value::Int(0))]),
+            ));
             assert!(matches!(err, Err(PlatformError::Lang(_))));
         }
         let health = p.health("crashy").expect("installed");
@@ -1368,7 +1309,7 @@ mod tests {
         .expect("installs");
         assert!(p.supports_chains());
         let results = p
-            .invoke_chain(&["fact", "wrap"], &args(8), StartMode::Auto)
+            .invoke_chain(&["fact", "wrap"], &InvokeRequest::new("fact", args(8)))
             .expect("chain runs");
         assert_eq!(results.len(), 2);
         // fact(8) = 3 primes → wrap makes { n: 4 }.

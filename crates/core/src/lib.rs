@@ -23,25 +23,30 @@
 //! `fireworks-baselines` crate, and [`host::GuestHost`] is the common
 //! embedding that serves guest I/O against the sandbox's data path.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod api;
 pub mod audit;
 pub mod cache;
+pub mod cluster;
+pub mod config;
 pub mod engine;
 pub mod env;
 pub mod fireworks;
 pub mod host;
 
 pub use api::{
-    ConcurrentPlatform, FunctionSpec, InFlightToken, InstallReport, Invocation, Platform,
-    PlatformError, StartKind, StartMode,
+    ConcurrentPlatform, FunctionSpec, InFlightToken, InstallReport, Invocation, InvokeRequest,
+    Platform, PlatformError, StartKind, StartMode,
 };
+pub use cluster::{
+    Cluster, ClusterCompletion, ClusterConfig, ClusterReport, HostView, LeastLoaded,
+    LocalityAffinity, RoundRobin, Route, Router,
+};
+pub use config::{PagingPolicy, PlatformConfig, PlatformConfigBuilder, RecoveryPolicy};
 pub use engine::{
     run_concurrent, CompletionPolicy, EngineCompletion, EngineConfig, EngineReport, EngineRequest,
 };
 pub use env::PlatformEnv;
-pub use fireworks::{
-    FireworksPlatform, FunctionHealth, PagingPolicy, RecoveryPolicy, ResidentClone,
-};
+pub use fireworks::{FireworksPlatform, FunctionHealth, ResidentClone};

@@ -34,16 +34,22 @@ pub enum FaultSite {
     StoreUnavailable,
     /// A delivered packet is dropped by the host network.
     NetLoss,
+    /// An entire host drops out of the cluster (crash, power loss, or a
+    /// network partition that fences it). Checked by the cluster layer at
+    /// host service boundaries; a firing drains and re-routes that host's
+    /// queue.
+    HostCrash,
 }
 
 impl FaultSite {
     /// Every site, in a fixed order (indexes the injector's counters).
-    pub const ALL: [FaultSite; 5] = [
+    pub const ALL: [FaultSite; 6] = [
         FaultSite::SnapshotRead,
         FaultSite::SnapshotCorruption,
         FaultSite::VmCrash,
         FaultSite::StoreUnavailable,
         FaultSite::NetLoss,
+        FaultSite::HostCrash,
     ];
 
     /// Stable label used in trace events and reports.
@@ -54,6 +60,7 @@ impl FaultSite {
             FaultSite::VmCrash => "vm_crash",
             FaultSite::StoreUnavailable => "store_unavailable",
             FaultSite::NetLoss => "net_loss",
+            FaultSite::HostCrash => "host_crash",
         }
     }
 
@@ -64,6 +71,7 @@ impl FaultSite {
             FaultSite::VmCrash => 2,
             FaultSite::StoreUnavailable => 3,
             FaultSite::NetLoss => 4,
+            FaultSite::HostCrash => 5,
         }
     }
 }

@@ -6,7 +6,7 @@
 //! pressure. Every schedule here is a pure function of its seed, so
 //! same-seed runs are byte-identical.
 
-use fireworks_core::api::StartMode;
+use fireworks_core::api::InvokeRequest;
 use fireworks_core::engine::EngineRequest;
 use fireworks_lang::Value;
 use fireworks_sim::rng::SplitMix64;
@@ -34,12 +34,7 @@ pub fn poisson_schedule(
             let u = rng.next_f64().max(1e-12);
             t += mean_inter_arrival.scale(-u.ln());
             let (name, args) = &mix[rng.next_below(mix.len() as u64) as usize];
-            EngineRequest {
-                function: (*name).to_string(),
-                arrival: t,
-                args: args.deep_clone(),
-                mode: StartMode::Auto,
-            }
+            EngineRequest::at(t, InvokeRequest::new(*name, args.deep_clone()))
         })
         .collect()
 }
@@ -49,12 +44,7 @@ pub fn poisson_schedule(
 /// must coexist.
 pub fn burst(function: &str, args: &Value, count: usize, at: Nanos) -> Vec<EngineRequest> {
     (0..count)
-        .map(|_| EngineRequest {
-            function: function.to_string(),
-            arrival: at,
-            args: args.deep_clone(),
-            mode: StartMode::Auto,
-        })
+        .map(|_| EngineRequest::at(at, InvokeRequest::new(function, args.deep_clone())))
         .collect()
 }
 
@@ -79,7 +69,7 @@ mod tests {
         assert!(a
             .iter()
             .zip(&b)
-            .all(|(x, y)| x.arrival == y.arrival && x.function == y.function));
+            .all(|(x, y)| x.arrival == y.arrival && x.invoke.function == y.invoke.function));
     }
 
     #[test]
@@ -94,7 +84,7 @@ mod tests {
         let sched = poisson_schedule(5, 300, Nanos::from_millis(1), &mix());
         for (name, _) in mix() {
             assert!(
-                sched.iter().any(|r| r.function == name),
+                sched.iter().any(|r| r.invoke.function == name),
                 "{name} never drawn"
             );
         }
@@ -105,6 +95,6 @@ mod tests {
         let b = burst("f", &Value::Int(7), 12, Nanos::from_millis(3));
         assert_eq!(b.len(), 12);
         assert!(b.iter().all(|r| r.arrival == Nanos::from_millis(3)));
-        assert!(b.iter().all(|r| r.args == Value::Int(7)));
+        assert!(b.iter().all(|r| r.invoke.args == Value::Int(7)));
     }
 }

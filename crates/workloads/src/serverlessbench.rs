@@ -1,7 +1,9 @@
 //! The ServerlessBench real-world applications (paper §5.3, Fig. 8) as
 //! chains of serverless functions.
 
-use fireworks_core::api::{FunctionSpec, Invocation, Platform, PlatformError, StartMode};
+use fireworks_core::api::{
+    FunctionSpec, Invocation, InvokeRequest, Platform, PlatformError, StartMode,
+};
 use fireworks_core::env::PlatformEnv;
 use fireworks_lang::Value;
 use fireworks_runtime::RuntimeKind;
@@ -170,7 +172,7 @@ impl AlexaApp {
         mode: StartMode,
     ) -> Result<Vec<StageResult>, PlatformError> {
         let request = Value::map([("utterance".to_string(), Value::str(utterance))]);
-        let parse = platform.invoke("alexa-parse", &request, mode)?;
+        let parse = platform.invoke(&InvokeRequest::new("alexa-parse", request).with_mode(mode))?;
         let intent = match &parse.value {
             Value::Map(m) => match m.borrow().get("intent") {
                 Some(Value::Str(s)) => s.to_string(),
@@ -188,7 +190,8 @@ impl AlexaApp {
             "smarthome" => "smart home",
             _ => "fact",
         };
-        let skill_inv = platform.invoke(skill, &parse.value, mode)?;
+        let skill_inv = platform
+            .invoke(&InvokeRequest::new(skill, parse.value.deep_clone()).with_mode(mode))?;
         Ok(vec![
             StageResult {
                 stage: "parse",
@@ -351,7 +354,10 @@ impl DataAnalysisApp {
         record: &Value,
         mode: StartMode,
     ) -> Result<Vec<StageResult>, PlatformError> {
-        let results = platform.invoke_chain(&["wage-validate", "wage-insert"], record, mode)?;
+        let results = platform.invoke_chain(
+            &["wage-validate", "wage-insert"],
+            &InvokeRequest::new("wage-validate", record.deep_clone()).with_mode(mode),
+        )?;
         let mut out = Vec::with_capacity(2);
         let mut iter = results.into_iter();
         out.push(StageResult {
@@ -378,7 +384,8 @@ impl DataAnalysisApp {
             return Ok(None);
         }
         self.last_seq = seq;
-        let inv = platform.invoke("wage-stats", &Value::map([]), mode)?;
+        let inv =
+            platform.invoke(&InvokeRequest::new("wage-stats", Value::map([])).with_mode(mode))?;
         Ok(Some(vec![StageResult {
             stage: "analysis",
             invocation: inv,

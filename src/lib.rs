@@ -39,9 +39,8 @@
 //! assert!(report.snapshot_pages > 0);
 //!
 //! // Invoke: restore the snapshot and run the already-JITted function.
-//! let inv = platform
-//!     .invoke(&spec.name, &Bench::Fact.request_params(), StartMode::Auto)
-//!     .expect("invoke");
+//! let req = InvokeRequest::new(&spec.name, Bench::Fact.request_params());
+//! let inv = platform.invoke(&req).expect("invoke");
 //! assert_eq!(inv.stats.compiles, 0); // post-JIT: nothing left to compile
 //! println!(
 //!     "startup {} exec {} others {}",
@@ -73,10 +72,15 @@ pub mod prelude {
         FirecrackerPlatform, GvisorPlatform, OpenWhiskPlatform, SnapshotPolicy,
     };
     pub use fireworks_core::api::{
-        FunctionSpec, InstallReport, Invocation, Platform, PlatformError, StartKind, StartMode,
+        FunctionSpec, InstallReport, Invocation, InvokeRequest, Platform, PlatformError, StartKind,
+        StartMode,
     };
     pub use fireworks_core::env::{EnvConfig, PlatformEnv};
-    pub use fireworks_core::{FireworksPlatform, FunctionHealth, RecoveryPolicy, ResidentClone};
+    pub use fireworks_core::{
+        Cluster, ClusterConfig, ClusterReport, FireworksPlatform, FunctionHealth, LeastLoaded,
+        LocalityAffinity, PagingPolicy, PlatformConfig, RecoveryPolicy, ResidentClone, RoundRobin,
+        Router,
+    };
     pub use fireworks_lang::Value;
     pub use fireworks_obs::{Metrics, MetricsSnapshot, Obs, Recorder, SpanId};
     pub use fireworks_runtime::{RuntimeKind, RuntimeProfile};

@@ -21,7 +21,7 @@ fn fireworks_pipeline_runs_all_faasdom_benchmarks_in_both_runtimes() {
             let spec = bench.spec(runtime);
             platform.install(&spec).expect("install");
             let inv = platform
-                .invoke(&spec.name, &bench.request_params(), StartMode::Auto)
+                .invoke(&InvokeRequest::new(&spec.name, bench.request_params()))
                 .expect("invoke");
             assert_eq!(inv.start, StartKind::SnapshotRestore, "{}", spec.name);
             assert!(inv.total() > Nanos::ZERO);
@@ -40,10 +40,10 @@ fn snapshot_clones_are_isolated_but_share_the_snapshot() {
     // Distinct arguments produce distinct results even though all clones
     // resume from byte-identical memory.
     let r8 = platform
-        .invoke(&spec.name, &fact_args(8), StartMode::Auto)
+        .invoke(&InvokeRequest::new(&spec.name, fact_args(8)))
         .expect("invoke");
     let r97 = platform
-        .invoke(&spec.name, &fact_args(97), StartMode::Auto)
+        .invoke(&InvokeRequest::new(&spec.name, fact_args(97)))
         .expect("invoke");
     assert_eq!(r8.value, Value::Int(3));
     assert_eq!(r97.value, Value::Int(1));
@@ -72,7 +72,7 @@ fn install_once_invoke_many_start_latency_is_stable() {
     let mut startups = Vec::new();
     for _ in 0..5 {
         let inv = platform
-            .invoke(&spec.name, &Value::map([]), StartMode::Auto)
+            .invoke(&InvokeRequest::new(&spec.name, Value::map([])))
             .expect("invoke");
         startups.push(inv.breakdown.startup);
     }
@@ -89,7 +89,7 @@ fn all_four_platforms_agree_on_results() {
     let mut fw = FireworksPlatform::new(PlatformEnv::default_env());
     fw.install(&spec).expect("install");
     assert_eq!(
-        fw.invoke(&spec.name, &args, StartMode::Auto)
+        fw.invoke(&InvokeRequest::new(&spec.name, args.deep_clone()))
             .expect("fw")
             .value,
         expected
@@ -98,7 +98,7 @@ fn all_four_platforms_agree_on_results() {
     let mut ow = OpenWhiskPlatform::new(PlatformEnv::default_env());
     ow.install(&spec).expect("install");
     assert_eq!(
-        ow.invoke(&spec.name, &args, StartMode::Cold)
+        ow.invoke(&InvokeRequest::new(&spec.name, args.deep_clone()).with_mode(StartMode::Cold))
             .expect("ow")
             .value,
         expected
@@ -107,7 +107,7 @@ fn all_four_platforms_agree_on_results() {
     let mut gv = GvisorPlatform::new(PlatformEnv::default_env());
     gv.install(&spec).expect("install");
     assert_eq!(
-        gv.invoke(&spec.name, &args, StartMode::Cold)
+        gv.invoke(&InvokeRequest::new(&spec.name, args.deep_clone()).with_mode(StartMode::Cold))
             .expect("gv")
             .value,
         expected
@@ -116,7 +116,7 @@ fn all_four_platforms_agree_on_results() {
     let mut fc = FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::None);
     fc.install(&spec).expect("install");
     assert_eq!(
-        fc.invoke(&spec.name, &args, StartMode::Cold)
+        fc.invoke(&InvokeRequest::new(&spec.name, args.deep_clone()).with_mode(StartMode::Cold))
             .expect("fc")
             .value,
         expected
@@ -188,10 +188,10 @@ fn shared_host_runs_multiple_platforms_on_one_timeline() {
     ow.install(&spec_ow).expect("install ow");
 
     let t0 = env.clock.now();
-    fw.invoke(&spec.name, &fact_args(100), StartMode::Auto)
+    fw.invoke(&InvokeRequest::new(&spec.name, fact_args(100)))
         .expect("fw");
     let t1 = env.clock.now();
-    ow.invoke("fact-ow", &fact_args(100), StartMode::Cold)
+    ow.invoke(&InvokeRequest::new("fact-ow", fact_args(100)).with_mode(StartMode::Cold))
         .expect("ow");
     let t2 = env.clock.now();
     assert!(t1 > t0 && t2 > t1, "one shared monotone timeline");
@@ -204,11 +204,10 @@ fn determinism_same_seed_same_virtual_latency() {
         let spec = Bench::MatrixMult.spec(RuntimeKind::PythonLike);
         platform.install(&spec).expect("install");
         let inv = platform
-            .invoke(
+            .invoke(&InvokeRequest::new(
                 &spec.name,
-                &Bench::MatrixMult.request_params(),
-                StartMode::Auto,
-            )
+                Bench::MatrixMult.request_params(),
+            ))
             .expect("invoke");
         (inv.total(), inv.value.clone(), inv.stats)
     };

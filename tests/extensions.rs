@@ -22,8 +22,12 @@ fn warm_pools_fail_the_unpopular_tail() {
     let bench = Bench::NetLatency;
 
     let env = PlatformEnv::default_env();
-    let mut ow = OpenWhiskPlatform::new(env.clone());
-    ow.set_keep_alive(Some(Nanos::from_secs(60)));
+    let mut ow = OpenWhiskPlatform::with_config(
+        env.clone(),
+        PlatformConfig::builder()
+            .keep_alive(Some(Nanos::from_secs(60)))
+            .build(),
+    );
     let mut specs = Vec::new();
     for i in 0..cfg.functions {
         let mut spec = bench.spec(RuntimeKind::NodeLike);
@@ -38,7 +42,7 @@ fn warm_pools_fail_the_unpopular_tail() {
             env.clock.advance(e.at - env.clock.now());
         }
         let inv = ow
-            .invoke(&specs[e.function].name, &Value::map([]), StartMode::Auto)
+            .invoke(&InvokeRequest::new(&specs[e.function].name, Value::map([])))
             .expect("invoke");
         startup[e.function] += inv.breakdown.startup;
         count[e.function] += 1;
@@ -109,7 +113,6 @@ fn cold_starts_poison_the_tail_under_load() {
 /// REAP recovers from the second one on.
 #[test]
 fn reap_prefetch_shape_holds() {
-    use fireworks::core::fireworks::PagingPolicy;
     let spec = Bench::NetLatency.spec(RuntimeKind::NodeLike);
     let mut totals = Vec::new();
     for policy in [
@@ -117,14 +120,16 @@ fn reap_prefetch_shape_holds() {
         PagingPolicy::ColdStorage { reap: false },
         PagingPolicy::ColdStorage { reap: true },
     ] {
-        let mut p = FireworksPlatform::new(PlatformEnv::default_env());
+        let mut p = FireworksPlatform::with_config(
+            PlatformEnv::default_env(),
+            PlatformConfig::builder().paging(policy).build(),
+        );
         p.install(&spec).expect("install");
-        p.set_paging_policy(policy);
         let first = p
-            .invoke(&spec.name, &Value::map([]), StartMode::Auto)
+            .invoke(&InvokeRequest::new(&spec.name, Value::map([])))
             .expect("1st");
         let second = p
-            .invoke(&spec.name, &Value::map([]), StartMode::Auto)
+            .invoke(&InvokeRequest::new(&spec.name, Value::map([])))
             .expect("2nd");
         totals.push((first.total(), second.total()));
     }

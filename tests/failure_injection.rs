@@ -44,20 +44,18 @@ fn runaway_function_is_killed_by_timeout() {
 
     // Benign input completes.
     let ok = p
-        .invoke(
+        .invoke(&InvokeRequest::new(
             "spin",
-            &Value::map([("spin".to_string(), Value::Bool(false))]),
-            StartMode::Auto,
-        )
+            Value::map([("spin".to_string(), Value::Bool(false))]),
+        ))
         .expect("completes");
     assert_eq!(ok.value, Value::Int(0));
 
     // Hostile input spins forever — the timeout kills it.
-    let err = p.invoke(
+    let err = p.invoke(&InvokeRequest::new(
         "spin",
-        &Value::map([("spin".to_string(), Value::Bool(true))]),
-        StartMode::Auto,
-    );
+        Value::map([("spin".to_string(), Value::Bool(true))]),
+    ));
     match err {
         Err(PlatformError::Timeout { function, ops }) => {
             assert_eq!(function, "spin");
@@ -68,11 +66,10 @@ fn runaway_function_is_killed_by_timeout() {
 
     // The platform still serves requests afterwards.
     let again = p
-        .invoke(
+        .invoke(&InvokeRequest::new(
             "spin",
-            &Value::map([("spin".to_string(), Value::Bool(false))]),
-            StartMode::Auto,
-        )
+            Value::map([("spin".to_string(), Value::Bool(false))]),
+        ))
         .expect("recovers");
     assert_eq!(again.value, Value::Int(0));
 }
@@ -91,21 +88,21 @@ fn timeout_applies_on_baselines_too() {
     let mut ow = OpenWhiskPlatform::new(PlatformEnv::default_env());
     ow.install(&spec).expect("install");
     assert!(matches!(
-        ow.invoke("spin", &hostile, StartMode::Cold),
+        ow.invoke(&InvokeRequest::new("spin", hostile.deep_clone()).with_mode(StartMode::Cold)),
         Err(PlatformError::Timeout { .. })
     ));
 
     let mut fc = FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::None);
     fc.install(&spec).expect("install");
     assert!(matches!(
-        fc.invoke("spin", &hostile, StartMode::Cold),
+        fc.invoke(&InvokeRequest::new("spin", hostile.deep_clone()).with_mode(StartMode::Cold)),
         Err(PlatformError::Timeout { .. })
     ));
 
     let mut gv = GvisorPlatform::new(PlatformEnv::default_env());
     gv.install(&spec).expect("install");
     assert!(matches!(
-        gv.invoke("spin", &hostile, StartMode::Cold),
+        gv.invoke(&InvokeRequest::new("spin", hostile.deep_clone()).with_mode(StartMode::Cold)),
         Err(PlatformError::Timeout { .. })
     ));
 }
@@ -120,19 +117,17 @@ fn guest_runtime_error_is_contained() {
     install(&mut p, "crashy", CRASH);
     // Install's warm-up uses default params (no boom) and succeeds; a
     // hostile request divides by zero.
-    let err = p.invoke(
+    let err = p.invoke(&InvokeRequest::new(
         "crashy",
-        &Value::map([("boom".to_string(), Value::Bool(true))]),
-        StartMode::Auto,
-    );
+        Value::map([("boom".to_string(), Value::Bool(true))]),
+    ));
     assert!(matches!(err, Err(PlatformError::Lang(_))), "{err:?}");
     // Next invocation gets a fresh clone and works.
     let ok = p
-        .invoke(
+        .invoke(&InvokeRequest::new(
             "crashy",
-            &Value::map([("boom".to_string(), Value::Bool(false))]),
-            StartMode::Auto,
-        )
+            Value::map([("boom".to_string(), Value::Bool(false))]),
+        ))
         .expect("fresh clone works");
     assert_eq!(ok.value, Value::Int(42));
 }
@@ -149,7 +144,7 @@ fn install_fails_cleanly_on_bad_source() {
     assert!(p.install(&bad).is_err());
     // Nothing half-registered.
     assert!(matches!(
-        p.invoke("broken", &Value::Null, StartMode::Auto),
+        p.invoke(&InvokeRequest::new("broken", Value::Null)),
         Err(PlatformError::UnknownFunction(_))
     ));
 }
@@ -211,7 +206,10 @@ fn injector_at_rate_zero_changes_nothing() {
         let spec = Bench::Fact.spec(RuntimeKind::NodeLike);
         p.install(&spec).expect("install");
         let inv = p
-            .invoke(&spec.name, &Bench::Fact.request_params(), StartMode::Auto)
+            .invoke(&InvokeRequest::new(
+                &spec.name,
+                Bench::Fact.request_params(),
+            ))
             .expect("invoke");
         (inv.value.deep_clone(), inv.total(), env.clock.now())
     };
@@ -233,7 +231,10 @@ fn same_fault_seed_gives_identical_schedule_and_recovery_trace() {
         let mut outcomes = Vec::new();
         let mut spans = Vec::new();
         for _ in 0..25 {
-            match p.invoke(&spec.name, &Bench::Fact.request_params(), StartMode::Auto) {
+            match p.invoke(&InvokeRequest::new(
+                &spec.name,
+                Bench::Fact.request_params(),
+            )) {
                 Ok(inv) => {
                     outcomes.push(format!("ok:{}", inv.value));
                     for s in inv.trace.spans() {
@@ -268,7 +269,10 @@ fn corrupted_snapshot_self_heals_end_to_end() {
     let spec = Bench::Fact.spec(RuntimeKind::NodeLike);
     p.install(&spec).expect("install");
     let clean = p
-        .invoke(&spec.name, &Bench::Fact.request_params(), StartMode::Auto)
+        .invoke(&InvokeRequest::new(
+            &spec.name,
+            Bench::Fact.request_params(),
+        ))
         .expect("baseline");
 
     p.cached_snapshot(&spec.name)
@@ -277,7 +281,10 @@ fn corrupted_snapshot_self_heals_end_to_end() {
         .corrupt_page(4321);
 
     let healed = p
-        .invoke(&spec.name, &Bench::Fact.request_params(), StartMode::Auto)
+        .invoke(&InvokeRequest::new(
+            &spec.name,
+            Bench::Fact.request_params(),
+        ))
         .expect("self-heals");
     assert_eq!(healed.value, clean.value, "healed run returns the answer");
     assert_eq!(healed.start, StartKind::SnapshotRestore);
@@ -289,7 +296,10 @@ fn corrupted_snapshot_self_heals_end_to_end() {
     assert_eq!(health.quarantines, 1);
 
     let after = p
-        .invoke(&spec.name, &Bench::Fact.request_params(), StartMode::Auto)
+        .invoke(&InvokeRequest::new(
+            &spec.name,
+            Bench::Fact.request_params(),
+        ))
         .expect("restores from rebuilt snapshot");
     assert_eq!(after.start, StartKind::SnapshotRestore);
     assert_eq!(after.value, clean.value);
@@ -313,11 +323,10 @@ fn timed_out_invocation_still_charges_its_execution() {
     let mut p = FireworksPlatform::new(env.clone());
     p.install(&spec).expect("install");
     let before = env.clock.now();
-    let _ = p.invoke(
+    let _ = p.invoke(&InvokeRequest::new(
         "spin",
-        &Value::map([("spin".to_string(), Value::Bool(true))]),
-        StartMode::Auto,
-    );
+        Value::map([("spin".to_string(), Value::Bool(true))]),
+    ));
     let elapsed = env.clock.now() - before;
     // The runaway execution burned (roughly) its budget of virtual time
     // before being killed.

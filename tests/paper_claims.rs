@@ -12,7 +12,7 @@ fn fw_invocation(bench: Bench, runtime: RuntimeKind) -> Invocation {
     let mut p = FireworksPlatform::new(PlatformEnv::default_env());
     let spec = bench.spec(runtime);
     p.install(&spec).expect("install");
-    p.invoke(&spec.name, &bench.request_params(), StartMode::Auto)
+    p.invoke(&InvokeRequest::new(&spec.name, bench.request_params()))
         .expect("invoke")
 }
 
@@ -21,10 +21,10 @@ fn baseline_cold_warm(bench: Bench, runtime: RuntimeKind) -> (Invocation, Invoca
     let spec = bench.spec(runtime);
     p.install(&spec).expect("install");
     let cold = p
-        .invoke(&spec.name, &bench.request_params(), StartMode::Cold)
+        .invoke(&InvokeRequest::new(&spec.name, bench.request_params()).with_mode(StartMode::Cold))
         .expect("cold");
     let warm = p
-        .invoke(&spec.name, &bench.request_params(), StartMode::Warm)
+        .invoke(&InvokeRequest::new(&spec.name, bench.request_params()).with_mode(StartMode::Warm))
         .expect("warm");
     (cold, warm)
 }
@@ -42,7 +42,7 @@ fn fw_heavy(runtime: RuntimeKind) -> Invocation {
     let mut p = FireworksPlatform::new(PlatformEnv::default_env());
     let spec = Bench::Fact.paper_spec(runtime);
     p.install(&spec).expect("install");
-    p.invoke(&spec.name, &heavy_fact_args(), StartMode::Auto)
+    p.invoke(&InvokeRequest::new(&spec.name, heavy_fact_args()))
         .expect("invoke")
 }
 
@@ -51,10 +51,10 @@ fn baseline_heavy(runtime: RuntimeKind) -> (Invocation, Invocation) {
     let spec = Bench::Fact.paper_spec(runtime);
     p.install(&spec).expect("install");
     let cold = p
-        .invoke(&spec.name, &heavy_fact_args(), StartMode::Cold)
+        .invoke(&InvokeRequest::new(&spec.name, heavy_fact_args()).with_mode(StartMode::Cold))
         .expect("cold");
     let warm = p
-        .invoke(&spec.name, &heavy_fact_args(), StartMode::Warm)
+        .invoke(&InvokeRequest::new(&spec.name, heavy_fact_args()).with_mode(StartMode::Warm))
         .expect("warm");
     (cold, warm)
 }
@@ -148,15 +148,16 @@ fn disk_io_sandbox_ordering_matches_paper() {
 
     let mut ow = OpenWhiskPlatform::new(PlatformEnv::default_env());
     ow.install(&spec).expect("install");
-    let ow_io = io_of(&ow.invoke(&spec.name, &args, StartMode::Cold).expect("ow"));
+    let cold = |name: &str| InvokeRequest::new(name, args.deep_clone()).with_mode(StartMode::Cold);
+    let ow_io = io_of(&ow.invoke(&cold(&spec.name)).expect("ow"));
 
     let mut fc = FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::None);
     fc.install(&spec).expect("install");
-    let fc_io = io_of(&fc.invoke(&spec.name, &args, StartMode::Cold).expect("fc"));
+    let fc_io = io_of(&fc.invoke(&cold(&spec.name)).expect("fc"));
 
     let mut gv = GvisorPlatform::new(PlatformEnv::default_env());
     gv.install(&spec).expect("install");
-    let gv_io = io_of(&gv.invoke(&spec.name, &args, StartMode::Cold).expect("gv"));
+    let gv_io = io_of(&gv.invoke(&cold(&spec.name)).expect("gv"));
 
     assert!(ow_io < fc_io, "overlayfs {ow_io} < virtio {fc_io}");
     assert!(fc_io < gv_io, "virtio {fc_io} < gofer {gv_io}");
@@ -238,8 +239,9 @@ fn factor_analysis_ordering_holds() {
 
     let mut base = FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::None);
     base.install(&bench.spec(runtime)).expect("install");
+    let cold = |name: &str| InvokeRequest::new(name, args.deep_clone()).with_mode(StartMode::Cold);
     let t_base = base
-        .invoke(&bench.function_name(runtime), &args, StartMode::Cold)
+        .invoke(&cold(&bench.function_name(runtime)))
         .expect("base")
         .total();
 
@@ -247,7 +249,7 @@ fn factor_analysis_ordering_holds() {
         FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::OsSnapshot);
     os_snap.install(&bench.spec(runtime)).expect("install");
     let t_os = os_snap
-        .invoke(&bench.function_name(runtime), &args, StartMode::Cold)
+        .invoke(&cold(&bench.function_name(runtime)))
         .expect("os")
         .total();
 
@@ -324,6 +326,8 @@ fn deopt_worst_case_is_correct_and_still_wins() {
             Value::Bool(true),
         ]),
     )]);
-    let inv = p.invoke("poly", &mixed, StartMode::Auto).expect("invoke");
+    let inv = p
+        .invoke(&InvokeRequest::new("poly", mixed))
+        .expect("invoke");
     assert_eq!(inv.value, Value::str("1/int,two/string,3/int,true/bool"));
 }

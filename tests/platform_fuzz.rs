@@ -75,7 +75,7 @@ fn fuzz_platform<P: Platform>(mut platform: P, seed: u64, steps: u32) {
             3 => {
                 // Invoking an unknown function must error, not panic.
                 assert!(matches!(
-                    platform.invoke("ghost", &args(1), StartMode::Auto),
+                    platform.invoke(&InvokeRequest::new("ghost", args(1))),
                     Err(PlatformError::UnknownFunction(_))
                 ));
             }
@@ -92,7 +92,7 @@ fn fuzz_platform<P: Platform>(mut platform: P, seed: u64, steps: u32) {
                     _ => StartMode::Auto,
                 };
                 let inv = platform
-                    .invoke(name, &args(n), mode)
+                    .invoke(&InvokeRequest::new(name, args(n)).with_mode(mode))
                     .unwrap_or_else(|e| panic!("step {step}: invoke {name}({n}) {mode:?}: {e}"));
                 assert_eq!(
                     inv.value,
@@ -129,7 +129,7 @@ fn fuzz_openwhisk() {
 fn fuzz_gvisor_both_modes() {
     fuzz_platform(GvisorPlatform::new(PlatformEnv::default_env()), 6, 50);
     fuzz_platform(
-        GvisorPlatform::with_checkpoints(PlatformEnv::default_env(), true),
+        GvisorPlatform::with_config(PlatformEnv::default_env(), true, PlatformConfig::default()),
         7,
         50,
     );
