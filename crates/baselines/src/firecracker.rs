@@ -5,7 +5,7 @@ use std::rc::Rc;
 
 use fireworks_core::api::{
     ConcurrentPlatform, FunctionSpec, InFlightToken, InstallReport, Invocation, InvokeRequest,
-    Platform, PlatformError, StartKind, StartMode,
+    Platform, PlatformError, SnapshotResidency, StartKind, StartMode,
 };
 use fireworks_core::config::PlatformConfig;
 use fireworks_core::env::PlatformEnv;
@@ -392,20 +392,26 @@ impl ConcurrentPlatform for FirecrackerPlatform {
             .push((vm, self.env.clock.now()));
     }
 
-    fn holds_snapshot(&self, function: &str) -> bool {
+    fn residency(&self, function: &str) -> SnapshotResidency {
         // Ready-to-restore artifacts: an OS snapshot captured at install,
-        // or a paused warm VM.
+        // or a paused warm VM. Firecracker's artifacts are monolithic, so
+        // residency is all-or-nothing — never `Partial`.
         let snapshot = self
             .registry
             .get(function)
             .map(|e| e.snapshot.is_some())
             .unwrap_or(false);
-        snapshot
+        if snapshot
             || self
                 .warm
                 .get(function)
                 .map(|pool| !pool.is_empty())
                 .unwrap_or(false)
+        {
+            SnapshotResidency::Full
+        } else {
+            SnapshotResidency::Absent
+        }
     }
 }
 
@@ -539,7 +545,7 @@ mod tests {
         );
         p.install(&spec()).expect("installs");
         p.invoke(&req(10, StartMode::Cold)).expect("cold");
-        assert!(p.holds_snapshot("f"), "warm VM held");
+        assert!(p.residency("f").is_full(), "warm VM held");
         env.clock.advance(Nanos::from_secs(61));
         let inv = p.invoke(&req(10, StartMode::Auto)).expect("again");
         assert_eq!(inv.start, StartKind::ColdBoot, "warm VM expired");
@@ -560,7 +566,10 @@ mod tests {
         let mut p =
             FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::OsSnapshot);
         p.install(&spec()).expect("installs");
-        assert!(p.holds_snapshot("f"), "OS snapshot captured at install");
+        assert!(
+            p.residency("f").is_full(),
+            "OS snapshot captured at install"
+        );
         let inv = p.invoke(&req(10, StartMode::Cold)).expect("invokes");
         assert_eq!(inv.start, StartKind::SnapshotRestore);
         assert!(

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use fireworks_core::api::{
     ConcurrentPlatform, FunctionSpec, InFlightToken, InstallReport, Invocation, InvokeRequest,
-    Platform, PlatformError, StartKind, StartMode,
+    Platform, PlatformError, SnapshotResidency, StartKind, StartMode,
 };
 use fireworks_core::config::PlatformConfig;
 use fireworks_core::env::PlatformEnv;
@@ -245,20 +245,26 @@ impl ConcurrentPlatform for GvisorPlatform {
             .push((container, self.env.clock.now()));
     }
 
-    fn holds_snapshot(&self, function: &str) -> bool {
+    fn residency(&self, function: &str) -> SnapshotResidency {
         // Ready-to-restore artifacts: a process checkpoint captured at
-        // install, or a paused warm sandbox.
+        // install, or a paused warm sandbox. All-or-nothing, never
+        // `Partial`.
         let checkpoint = self
             .registry
             .get(function)
             .map(|e| e.checkpoint.is_some())
             .unwrap_or(false);
-        checkpoint
+        if checkpoint
             || self
                 .warm
                 .get(function)
                 .map(|pool| !pool.is_empty())
                 .unwrap_or(false)
+        {
+            SnapshotResidency::Full
+        } else {
+            SnapshotResidency::Absent
+        }
     }
 }
 
@@ -400,9 +406,9 @@ mod tests {
     fn warm_pool_works() {
         let mut p = GvisorPlatform::new(PlatformEnv::default_env());
         p.install(&spec()).expect("installs");
-        assert!(!p.holds_snapshot("diskio"));
+        assert!(!p.residency("diskio").is_full());
         p.invoke(&req(1, StartMode::Cold)).expect("cold");
-        assert!(p.holds_snapshot("diskio"), "warm sandbox held");
+        assert!(p.residency("diskio").is_full(), "warm sandbox held");
         let warm = p.invoke(&req(1, StartMode::Warm)).expect("warm");
         assert_eq!(warm.start, StartKind::WarmPool);
     }
@@ -412,7 +418,7 @@ mod tests {
         let mut p = GvisorPlatform::with_checkpoints(PlatformEnv::default_env(), true);
         let report = p.install(&spec()).expect("installs");
         assert!(report.snapshot_pages > 0, "install captured a checkpoint");
-        assert!(p.holds_snapshot("diskio"), "checkpoint counts as held");
+        assert!(p.residency("diskio").is_full(), "checkpoint counts as held");
         let inv = p.invoke(&req(1, StartMode::Cold)).expect("invokes");
         assert_eq!(inv.start, fireworks_core::api::StartKind::SnapshotRestore);
 

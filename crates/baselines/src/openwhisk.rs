@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use fireworks_core::api::{
     run_chain, ConcurrentPlatform, FunctionSpec, InFlightToken, InstallReport, Invocation,
-    InvokeRequest, Platform, PlatformError, StartKind, StartMode,
+    InvokeRequest, Platform, PlatformError, SnapshotResidency, StartKind, StartMode,
 };
 use fireworks_core::config::PlatformConfig;
 use fireworks_core::env::PlatformEnv;
@@ -262,13 +262,19 @@ impl ConcurrentPlatform for OpenWhiskPlatform {
             .push((container, self.env.clock.now()));
     }
 
-    fn holds_snapshot(&self, function: &str) -> bool {
+    fn residency(&self, function: &str) -> SnapshotResidency {
         // OpenWhisk has no snapshots; its ready-to-start artifact is a
-        // non-empty warm pool.
-        self.warm
+        // non-empty warm pool. All-or-nothing, never `Partial`.
+        if self
+            .warm
             .get(function)
             .map(|pool| !pool.is_empty())
             .unwrap_or(false)
+        {
+            SnapshotResidency::Full
+        } else {
+            SnapshotResidency::Absent
+        }
     }
 }
 
@@ -395,9 +401,15 @@ mod tests {
     fn warm_start_reuses_container() {
         let mut p = OpenWhiskPlatform::new(PlatformEnv::default_env());
         p.install(&spec()).expect("installs");
-        assert!(!p.holds_snapshot("f"), "no warm artifact before first run");
+        assert!(
+            !p.residency("f").is_full(),
+            "no warm artifact before first run"
+        );
         let cold = p.invoke(&req(10, StartMode::Cold)).expect("cold");
-        assert!(p.holds_snapshot("f"), "warm pool counts as held artifact");
+        assert!(
+            p.residency("f").is_full(),
+            "warm pool counts as held artifact"
+        );
         let warm = p.invoke(&req(10, StartMode::Warm)).expect("warm");
         assert_eq!(warm.start, StartKind::WarmPool);
         assert!(warm.breakdown.startup.as_nanos() * 5 < cold.breakdown.startup.as_nanos());

@@ -413,15 +413,80 @@ pub trait ConcurrentPlatform: Platform {
     /// (the current clock time).
     fn finish_invoke(&mut self, inflight: Self::InFlight);
 
-    /// Whether this platform already holds a ready-to-restore start
-    /// artifact for `function` — a cached post-JIT snapshot (Fireworks),
-    /// an OS snapshot or checkpoint, or a non-empty warm pool. The
-    /// cluster's snapshot-locality router steers requests toward hosts
-    /// answering `true`. Must not disturb replacement state (no LRU
+    /// How much of `function`'s start artifact this platform holds — a
+    /// cached post-JIT snapshot (Fireworks), an OS snapshot or
+    /// checkpoint, or a non-empty warm pool. Content-addressed platforms
+    /// report [`SnapshotResidency::Partial`] with the bytes still
+    /// missing, so the cluster's locality router can rank hosts by
+    /// transfer cost instead of the all-or-nothing `holds_snapshot`
+    /// signal it replaced. Must not disturb replacement state (no LRU
     /// touch).
-    fn holds_snapshot(&self, function: &str) -> bool {
+    fn residency(&self, function: &str) -> SnapshotResidency {
         let _ = function;
-        false
+        SnapshotResidency::Absent
+    }
+
+    /// Whether this platform holds the complete start artifact for
+    /// `function`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `residency`, which also exposes partial (delta-fetchable) holdings"
+    )]
+    fn holds_snapshot(&self, function: &str) -> bool {
+        matches!(self.residency(function), SnapshotResidency::Full)
+    }
+
+    /// Joins the cluster's [`crate::mesh::ChunkMesh`] as `host_id`.
+    /// Content-addressed platforms register their chunk store and start
+    /// publishing manifests; everyone else ignores the call.
+    fn attach_mesh(&mut self, mesh: crate::mesh::SharedChunkMesh, host_id: usize) {
+        let _ = (mesh, host_id);
+    }
+
+    /// Makes `spec` invocable without building its start artifact: a
+    /// first invocation pays the build (or a delta fetch). Platforms
+    /// without a lazy path install eagerly.
+    fn register(&mut self, spec: &FunctionSpec) -> Result<(), PlatformError> {
+        self.install(spec).map(|_| ())
+    }
+}
+
+/// How much of a function's start artifact a host holds.
+///
+/// The ordering a router wants is by *bytes to move*: `Full` (0 bytes) <
+/// `Partial { missing_bytes }` (ship the delta) < `Absent` (rebuild from
+/// source or ship everything). [`SnapshotResidency::missing_bytes`]
+/// exposes exactly that scalar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SnapshotResidency {
+    /// The complete artifact is resident; a start needs no extra bytes.
+    Full,
+    /// Some chunks are resident (shared with other functions or
+    /// previously fetched); `missing_bytes` must arrive before a restore.
+    Partial {
+        /// Bytes of the snapshot this host does not hold.
+        missing_bytes: u64,
+    },
+    /// Nothing usable is resident.
+    Absent,
+}
+
+impl SnapshotResidency {
+    /// Bytes that must be moved (or rebuilt) before this host can serve a
+    /// snapshot start. `Absent` answers `u64::MAX` — worse than any
+    /// partial holding — so rankings can compare residencies directly.
+    pub fn missing_bytes(self) -> u64 {
+        match self {
+            SnapshotResidency::Full => 0,
+            SnapshotResidency::Partial { missing_bytes } => missing_bytes,
+            SnapshotResidency::Absent => u64::MAX,
+        }
+    }
+
+    /// Whether the complete artifact is resident.
+    pub fn is_full(self) -> bool {
+        matches!(self, SnapshotResidency::Full)
     }
 }
 
@@ -510,6 +575,23 @@ mod tests {
         assert_eq!(stage.function, "g");
         assert_eq!(stage.mode, StartMode::Cold);
         assert_eq!(stage.deadline, Some(Nanos::from_millis(7)));
+    }
+
+    #[test]
+    fn residency_orders_by_bytes_to_move() {
+        let full = SnapshotResidency::Full;
+        let near = SnapshotResidency::Partial {
+            missing_bytes: 4096,
+        };
+        let far = SnapshotResidency::Partial {
+            missing_bytes: 1 << 30,
+        };
+        let absent = SnapshotResidency::Absent;
+        assert!(full.is_full());
+        assert!(!near.is_full());
+        assert!(full.missing_bytes() < near.missing_bytes());
+        assert!(near.missing_bytes() < far.missing_bytes());
+        assert!(far.missing_bytes() < absent.missing_bytes());
     }
 
     #[test]

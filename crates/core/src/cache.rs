@@ -5,12 +5,22 @@
 //! proposes bounding the space with a replacement policy that keeps hot
 //! functions' snapshots. This is that cache: snapshots evicted here force
 //! a re-install on the next invocation.
+//!
+//! With a [`ChunkStore`] attached
+//! ([`crate::config::SnapshotStorePolicy::Dedup`]), the budget is charged
+//! against the store's *unique* chunk bytes instead of per-snapshot file
+//! sizes — identical chunks shared by many functions count once — and
+//! evicting an entry releases its manifest, freeing only the chunks no
+//! other cached snapshot still references.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use fireworks_guestmem::SnapshotManifest;
 use fireworks_microvm::VmFullSnapshot;
 use fireworks_obs::{cat, Obs};
+use fireworks_store::ChunkStore;
 
 /// An LRU snapshot cache bounded by on-disk bytes.
 #[derive(Debug)]
@@ -21,6 +31,7 @@ pub struct SnapshotCache {
     entries: HashMap<String, Entry>,
     evictions: u64,
     obs: Option<Obs>,
+    store: Option<Rc<RefCell<ChunkStore>>>,
 }
 
 #[derive(Debug)]
@@ -28,6 +39,7 @@ struct Entry {
     snapshot: Rc<VmFullSnapshot>,
     bytes: u64,
     last_used: u64,
+    manifest: Option<SnapshotManifest>,
 }
 
 impl SnapshotCache {
@@ -40,7 +52,16 @@ impl SnapshotCache {
             entries: HashMap::new(),
             evictions: 0,
             obs: None,
+            store: None,
         }
+    }
+
+    /// Attaches the host's chunk store: the budget is then charged on
+    /// unique chunk bytes, and entries inserted via
+    /// [`SnapshotCache::insert_dedup`] release their manifests on
+    /// eviction.
+    pub fn attach_store(&mut self, store: Rc<RefCell<ChunkStore>>) {
+        self.store = Some(store);
     }
 
     /// Attaches an observability plane; lookups, inserts, and evictions
@@ -59,11 +80,35 @@ impl SnapshotCache {
     /// Inserts (or replaces) a function's snapshot, evicting least-
     /// recently-used entries until the budget holds. A snapshot larger
     /// than the whole budget is still stored alone (it must exist
-    /// somewhere to be restorable).
-    pub fn insert(&mut self, name: &str, snapshot: Rc<VmFullSnapshot>) {
+    /// somewhere to be restorable). Returns the names evicted to make
+    /// room, oldest first.
+    pub fn insert(&mut self, name: &str, snapshot: Rc<VmFullSnapshot>) -> Vec<String> {
+        self.insert_entry(name, snapshot, None)
+    }
+
+    /// Inserts a snapshot whose pages live in the attached [`ChunkStore`],
+    /// recording the manifest so eviction can release its chunk
+    /// references. The caller must already have ingested the chunks (the
+    /// store's refcounts include this manifest).
+    pub fn insert_dedup(
+        &mut self,
+        name: &str,
+        snapshot: Rc<VmFullSnapshot>,
+        manifest: SnapshotManifest,
+    ) -> Vec<String> {
+        self.insert_entry(name, snapshot, Some(manifest))
+    }
+
+    fn insert_entry(
+        &mut self,
+        name: &str,
+        snapshot: Rc<VmFullSnapshot>,
+        manifest: Option<SnapshotManifest>,
+    ) -> Vec<String> {
         let bytes = snapshot.file_bytes();
         if let Some(old) = self.entries.remove(name) {
             self.used_bytes -= old.bytes;
+            self.release_entry_chunks(&old);
         }
         self.tick += 1;
         self.entries.insert(
@@ -72,15 +117,33 @@ impl SnapshotCache {
                 snapshot,
                 bytes,
                 last_used: self.tick,
+                manifest,
             },
         );
         self.used_bytes += bytes;
         self.count("core.cache.inserts");
-        self.evict_to_budget(name);
+        self.evict_to_budget(name)
     }
 
-    fn evict_to_budget(&mut self, keep: &str) {
-        while self.used_bytes > self.capacity_bytes && self.entries.len() > 1 {
+    /// Releases a dedup entry's chunk references back to the store.
+    fn release_entry_chunks(&self, entry: &Entry) {
+        if let (Some(store), Some(manifest)) = (&self.store, &entry.manifest) {
+            store.borrow_mut().release_manifest(manifest);
+        }
+    }
+
+    /// Bytes the budget is charged on: unique chunk bytes when a store is
+    /// attached (shared chunks count once), flat file bytes otherwise.
+    fn effective_used(&self) -> u64 {
+        match &self.store {
+            Some(store) => store.borrow().unique_bytes(),
+            None => self.used_bytes,
+        }
+    }
+
+    fn evict_to_budget(&mut self, keep: &str) -> Vec<String> {
+        let mut evicted = Vec::new();
+        while self.effective_used() > self.capacity_bytes && self.entries.len() > 1 {
             let victim = self
                 .entries
                 .iter()
@@ -90,6 +153,7 @@ impl SnapshotCache {
             let Some(victim) = victim else { break };
             if let Some(e) = self.entries.remove(&victim) {
                 self.used_bytes -= e.bytes;
+                self.release_entry_chunks(&e);
                 self.evictions += 1;
                 self.count("core.cache.evictions");
                 if let Some(obs) = &self.obs {
@@ -99,8 +163,10 @@ impl SnapshotCache {
                         vec![("bytes", e.bytes.into())],
                     );
                 }
+                evicted.push(victim);
             }
         }
+        evicted
     }
 
     /// Fetches a snapshot, marking it most-recently-used.
@@ -130,8 +196,14 @@ impl SnapshotCache {
     pub fn remove(&mut self, name: &str) -> Option<Rc<VmFullSnapshot>> {
         self.entries.remove(name).map(|e| {
             self.used_bytes -= e.bytes;
+            self.release_entry_chunks(&e);
             e.snapshot
         })
+    }
+
+    /// The manifest recorded for a dedup entry, if any.
+    pub fn manifest(&self, name: &str) -> Option<&SnapshotManifest> {
+        self.entries.get(name).and_then(|e| e.manifest.as_ref())
     }
 
     /// Bytes currently held.

@@ -58,10 +58,12 @@ use fireworks_sim::{Clock, Nanos};
 
 use crate::api::{
     ConcurrentPlatform, FunctionSpec, InstallReport, Invocation, InvokeRequest, PlatformError,
+    SnapshotResidency,
 };
 use crate::config::PlatformConfig;
 use crate::engine::{CompletionPolicy, EngineRequest};
 use crate::env::{EnvConfig, PlatformEnv};
+use crate::mesh::{ChunkMesh, SharedChunkMesh};
 
 /// Per-host seed spacing for the derived fault plans (golden-ratio
 /// increment, the SplitMix64 stream constant).
@@ -119,10 +121,12 @@ pub struct HostView {
     pub slots: usize,
     /// The host's admission-queue bound.
     pub queue_cap: usize,
-    /// Whether this host already holds the request's function's start
-    /// artifact (post-JIT snapshot / checkpoint / warm sandbox) — the
-    /// locality signal.
-    pub holds_snapshot: bool,
+    /// How much of the request's function's start artifact (post-JIT
+    /// snapshot / checkpoint / warm sandbox) this host already holds —
+    /// the locality signal. Content-addressed hosts report
+    /// [`SnapshotResidency::Partial`] with the bytes a delta fetch would
+    /// have to move.
+    pub residency: SnapshotResidency,
 }
 
 impl HostView {
@@ -227,12 +231,22 @@ impl Router for LeastLoaded {
 /// falls back under overload.
 ///
 /// Placement order:
-/// 1. the least-loaded host *with capacity* that holds the snapshot;
-/// 2. else the function's stable home host (FNV-1a hash of its name,
+/// 1. the least-loaded host *with capacity* whose residency is
+///    [`SnapshotResidency::Full`];
+/// 2. else the partial holder that would move the fewest bytes — a
+///    content-addressed host sharing most of the snapshot's chunks
+///    delta-fetches the remainder far cheaper than a rebuild (ties:
+///    lowest load, then lowest id);
+/// 3. else the function's stable home host (FNV-1a hash of its name,
 ///    probing upward), so a function's rebuilds concentrate on one host
 ///    whose cache then keeps it hot;
-/// 3. else — home and holders all saturated — the least-loaded host with
-///    capacity, reported as [`Route::Fallback`].
+/// 4. else — home, holders, and partials all saturated — the first
+///    host with capacity after the home probe, reported as
+///    [`Route::Fallback`].
+///
+/// With a flat snapshot store every residency is `Full` or `Absent`, so
+/// step 2 never matches and the policy reduces to its pre-dedup
+/// behaviour.
 #[derive(Debug, Default)]
 pub struct LocalityAffinity;
 
@@ -249,11 +263,23 @@ impl Router for LocalityAffinity {
     }
 
     fn route(&mut self, req: &InvokeRequest, hosts: &[HostView]) -> Route {
-        if let Some(h) = least_loaded(hosts, |v| v.has_capacity() && v.holds_snapshot) {
+        if let Some(h) = least_loaded(hosts, |v| v.has_capacity() && v.residency.is_full()) {
             return Route::Host(h);
         }
-        // No available holder: send the function to its stable home so
-        // the rebuild happens where future requests will land.
+        // No full holder free: the cheapest partial holder ships only its
+        // missing chunks.
+        if let Some(h) = hosts
+            .iter()
+            .filter(|v| {
+                v.has_capacity() && matches!(v.residency, SnapshotResidency::Partial { .. })
+            })
+            .min_by_key(|v| (v.residency.missing_bytes(), v.load(), v.id))
+            .map(|v| v.id)
+        {
+            return Route::Host(h);
+        }
+        // Otherwise send the function to its stable home so the rebuild
+        // happens where future requests will land.
         let n = hosts.len();
         let home = (fnv1a(&req.function) % n as u64) as usize;
         for k in 0..n {
@@ -380,6 +406,10 @@ pub struct Cluster<P: ConcurrentPlatform> {
     obs: Obs,
     config: ClusterConfig,
     hosts: Vec<Host<P>>,
+    /// Cluster-wide chunk mesh (content-addressed snapshot distribution).
+    /// Every host is attached at construction; platforms without a chunk
+    /// store ignore it.
+    mesh: SharedChunkMesh,
 }
 
 impl<P: ConcurrentPlatform> Cluster<P> {
@@ -401,6 +431,7 @@ impl<P: ConcurrentPlatform> Cluster<P> {
         assert!(config.slots_per_host > 0, "need at least one slot per host");
         let clock = Clock::new();
         let obs = Obs::new(clock.clone());
+        let mesh = ChunkMesh::shared();
         let hosts = (0..config.hosts)
             .map(|h| {
                 let mut env_config = config.env.clone();
@@ -409,7 +440,8 @@ impl<P: ConcurrentPlatform> Cluster<P> {
                     .seed
                     .wrapping_add((h as u64).wrapping_mul(HOST_SEED_STRIDE));
                 let env = PlatformEnv::with_shared(env_config, clock.clone(), obs.clone());
-                let platform = factory(env.clone(), &config.platform);
+                let mut platform = factory(env.clone(), &config.platform);
+                platform.attach_mesh(mesh.clone(), h);
                 Host {
                     platform,
                     env,
@@ -426,6 +458,7 @@ impl<P: ConcurrentPlatform> Cluster<P> {
             obs,
             config,
             hosts,
+            mesh,
         }
     }
 
@@ -475,6 +508,29 @@ impl<P: ConcurrentPlatform> Cluster<P> {
             .collect()
     }
 
+    /// Installs a function on its stable FNV home host only, registering
+    /// it (no snapshot build) everywhere else. On a content-addressed
+    /// cluster the other hosts pick the snapshot up by delta fetch the
+    /// first time a request lands on them; on a flat cluster they rebuild
+    /// from source. Returns the home host's report.
+    pub fn install_home(&mut self, spec: &FunctionSpec) -> Result<InstallReport, PlatformError> {
+        let home = (fnv1a(&spec.name) % self.hosts.len() as u64) as usize;
+        let mut report = None;
+        for (h, host) in self.hosts.iter_mut().enumerate() {
+            if h == home {
+                report = Some(host.platform.install(spec)?);
+            } else {
+                host.platform.register(spec)?;
+            }
+        }
+        Ok(report.expect("home host is in range"))
+    }
+
+    /// The cluster's chunk mesh.
+    pub fn mesh(&self) -> &SharedChunkMesh {
+        &self.mesh
+    }
+
     /// Current per-host views for `function`.
     fn views(&self, function: &str) -> Vec<HostView> {
         self.hosts
@@ -487,7 +543,7 @@ impl<P: ConcurrentPlatform> Cluster<P> {
                 queue_depth: host.waiting.len(),
                 slots: self.config.slots_per_host,
                 queue_cap: self.config.host_queue_cap,
-                holds_snapshot: host.platform.holds_snapshot(function),
+                residency: host.platform.residency(function),
             })
             .collect()
     }
@@ -569,6 +625,7 @@ impl<P: ConcurrentPlatform> Cluster<P> {
                     }
                 }
             }
+            self.reap_mesh_dead(router, requests, &mut run, &mut queue);
             self.sample_gauges(&mut run);
         }
 
@@ -673,7 +730,7 @@ impl<P: ConcurrentPlatform> Cluster<P> {
         host.free -= 1;
         let started = self.clock.now();
         let r = &requests[i];
-        if host.platform.holds_snapshot(&r.invoke.function) {
+        if host.platform.residency(&r.invoke.function).is_full() {
             run.locality_hits += 1;
             self.obs.metrics().inc("cluster.locality_hits", &[]);
         }
@@ -711,7 +768,20 @@ impl<P: ConcurrentPlatform> Cluster<P> {
         run: &mut RunState<P::InFlight>,
         queue: &mut EventQueue<Event>,
     ) {
+        let mut displaced = self.fail_host(h, run);
+        displaced.push_front(trigger);
+        while let Some(i) = displaced.pop_front() {
+            if !self.dispatch(router, requests, i, Some(h), run, queue) {
+                run.cluster_waiting.push_back(i);
+            }
+        }
+    }
+
+    /// Marks host `h` failed (metrics, mesh, report) and hands back its
+    /// queued requests for re-routing.
+    fn fail_host(&mut self, h: usize, run: &mut RunState<P::InFlight>) -> VecDeque<usize> {
         self.hosts[h].healthy = false;
+        self.mesh.borrow_mut().mark_dead(h);
         run.failed_hosts.push(h);
         self.obs.metrics().inc(
             "cluster.host_crashes",
@@ -720,12 +790,32 @@ impl<P: ConcurrentPlatform> Cluster<P> {
         self.obs
             .recorder()
             .instant(format!("host_crash:{h}"), fireworks_obs::cat::FAULT);
-        let mut displaced: VecDeque<usize> = VecDeque::new();
-        displaced.push_back(trigger);
-        displaced.extend(std::mem::take(&mut self.hosts[h].waiting));
-        while let Some(i) = displaced.pop_front() {
-            if !self.dispatch(router, requests, i, Some(h), run, queue) {
-                run.cluster_waiting.push_back(i);
+        std::mem::take(&mut self.hosts[h].waiting)
+    }
+
+    /// Fails hosts whose crash was first observed by a peer's delta
+    /// fetch (the mesh marks them dead mid-transfer, before any service
+    /// boundary on the host itself would have drawn the fault). Their
+    /// queued requests drain and re-route exactly like a service-boundary
+    /// crash.
+    fn reap_mesh_dead<R: Router + ?Sized>(
+        &mut self,
+        router: &mut R,
+        requests: &[EngineRequest],
+        run: &mut RunState<P::InFlight>,
+        queue: &mut EventQueue<Event>,
+    ) {
+        // Collect first: `fail_host` needs the mesh borrow back.
+        let dead = self.mesh.borrow().dead_hosts();
+        for h in dead {
+            if !self.hosts.get(h).is_some_and(|host| host.healthy) {
+                continue;
+            }
+            let mut displaced = self.fail_host(h, run);
+            while let Some(i) = displaced.pop_front() {
+                if !self.dispatch(router, requests, i, Some(h), run, queue) {
+                    run.cluster_waiting.push_back(i);
+                }
             }
         }
     }
@@ -809,6 +899,24 @@ mod tests {
     use fireworks_sim::fault::FaultPlan;
 
     fn view(id: usize, inflight: usize, queue_depth: usize, holds: bool) -> HostView {
+        view_with(
+            id,
+            inflight,
+            queue_depth,
+            if holds {
+                SnapshotResidency::Full
+            } else {
+                SnapshotResidency::Absent
+            },
+        )
+    }
+
+    fn view_with(
+        id: usize,
+        inflight: usize,
+        queue_depth: usize,
+        residency: SnapshotResidency,
+    ) -> HostView {
         HostView {
             id,
             healthy: true,
@@ -816,7 +924,7 @@ mod tests {
             queue_depth,
             slots: 2,
             queue_cap: 4,
-            holds_snapshot: holds,
+            residency,
         }
     }
 
@@ -902,6 +1010,43 @@ mod tests {
             v.queue_depth = 4;
         }
         assert_eq!(loc.route(&req, &views), Route::Defer);
+    }
+
+    #[test]
+    fn locality_ranks_partial_holders_by_missing_bytes() {
+        let mut loc = LocalityAffinity::new();
+        let req = some_req();
+        // No full holder: the partial host that would move the fewest
+        // bytes wins, beating the FNV home probe.
+        let views = vec![
+            view_with(0, 0, 0, SnapshotResidency::Absent),
+            view_with(
+                1,
+                3,
+                1,
+                SnapshotResidency::Partial {
+                    missing_bytes: 4 << 20,
+                },
+            ),
+            view_with(
+                2,
+                0,
+                0,
+                SnapshotResidency::Partial {
+                    missing_bytes: 96 << 20,
+                },
+            ),
+        ];
+        assert_eq!(loc.route(&req, &views), Route::Host(1));
+        // A full holder still beats every partial one.
+        let mut views = views;
+        views[0].residency = SnapshotResidency::Full;
+        assert_eq!(loc.route(&req, &views), Route::Host(0));
+        // Saturate the cheap partial: the next-cheapest takes it.
+        views[0].residency = SnapshotResidency::Absent;
+        views[1].inflight = 2;
+        views[1].queue_depth = 4;
+        assert_eq!(loc.route(&req, &views), Route::Host(2));
     }
 
     #[test]

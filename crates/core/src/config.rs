@@ -64,6 +64,43 @@ impl RecoveryPolicy {
     }
 }
 
+/// How a host stores the post-JIT snapshots it caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotStorePolicy {
+    /// Each cached snapshot owns its bytes (the original single-host
+    /// layout): the cache budget is charged per snapshot file, and a
+    /// remote miss rebuilds from source.
+    Flat,
+    /// Snapshots are chunked content-addressed into a per-host
+    /// [`fireworks_store::ChunkStore`]: identical chunks across
+    /// functions are stored once, the cache budget is charged *unique*
+    /// chunk bytes, and (with `delta_fetch`) a host missing a snapshot
+    /// fetches only the chunks it lacks from a peer instead of
+    /// rebuilding from source.
+    Dedup {
+        /// Chunk granularity in pages (fixed-size runs of the
+        /// snapshot's frame list).
+        chunk_pages: usize,
+        /// Whether remote misses are served by peer-to-peer chunk
+        /// transfer when a peer holds the snapshot.
+        delta_fetch: bool,
+    },
+}
+
+impl SnapshotStorePolicy {
+    /// Default chunk granularity: 64 pages (256 KiB) balances dedup
+    /// resolution against manifest size.
+    pub const DEFAULT_CHUNK_PAGES: usize = 64;
+
+    /// The dedup policy with default granularity and delta fetch on.
+    pub fn dedup() -> Self {
+        SnapshotStorePolicy::Dedup {
+            chunk_pages: Self::DEFAULT_CHUNK_PAGES,
+            delta_fetch: true,
+        }
+    }
+}
+
 /// Construction-time configuration shared by all four platforms.
 ///
 /// Every field has a sensible default; build one with
@@ -87,6 +124,18 @@ pub struct PlatformConfig {
     /// How long an idle warm sandbox is kept before reaping; `None`
     /// keeps it forever. Applies to the baselines' warm pools.
     pub keep_alive: Option<Nanos>,
+    /// Snapshot storage layout (Fireworks): flat per-snapshot files or
+    /// a content-addressed chunk store with optional peer delta fetch.
+    pub snapshot_store: SnapshotStorePolicy,
+    /// Probability that one document-store request finds the store
+    /// transiently unavailable ([`fireworks_sim::fault::FaultSite::StoreUnavailable`]),
+    /// armed on the platform's fault injector at construction. Replaces
+    /// the v1 pattern of arming outage rules post-hoc on `PlatformEnv`.
+    pub store_outage: f64,
+    /// Probability that one network transmission attempt is lost
+    /// ([`fireworks_sim::fault::FaultSite::NetLoss`]), armed on the
+    /// platform's fault injector at construction.
+    pub packet_loss: f64,
 }
 
 impl Default for PlatformConfig {
@@ -97,6 +146,9 @@ impl Default for PlatformConfig {
             paging: PagingPolicy::WarmPageCache,
             security: SecurityPolicy::default(),
             keep_alive: None,
+            snapshot_store: SnapshotStorePolicy::Flat,
+            store_outage: 0.0,
+            packet_loss: 0.0,
         }
     }
 }
@@ -147,6 +199,42 @@ impl PlatformConfigBuilder {
         self
     }
 
+    /// Sets the snapshot storage layout.
+    pub fn snapshot_store(mut self, policy: SnapshotStorePolicy) -> Self {
+        self.config.snapshot_store = policy;
+        self
+    }
+
+    /// Sets the probability of a transient document-store outage per
+    /// request (0.0 disables).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probability is not within `0.0..=1.0`.
+    pub fn store_outage(mut self, probability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "store_outage must be a probability"
+        );
+        self.config.store_outage = probability;
+        self
+    }
+
+    /// Sets the probability of losing one network transmission attempt
+    /// (0.0 disables).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probability is not within `0.0..=1.0`.
+    pub fn packet_loss(mut self, probability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "packet_loss must be a probability"
+        );
+        self.config.packet_loss = probability;
+        self
+    }
+
     /// Finishes the build.
     pub fn build(self) -> PlatformConfig {
         self.config
@@ -175,6 +263,12 @@ mod tests {
             .paging(PagingPolicy::ColdStorage { reap: true })
             .security(security)
             .keep_alive(Some(Nanos::from_secs(60)))
+            .snapshot_store(SnapshotStorePolicy::Dedup {
+                chunk_pages: 32,
+                delta_fetch: false,
+            })
+            .store_outage(0.25)
+            .packet_loss(0.05)
             .build();
         assert_eq!(cfg.cache_budget_bytes, 123);
         assert_eq!(cfg.recovery.max_attempts, 7);
@@ -183,6 +277,15 @@ mod tests {
         assert!(!cfg.security.reseed_rng_on_restore);
         assert_eq!(cfg.security.refresh_after_invocations, 11);
         assert_eq!(cfg.keep_alive, Some(Nanos::from_secs(60)));
+        assert_eq!(
+            cfg.snapshot_store,
+            SnapshotStorePolicy::Dedup {
+                chunk_pages: 32,
+                delta_fetch: false
+            }
+        );
+        assert_eq!(cfg.store_outage, 0.25);
+        assert_eq!(cfg.packet_loss, 0.05);
     }
 
     #[test]
@@ -191,6 +294,28 @@ mod tests {
         assert_eq!(cfg.cache_budget_bytes, u64::MAX);
         assert!(cfg.keep_alive.is_none());
         assert_eq!(cfg.paging, PagingPolicy::WarmPageCache);
+        assert_eq!(cfg.snapshot_store, SnapshotStorePolicy::Flat);
+        assert_eq!(cfg.store_outage, 0.0);
+        assert_eq!(cfg.packet_loss, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn out_of_range_loss_probability_is_rejected() {
+        let _ = PlatformConfig::builder().packet_loss(1.5);
+    }
+
+    #[test]
+    fn dedup_shorthand_enables_delta_fetch() {
+        let SnapshotStorePolicy::Dedup {
+            chunk_pages,
+            delta_fetch,
+        } = SnapshotStorePolicy::dedup()
+        else {
+            panic!("dedup() must build the dedup variant");
+        };
+        assert_eq!(chunk_pages, SnapshotStorePolicy::DEFAULT_CHUNK_PAGES);
+        assert!(delta_fetch);
     }
 
     #[test]

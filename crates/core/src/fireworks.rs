@@ -1,9 +1,11 @@
 //! The FIREWORKS platform.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
 use fireworks_annotator::{annotate, Annotated, AnnotationConfig};
+use fireworks_guestmem::{ChunkHash, FrameId, SnapshotFile};
 use fireworks_lang::{JitPolicy, Value};
 use fireworks_microvm::reap::PagingCosts;
 use fireworks_microvm::{
@@ -14,18 +16,21 @@ use fireworks_obs::cat;
 use fireworks_runtime::guest::RunOutcome;
 use fireworks_runtime::RuntimeProfile;
 use fireworks_sandbox::{IoPath, IoPathKind, IsolationLevel};
+use fireworks_sim::fault::{FaultSite, FaultTrigger};
 use fireworks_sim::trace::{Phase, Trace};
 use fireworks_sim::Nanos;
+use fireworks_store::ChunkStore;
 
 use crate::api::{
     ConcurrentPlatform, FunctionSpec, InFlightToken, InstallReport, Invocation, InvokeRequest,
-    Platform, PlatformError, StartKind,
+    Platform, PlatformError, SnapshotResidency, StartKind,
 };
 use crate::audit::{SecurityAudit, SecurityPolicy};
 use crate::cache::SnapshotCache;
-use crate::config::{PagingPolicy, PlatformConfig, RecoveryPolicy};
+use crate::config::{PagingPolicy, PlatformConfig, RecoveryPolicy, SnapshotStorePolicy};
 use crate::env::PlatformEnv;
 use crate::host::{GuestHost, NetMode};
+use crate::mesh::SharedChunkMesh;
 
 /// The guest IP baked into every snapshot (identical across clones —
 /// paper Fig. 5's `A.A.A.A`).
@@ -128,6 +133,16 @@ pub struct FireworksPlatform {
     security: SecurityPolicy,
     paging: PagingPolicy,
     recovery: RecoveryPolicy,
+    /// Content-addressed chunk store
+    /// ([`SnapshotStorePolicy::Dedup`] only).
+    chunk_store: Option<Rc<RefCell<ChunkStore>>>,
+    /// Chunking granularity for ingests (Dedup only).
+    chunk_pages: usize,
+    /// Whether a cache miss may be served by fetching missing chunks from
+    /// a mesh peer instead of rebuilding from source.
+    delta_fetch: bool,
+    /// The cluster's chunk mesh and this host's id in it, once attached.
+    mesh: Option<(SharedChunkMesh, usize)>,
 }
 
 impl FireworksPlatform {
@@ -147,6 +162,35 @@ impl FireworksPlatform {
         mgr.set_obs(env.obs.clone());
         let mut cache = SnapshotCache::new(config.cache_budget_bytes);
         cache.set_obs(env.obs.clone());
+        let (chunk_store, chunk_pages, delta_fetch) = match config.snapshot_store {
+            SnapshotStorePolicy::Flat => (None, 0, false),
+            SnapshotStorePolicy::Dedup {
+                chunk_pages,
+                delta_fetch,
+            } => {
+                let mut store = ChunkStore::new(env.host_mem.clone());
+                store.set_obs(env.obs.clone());
+                let store = Rc::new(RefCell::new(store));
+                cache.attach_store(store.clone());
+                (Some(store), chunk_pages, delta_fetch)
+            }
+        };
+        // Layer the config's outage/loss knobs on top of the
+        // environment's base fault plan. Probability-zero rules still
+        // consume RNG draws, so only arm sites that can actually fire —
+        // the default config must not perturb an armed plan's schedule.
+        if config.store_outage > 0.0 {
+            env.injector.borrow_mut().arm(
+                FaultSite::StoreUnavailable,
+                FaultTrigger::Probability(config.store_outage),
+            );
+        }
+        if config.packet_loss > 0.0 {
+            env.injector.borrow_mut().arm(
+                FaultSite::NetLoss,
+                FaultTrigger::Probability(config.packet_loss),
+            );
+        }
         FireworksPlatform {
             env,
             mgr,
@@ -156,6 +200,10 @@ impl FireworksPlatform {
             security: config.security,
             paging: config.paging,
             recovery: config.recovery,
+            chunk_store,
+            chunk_pages,
+            delta_fetch,
+            mesh: None,
         }
     }
 
@@ -167,6 +215,12 @@ impl FireworksPlatform {
     /// Snapshot-cache eviction count (for the disk-budget ablation).
     pub fn cache_evictions(&self) -> u64 {
         self.cache.evictions()
+    }
+
+    /// Chunk-store statistics — `None` unless the platform runs the
+    /// content-addressed store ([`SnapshotStorePolicy::Dedup`]).
+    pub fn chunk_stats(&self) -> Option<fireworks_store::ChunkStoreStats> {
+        self.chunk_store.as_ref().map(|s| s.borrow().stats())
     }
 
     fn guest_host(&self, default_params: &Value) -> GuestHost {
@@ -273,7 +327,7 @@ impl FireworksPlatform {
         let t0 = self.env.clock.now();
         let snapshot = self.build_snapshot(&spec, &annotated, &profile)?;
         let took = self.env.clock.now() - t0;
-        self.cache.insert(name, snapshot.clone());
+        let snapshot = self.cache_insert(name, snapshot);
         let entry = self
             .registry
             .get_mut(name)
@@ -282,6 +336,200 @@ impl FireworksPlatform {
         entry.refreshes += 1;
         entry.refresh_time += took;
         Ok(snapshot)
+    }
+
+    /// Caches a snapshot under the active store policy.
+    ///
+    /// Flat: the snapshot goes into the LRU as-is. Dedup: its pages are
+    /// ingested into the chunk store first and the cached copy is a
+    /// *canonical remap* — a snapshot whose frame list points at the
+    /// store's canonical chunk frames — so byte-identical chunks across
+    /// functions occupy host memory once and the manifest is published to
+    /// the mesh for peers to delta-fetch. Returns the snapshot actually
+    /// cached (the canonical remap in dedup mode).
+    fn cache_insert(&mut self, name: &str, snapshot: Rc<VmFullSnapshot>) -> Rc<VmFullSnapshot> {
+        let (cached, evicted) = match &self.chunk_store {
+            Some(store) => {
+                let template = snapshot.template();
+                let (manifest, frames) = store
+                    .borrow_mut()
+                    .ingest_snapshot(snapshot.mem(), self.chunk_pages);
+                let mem = SnapshotFile::from_mapped(
+                    &self.env.host_mem,
+                    snapshot.mem().size_bytes(),
+                    frames,
+                    snapshot.mem().device_state().to_vec(),
+                );
+                let canonical = Rc::new(VmFullSnapshot::from_template(mem, &template));
+                let evicted = self
+                    .cache
+                    .insert_dedup(name, canonical.clone(), manifest.clone());
+                if let Some((mesh, id)) = &self.mesh {
+                    mesh.borrow_mut().publish(*id, name, manifest, template);
+                }
+                (canonical, evicted)
+            }
+            None => {
+                let evicted = self.cache.insert(name, snapshot.clone());
+                (snapshot, evicted)
+            }
+        };
+        if let Some((mesh, id)) = &self.mesh {
+            let mut mesh = mesh.borrow_mut();
+            for victim in &evicted {
+                mesh.retract(*id, victim);
+            }
+        }
+        cached
+    }
+
+    /// Drops a snapshot from the cache and withdraws its mesh
+    /// publication (quarantine, security refresh).
+    fn uncache(&mut self, name: &str) {
+        self.cache.remove(name);
+        if let Some((mesh, id)) = &self.mesh {
+            mesh.borrow_mut().retract(*id, name);
+        }
+    }
+
+    /// Serves a cache miss from the cluster mesh: picks a donor holding
+    /// the function's full chunk set, ships only the chunks this host is
+    /// missing over the simulated network (64 KiB segments with the
+    /// network's loss/retransmit machinery), and reassembles the snapshot
+    /// from store chunks. The wire time is charged *after* subtracting
+    /// the restore-side work it can overlap with (a prefetch pipeline:
+    /// chunks stream in while the restore maps already-present pages).
+    ///
+    /// Returns `None` — falling back to rebuild-from-source — when
+    /// delta fetch is off, no donor qualifies, the donor crashes
+    /// mid-transfer, or a chunk transfer exhausts its retries.
+    fn fetch_snapshot_delta(&mut self, name: &str) -> Option<Rc<VmFullSnapshot>> {
+        if !self.delta_fetch {
+            return None;
+        }
+        let store = self.chunk_store.clone()?;
+        let (mesh, my_id) = self.mesh.clone()?;
+        let donor = mesh.borrow().donor_for(name, my_id)?;
+        let obs = self.env.obs.clone();
+        let rec = obs.recorder().clone();
+        let sp = rec.start_phase("snapshot_delta_fetch", cat::SNAPSHOT, Phase::Startup);
+        rec.attr(sp, "donor", donor.host as u64);
+
+        let missing = store.borrow().missing_chunks(&donor.manifest);
+        let peer = Ip::new(10, 42, 0, donor.host as u8);
+        let mut staged: Vec<(ChunkHash, Vec<(usize, FrameId)>)> = Vec::new();
+        let mut wire = Nanos::ZERO;
+        let mut fetched_bytes = 0u64;
+        let mut failed = false;
+        for &idx in &missing {
+            let chunk = &donor.manifest.chunks[idx];
+            // The donor can drop out mid-transfer; its crash is drawn on
+            // *its* injector, so the schedule matches what the cluster
+            // would have seen at the donor's own service boundaries.
+            if donor
+                .injector
+                .borrow_mut()
+                .should_fail(FaultSite::HostCrash)
+            {
+                mesh.borrow_mut().mark_dead(donor.host);
+                rec.instant(format!("donor_crash:{}", donor.host), cat::FAULT);
+                failed = true;
+                break;
+            }
+            match self.env.net.borrow().transfer_cost(peer, chunk.bytes) {
+                Ok(report) => {
+                    wire += report.elapsed;
+                    fetched_bytes += chunk.bytes;
+                }
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            }
+            let donor_store = donor.store.borrow();
+            let Some(run) = donor_store.chunk_frames(chunk.hash) else {
+                failed = true;
+                break;
+            };
+            let frames: Vec<(usize, FrameId)> = run
+                .iter()
+                .map(|&(page, f)| {
+                    (
+                        page,
+                        self.env.host_mem.clone_frame_from(donor_store.host(), f),
+                    )
+                })
+                .collect();
+            staged.push((chunk.hash, frames));
+        }
+        if failed {
+            for (_, frames) in staged {
+                for (_, f) in frames {
+                    self.env.host_mem.release(f);
+                }
+            }
+            obs.metrics()
+                .inc("core.delta.fallbacks", &[("function", name)]);
+            rec.instant(format!("delta_fallback:{name}"), cat::SNAPSHOT);
+            rec.end(sp);
+            return None;
+        }
+
+        // Commit: the manifest takes one reference on every chunk —
+        // already-present ones are retained, shipped ones adopted.
+        {
+            let mut st = store.borrow_mut();
+            let missing_set: std::collections::BTreeSet<usize> = missing.iter().copied().collect();
+            for (i, chunk) in donor.manifest.chunks.iter().enumerate() {
+                if !missing_set.contains(&i) {
+                    st.retain_chunk(chunk.hash);
+                }
+            }
+            for (hash, frames) in staged {
+                st.ingest_remote_chunk(hash, frames);
+            }
+        }
+        let frames = store.borrow().claim_manifest_frames(&donor.manifest)?;
+        let mem = SnapshotFile::from_mapped(
+            &self.env.host_mem,
+            donor.manifest.size_bytes,
+            frames,
+            donor.manifest.device_state.clone(),
+        );
+        let snapshot = Rc::new(VmFullSnapshot::from_template(mem, &donor.template));
+
+        // Prefetch pipeline: the transfer overlaps the restore's base
+        // cost and page mapping, so only the excess wire time is charged.
+        let pages = donor.manifest.total_pages() as u64;
+        let overlap = self.env.costs.microvm.snapshot_restore_base
+            + self.env.costs.microvm.snapshot_map_per_page * pages;
+        let charged = wire.saturating_sub(overlap);
+        self.env.clock.advance(charged);
+
+        let labels: &[(&'static str, &str)] = &[("function", name)];
+        let m = obs.metrics();
+        m.inc("core.delta.fetches", labels);
+        m.add("core.delta.chunks_fetched", labels, missing.len() as u64);
+        m.add("core.delta.bytes_fetched", labels, fetched_bytes);
+        m.observe("core.delta.fetch_ns", labels, wire.as_nanos());
+        m.add(
+            "core.delta.overlap_saved_ns",
+            &[],
+            (wire - charged).as_nanos(),
+        );
+
+        let evicted = self
+            .cache
+            .insert_dedup(name, snapshot.clone(), donor.manifest.clone());
+        {
+            let mut mesh = mesh.borrow_mut();
+            mesh.publish(my_id, name, donor.manifest, donor.template);
+            for victim in &evicted {
+                mesh.retract(my_id, victim);
+            }
+        }
+        rec.end(sp);
+        Some(snapshot)
     }
 
     /// Records an infrastructure failure against `name`'s breaker,
@@ -345,25 +593,35 @@ impl FireworksPlatform {
 
         let mut trace = Trace::new();
 
-        // Snapshot lookup; on an LRU miss the platform must rebuild it
-        // (the §6 disk-budget trade-off), charged to this invocation as a
-        // labelled start-up span.
+        // Snapshot lookup; on an LRU miss the platform first tries to
+        // delta-fetch the snapshot's missing chunks from a mesh peer
+        // (content-addressed store only), and otherwise must rebuild it
+        // from source (the §6 disk-budget trade-off) — either way charged
+        // to this invocation as a labelled start-up span.
         let mut snapshot = match self.cache.get(name) {
             Some(s) => s,
             None => {
                 let t0 = clock.now();
-                let sp = rec.start_phase("snapshot_rebuild", cat::SNAPSHOT, Phase::Startup);
-                let s = self.refresh_snapshot(name);
-                rec.end(sp);
-                let s = match s {
-                    Ok(s) => s,
-                    Err(e) => {
-                        rec.end(inv_span);
-                        return Err(e);
+                match self.fetch_snapshot_delta(name) {
+                    Some(s) => {
+                        trace.record("snapshot_delta_fetch", Phase::Startup, t0, clock.now());
+                        s
                     }
-                };
-                trace.record("snapshot_rebuild", Phase::Startup, t0, clock.now());
-                s
+                    None => {
+                        let sp = rec.start_phase("snapshot_rebuild", cat::SNAPSHOT, Phase::Startup);
+                        let s = self.refresh_snapshot(name);
+                        rec.end(sp);
+                        let s = match s {
+                            Ok(s) => s,
+                            Err(e) => {
+                                rec.end(inv_span);
+                                return Err(e);
+                            }
+                        };
+                        trace.record("snapshot_rebuild", Phase::Startup, t0, clock.now());
+                        s
+                    }
+                }
             }
         };
 
@@ -430,7 +688,7 @@ impl FireworksPlatform {
                     restore_retries_now += 1;
                     obs.metrics()
                         .inc("core.recovery.restore_retries", &[("function", name)]);
-                    self.cache.remove(name);
+                    self.uncache(name);
                     if let Some(entry) = self.registry.get_mut(name) {
                         entry.quarantines += 1;
                     }
@@ -790,7 +1048,7 @@ impl Platform for FireworksPlatform {
             snapshot_bytes: snapshot.file_bytes(),
             annotated_functions: annotated.annotated_functions,
         };
-        self.cache.insert(&spec.name, snapshot);
+        self.cache_insert(&spec.name, snapshot);
         self.registry.insert(
             spec.name.clone(),
             FunctionEntry {
@@ -856,10 +1114,70 @@ impl ConcurrentPlatform for FireworksPlatform {
         self.release_clone(clone);
     }
 
-    fn holds_snapshot(&self, function: &str) -> bool {
-        // The locality signal a cluster router steers by: is this host's
-        // LRU still holding the function's post-JIT snapshot?
-        self.cache.contains(function)
+    fn residency(&self, function: &str) -> SnapshotResidency {
+        // The locality signal a cluster router steers by. Full: this
+        // host's LRU holds the function's post-JIT snapshot. Partial: a
+        // mesh peer published the manifest and this host's chunk store
+        // already holds all but `missing_bytes` of it (shared runtime/OS
+        // chunks), so a delta fetch beats a rebuild. `contains` — not
+        // `get` — so router probes never perturb the LRU.
+        if self.cache.contains(function) {
+            return SnapshotResidency::Full;
+        }
+        if let (Some((mesh, _)), Some(store)) = (&self.mesh, &self.chunk_store) {
+            let mesh = mesh.borrow();
+            if let Some(manifest) = mesh.manifest_for(function) {
+                return SnapshotResidency::Partial {
+                    missing_bytes: store.borrow().missing_bytes(manifest),
+                };
+            }
+        }
+        SnapshotResidency::Absent
+    }
+
+    fn attach_mesh(&mut self, mesh: SharedChunkMesh, host_id: usize) {
+        // Flat-store platforms have nothing to publish or donate; they
+        // stay off the mesh and report Full/Absent residency only.
+        if let Some(store) = &self.chunk_store {
+            mesh.borrow_mut()
+                .register(host_id, store.clone(), self.env.injector.clone());
+            self.mesh = Some((mesh, host_id));
+        }
+    }
+
+    fn register(&mut self, spec: &FunctionSpec) -> Result<(), PlatformError> {
+        // Registration without the install-time build: the function is
+        // invocable, and its first invocation pays a delta fetch (if a
+        // mesh peer holds the snapshot) or a rebuild from source. This is
+        // how a cluster installs a function on its home host only.
+        let annotated = annotate(&spec.source, &AnnotationConfig::default())?;
+        let profile = RuntimeProfile::for_kind(spec.runtime);
+        let annotated_functions = annotated.annotated_functions;
+        self.registry.insert(
+            spec.name.clone(),
+            FunctionEntry {
+                spec: spec.clone(),
+                annotated,
+                profile,
+                install_report: InstallReport {
+                    install_time: Nanos::ZERO,
+                    snapshot_pages: 0,
+                    snapshot_bytes: 0,
+                    annotated_functions,
+                },
+                clones_since_snapshot: 0,
+                refreshes: 0,
+                refresh_time: Nanos::ZERO,
+                working_set: None,
+                consecutive_failures: 0,
+                circuit_open_until: None,
+                recoveries: 0,
+                quarantines: 0,
+                restore_retries: 0,
+                prefetch_degraded: 0,
+            },
+        );
+        Ok(())
     }
 }
 
@@ -1001,7 +1319,7 @@ mod tests {
         p.install(&spec("f2")).expect("installs");
         assert!(p.cache_evictions() > 0, "budget forced an eviction");
         assert!(
-            p.holds_snapshot("f2") && !p.holds_snapshot("f1"),
+            p.residency("f2").is_full() && !p.residency("f1").is_full(),
             "the locality signal tracks the LRU"
         );
         let inv = p.invoke(&req("f1", 10)).expect("rebuilds");
@@ -1010,7 +1328,10 @@ mod tests {
             inv.trace.total_for("snapshot_rebuild") > Nanos::ZERO,
             "rebuild must be visible in the trace"
         );
-        assert!(p.holds_snapshot("f1"), "the rebuild re-populated the cache");
+        assert!(
+            p.residency("f1").is_full(),
+            "the rebuild re-populated the cache"
+        );
     }
 
     #[test]

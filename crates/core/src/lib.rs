@@ -35,18 +35,22 @@ pub mod engine;
 pub mod env;
 pub mod fireworks;
 pub mod host;
+pub mod mesh;
 
 pub use api::{
     ConcurrentPlatform, FunctionSpec, InFlightToken, InstallReport, Invocation, InvokeRequest,
-    Platform, PlatformError, StartKind, StartMode,
+    Platform, PlatformError, SnapshotResidency, StartKind, StartMode,
 };
 pub use cluster::{
     Cluster, ClusterCompletion, ClusterConfig, ClusterReport, HostView, LeastLoaded,
     LocalityAffinity, RoundRobin, Route, Router,
 };
-pub use config::{PagingPolicy, PlatformConfig, PlatformConfigBuilder, RecoveryPolicy};
+pub use config::{
+    PagingPolicy, PlatformConfig, PlatformConfigBuilder, RecoveryPolicy, SnapshotStorePolicy,
+};
 pub use engine::{
     run_concurrent, CompletionPolicy, EngineCompletion, EngineConfig, EngineReport, EngineRequest,
 };
 pub use env::PlatformEnv;
 pub use fireworks::{FireworksPlatform, FunctionHealth, ResidentClone};
+pub use mesh::{ChunkMesh, DonorInfo, SharedChunkMesh};

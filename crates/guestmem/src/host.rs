@@ -260,6 +260,25 @@ impl HostMemory {
         }
     }
 
+    /// Copies a frame's contents from another host's frame table into a
+    /// fresh frame on this host — the receive side of a cross-host chunk
+    /// transfer. Unmaterialised source frames (all-zero pages that exist
+    /// only for accounting) stay unmaterialised in the copy, so shipping
+    /// the mostly-untouched parts of a VM image does not inflate either
+    /// host's byte footprint. The new frame has one reference, owned by
+    /// the caller. The wire cost of moving the bytes is charged by the
+    /// network model, not here; only the local zero-fill allocation cost
+    /// applies.
+    pub fn clone_frame_from(&self, src_host: &HostMemory, src: FrameId) -> FrameId {
+        let data = src_host.inner.borrow().entry(src).data.clone();
+        let id = self.alloc_zero();
+        if data.is_some() {
+            let mut inner = self.inner.borrow_mut();
+            inner.entry_mut(id).data = data;
+        }
+        id
+    }
+
     /// FNV-1a checksum of a frame's stored contents. Unwritten frames
     /// hash as all-zeroes (matching how they read) without scanning any
     /// bytes, so checksumming a whole VM image is cheap.

@@ -14,6 +14,9 @@
 //!   table over host frames with real byte contents where written.
 //! - [`SnapshotFile`]: a pinned set of frames plus an opaque device-state
 //!   blob; restoring maps every frame shared into a fresh address space.
+//! - [`SnapshotManifest`]: a content-addressed chunk list ([`ChunkHash`]
+//!   over fixed page runs) identifying a snapshot by [`SnapshotId`], the
+//!   unit of cluster-wide dedup and delta transfer.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -24,4 +27,6 @@ pub mod snapshot;
 
 pub use addr::{AddressSpace, SharingStats};
 pub use host::{FrameId, HostMemory, MemoryStats, PAGE_SIZE};
-pub use snapshot::{SnapshotFile, SnapshotIntegrityError};
+pub use snapshot::{
+    ChunkHash, ChunkRef, SnapshotFile, SnapshotId, SnapshotIntegrityError, SnapshotManifest,
+};

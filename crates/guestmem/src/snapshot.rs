@@ -1,10 +1,106 @@
 //! Snapshot files: pinned frame sets plus device state, with per-page
-//! checksums so stored-page corruption is detected at restore time.
+//! checksums so stored-page corruption is detected at restore time, and
+//! content-addressed manifests so snapshots can be deduplicated and
+//! shipped between hosts chunk by chunk.
 
 use std::fmt;
 
 use crate::addr::AddressSpace;
 use crate::host::{FrameId, HostMemory, PAGE_SIZE};
+
+/// Identity of a whole snapshot: the capture-time digest (page numbers
+/// folded with page checksums, FNV-1a). Two snapshots with the same id
+/// store byte-identical guest memory at identical guest addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SnapshotId(u64);
+
+impl SnapshotId {
+    /// Wraps a raw digest value.
+    pub fn from_raw(raw: u64) -> Self {
+        SnapshotId(raw)
+    }
+
+    /// The raw digest value (for JSON output and log labels).
+    pub fn as_raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SnapshotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "snap:{:016x}", self.0)
+    }
+}
+
+/// Content hash of one snapshot chunk: FNV-1a folded over the chunk's
+/// (guest page number, page checksum) pairs. Two chunks with equal
+/// hashes carry the same bytes at the same guest addresses, so a store
+/// may keep a single copy and map it into any snapshot that wants it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChunkHash(u64);
+
+impl ChunkHash {
+    /// Wraps a raw hash value.
+    pub fn from_raw(raw: u64) -> Self {
+        ChunkHash(raw)
+    }
+
+    /// The raw hash value (for JSON output and log labels).
+    pub fn as_raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ChunkHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chunk:{:016x}", self.0)
+    }
+}
+
+/// One chunk of a snapshot manifest: a fixed-size run of the snapshot's
+/// frame list (the last chunk may be short).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ChunkRef {
+    /// Content hash of the run.
+    pub hash: ChunkHash,
+    /// Pages covered by this chunk.
+    pub pages: usize,
+    /// Bytes covered by this chunk (`pages * PAGE_SIZE`).
+    pub bytes: u64,
+}
+
+/// A content-addressed description of a snapshot: its identity plus the
+/// ordered chunk list. A host holding every chunk of a manifest can
+/// reconstruct the snapshot without touching the source function, and a
+/// host holding only some chunks knows exactly how many bytes it is
+/// missing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct SnapshotManifest {
+    /// Identity of the snapshot this manifest describes.
+    pub id: SnapshotId,
+    /// Guest address-space size the snapshot restores into.
+    pub size_bytes: u64,
+    /// Chunk granularity in pages every full-size chunk uses.
+    pub chunk_pages: usize,
+    /// Ordered chunk list covering the snapshot's frame list.
+    pub chunks: Vec<ChunkRef>,
+    /// Device-state blob carried alongside guest memory.
+    pub device_state: Vec<u8>,
+}
+
+impl SnapshotManifest {
+    /// Total guest-memory bytes described by the manifest.
+    pub fn total_bytes(&self) -> u64 {
+        self.chunks.iter().map(|c| c.bytes).sum()
+    }
+
+    /// Total pages described by the manifest.
+    pub fn total_pages(&self) -> usize {
+        self.chunks.iter().map(|c| c.pages).sum()
+    }
+}
 
 /// A snapshot failed checksum verification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,6 +203,111 @@ impl SnapshotFile {
             mix(*sum);
         }
         h
+    }
+
+    /// Rebuilds a snapshot from an explicit frame list — the delta-fetch
+    /// path: a host that has assembled every frame of a remote snapshot
+    /// (from deduplicated chunks plus transferred ones) turns them back
+    /// into a restorable snapshot file. Frames are re-checksummed exactly
+    /// as [`SnapshotFile::capture`] would, so a faithful reconstruction
+    /// reproduces the source snapshot's [`SnapshotId`].
+    ///
+    /// Unlike `capture` (which pins on top of the source address space's
+    /// mappings), this *consumes* one owner reference per frame: the
+    /// caller's reference becomes the snapshot-file pin, and dropping the
+    /// snapshot frees frames nothing else maps.
+    ///
+    /// `frames` must be sorted by guest page number (ascending), matching
+    /// the order `capture` records.
+    pub fn from_mapped(
+        host: &HostMemory,
+        size_bytes: u64,
+        frames: Vec<(usize, FrameId)>,
+        device_state: Vec<u8>,
+    ) -> Self {
+        debug_assert!(
+            frames.windows(2).all(|w| w[0].0 < w[1].0),
+            "frame list must be sorted by guest page"
+        );
+        for (_, frame) in &frames {
+            // Turn the caller's owner reference into a snapshot pin.
+            host.pin(*frame);
+            host.release(*frame);
+        }
+        let checksums: Vec<u64> = frames
+            .iter()
+            .map(|(_, frame)| page_checksum(host, *frame))
+            .collect();
+        let digest = Self::fold_digest(&frames, &checksums);
+        SnapshotFile {
+            host: host.clone(),
+            size_bytes,
+            frames,
+            checksums,
+            digest,
+            device_state,
+        }
+    }
+
+    /// The snapshot's content identity (typed wrapper over
+    /// [`SnapshotFile::digest`]).
+    pub fn id(&self) -> SnapshotId {
+        SnapshotId::from_raw(self.digest)
+    }
+
+    /// The stored frame list: (guest page, host frame) pairs in ascending
+    /// guest-page order. Chunk stores slice this in the same fixed runs
+    /// [`SnapshotFile::manifest`] hashes.
+    pub fn frames(&self) -> &[(usize, FrameId)] {
+        &self.frames
+    }
+
+    /// Guest address-space size the snapshot restores into.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Computes the snapshot's content-addressed manifest at `chunk_pages`
+    /// granularity: the frame list is cut into fixed runs of `chunk_pages`
+    /// positions (the last run may be short) and each run is hashed by
+    /// FNV-1a folding its (guest page, page checksum) pairs. Runs with
+    /// identical guest layout and identical bytes — the common case for
+    /// the OS image and runtime/JIT regions shared across functions —
+    /// therefore collide on purpose, which is what lets a chunk store keep
+    /// one copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_pages` is zero.
+    pub fn manifest(&self, chunk_pages: usize) -> SnapshotManifest {
+        assert!(chunk_pages > 0, "chunk granularity must be positive");
+        let mut chunks = Vec::with_capacity(self.frames.len().div_ceil(chunk_pages));
+        for start in (0..self.frames.len()).step_by(chunk_pages) {
+            let end = (start + chunk_pages).min(self.frames.len());
+            let run = &self.frames[start..end];
+            let sums = &self.checksums[start..end];
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            let mut mix = |v: u64| {
+                h ^= v;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            };
+            for ((page, _), sum) in run.iter().zip(sums) {
+                mix(*page as u64);
+                mix(*sum);
+            }
+            chunks.push(ChunkRef {
+                hash: ChunkHash::from_raw(h),
+                pages: run.len(),
+                bytes: (run.len() * PAGE_SIZE) as u64,
+            });
+        }
+        SnapshotManifest {
+            id: self.id(),
+            size_bytes: self.size_bytes,
+            chunk_pages,
+            chunks,
+            device_state: self.device_state.clone(),
+        }
     }
 
     /// Restores the snapshot into a new address space on `host`, mapping
@@ -334,6 +535,88 @@ mod tests {
         let mut clone = snap.restore(&h);
         clone.write(0, b"dirty");
         assert!(snap.verify().is_ok());
+    }
+
+    #[test]
+    fn manifest_chunks_cover_every_page_and_dedup_identical_runs() {
+        let h = host();
+        let src = space_with_pages(&h, 10);
+        let snap = SnapshotFile::capture(&src, Vec::new());
+        let m = snap.manifest(4);
+        assert_eq!(m.id, snap.id());
+        assert_eq!(m.chunk_pages, 4);
+        // 10 pages at 4/chunk: 4 + 4 + 2.
+        assert_eq!(m.chunks.len(), 3);
+        assert_eq!(m.total_pages(), 10);
+        assert_eq!(m.total_bytes(), 10 * PAGE_SIZE as u64);
+        assert_eq!(m.chunks[2].pages, 2);
+        // All pages are untouched zeroes but at different guest addresses,
+        // so the two full-size chunks differ (layout is part of the hash)…
+        assert_ne!(m.chunks[0].hash, m.chunks[1].hash);
+        // …while a second identical snapshot produces identical hashes.
+        let again = SnapshotFile::capture(&src, Vec::new());
+        assert_eq!(again.manifest(4).chunks, m.chunks);
+    }
+
+    #[test]
+    fn manifest_hash_tracks_content() {
+        let h = host();
+        let mut a = AddressSpace::new(h.clone(), 1 << 20);
+        a.write(0, b"shared runtime image");
+        let snap_a = SnapshotFile::capture(&a, Vec::new());
+        let mut b = AddressSpace::new(h.clone(), 1 << 20);
+        b.write(0, b"shared runtime image");
+        let snap_b = SnapshotFile::capture(&b, Vec::new());
+        assert_eq!(
+            snap_a.manifest(64).chunks[0].hash,
+            snap_b.manifest(64).chunks[0].hash,
+            "same bytes at same addresses collide across snapshots"
+        );
+        let mut c = AddressSpace::new(h.clone(), 1 << 20);
+        c.write(0, b"private user state...");
+        let snap_c = SnapshotFile::capture(&c, Vec::new());
+        assert_ne!(
+            snap_a.manifest(64).chunks[0].hash,
+            snap_c.manifest(64).chunks[0].hash
+        );
+    }
+
+    #[test]
+    fn from_mapped_reproduces_identity_and_contents() {
+        let h = host();
+        let mut src = AddressSpace::new(h.clone(), 1 << 20);
+        src.write(0, b"jitted code");
+        let snap = SnapshotFile::capture(&src, vec![9, 9]);
+
+        // A "receiving host" assembles the same frames (here: copied
+        // within one table, as a chunk transfer would) and rebuilds.
+        let frames: Vec<(usize, FrameId)> = snap
+            .frames()
+            .iter()
+            .map(|(page, f)| (*page, h.clone_frame_from(&h, *f)))
+            .collect();
+        let rebuilt = SnapshotFile::from_mapped(&h, snap.size_bytes(), frames, vec![9, 9]);
+        assert_eq!(rebuilt.id(), snap.id(), "faithful copy keeps the id");
+        assert_eq!(rebuilt.pages(), snap.pages());
+        assert!(rebuilt.verify().is_ok());
+        let clone = rebuilt.restore(&h);
+        let mut buf = [0u8; 11];
+        clone.read(0, &mut buf);
+        assert_eq!(&buf, b"jitted code");
+        // from_mapped owns its frames: dropping it releases them.
+        drop(clone);
+        let live = h.live_frames();
+        drop(rebuilt);
+        assert!(h.live_frames() < live);
+    }
+
+    #[test]
+    fn snapshot_and_chunk_ids_format_distinctly() {
+        let id = SnapshotId::from_raw(0xabc);
+        let ch = ChunkHash::from_raw(0xabc);
+        assert_eq!(id.as_raw(), ch.as_raw());
+        assert!(id.to_string().starts_with("snap:"));
+        assert!(ch.to_string().starts_with("chunk:"));
     }
 
     #[test]

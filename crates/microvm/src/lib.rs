@@ -26,4 +26,4 @@ pub mod vm;
 pub use error::VmError;
 pub use manager::VmManager;
 pub use reap::{PagingCosts, ReapMode, ReapSession, WorkingSet};
-pub use vm::{MicroVm, MicroVmConfig, VmFullSnapshot, VmState};
+pub use vm::{MicroVm, MicroVmConfig, SnapshotTemplate, VmFullSnapshot, VmState};

@@ -316,4 +316,44 @@ impl VmFullSnapshot {
             .map(|r| r.jit_code_ops() > 0)
             .unwrap_or(false)
     }
+
+    /// The snapshot's host-agnostic metadata — everything except guest
+    /// memory. A peer host that has reassembled the memory file from
+    /// content-addressed chunks combines it with this template via
+    /// [`VmFullSnapshot::from_template`] to obtain a restorable snapshot
+    /// without ever running the source function.
+    pub fn template(&self) -> SnapshotTemplate {
+        SnapshotTemplate {
+            runtime: self.runtime.clone(),
+            config: self.config,
+            extents: self.extents,
+            memmodel: self.memmodel,
+        }
+    }
+
+    /// Recombines a reassembled memory file with a snapshot's metadata
+    /// template (the delta-fetch receive side).
+    pub fn from_template(mem: SnapshotFile, template: &SnapshotTemplate) -> Self {
+        VmFullSnapshot {
+            mem,
+            runtime: template.runtime.clone(),
+            config: template.config,
+            extents: template.extents,
+            memmodel: template.memmodel,
+        }
+    }
+}
+
+/// The host-agnostic parts of a [`VmFullSnapshot`]: runtime state handle,
+/// VM configuration, region extents, and memory model — but no guest
+/// memory. Cheap to clone and safe to share across simulated hosts
+/// (frame ids are host-local; none appear here), which makes it the
+/// piece a cluster mesh publishes alongside a content-addressed
+/// manifest.
+#[derive(Debug, Clone)]
+pub struct SnapshotTemplate {
+    runtime: Option<Rc<RuntimeSnapshot>>,
+    config: MicroVmConfig,
+    extents: RegionExtents,
+    memmodel: MemoryModel,
 }

@@ -29,6 +29,22 @@ use fireworks_sim::{Clock, Nanos};
 pub const RETRANSMIT_TIMEOUT: Nanos = Nanos::from_micros(500);
 /// Transmission attempts per packet (1 original + bounded retries).
 pub const MAX_TRANSMITS: u32 = 4;
+/// Segment size host-to-host bulk transfers are cut into (one loss /
+/// retransmission unit — a jumbo-frame-sized chunk of the stream).
+pub const TRANSFER_SEGMENT_BYTES: u64 = 64 * 1024;
+
+/// A completed host-to-host bulk transfer (snapshot chunk shipping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferReport {
+    /// Payload bytes moved.
+    pub bytes: u64,
+    /// Segments the payload was cut into.
+    pub segments: u64,
+    /// Wire time: per-segment latency plus retransmission backoff.
+    pub elapsed: Nanos,
+    /// Segments that had to be retransmitted at least once.
+    pub retransmits: u32,
+}
 
 /// An IPv4 address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -338,6 +354,80 @@ impl HostNetwork {
         }
     }
 
+    /// Computes the cost of streaming `payload_bytes` to a peer host
+    /// (`peer` is only used to label errors and events) *without*
+    /// advancing the clock. The payload is cut into
+    /// [`TRANSFER_SEGMENT_BYTES`] segments; each segment is subject to
+    /// the same per-attempt [`FaultSite::NetLoss`] draws and doubling
+    /// retransmission backoff as [`HostNetwork::deliver`], and a segment
+    /// exhausting [`MAX_TRANSMITS`] fails the whole transfer.
+    ///
+    /// Callers that overlap the transfer with other work (the delta-fetch
+    /// prefetch pipeline) charge the returned elapsed time themselves;
+    /// [`HostNetwork::transfer`] is the blocking convenience that charges
+    /// it immediately.
+    pub fn transfer_cost(&self, peer: Ip, payload_bytes: u64) -> Result<TransferReport, NetError> {
+        let segments = payload_bytes.div_ceil(TRANSFER_SEGMENT_BYTES).max(1);
+        let mut elapsed = Nanos::ZERO;
+        let mut retransmits = 0u32;
+        for seg in 0..segments {
+            let seg_bytes =
+                if seg + 1 == segments && !payload_bytes.is_multiple_of(TRANSFER_SEGMENT_BYTES) {
+                    payload_bytes % TRANSFER_SEGMENT_BYTES
+                } else {
+                    TRANSFER_SEGMENT_BYTES.min(payload_bytes.max(1))
+                };
+            let mut attempts = 0u32;
+            loop {
+                attempts += 1;
+                elapsed += self.packet_latency(seg_bytes, false);
+                let lost = self
+                    .injector
+                    .as_ref()
+                    .map(|inj| inj.borrow_mut().should_fail(FaultSite::NetLoss))
+                    .unwrap_or(false);
+                if !lost {
+                    break;
+                }
+                if attempts >= MAX_TRANSMITS {
+                    if let Some(obs) = &self.obs {
+                        obs.metrics().inc("net.transfer.drops", &[]);
+                        obs.recorder().instant_with(
+                            format!("transfer_lost:{peer}"),
+                            cat::NET,
+                            vec![("segment", seg.into()), ("attempts", attempts.into())],
+                        );
+                    }
+                    return Err(NetError::Lost(peer));
+                }
+                retransmits += 1;
+                elapsed += RETRANSMIT_TIMEOUT * (1u64 << (attempts - 1));
+            }
+        }
+        if let Some(obs) = &self.obs {
+            obs.metrics().add("net.transfer.segments", &[], segments);
+            obs.metrics().add("net.transfer.bytes", &[], payload_bytes);
+            if retransmits > 0 {
+                obs.metrics()
+                    .add("net.transfer.retransmits", &[], u64::from(retransmits));
+            }
+        }
+        Ok(TransferReport {
+            bytes: payload_bytes,
+            segments,
+            elapsed,
+            retransmits,
+        })
+    }
+
+    /// Streams `payload_bytes` to a peer host, charging the full transfer
+    /// time on the clock. See [`HostNetwork::transfer_cost`].
+    pub fn transfer(&self, peer: Ip, payload_bytes: u64) -> Result<TransferReport, NetError> {
+        let report = self.transfer_cost(peer, payload_bytes)?;
+        self.clock.advance(report.elapsed);
+        Ok(report)
+    }
+
     /// Latency of one packet: base + size + (optionally) NAT translation.
     pub fn packet_latency(&self, payload_bytes: u64, through_nat: bool) -> Nanos {
         let kib = payload_bytes.div_ceil(1024);
@@ -517,6 +607,55 @@ mod tests {
             MAX_TRANSMITS as usize,
             "exactly MAX_TRANSMITS attempts were made"
         );
+    }
+
+    #[test]
+    fn transfer_cost_scales_with_bytes_and_charges_nothing() {
+        let clock = Clock::new();
+        let net = HostNetwork::new(clock.clone(), NetCosts::default());
+        let peer = Ip::new(10, 42, 0, 1);
+        let before = clock.now();
+        let small = net.transfer_cost(peer, 64 * 1024).expect("ok");
+        let big = net.transfer_cost(peer, 4 << 20).expect("ok");
+        assert_eq!(clock.now(), before, "cost computation is clock-neutral");
+        assert_eq!(small.segments, 1);
+        assert_eq!(big.segments, 64);
+        assert!(big.elapsed > small.elapsed * 32);
+        // The blocking variant charges the same elapsed time.
+        let charged = net.transfer(peer, 4 << 20).expect("ok");
+        assert_eq!(charged.elapsed, big.elapsed);
+        assert_eq!(clock.now() - before, big.elapsed);
+    }
+
+    #[test]
+    fn transfer_retransmits_lost_segments_with_backoff() {
+        use fireworks_sim::fault::{self, FaultInjector, FaultPlan};
+        let clock = Clock::new();
+        let mut net = HostNetwork::new(clock.clone(), NetCosts::default());
+        let peer = Ip::new(10, 42, 0, 2);
+        let clean = net.transfer_cost(peer, 128 * 1024).expect("ok");
+        net.set_fault_injector(fault::shared(FaultInjector::new(
+            FaultPlan::new(5).nth(FaultSite::NetLoss, 1),
+        )));
+        let lossy = net.transfer_cost(peer, 128 * 1024).expect("ok");
+        assert_eq!(lossy.retransmits, 1);
+        let seg_latency = net.packet_latency(TRANSFER_SEGMENT_BYTES, false);
+        assert_eq!(
+            lossy.elapsed,
+            clean.elapsed + seg_latency + RETRANSMIT_TIMEOUT
+        );
+    }
+
+    #[test]
+    fn transfer_gives_up_when_a_segment_exhausts_retries() {
+        use fireworks_sim::fault::{self, FaultInjector, FaultPlan};
+        let mut net = net();
+        let peer = Ip::new(10, 42, 0, 3);
+        net.set_fault_injector(fault::shared(FaultInjector::new(FaultPlan::uniform(
+            1, 1.0,
+        ))));
+        let err = net.transfer_cost(peer, 256 * 1024).expect_err("lost");
+        assert_eq!(err, NetError::Lost(peer));
     }
 
     #[test]

@@ -15,6 +15,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chunk;
+
+pub use chunk::{ChunkStore, ChunkStoreStats};
+
 use std::collections::BTreeMap;
 use std::fmt;
 

@@ -1,0 +1,215 @@
+//! Content-addressed snapshot distribution: residency API shim, peer
+//! delta fetch, donor-crash fallback, and cluster byte-determinism.
+
+use fireworks::core::engine::EngineRequest;
+use fireworks::core::{ChunkMesh, ConcurrentPlatform, SnapshotResidency, SnapshotStorePolicy};
+use fireworks::obs::Obs;
+use fireworks::prelude::*;
+
+const SRC: &str = "
+    fn main(params) {
+        let n = params[\"n\"];
+        let t = 0;
+        for (let i = 0; i < n; i = i + 1) { t = t + i; }
+        return t;
+    }";
+
+fn spec(name: &str) -> FunctionSpec {
+    FunctionSpec::new(
+        name,
+        SRC,
+        RuntimeKind::NodeLike,
+        Value::map([("n".to_string(), Value::Int(100))]),
+    )
+}
+
+fn req(name: &str, n: i64) -> InvokeRequest {
+    InvokeRequest::new(name, Value::map([("n".to_string(), Value::Int(n))]))
+}
+
+fn dedup_config() -> PlatformConfig {
+    PlatformConfig::builder()
+        .snapshot_store(SnapshotStorePolicy::dedup())
+        .build()
+}
+
+/// Two dedup hosts on one clock/obs/mesh; `plan0` arms host 0's fault
+/// injector. Host 0 installs `f` (and publishes it); host 1 only
+/// registers it, so its first invocation is a remote miss.
+fn two_host_mesh(
+    plan0: FaultPlan,
+) -> (
+    FireworksPlatform,
+    FireworksPlatform,
+    fireworks::core::SharedChunkMesh,
+    Obs,
+) {
+    let clock = Clock::new();
+    let obs = Obs::new(clock.clone());
+    let mesh = ChunkMesh::shared();
+    let env0 = PlatformEnv::with_shared(
+        EnvConfig {
+            fault_plan: plan0,
+            ..EnvConfig::default()
+        },
+        clock.clone(),
+        obs.clone(),
+    );
+    let env1 = PlatformEnv::with_shared(EnvConfig::default(), clock, obs.clone());
+    let mut p0 = FireworksPlatform::with_config(env0, dedup_config());
+    let mut p1 = FireworksPlatform::with_config(env1, dedup_config());
+    p0.attach_mesh(mesh.clone(), 0);
+    p1.attach_mesh(mesh.clone(), 1);
+    p0.install(&spec("f")).expect("install on host 0");
+    p1.register(&spec("f")).expect("register on host 1");
+    (p0, p1, mesh, obs)
+}
+
+/// The deprecated boolean must stay a faithful projection of the
+/// residency enum on every platform for one release cycle.
+#[test]
+#[allow(deprecated)]
+fn deprecated_holds_snapshot_shim_matches_residency() {
+    fn check<P: ConcurrentPlatform>(mut p: P) {
+        assert_eq!(
+            p.holds_snapshot("f"),
+            p.residency("f").is_full(),
+            "{} before install",
+            p.name()
+        );
+        p.install(&spec("f")).expect("install");
+        p.invoke(&req("f", 10)).expect("invoke");
+        assert_eq!(
+            p.holds_snapshot("f"),
+            p.residency("f").is_full(),
+            "{} after invoke",
+            p.name()
+        );
+    }
+    check(FireworksPlatform::new(PlatformEnv::default_env()));
+    check(FireworksPlatform::with_config(
+        PlatformEnv::default_env(),
+        dedup_config(),
+    ));
+    check(OpenWhiskPlatform::new(PlatformEnv::default_env()));
+    check(GvisorPlatform::new(PlatformEnv::default_env()));
+    check(FirecrackerPlatform::new(
+        PlatformEnv::default_env(),
+        SnapshotPolicy::OsSnapshot,
+    ));
+}
+
+/// A remote miss on a mesh peer is served by fetching only the missing
+/// chunks from the donor — far cheaper than rebuilding from source —
+/// and the fetcher's residency moves Partial → Full.
+#[test]
+fn peer_miss_is_served_by_delta_fetch() {
+    let (_p0, mut p1, _mesh, obs) = two_host_mesh(FaultPlan::new(0));
+
+    // Before the fetch: host 1 holds none of the chunks, but the mesh
+    // knows a donor exists, so residency is Partial with the full
+    // transfer cost.
+    match p1.residency("f") {
+        SnapshotResidency::Partial { missing_bytes } => {
+            assert!(missing_bytes > 0, "nothing fetched yet")
+        }
+        other => panic!("expected Partial before the fetch, got {other:?}"),
+    }
+
+    let inv = p1.invoke(&req("f", 100)).expect("delta-fetched invoke");
+    assert_eq!(inv.value, Value::Int(4950));
+    assert!(p1.residency("f").is_full(), "snapshot now cached locally");
+
+    let snap = obs.metrics().snapshot();
+    let labels: &[(&'static str, &str)] = &[("function", "f")];
+    assert_eq!(snap.counter("core.delta.fetches", labels), 1);
+    assert!(snap.counter("core.delta.chunks_fetched", labels) > 0);
+    assert!(snap.counter("core.delta.bytes_fetched", labels) > 0);
+    assert_eq!(snap.counter("core.delta.fallbacks", labels), 0);
+
+    // The delta fetch must beat a from-source rebuild (a control host
+    // with no mesh pays install-grade boot + JIT on its miss).
+    let mut control = FireworksPlatform::with_config(PlatformEnv::default_env(), dedup_config());
+    control.register(&spec("f")).expect("register");
+    let rebuilt = control.invoke(&req("f", 100)).expect("rebuild invoke");
+    assert!(
+        inv.breakdown.startup.as_nanos() * 4 < rebuilt.breakdown.startup.as_nanos(),
+        "delta startup {} should be well below rebuild startup {}",
+        inv.breakdown.startup,
+        rebuilt.breakdown.startup
+    );
+}
+
+/// `FaultSite::HostCrash` drawn on the donor mid-transfer: the fetcher
+/// releases the staged chunks, marks the donor dead mesh-wide, and falls
+/// back to rebuild-from-source — the invocation still succeeds.
+#[test]
+fn donor_crash_mid_transfer_falls_back_to_rebuild() {
+    let plan0 = FaultPlan::new(7).probability(FaultSite::HostCrash, 1.0);
+    let (_p0, mut p1, mesh, obs) = two_host_mesh(plan0);
+
+    let inv = p1.invoke(&req("f", 100)).expect("fallback invoke");
+    assert_eq!(inv.value, Value::Int(4950), "rebuild served the request");
+
+    let snap = obs.metrics().snapshot();
+    let labels: &[(&'static str, &str)] = &[("function", "f")];
+    assert_eq!(snap.counter("core.delta.fallbacks", labels), 1);
+    assert_eq!(snap.counter("core.delta.fetches", labels), 0);
+    assert_eq!(mesh.borrow().dead_hosts(), vec![0], "donor reported dead");
+    // The dead donor is never offered again: the next miss on a third
+    // host would rebuild too.
+    assert!(mesh.borrow().donor_for("f", 1).is_none());
+    assert!(p1.residency("f").is_full(), "rebuild landed in the cache");
+}
+
+/// A dedup cluster run — home-host installs, delta fetches on remote
+/// misses, and an injected `HostCrash` — is a pure function of
+/// (config, schedule, seed): two fresh runs agree byte-for-byte.
+#[test]
+fn dedup_cluster_runs_stay_byte_identical_under_host_crash() {
+    let run = || {
+        let mut config = ClusterConfig::new(3, 2);
+        config.platform = PlatformConfig::builder()
+            .snapshot_store(SnapshotStorePolicy::dedup())
+            .build();
+        config.env.fault_plan = FaultPlan::new(42).nth(FaultSite::HostCrash, 2);
+        let mut cluster = Cluster::new(config, |env, cfg| {
+            FireworksPlatform::with_config(env, cfg.clone())
+        });
+        for i in 0..4 {
+            cluster
+                .install_home(&spec(&format!("svc-{i}")))
+                .expect("install_home");
+        }
+        let schedule: Vec<EngineRequest> = (0..24)
+            .map(|i| {
+                EngineRequest::at(
+                    Nanos::from_millis(5 * (i as u64 / 4)),
+                    req(&format!("svc-{}", i % 4), 50 + i as i64),
+                )
+            })
+            .collect();
+        let mut router = LocalityAffinity::new();
+        let report = cluster.run(&mut router, &schedule);
+        let mut fingerprint = String::new();
+        for c in &report.completions {
+            fingerprint.push_str(&format!(
+                "{}:{:?}:{}:{}:{}:{:?}\n",
+                c.index,
+                c.host,
+                c.arrived,
+                c.started,
+                c.finished,
+                c.result.as_ref().map(|inv| inv.value.deep_clone())
+            ));
+        }
+        fingerprint.push_str(&cluster.obs().metrics().snapshot().to_json());
+        fingerprint
+    };
+    let first = run();
+    assert!(
+        first.contains("cluster.host_crashes"),
+        "the injected crash must actually fire"
+    );
+    assert_eq!(first, run(), "dedup cluster run diverged");
+}
