@@ -418,22 +418,46 @@ pub trait ConcurrentPlatform: Platform {
     /// checkpoint, or a non-empty warm pool. Content-addressed platforms
     /// report [`SnapshotResidency::Partial`] with the bytes still
     /// missing, so the cluster's locality router can rank hosts by
-    /// transfer cost instead of the all-or-nothing `holds_snapshot`
-    /// signal it replaced. Must not disturb replacement state (no LRU
-    /// touch).
+    /// transfer cost instead of an all-or-nothing boolean. Must not
+    /// disturb replacement state (no LRU touch).
     fn residency(&self, function: &str) -> SnapshotResidency {
         let _ = function;
         SnapshotResidency::Absent
     }
 
-    /// Whether this platform holds the complete start artifact for
-    /// `function`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `residency`, which also exposes partial (delta-fetchable) holdings"
-    )]
-    fn holds_snapshot(&self, function: &str) -> bool {
-        matches!(self.residency(function), SnapshotResidency::Full)
+    /// Functions whose complete start artifact this platform currently
+    /// holds hot (cached snapshot, warm pool), sorted by name so walks
+    /// are deterministic. A draining host's hand-off iterates this.
+    fn hot_functions(&self) -> Vec<String> {
+        Vec::new()
+    }
+
+    /// Makes `function`'s start artifact fully resident ahead of demand
+    /// — on a content-addressed platform, by delta-fetching the missing
+    /// chunks from a mesh donor. Returns whether the artifact is resident
+    /// afterwards; platforms without a proactive path return `false`
+    /// (the next invocation pays the normal miss cost).
+    fn prewarm(&mut self, function: &str) -> bool {
+        let _ = function;
+        false
+    }
+
+    /// Drops `function`'s local start artifact (scale-to-zero
+    /// retirement): the cached snapshot is released and any mesh
+    /// publication withdrawn. Returns whether anything was resident.
+    /// Invocations still work afterwards — they pay a delta fetch or a
+    /// rebuild.
+    fn retire(&mut self, function: &str) -> bool {
+        let _ = function;
+        false
+    }
+
+    /// A consistency snapshot of this platform's content-addressed
+    /// storage, for invariant audits: the chunk store's reference-count
+    /// ledger next to the cached manifests those references should be
+    /// held by. `None` on platforms without a chunk store.
+    fn store_audit(&self) -> Option<StoreAudit> {
+        None
     }
 
     /// Joins the cluster's [`crate::mesh::ChunkMesh`] as `host_id`.
@@ -487,6 +511,62 @@ impl SnapshotResidency {
     /// Whether the complete artifact is resident.
     pub fn is_full(self) -> bool {
         matches!(self, SnapshotResidency::Full)
+    }
+}
+
+/// A consistency snapshot of one host's content-addressed storage,
+/// produced by [`ConcurrentPlatform::store_audit`].
+///
+/// The invariant it exists to check: every chunk reference in the store
+/// is held by exactly one live manifest occurrence, and every cached
+/// manifest's chunks are present. [`StoreAudit::verify`] performs that
+/// cross-check; the elastic control plane's auditor runs it after every
+/// membership event.
+#[derive(Debug, Clone)]
+pub struct StoreAudit {
+    /// The store's full `(chunk hash, reference count)` ledger, in hash
+    /// order.
+    pub chunk_refs: Vec<(fireworks_guestmem::ChunkHash, u32)>,
+    /// Cached dedup entries: `(function, manifest)`, sorted by function.
+    pub manifests: Vec<(String, fireworks_guestmem::SnapshotManifest)>,
+}
+
+impl StoreAudit {
+    /// Cross-checks the reference-count ledger against the live
+    /// manifests: each chunk's refcount must equal its total occurrence
+    /// count across cached manifests (no orphaned chunks, no dangling
+    /// references). Returns every violation found, as human-readable
+    /// descriptions; an empty vector means the store is consistent.
+    pub fn verify(&self) -> Vec<String> {
+        use std::collections::BTreeMap;
+        let mut expected: BTreeMap<fireworks_guestmem::ChunkHash, u32> = BTreeMap::new();
+        for (_, manifest) in &self.manifests {
+            for chunk in &manifest.chunks {
+                *expected.entry(chunk.hash).or_insert(0) += 1;
+            }
+        }
+        let mut violations = Vec::new();
+        let mut seen: BTreeMap<fireworks_guestmem::ChunkHash, u32> = BTreeMap::new();
+        for (hash, refs) in &self.chunk_refs {
+            seen.insert(*hash, *refs);
+            match expected.get(hash) {
+                None => violations.push(format!(
+                    "orphaned chunk {hash:?}: {refs} refs but no live manifest references it"
+                )),
+                Some(want) if want != refs => violations.push(format!(
+                    "refcount mismatch on chunk {hash:?}: store holds {refs}, live manifests need {want}"
+                )),
+                Some(_) => {}
+            }
+        }
+        for (hash, want) in &expected {
+            if !seen.contains_key(hash) {
+                violations.push(format!(
+                    "missing chunk {hash:?}: {want} live manifest references but the store lacks it"
+                ));
+            }
+        }
+        violations
     }
 }
 

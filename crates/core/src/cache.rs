@@ -206,6 +206,27 @@ impl SnapshotCache {
         self.entries.get(name).and_then(|e| e.manifest.as_ref())
     }
 
+    /// Every dedup entry's `(function, manifest)` pair, sorted by
+    /// function name so walks are deterministic. Flat entries (no
+    /// manifest) are skipped. The invariant auditor cross-checks this
+    /// against the chunk store's reference counts.
+    pub fn manifests(&self) -> Vec<(&str, &SnapshotManifest)> {
+        let mut out: Vec<(&str, &SnapshotManifest)> = self
+            .entries
+            .iter()
+            .filter_map(|(k, e)| e.manifest.as_ref().map(|m| (k.as_str(), m)))
+            .collect();
+        out.sort_unstable_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Cached function names, sorted for deterministic walks.
+    pub fn names(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.entries.keys().cloned().collect();
+        out.sort_unstable();
+        out
+    }
+
     /// Bytes currently held.
     pub fn used_bytes(&self) -> u64 {
         self.used_bytes

@@ -67,7 +67,7 @@ use crate::mesh::{ChunkMesh, SharedChunkMesh};
 
 /// Per-host seed spacing for the derived fault plans (golden-ratio
 /// increment, the SplitMix64 stream constant).
-const HOST_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+pub(crate) const HOST_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Cluster shape and per-host configuration.
 #[derive(Debug, Clone)]
@@ -309,7 +309,7 @@ fn least_loaded(hosts: &[HostView], accept: impl Fn(&HostView) -> bool) -> Optio
 /// FNV-1a over the function name: a stable hash (unlike `DefaultHasher`,
 /// which is randomly keyed per process) so home-host assignment is
 /// deterministic across runs.
-fn fnv1a(s: &str) -> u64 {
+pub(crate) fn fnv1a(s: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in s.as_bytes() {
         h ^= u64::from(*b);
@@ -382,6 +382,11 @@ pub struct ClusterReport<T> {
     pub locality_hits: u64,
     /// Hosts that crashed during the run, in failure order.
     pub failed_hosts: Vec<usize>,
+    /// Requests displaced from a crashed host's admission queue and
+    /// handed back to the router. Conservation: every one of these still
+    /// reaches a terminal outcome (served elsewhere, deadline-rejected,
+    /// or `HostUnavailable`) — `run` asserts no request is dropped.
+    pub crash_reroutes: u64,
 }
 
 struct Host<P: ConcurrentPlatform> {
@@ -582,6 +587,7 @@ impl<P: ConcurrentPlatform> Cluster<P> {
             peak_host_queue_depth: 0,
             peak_cluster_queue_depth: 0,
             failed_hosts: Vec::new(),
+            crash_reroutes: 0,
         };
 
         while let Some(ev) = queue.pop() {
@@ -629,11 +635,30 @@ impl<P: ConcurrentPlatform> Cluster<P> {
             self.sample_gauges(&mut run);
         }
 
+        // Request conservation: every submitted request — including any
+        // displaced from a crashed host's queue — must have reached a
+        // terminal outcome. A hole here means a crash drain dropped a
+        // request instead of rerouting it.
+        let lost: Vec<usize> = run
+            .out
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        assert!(
+            lost.is_empty(),
+            "request conservation violated: requests {lost:?} have no outcome \
+             ({} crash-displaced requests were rerouted, failed hosts: {:?})",
+            run.crash_reroutes,
+            run.failed_hosts,
+        );
+
         ClusterReport {
             completions: run
                 .out
                 .into_iter()
-                .map(|c| c.expect("every request completes"))
+                .map(|c| c.expect("checked above"))
                 .collect(),
             retained: run.retained,
             peak_inflight: run.peak_inflight,
@@ -642,6 +667,7 @@ impl<P: ConcurrentPlatform> Cluster<P> {
             rebalances: run.rebalances,
             locality_hits: run.locality_hits,
             failed_hosts: run.failed_hosts,
+            crash_reroutes: run.crash_reroutes,
         }
     }
 
@@ -770,6 +796,10 @@ impl<P: ConcurrentPlatform> Cluster<P> {
     ) {
         let mut displaced = self.fail_host(h, run);
         displaced.push_front(trigger);
+        run.crash_reroutes += displaced.len() as u64;
+        self.obs
+            .metrics()
+            .add("cluster.crash_reroutes", &[], displaced.len() as u64);
         while let Some(i) = displaced.pop_front() {
             if !self.dispatch(router, requests, i, Some(h), run, queue) {
                 run.cluster_waiting.push_back(i);
@@ -812,6 +842,12 @@ impl<P: ConcurrentPlatform> Cluster<P> {
                 continue;
             }
             let mut displaced = self.fail_host(h, run);
+            run.crash_reroutes += displaced.len() as u64;
+            if !displaced.is_empty() {
+                self.obs
+                    .metrics()
+                    .add("cluster.crash_reroutes", &[], displaced.len() as u64);
+            }
             while let Some(i) = displaced.pop_front() {
                 if !self.dispatch(router, requests, i, Some(h), run, queue) {
                     run.cluster_waiting.push_back(i);
@@ -856,6 +892,7 @@ struct RunState<T> {
     peak_host_queue_depth: usize,
     peak_cluster_queue_depth: usize,
     failed_hosts: Vec<usize>,
+    crash_reroutes: u64,
 }
 
 /// Rejects request `i` with [`PlatformError::DeadlineExceeded`] if its

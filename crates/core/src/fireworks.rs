@@ -23,7 +23,7 @@ use fireworks_store::ChunkStore;
 
 use crate::api::{
     ConcurrentPlatform, FunctionSpec, InFlightToken, InstallReport, Invocation, InvokeRequest,
-    Platform, PlatformError, SnapshotResidency, StartKind,
+    Platform, PlatformError, SnapshotResidency, StartKind, StoreAudit,
 };
 use crate::audit::{SecurityAudit, SecurityPolicy};
 use crate::cache::SnapshotCache;
@@ -1133,6 +1133,43 @@ impl ConcurrentPlatform for FireworksPlatform {
             }
         }
         SnapshotResidency::Absent
+    }
+
+    fn hot_functions(&self) -> Vec<String> {
+        self.cache.names()
+    }
+
+    fn prewarm(&mut self, function: &str) -> bool {
+        // Already hot, or provisioned by delta-fetching the missing
+        // chunks from a mesh donor. Prewarming is opportunistic: with no
+        // donor (or a donor crash) it reports `false` and the next
+        // invocation pays the ordinary rebuild.
+        if self.cache.contains(function) {
+            return true;
+        }
+        if !self.registry.contains_key(function) {
+            return false;
+        }
+        self.fetch_snapshot_delta(function).is_some()
+    }
+
+    fn retire(&mut self, function: &str) -> bool {
+        let was_resident = self.cache.contains(function);
+        self.uncache(function);
+        was_resident
+    }
+
+    fn store_audit(&self) -> Option<StoreAudit> {
+        let store = self.chunk_store.as_ref()?;
+        Some(StoreAudit {
+            chunk_refs: store.borrow().chunk_refcounts(),
+            manifests: self
+                .cache
+                .manifests()
+                .into_iter()
+                .map(|(name, m)| (name.to_string(), m.clone()))
+                .collect(),
+        })
     }
 
     fn attach_mesh(&mut self, mesh: SharedChunkMesh, host_id: usize) {

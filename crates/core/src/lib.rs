@@ -31,6 +31,7 @@ pub mod audit;
 pub mod cache;
 pub mod cluster;
 pub mod config;
+pub mod elastic;
 pub mod engine;
 pub mod env;
 pub mod fireworks;
@@ -47,6 +48,10 @@ pub use cluster::{
 };
 pub use config::{
     PagingPolicy, PlatformConfig, PlatformConfigBuilder, RecoveryPolicy, SnapshotStorePolicy,
+};
+pub use elastic::{
+    ElasticCluster, ElasticConfig, ElasticPolicy, ElasticReport, ElasticStats, HostPhase,
+    ARCHIVE_HOST,
 };
 pub use engine::{
     run_concurrent, CompletionPolicy, EngineCompletion, EngineConfig, EngineReport, EngineRequest,

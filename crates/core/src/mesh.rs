@@ -126,6 +126,34 @@ impl ChunkMesh {
             .collect()
     }
 
+    /// Removes `host`'s registration entirely — publications, store, and
+    /// injector. This is the *graceful* exit (a completed drain or
+    /// retirement): unlike [`ChunkMesh::mark_dead`] the host leaves no
+    /// dead-host record, so the cluster does not treat it as a crash.
+    pub fn deregister(&mut self, host: usize) {
+        self.hosts.remove(&host);
+    }
+
+    /// Registered-and-alive host ids, ascending. The invariant auditor
+    /// cross-checks this against the control plane's membership view: an
+    /// alive mesh entry for a retired or dead host is a route to nowhere.
+    pub fn alive_hosts(&self) -> Vec<usize> {
+        self.hosts
+            .iter()
+            .filter(|(_, h)| h.alive)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Function names `host` currently publishes, sorted (BTreeMap
+    /// order). Empty when the host is unregistered.
+    pub fn published_functions(&self, host: usize) -> Vec<String> {
+        self.hosts
+            .get(&host)
+            .map(|h| h.published.keys().cloned().collect())
+            .unwrap_or_default()
+    }
+
     /// Publishes `host`'s claim to hold `function`'s full chunk set.
     pub fn publish(
         &mut self,
@@ -257,6 +285,26 @@ mod tests {
         }
         assert!(mesh.borrow().donor_for("f", 9).is_none(), "no valid donor");
         assert!(mesh.borrow().manifest_for("f").is_none());
+    }
+
+    #[test]
+    fn deregister_removes_host_without_a_dead_record() {
+        let clock = Clock::new();
+        let mesh = ChunkMesh::shared();
+        let (s0, m0, t0) = published_store(&clock);
+        mesh.borrow_mut().register(0, s0, injector());
+        mesh.borrow_mut().publish(0, "f", m0, t0);
+        assert_eq!(mesh.borrow().alive_hosts(), vec![0]);
+        assert_eq!(mesh.borrow().published_functions(0), vec!["f"]);
+        mesh.borrow_mut().deregister(0);
+        // A graceful exit: the host is simply gone — no donor offers, no
+        // manifest, and crucially no dead-host record for the cluster's
+        // crash reaper to act on.
+        assert!(mesh.borrow().alive_hosts().is_empty());
+        assert!(mesh.borrow().dead_hosts().is_empty());
+        assert!(mesh.borrow().manifest_for("f").is_none());
+        assert!(mesh.borrow().published_functions(0).is_empty());
+        assert!(!mesh.borrow().is_alive(0));
     }
 
     #[test]

@@ -39,17 +39,32 @@ pub enum FaultSite {
     /// host service boundaries; a firing drains and re-routes that host's
     /// queue.
     HostCrash,
+    /// A draining host dies before its drain completes: in-flight work
+    /// and any unfinished snapshot hand-off are abandoned and the
+    /// control plane must degrade to hard removal with rerouting.
+    DrainInterrupt,
+    /// A drain-time snapshot migration stalls mid-transfer (donor-side
+    /// wedge); the receiving host must retry with backoff on another
+    /// donor or fall back to rebuild-from-source.
+    MigrationStall,
+    /// A scale-up host fails to boot: the control plane must retry the
+    /// boot or re-queue admissions that were waiting on the new
+    /// capacity.
+    ScaleUpFail,
 }
 
 impl FaultSite {
     /// Every site, in a fixed order (indexes the injector's counters).
-    pub const ALL: [FaultSite; 6] = [
+    pub const ALL: [FaultSite; 9] = [
         FaultSite::SnapshotRead,
         FaultSite::SnapshotCorruption,
         FaultSite::VmCrash,
         FaultSite::StoreUnavailable,
         FaultSite::NetLoss,
         FaultSite::HostCrash,
+        FaultSite::DrainInterrupt,
+        FaultSite::MigrationStall,
+        FaultSite::ScaleUpFail,
     ];
 
     /// Stable label used in trace events and reports.
@@ -61,6 +76,9 @@ impl FaultSite {
             FaultSite::StoreUnavailable => "store_unavailable",
             FaultSite::NetLoss => "net_loss",
             FaultSite::HostCrash => "host_crash",
+            FaultSite::DrainInterrupt => "drain_interrupt",
+            FaultSite::MigrationStall => "migration_stall",
+            FaultSite::ScaleUpFail => "scale_up_fail",
         }
     }
 
@@ -72,6 +90,9 @@ impl FaultSite {
             FaultSite::StoreUnavailable => 3,
             FaultSite::NetLoss => 4,
             FaultSite::HostCrash => 5,
+            FaultSite::DrainInterrupt => 6,
+            FaultSite::MigrationStall => 7,
+            FaultSite::ScaleUpFail => 8,
         }
     }
 }

@@ -308,6 +308,20 @@ impl ChunkStore {
         self.logical_bytes() as f64 / unique as f64
     }
 
+    /// The manifest reference count held on `hash`, or `None` when the
+    /// chunk is absent. Invariant auditors compare this against the
+    /// number of live manifests that reference the chunk.
+    pub fn chunk_refs(&self, hash: ChunkHash) -> Option<u32> {
+        self.chunks.get(&hash).map(|e| e.refs)
+    }
+
+    /// Every stored chunk's `(hash, refs)` pair in hash order — the
+    /// store's full reference-count ledger, for consistency audits.
+    /// `BTreeMap` order makes the walk byte-deterministic.
+    pub fn chunk_refcounts(&self) -> Vec<(ChunkHash, u32)> {
+        self.chunks.iter().map(|(h, e)| (*h, e.refs)).collect()
+    }
+
     /// Aggregate counters.
     pub fn stats(&self) -> ChunkStoreStats {
         ChunkStoreStats {
@@ -452,6 +466,28 @@ mod tests {
         store.release_manifest(&mb);
         assert_eq!(store.stats().unique_chunks, 0);
         assert_eq!(store.unique_bytes(), 0);
+    }
+
+    #[test]
+    fn refcount_ledger_tracks_ingests_and_releases() {
+        let h = host();
+        let mut store = ChunkStore::new(h.clone());
+        let a = snapshot_with(&h, 1, 8);
+        let b = snapshot_with(&h, 1, 8);
+        let (ma, fa) = store.ingest_snapshot(&a, 4);
+        let (_, fb) = store.ingest_snapshot(&b, 4);
+        for (_, f) in fa.iter().chain(fb.iter()) {
+            h.release(*f);
+        }
+        let ledger = store.chunk_refcounts();
+        assert_eq!(ledger.len(), 2);
+        assert!(ledger.iter().all(|(_, refs)| *refs == 2));
+        assert_eq!(store.chunk_refs(ma.chunks[0].hash), Some(2));
+        store.release_manifest(&ma);
+        assert!(store.chunk_refcounts().iter().all(|(_, r)| *r == 1));
+        store.release_manifest(&ma);
+        assert!(store.chunk_refcounts().is_empty());
+        assert_eq!(store.chunk_refs(ma.chunks[0].hash), None);
     }
 
     #[test]

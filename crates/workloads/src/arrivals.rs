@@ -39,6 +39,44 @@ pub fn poisson_schedule(
         .collect()
 }
 
+/// A flash-crowd schedule: Poisson arrivals whose mean inter-arrival
+/// time drops from `base_mean` to `crowd_mean` inside the window
+/// `[crowd_start, crowd_end)` and recovers afterwards — the classic
+/// elasticity stressor (a quiet service suddenly trending). The draw
+/// sequence is identical to [`poisson_schedule`]; only the mean is
+/// piecewise, so same-seed runs stay byte-identical.
+///
+/// # Panics
+///
+/// Panics if `mix` is empty or `crowd_end < crowd_start`.
+pub fn flash_crowd(
+    seed: u64,
+    count: usize,
+    base_mean: Nanos,
+    crowd_mean: Nanos,
+    crowd_start: Nanos,
+    crowd_end: Nanos,
+    mix: &[(&str, Value)],
+) -> Vec<EngineRequest> {
+    assert!(!mix.is_empty(), "need at least one function in the mix");
+    assert!(crowd_start <= crowd_end, "crowd window must be ordered");
+    let mut rng = SplitMix64::new(seed);
+    let mut t = Nanos::ZERO;
+    (0..count)
+        .map(|_| {
+            let mean = if t >= crowd_start && t < crowd_end {
+                crowd_mean
+            } else {
+                base_mean
+            };
+            let u = rng.next_f64().max(1e-12);
+            t += mean.scale(-u.ln());
+            let (name, args) = &mix[rng.next_below(mix.len() as u64) as usize];
+            EngineRequest::at(t, InvokeRequest::new(*name, args.deep_clone()))
+        })
+        .collect()
+}
+
 /// A burst of `count` simultaneous arrivals of one function at `at` —
 /// the shape of the paper's density experiments (§5.4), where N clones
 /// must coexist.
@@ -88,6 +126,45 @@ mod tests {
                 "{name} never drawn"
             );
         }
+    }
+
+    #[test]
+    fn flash_crowd_densifies_inside_the_window() {
+        let base = Nanos::from_millis(10);
+        let crowd = Nanos::from_millis(1);
+        let start = Nanos::from_millis(200);
+        let end = Nanos::from_millis(400);
+        let sched = flash_crowd(9, 400, base, crowd, start, end, &mix());
+        assert!(sched.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        let inside = sched
+            .iter()
+            .filter(|r| r.arrival >= start && r.arrival < end)
+            .count();
+        let before = sched.iter().filter(|r| r.arrival < start).count();
+        // The crowd window is 10x denser than the quiet period; with a
+        // 20x longer quiet span before it, the window should still hold
+        // a clear majority of arrivals that land near it.
+        assert!(
+            inside > before,
+            "crowd window must dominate: {inside} vs {before}"
+        );
+        // Determinism: same seed, same bytes.
+        let again = flash_crowd(9, 400, base, crowd, start, end, &mix());
+        assert!(sched
+            .iter()
+            .zip(&again)
+            .all(|(x, y)| x.arrival == y.arrival && x.invoke.function == y.invoke.function));
+    }
+
+    #[test]
+    fn flash_crowd_with_equal_means_matches_poisson() {
+        let mean = Nanos::from_millis(5);
+        let a = flash_crowd(3, 100, mean, mean, Nanos::ZERO, Nanos::ZERO, &mix());
+        let b = poisson_schedule(3, 100, mean, &mix());
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.arrival == y.arrival && x.invoke.function == y.invoke.function));
     }
 
     #[test]

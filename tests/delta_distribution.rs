@@ -1,5 +1,5 @@
-//! Content-addressed snapshot distribution: residency API shim, peer
-//! delta fetch, donor-crash fallback, and cluster byte-determinism.
+//! Content-addressed snapshot distribution: peer delta fetch,
+//! donor-crash fallback, and cluster byte-determinism.
 
 use fireworks::core::engine::EngineRequest;
 use fireworks::core::{ChunkMesh, ConcurrentPlatform, SnapshotResidency, SnapshotStorePolicy};
@@ -63,40 +63,6 @@ fn two_host_mesh(
     p0.install(&spec("f")).expect("install on host 0");
     p1.register(&spec("f")).expect("register on host 1");
     (p0, p1, mesh, obs)
-}
-
-/// The deprecated boolean must stay a faithful projection of the
-/// residency enum on every platform for one release cycle.
-#[test]
-#[allow(deprecated)]
-fn deprecated_holds_snapshot_shim_matches_residency() {
-    fn check<P: ConcurrentPlatform>(mut p: P) {
-        assert_eq!(
-            p.holds_snapshot("f"),
-            p.residency("f").is_full(),
-            "{} before install",
-            p.name()
-        );
-        p.install(&spec("f")).expect("install");
-        p.invoke(&req("f", 10)).expect("invoke");
-        assert_eq!(
-            p.holds_snapshot("f"),
-            p.residency("f").is_full(),
-            "{} after invoke",
-            p.name()
-        );
-    }
-    check(FireworksPlatform::new(PlatformEnv::default_env()));
-    check(FireworksPlatform::with_config(
-        PlatformEnv::default_env(),
-        dedup_config(),
-    ));
-    check(OpenWhiskPlatform::new(PlatformEnv::default_env()));
-    check(GvisorPlatform::new(PlatformEnv::default_env()));
-    check(FirecrackerPlatform::new(
-        PlatformEnv::default_env(),
-        SnapshotPolicy::OsSnapshot,
-    ));
 }
 
 /// A remote miss on a mesh peer is served by fetching only the missing

@@ -176,3 +176,157 @@ fn fuzz_resident_clones_do_not_leak() {
         assert_eq!(env.host_mem.used_bytes(), baseline);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Property: chunk-store refcounts always match the live manifests.
+// ---------------------------------------------------------------------------
+
+use fireworks::core::{ChunkMesh, ConcurrentPlatform, SnapshotStorePolicy};
+use fireworks::obs::Obs;
+use proptest::prelude::*;
+
+/// One step of the mesh interleaving driven below.
+#[derive(Debug, Clone)]
+enum MeshOp {
+    /// Full install (build + publish) on `host`.
+    Install { host: u8, func: u8 },
+    /// Invoke on `host`, registering first if needed — a miss pays a
+    /// delta fetch (possibly aborted by a donor crash) or a rebuild.
+    Invoke { host: u8, func: u8 },
+    /// Scale-to-zero retirement of one function on `host`.
+    Retire { host: u8, func: u8 },
+    /// Hard crash: `host` goes dead mesh-wide, mid-whatever it held.
+    Crash { host: u8 },
+    /// Graceful drain: hand every hot snapshot to a survivor, retire
+    /// the local copies, then leave the mesh without a dead record.
+    Drain { host: u8 },
+}
+
+fn mesh_op_strategy() -> impl Strategy<Value = MeshOp> {
+    prop_oneof![
+        3 => (0u8..3, 0u8..3).prop_map(|(host, func)| MeshOp::Install { host, func }),
+        4 => (0u8..3, 0u8..3).prop_map(|(host, func)| MeshOp::Invoke { host, func }),
+        2 => (0u8..3, 0u8..3).prop_map(|(host, func)| MeshOp::Retire { host, func }),
+        1 => (0u8..3).prop_map(|host| MeshOp::Crash { host }),
+        1 => (0u8..3).prop_map(|host| MeshOp::Drain { host }),
+    ]
+}
+
+fn mesh_spec(name: &str) -> FunctionSpec {
+    FunctionSpec::new(name, source_for(name), RuntimeKind::NodeLike, args(9))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    /// Under arbitrary interleavings of install / invoke / retire /
+    /// crash / drain across a three-host dedup mesh — with donor
+    /// crashes randomly aborting delta transfers mid-flight — every
+    /// host's chunk-store refcount ledger stays exactly in sync with
+    /// its live cached manifests: no orphaned chunks from released
+    /// staging, no dangling references from eviction or retirement.
+    #[test]
+    fn chunk_refcounts_match_live_manifests_under_interleavings(
+        ops in proptest::collection::vec(mesh_op_strategy(), 1..32),
+    ) {
+        let clock = Clock::new();
+        let obs = Obs::new(clock.clone());
+        let mesh = ChunkMesh::shared();
+        let config = PlatformConfig::builder()
+            .snapshot_store(SnapshotStorePolicy::dedup())
+            .build();
+        let mut hosts: Vec<FireworksPlatform> = (0..3usize)
+            .map(|h| {
+                let env = PlatformEnv::with_shared(
+                    EnvConfig {
+                        // Arm donor crashes so some delta transfers
+                        // abort mid-flight and must release staged
+                        // chunks instead of leaking references.
+                        fault_plan: FaultPlan::new(0xE1A5 + h as u64)
+                            .probability(FaultSite::HostCrash, 0.15),
+                        ..EnvConfig::default()
+                    },
+                    clock.clone(),
+                    obs.clone(),
+                );
+                let mut p = FireworksPlatform::with_config(env, config.clone());
+                p.attach_mesh(mesh.clone(), h);
+                p
+            })
+            .collect();
+        // Hosts we still drive: a crashed or drained host takes no
+        // further ops, but its store must stay internally consistent.
+        let mut alive = [true; 3];
+        let mut registered: Vec<std::collections::BTreeSet<String>> =
+            vec![Default::default(); 3];
+
+        for op in ops {
+            match &op {
+                MeshOp::Install { host, func } => {
+                    let (h, name) = (*host as usize, FUNCS[*func as usize]);
+                    if alive[h] {
+                        hosts[h].install(&mesh_spec(name)).expect("install");
+                        registered[h].insert(name.to_string());
+                    }
+                }
+                MeshOp::Invoke { host, func } => {
+                    let (h, name) = (*host as usize, FUNCS[*func as usize]);
+                    if alive[h] {
+                        if !registered[h].contains(name) {
+                            hosts[h].register(&mesh_spec(name)).expect("register");
+                            registered[h].insert(name.to_string());
+                        }
+                        let inv = hosts[h]
+                            .invoke(&InvokeRequest::new(name, args(9)))
+                            .expect("invoke");
+                        prop_assert_eq!(inv.value, expected(name, 9));
+                    }
+                }
+                MeshOp::Retire { host, func } => {
+                    let (h, name) = (*host as usize, FUNCS[*func as usize]);
+                    if alive[h] {
+                        hosts[h].retire(name);
+                    }
+                }
+                MeshOp::Crash { host } => {
+                    let h = *host as usize;
+                    if alive[h] && alive.iter().filter(|a| **a).count() > 1 {
+                        mesh.borrow_mut().mark_dead(h);
+                        alive[h] = false;
+                    }
+                }
+                MeshOp::Drain { host } => {
+                    let h = *host as usize;
+                    if alive[h] && alive.iter().filter(|a| **a).count() > 1 {
+                        let successor =
+                            (0..3).find(|&s| s != h && alive[s]).expect("a survivor");
+                        for f in hosts[h].hot_functions() {
+                            if !registered[successor].contains(&f) {
+                                hosts[successor].register(&mesh_spec(&f)).expect("register");
+                                registered[successor].insert(f.clone());
+                            }
+                            // Opportunistic: a donor crash mid-handoff
+                            // just means the successor rebuilds later.
+                            hosts[successor].prewarm(&f);
+                            hosts[h].retire(&f);
+                        }
+                        mesh.borrow_mut().deregister(h);
+                        alive[h] = false;
+                    }
+                }
+            }
+            // The invariant, after *every* op, on every host — dead
+            // ones included (a crash strands the mesh record, never
+            // the local ledger).
+            for (h, p) in hosts.iter().enumerate() {
+                let violations = p.store_audit().expect("dedup store").verify();
+                prop_assert!(
+                    violations.is_empty(),
+                    "host {} store inconsistent after {:?}: {:?}",
+                    h,
+                    op,
+                    violations
+                );
+            }
+        }
+    }
+}
