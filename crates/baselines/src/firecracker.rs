@@ -218,13 +218,19 @@ impl FirecrackerPlatform {
         name: &str,
         args: &Value,
         mode: StartMode,
+        trace_ctx: Option<fireworks_obs::SpanContext>,
     ) -> Result<(Invocation, MicroVm), PlatformError> {
         // Root observability span mirroring the one Fireworks records, so
         // side-by-side traces line up (`trace_dump`). The VM manager's
-        // boot/restore/resume spans nest underneath it.
+        // boot/restore/resume spans nest underneath it. A propagated
+        // context is adopted only when no ambient span is open (a cluster
+        // driver's service span already carries the trace).
         let obs = self.env.obs.clone();
         let rec = obs.recorder().clone();
-        let inv_span = rec.start("invoke", cat::INVOKE);
+        let inv_span = match trace_ctx.filter(|_| rec.current().is_none()) {
+            Some(ctx) => rec.start_under(ctx.parent, "invoke", cat::INVOKE),
+            None => rec.start("invoke", cat::INVOKE),
+        };
         rec.attr(inv_span, "function", name);
         rec.attr(inv_span, "platform", self.name());
         obs.metrics()
@@ -317,11 +323,12 @@ impl FirecrackerPlatform {
         name: &str,
         args: &Value,
         mode: StartMode,
+        trace_ctx: Option<fireworks_obs::SpanContext>,
     ) -> Result<(Invocation, InFlightVm), PlatformError> {
         if mode == StartMode::Cold {
             self.evict(name);
         }
-        let (invocation, vm) = self.invoke_on_vm(name, args, mode)?;
+        let (invocation, vm) = self.invoke_on_vm(name, args, mode, trace_ctx)?;
         let inflight = InFlightVm {
             vm,
             function: name.to_string(),
@@ -335,7 +342,7 @@ impl FirecrackerPlatform {
         name: &str,
         args: &Value,
     ) -> Result<(Invocation, ResidentVm), PlatformError> {
-        let (invocation, vm) = self.invoke_on_vm(name, args, StartMode::Cold)?;
+        let (invocation, vm) = self.invoke_on_vm(name, args, StartMode::Cold, None)?;
         Ok((invocation, ResidentVm { vm }))
     }
 
@@ -378,7 +385,7 @@ impl ConcurrentPlatform for FirecrackerPlatform {
         &mut self,
         req: &InvokeRequest,
     ) -> Result<(Invocation, InFlightVm), PlatformError> {
-        self.begin_invoke_internal(&req.function, &req.args, req.mode)
+        self.begin_invoke_internal(&req.function, &req.args, req.mode, req.trace)
     }
 
     fn finish_invoke(&mut self, inflight: InFlightVm) {
@@ -466,7 +473,7 @@ impl Platform for FirecrackerPlatform {
         // A blocking invoke is the degenerate one-event schedule: service
         // and completion at the same instant.
         let (invocation, inflight) =
-            self.begin_invoke_internal(&req.function, &req.args, req.mode)?;
+            self.begin_invoke_internal(&req.function, &req.args, req.mode, req.trace)?;
         self.finish_invoke(inflight);
         Ok(invocation)
     }

@@ -11,6 +11,7 @@ use fireworks_guestmem::{AddressSpace, HostMemory, SnapshotFile, PAGE_SIZE};
 use fireworks_lang::{compile, JitPolicy, NoopHost, Outcome, Value, Vm};
 use fireworks_msgbus::MessageBus;
 use fireworks_netsim::{HostNetwork, Ip, Mac};
+use fireworks_obs::{LogHistogram, Metrics};
 use fireworks_sim::cost::{BusCosts, NetCosts};
 use fireworks_sim::Clock;
 
@@ -163,12 +164,53 @@ fn bench_netsim(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics");
+    // Cost per increment at each tier of the hot-path ladder: by-name
+    // (key build + registry lookup every time), pre-resolved handle
+    // (one shared Cell store), and write-buffered batch (local Cell
+    // store, one shared update per 1024 increments).
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("inc_by_name", |b| {
+        let m = Metrics::new();
+        b.iter(|| m.inc("engine.completions", &[("host", "0")]));
+    });
+    group.bench_function("inc_via_handle", |b| {
+        let m = Metrics::new();
+        let h = m.counter("engine.completions", &[("host", "0")]);
+        b.iter(|| h.inc());
+    });
+    group.bench_function("inc_batched_flush_every_1024", |b| {
+        let m = Metrics::new();
+        let h = m.counter("engine.completions", &[("host", "0")]).batched();
+        let mut n = 0u32;
+        b.iter(|| {
+            h.inc();
+            n += 1;
+            if n == 1024 {
+                h.flush();
+                n = 0;
+            }
+        });
+    });
+    group.bench_function("sketch_observe", |b| {
+        let mut h = LogHistogram::new();
+        let mut x = 0x9e3779b97f4a7c15u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.observe(x >> (x % 50));
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_snapshot,
     bench_jit_tiers,
     bench_annotator,
     bench_msgbus,
-    bench_netsim
+    bench_netsim,
+    bench_metrics
 );
 criterion_main!(benches);

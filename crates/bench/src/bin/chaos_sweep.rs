@@ -23,9 +23,10 @@
 use fireworks_core::api::{Platform, PlatformError};
 use fireworks_core::engine::{run_concurrent, EngineConfig};
 use fireworks_core::{FireworksPlatform, PlatformEnv};
+use fireworks_obs::LogHistogram;
 use fireworks_runtime::RuntimeKind;
 use fireworks_sim::fault::FaultPlan;
-use fireworks_sim::{stats, Nanos};
+use fireworks_sim::Nanos;
 use fireworks_workloads::arrivals::burst;
 use fireworks_workloads::faasdom::Bench;
 
@@ -78,7 +79,9 @@ fn run_rate(seed: u64, rate: f64) -> RatePoint {
     let mut other_failures = 0;
     let mut total_latency = Nanos::ZERO;
     let mut recovery_latency = Nanos::ZERO;
-    let mut recovery_latencies: Vec<Nanos> = Vec::new();
+    // Recovery latencies stream into a mergeable log-bucketed sketch
+    // (quantiles within 2⁻⁵ relative error) instead of collect-and-sort.
+    let mut recovery_latencies = LogHistogram::new();
     let mut peak_inflight = 0;
     let mut peak_queue_depth = 0;
     let mut peak_live_pss_bytes = 0;
@@ -106,7 +109,7 @@ fn run_rate(seed: u64, rate: f64) -> RatePoint {
                     let recovered = inv.trace.total_for("recovery_backoff")
                         + inv.trace.total_for("snapshot_rebuild");
                     recovery_latency += recovered;
-                    recovery_latencies.push(recovered);
+                    recovery_latencies.observe(recovered.as_nanos());
                 }
                 Err(PlatformError::Vm(_)) => vm_failures += 1,
                 Err(PlatformError::CircuitOpen { .. }) => {
@@ -150,8 +153,8 @@ fn run_rate(seed: u64, rate: f64) -> RatePoint {
         } else {
             Nanos::ZERO
         },
-        p50_recovery_latency: stats::percentile(&recovery_latencies, 50.0),
-        p99_recovery_latency: stats::percentile(&recovery_latencies, 99.0),
+        p50_recovery_latency: Nanos::from_nanos(recovery_latencies.quantile(50.0)),
+        p99_recovery_latency: Nanos::from_nanos(recovery_latencies.quantile(99.0)),
         schedule_fingerprint: injector.schedule_fingerprint(),
         metrics_json: env.obs.metrics().snapshot().to_json(),
     }

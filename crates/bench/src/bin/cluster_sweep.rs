@@ -31,6 +31,7 @@ use fireworks_core::engine::CompletionPolicy;
 use fireworks_core::env::EnvConfig;
 use fireworks_core::{FireworksPlatform, PlatformConfig, ResidentClone};
 use fireworks_lang::Value;
+use fireworks_obs::LogHistogram;
 use fireworks_runtime::RuntimeKind;
 use fireworks_sim::Nanos;
 use fireworks_workloads::arrivals::{burst, poisson_schedule};
@@ -99,9 +100,15 @@ struct Point {
     peak_cluster_queue: usize,
 }
 
-fn percentile(sorted: &[Nanos], p: f64) -> Nanos {
-    let idx = ((sorted.len() as f64 - 1.0) * p / 100.0).round() as usize;
-    sorted[idx]
+/// Streams `samples` into a mergeable log-bucketed sketch (see
+/// `fireworks_obs::LogHistogram`): no collect-and-sort, bounded memory,
+/// quantiles within one bucket (≤ 2⁻⁵ relative error) of exact.
+fn sketch_of(samples: impl IntoIterator<Item = Nanos>) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for s in samples {
+        h.observe(s.as_nanos());
+    }
+    h
 }
 
 /// Builds an `hosts`-host cluster with the bounded cache, installs the
@@ -134,21 +141,16 @@ fn run_point(policy: &'static str, hosts: usize, rate_ms: u64, seed: u64) -> Poi
     );
     let mut router = make_router(policy);
     let report = cluster.run(router.as_mut(), &schedule);
-    let mut starts: Vec<Nanos> = report
-        .completions
-        .iter()
-        .map(|c| {
-            c.start_latency()
-                .unwrap_or_else(|| panic!("fault-free sweep: {:?}", c.result))
-        })
-        .collect();
-    starts.sort_unstable();
+    let starts = sketch_of(report.completions.iter().map(|c| {
+        c.start_latency()
+            .unwrap_or_else(|| panic!("fault-free sweep: {:?}", c.result))
+    }));
     Point {
         policy,
         hosts,
         rate_ms,
-        p50_start: percentile(&starts, 50.0),
-        p99_start: percentile(&starts, 99.0),
+        p50_start: Nanos::from_nanos(starts.quantile(50.0)),
+        p99_start: Nanos::from_nanos(starts.quantile(99.0)),
         locality_hits: report.locality_hits,
         rebalances: report.rebalances,
         peak_cluster_queue: report.peak_cluster_queue_depth,

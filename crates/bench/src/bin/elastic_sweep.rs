@@ -37,9 +37,10 @@ use fireworks_core::elastic::{ElasticCluster, ElasticConfig, ElasticPolicy, Elas
 use fireworks_core::engine::EngineRequest;
 use fireworks_core::{FireworksPlatform, InvokeRequest};
 use fireworks_lang::Value;
+use fireworks_obs::LogHistogram;
 use fireworks_runtime::RuntimeKind;
 use fireworks_sim::fault::{FaultPlan, FaultSite};
-use fireworks_sim::{stats, Nanos};
+use fireworks_sim::Nanos;
 use fireworks_workloads::arrivals::flash_crowd;
 
 /// Invoker slots per host.
@@ -168,15 +169,16 @@ fn run_scenario(name: &'static str, policy: ElasticPolicy, seed: u64) -> Scenari
         "{name}: invariant violations: {:?}",
         report.audit_violations
     );
-    let starts: Vec<Nanos> = report
-        .completions
-        .iter()
-        .filter_map(|c| c.start_latency())
-        .collect();
+    // Start latencies stream into a mergeable log-bucketed sketch
+    // (quantiles within 2⁻⁵ relative error) instead of collect-and-sort.
+    let mut starts = LogHistogram::new();
+    for s in report.completions.iter().filter_map(|c| c.start_latency()) {
+        starts.observe(s.as_nanos());
+    }
     Scenario {
         name,
-        p50_start: stats::percentile(&starts, 50.0),
-        p99_start: stats::percentile(&starts, 99.0),
+        p50_start: Nanos::from_nanos(starts.quantile(50.0)),
+        p99_start: Nanos::from_nanos(starts.quantile(99.0)),
         host_time: report.host_time,
         peak_hosts: report.peak_hosts,
         report,
@@ -232,16 +234,19 @@ fn run_scale_to_zero(seed: u64) -> ScaleToZero {
         "renewed demand must resurrect it: {:?}",
         report.stats
     );
-    let tail: Vec<Nanos> = report
+    let mut tail = LogHistogram::new();
+    for s in report
         .completions
         .iter()
         .filter(|c| c.arrived >= quiet_until)
         .filter_map(|c| c.start_latency())
-        .collect();
+    {
+        tail.observe(s.as_nanos());
+    }
     ScaleToZero {
         retired: report.stats.retired_functions,
         resurrections: report.stats.resurrections,
-        p99_resurrect_start: stats::percentile(&tail, 99.0),
+        p99_resurrect_start: Nanos::from_nanos(tail.quantile(99.0)),
     }
 }
 

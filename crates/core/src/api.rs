@@ -257,17 +257,23 @@ pub struct InvokeRequest {
     pub mode: StartMode,
     /// Absolute virtual-time admission deadline, if any.
     pub deadline: Option<Nanos>,
+    /// Distributed-tracing context, minted at cluster admission. When
+    /// set, the serving platform parents its `invoke` span under
+    /// `trace.parent` so the whole service joins the request's causal
+    /// tree even across hosts.
+    pub trace: Option<fireworks_obs::SpanContext>,
 }
 
 impl InvokeRequest {
-    /// A request for `function` with `args`, [`StartMode::Auto`], and no
-    /// deadline.
+    /// A request for `function` with `args`, [`StartMode::Auto`], no
+    /// deadline, and no trace context.
     pub fn new(function: impl Into<String>, args: Value) -> Self {
         InvokeRequest {
             function: function.into(),
             args,
             mode: StartMode::Auto,
             deadline: None,
+            trace: None,
         }
     }
 
@@ -283,14 +289,22 @@ impl InvokeRequest {
         self
     }
 
-    /// Derives the request for one chain stage: same mode and deadline,
-    /// next stage's name, the previous stage's result as arguments.
+    /// Attaches distributed-tracing context.
+    pub fn with_trace(mut self, trace: fireworks_obs::SpanContext) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Derives the request for one chain stage: same mode, deadline, and
+    /// trace context; next stage's name; the previous stage's result as
+    /// arguments.
     pub fn stage(&self, function: &str, args: Value) -> Self {
         InvokeRequest {
             function: function.to_string(),
             args,
             mode: self.mode,
             deadline: self.deadline,
+            trace: self.trace,
         }
     }
 }

@@ -51,9 +51,10 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use fireworks_obs::Obs;
+use fireworks_obs::{cat, Obs, Recorder, SpanContext, SpanId, TraceId};
 use fireworks_sim::engine::EventQueue;
 use fireworks_sim::fault::FaultSite;
+use fireworks_sim::trace::Phase;
 use fireworks_sim::{Clock, Nanos};
 
 use crate::api::{
@@ -588,12 +589,21 @@ impl<P: ConcurrentPlatform> Cluster<P> {
             peak_cluster_queue_depth: 0,
             failed_hosts: Vec::new(),
             crash_reroutes: 0,
+            roots: BTreeMap::new(),
         };
+        let rec = self.obs.recorder().clone();
 
         while let Some(ev) = queue.pop() {
             self.clock.warp_to(ev.at);
             match ev.event {
                 Event::Arrive(i) => {
+                    // Admission mints the request's trace: one detached
+                    // root span per request, so spans from interleaved
+                    // requests (and hosts) never adopt each other.
+                    let trace = rec.next_trace_id();
+                    let root = rec.start_detached("request", cat::INVOKE, trace);
+                    rec.attr(root, "function", requests[i].invoke.function.as_str());
+                    run.roots.insert(i, (trace, root));
                     if !self.dispatch(router, requests, i, None, &mut run, &mut queue) {
                         run.cluster_waiting.push_back(i);
                     }
@@ -611,7 +621,14 @@ impl<P: ConcurrentPlatform> Cluster<P> {
                     // Drain this host's own queue first (FIFO)…
                     if self.hosts[host].healthy {
                         while let Some(next) = self.hosts[host].waiting.pop_front() {
-                            if reject_if_expired(&mut run, requests, next, self.clock.now(), None) {
+                            if reject_if_expired(
+                                &mut run,
+                                &rec,
+                                requests,
+                                next,
+                                self.clock.now(),
+                                None,
+                            ) {
                                 continue;
                             }
                             self.start_service(router, requests, host, next, &mut run, &mut queue);
@@ -621,7 +638,8 @@ impl<P: ConcurrentPlatform> Cluster<P> {
                     // …then let cluster-queued requests try the router
                     // again, stopping at the first that still can't place.
                     while let Some(next) = run.cluster_waiting.pop_front() {
-                        if reject_if_expired(&mut run, requests, next, self.clock.now(), None) {
+                        if reject_if_expired(&mut run, &rec, requests, next, self.clock.now(), None)
+                        {
                             continue;
                         }
                         if !self.dispatch(router, requests, next, None, &mut run, &mut queue) {
@@ -687,14 +705,32 @@ impl<P: ConcurrentPlatform> Cluster<P> {
         queue: &mut EventQueue<Event>,
     ) -> bool {
         let now = self.clock.now();
-        if reject_if_expired(run, requests, i, now, rerouted_from) {
+        let rec = self.obs.recorder().clone();
+        if reject_if_expired(run, &rec, requests, i, now, rerouted_from) {
             return true;
         }
         let r = &requests[i];
+        if let Some(from) = rerouted_from {
+            // A crash displaced this request off host `from`; the router
+            // consult below is a second routing decision on its trace.
+            if let Some(&(_, root)) = run.roots.get(&i) {
+                rec.instant_under(
+                    root,
+                    "rerouted",
+                    cat::ROUTE,
+                    vec![("from_host", from.into())],
+                );
+            }
+        }
         if !self.hosts.iter().any(|h| h.healthy) {
             // Nothing can ever serve this request: the cluster queue
             // only drains on completions, and completions on dead hosts
             // don't restore capacity a router could use.
+            if let Some((_, root)) = run.roots.remove(&i) {
+                rec.record_closed_under(root, "queued", cat::QUEUE, Phase::Other, r.arrival, now);
+                rec.attr(root, "rejected", "host_unavailable");
+                rec.end_detached(root);
+            }
             run.out[i] = Some(ClusterCompletion {
                 index: i,
                 host: rerouted_from,
@@ -752,6 +788,7 @@ impl<P: ConcurrentPlatform> Cluster<P> {
             self.crash_host(router, requests, h, i, run, queue);
             return;
         }
+        let rec = self.obs.recorder().clone();
         let host = &mut self.hosts[h];
         host.free -= 1;
         let started = self.clock.now();
@@ -760,8 +797,24 @@ impl<P: ConcurrentPlatform> Cluster<P> {
             run.locality_hits += 1;
             self.obs.metrics().inc("cluster.locality_hits", &[]);
         }
-        let result = host.platform.begin_invoke(&r.invoke);
+        let (trace, root) = run.roots.remove(&i).expect("request admitted");
+        rec.record_closed_under(root, "queued", cat::QUEUE, Phase::Other, r.arrival, started);
+        // The service span goes on the shared open stack: every span the
+        // host platform records nests under it and inherits the trace.
+        // The flow pair draws the admission → service causal arrow
+        // (rendered as a cross-track arrow in Perfetto).
+        let service = rec.start_under(root, "service", cat::INVOKE);
+        rec.attr(service, "host", h);
+        rec.flow_out(root, trace.raw());
+        rec.flow_in(service, trace.raw());
+        let invoke = r.invoke.clone().with_trace(SpanContext {
+            trace,
+            parent: service,
+        });
+        let result = host.platform.begin_invoke(&invoke);
         let finished = self.clock.now();
+        rec.end(service);
+        rec.end_detached(root);
         let result = match result {
             Ok((invocation, token)) => {
                 host.inflight.insert(i, token);
@@ -893,12 +946,16 @@ struct RunState<T> {
     peak_cluster_queue_depth: usize,
     failed_hosts: Vec<usize>,
     crash_reroutes: u64,
+    // Per-request detached trace roots, opened at arrival and closed at
+    // completion or rejection.
+    roots: BTreeMap<usize, (TraceId, SpanId)>,
 }
 
 /// Rejects request `i` with [`PlatformError::DeadlineExceeded`] if its
 /// deadline has passed at `now`; returns whether it was rejected.
 fn reject_if_expired<T>(
     run: &mut RunState<T>,
+    rec: &Recorder,
     requests: &[EngineRequest],
     i: usize,
     now: Nanos,
@@ -910,6 +967,11 @@ fn reject_if_expired<T>(
     };
     if now <= deadline {
         return false;
+    }
+    if let Some((_, root)) = run.roots.remove(&i) {
+        rec.record_closed_under(root, "queued", cat::QUEUE, Phase::Other, r.arrival, now);
+        rec.attr(root, "rejected", "deadline");
+        rec.end_detached(root);
     }
     run.out[i] = Some(ClusterCompletion {
         index: i,

@@ -70,9 +70,10 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::rc::Rc;
 
 use fireworks_guestmem::SnapshotManifest;
-use fireworks_obs::Obs;
+use fireworks_obs::{cat, Obs, SpanContext, SpanId, TraceId};
 use fireworks_sim::engine::EventQueue;
 use fireworks_sim::fault::{self, FaultInjector, FaultPlan, FaultSite};
+use fireworks_sim::trace::Phase;
 use fireworks_sim::{Clock, Nanos};
 
 use crate::api::{ConcurrentPlatform, FunctionSpec, PlatformError, StoreAudit};
@@ -364,6 +365,9 @@ struct ERun {
     pending: BTreeMap<usize, usize>,
     boot_failures_row: u32,
     boot_give_up: bool,
+    /// Per-request detached trace roots, opened at arrival and closed at
+    /// completion or rejection.
+    roots: BTreeMap<usize, (TraceId, SpanId)>,
 }
 
 /// A boxed host-platform constructor, retained by the cluster so the
@@ -746,6 +750,7 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
             pending: BTreeMap::new(),
             boot_failures_row: 0,
             boot_give_up: false,
+            roots: BTreeMap::new(),
         };
 
         while let Some(ev) = queue.pop() {
@@ -821,10 +826,19 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
         let f = requests[i].invoke.function.clone();
         *run.tick_counts.entry(f.clone()).or_insert(0) += 1;
         run.last_arrival.insert(f.clone(), self.clock.now());
+        // Admission mints the request's trace: one detached root span
+        // per request, so spans from interleaved requests (and hosts)
+        // never adopt each other.
+        let rec = self.obs.recorder().clone();
+        let trace = rec.next_trace_id();
+        let root = rec.start_detached("request", cat::INVOKE, trace);
+        rec.attr(root, "function", f.as_str());
+        run.roots.insert(i, (trace, root));
         if self.archived.remove(&f) {
             // Demand resurrection: the archive (or any later replica)
             // serves the delta fetch when a host first restores it.
             run.stats.resurrections += 1;
+            rec.attr(root, "resurrected", true);
             self.obs
                 .metrics()
                 .inc("elastic.resurrections", &[("function", f.as_str())]);
@@ -899,7 +913,20 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
         if self.reject_if_expired(requests, i, run, rerouted_from) {
             return true;
         }
+        let rec = self.obs.recorder().clone();
         let r = &requests[i];
+        if let Some(from) = rerouted_from {
+            // A crash or drain displaced this request off host `from`;
+            // the router consult below is a second routing decision.
+            if let Some(&(_, root)) = run.roots.get(&i) {
+                rec.instant_under(
+                    root,
+                    "rerouted",
+                    cat::ROUTE,
+                    vec![("from_host", from.into())],
+                );
+            }
+        }
         if self.active_count() == 0 {
             // No serving capacity. If capacity is on its way (a boot in
             // flight) or the control loop can still provision some, the
@@ -908,6 +935,11 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
                 || (!run.boot_give_up && self.powered_count() < self.config.policy.max_hosts);
             if can_recover {
                 return false;
+            }
+            if let Some((_, root)) = run.roots.remove(&i) {
+                rec.record_closed_under(root, "queued", cat::QUEUE, Phase::Other, r.arrival, now);
+                rec.attr(root, "rejected", "host_unavailable");
+                rec.end_detached(root);
             }
             run.out[i] = Some(ClusterCompletion {
                 index: i,
@@ -962,6 +994,7 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
             self.fail_host_and_reroute(router, requests, h, Some(i), run, queue);
             return;
         }
+        let rec = self.obs.recorder().clone();
         let host = &mut self.hosts[h];
         host.free -= 1;
         host.idle_ticks = 0;
@@ -971,8 +1004,23 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
             run.stats.locality_hits += 1;
             self.obs.metrics().inc("elastic.locality_hits", &[]);
         }
-        let result = host.platform.begin_invoke(&r.invoke);
+        let (trace, root) = run.roots.remove(&i).expect("request admitted");
+        rec.record_closed_under(root, "queued", cat::QUEUE, Phase::Other, r.arrival, started);
+        // The service span goes on the shared open stack: every span the
+        // host platform records nests under it and inherits the trace.
+        // The flow pair draws the admission → service causal arrow.
+        let service = rec.start_under(root, "service", cat::INVOKE);
+        rec.attr(service, "host", h);
+        rec.flow_out(root, trace.raw());
+        rec.flow_in(service, trace.raw());
+        let invoke = r.invoke.clone().with_trace(SpanContext {
+            trace,
+            parent: service,
+        });
+        let result = host.platform.begin_invoke(&invoke);
         let finished = self.clock.now();
+        rec.end(service);
+        rec.end_detached(root);
         let result = match result {
             Ok((invocation, token)) => {
                 host.inflight.insert(i, token);
@@ -1091,6 +1139,12 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
         };
         if now <= deadline {
             return false;
+        }
+        if let Some((_, root)) = run.roots.remove(&i) {
+            let rec = self.obs.recorder();
+            rec.record_closed_under(root, "queued", cat::QUEUE, Phase::Other, r.arrival, now);
+            rec.attr(root, "rejected", "deadline");
+            rec.end_detached(root);
         }
         run.out[i] = Some(ClusterCompletion {
             index: i,
@@ -1564,8 +1618,29 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
         }
         // The hand-off is the mesh's ordinary delta fetch: the
         // destination prewarns itself from the best donor (usually the
-        // draining host — the lowest-id full holder).
-        if self.hosts[dest].platform.prewarm(function) {
+        // draining host — the lowest-id full holder). It gets its own
+        // control-plane trace: the delta-fetch spans the prewarm records
+        // nest under the hand-off span and inherit the migration trace.
+        let rec = self.obs.recorder().clone();
+        let mtrace = rec.next_trace_id();
+        let mroot = rec.start_detached("migration", cat::MIGRATE, mtrace);
+        rec.attr(mroot, "function", function);
+        rec.attr(mroot, "donor", donor);
+        rec.attr(mroot, "dest", dest);
+        let handoff = rec.start_under(mroot, "handoff", cat::MIGRATE);
+        let migrated = self.hosts[dest].platform.prewarm(function);
+        rec.end(handoff);
+        rec.attr(
+            mroot,
+            "outcome",
+            if migrated {
+                "migrated"
+            } else {
+                "rebuild_fallback"
+            },
+        );
+        rec.end_detached(mroot);
+        if migrated {
             run.stats.migrations += 1;
             self.obs
                 .metrics()

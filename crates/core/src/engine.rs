@@ -37,8 +37,9 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use fireworks_obs::Obs;
+use fireworks_obs::{cat, Obs, Recorder, SpanContext, SpanId, TraceId};
 use fireworks_sim::engine::EventQueue;
+use fireworks_sim::trace::Phase;
 use fireworks_sim::{Clock, Nanos};
 
 use crate::api::{ConcurrentPlatform, InFlightToken, Invocation, InvokeRequest, PlatformError};
@@ -188,18 +189,31 @@ pub fn run_concurrent<P: ConcurrentPlatform>(
         inflight: BTreeMap<usize, T>,
         retained: Vec<T>,
         out: Vec<Option<EngineCompletion>>,
+        // Per-request detached trace roots, opened at arrival and closed
+        // at completion or rejection.
+        roots: BTreeMap<usize, (TraceId, SpanId)>,
         peak_inflight: usize,
         peak_queue_depth: usize,
         peak_live_pss: u64,
     }
 
     impl<T: InFlightToken> State<T> {
+        // Opens request `i`'s trace: one detached root span per request,
+        // so interleaved requests never adopt each other's spans.
+        fn admit(&mut self, rec: &Recorder, requests: &[EngineRequest], i: usize) {
+            let trace = rec.next_trace_id();
+            let root = rec.start_detached("request", cat::INVOKE, trace);
+            rec.attr(root, "function", requests[i].invoke.function.as_str());
+            self.roots.insert(i, (trace, root));
+        }
+
         // Starts request `i`'s service activity at the current clock
         // instant and schedules its completion at the finish instant.
         fn start_service<P: ConcurrentPlatform<InFlight = T>>(
             &mut self,
             platform: &mut P,
             clock: &Clock,
+            rec: &Recorder,
             queue: &mut EventQueue<Event>,
             requests: &[EngineRequest],
             i: usize,
@@ -207,8 +221,22 @@ pub fn run_concurrent<P: ConcurrentPlatform>(
             self.free -= 1;
             let started = clock.now();
             let r = &requests[i];
-            let result = platform.begin_invoke(&r.invoke);
+            let (trace, root) = self.roots[&i];
+            rec.record_closed_under(root, "queued", cat::QUEUE, Phase::Other, r.arrival, started);
+            // The service span goes on the open stack: everything the
+            // platform records nests under it and inherits the trace.
+            // The flow pair draws the admission → service causal arrow.
+            let service = rec.start_under(root, "service", cat::INVOKE);
+            rec.flow_out(root, trace.raw());
+            rec.flow_in(service, trace.raw());
+            let invoke = r.invoke.clone().with_trace(SpanContext {
+                trace,
+                parent: service,
+            });
+            let result = platform.begin_invoke(&invoke);
             let finished = clock.now();
+            rec.end(service);
+            rec.end_detached(root);
             let result = match result {
                 Ok((invocation, token)) => {
                     self.inflight.insert(i, token);
@@ -231,13 +259,24 @@ pub fn run_concurrent<P: ConcurrentPlatform>(
 
         // Whether request `i`'s deadline has passed at `now`; a missed
         // deadline is recorded as a completion without consuming a slot.
-        fn reject_if_expired(&mut self, requests: &[EngineRequest], i: usize, now: Nanos) -> bool {
+        fn reject_if_expired(
+            &mut self,
+            rec: &Recorder,
+            requests: &[EngineRequest],
+            i: usize,
+            now: Nanos,
+        ) -> bool {
             let r = &requests[i];
             let Some(deadline) = r.invoke.deadline else {
                 return false;
             };
             if now <= deadline {
                 return false;
+            }
+            if let Some((_, root)) = self.roots.get(&i).copied() {
+                rec.record_closed_under(root, "queued", cat::QUEUE, Phase::Other, r.arrival, now);
+                rec.attr(root, "rejected", "deadline");
+                rec.end_detached(root);
             }
             self.out[i] = Some(EngineCompletion {
                 index: i,
@@ -262,19 +301,31 @@ pub fn run_concurrent<P: ConcurrentPlatform>(
         inflight: BTreeMap::new(),
         retained: Vec::new(),
         out,
+        roots: BTreeMap::new(),
         peak_inflight: 0,
         peak_queue_depth: 0,
         peak_live_pss: 0,
     };
+    let rec = obs.recorder().clone();
+    // Gauge handles resolved once: the per-event sampling below is a
+    // handful of Cell stores instead of six key allocations + lookups.
+    let m = obs.metrics();
+    let g_inflight = m.gauge("engine.inflight", &[]);
+    let g_queue_depth = m.gauge("engine.queue_depth", &[]);
+    let g_live_pss = m.gauge("engine.live_pss_bytes", &[]);
+    let g_peak_inflight = m.gauge("engine.peak_inflight", &[]);
+    let g_peak_queue_depth = m.gauge("engine.peak_queue_depth", &[]);
+    let g_peak_live_pss = m.gauge("engine.peak_live_pss_bytes", &[]);
 
     while let Some(ev) = queue.pop() {
         clock.warp_to(ev.at);
         match ev.event {
             Event::Arrive(i) => {
-                if state.reject_if_expired(requests, i, clock.now()) {
+                state.admit(&rec, requests, i);
+                if state.reject_if_expired(&rec, requests, i, clock.now()) {
                     // Arrived already past its deadline: rejected above.
                 } else if state.free > 0 {
-                    state.start_service(platform, clock, &mut queue, requests, i);
+                    state.start_service(platform, clock, &rec, &mut queue, requests, i);
                 } else {
                     state.waiting.push_back(i);
                 }
@@ -290,10 +341,10 @@ pub fn run_concurrent<P: ConcurrentPlatform>(
                 // Skip over queued requests whose deadline passed while
                 // they waited; serve the first still-admissible one.
                 while let Some(next) = state.waiting.pop_front() {
-                    if state.reject_if_expired(requests, next, clock.now()) {
+                    if state.reject_if_expired(&rec, requests, next, clock.now()) {
                         continue;
                     }
-                    state.start_service(platform, clock, &mut queue, requests, next);
+                    state.start_service(platform, clock, &rec, &mut queue, requests, next);
                     break;
                 }
             }
@@ -309,21 +360,12 @@ pub fn run_concurrent<P: ConcurrentPlatform>(
         state.peak_inflight = state.peak_inflight.max(state.inflight.len());
         state.peak_queue_depth = state.peak_queue_depth.max(state.waiting.len());
         state.peak_live_pss = state.peak_live_pss.max(live);
-        let m = obs.metrics();
-        m.gauge_set("engine.inflight", &[], state.inflight.len() as i64);
-        m.gauge_set("engine.queue_depth", &[], state.waiting.len() as i64);
-        m.gauge_set("engine.live_pss_bytes", &[], live as i64);
-        m.gauge_set("engine.peak_inflight", &[], state.peak_inflight as i64);
-        m.gauge_set(
-            "engine.peak_queue_depth",
-            &[],
-            state.peak_queue_depth as i64,
-        );
-        m.gauge_set(
-            "engine.peak_live_pss_bytes",
-            &[],
-            state.peak_live_pss as i64,
-        );
+        g_inflight.set(state.inflight.len() as i64);
+        g_queue_depth.set(state.waiting.len() as i64);
+        g_live_pss.set(live as i64);
+        g_peak_inflight.set(state.peak_inflight as i64);
+        g_peak_queue_depth.set(state.peak_queue_depth as i64);
+        g_peak_live_pss.set(state.peak_live_pss as i64);
     }
 
     EngineReport {

@@ -549,11 +549,15 @@ impl FireworksPlatform {
     }
 
     /// The common invoke path; returns the invocation and the still-live
-    /// clone.
+    /// clone. `trace_ctx` is the caller's distributed-tracing context:
+    /// when set and no span is already open (the direct blocking-invoke
+    /// path), the invocation's root span is parented under it so the
+    /// platform's internals join the request's cross-host tree.
     fn invoke_internal(
         &mut self,
         name: &str,
         args: &Value,
+        trace_ctx: Option<fireworks_obs::SpanContext>,
     ) -> Result<(Invocation, ResidentClone), PlatformError> {
         let clock = self.env.clock.clone();
         let (default_params, known_working_set, timeout) = {
@@ -585,7 +589,13 @@ impl FireworksPlatform {
         // open descendants).
         let obs = self.env.obs.clone();
         let rec = obs.recorder().clone();
-        let inv_span = rec.start("invoke", cat::INVOKE);
+        // Inside a cluster driver the service span is already open and
+        // the plain start() nests (and inherits the trace) under it; on
+        // the direct path an explicit context adopts the caller's tree.
+        let inv_span = match trace_ctx.filter(|_| rec.current().is_none()) {
+            Some(ctx) => rec.start_under(ctx.parent, "invoke", cat::INVOKE),
+            None => rec.start("invoke", cat::INVOKE),
+        };
         rec.attr(inv_span, "function", name);
         obs.metrics()
             .inc("core.invoke.attempts", &[("function", name)]);
@@ -973,7 +983,7 @@ impl FireworksPlatform {
         name: &str,
         args: &Value,
     ) -> Result<(Invocation, ResidentClone), PlatformError> {
-        self.invoke_internal(name, args)
+        self.invoke_internal(name, args, None)
     }
 
     /// Tears down a resident clone: namespace, parameter topic, and guest
@@ -1107,7 +1117,7 @@ impl ConcurrentPlatform for FireworksPlatform {
         // is a snapshot restore regardless of `req.mode`, and the clone
         // stays resident — its guest memory charged against the host —
         // until `finish_invoke`.
-        self.invoke_internal(&req.function, &req.args)
+        self.invoke_internal(&req.function, &req.args, req.trace)
     }
 
     fn finish_invoke(&mut self, clone: ResidentClone) {

@@ -15,7 +15,7 @@
 use std::collections::BTreeSet;
 
 use fireworks_guestmem::SnapshotFile;
-use fireworks_obs::{cat, Obs};
+use fireworks_obs::{cat, BatchedCounter, Obs};
 use fireworks_sim::fault::{FaultSite, SharedInjector};
 use fireworks_sim::{Clock, Nanos};
 
@@ -106,7 +106,11 @@ pub struct ReapSession {
     resident: BTreeSet<usize>,
     major_faults: u64,
     prefetched_pages: u64,
-    obs: Option<Obs>,
+    /// Write-buffered fault/hit counters: `touch` runs once per guest
+    /// page, so increments batch locally and flush when the session
+    /// drops (or on [`ReapSession::flush_metrics`]).
+    fault_ctr: Option<BatchedCounter>,
+    hit_ctr: Option<BatchedCounter>,
 }
 
 impl ReapSession {
@@ -209,7 +213,16 @@ impl ReapSession {
             resident,
             major_faults: 0,
             prefetched_pages,
-            obs: obs.cloned(),
+            fault_ctr: obs.map(|o| {
+                o.metrics()
+                    .counter("microvm.reap.major_faults", &[])
+                    .batched()
+            }),
+            hit_ctr: obs.map(|o| {
+                o.metrics()
+                    .counter("microvm.reap.prefetch_hits", &[])
+                    .batched()
+            }),
         })
     }
 
@@ -220,11 +233,23 @@ impl ReapSession {
         if self.resident.insert(page) {
             clock.advance(self.costs.major_fault);
             self.major_faults += 1;
-            if let Some(o) = &self.obs {
-                o.metrics().inc("microvm.reap.major_faults", &[]);
+            if let Some(c) = &self.fault_ctr {
+                c.inc();
             }
-        } else if let Some(o) = &self.obs {
-            o.metrics().inc("microvm.reap.prefetch_hits", &[]);
+        } else if let Some(c) = &self.hit_ctr {
+            c.inc();
+        }
+    }
+
+    /// Pushes buffered fault/hit increments to the shared registry so a
+    /// metrics snapshot taken mid-session sees them; dropping the
+    /// session flushes the tail automatically.
+    pub fn flush_metrics(&self) {
+        if let Some(c) = &self.fault_ctr {
+            c.flush();
+        }
+        if let Some(c) = &self.hit_ctr {
+            c.flush();
         }
     }
 

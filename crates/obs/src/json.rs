@@ -1,9 +1,12 @@
-//! Minimal JSON helpers: string escaping and a well-formedness checker.
+//! Minimal JSON helpers: string escaping, a well-formedness checker,
+//! and a small parse-to-[`Value`] reader for schema checks.
 //!
 //! The workspace carries no serde; exporters hand-roll their JSON and
 //! this module keeps that honest. [`validate`] is a recursive-descent
 //! checker used by the golden-file tests and by `trace_dump`'s
-//! self-validation step, so CI can verify emitted traces offline.
+//! self-validation step; [`parse`] builds an owned [`Value`] tree so
+//! [`crate::export::schema`] can check required keys and types, so CI
+//! can verify emitted traces offline.
 
 /// Escapes `s` as a JSON string literal, including the surrounding
 /// quotes.
@@ -202,6 +205,231 @@ fn literal(bytes: &[u8], pos: &mut usize, word: &[u8]) -> Result<(), String> {
     }
 }
 
+/// An owned JSON value, produced by [`parse`]. Numbers keep their raw
+/// text so integer exactness is never lost to `f64` round-tripping.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its source text.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; key order preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup (first match); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Whether this is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+}
+
+/// Serializes a [`Value`] back to compact JSON text. Numbers round-trip
+/// byte-exactly (they keep their source text); key and element order are
+/// preserved, so `to_text(parse(t))` of compact input returns `t`.
+pub fn to_text(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Num(n) => n.clone(),
+        Value::Str(s) => escape(s),
+        Value::Array(items) => {
+            let parts: Vec<String> = items.iter().map(to_text).collect();
+            format!("[{}]", parts.join(","))
+        }
+        Value::Object(fields) => {
+            let parts: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("{}:{}", escape(k), to_text(v)))
+                .collect();
+            format!("{{{}}}", parts.join(","))
+        }
+    }
+}
+
+/// Parses exactly one JSON value into an owned [`Value`] tree. Same
+/// grammar and depth limit as [`validate`].
+pub fn parse(input: &str) -> Result<Value, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    skip_ws(bytes, &mut pos);
+    let v = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
+    match bytes.get(*pos) {
+        None => Err(format!("expected a value at byte {pos}")),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos).map_err(|e| format!("object key: {e}"))?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                skip_ws(bytes, pos);
+                fields.push((key, parse_value(bytes, pos, depth + 1)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+        Some(b't') => literal(bytes, pos, b"true").map(|()| Value::Bool(true)),
+        Some(b'f') => literal(bytes, pos, b"false").map(|()| Value::Bool(false)),
+        Some(b'n') => literal(bytes, pos, b"null").map(|()| Value::Null),
+        Some(b'-' | b'0'..=b'9') => {
+            let start = *pos;
+            number(bytes, pos)?;
+            Ok(Value::Num(
+                std::str::from_utf8(&bytes[start..*pos])
+                    .map_err(|_| "non-utf8 number".to_string())?
+                    .to_string(),
+            ))
+        }
+        Some(&c) => Err(format!("unexpected byte {c:#04x} at byte {pos}")),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    let start = *pos;
+    string(bytes, pos)?;
+    // Re-walk the validated range, resolving escapes.
+    let raw = &bytes[start + 1..*pos - 1];
+    let mut out = String::with_capacity(raw.len());
+    let mut i = 0;
+    while i < raw.len() {
+        if raw[i] == b'\\' {
+            i += 1;
+            match raw[i] {
+                b'"' => out.push('"'),
+                b'\\' => out.push('\\'),
+                b'/' => out.push('/'),
+                b'b' => out.push('\u{8}'),
+                b'f' => out.push('\u{c}'),
+                b'n' => out.push('\n'),
+                b'r' => out.push('\r'),
+                b't' => out.push('\t'),
+                b'u' => {
+                    let hex = std::str::from_utf8(&raw[i + 1..i + 5])
+                        .map_err(|_| "bad \\u digits".to_string())?;
+                    let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    i += 4;
+                }
+                _ => unreachable!("string() accepted the escape"),
+            }
+            i += 1;
+        } else {
+            // Copy the longest run of plain bytes in one go.
+            let run_end = raw[i..]
+                .iter()
+                .position(|&b| b == b'\\')
+                .map_or(raw.len(), |p| i + p);
+            out.push_str(
+                std::str::from_utf8(&raw[i..run_end]).map_err(|_| "non-utf8 string".to_string())?,
+            );
+            i = run_end;
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,5 +480,52 @@ mod tests {
     #[test]
     fn escaped_output_round_trips_through_validate() {
         validate(&escape("tricky \"quoted\" \\slash\\ \n")).expect("escape produces valid JSON");
+    }
+
+    #[test]
+    fn parse_builds_the_value_tree() {
+        let v = parse("{\"a\":[1,2,{\"b\":null}],\"c\":\"x\\n\",\"d\":true}").unwrap();
+        assert!(v.is_object());
+        let a = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(a[0].as_u64(), Some(1));
+        assert!(a[2].get("b").unwrap().is_null());
+        assert_eq!(v.get("c").unwrap().as_str(), Some("x\n"));
+        assert_eq!(v.get("d"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_keeps_numbers_exact() {
+        let v = parse("18446744073709551615").unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+        let f = parse("-12.5e3").unwrap();
+        assert_eq!(f.as_f64(), Some(-12_500.0));
+        assert_eq!(f.as_u64(), None);
+    }
+
+    #[test]
+    fn parse_unescapes_strings() {
+        let v = parse("\"\\u00e9\\t\\\\\"").unwrap();
+        assert_eq!(v.as_str(), Some("é\t\\"));
+    }
+
+    #[test]
+    fn to_text_round_trips_compact_documents() {
+        for doc in [
+            "{}",
+            "[]",
+            "null",
+            "{\"a\":[1,2,{\"b\":null}],\"c\":\"x\",\"d\":-12.5e3}",
+            "18446744073709551615",
+        ] {
+            assert_eq!(to_text(&parse(doc).unwrap()), doc);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_what_validate_rejects() {
+        for doc in ["", "{", "[1,]", "nul", "{} extra"] {
+            assert!(parse(doc).is_err(), "{doc:?}");
+        }
     }
 }

@@ -52,13 +52,21 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod attribution;
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod sketch;
 pub mod span;
 
-pub use metrics::{HistogramSnapshot, Metrics, MetricsSnapshot};
-pub use span::{cat, AttrValue, Event, InstantRecord, Recorder, SpanId, SpanRecord};
+pub use attribution::{
+    classify, slo_burn, Attribution, CriticalHop, PhaseClass, RequestTrace, SloReport, TraceForest,
+};
+pub use metrics::{BatchedCounter, Counter, Gauge, HistogramSnapshot, Metrics, MetricsSnapshot};
+pub use sketch::LogHistogram;
+pub use span::{
+    cat, AttrValue, Event, InstantRecord, Recorder, SpanContext, SpanId, SpanRecord, TraceId,
+};
 
 use fireworks_sim::Clock;
 

@@ -1,7 +1,16 @@
 //! Deterministic metrics registry: counters, gauges, and fixed-bucket
 //! histograms keyed by `&'static str` names plus label pairs.
+//!
+//! Hot paths should resolve a [`Counter`] or [`Gauge`] handle once (one
+//! key allocation + map lookup) and then update through it — a handle
+//! update is a single `Cell` store, with no allocation and no lookup.
+//! Per-event paths (page faults, packets) can go one step further with
+//! [`Counter::batched`], which buffers increments locally and flushes
+//! them to the shared series in one update. The by-name
+//! [`Metrics::inc`] / [`Metrics::gauge_set`] entry points remain for
+//! cold paths and one-off writes.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::rc::Rc;
@@ -91,12 +100,112 @@ impl Histogram {
 
 #[derive(Debug, Default)]
 struct MetricsInner {
-    counters: BTreeMap<MetricKey, u64>,
-    gauges: BTreeMap<MetricKey, i64>,
+    counters: BTreeMap<MetricKey, Rc<Cell<u64>>>,
+    gauges: BTreeMap<MetricKey, Rc<Cell<i64>>>,
     histograms: BTreeMap<MetricKey, Histogram>,
     /// Registered bucket bounds by metric name; unregistered names fall
     /// back to [`DEFAULT_BOUNDS`].
     bounds: BTreeMap<&'static str, Vec<u64>>,
+}
+
+/// A pre-resolved counter series: updates are a single `Cell` store.
+///
+/// Obtained from [`Metrics::counter`]; clones share the series. The
+/// handle stays live after snapshots — it points at the same cell the
+/// registry renders.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cell: Rc<Cell<u64>>,
+}
+
+impl Counter {
+    /// Increments by 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `delta`.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.cell.set(self.cell.get().wrapping_add(delta));
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.get()
+    }
+
+    /// Wraps this handle in a write buffer for per-event hot paths.
+    pub fn batched(&self) -> BatchedCounter {
+        BatchedCounter {
+            shared: self.clone(),
+            pending: Cell::new(0),
+        }
+    }
+}
+
+/// A write-buffered [`Counter`]: increments accumulate in a private
+/// cell and reach the shared series only on [`BatchedCounter::flush`]
+/// (or drop). On paths that increment per page fault or per packet this
+/// turns N shared-registry updates into one, at the cost that snapshots
+/// taken mid-batch miss the unflushed tail — flush before exporting.
+#[derive(Debug)]
+pub struct BatchedCounter {
+    shared: Counter,
+    pending: Cell<u64>,
+}
+
+impl BatchedCounter {
+    /// Buffers an increment of 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Buffers an increment of `delta`.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.pending.set(self.pending.get().wrapping_add(delta));
+    }
+
+    /// Increments buffered since the last flush.
+    pub fn pending(&self) -> u64 {
+        self.pending.get()
+    }
+
+    /// Pushes the buffered increments to the shared series.
+    pub fn flush(&self) {
+        let pending = self.pending.replace(0);
+        if pending > 0 {
+            self.shared.add(pending);
+        }
+    }
+}
+
+impl Drop for BatchedCounter {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// A pre-resolved gauge series: updates are a single `Cell` store.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    cell: Rc<Cell<i64>>,
+}
+
+impl Gauge {
+    /// Sets the gauge (last write wins).
+    #[inline]
+    pub fn set(&self, value: i64) {
+        self.cell.set(value);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.cell.get()
+    }
 }
 
 /// A registry of counters, gauges, and fixed-bucket histograms.
@@ -123,24 +232,46 @@ impl Metrics {
 
     /// Increments a counter by `delta`.
     pub fn add(&self, name: &'static str, labels: &[(&'static str, &str)], delta: u64) {
+        self.counter(name, labels).add(delta);
+    }
+
+    /// Resolves (creating if absent) a [`Counter`] handle for the
+    /// series. Resolve once, then update through the handle on hot
+    /// paths.
+    pub fn counter(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Counter {
         let key = MetricKey::new(name, labels);
-        *self.inner.borrow_mut().counters.entry(key).or_insert(0) += delta;
+        let cell = Rc::clone(self.inner.borrow_mut().counters.entry(key).or_default());
+        Counter { cell }
     }
 
     /// Sets a gauge to `value` (last write wins).
     pub fn gauge_set(&self, name: &'static str, labels: &[(&'static str, &str)], value: i64) {
-        let key = MetricKey::new(name, labels);
-        self.inner.borrow_mut().gauges.insert(key, value);
+        self.gauge(name, labels).set(value);
     }
 
-    /// Registers custom bucket bounds for histogram `name`. Must be
+    /// Resolves (creating if absent, initialized to 0) a [`Gauge`]
+    /// handle for the series.
+    pub fn gauge(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Gauge {
+        let key = MetricKey::new(name, labels);
+        let cell = Rc::clone(self.inner.borrow_mut().gauges.entry(key).or_default());
+        Gauge { cell }
+    }
+
+    /// Registers custom bucket bounds for histogram `name` and creates
+    /// the unlabeled series empty, so a registered histogram exports
+    /// (with zero samples) even if nothing is ever observed. Must be
     /// called before the first [`Metrics::observe`] of that name;
     /// existing series keep the bounds they were created with.
     pub fn register_histogram(&self, name: &'static str, bounds: &[u64]) {
         let mut sorted = bounds.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
-        self.inner.borrow_mut().bounds.insert(name, sorted);
+        let mut inner = self.inner.borrow_mut();
+        inner
+            .histograms
+            .entry(MetricKey::new(name, &[]))
+            .or_insert_with(|| Histogram::new(sorted.clone()));
+        inner.bounds.insert(name, sorted);
     }
 
     /// Records one observation into histogram `name`. The value lands in
@@ -167,9 +298,13 @@ impl Metrics {
             counters: inner
                 .counters
                 .iter()
-                .map(|(k, &v)| (k.render(), v))
+                .map(|(k, v)| (k.render(), v.get()))
                 .collect(),
-            gauges: inner.gauges.iter().map(|(k, &v)| (k.render(), v)).collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.render(), v.get()))
+                .collect(),
             histograms: inner
                 .histograms
                 .iter()
@@ -394,5 +529,70 @@ mod tests {
         let m2 = m.clone();
         m2.inc("shared", &[]);
         assert_eq!(m.snapshot().counter("shared", &[]), 1);
+    }
+
+    #[test]
+    fn batched_counter_flushes_explicitly_and_on_drop() {
+        let m = Metrics::new();
+        let batched = m.counter("microvm.reap.major_faults", &[]).batched();
+        for _ in 0..5 {
+            batched.inc();
+        }
+        batched.add(3);
+        assert_eq!(batched.pending(), 8);
+        assert_eq!(
+            m.snapshot().counter("microvm.reap.major_faults", &[]),
+            0,
+            "increments stay local until flushed"
+        );
+        batched.flush();
+        assert_eq!(batched.pending(), 0);
+        assert_eq!(m.snapshot().counter("microvm.reap.major_faults", &[]), 8);
+        batched.inc();
+        drop(batched);
+        assert_eq!(
+            m.snapshot().counter("microvm.reap.major_faults", &[]),
+            9,
+            "drop flushes the tail"
+        );
+    }
+
+    #[test]
+    fn counter_handles_share_the_series_with_by_name_writes() {
+        let m = Metrics::new();
+        let h = m.counter("engine.completions", &[("host", "0")]);
+        h.inc();
+        h.add(4);
+        m.inc("engine.completions", &[("host", "0")]);
+        assert_eq!(h.get(), 6);
+        assert_eq!(
+            m.snapshot().counter("engine.completions", &[("host", "0")]),
+            6
+        );
+        let again = m.counter("engine.completions", &[("host", "0")]);
+        again.inc();
+        assert_eq!(h.get(), 7, "re-resolving returns the same cell");
+    }
+
+    #[test]
+    fn gauge_handles_share_the_series() {
+        let m = Metrics::new();
+        let g = m.gauge("engine.inflight", &[]);
+        g.set(3);
+        m.gauge_set("engine.inflight", &[], 9);
+        assert_eq!(g.get(), 9);
+        assert_eq!(m.snapshot().gauge("engine.inflight", &[]), Some(9));
+    }
+
+    #[test]
+    fn registered_histograms_export_with_zero_samples() {
+        let m = Metrics::new();
+        m.register_histogram("never.observed", &[5, 50]);
+        let s = m.snapshot();
+        let h = s.histogram("never.observed", &[]).expect("series exists");
+        assert_eq!(h.count, 0);
+        assert_eq!(h.counts, vec![0, 0, 0]);
+        assert_eq!(h.sum, 0);
+        crate::json::validate(&s.to_json()).expect("zero-sample series render validly");
     }
 }

@@ -1,0 +1,290 @@
+//! Mergeable log-bucketed streaming histograms for constant-memory
+//! percentiles (HDR-histogram style).
+//!
+//! The collect-then-sort percentile path keeps every sample alive until
+//! the end of a run — at ROADMAP item 1's scale (64–256 hosts, millions
+//! of invocations) that is gigabytes of `Vec<u64>`. A [`LogHistogram`]
+//! instead buckets each sample by its binary order of magnitude plus
+//! [`SUB_BITS`] bits of mantissa, so memory is bounded by the bucket
+//! table (≤ [`MAX_BUCKETS`] `u64`s) regardless of sample count, and the
+//! relative quantile error is bounded by the sub-bucket width:
+//! `2^-SUB_BITS` ≈ 3.1%.
+//!
+//! Two sketches with the *same fixed geometry* merge by element-wise
+//! addition, which is exactly what per-host sketches rolled up
+//! cluster-wide need. Geometry is a compile-time constant (no
+//! configuration), so merges can never silently mix incompatible
+//! bucketings.
+//!
+//! Quantiles use the nearest-rank definition (`rank = ceil(q/100 · n)`)
+//! and report the *upper bound* of the bucket holding that rank, so the
+//! reported value is always ≥ the true sample and within one bucket
+//! width of it. Values below `2^(SUB_BITS)` are exact (one bucket per
+//! integer).
+
+/// Number of mantissa bits kept per octave: each power-of-two range is
+/// split into `2^SUB_BITS` equal sub-buckets.
+pub const SUB_BITS: u32 = 5;
+
+/// Sub-buckets per octave.
+const SUB_COUNT: usize = 1 << SUB_BITS;
+
+/// Upper bound on the bucket table length for `u64` values: one exact
+/// sub-range plus one octave of sub-buckets for each of the
+/// `64 - SUB_BITS` remaining high-bit positions.
+pub const MAX_BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB_COUNT;
+
+/// Index of the bucket holding `v`.
+///
+/// Values `< 2^SUB_BITS` get one bucket each (exact). Larger values map
+/// to `(h - SUB_BITS + 1) * SUB_COUNT + mantissa`, where `h` is the
+/// position of the highest set bit and `mantissa` is the next
+/// `SUB_BITS` bits.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_COUNT as u64 {
+        return v as usize;
+    }
+    let h = 63 - v.leading_zeros();
+    let shift = h - SUB_BITS;
+    let mantissa = ((v >> shift) as usize) - SUB_COUNT;
+    (shift as usize + 1) * SUB_COUNT + mantissa
+}
+
+/// Largest value mapping to bucket `idx` (the value the sketch reports
+/// for ranks landing in that bucket).
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < SUB_COUNT {
+        return idx as u64;
+    }
+    let shift = (idx / SUB_COUNT - 1) as u32;
+    let mantissa = (idx % SUB_COUNT + SUB_COUNT) as u64;
+    // Floor of the bucket plus its width minus one.
+    (mantissa << shift) + ((1u64 << shift) - 1)
+}
+
+/// A constant-memory streaming histogram over `u64` samples with
+/// bounded relative error and exact element-wise merging.
+///
+/// # Examples
+///
+/// ```
+/// use fireworks_obs::sketch::LogHistogram;
+///
+/// let mut a = LogHistogram::new();
+/// let mut b = LogHistogram::new();
+/// for v in 0..500_000u64 {
+///     a.observe(v);
+///     b.observe(v + 500_000);
+/// }
+/// a.merge(&b);
+/// assert_eq!(a.count(), 1_000_000);
+/// let p50 = a.quantile(50.0);
+/// // Within one sub-bucket (3.125%) of the exact median.
+/// assert!((p50 as f64 - 500_000.0).abs() / 500_000.0 < 0.04);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LogHistogram {
+    /// Sparse-tail bucket table; indices past `buckets.len()` are zero.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl LogHistogram {
+    /// Creates an empty sketch.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, v: u64) {
+        let idx = bucket_index(v);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Adds every sample of `other` into `self`. Geometry is fixed, so
+    /// any two sketches merge exactly (the merged sketch equals the
+    /// sketch of the concatenated streams).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (dst, &src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        (self.sum / u128::from(self.count)) as u64
+    }
+
+    /// The `q`-th percentile (`0 < q ≤ 100`) under the nearest-rank
+    /// definition, reported as the holding bucket's upper bound and
+    /// clamped to the observed `[min, max]`. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 100.0);
+        let rank = ((q / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..SUB_COUNT as u64 {
+            h.observe(v);
+        }
+        for v in 0..SUB_COUNT as u64 {
+            let q = (v + 1) as f64 * 100.0 / SUB_COUNT as f64;
+            assert_eq!(h.quantile(q), v, "q={q}");
+        }
+    }
+
+    #[test]
+    fn bucket_round_trip_bounds_error() {
+        for v in [
+            0,
+            1,
+            31,
+            32,
+            33,
+            1000,
+            4095,
+            4096,
+            123_456_789,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let idx = bucket_index(v);
+            let upper = bucket_upper(idx);
+            assert!(upper >= v, "v={v} upper={upper}");
+            // Relative error bound: one sub-bucket width.
+            if v >= SUB_COUNT as u64 {
+                let err = (upper - v) as f64 / v as f64;
+                assert!(err <= 1.0 / SUB_COUNT as f64, "v={v} err={err}");
+            } else {
+                assert_eq!(upper, v);
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_indices_are_monotone_and_bounded() {
+        let mut last = 0usize;
+        for h in 0..64u32 {
+            let v = 1u64 << h;
+            let idx = bucket_index(v);
+            assert!(idx >= last);
+            assert!(idx < MAX_BUCKETS);
+            last = idx;
+        }
+        assert!(bucket_index(u64::MAX) < MAX_BUCKETS);
+    }
+
+    #[test]
+    fn merge_equals_concatenated_stream() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut both = LogHistogram::new();
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for i in 0..10_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let v = x >> 40;
+            if i % 2 == 0 {
+                a.observe(v);
+            } else {
+                b.observe(v);
+            }
+            both.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn empty_sketch_is_well_behaved() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(50.0), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        let mut m = LogHistogram::new();
+        m.merge(&h);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn quantiles_clamp_to_observed_range() {
+        let mut h = LogHistogram::new();
+        h.observe(1_000);
+        assert_eq!(h.quantile(50.0), 1_000);
+        assert_eq!(h.quantile(100.0), 1_000);
+        assert_eq!(h.quantile(0.0), 1_000, "rank clamps to 1");
+    }
+}

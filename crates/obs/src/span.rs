@@ -33,6 +33,46 @@ pub mod cat {
     pub const EXEC: &str = "exec";
     /// Top-level platform operations (one root span per invocation).
     pub const INVOKE: &str = "invoke";
+    /// Admission queueing: time spent waiting for a slot (host queue or
+    /// cluster queue), recorded retroactively at service start.
+    pub const QUEUE: &str = "queue";
+    /// Router decisions and placement events (zero virtual width).
+    pub const ROUTE: &str = "route";
+    /// Control-plane artifact movement: drain hand-offs, archive
+    /// resurrections, prewarm pulls.
+    pub const MIGRATE: &str = "migrate";
+}
+
+/// Identifier of one end-to-end request trace. Ids are minted
+/// sequentially from 1 by [`Recorder::next_trace_id`]; every span and
+/// instant belonging to the request carries the same id, across hosts,
+/// so exports can be regrouped into per-request causal trees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(u64);
+
+impl TraceId {
+    /// The raw id (1-based, dense per recorder).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a trace id from its raw value (for carrying trace
+    /// context across API boundaries that serialize it).
+    pub fn from_raw(raw: u64) -> Self {
+        TraceId(raw)
+    }
+}
+
+/// Propagated trace context: which trace a downstream operation belongs
+/// to and which span caused it. Carried on `InvokeRequest` so platform
+/// internals can join the caller's tree even when invoked outside an
+/// open span (e.g. a direct blocking `invoke`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanContext {
+    /// The request's trace.
+    pub trace: TraceId,
+    /// The causing span (becomes the parent of adopted spans).
+    pub parent: SpanId,
 }
 
 /// Identifier of one recorded span. Ids are assigned sequentially from 1
@@ -147,6 +187,14 @@ pub struct SpanRecord {
     pub end: Option<Nanos>,
     /// Typed attributes, in attachment order.
     pub attrs: Vec<(&'static str, AttrValue)>,
+    /// The request trace this span belongs to; inherited from the parent
+    /// span at open time, `None` for standalone platform work.
+    pub trace: Option<TraceId>,
+    /// Perfetto flow-event ids this span *starts* (causal edges to spans
+    /// on other hosts or later events).
+    pub flows_out: Vec<u64>,
+    /// Perfetto flow-event ids this span *receives*.
+    pub flows_in: Vec<u64>,
 }
 
 impl SpanRecord {
@@ -169,6 +217,9 @@ pub struct InstantRecord {
     pub at: Nanos,
     /// Typed attributes, in attachment order.
     pub attrs: Vec<(&'static str, AttrValue)>,
+    /// The request trace this event belongs to (inherited from the
+    /// parent span).
+    pub trace: Option<TraceId>,
 }
 
 /// One entry of a recorder's event log, in recording order.
@@ -187,6 +238,8 @@ struct Inner {
     span_pos: Vec<usize>,
     /// Stack of currently open spans (innermost last).
     open: Vec<SpanId>,
+    /// Trace ids minted so far (the next is `minted_traces + 1`).
+    minted_traces: u64,
 }
 
 impl Inner {
@@ -196,6 +249,50 @@ impl Inner {
             Event::Span(s) => s,
             Event::Instant(_) => unreachable!("span_pos points at spans only"),
         }
+    }
+
+    fn span_ref(&self, id: SpanId) -> &SpanRecord {
+        let pos = self.span_pos[(id.0 - 1) as usize];
+        match &self.events[pos] {
+            Event::Span(s) => s,
+            Event::Instant(_) => unreachable!("span_pos points at spans only"),
+        }
+    }
+
+    fn trace_of(&self, id: SpanId) -> Option<TraceId> {
+        self.span_ref(id).trace
+    }
+
+    /// Appends a span record, wiring the id/position tables. The caller
+    /// decides whether it goes on the open stack.
+    #[allow(clippy::too_many_arguments)]
+    fn push_span(
+        &mut self,
+        parent: Option<SpanId>,
+        name: String,
+        category: &'static str,
+        phase: Option<Phase>,
+        trace: Option<TraceId>,
+        start: Nanos,
+        end: Option<Nanos>,
+    ) -> SpanId {
+        let id = SpanId(self.span_pos.len() as u64 + 1);
+        let pos = self.events.len();
+        self.events.push(Event::Span(SpanRecord {
+            id,
+            parent,
+            name,
+            category,
+            phase,
+            start,
+            end,
+            attrs: Vec::new(),
+            trace,
+            flows_out: Vec::new(),
+            flows_in: Vec::new(),
+        }));
+        self.span_pos.push(pos);
+        id
     }
 }
 
@@ -234,22 +331,149 @@ impl Recorder {
 
     fn start_impl(&self, name: String, category: &'static str, phase: Option<Phase>) -> SpanId {
         let mut inner = self.inner.borrow_mut();
-        let id = SpanId(inner.span_pos.len() as u64 + 1);
         let parent = inner.open.last().copied();
-        let pos = inner.events.len();
-        inner.events.push(Event::Span(SpanRecord {
-            id,
-            parent,
-            name,
-            category,
-            phase,
-            start: self.clock.now(),
-            end: None,
-            attrs: Vec::new(),
-        }));
-        inner.span_pos.push(pos);
+        let trace = parent.and_then(|p| inner.trace_of(p));
+        let id = inner.push_span(parent, name, category, phase, trace, self.clock.now(), None);
         inner.open.push(id);
         id
+    }
+
+    /// Mints the next trace id. Sequential per recorder, so seeded runs
+    /// mint identical ids for identical request schedules.
+    pub fn next_trace_id(&self) -> TraceId {
+        let mut inner = self.inner.borrow_mut();
+        inner.minted_traces += 1;
+        TraceId(inner.minted_traces)
+    }
+
+    /// Opens a *detached* request-root span: parent-less, tagged with
+    /// `trace`, and **not** pushed on the open stack — so roots of many
+    /// interleaved requests can stay open across discrete events without
+    /// mis-parenting each other's spans. Close it with
+    /// [`Recorder::end_detached`]; attach children explicitly with
+    /// [`Recorder::start_under`] / [`Recorder::record_closed_under`].
+    pub fn start_detached(
+        &self,
+        name: impl Into<String>,
+        category: &'static str,
+        trace: TraceId,
+    ) -> SpanId {
+        let mut inner = self.inner.borrow_mut();
+        inner.push_span(
+            None,
+            name.into(),
+            category,
+            None,
+            Some(trace),
+            self.clock.now(),
+            None,
+        )
+    }
+
+    /// Closes a detached span at the current instant (first close wins;
+    /// spans on the open stack should use [`Recorder::end`] instead).
+    pub fn end_detached(&self, id: SpanId) {
+        let now = self.clock.now();
+        let mut inner = self.inner.borrow_mut();
+        let span = inner.span_mut(id);
+        if span.end.is_none() {
+            span.end = Some(now);
+        }
+    }
+
+    /// Opens a span under an *explicit* parent (inheriting the parent's
+    /// trace id) and pushes it on the open stack, so spans opened by
+    /// downstream platform code nest underneath it and join the trace.
+    pub fn start_under(
+        &self,
+        parent: SpanId,
+        name: impl Into<String>,
+        category: &'static str,
+    ) -> SpanId {
+        let mut inner = self.inner.borrow_mut();
+        let trace = inner.trace_of(parent);
+        let id = inner.push_span(
+            Some(parent),
+            name.into(),
+            category,
+            None,
+            trace,
+            self.clock.now(),
+            None,
+        );
+        inner.open.push(id);
+        id
+    }
+
+    /// Records an already-measured closed interval under an explicit
+    /// parent (inheriting its trace) — e.g. the queueing interval known
+    /// only once service starts.
+    pub fn record_closed_under(
+        &self,
+        parent: SpanId,
+        name: impl Into<String>,
+        category: &'static str,
+        phase: Phase,
+        start: Nanos,
+        end: Nanos,
+    ) -> SpanId {
+        let mut inner = self.inner.borrow_mut();
+        let trace = inner.trace_of(parent);
+        inner.push_span(
+            Some(parent),
+            name.into(),
+            category,
+            Some(phase),
+            trace,
+            start,
+            Some(end.max(start)),
+        )
+    }
+
+    /// Records a zero-width event under an explicit parent (inheriting
+    /// its trace), regardless of what is on the open stack.
+    pub fn instant_under(
+        &self,
+        parent: SpanId,
+        name: impl Into<String>,
+        category: &'static str,
+        attrs: Vec<(&'static str, AttrValue)>,
+    ) {
+        let at = self.clock.now();
+        let mut inner = self.inner.borrow_mut();
+        let trace = inner.trace_of(parent);
+        inner.events.push(Event::Instant(InstantRecord {
+            parent: Some(parent),
+            name: name.into(),
+            category,
+            at,
+            attrs,
+            trace,
+        }));
+    }
+
+    /// The trace a recorded span belongs to, if any.
+    pub fn trace_of(&self, id: SpanId) -> Option<TraceId> {
+        self.inner.borrow().trace_of(id)
+    }
+
+    /// Propagatable context naming `id` as the causal parent; `None` if
+    /// the span carries no trace.
+    pub fn context_of(&self, id: SpanId) -> Option<SpanContext> {
+        self.inner
+            .borrow()
+            .trace_of(id)
+            .map(|trace| SpanContext { trace, parent: id })
+    }
+
+    /// Marks span `id` as the *source* of Perfetto flow `flow`.
+    pub fn flow_out(&self, id: SpanId, flow: u64) {
+        self.inner.borrow_mut().span_mut(id).flows_out.push(flow);
+    }
+
+    /// Marks span `id` as a *sink* of Perfetto flow `flow`.
+    pub fn flow_in(&self, id: SpanId, flow: u64) {
+        self.inner.borrow_mut().span_mut(id).flows_in.push(flow);
     }
 
     /// Opens a span as a child of the innermost open span.
@@ -332,12 +556,14 @@ impl Recorder {
         let at = self.clock.now();
         let mut inner = self.inner.borrow_mut();
         let parent = inner.open.last().copied();
+        let trace = parent.and_then(|p| inner.trace_of(p));
         inner.events.push(Event::Instant(InstantRecord {
             parent,
             name: name.into(),
             category,
             at,
             attrs,
+            trace,
         }));
     }
 
@@ -351,32 +577,28 @@ impl Recorder {
     /// others become closed child spans keeping their phase.
     pub fn ingest_trace(&self, trace: &Trace, category: &'static str) {
         for span in trace.spans() {
+            let mut inner = self.inner.borrow_mut();
+            let parent = inner.open.last().copied();
+            let trace_id = parent.and_then(|p| inner.trace_of(p));
             if span.start == span.end {
-                let mut inner = self.inner.borrow_mut();
-                let parent = inner.open.last().copied();
                 inner.events.push(Event::Instant(InstantRecord {
                     parent,
                     name: span.label.clone(),
                     category,
                     at: span.start,
                     attrs: Vec::new(),
+                    trace: trace_id,
                 }));
             } else {
-                let mut inner = self.inner.borrow_mut();
-                let id = SpanId(inner.span_pos.len() as u64 + 1);
-                let parent = inner.open.last().copied();
-                let pos = inner.events.len();
-                inner.events.push(Event::Span(SpanRecord {
-                    id,
+                inner.push_span(
                     parent,
-                    name: span.label.clone(),
+                    span.label.clone(),
                     category,
-                    phase: Some(span.phase),
-                    start: span.start,
-                    end: Some(span.end),
-                    attrs: Vec::new(),
-                }));
-                inner.span_pos.push(pos);
+                    Some(span.phase),
+                    trace_id,
+                    span.start,
+                    Some(span.end),
+                );
             }
         }
     }
@@ -393,21 +615,17 @@ impl Recorder {
         end: Nanos,
     ) -> SpanId {
         let mut inner = self.inner.borrow_mut();
-        let id = SpanId(inner.span_pos.len() as u64 + 1);
         let parent = inner.open.last().copied();
-        let pos = inner.events.len();
-        inner.events.push(Event::Span(SpanRecord {
-            id,
+        let trace = parent.and_then(|p| inner.trace_of(p));
+        inner.push_span(
             parent,
-            name: name.into(),
+            name.into(),
             category,
-            phase: Some(phase),
+            Some(phase),
+            trace,
             start,
-            end: Some(end.max(start)),
-            attrs: Vec::new(),
-        }));
-        inner.span_pos.push(pos);
-        id
+            Some(end.max(start)),
+        )
     }
 
     /// Closes every open span at the current instant (call before
@@ -631,6 +849,127 @@ mod tests {
         assert_eq!(b.exec, ms(7));
         assert_eq!(b.other, ms(3));
         assert_eq!(b.startup, Nanos::ZERO, "root self time is fully covered");
+    }
+
+    #[test]
+    fn trace_ids_mint_sequentially() {
+        let rec = Recorder::new(Clock::new());
+        assert_eq!(rec.next_trace_id().raw(), 1);
+        assert_eq!(rec.next_trace_id().raw(), 2);
+        assert_eq!(TraceId::from_raw(3), rec.next_trace_id());
+    }
+
+    #[test]
+    fn detached_roots_do_not_capture_interleaved_spans() {
+        let clock = Clock::new();
+        let rec = Recorder::new(clock.clone());
+        let t1 = rec.next_trace_id();
+        let t2 = rec.next_trace_id();
+        let root1 = rec.start_detached("request", cat::INVOKE, t1);
+        let root2 = rec.start_detached("request", cat::INVOKE, t2);
+        // A span opened while both roots are "open" must NOT nest under
+        // either (they are off the stack).
+        let stray = rec.start("background", cat::STORE);
+        rec.end(stray);
+        clock.advance(ms(5));
+        rec.end_detached(root1);
+        clock.advance(ms(2));
+        rec.end_detached(root2);
+        rec.end_detached(root1); // First close wins.
+        let events = rec.events();
+        let Event::Span(r1) = &events[0] else {
+            panic!()
+        };
+        let Event::Span(r2) = &events[1] else {
+            panic!()
+        };
+        let Event::Span(s) = &events[2] else { panic!() };
+        assert_eq!(r1.trace, Some(t1));
+        assert_eq!(r2.trace, Some(t2));
+        assert_eq!(r1.end, Some(ms(5)));
+        assert_eq!(r2.end, Some(ms(7)));
+        assert_eq!(s.parent, None, "detached roots never adopt strays");
+        assert_eq!(s.trace, None);
+    }
+
+    #[test]
+    fn start_under_inherits_trace_and_opens_the_stack() {
+        let clock = Clock::new();
+        let rec = Recorder::new(clock.clone());
+        let t = rec.next_trace_id();
+        let root = rec.start_detached("request", cat::INVOKE, t);
+        let service = rec.start_under(root, "service", cat::INVOKE);
+        // Downstream platform code uses the plain stack API and still
+        // joins the trace.
+        let inner = rec.start("snapshot_restore", cat::RESTORE);
+        rec.instant("cache_hit", cat::CACHE);
+        clock.advance(ms(4));
+        rec.end(inner);
+        rec.end(service);
+        rec.end_detached(root);
+        let events = rec.events();
+        let Event::Span(svc) = &events[1] else {
+            panic!()
+        };
+        let Event::Span(restore) = &events[2] else {
+            panic!()
+        };
+        let Event::Instant(hit) = &events[3] else {
+            panic!()
+        };
+        assert_eq!(svc.parent, Some(root));
+        assert_eq!(svc.trace, Some(t));
+        assert_eq!(restore.parent, Some(service));
+        assert_eq!(restore.trace, Some(t), "stack children inherit the trace");
+        assert_eq!(hit.trace, Some(t));
+        assert_eq!(rec.trace_of(restore.id), Some(t));
+        let ctx = rec.context_of(service).unwrap();
+        assert_eq!(ctx.trace, t);
+        assert_eq!(ctx.parent, service);
+    }
+
+    #[test]
+    fn record_closed_under_and_instant_under_join_the_trace() {
+        let clock = Clock::new();
+        let rec = Recorder::new(clock.clone());
+        let t = rec.next_trace_id();
+        clock.advance(ms(9));
+        let root = rec.start_detached("request", cat::INVOKE, t);
+        let q = rec.record_closed_under(root, "queued", cat::QUEUE, Phase::Other, ms(2), ms(9));
+        rec.instant_under(root, "rerouted", cat::ROUTE, vec![("host", 3u64.into())]);
+        rec.end_detached(root);
+        let events = rec.events();
+        let Event::Span(queued) = &events[1] else {
+            panic!()
+        };
+        let Event::Instant(i) = &events[2] else {
+            panic!()
+        };
+        assert_eq!(queued.id, q);
+        assert_eq!(queued.parent, Some(root));
+        assert_eq!(queued.trace, Some(t));
+        assert_eq!(queued.start, ms(2));
+        assert_eq!(queued.end, Some(ms(9)));
+        assert_eq!(i.parent, Some(root));
+        assert_eq!(i.trace, Some(t));
+    }
+
+    #[test]
+    fn flow_edges_attach_to_spans() {
+        let rec = Recorder::new(Clock::new());
+        let t = rec.next_trace_id();
+        let root = rec.start_detached("request", cat::INVOKE, t);
+        let service = rec.start_under(root, "service", cat::INVOKE);
+        rec.flow_out(root, t.raw());
+        rec.flow_in(service, t.raw());
+        rec.end(service);
+        rec.end_detached(root);
+        let events = rec.events();
+        let Event::Span(r) = &events[0] else { panic!() };
+        let Event::Span(s) = &events[1] else { panic!() };
+        assert_eq!(r.flows_out, vec![t.raw()]);
+        assert!(r.flows_in.is_empty());
+        assert_eq!(s.flows_in, vec![t.raw()]);
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Sketch-vs-exact equivalence on a million samples.
+//!
+//! The bench sweeps replaced collect-and-sort percentiles with
+//! `LogHistogram`. The contract that makes the swap safe: for any
+//! quantile, the sketch answers with the upper bound of the bucket the
+//! exact nearest-rank answer lives in — never below the exact value and
+//! never more than one sub-bucket (2⁻⁵ relative error) above it — and
+//! sharded sketches merge to exactly the single-stream sketch.
+
+use fireworks_obs::LogHistogram;
+
+const SAMPLES: usize = 1 << 20;
+const QUANTILES: [f64; 5] = [50.0, 90.0, 99.0, 99.9, 100.0];
+
+/// Deterministic 64-bit LCG whose output is right-shifted by a varying
+/// amount so the stream spans many orders of magnitude — every bucket
+/// geometry regime (dense sub-unit, full mantissa, wide-shift tail)
+/// gets populated.
+fn samples() -> Vec<u64> {
+    let mut x = 0x2545f4914f6cdd1du64;
+    (0..SAMPLES)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x >> (x % 50)
+        })
+        .collect()
+}
+
+fn exact_nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[test]
+fn sketch_quantiles_match_exact_within_one_bucket_on_a_million_samples() {
+    let data = samples();
+    let mut sketch = LogHistogram::new();
+    for &v in &data {
+        sketch.observe(v);
+    }
+    let mut sorted = data;
+    sorted.sort_unstable();
+    assert_eq!(sketch.count(), SAMPLES as u64);
+    assert_eq!(sketch.min(), Some(sorted[0]));
+    assert_eq!(sketch.max(), Some(*sorted.last().unwrap()));
+    for q in QUANTILES {
+        let exact = exact_nearest_rank(&sorted, q);
+        let s = sketch.quantile(q);
+        let one_bucket_above = exact.saturating_add(exact / 32).saturating_add(1);
+        assert!(
+            exact <= s && s <= one_bucket_above,
+            "q={q}: sketch {s} outside [{exact}, {one_bucket_above}]"
+        );
+    }
+}
+
+#[test]
+fn sharded_sketches_merge_to_the_single_stream_sketch() {
+    let data = samples();
+    let mut whole = LogHistogram::new();
+    for &v in &data {
+        whole.observe(v);
+    }
+    let mut merged = LogHistogram::new();
+    for shard in data.chunks(SAMPLES / 8) {
+        let mut s = LogHistogram::new();
+        for &v in shard {
+            s.observe(v);
+        }
+        merged.merge(&s);
+    }
+    assert_eq!(merged, whole, "merge must be exact, not approximate");
+    for q in QUANTILES {
+        assert_eq!(merged.quantile(q), whole.quantile(q));
+    }
+}
