@@ -1,6 +1,5 @@
 //! The Firecracker baseline: microVM sandbox manager.
 
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use fireworks_core::api::{
@@ -10,6 +9,7 @@ use fireworks_core::api::{
 use fireworks_core::config::PlatformConfig;
 use fireworks_core::env::PlatformEnv;
 use fireworks_core::host::{GuestHost, NetMode};
+use fireworks_core::{fid, FunctionId, IdMap};
 use fireworks_lang::Value;
 use fireworks_microvm::{MicroVm, MicroVmConfig, VmFullSnapshot, VmManager};
 use fireworks_obs::cat;
@@ -63,8 +63,8 @@ pub struct FirecrackerPlatform {
     env: PlatformEnv,
     mgr: VmManager,
     policy: SnapshotPolicy,
-    registry: HashMap<String, Entry>,
-    warm: HashMap<String, Vec<(MicroVm, fireworks_sim::Nanos)>>,
+    registry: IdMap<Entry>,
+    warm: IdMap<Vec<(MicroVm, fireworks_sim::Nanos)>>,
     keep_alive: Option<fireworks_sim::Nanos>,
 }
 
@@ -85,8 +85,8 @@ impl FirecrackerPlatform {
             env,
             mgr,
             policy,
-            registry: HashMap::new(),
-            warm: HashMap::new(),
+            registry: IdMap::new(),
+            warm: IdMap::new(),
             keep_alive: config.keep_alive,
         }
     }
@@ -105,7 +105,6 @@ impl FirecrackerPlatform {
         for pool in self.warm.values_mut() {
             pool.retain(|(_, last_used)| now - *last_used <= timeout);
         }
-        self.warm.retain(|_, pool| !pool.is_empty());
     }
 
     /// The active snapshot policy.
@@ -127,12 +126,12 @@ impl FirecrackerPlatform {
     }
 
     /// Builds a fresh VM with the function loaded (cold-boot path).
-    fn cold_boot(&mut self, entry_name: &str) -> Result<MicroVm, PlatformError> {
+    fn cold_boot(&mut self, function: FunctionId) -> Result<MicroVm, PlatformError> {
         let (source, profile) = {
             let e = self
                 .registry
-                .get(entry_name)
-                .ok_or_else(|| PlatformError::UnknownFunction(entry_name.to_string()))?;
+                .get(function)
+                .ok_or_else(|| PlatformError::UnknownFunction(function.name().to_string()))?;
             (e.spec.source.clone(), e.profile.clone())
         };
         let mut vm = self.mgr.create(MicroVmConfig::default());
@@ -143,7 +142,7 @@ impl FirecrackerPlatform {
 
     fn execute(
         &mut self,
-        name: &str,
+        function: FunctionId,
         vm: &mut MicroVm,
         args: &Value,
         trace: &mut Trace,
@@ -151,7 +150,7 @@ impl FirecrackerPlatform {
     ) -> Result<(Value, fireworks_lang::ExecStats, GuestHost), PlatformError> {
         let clock = self.env.clock.clone();
         let (default_params, timeout) = {
-            let e = self.registry.get(name).expect("checked by caller");
+            let e = self.registry.get(function).expect("checked by caller");
             (e.spec.default_params.deep_clone(), e.spec.timeout)
         };
         let mut host = self.guest_host(&default_params);
@@ -172,7 +171,7 @@ impl FirecrackerPlatform {
                 Ok(r) => r,
                 Err(fireworks_lang::LangError::Timeout { ops }) => {
                     return Err(PlatformError::Timeout {
-                        function: name.to_string(),
+                        function: function.name().to_string(),
                         ops,
                     })
                 }
@@ -215,7 +214,7 @@ impl FirecrackerPlatform {
 
     fn invoke_on_vm(
         &mut self,
-        name: &str,
+        function: FunctionId,
         args: &Value,
         mode: StartMode,
         trace_ctx: Option<fireworks_obs::SpanContext>,
@@ -231,14 +230,15 @@ impl FirecrackerPlatform {
             Some(ctx) => rec.start_under(ctx.parent, "invoke", cat::INVOKE),
             None => rec.start("invoke", cat::INVOKE),
         };
-        rec.attr(inv_span, "function", name);
+        let fname = function.name();
+        rec.attr(inv_span, "function", &*fname);
         rec.attr(inv_span, "platform", self.name());
         obs.metrics()
-            .inc("baseline.invoke.attempts", &[("function", name)]);
-        let result = self.invoke_on_vm_inner(name, args, mode, &rec);
+            .inc("baseline.invoke.attempts", &[("function", &fname)]);
+        let result = self.invoke_on_vm_inner(function, args, mode, &rec);
         if result.is_err() {
             obs.metrics()
-                .inc("baseline.invoke.failures", &[("function", name)]);
+                .inc("baseline.invoke.failures", &[("function", &fname)]);
         }
         rec.end(inv_span);
         result
@@ -246,13 +246,13 @@ impl FirecrackerPlatform {
 
     fn invoke_on_vm_inner(
         &mut self,
-        name: &str,
+        function: FunctionId,
         args: &Value,
         mode: StartMode,
         rec: &fireworks_obs::Recorder,
     ) -> Result<(Invocation, MicroVm), PlatformError> {
-        if !self.registry.contains_key(name) {
-            return Err(PlatformError::UnknownFunction(name.to_string()));
+        if !self.registry.contains(function) {
+            return Err(PlatformError::UnknownFunction(function.name().to_string()));
         }
         self.purge_expired();
         let clock = self.env.clock.clone();
@@ -260,11 +260,15 @@ impl FirecrackerPlatform {
 
         let (mut vm, start) = match mode {
             StartMode::Warm | StartMode::Auto
-                if self.warm.get(name).map(|v| !v.is_empty()).unwrap_or(false) =>
+                if self
+                    .warm
+                    .get(function)
+                    .map(|v| !v.is_empty())
+                    .unwrap_or(false) =>
             {
                 let (mut vm, _) = self
                     .warm
-                    .get_mut(name)
+                    .get_mut(function)
                     .and_then(Vec::pop)
                     .expect("non-empty checked");
                 trace.scope(&clock, "vm_resume", Phase::Startup, || {
@@ -272,9 +276,11 @@ impl FirecrackerPlatform {
                 });
                 (vm, StartKind::WarmPool)
             }
-            StartMode::Warm => return Err(PlatformError::NoWarmSandbox(name.to_string())),
+            StartMode::Warm => {
+                return Err(PlatformError::NoWarmSandbox(function.name().to_string()))
+            }
             _ => {
-                let snapshot = self.registry.get(name).and_then(|e| e.snapshot.clone());
+                let snapshot = self.registry.get(function).and_then(|e| e.snapshot.clone());
                 match snapshot {
                     Some(snap) => {
                         let vm = trace.scope(&clock, "snapshot_restore", Phase::Startup, || {
@@ -292,15 +298,16 @@ impl FirecrackerPlatform {
                         (vm, StartKind::SnapshotRestore)
                     }
                     None => {
-                        let vm = trace
-                            .scope(&clock, "vm_boot", Phase::Startup, || self.cold_boot(name))?;
+                        let vm = trace.scope(&clock, "vm_boot", Phase::Startup, || {
+                            self.cold_boot(function)
+                        })?;
                         (vm, StartKind::ColdBoot)
                     }
                 }
             }
         };
 
-        let (value, stats, host) = self.execute(name, &mut vm, args, &mut trace, rec)?;
+        let (value, stats, host) = self.execute(function, &mut vm, args, &mut trace, rec)?;
         let invocation = Invocation {
             value,
             breakdown: trace.breakdown(),
@@ -320,29 +327,26 @@ impl FirecrackerPlatform {
     /// for RAM.
     fn begin_invoke_internal(
         &mut self,
-        name: &str,
+        function: FunctionId,
         args: &Value,
         mode: StartMode,
         trace_ctx: Option<fireworks_obs::SpanContext>,
     ) -> Result<(Invocation, InFlightVm), PlatformError> {
         if mode == StartMode::Cold {
-            self.evict(name);
+            self.evict(function);
         }
-        let (invocation, vm) = self.invoke_on_vm(name, args, mode, trace_ctx)?;
-        let inflight = InFlightVm {
-            vm,
-            function: name.to_string(),
-        };
+        let (invocation, vm) = self.invoke_on_vm(function, args, mode, trace_ctx)?;
+        let inflight = InFlightVm { vm, function };
         Ok((invocation, inflight))
     }
 
     /// Invokes and keeps the VM resident (for Fig. 10's density sweep).
     pub fn invoke_resident(
         &mut self,
-        name: &str,
+        function: FunctionId,
         args: &Value,
     ) -> Result<(Invocation, ResidentVm), PlatformError> {
-        let (invocation, vm) = self.invoke_on_vm(name, args, StartMode::Cold, None)?;
+        let (invocation, vm) = self.invoke_on_vm(function, args, StartMode::Cold, None)?;
         Ok((invocation, ResidentVm { vm }))
     }
 
@@ -357,7 +361,7 @@ impl FirecrackerPlatform {
 #[derive(Debug)]
 pub struct InFlightVm {
     vm: MicroVm,
-    function: String,
+    function: FunctionId,
 }
 
 impl InFlightVm {
@@ -385,7 +389,7 @@ impl ConcurrentPlatform for FirecrackerPlatform {
         &mut self,
         req: &InvokeRequest,
     ) -> Result<(Invocation, InFlightVm), PlatformError> {
-        self.begin_invoke_internal(&req.function, &req.args, req.mode, req.trace)
+        self.begin_invoke_internal(req.function, &req.args, req.mode, req.trace)
     }
 
     fn finish_invoke(&mut self, inflight: InFlightVm) {
@@ -393,13 +397,16 @@ impl ConcurrentPlatform for FirecrackerPlatform {
         // paper's warm configuration, stamped with its last-use time.
         let InFlightVm { mut vm, function } = inflight;
         self.mgr.pause(&mut vm);
-        self.warm
-            .entry(function)
-            .or_default()
-            .push((vm, self.env.clock.now()));
+        let stamped = (vm, self.env.clock.now());
+        match self.warm.get_mut(function) {
+            Some(pool) => pool.push(stamped),
+            None => {
+                self.warm.insert(function, vec![stamped]);
+            }
+        }
     }
 
-    fn residency(&self, function: &str) -> SnapshotResidency {
+    fn residency(&self, function: FunctionId) -> SnapshotResidency {
         // Ready-to-restore artifacts: an OS snapshot captured at install,
         // or a paused warm VM. Firecracker's artifacts are monolithic, so
         // residency is all-or-nothing — never `Partial`.
@@ -437,9 +444,10 @@ impl Platform for FirecrackerPlatform {
     fn install(&mut self, spec: &FunctionSpec) -> Result<InstallReport, PlatformError> {
         let clock = self.env.clock.clone();
         let t0 = clock.now();
+        let function = fid(&spec.name);
         let profile = RuntimeProfile::for_kind(spec.runtime);
         self.registry.insert(
-            spec.name.clone(),
+            function,
             Entry {
                 spec: spec.clone(),
                 profile,
@@ -449,12 +457,12 @@ impl Platform for FirecrackerPlatform {
         let (pages, bytes) = if self.policy == SnapshotPolicy::OsSnapshot {
             // Snapshot after boot + runtime + load, before execution: no
             // JIT code, no warm profile.
-            let mut vm = self.cold_boot(&spec.name)?;
+            let mut vm = self.cold_boot(function)?;
             let snap = Rc::new(self.mgr.snapshot(&mut vm));
             assert!(!snap.is_post_jit(), "OS snapshot must predate JIT");
             let info = (snap.pages(), snap.file_bytes());
             self.registry
-                .get_mut(&spec.name)
+                .get_mut(function)
                 .expect("inserted above")
                 .snapshot = Some(snap);
             info
@@ -473,13 +481,13 @@ impl Platform for FirecrackerPlatform {
         // A blocking invoke is the degenerate one-event schedule: service
         // and completion at the same instant.
         let (invocation, inflight) =
-            self.begin_invoke_internal(&req.function, &req.args, req.mode, req.trace)?;
+            self.begin_invoke_internal(req.function, &req.args, req.mode, req.trace)?;
         self.finish_invoke(inflight);
         Ok(invocation)
     }
 
-    fn evict(&mut self, name: &str) {
-        self.warm.remove(name);
+    fn evict(&mut self, function: FunctionId) {
+        self.warm.remove(function);
     }
 }
 
@@ -511,7 +519,7 @@ mod tests {
     }
 
     fn req(n: i64, mode: StartMode) -> InvokeRequest {
-        InvokeRequest::new("f", args(n)).with_mode(mode)
+        InvokeRequest::new(fid("f"), args(n)).with_mode(mode)
     }
 
     #[test]
@@ -552,7 +560,7 @@ mod tests {
         );
         p.install(&spec()).expect("installs");
         p.invoke(&req(10, StartMode::Cold)).expect("cold");
-        assert!(p.residency("f").is_full(), "warm VM held");
+        assert!(p.residency(fid("f")).is_full(), "warm VM held");
         env.clock.advance(Nanos::from_secs(61));
         let inv = p.invoke(&req(10, StartMode::Auto)).expect("again");
         assert_eq!(inv.start, StartKind::ColdBoot, "warm VM expired");
@@ -574,7 +582,7 @@ mod tests {
             FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::OsSnapshot);
         p.install(&spec()).expect("installs");
         assert!(
-            p.residency("f").is_full(),
+            p.residency(fid("f")).is_full(),
             "OS snapshot captured at install"
         );
         let inv = p.invoke(&req(10, StartMode::Cold)).expect("invokes");
@@ -617,7 +625,7 @@ mod tests {
         p.install(&spec()).expect("installs");
         assert!(!p.supports_chains());
         assert!(p
-            .invoke_chain(&["f"], &InvokeRequest::new("f", args(1)))
+            .invoke_chain(&[fid("f")], &InvokeRequest::new(fid("f"), args(1)))
             .is_err());
     }
 
@@ -625,8 +633,8 @@ mod tests {
     fn resident_vms_have_private_memory() {
         let mut p = FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::None);
         p.install(&spec()).expect("installs");
-        let (_, a) = p.invoke_resident("f", &args(10)).expect("a");
-        let (_, b) = p.invoke_resident("f", &args(10)).expect("b");
+        let (_, a) = p.invoke_resident(fid("f"), &args(10)).expect("a");
+        let (_, b) = p.invoke_resident(fid("f"), &args(10)).expect("b");
         // Cold-booted VMs share nothing: PSS equals RSS.
         assert_eq!(a.pss_bytes(), a.rss_bytes());
         assert_eq!(b.pss_bytes(), b.rss_bytes());

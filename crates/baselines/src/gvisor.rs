@@ -1,7 +1,5 @@
 //! The gVisor baseline: secure-container sandbox manager.
 
-use std::collections::HashMap;
-
 use fireworks_core::api::{
     ConcurrentPlatform, FunctionSpec, InFlightToken, InstallReport, Invocation, InvokeRequest,
     Platform, PlatformError, SnapshotResidency, StartKind, StartMode,
@@ -9,6 +7,7 @@ use fireworks_core::api::{
 use fireworks_core::config::PlatformConfig;
 use fireworks_core::env::PlatformEnv;
 use fireworks_core::host::{GuestHost, NetMode};
+use fireworks_core::{fid, FunctionId, IdMap};
 use fireworks_lang::Value;
 use fireworks_runtime::RuntimeProfile;
 use fireworks_sandbox::container::ContainerCheckpoint;
@@ -27,8 +26,8 @@ struct Entry {
 pub struct GvisorPlatform {
     env: PlatformEnv,
     containers: ContainerManager,
-    registry: HashMap<String, Entry>,
-    warm: HashMap<String, Vec<(Container, fireworks_sim::Nanos)>>,
+    registry: IdMap<Entry>,
+    warm: IdMap<Vec<(Container, fireworks_sim::Nanos)>>,
     use_checkpoints: bool,
     keep_alive: Option<fireworks_sim::Nanos>,
 }
@@ -55,8 +54,8 @@ impl GvisorPlatform {
         GvisorPlatform {
             env,
             containers,
-            registry: HashMap::new(),
-            warm: HashMap::new(),
+            registry: IdMap::new(),
+            warm: IdMap::new(),
             use_checkpoints,
             keep_alive: config.keep_alive,
         }
@@ -76,26 +75,25 @@ impl GvisorPlatform {
         for pool in self.warm.values_mut() {
             pool.retain(|(_, last_used)| now - *last_used <= timeout);
         }
-        self.warm.retain(|_, pool| !pool.is_empty());
     }
 
     /// The service activity of one invocation; the sandbox stays checked
     /// out until [`ConcurrentPlatform::finish_invoke`].
     fn begin_invoke_internal(
         &mut self,
-        name: &str,
+        function: FunctionId,
         args: &Value,
         mode: StartMode,
     ) -> Result<(Invocation, InFlightSandbox), PlatformError> {
         if mode == StartMode::Cold {
-            self.evict(name);
+            self.evict(function);
         }
         self.purge_expired();
         let (source, profile, default_params, timeout) = {
             let e = self
                 .registry
-                .get(name)
-                .ok_or_else(|| PlatformError::UnknownFunction(name.to_string()))?;
+                .get(function)
+                .ok_or_else(|| PlatformError::UnknownFunction(function.name().to_string()))?;
             (
                 e.spec.source.clone(),
                 e.profile.clone(),
@@ -105,13 +103,17 @@ impl GvisorPlatform {
         };
         let clock = self.env.clock.clone();
         let mut trace = Trace::new();
-        let have_warm = self.warm.get(name).map(|v| !v.is_empty()).unwrap_or(false);
+        let have_warm = self
+            .warm
+            .get(function)
+            .map(|v| !v.is_empty())
+            .unwrap_or(false);
 
         let (mut container, start) = match mode {
             StartMode::Warm | StartMode::Auto if have_warm => {
                 let (mut c, _) = self
                     .warm
-                    .get_mut(name)
+                    .get_mut(function)
                     .and_then(Vec::pop)
                     .expect("non-empty checked");
                 trace.scope(&clock, "warm_attach", Phase::Startup, || {
@@ -119,9 +121,14 @@ impl GvisorPlatform {
                 });
                 (c, StartKind::WarmPool)
             }
-            StartMode::Warm => return Err(PlatformError::NoWarmSandbox(name.to_string())),
+            StartMode::Warm => {
+                return Err(PlatformError::NoWarmSandbox(function.name().to_string()))
+            }
             _ => {
-                let checkpoint = self.registry.get(name).and_then(|e| e.checkpoint.as_ref());
+                let checkpoint = self
+                    .registry
+                    .get(function)
+                    .and_then(|e| e.checkpoint.as_ref());
                 match checkpoint {
                     Some(ckpt) => {
                         let c = trace.scope(&clock, "checkpoint_restore", Phase::Startup, || {
@@ -163,7 +170,7 @@ impl GvisorPlatform {
                 Ok(r) => r,
                 Err(fireworks_lang::LangError::Timeout { ops }) => {
                     return Err(PlatformError::Timeout {
-                        function: name.to_string(),
+                        function: function.name().to_string(),
                         ops,
                     })
                 }
@@ -202,7 +209,7 @@ impl GvisorPlatform {
         };
         let inflight = InFlightSandbox {
             container,
-            function: name.to_string(),
+            function,
         };
         Ok((invocation, inflight))
     }
@@ -213,7 +220,7 @@ impl GvisorPlatform {
 #[derive(Debug)]
 pub struct InFlightSandbox {
     container: Container,
-    function: String,
+    function: FunctionId,
 }
 
 impl InFlightToken for InFlightSandbox {
@@ -230,7 +237,7 @@ impl ConcurrentPlatform for GvisorPlatform {
         &mut self,
         req: &InvokeRequest,
     ) -> Result<(Invocation, InFlightSandbox), PlatformError> {
-        self.begin_invoke_internal(&req.function, &req.args, req.mode)
+        self.begin_invoke_internal(req.function, &req.args, req.mode)
     }
 
     fn finish_invoke(&mut self, inflight: InFlightSandbox) {
@@ -239,13 +246,16 @@ impl ConcurrentPlatform for GvisorPlatform {
             function,
         } = inflight;
         self.containers.pause(&mut container);
-        self.warm
-            .entry(function)
-            .or_default()
-            .push((container, self.env.clock.now()));
+        let stamped = (container, self.env.clock.now());
+        match self.warm.get_mut(function) {
+            Some(pool) => pool.push(stamped),
+            None => {
+                self.warm.insert(function, vec![stamped]);
+            }
+        }
     }
 
-    fn residency(&self, function: &str) -> SnapshotResidency {
+    fn residency(&self, function: FunctionId) -> SnapshotResidency {
         // Ready-to-restore artifacts: a process checkpoint captured at
         // install, or a paused warm sandbox. All-or-nothing, never
         // `Partial`.
@@ -298,7 +308,7 @@ impl Platform for GvisorPlatform {
             .map(|c| (c.pages(), c.file_bytes()))
             .unwrap_or((0, 0));
         self.registry.insert(
-            spec.name.clone(),
+            fid(&spec.name),
             Entry {
                 spec: spec.clone(),
                 profile,
@@ -317,13 +327,13 @@ impl Platform for GvisorPlatform {
         // A blocking invoke is the degenerate one-event schedule: service
         // and completion at the same instant.
         let (invocation, inflight) =
-            self.begin_invoke_internal(&req.function, &req.args, req.mode)?;
+            self.begin_invoke_internal(req.function, &req.args, req.mode)?;
         self.finish_invoke(inflight);
         Ok(invocation)
     }
 
-    fn evict(&mut self, name: &str) {
-        self.warm.remove(name);
+    fn evict(&mut self, function: FunctionId) {
+        self.warm.remove(function);
     }
 }
 
@@ -358,7 +368,7 @@ mod tests {
     }
 
     fn req(ops: i64, mode: StartMode) -> InvokeRequest {
-        InvokeRequest::new("diskio", args(ops)).with_mode(mode)
+        InvokeRequest::new(fid("diskio"), args(ops)).with_mode(mode)
     }
 
     #[test]
@@ -406,9 +416,9 @@ mod tests {
     fn warm_pool_works() {
         let mut p = GvisorPlatform::new(PlatformEnv::default_env());
         p.install(&spec()).expect("installs");
-        assert!(!p.residency("diskio").is_full());
+        assert!(!p.residency(fid("diskio")).is_full());
         p.invoke(&req(1, StartMode::Cold)).expect("cold");
-        assert!(p.residency("diskio").is_full(), "warm sandbox held");
+        assert!(p.residency(fid("diskio")).is_full(), "warm sandbox held");
         let warm = p.invoke(&req(1, StartMode::Warm)).expect("warm");
         assert_eq!(warm.start, StartKind::WarmPool);
     }
@@ -418,7 +428,10 @@ mod tests {
         let mut p = GvisorPlatform::with_checkpoints(PlatformEnv::default_env(), true);
         let report = p.install(&spec()).expect("installs");
         assert!(report.snapshot_pages > 0, "install captured a checkpoint");
-        assert!(p.residency("diskio").is_full(), "checkpoint counts as held");
+        assert!(
+            p.residency(fid("diskio")).is_full(),
+            "checkpoint counts as held"
+        );
         let inv = p.invoke(&req(1, StartMode::Cold)).expect("invokes");
         assert_eq!(inv.start, fireworks_core::api::StartKind::SnapshotRestore);
 
@@ -440,7 +453,10 @@ mod tests {
         p.install(&spec()).expect("installs");
         assert!(!p.supports_chains());
         assert!(p
-            .invoke_chain(&["diskio"], &InvokeRequest::new("diskio", args(1)))
+            .invoke_chain(
+                &[fid("diskio")],
+                &InvokeRequest::new(fid("diskio"), args(1))
+            )
             .is_err());
     }
 }

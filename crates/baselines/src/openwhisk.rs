@@ -1,7 +1,5 @@
 //! The OpenWhisk baseline: container platform with a controller front end.
 
-use std::collections::HashMap;
-
 use fireworks_core::api::{
     run_chain, ConcurrentPlatform, FunctionSpec, InFlightToken, InstallReport, Invocation,
     InvokeRequest, Platform, PlatformError, SnapshotResidency, StartKind, StartMode,
@@ -9,6 +7,7 @@ use fireworks_core::api::{
 use fireworks_core::config::PlatformConfig;
 use fireworks_core::env::PlatformEnv;
 use fireworks_core::host::{GuestHost, NetMode};
+use fireworks_core::{fid, FunctionId, IdMap};
 use fireworks_lang::Value;
 use fireworks_runtime::RuntimeProfile;
 use fireworks_sandbox::{Container, ContainerKind, ContainerManager, IsolationLevel};
@@ -23,8 +22,8 @@ struct Entry {
 pub struct OpenWhiskPlatform {
     env: PlatformEnv,
     containers: ContainerManager,
-    registry: HashMap<String, Entry>,
-    warm: HashMap<String, Vec<(Container, fireworks_sim::Nanos)>>,
+    registry: IdMap<Entry>,
+    warm: IdMap<Vec<(Container, fireworks_sim::Nanos)>>,
     keep_alive: Option<fireworks_sim::Nanos>,
     cold_starts: u64,
     warm_starts: u64,
@@ -46,8 +45,8 @@ impl OpenWhiskPlatform {
         OpenWhiskPlatform {
             env,
             containers,
-            registry: HashMap::new(),
-            warm: HashMap::new(),
+            registry: IdMap::new(),
+            warm: IdMap::new(),
             keep_alive: config.keep_alive,
             cold_starts: 0,
             warm_starts: 0,
@@ -83,7 +82,6 @@ impl OpenWhiskPlatform {
         for pool in self.warm.values_mut() {
             pool.retain(|(_, last_used)| now - *last_used <= timeout);
         }
-        self.warm.retain(|_, pool| !pool.is_empty());
     }
 
     fn guest_host(&self, c: &Container, default_params: &Value) -> GuestHost {
@@ -103,19 +101,19 @@ impl OpenWhiskPlatform {
     /// checked out until [`ConcurrentPlatform::finish_invoke`].
     fn begin_invoke_internal(
         &mut self,
-        name: &str,
+        function: FunctionId,
         args: &Value,
         mode: StartMode,
     ) -> Result<(Invocation, InFlightContainer), PlatformError> {
         if mode == StartMode::Cold {
-            self.evict(name);
+            self.evict(function);
         }
         self.purge_expired();
         let (source, profile, default_params, timeout) = {
             let e = self
                 .registry
-                .get(name)
-                .ok_or_else(|| PlatformError::UnknownFunction(name.to_string()))?;
+                .get(function)
+                .ok_or_else(|| PlatformError::UnknownFunction(function.name().to_string()))?;
             (
                 e.spec.source.clone(),
                 e.profile.clone(),
@@ -131,7 +129,11 @@ impl OpenWhiskPlatform {
         // cold-start overhead; the auth path is also on warm starts but
         // cheaper because the controller caches the subject).
         let costs = self.env.costs.clone();
-        let have_warm = self.warm.get(name).map(|v| !v.is_empty()).unwrap_or(false);
+        let have_warm = self
+            .warm
+            .get(function)
+            .map(|v| !v.is_empty())
+            .unwrap_or(false);
         trace.scope(&clock, "controller", Phase::Startup, || {
             if have_warm {
                 clock.advance(costs.container.controller_dispatch);
@@ -145,7 +147,7 @@ impl OpenWhiskPlatform {
             StartMode::Warm | StartMode::Auto if have_warm => {
                 let (mut c, _) = self
                     .warm
-                    .get_mut(name)
+                    .get_mut(function)
                     .and_then(Vec::pop)
                     .expect("non-empty checked");
                 trace.scope(&clock, "warm_attach", Phase::Startup, || {
@@ -154,7 +156,9 @@ impl OpenWhiskPlatform {
                 self.warm_starts += 1;
                 (c, StartKind::WarmPool)
             }
-            StartMode::Warm => return Err(PlatformError::NoWarmSandbox(name.to_string())),
+            StartMode::Warm => {
+                return Err(PlatformError::NoWarmSandbox(function.name().to_string()))
+            }
             _ => {
                 let c = trace.scope(&clock, "container_create", Phase::Startup, || {
                     self.containers
@@ -184,7 +188,7 @@ impl OpenWhiskPlatform {
                 Ok(r) => r,
                 Err(fireworks_lang::LangError::Timeout { ops }) => {
                     return Err(PlatformError::Timeout {
-                        function: name.to_string(),
+                        function: function.name().to_string(),
                         ops,
                     })
                 }
@@ -217,7 +221,7 @@ impl OpenWhiskPlatform {
         };
         let inflight = InFlightContainer {
             container,
-            function: name.to_string(),
+            function,
         };
         Ok((invocation, inflight))
     }
@@ -228,7 +232,7 @@ impl OpenWhiskPlatform {
 #[derive(Debug)]
 pub struct InFlightContainer {
     container: Container,
-    function: String,
+    function: FunctionId,
 }
 
 impl InFlightToken for InFlightContainer {
@@ -245,7 +249,7 @@ impl ConcurrentPlatform for OpenWhiskPlatform {
         &mut self,
         req: &InvokeRequest,
     ) -> Result<(Invocation, InFlightContainer), PlatformError> {
-        self.begin_invoke_internal(&req.function, &req.args, req.mode)
+        self.begin_invoke_internal(req.function, &req.args, req.mode)
     }
 
     fn finish_invoke(&mut self, inflight: InFlightContainer) {
@@ -256,13 +260,16 @@ impl ConcurrentPlatform for OpenWhiskPlatform {
             function,
         } = inflight;
         self.containers.pause(&mut container);
-        self.warm
-            .entry(function)
-            .or_default()
-            .push((container, self.env.clock.now()));
+        let stamped = (container, self.env.clock.now());
+        match self.warm.get_mut(function) {
+            Some(pool) => pool.push(stamped),
+            None => {
+                self.warm.insert(function, vec![stamped]);
+            }
+        }
     }
 
-    fn residency(&self, function: &str) -> SnapshotResidency {
+    fn residency(&self, function: FunctionId) -> SnapshotResidency {
         // OpenWhisk has no snapshots; its ready-to-start artifact is a
         // non-empty warm pool. All-or-nothing, never `Partial`.
         if self
@@ -293,7 +300,7 @@ impl Platform for OpenWhiskPlatform {
         let t0 = self.env.clock.now();
         let profile = RuntimeProfile::for_kind(spec.runtime);
         self.registry.insert(
-            spec.name.clone(),
+            fid(&spec.name),
             Entry {
                 spec: spec.clone(),
                 profile,
@@ -311,13 +318,13 @@ impl Platform for OpenWhiskPlatform {
         // A blocking invoke is the degenerate one-event schedule: service
         // and completion at the same instant.
         let (invocation, inflight) =
-            self.begin_invoke_internal(&req.function, &req.args, req.mode)?;
+            self.begin_invoke_internal(req.function, &req.args, req.mode)?;
         self.finish_invoke(inflight);
         Ok(invocation)
     }
 
-    fn evict(&mut self, name: &str) {
-        self.warm.remove(name);
+    fn evict(&mut self, function: FunctionId) {
+        self.warm.remove(function);
     }
 
     fn supports_chains(&self) -> bool {
@@ -326,10 +333,10 @@ impl Platform for OpenWhiskPlatform {
 
     fn invoke_chain(
         &mut self,
-        names: &[&str],
+        stages: &[FunctionId],
         req: &InvokeRequest,
     ) -> Result<Vec<Invocation>, PlatformError> {
-        run_chain(self, names, req)
+        run_chain(self, stages, req)
     }
 }
 
@@ -361,7 +368,7 @@ mod tests {
     }
 
     fn req(n: i64, mode: StartMode) -> InvokeRequest {
-        InvokeRequest::new("f", args(n)).with_mode(mode)
+        InvokeRequest::new(fid("f"), args(n)).with_mode(mode)
     }
 
     #[test]
@@ -402,12 +409,12 @@ mod tests {
         let mut p = OpenWhiskPlatform::new(PlatformEnv::default_env());
         p.install(&spec()).expect("installs");
         assert!(
-            !p.residency("f").is_full(),
+            !p.residency(fid("f")).is_full(),
             "no warm artifact before first run"
         );
         let cold = p.invoke(&req(10, StartMode::Cold)).expect("cold");
         assert!(
-            p.residency("f").is_full(),
+            p.residency(fid("f")).is_full(),
             "warm pool counts as held artifact"
         );
         let warm = p.invoke(&req(10, StartMode::Warm)).expect("warm");
@@ -428,7 +435,10 @@ mod tests {
         .expect("installs");
         assert!(p.supports_chains());
         let results = p
-            .invoke_chain(&["f", "wrap"], &InvokeRequest::new("f", args(10)))
+            .invoke_chain(
+                &[fid("f"), fid("wrap")],
+                &InvokeRequest::new(fid("f"), args(10)),
+            )
             .expect("chain");
         // f(10) = 45, wrap → { n: 90 }.
         let Value::Map(m) = &results[1].value else {
@@ -472,7 +482,7 @@ mod tests {
         let mut p = OpenWhiskPlatform::new(PlatformEnv::default_env());
         p.install(&spec()).expect("installs");
         p.invoke(&req(1, StartMode::Cold)).expect("cold");
-        p.evict("f");
+        p.evict(fid("f"));
         let inv = p.invoke(&req(1, StartMode::Auto)).expect("again");
         assert_eq!(inv.start, StartKind::ColdBoot);
     }

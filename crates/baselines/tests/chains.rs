@@ -8,6 +8,7 @@
 
 use fireworks_baselines::{FirecrackerPlatform, GvisorPlatform, OpenWhiskPlatform, SnapshotPolicy};
 use fireworks_core::api::{run_chain, InvokeRequest, PlatformError};
+use fireworks_core::fid;
 use fireworks_core::{FireworksPlatform, FunctionSpec, Platform, PlatformEnv};
 use fireworks_lang::Value;
 use fireworks_runtime::RuntimeKind;
@@ -30,7 +31,7 @@ fn args(n: i64) -> Value {
 }
 
 fn chain_req(n: i64) -> InvokeRequest {
-    InvokeRequest::new("sum", args(n))
+    InvokeRequest::new(fid("sum"), args(n))
 }
 
 fn install_stages(platform: &mut dyn Platform) {
@@ -58,7 +59,7 @@ fn assert_chain_refused(platform: &mut dyn Platform) {
     assert!(!platform.supports_chains());
     install_stages(platform);
     let err = platform
-        .invoke_chain(&["sum", "wrap"], &chain_req(10))
+        .invoke_chain(&[fid("sum"), fid("wrap")], &chain_req(10))
         .expect_err("chains must be refused");
     match err {
         PlatformError::Other(msg) => {
@@ -91,7 +92,12 @@ fn gvisor_refuses_chains_with_descriptive_error() {
 /// then summed again → sum(0..90) = 4005.
 fn assert_chain_pipes(platform: &mut dyn Platform) {
     install_stages(platform);
-    let results = run_chain(platform, &["sum", "wrap", "sum"], &chain_req(10)).expect("chain runs");
+    let results = run_chain(
+        platform,
+        &[fid("sum"), fid("wrap"), fid("sum")],
+        &chain_req(10),
+    )
+    .expect("chain runs");
     assert_eq!(results.len(), 3);
     assert_eq!(results[0].value, Value::Int(45));
     let Value::Map(m) = &results[1].value else {
@@ -122,12 +128,12 @@ fn invoke_chain_matches_run_chain_on_supporting_platforms() {
     let mut via_invoke = OpenWhiskPlatform::new(PlatformEnv::default_env());
     install_stages(&mut via_invoke);
     let a = via_invoke
-        .invoke_chain(&["sum", "wrap"], &chain_req(10))
+        .invoke_chain(&[fid("sum"), fid("wrap")], &chain_req(10))
         .expect("chain");
 
     let mut via_helper = OpenWhiskPlatform::new(PlatformEnv::default_env());
     install_stages(&mut via_helper);
-    let b = run_chain(&mut via_helper, &["sum", "wrap"], &chain_req(10)).expect("chain");
+    let b = run_chain(&mut via_helper, &[fid("sum"), fid("wrap")], &chain_req(10)).expect("chain");
 
     assert_eq!(a.len(), b.len());
     for (x, y) in a.iter().zip(&b) {
@@ -141,7 +147,11 @@ fn invoke_chain_matches_run_chain_on_supporting_platforms() {
 fn run_chain_stops_at_first_failure() {
     let mut p = FireworksPlatform::new(PlatformEnv::default_env());
     install_stages(&mut p);
-    let err = run_chain(&mut p, &["sum", "missing", "wrap"], &chain_req(10))
-        .expect_err("unknown stage must fail the chain");
+    let err = run_chain(
+        &mut p,
+        &[fid("sum"), fid("missing"), fid("wrap")],
+        &chain_req(10),
+    )
+    .expect_err("unknown stage must fail the chain");
     assert!(matches!(err, PlatformError::UnknownFunction(name) if name == "missing"));
 }

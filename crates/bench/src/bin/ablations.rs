@@ -11,6 +11,7 @@
 use fireworks_baselines::{FirecrackerPlatform, SnapshotPolicy};
 use fireworks_core::api::{FunctionSpec, InvokeRequest, Platform, StartMode};
 use fireworks_core::audit::SecurityPolicy;
+use fireworks_core::fid;
 use fireworks_core::{FireworksPlatform, PlatformConfig, PlatformEnv};
 use fireworks_lang::Value;
 use fireworks_runtime::RuntimeKind;
@@ -52,16 +53,16 @@ fn deopt_ablation() {
     fw.install(&spec).expect("install");
 
     let stable = fw
-        .invoke(&InvokeRequest::new("poly", int_items(2_000)))
+        .invoke(&InvokeRequest::new(fid("poly"), int_items(2_000)))
         .expect("stable");
     let hostile = fw
-        .invoke(&InvokeRequest::new("poly", str_items(2_000)))
+        .invoke(&InvokeRequest::new(fid("poly"), str_items(2_000)))
         .expect("hostile");
 
     let mut base = FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::None);
     base.install(&spec).expect("install");
     let baseline = base
-        .invoke(&InvokeRequest::new("poly", str_items(2_000)).with_mode(StartMode::Cold))
+        .invoke(&InvokeRequest::new(fid("poly"), str_items(2_000)).with_mode(StartMode::Cold))
         .expect("cold");
 
     println!(
@@ -109,7 +110,7 @@ fn cache_ablation() {
         // Invoking A after installing B: a hit under a big budget, a miss
         // (rebuild) when B's install evicted A.
         let inv = p
-            .invoke(&InvokeRequest::new(&spec_a.name, args.deep_clone()))
+            .invoke(&InvokeRequest::new(fid(&spec_a.name), args.deep_clone()))
             .expect("invoke");
         let rebuild = inv.trace.total_for("snapshot_rebuild");
         let label = if budget == u64::MAX {
@@ -155,11 +156,11 @@ fn refresh_ablation() {
         let mut total = Nanos::ZERO;
         for _ in 0..16 {
             let inv = p
-                .invoke(&InvokeRequest::new(&spec.name, Value::map([])))
+                .invoke(&InvokeRequest::new(fid(&spec.name), Value::map([])))
                 .expect("invoke");
             total += inv.total();
         }
-        let audit = p.audit(&spec.name).expect("audited");
+        let audit = p.audit(fid(&spec.name)).expect("audited");
         println!(
             "  {:<22} {:>10} {:>14} {:>16}",
             if period == 0 {
@@ -198,7 +199,7 @@ fn reap_ablation() {
             PlatformConfig::builder().paging(policy).build(),
         );
         p.install(&spec).expect("install");
-        let req = InvokeRequest::new(&spec.name, args.deep_clone());
+        let req = InvokeRequest::new(fid(&spec.name), args.deep_clone());
         let first = p.invoke(&req).expect("1st");
         let second = p.invoke(&req).expect("2nd");
         println!(

@@ -22,6 +22,7 @@
 
 use fireworks_core::api::{Platform, PlatformError};
 use fireworks_core::engine::{run_concurrent, EngineConfig};
+use fireworks_core::fid;
 use fireworks_core::{FireworksPlatform, PlatformEnv};
 use fireworks_obs::LogHistogram;
 use fireworks_runtime::RuntimeKind;
@@ -89,7 +90,7 @@ fn run_rate(seed: u64, rate: f64) -> RatePoint {
     while remaining > 0 {
         let batch = remaining.min(WAVE);
         remaining -= batch;
-        let wave = burst(&spec.name, &args, batch, env.clock.now());
+        let wave = burst(fid(&spec.name), &args, batch, env.clock.now());
         let report = run_concurrent(
             &mut platform,
             &env.clock,
@@ -126,7 +127,7 @@ fn run_rate(seed: u64, rate: f64) -> RatePoint {
         }
     }
 
-    let health = platform.health(&spec.name).expect("installed");
+    let health = platform.health(fid(&spec.name)).expect("installed");
     let injector = env.injector.borrow();
     RatePoint {
         rate,

@@ -29,7 +29,7 @@ use fireworks_core::cluster::{
 };
 use fireworks_core::engine::CompletionPolicy;
 use fireworks_core::env::EnvConfig;
-use fireworks_core::{FireworksPlatform, PlatformConfig, ResidentClone};
+use fireworks_core::{fid, FireworksPlatform, HostId, PlatformConfig, ResidentClone};
 use fireworks_lang::Value;
 use fireworks_obs::LogHistogram;
 use fireworks_runtime::RuntimeKind;
@@ -98,6 +98,7 @@ struct Point {
     locality_hits: u64,
     rebalances: u64,
     peak_cluster_queue: usize,
+    events_processed: u64,
 }
 
 /// Streams `samples` into a mergeable log-bucketed sketch (see
@@ -129,15 +130,13 @@ fn run_point(policy: &'static str, hosts: usize, rate_ms: u64, seed: u64) -> Poi
         );
         cluster.install(&spec).expect("install on every host");
     }
-    let borrowed: Vec<(&str, Value)> = mix
-        .iter()
-        .map(|(n, a)| (n.as_str(), a.deep_clone()))
-        .collect();
+    let interned: Vec<(fireworks_core::FunctionId, Value)> =
+        mix.iter().map(|(n, a)| (fid(n), a.deep_clone())).collect();
     let schedule = poisson_schedule(
         seed.wrapping_add(rate_ms),
         REQUESTS,
         Nanos::from_millis(rate_ms),
-        &borrowed,
+        &interned,
     );
     let mut router = make_router(policy);
     let report = cluster.run(router.as_mut(), &schedule);
@@ -154,6 +153,7 @@ fn run_point(policy: &'static str, hosts: usize, rate_ms: u64, seed: u64) -> Poi
         locality_hits: report.locality_hits,
         rebalances: report.rebalances,
         peak_cluster_queue: report.peak_cluster_queue_depth,
+        events_processed: cluster.events_processed(),
     }
 }
 
@@ -174,15 +174,16 @@ fn density(hosts: usize) -> usize {
     let spec = Bench::Fact.spec(RuntimeKind::NodeLike);
     let args = Bench::Fact.request_params();
     cluster.install(&spec).expect("install on every host");
-    let all_swapping =
-        |c: &Cluster<FireworksPlatform>| (0..hosts).all(|h| c.host_env(h).host_mem.is_swapping());
-    let mut resident: Vec<(usize, ResidentClone)> = Vec::new();
+    let all_swapping = |c: &Cluster<FireworksPlatform>| {
+        (0..hosts).all(|h| c.host_env(HostId::from_index(h)).host_mem.is_swapping())
+    };
+    let mut resident: Vec<(HostId, ResidentClone)> = Vec::new();
     let mut router = LeastLoaded::new();
     for _ in 0..DENSITY_MAX_WAVES {
         if all_swapping(&cluster) {
             break;
         }
-        let wave = burst(&spec.name, &args, DENSITY_WAVE, cluster.clock().now());
+        let wave = burst(fid(&spec.name), &args, DENSITY_WAVE, cluster.clock().now());
         let report: ClusterReport<ResidentClone> = cluster.run(&mut router, &wave);
         for c in &report.completions {
             assert!(c.result.is_ok(), "density waves are fault-free");
@@ -192,7 +193,12 @@ fn density(hosts: usize) -> usize {
     // Count only clones on hosts *before* their swap onset: drop the
     // last-admitted clone per swapping host, as load_sweep does.
     let over = (0..hosts)
-        .filter(|h| cluster.host_env(*h).host_mem.is_swapping())
+        .filter(|h| {
+            cluster
+                .host_env(HostId::from_index(*h))
+                .host_mem
+                .is_swapping()
+        })
         .count();
     resident.len().saturating_sub(over)
 }
@@ -210,6 +216,7 @@ fn main() {
         },
     };
 
+    let wall = std::time::Instant::now();
     let mut points = Vec::new();
     for policy in ["round_robin", "least_loaded", "locality"] {
         for hosts in HOSTS {
@@ -218,6 +225,13 @@ fn main() {
             }
         }
     }
+    let events: u64 = points.iter().map(|p| p.events_processed).sum();
+    // Wall-clock throughput is machine-dependent: stderr only, so
+    // stdout stays byte-identical across runs.
+    eprintln!(
+        "{{\"bench\": \"cluster_sweep\", \"events\": {events}, \"events_per_sec\": {:.0}}}",
+        events as f64 / wall.elapsed().as_secs_f64().max(1e-9)
+    );
 
     let fw_density: Vec<(usize, usize)> = HOSTS.iter().map(|&h| (h, density(h))).collect();
 
@@ -257,7 +271,7 @@ fn main() {
     out.push_str("  \"sweep\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"policy\": \"{}\", \"hosts\": {}, \"rate_ms\": {}, \"p50_start_ns\": {}, \"p99_start_ns\": {}, \"locality_hits\": {}, \"rebalances\": {}, \"peak_cluster_queue\": {}}}{}\n",
+            "    {{\"policy\": \"{}\", \"hosts\": {}, \"rate_ms\": {}, \"p50_start_ns\": {}, \"p99_start_ns\": {}, \"locality_hits\": {}, \"rebalances\": {}, \"peak_cluster_queue\": {}, \"events_processed\": {}}}{}\n",
             p.policy,
             p.hosts,
             p.rate_ms,
@@ -266,6 +280,7 @@ fn main() {
             p.locality_hits,
             p.rebalances,
             p.peak_cluster_queue,
+            p.events_processed,
             if i + 1 < points.len() { "," } else { "" }
         ));
     }

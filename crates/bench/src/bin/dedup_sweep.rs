@@ -27,7 +27,7 @@
 use fireworks_core::api::{FunctionSpec, Platform};
 use fireworks_core::cluster::{Cluster, ClusterConfig, LocalityAffinity};
 use fireworks_core::env::PlatformEnv;
-use fireworks_core::{FireworksPlatform, PlatformConfig, SnapshotStorePolicy};
+use fireworks_core::{fid, FireworksPlatform, FunctionId, PlatformConfig, SnapshotStorePolicy};
 use fireworks_lang::Value;
 use fireworks_runtime::RuntimeKind;
 use fireworks_sim::Nanos;
@@ -118,6 +118,7 @@ struct Point {
     delta_fetches: u64,
     delta_fallbacks: u64,
     locality_hits: u64,
+    events_processed: u64,
 }
 
 /// Drives one rate point's schedule through an `arm` cluster: home-host
@@ -143,15 +144,15 @@ fn run_point(arm: &'static str, delta_fetch: bool, rate_ms: u64, seed: u64) -> P
         let spec = FunctionSpec::new(name, source, RuntimeKind::NodeLike, args.deep_clone());
         cluster.install_home(&spec).expect("install on home host");
     }
-    let borrowed: Vec<(&str, Value)> = mix
+    let interned: Vec<(FunctionId, Value)> = mix
         .iter()
-        .map(|(n, _, a)| (n.as_str(), a.deep_clone()))
+        .map(|(n, _, a)| (fid(n), a.deep_clone()))
         .collect();
     let schedule = poisson_schedule(
         seed.wrapping_add(rate_ms),
         REQUESTS,
         Nanos::from_millis(rate_ms),
-        &borrowed,
+        &interned,
     );
     let mut router = LocalityAffinity::new();
     let report = cluster.run(&mut router, &schedule);
@@ -179,6 +180,7 @@ fn run_point(arm: &'static str, delta_fetch: bool, rate_ms: u64, seed: u64) -> P
         delta_fetches: sum_prefix("core.delta.fetches"),
         delta_fallbacks: sum_prefix("core.delta.fallbacks"),
         locality_hits: report.locality_hits,
+        events_processed: cluster.events_processed(),
     }
 }
 
@@ -220,11 +222,19 @@ fn main() {
     );
 
     // Phase 2: delta fetch vs rebuild under overflow load.
+    let wall = std::time::Instant::now();
     let mut points = Vec::new();
     for rate_ms in RATES_MS {
         points.push(run_point("delta", true, rate_ms, seed));
         points.push(run_point("rebuild", false, rate_ms, seed));
     }
+    let events: u64 = points.iter().map(|p| p.events_processed).sum();
+    // Wall-clock throughput is machine-dependent: stderr only, so
+    // stdout stays byte-identical across runs.
+    eprintln!(
+        "{{\"bench\": \"dedup_sweep\", \"events\": {events}, \"events_per_sec\": {:.0}}}",
+        events as f64 / wall.elapsed().as_secs_f64().max(1e-9)
+    );
     for rate_ms in RATES_MS {
         let of = |arm: &str| {
             points
@@ -268,7 +278,7 @@ fn main() {
     out.push_str("  \"sweep\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"arm\": \"{}\", \"rate_ms\": {}, \"p50_start_ns\": {}, \"p99_start_ns\": {}, \"delta_fetches\": {}, \"delta_fallbacks\": {}, \"locality_hits\": {}}}{}\n",
+            "    {{\"arm\": \"{}\", \"rate_ms\": {}, \"p50_start_ns\": {}, \"p99_start_ns\": {}, \"delta_fetches\": {}, \"delta_fallbacks\": {}, \"locality_hits\": {}, \"events_processed\": {}}}{}\n",
             p.arm,
             p.rate_ms,
             p.p50_start.as_nanos(),
@@ -276,6 +286,7 @@ fn main() {
             p.delta_fetches,
             p.delta_fallbacks,
             p.locality_hits,
+            p.events_processed,
             if i + 1 < points.len() { "," } else { "" }
         ));
     }

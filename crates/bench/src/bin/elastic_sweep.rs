@@ -35,6 +35,7 @@ use fireworks_core::cluster::LocalityAffinity;
 use fireworks_core::config::{PlatformConfig, SnapshotStorePolicy};
 use fireworks_core::elastic::{ElasticCluster, ElasticConfig, ElasticPolicy, ElasticReport};
 use fireworks_core::engine::EngineRequest;
+use fireworks_core::fid;
 use fireworks_core::{FireworksPlatform, InvokeRequest};
 use fireworks_lang::Value;
 use fireworks_obs::LogHistogram;
@@ -132,10 +133,8 @@ fn build(config: ElasticConfig) -> ElasticCluster<FireworksPlatform> {
 
 fn schedule(seed: u64, count: usize) -> Vec<EngineRequest> {
     let m = mix();
-    let borrowed: Vec<(&str, Value)> = m
-        .iter()
-        .map(|(n, a)| (n.as_str(), a.deep_clone()))
-        .collect();
+    let interned: Vec<(fireworks_core::FunctionId, Value)> =
+        m.iter().map(|(n, a)| (fid(n), a.deep_clone())).collect();
     flash_crowd(
         seed,
         count,
@@ -143,7 +142,7 @@ fn schedule(seed: u64, count: usize) -> Vec<EngineRequest> {
         CROWD_MEAN,
         CROWD_START,
         CROWD_END,
-        &borrowed,
+        &interned,
     )
 }
 
@@ -203,7 +202,7 @@ fn run_scale_to_zero(seed: u64) -> ScaleToZero {
     let args = Value::map([("n".to_string(), Value::Int(2_000))]);
     let gap = Nanos::from_millis(20);
     let mut reqs: Vec<EngineRequest> = (0..8)
-        .map(|i| EngineRequest::at(gap * i, InvokeRequest::new("svc-0", args.deep_clone())))
+        .map(|i| EngineRequest::at(gap * i, InvokeRequest::new(fid("svc-0"), args.deep_clone())))
         .collect();
     // A quiet stretch long enough for the control loop to retire the
     // function, then renewed demand.
@@ -211,7 +210,7 @@ fn run_scale_to_zero(seed: u64) -> ScaleToZero {
     for i in 0..4u64 {
         reqs.push(EngineRequest::at(
             quiet_until + gap * i,
-            InvokeRequest::new("svc-0", args.deep_clone()),
+            InvokeRequest::new(fid("svc-0"), args.deep_clone()),
         ));
     }
     let report = cluster.run(&mut LocalityAffinity::new(), &reqs);
@@ -340,12 +339,20 @@ fn main() {
         ..base_policy()
     };
 
+    let wall = std::time::Instant::now();
     let scenarios = [
         run_scenario("fixed_max", fixed_max, seed),
         run_scenario("fixed_min", fixed_min, seed),
         run_scenario("elastic", elastic, seed),
         run_scenario("elastic_prewarm", elastic_prewarm, seed),
     ];
+    let events: u64 = scenarios.iter().map(|s| s.report.events_processed).sum();
+    // Wall-clock throughput is machine-dependent: stderr only, so
+    // stdout stays byte-identical across runs.
+    eprintln!(
+        "{{\"bench\": \"elastic_sweep\", \"events\": {events}, \"events_per_sec\": {:.0}}}",
+        events as f64 / wall.elapsed().as_secs_f64().max(1e-9)
+    );
 
     let by_name = |n: &str| scenarios.iter().find(|s| s.name == n).expect("scenario");
     let (fmax, fmin) = (by_name("fixed_max"), by_name("fixed_min"));
@@ -408,7 +415,7 @@ fn main() {
     for (i, s) in scenarios.iter().enumerate() {
         let st = &s.report.stats;
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"p50_start_ns\": {}, \"p99_start_ns\": {}, \"host_time_ns\": {}, \"peak_hosts\": {}, \"scale_ups\": {}, \"drains_started\": {}, \"graceful_drains\": {}, \"hard_removals\": {}, \"migrations\": {}, \"prewarms\": {}, \"resurrections\": {}, \"rebalances\": {}, \"locality_hits\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"p50_start_ns\": {}, \"p99_start_ns\": {}, \"host_time_ns\": {}, \"peak_hosts\": {}, \"scale_ups\": {}, \"drains_started\": {}, \"graceful_drains\": {}, \"hard_removals\": {}, \"migrations\": {}, \"prewarms\": {}, \"resurrections\": {}, \"rebalances\": {}, \"locality_hits\": {}, \"events_processed\": {}}}{}\n",
             s.name,
             s.p50_start.as_nanos(),
             s.p99_start.as_nanos(),
@@ -423,6 +430,7 @@ fn main() {
             st.resurrections,
             st.rebalances,
             st.locality_hits,
+            s.report.events_processed,
             if i + 1 < scenarios.len() { "," } else { "" }
         ));
     }

@@ -12,6 +12,7 @@
 use fireworks_baselines::{FirecrackerPlatform, SnapshotPolicy};
 use fireworks_core::engine::{run_concurrent, EngineConfig};
 use fireworks_core::env::EnvConfig;
+use fireworks_core::fid;
 use fireworks_core::{ConcurrentPlatform, FireworksPlatform, PlatformEnv};
 use fireworks_runtime::RuntimeKind;
 use fireworks_sim::CostModel;
@@ -53,7 +54,7 @@ where
     let mut resident: Vec<P::InFlight> = Vec::new();
     let mut series = Vec::new();
     while !host_env.host_mem.is_swapping() {
-        let wave = burst(&spec.name, &args, WAVE, host_env.clock.now());
+        let wave = burst(fid(&spec.name), &args, WAVE, host_env.clock.now());
         let report = run_concurrent(
             &mut platform,
             &host_env.clock,

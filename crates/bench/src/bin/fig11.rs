@@ -5,6 +5,7 @@
 
 use fireworks_baselines::{FirecrackerPlatform, SnapshotPolicy};
 use fireworks_core::api::{InvokeRequest, Platform, StartMode};
+use fireworks_core::fid;
 use fireworks_core::{FireworksPlatform, PlatformEnv};
 use fireworks_runtime::RuntimeKind;
 use fireworks_sim::Nanos;
@@ -22,8 +23,9 @@ fn main() {
         for bench in Bench::ALL {
             let spec = bench.paper_spec(runtime);
             let args = bench.paper_params();
-            let req =
-                |mode: StartMode| InvokeRequest::new(&spec.name, args.deep_clone()).with_mode(mode);
+            let req = |mode: StartMode| {
+                InvokeRequest::new(fid(&spec.name), args.deep_clone()).with_mode(mode)
+            };
 
             let t_base = {
                 let mut p =

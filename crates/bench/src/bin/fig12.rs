@@ -9,6 +9,7 @@
 
 use fireworks_baselines::{FirecrackerPlatform, SnapshotPolicy};
 use fireworks_core::engine::{run_concurrent, EngineConfig};
+use fireworks_core::fid;
 use fireworks_core::{ConcurrentPlatform, FireworksPlatform, InFlightToken, PlatformEnv};
 use fireworks_lang::Value;
 use fireworks_runtime::RuntimeKind;
@@ -31,7 +32,7 @@ where
     let env = PlatformEnv::default_env();
     let mut platform = make(env.clone());
     platform.install(spec).expect("install");
-    let wave = burst(&spec.name, args, VMS, env.clock.now());
+    let wave = burst(fid(&spec.name), args, VMS, env.clock.now());
     let report = run_concurrent(
         &mut platform,
         &env.clock,

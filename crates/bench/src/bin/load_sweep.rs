@@ -24,6 +24,7 @@
 use fireworks_baselines::{FirecrackerPlatform, OpenWhiskPlatform, SnapshotPolicy};
 use fireworks_core::engine::{run_concurrent, EngineCompletion, EngineConfig};
 use fireworks_core::env::EnvConfig;
+use fireworks_core::fid;
 use fireworks_core::{ConcurrentPlatform, FireworksPlatform, PlatformEnv};
 use fireworks_lang::Value;
 use fireworks_runtime::RuntimeKind;
@@ -62,8 +63,9 @@ fn percentile(completions: &[EngineCompletion], p: f64) -> Nanos {
 }
 
 /// Installs the mix and drives one rate point's schedule through the
-/// engine; returns `(completions, peak_inflight, peak_queue_depth)`.
-fn run_rate<P, F>(make: F, seed: u64, mean: Nanos) -> (Vec<EngineCompletion>, usize, usize)
+/// engine; returns `(completions, peak_inflight, peak_queue_depth,
+/// events_processed)`.
+fn run_rate<P, F>(make: F, seed: u64, mean: Nanos) -> (Vec<EngineCompletion>, usize, usize, u64)
 where
     P: ConcurrentPlatform,
     F: FnOnce(PlatformEnv) -> P,
@@ -77,11 +79,9 @@ where
         spec.name = name.clone();
         platform.install(&spec).expect("install");
     }
-    let borrowed: Vec<(&str, Value)> = mix
-        .iter()
-        .map(|(n, a)| (n.as_str(), a.deep_clone()))
-        .collect();
-    let schedule = poisson_schedule(seed, REQUESTS, mean, &borrowed);
+    let interned: Vec<(fireworks_core::FunctionId, Value)> =
+        mix.iter().map(|(n, a)| (fid(n), a.deep_clone())).collect();
+    let schedule = poisson_schedule(seed, REQUESTS, mean, &interned);
     let report = run_concurrent(
         &mut platform,
         &env.clock,
@@ -96,6 +96,7 @@ where
         report.completions,
         report.peak_inflight,
         report.peak_queue_depth,
+        report.events_processed,
     )
 }
 
@@ -125,7 +126,7 @@ where
         if env.host_mem.is_swapping() {
             break;
         }
-        let wave = burst(&spec.name, &args, DENSITY_WAVE, env.clock.now());
+        let wave = burst(fid(&spec.name), &args, DENSITY_WAVE, env.clock.now());
         let report = run_concurrent(
             &mut platform,
             &env.clock,
@@ -173,14 +174,17 @@ fn main() {
         "load", "ow p50", "ow p99", "fw p50", "fw p99", "p99 ratio", "ow queue", "fw queue"
     );
 
+    let wall = std::time::Instant::now();
+    let mut events = 0u64;
     for mean_ms in RATES_MS {
         let mean = Nanos::from_millis(mean_ms);
         // Same seed → identical arrival schedules for both platforms.
-        let (ow_done, _ow_peak, ow_queue) =
+        let (ow_done, _ow_peak, ow_queue, ow_events) =
             run_rate(OpenWhiskPlatform::new, seed.wrapping_add(mean_ms), mean);
-        let (fw_done, fw_peak, fw_queue) =
+        let (fw_done, fw_peak, fw_queue, fw_events) =
             run_rate(FireworksPlatform::new, seed.wrapping_add(mean_ms), mean);
         assert!(fw_peak >= 1);
+        events += ow_events + fw_events;
         println!(
             "{:>9}ms {:>12} {:>12} {:>12} {:>12} {:>11.1}x {:>9} {:>9}",
             mean_ms,
@@ -194,6 +198,13 @@ fn main() {
         );
     }
     println!();
+    println!("simulator events processed: {events}");
+    // Wall-clock throughput is machine-dependent: stderr only, so
+    // stdout stays byte-identical across runs.
+    eprintln!(
+        "{{\"bench\": \"load_sweep\", \"events\": {events}, \"events_per_sec\": {:.0}}}",
+        events as f64 / wall.elapsed().as_secs_f64().max(1e-9)
+    );
     println!("(load = mean inter-arrival time; queue = peak admission-queue depth)");
     println!("Cold starts poison the tail even at low load — and under pressure the");
     println!("slots they occupy push the whole queue out. Snapshot starts keep the");

@@ -14,6 +14,7 @@
 
 use fireworks_baselines::OpenWhiskPlatform;
 use fireworks_core::api::{InvokeRequest, Platform};
+use fireworks_core::fid;
 use fireworks_core::{FireworksPlatform, PlatformConfig, PlatformEnv};
 use fireworks_runtime::RuntimeKind;
 use fireworks_sim::Nanos;
@@ -86,7 +87,7 @@ fn main() {
         }
         let inv = ow
             .invoke(&InvokeRequest::new(
-                &ow_specs[event.function].name,
+                fid(&ow_specs[event.function].name),
                 bench.request_params(),
             ))
             .expect("invoke");
@@ -120,7 +121,7 @@ fn main() {
         }
         let inv = fw
             .invoke(&InvokeRequest::new(
-                &fw_specs[event.function].name,
+                fid(&fw_specs[event.function].name),
                 bench.request_params(),
             ))
             .expect("invoke");

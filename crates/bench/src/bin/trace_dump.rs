@@ -25,6 +25,7 @@ use std::process::ExitCode;
 
 use fireworks_baselines::{FirecrackerPlatform, SnapshotPolicy};
 use fireworks_core::api::{InvokeRequest, Platform};
+use fireworks_core::fid;
 use fireworks_core::{FireworksPlatform, PagingPolicy, PlatformConfig, PlatformEnv};
 use fireworks_obs::{export, json, Event, Obs};
 use fireworks_runtime::RuntimeKind;
@@ -54,7 +55,7 @@ fn run_fireworks(seed: u64) -> Obs {
     // the second prefetches the recorded set cleanly.
     for i in 0..2 {
         platform
-            .invoke(&InvokeRequest::new(&spec.name, args.deep_clone()))
+            .invoke(&InvokeRequest::new(fid(&spec.name), args.deep_clone()))
             .unwrap_or_else(|e| panic!("fireworks invocation {i}: {e:?}"));
     }
     obs.recorder().finish();
@@ -72,7 +73,7 @@ fn run_firecracker(_seed: u64) -> Obs {
     platform.install(&spec).expect("firecracker install");
     for i in 0..2 {
         platform
-            .invoke(&InvokeRequest::new(&spec.name, args.deep_clone()))
+            .invoke(&InvokeRequest::new(fid(&spec.name), args.deep_clone()))
             .unwrap_or_else(|e| panic!("firecracker invocation {i}: {e:?}"));
     }
     obs.recorder().finish();

@@ -31,7 +31,7 @@ use std::process::ExitCode;
 
 use fireworks_core::api::FunctionSpec;
 use fireworks_core::cluster::{Cluster, ClusterConfig, LocalityAffinity};
-use fireworks_core::{FireworksPlatform, PlatformConfig};
+use fireworks_core::{fid, FireworksPlatform, FunctionId, PlatformConfig};
 use fireworks_lang::Value;
 use fireworks_obs::{export, json, slo_burn, LogHistogram, PhaseClass, RequestTrace, TraceForest};
 use fireworks_runtime::RuntimeKind;
@@ -94,11 +94,9 @@ fn run_cluster(seed: u64) -> Result<(TraceForest, usize), String> {
             .install(&spec)
             .map_err(|e| format!("install {name}: {e:?}"))?;
     }
-    let borrowed: Vec<(&str, Value)> = mix
-        .iter()
-        .map(|(n, a)| (n.as_str(), a.deep_clone()))
-        .collect();
-    let schedule = poisson_schedule(seed, REQUESTS, Nanos::from_millis(RATE_MS), &borrowed);
+    let interned: Vec<(FunctionId, Value)> =
+        mix.iter().map(|(n, a)| (fid(n), a.deep_clone())).collect();
+    let schedule = poisson_schedule(seed, REQUESTS, Nanos::from_millis(RATE_MS), &interned);
     let mut router = LocalityAffinity::new();
     let report = cluster.run(&mut router, &schedule);
     for c in &report.completions {

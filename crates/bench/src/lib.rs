@@ -8,10 +8,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod scale;
+
 use fireworks_baselines::{FirecrackerPlatform, GvisorPlatform, OpenWhiskPlatform, SnapshotPolicy};
 use fireworks_core::api::{Invocation, InvokeRequest, Platform, StartMode};
 use fireworks_core::env::PlatformEnv;
-use fireworks_core::FireworksPlatform;
+use fireworks_core::{fid, FireworksPlatform};
 use fireworks_lang::Value;
 use fireworks_runtime::RuntimeKind;
 use fireworks_sim::stats::geomean;
@@ -77,7 +79,8 @@ pub fn print_latency_table(title: &str, bars: &[LatencyBar]) {
 pub fn faasdom_bars(bench: Bench, runtime: RuntimeKind) -> Vec<LatencyBar> {
     let spec = bench.paper_spec(runtime);
     let args = bench.paper_params();
-    let req = |mode: StartMode| InvokeRequest::new(&spec.name, args.deep_clone()).with_mode(mode);
+    let function = fid(&spec.name);
+    let req = |mode: StartMode| InvokeRequest::new(function, args.deep_clone()).with_mode(mode);
     let mut bars = Vec::new();
 
     {

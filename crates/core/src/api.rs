@@ -8,8 +8,24 @@
 //! policies (recovery, paging, security, cache budget, keep-alive) are
 //! consumed at construction via [`crate::config::PlatformConfig`];
 //! the post-hoc mutators of v1 are gone.
+//!
+//! # API v3
+//!
+//! Function and host names are interned
+//! ([`crate::symbols::FunctionId`], [`crate::symbols::HostId`]):
+//! [`InvokeRequest::function`] carries an id, the per-function trait
+//! methods ([`Platform::evict`], [`ConcurrentPlatform::residency`],
+//! [`ConcurrentPlatform::prewarm`], [`ConcurrentPlatform::retire`])
+//! take ids, and registries downstream key by id. Strings survive only
+//! at the edges: [`FunctionSpec::name`] (the install boundary interns
+//! it), error values, metric labels, and exports. The v2
+//! string-accepting entry points remain for one release as
+//! `#[deprecated]` shims ([`InvokeRequest::by_name`],
+//! [`Platform::evict_named`], and friends).
 
 use std::fmt;
+
+use crate::symbols::{fid, FunctionId, HostId};
 
 use fireworks_lang::{ExecStats, LangError, Value};
 use fireworks_microvm::VmError;
@@ -250,7 +266,7 @@ pub enum StartMode {
 #[derive(Debug, Clone)]
 pub struct InvokeRequest {
     /// The installed function to invoke.
-    pub function: String,
+    pub function: FunctionId,
     /// Invocation arguments.
     pub args: Value,
     /// Requested start path.
@@ -267,14 +283,23 @@ pub struct InvokeRequest {
 impl InvokeRequest {
     /// A request for `function` with `args`, [`StartMode::Auto`], no
     /// deadline, and no trace context.
-    pub fn new(function: impl Into<String>, args: Value) -> Self {
+    pub fn new(function: FunctionId, args: Value) -> Self {
         InvokeRequest {
-            function: function.into(),
+            function,
             args,
             mode: StartMode::Auto,
             deadline: None,
             trace: None,
         }
+    }
+
+    /// v2 shim: builds the request from a function *name*, interning it
+    /// on the spot. Prefer interning once with
+    /// [`crate::symbols::FunctionId::intern`] and calling
+    /// [`InvokeRequest::new`].
+    #[deprecated(since = "0.3.0", note = "intern the name and use InvokeRequest::new")]
+    pub fn by_name(function: &str, args: Value) -> Self {
+        InvokeRequest::new(fid(function), args)
     }
 
     /// Sets the start mode.
@@ -296,11 +321,11 @@ impl InvokeRequest {
     }
 
     /// Derives the request for one chain stage: same mode, deadline, and
-    /// trace context; next stage's name; the previous stage's result as
-    /// arguments.
-    pub fn stage(&self, function: &str, args: Value) -> Self {
+    /// trace context; next stage's function; the previous stage's result
+    /// as arguments.
+    pub fn stage(&self, function: FunctionId, args: Value) -> Self {
         InvokeRequest {
-            function: function.to_string(),
+            function,
             args,
             mode: self.mode,
             deadline: self.deadline,
@@ -353,7 +378,13 @@ pub trait Platform {
     fn invoke(&mut self, req: &InvokeRequest) -> Result<Invocation, PlatformError>;
 
     /// Drops any kept-warm sandboxes for a function.
-    fn evict(&mut self, name: &str);
+    fn evict(&mut self, function: FunctionId);
+
+    /// v2 shim: [`Platform::evict`] by function name.
+    #[deprecated(since = "0.3.0", note = "intern the name and use Platform::evict")]
+    fn evict_named(&mut self, name: &str) {
+        self.evict(fid(name));
+    }
 
     /// Whether the platform can execute a chain of functions (paper §5.3:
     /// only OpenWhisk and Fireworks can).
@@ -364,14 +395,14 @@ pub trait Platform {
     /// Invokes a chain of installed functions, piping each result into the
     /// next function's arguments. The request's `args` seed the first
     /// stage; its mode and deadline apply to every stage ( its
-    /// `function` field is ignored — stages come from `names`). Returns
+    /// `function` field is ignored — stages come from `stages`). Returns
     /// one invocation per stage.
     fn invoke_chain(
         &mut self,
-        names: &[&str],
+        stages: &[FunctionId],
         req: &InvokeRequest,
     ) -> Result<Vec<Invocation>, PlatformError> {
-        let _ = (names, req);
+        let _ = (stages, req);
         Err(PlatformError::Other(format!(
             "{} cannot process a chain of serverless functions",
             self.name()
@@ -434,15 +465,22 @@ pub trait ConcurrentPlatform: Platform {
     /// missing, so the cluster's locality router can rank hosts by
     /// transfer cost instead of an all-or-nothing boolean. Must not
     /// disturb replacement state (no LRU touch).
-    fn residency(&self, function: &str) -> SnapshotResidency {
+    fn residency(&self, function: FunctionId) -> SnapshotResidency {
         let _ = function;
         SnapshotResidency::Absent
     }
 
+    /// v2 shim: [`ConcurrentPlatform::residency`] by function name.
+    #[deprecated(since = "0.3.0", note = "intern the name and use residency")]
+    fn residency_named(&self, name: &str) -> SnapshotResidency {
+        self.residency(fid(name))
+    }
+
     /// Functions whose complete start artifact this platform currently
-    /// holds hot (cached snapshot, warm pool), sorted by name so walks
-    /// are deterministic. A draining host's hand-off iterates this.
-    fn hot_functions(&self) -> Vec<String> {
+    /// holds hot (cached snapshot, warm pool), in ascending id order so
+    /// walks are deterministic. A draining host's hand-off iterates
+    /// this.
+    fn hot_functions(&self) -> Vec<FunctionId> {
         Vec::new()
     }
 
@@ -451,9 +489,15 @@ pub trait ConcurrentPlatform: Platform {
     /// chunks from a mesh donor. Returns whether the artifact is resident
     /// afterwards; platforms without a proactive path return `false`
     /// (the next invocation pays the normal miss cost).
-    fn prewarm(&mut self, function: &str) -> bool {
+    fn prewarm(&mut self, function: FunctionId) -> bool {
         let _ = function;
         false
+    }
+
+    /// v2 shim: [`ConcurrentPlatform::prewarm`] by function name.
+    #[deprecated(since = "0.3.0", note = "intern the name and use prewarm")]
+    fn prewarm_named(&mut self, name: &str) -> bool {
+        self.prewarm(fid(name))
     }
 
     /// Drops `function`'s local start artifact (scale-to-zero
@@ -461,9 +505,15 @@ pub trait ConcurrentPlatform: Platform {
     /// publication withdrawn. Returns whether anything was resident.
     /// Invocations still work afterwards — they pay a delta fetch or a
     /// rebuild.
-    fn retire(&mut self, function: &str) -> bool {
+    fn retire(&mut self, function: FunctionId) -> bool {
         let _ = function;
         false
+    }
+
+    /// v2 shim: [`ConcurrentPlatform::retire`] by function name.
+    #[deprecated(since = "0.3.0", note = "intern the name and use retire")]
+    fn retire_named(&mut self, name: &str) -> bool {
+        self.retire(fid(name))
     }
 
     /// A consistency snapshot of this platform's content-addressed
@@ -477,7 +527,7 @@ pub trait ConcurrentPlatform: Platform {
     /// Joins the cluster's [`crate::mesh::ChunkMesh`] as `host_id`.
     /// Content-addressed platforms register their chunk store and start
     /// publishing manifests; everyone else ignores the call.
-    fn attach_mesh(&mut self, mesh: crate::mesh::SharedChunkMesh, host_id: usize) {
+    fn attach_mesh(&mut self, mesh: crate::mesh::SharedChunkMesh, host_id: HostId) {
         let _ = (mesh, host_id);
     }
 
@@ -590,13 +640,13 @@ impl StoreAudit {
 /// mode and deadline apply to every stage.
 pub fn run_chain<P: Platform + ?Sized>(
     platform: &mut P,
-    names: &[&str],
+    stages: &[FunctionId],
     req: &InvokeRequest,
 ) -> Result<Vec<Invocation>, PlatformError> {
-    let mut results = Vec::with_capacity(names.len());
+    let mut results = Vec::with_capacity(stages.len());
     let mut current = req.args.clone();
-    for name in names {
-        let inv = platform.invoke(&req.stage(name, current))?;
+    for &stage in stages {
+        let inv = platform.invoke(&req.stage(stage, current))?;
         current = inv.value.clone();
         results.push(inv);
     }
@@ -655,8 +705,9 @@ mod tests {
 
     #[test]
     fn invoke_request_builder_defaults_and_overrides() {
-        let req = InvokeRequest::new("f", Value::Int(1));
-        assert_eq!(req.function, "f");
+        let req = InvokeRequest::new(fid("f"), Value::Int(1));
+        assert_eq!(req.function, fid("f"));
+        assert_eq!(req.function.name().as_ref(), "f");
         assert_eq!(req.mode, StartMode::Auto);
         assert!(req.deadline.is_none());
         let req = req
@@ -665,10 +716,17 @@ mod tests {
         assert_eq!(req.mode, StartMode::Cold);
         assert_eq!(req.deadline, Some(Nanos::from_millis(7)));
         // Chain stages inherit mode and deadline.
-        let stage = req.stage("g", Value::Int(2));
-        assert_eq!(stage.function, "g");
+        let stage = req.stage(fid("g"), Value::Int(2));
+        assert_eq!(stage.function, fid("g"));
         assert_eq!(stage.mode, StartMode::Cold);
         assert_eq!(stage.deadline, Some(Nanos::from_millis(7)));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn v2_by_name_shim_interns_to_the_same_id() {
+        let via_shim = InvokeRequest::by_name("shim-f", Value::Int(1));
+        assert_eq!(via_shim.function, fid("shim-f"));
     }
 
     #[test]

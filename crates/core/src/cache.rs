@@ -14,10 +14,11 @@
 //! other cached snapshot still references.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use fireworks_guestmem::SnapshotManifest;
+
+use crate::symbols::{FunctionId, IdMap};
 use fireworks_microvm::VmFullSnapshot;
 use fireworks_obs::{cat, Obs};
 use fireworks_store::ChunkStore;
@@ -28,7 +29,7 @@ pub struct SnapshotCache {
     capacity_bytes: u64,
     used_bytes: u64,
     tick: u64,
-    entries: HashMap<String, Entry>,
+    entries: IdMap<Entry>,
     evictions: u64,
     obs: Option<Obs>,
     store: Option<Rc<RefCell<ChunkStore>>>,
@@ -49,7 +50,7 @@ impl SnapshotCache {
             capacity_bytes,
             used_bytes: 0,
             tick: 0,
-            entries: HashMap::new(),
+            entries: IdMap::new(),
             evictions: 0,
             obs: None,
             store: None,
@@ -80,10 +81,14 @@ impl SnapshotCache {
     /// Inserts (or replaces) a function's snapshot, evicting least-
     /// recently-used entries until the budget holds. A snapshot larger
     /// than the whole budget is still stored alone (it must exist
-    /// somewhere to be restorable). Returns the names evicted to make
-    /// room, oldest first.
-    pub fn insert(&mut self, name: &str, snapshot: Rc<VmFullSnapshot>) -> Vec<String> {
-        self.insert_entry(name, snapshot, None)
+    /// somewhere to be restorable). Returns the functions evicted to
+    /// make room, oldest first.
+    pub fn insert(
+        &mut self,
+        function: FunctionId,
+        snapshot: Rc<VmFullSnapshot>,
+    ) -> Vec<FunctionId> {
+        self.insert_entry(function, snapshot, None)
     }
 
     /// Inserts a snapshot whose pages live in the attached [`ChunkStore`],
@@ -92,27 +97,27 @@ impl SnapshotCache {
     /// store's refcounts include this manifest).
     pub fn insert_dedup(
         &mut self,
-        name: &str,
+        function: FunctionId,
         snapshot: Rc<VmFullSnapshot>,
         manifest: SnapshotManifest,
-    ) -> Vec<String> {
-        self.insert_entry(name, snapshot, Some(manifest))
+    ) -> Vec<FunctionId> {
+        self.insert_entry(function, snapshot, Some(manifest))
     }
 
     fn insert_entry(
         &mut self,
-        name: &str,
+        function: FunctionId,
         snapshot: Rc<VmFullSnapshot>,
         manifest: Option<SnapshotManifest>,
-    ) -> Vec<String> {
+    ) -> Vec<FunctionId> {
         let bytes = snapshot.file_bytes();
-        if let Some(old) = self.entries.remove(name) {
+        if let Some(old) = self.entries.remove(function) {
             self.used_bytes -= old.bytes;
             self.release_entry_chunks(&old);
         }
         self.tick += 1;
         self.entries.insert(
-            name.to_string(),
+            function,
             Entry {
                 snapshot,
                 bytes,
@@ -122,7 +127,7 @@ impl SnapshotCache {
         );
         self.used_bytes += bytes;
         self.count("core.cache.inserts");
-        self.evict_to_budget(name)
+        self.evict_to_budget(function)
     }
 
     /// Releases a dedup entry's chunk references back to the store.
@@ -141,17 +146,17 @@ impl SnapshotCache {
         }
     }
 
-    fn evict_to_budget(&mut self, keep: &str) -> Vec<String> {
+    fn evict_to_budget(&mut self, keep: FunctionId) -> Vec<FunctionId> {
         let mut evicted = Vec::new();
         while self.effective_used() > self.capacity_bytes && self.entries.len() > 1 {
             let victim = self
                 .entries
                 .iter()
-                .filter(|(k, _)| k.as_str() != keep)
+                .filter(|(k, _)| *k != keep)
                 .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone());
+                .map(|(k, _)| k);
             let Some(victim) = victim else { break };
-            if let Some(e) = self.entries.remove(&victim) {
+            if let Some(e) = self.entries.remove(victim) {
                 self.used_bytes -= e.bytes;
                 self.release_entry_chunks(&e);
                 self.evictions += 1;
@@ -170,10 +175,10 @@ impl SnapshotCache {
     }
 
     /// Fetches a snapshot, marking it most-recently-used.
-    pub fn get(&mut self, name: &str) -> Option<Rc<VmFullSnapshot>> {
+    pub fn get(&mut self, function: FunctionId) -> Option<Rc<VmFullSnapshot>> {
         self.tick += 1;
         let tick = self.tick;
-        let hit = self.entries.get_mut(name).map(|e| {
+        let hit = self.entries.get_mut(function).map(|e| {
             e.last_used = tick;
             e.snapshot.clone()
         });
@@ -188,13 +193,13 @@ impl SnapshotCache {
     /// Whether a snapshot is cached, without touching its recency or
     /// counting a lookup. Used by the cluster's snapshot-locality router,
     /// whose probes must not perturb replacement state.
-    pub fn contains(&self, name: &str) -> bool {
-        self.entries.contains_key(name)
+    pub fn contains(&self, function: FunctionId) -> bool {
+        self.entries.contains(function)
     }
 
     /// Removes a snapshot explicitly (e.g. on security refresh).
-    pub fn remove(&mut self, name: &str) -> Option<Rc<VmFullSnapshot>> {
-        self.entries.remove(name).map(|e| {
+    pub fn remove(&mut self, function: FunctionId) -> Option<Rc<VmFullSnapshot>> {
+        self.entries.remove(function).map(|e| {
             self.used_bytes -= e.bytes;
             self.release_entry_chunks(&e);
             e.snapshot
@@ -202,29 +207,24 @@ impl SnapshotCache {
     }
 
     /// The manifest recorded for a dedup entry, if any.
-    pub fn manifest(&self, name: &str) -> Option<&SnapshotManifest> {
-        self.entries.get(name).and_then(|e| e.manifest.as_ref())
+    pub fn manifest(&self, function: FunctionId) -> Option<&SnapshotManifest> {
+        self.entries.get(function).and_then(|e| e.manifest.as_ref())
     }
 
-    /// Every dedup entry's `(function, manifest)` pair, sorted by
-    /// function name so walks are deterministic. Flat entries (no
-    /// manifest) are skipped. The invariant auditor cross-checks this
-    /// against the chunk store's reference counts.
-    pub fn manifests(&self) -> Vec<(&str, &SnapshotManifest)> {
-        let mut out: Vec<(&str, &SnapshotManifest)> = self
-            .entries
+    /// Every dedup entry's `(function, manifest)` pair, in ascending id
+    /// order so walks are deterministic. Flat entries (no manifest) are
+    /// skipped. The invariant auditor cross-checks this against the
+    /// chunk store's reference counts.
+    pub fn manifests(&self) -> Vec<(FunctionId, &SnapshotManifest)> {
+        self.entries
             .iter()
-            .filter_map(|(k, e)| e.manifest.as_ref().map(|m| (k.as_str(), m)))
-            .collect();
-        out.sort_unstable_by_key(|(k, _)| *k);
-        out
+            .filter_map(|(k, e)| e.manifest.as_ref().map(|m| (k, m)))
+            .collect()
     }
 
-    /// Cached function names, sorted for deterministic walks.
-    pub fn names(&self) -> Vec<String> {
-        let mut out: Vec<String> = self.entries.keys().cloned().collect();
-        out.sort_unstable();
-        out
+    /// Cached functions, in ascending id order for deterministic walks.
+    pub fn names(&self) -> Vec<FunctionId> {
+        self.entries.keys().collect()
     }
 
     /// Bytes currently held.
@@ -251,6 +251,7 @@ impl SnapshotCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::symbols::fid;
     use fireworks_guestmem::HostMemory;
     use fireworks_sim::Clock;
 
@@ -280,16 +281,16 @@ mod tests {
         let one = snapshot_of(100);
         let bytes = one.file_bytes();
         let mut cache = SnapshotCache::new(bytes * 2 + 1024);
-        cache.insert("a", one);
-        cache.insert("b", snapshot_of(100));
+        cache.insert(fid("a"), one);
+        cache.insert(fid("b"), snapshot_of(100));
         assert_eq!(cache.len(), 2);
         // Touch `a` so `b` is the LRU victim.
-        cache.get("a").expect("a cached");
-        cache.insert("c", snapshot_of(100));
+        cache.get(fid("a")).expect("a cached");
+        cache.insert(fid("c"), snapshot_of(100));
         assert_eq!(cache.len(), 2);
-        assert!(cache.get("a").is_some());
-        assert!(cache.get("b").is_none(), "b was evicted");
-        assert!(cache.get("c").is_some());
+        assert!(cache.get(fid("a")).is_some());
+        assert!(cache.get(fid("b")).is_none(), "b was evicted");
+        assert!(cache.get(fid("c")).is_some());
         assert_eq!(cache.evictions(), 1);
     }
 
@@ -298,8 +299,8 @@ mod tests {
         let s = snapshot_of(100);
         let bytes = s.file_bytes();
         let mut cache = SnapshotCache::new(bytes * 10);
-        cache.insert("a", s);
-        cache.insert("a", snapshot_of(100));
+        cache.insert(fid("a"), s);
+        cache.insert(fid("a"), snapshot_of(100));
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.used_bytes(), bytes);
     }
@@ -308,7 +309,7 @@ mod tests {
     fn oversized_snapshot_is_still_kept() {
         let s = snapshot_of(100);
         let mut cache = SnapshotCache::new(1024);
-        cache.insert("big", s);
+        cache.insert(fid("big"), s);
         assert_eq!(cache.len(), 1, "must keep at least the newest snapshot");
     }
 
@@ -318,14 +319,14 @@ mod tests {
         let bytes = s.file_bytes();
         // Budget fits exactly one snapshot: every insert evicts the rest.
         let mut cache = SnapshotCache::new(bytes);
-        cache.insert("a", s);
-        cache.insert("b", snapshot_of(100));
-        cache.insert("c", snapshot_of(100));
+        cache.insert(fid("a"), s);
+        cache.insert(fid("b"), snapshot_of(100));
+        cache.insert(fid("c"), snapshot_of(100));
         assert_eq!(cache.len(), 1);
         assert!(cache.used_bytes() <= bytes);
         assert_eq!(cache.evictions(), 2);
-        assert!(cache.get("c").is_some(), "newest entry survives");
-        assert!(cache.get("a").is_none() && cache.get("b").is_none());
+        assert!(cache.get(fid("c")).is_some(), "newest entry survives");
+        assert!(cache.get(fid("a")).is_none() && cache.get(fid("b")).is_none());
     }
 
     #[test]
@@ -333,24 +334,24 @@ mod tests {
         let one = snapshot_of(100);
         let bytes = one.file_bytes();
         let mut cache = SnapshotCache::new(bytes * 3 + 1024);
-        cache.insert("a", one);
-        cache.insert("b", snapshot_of(100));
-        cache.insert("c", snapshot_of(100));
+        cache.insert(fid("a"), one);
+        cache.insert(fid("b"), snapshot_of(100));
+        cache.insert(fid("c"), snapshot_of(100));
         // Refresh the two oldest; the middle-aged `c` becomes the victim.
-        cache.get("a").expect("a");
-        cache.get("b").expect("b");
-        cache.insert("d", snapshot_of(100));
-        assert!(cache.get("c").is_none(), "least-recently-used loses");
+        cache.get(fid("a")).expect("a");
+        cache.get(fid("b")).expect("b");
+        cache.insert(fid("d"), snapshot_of(100));
+        assert!(cache.get(fid("c")).is_none(), "least-recently-used loses");
         for name in ["a", "b", "d"] {
-            assert!(cache.get(name).is_some(), "{name} survives");
+            assert!(cache.get(fid(name)).is_some(), "{name} survives");
         }
     }
 
     #[test]
     fn remove_returns_the_snapshot() {
         let mut cache = SnapshotCache::new(u64::MAX);
-        cache.insert("a", snapshot_of(10));
-        assert!(cache.remove("a").is_some());
+        cache.insert(fid("a"), snapshot_of(10));
+        assert!(cache.remove(fid("a")).is_some());
         assert!(cache.is_empty());
         assert_eq!(cache.used_bytes(), 0);
     }

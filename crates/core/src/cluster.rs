@@ -65,6 +65,7 @@ use crate::config::PlatformConfig;
 use crate::engine::{CompletionPolicy, EngineRequest};
 use crate::env::{EnvConfig, PlatformEnv};
 use crate::mesh::{ChunkMesh, SharedChunkMesh};
+use crate::symbols::{FunctionId, HostId};
 
 /// Per-host seed spacing for the derived fault plans (golden-ratio
 /// increment, the SplitMix64 stream constant).
@@ -111,7 +112,7 @@ impl ClusterConfig {
 #[derive(Debug, Clone, Copy)]
 pub struct HostView {
     /// Host index.
-    pub id: usize,
+    pub id: HostId,
     /// Whether the host is alive (a crashed host never comes back).
     pub healthy: bool,
     /// Invocations currently in service on this host.
@@ -147,11 +148,11 @@ impl HostView {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Route {
     /// Serve on this host (the policy's genuine first choice).
-    Host(usize),
+    Host(HostId),
     /// The policy's preferred host could not take the request; serve on
     /// this fallback instead. The cluster counts these in
     /// `cluster.rebalances`.
-    Fallback(usize),
+    Fallback(HostId),
     /// No healthy host has capacity; wait in the cluster admission
     /// queue.
     Defer,
@@ -196,7 +197,7 @@ impl Router for RoundRobin {
             let h = (self.next + k) % n;
             if hosts[h].has_capacity() {
                 self.next = (h + 1) % n;
-                return Route::Host(h);
+                return Route::Host(hosts[h].id);
             }
         }
         Route::Defer
@@ -248,13 +249,30 @@ impl Router for LeastLoaded {
 /// With a flat snapshot store every residency is `Full` or `Absent`, so
 /// step 2 never matches and the policy reduces to its pre-dedup
 /// behaviour.
+///
+/// The home hash is the FNV-1a of the function *name* (matching
+/// [`Cluster::install_home`]), but it is computed once per
+/// [`FunctionId`] and memoised in a dense id-indexed table — routing
+/// decisions on the hot path never re-hash the string.
 #[derive(Debug, Default)]
-pub struct LocalityAffinity;
+pub struct LocalityAffinity {
+    /// `FunctionId::raw() → fnv1a(name)`, filled on first sight.
+    home_hashes: Vec<Option<u64>>,
+}
 
 impl LocalityAffinity {
     /// A snapshot-locality-affinity router.
     pub fn new() -> Self {
-        LocalityAffinity
+        LocalityAffinity::default()
+    }
+
+    /// The function's stable home hash, memoised per id.
+    fn home_hash(&mut self, function: FunctionId) -> u64 {
+        let idx = function.raw() as usize;
+        if idx >= self.home_hashes.len() {
+            self.home_hashes.resize(idx + 1, None);
+        }
+        *self.home_hashes[idx].get_or_insert_with(|| fnv1a(&function.name()))
     }
 }
 
@@ -282,14 +300,14 @@ impl Router for LocalityAffinity {
         // Otherwise send the function to its stable home so the rebuild
         // happens where future requests will land.
         let n = hosts.len();
-        let home = (fnv1a(&req.function) % n as u64) as usize;
+        let home = (self.home_hash(req.function) % n as u64) as usize;
         for k in 0..n {
             let h = (home + k) % n;
             if hosts[h].has_capacity() {
                 return if h == home {
-                    Route::Host(h)
+                    Route::Host(hosts[h].id)
                 } else {
-                    Route::Fallback(h)
+                    Route::Fallback(hosts[h].id)
                 };
             }
         }
@@ -297,9 +315,9 @@ impl Router for LocalityAffinity {
     }
 }
 
-/// Least-loaded host index among those passing `accept`; ties go to the
+/// Least-loaded host among those passing `accept`; ties go to the
 /// lowest index.
-fn least_loaded(hosts: &[HostView], accept: impl Fn(&HostView) -> bool) -> Option<usize> {
+fn least_loaded(hosts: &[HostView], accept: impl Fn(&HostView) -> bool) -> Option<HostId> {
     hosts
         .iter()
         .filter(|v| accept(v))
@@ -326,9 +344,9 @@ pub struct ClusterCompletion {
     pub index: usize,
     /// The host that served (or was serving) it; `None` if it was never
     /// placed (missed deadline, no healthy host).
-    pub host: Option<usize>,
+    pub host: Option<HostId>,
     /// The function invoked.
-    pub function: String,
+    pub function: FunctionId,
     /// When the request arrived.
     pub arrived: Nanos,
     /// When a slot picked it up (for a rejection: when it was rejected).
@@ -369,7 +387,7 @@ pub struct ClusterReport<T> {
     pub completions: Vec<ClusterCompletion>,
     /// `(host, token)` pairs still resident ([`CompletionPolicy::Retain`]
     /// only), in completion order.
-    pub retained: Vec<(usize, T)>,
+    pub retained: Vec<(HostId, T)>,
     /// Most invocations ever simultaneously in service cluster-wide.
     pub peak_inflight: usize,
     /// Deepest any single host's admission queue ever got.
@@ -382,7 +400,7 @@ pub struct ClusterReport<T> {
     /// Service starts on a host already holding the function's snapshot.
     pub locality_hits: u64,
     /// Hosts that crashed during the run, in failure order.
-    pub failed_hosts: Vec<usize>,
+    pub failed_hosts: Vec<HostId>,
     /// Requests displaced from a crashed host's admission queue and
     /// handed back to the router. Conservation: every one of these still
     /// reaches a terminal outcome (served elsewhere, deadline-rejected,
@@ -399,6 +417,10 @@ struct Host<P: ConcurrentPlatform> {
     inflight: BTreeMap<usize, P::InFlight>,
     /// Preformatted host-index label for metrics.
     label: String,
+    /// Pre-resolved `engine.inflight{host=..}` gauge handle.
+    g_inflight: fireworks_obs::Gauge,
+    /// Pre-resolved `engine.queue_depth{host=..}` gauge handle.
+    g_queue_depth: fireworks_obs::Gauge,
 }
 
 enum Event {
@@ -412,6 +434,19 @@ pub struct Cluster<P: ConcurrentPlatform> {
     obs: Obs,
     config: ClusterConfig,
     hosts: Vec<Host<P>>,
+    /// Alive-host count, maintained incrementally so the per-event gauge
+    /// sample never scans the host table.
+    healthy_hosts: usize,
+    /// Cluster-wide invocations currently in service, maintained
+    /// incrementally (same reason).
+    inflight_total: usize,
+    /// Simulator events processed by [`Cluster::run`] across this
+    /// cluster's lifetime (arrivals + completions).
+    events_processed: u64,
+    /// Pre-resolved cluster-wide gauge handles.
+    g_hosts: fireworks_obs::Gauge,
+    g_inflight: fireworks_obs::Gauge,
+    g_queue_depth: fireworks_obs::Gauge,
     /// Cluster-wide chunk mesh (content-addressed snapshot distribution).
     /// Every host is attached at construction; platforms without a chunk
     /// store ignore it.
@@ -438,7 +473,7 @@ impl<P: ConcurrentPlatform> Cluster<P> {
         let clock = Clock::new();
         let obs = Obs::new(clock.clone());
         let mesh = ChunkMesh::shared();
-        let hosts = (0..config.hosts)
+        let hosts: Vec<Host<P>> = (0..config.hosts)
             .map(|h| {
                 let mut env_config = config.env.clone();
                 env_config.fault_plan.seed = env_config
@@ -447,7 +482,12 @@ impl<P: ConcurrentPlatform> Cluster<P> {
                     .wrapping_add((h as u64).wrapping_mul(HOST_SEED_STRIDE));
                 let env = PlatformEnv::with_shared(env_config, clock.clone(), obs.clone());
                 let mut platform = factory(env.clone(), &config.platform);
-                platform.attach_mesh(mesh.clone(), h);
+                platform.attach_mesh(mesh.clone(), HostId::from_index(h));
+                let label = h.to_string();
+                let m = obs.metrics();
+                let host_labels: &[(&'static str, &str)] = &[("host", &label)];
+                let g_inflight = m.gauge("engine.inflight", host_labels);
+                let g_queue_depth = m.gauge("engine.queue_depth", host_labels);
                 Host {
                     platform,
                     env,
@@ -455,15 +495,28 @@ impl<P: ConcurrentPlatform> Cluster<P> {
                     free: config.slots_per_host,
                     waiting: VecDeque::new(),
                     inflight: BTreeMap::new(),
-                    label: h.to_string(),
+                    label,
+                    g_inflight,
+                    g_queue_depth,
                 }
             })
             .collect();
+        let healthy_hosts = hosts.len();
+        let m = obs.metrics();
+        let g_hosts = m.gauge("cluster.hosts", &[]);
+        let g_inflight = m.gauge("cluster.inflight", &[]);
+        let g_queue_depth = m.gauge("cluster.queue_depth", &[]);
         Cluster {
             clock,
             obs,
             config,
             hosts,
+            healthy_hosts,
+            inflight_total: 0,
+            events_processed: 0,
+            g_hosts,
+            g_inflight,
+            g_queue_depth,
             mesh,
         }
     }
@@ -490,18 +543,25 @@ impl<P: ConcurrentPlatform> Cluster<P> {
     }
 
     /// Host `h`'s platform.
-    pub fn host(&self, h: usize) -> &P {
-        &self.hosts[h].platform
+    pub fn host(&self, h: HostId) -> &P {
+        &self.hosts[h.index()].platform
     }
 
     /// Host `h`'s platform, mutably.
-    pub fn host_mut(&mut self, h: usize) -> &mut P {
-        &mut self.hosts[h].platform
+    pub fn host_mut(&mut self, h: HostId) -> &mut P {
+        &mut self.hosts[h.index()].platform
     }
 
     /// Host `h`'s environment (its RAM, bus, store, injector, …).
-    pub fn host_env(&self, h: usize) -> &PlatformEnv {
-        &self.hosts[h].env
+    pub fn host_env(&self, h: HostId) -> &PlatformEnv {
+        &self.hosts[h.index()].env
+    }
+
+    /// Simulator events (arrivals + completions) processed by
+    /// [`Cluster::run`] so far — the denominator of the events/sec
+    /// throughput metric the sweeps report.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
     /// Installs a function on every host (each host needs its own
@@ -537,21 +597,20 @@ impl<P: ConcurrentPlatform> Cluster<P> {
         &self.mesh
     }
 
-    /// Current per-host views for `function`.
-    fn views(&self, function: &str) -> Vec<HostView> {
-        self.hosts
-            .iter()
-            .enumerate()
-            .map(|(id, host)| HostView {
-                id,
-                healthy: host.healthy,
-                inflight: host.inflight.len(),
-                queue_depth: host.waiting.len(),
-                slots: self.config.slots_per_host,
-                queue_cap: self.config.host_queue_cap,
-                residency: host.platform.residency(function),
-            })
-            .collect()
+    /// Fills `buf` with the current per-host views for `function`. The
+    /// buffer is reused across routing decisions so the hot path never
+    /// allocates.
+    fn views_into(&self, function: FunctionId, buf: &mut Vec<HostView>) {
+        buf.clear();
+        buf.extend(self.hosts.iter().enumerate().map(|(id, host)| HostView {
+            id: HostId::from_index(id),
+            healthy: host.healthy,
+            inflight: host.inflight.len(),
+            queue_depth: host.waiting.len(),
+            slots: self.config.slots_per_host,
+            queue_cap: self.config.host_queue_cap,
+            residency: host.platform.residency(function),
+        }));
     }
 
     /// Drives `requests` (sorted by arrival) through the cluster under
@@ -590,11 +649,13 @@ impl<P: ConcurrentPlatform> Cluster<P> {
             failed_hosts: Vec::new(),
             crash_reroutes: 0,
             roots: BTreeMap::new(),
+            views_buf: Vec::with_capacity(self.hosts.len()),
         };
         let rec = self.obs.recorder().clone();
 
         while let Some(ev) = queue.pop() {
             self.clock.warp_to(ev.at);
+            self.events_processed += 1;
             match ev.event {
                 Event::Arrive(i) => {
                     // Admission mints the request's trace: one detached
@@ -602,7 +663,7 @@ impl<P: ConcurrentPlatform> Cluster<P> {
                     // requests (and hosts) never adopt each other.
                     let trace = rec.next_trace_id();
                     let root = rec.start_detached("request", cat::INVOKE, trace);
-                    rec.attr(root, "function", requests[i].invoke.function.as_str());
+                    rec.attr(root, "function", &*requests[i].invoke.function.name());
                     run.roots.insert(i, (trace, root));
                     if !self.dispatch(router, requests, i, None, &mut run, &mut queue) {
                         run.cluster_waiting.push_back(i);
@@ -610,14 +671,18 @@ impl<P: ConcurrentPlatform> Cluster<P> {
                 }
                 Event::Complete { host, index } => {
                     if let Some(token) = self.hosts[host].inflight.remove(&index) {
+                        self.inflight_total -= 1;
                         match self.config.completion {
                             CompletionPolicy::Release => {
                                 self.hosts[host].platform.finish_invoke(token)
                             }
-                            CompletionPolicy::Retain => run.retained.push((host, token)),
+                            CompletionPolicy::Retain => {
+                                run.retained.push((HostId::from_index(host), token))
+                            }
                         }
                     }
                     self.hosts[host].free += 1;
+                    self.touch_host(host, &mut run);
                     // Drain this host's own queue first (FIFO)…
                     if self.hosts[host].healthy {
                         while let Some(next) = self.hosts[host].waiting.pop_front() {
@@ -733,27 +798,33 @@ impl<P: ConcurrentPlatform> Cluster<P> {
             }
             run.out[i] = Some(ClusterCompletion {
                 index: i,
-                host: rerouted_from,
-                function: r.invoke.function.clone(),
+                host: rerouted_from.map(HostId::from_index),
+                function: r.invoke.function,
                 arrived: r.arrival,
                 started: now,
                 finished: now,
                 result: Err(PlatformError::HostUnavailable {
-                    function: r.invoke.function.clone(),
+                    function: r.invoke.function.name().to_string(),
                     host: rerouted_from,
                 }),
             });
             return true;
         }
-        let views = self.views(&r.invoke.function);
-        let (host, rebalanced) = match router.route(&r.invoke, &views) {
-            Route::Host(h) => (h, false),
-            Route::Fallback(h) => (h, true),
+        let mut views = std::mem::take(&mut run.views_buf);
+        self.views_into(r.invoke.function, &mut views);
+        let decision = router.route(&r.invoke, &views);
+        let (host, rebalanced) = match decision {
+            Route::Host(h) => (h.index(), false),
+            Route::Fallback(h) => (h.index(), true),
             // The caller parks the request on the cluster queue (front or
             // back, depending on whether it's a drain or an arrival).
-            Route::Defer => return false,
+            Route::Defer => {
+                run.views_buf = views;
+                return false;
+            }
         };
         debug_assert!(views[host].has_capacity(), "router picked a full host");
+        run.views_buf = views;
         if rebalanced || rerouted_from.is_some() {
             run.rebalances += 1;
             self.obs.metrics().inc("cluster.rebalances", &[]);
@@ -762,6 +833,7 @@ impl<P: ConcurrentPlatform> Cluster<P> {
             self.start_service(router, requests, host, i, run, queue);
         } else {
             self.hosts[host].waiting.push_back(i);
+            self.touch_host(host, run);
         }
         true
     }
@@ -793,7 +865,7 @@ impl<P: ConcurrentPlatform> Cluster<P> {
         host.free -= 1;
         let started = self.clock.now();
         let r = &requests[i];
-        if host.platform.residency(&r.invoke.function).is_full() {
+        if host.platform.residency(r.invoke.function).is_full() {
             run.locality_hits += 1;
             self.obs.metrics().inc("cluster.locality_hits", &[]);
         }
@@ -818,19 +890,21 @@ impl<P: ConcurrentPlatform> Cluster<P> {
         let result = match result {
             Ok((invocation, token)) => {
                 host.inflight.insert(i, token);
+                self.inflight_total += 1;
                 Ok(invocation)
             }
             Err(e) => Err(e),
         };
         run.out[i] = Some(ClusterCompletion {
             index: i,
-            host: Some(h),
-            function: r.invoke.function.clone(),
+            host: Some(HostId::from_index(h)),
+            function: r.invoke.function,
             arrived: r.arrival,
             started,
             finished,
             result,
         });
+        self.touch_host(h, run);
         queue.schedule(finished, Event::Complete { host: h, index: i });
     }
 
@@ -864,8 +938,9 @@ impl<P: ConcurrentPlatform> Cluster<P> {
     /// queued requests for re-routing.
     fn fail_host(&mut self, h: usize, run: &mut RunState<P::InFlight>) -> VecDeque<usize> {
         self.hosts[h].healthy = false;
-        self.mesh.borrow_mut().mark_dead(h);
-        run.failed_hosts.push(h);
+        self.healthy_hosts -= 1;
+        self.mesh.borrow_mut().mark_dead(HostId::from_index(h));
+        run.failed_hosts.push(HostId::from_index(h));
         self.obs.metrics().inc(
             "cluster.host_crashes",
             &[("host", self.hosts[h].label.as_str())],
@@ -873,7 +948,9 @@ impl<P: ConcurrentPlatform> Cluster<P> {
         self.obs
             .recorder()
             .instant(format!("host_crash:{h}"), fireworks_obs::cat::FAULT);
-        std::mem::take(&mut self.hosts[h].waiting)
+        let drained = std::mem::take(&mut self.hosts[h].waiting);
+        self.touch_host(h, run);
+        drained
     }
 
     /// Fails hosts whose crash was first observed by a peer's delta
@@ -891,6 +968,7 @@ impl<P: ConcurrentPlatform> Cluster<P> {
         // Collect first: `fail_host` needs the mesh borrow back.
         let dead = self.mesh.borrow().dead_hosts();
         for h in dead {
+            let h = h.index();
             if !self.hosts.get(h).is_some_and(|host| host.healthy) {
                 continue;
             }
@@ -909,27 +987,26 @@ impl<P: ConcurrentPlatform> Cluster<P> {
         }
     }
 
-    /// Publishes the per-host and cluster-wide gauges at an event
-    /// boundary, and advances the report's high-water marks.
+    /// Publishes host `h`'s gauges after its state changed and advances
+    /// the per-host high-water mark. Called at the mutation sites instead
+    /// of rescanning every host per event: the per-event work is O(hosts
+    /// touched by the event), not O(cluster size).
+    fn touch_host(&self, h: usize, run: &mut RunState<P::InFlight>) {
+        let host = &self.hosts[h];
+        host.g_inflight.set(host.inflight.len() as i64);
+        host.g_queue_depth.set(host.waiting.len() as i64);
+        run.peak_host_queue_depth = run.peak_host_queue_depth.max(host.waiting.len());
+    }
+
+    /// Publishes the cluster-wide gauges at an event boundary, and
+    /// advances the report's high-water marks. O(1): the totals are
+    /// maintained incrementally and the handles are pre-resolved.
     fn sample_gauges(&self, run: &mut RunState<P::InFlight>) {
-        let m = self.obs.metrics();
-        let mut inflight_total = 0;
-        for host in &self.hosts {
-            let labels: &[(&str, &str)] = &[("host", host.label.as_str())];
-            m.gauge_set("engine.inflight", labels, host.inflight.len() as i64);
-            m.gauge_set("engine.queue_depth", labels, host.waiting.len() as i64);
-            inflight_total += host.inflight.len();
-            run.peak_host_queue_depth = run.peak_host_queue_depth.max(host.waiting.len());
-        }
-        run.peak_inflight = run.peak_inflight.max(inflight_total);
+        run.peak_inflight = run.peak_inflight.max(self.inflight_total);
         run.peak_cluster_queue_depth = run.peak_cluster_queue_depth.max(run.cluster_waiting.len());
-        m.gauge_set(
-            "cluster.hosts",
-            &[],
-            self.hosts.iter().filter(|h| h.healthy).count() as i64,
-        );
-        m.gauge_set("cluster.inflight", &[], inflight_total as i64);
-        m.gauge_set("cluster.queue_depth", &[], run.cluster_waiting.len() as i64);
+        self.g_hosts.set(self.healthy_hosts as i64);
+        self.g_inflight.set(self.inflight_total as i64);
+        self.g_queue_depth.set(run.cluster_waiting.len() as i64);
     }
 }
 
@@ -938,17 +1015,19 @@ impl<P: ConcurrentPlatform> Cluster<P> {
 struct RunState<T> {
     out: Vec<Option<ClusterCompletion>>,
     cluster_waiting: VecDeque<usize>,
-    retained: Vec<(usize, T)>,
+    retained: Vec<(HostId, T)>,
     rebalances: u64,
     locality_hits: u64,
     peak_inflight: usize,
     peak_host_queue_depth: usize,
     peak_cluster_queue_depth: usize,
-    failed_hosts: Vec<usize>,
+    failed_hosts: Vec<HostId>,
     crash_reroutes: u64,
     // Per-request detached trace roots, opened at arrival and closed at
     // completion or rejection.
     roots: BTreeMap<usize, (TraceId, SpanId)>,
+    // Reusable per-decision host-view scratch buffer.
+    views_buf: Vec<HostView>,
 }
 
 /// Rejects request `i` with [`PlatformError::DeadlineExceeded`] if its
@@ -975,13 +1054,13 @@ fn reject_if_expired<T>(
     }
     run.out[i] = Some(ClusterCompletion {
         index: i,
-        host: rerouted_from,
-        function: r.invoke.function.clone(),
+        host: rerouted_from.map(HostId::from_index),
+        function: r.invoke.function,
         arrived: r.arrival,
         started: now,
         finished: now,
         result: Err(PlatformError::DeadlineExceeded {
-            function: r.invoke.function.clone(),
+            function: r.invoke.function.name().to_string(),
             deadline,
         }),
     });
@@ -993,9 +1072,14 @@ mod tests {
     use super::*;
     use crate::api::StartMode;
     use crate::fireworks::FireworksPlatform;
+    use crate::symbols::fid;
     use fireworks_lang::Value;
     use fireworks_runtime::RuntimeKind;
     use fireworks_sim::fault::FaultPlan;
+
+    fn hid(i: usize) -> HostId {
+        HostId::from_index(i)
+    }
 
     fn view(id: usize, inflight: usize, queue_depth: usize, holds: bool) -> HostView {
         view_with(
@@ -1017,7 +1101,7 @@ mod tests {
         residency: SnapshotResidency,
     ) -> HostView {
         HostView {
-            id,
+            id: hid(id),
             healthy: true,
             inflight,
             queue_depth,
@@ -1028,7 +1112,7 @@ mod tests {
     }
 
     fn some_req() -> InvokeRequest {
-        InvokeRequest::new("f", Value::Int(1)).with_mode(StartMode::Auto)
+        InvokeRequest::new(fid("f"), Value::Int(1)).with_mode(StartMode::Auto)
     }
 
     #[test]
@@ -1039,14 +1123,14 @@ mod tests {
             view(1, 0, 0, false),
             view(2, 0, 0, false),
         ];
-        assert_eq!(rr.route(&some_req(), &views), Route::Host(0));
-        assert_eq!(rr.route(&some_req(), &views), Route::Host(1));
-        assert_eq!(rr.route(&some_req(), &views), Route::Host(2));
-        assert_eq!(rr.route(&some_req(), &views), Route::Host(0));
+        assert_eq!(rr.route(&some_req(), &views), Route::Host(hid(0)));
+        assert_eq!(rr.route(&some_req(), &views), Route::Host(hid(1)));
+        assert_eq!(rr.route(&some_req(), &views), Route::Host(hid(2)));
+        assert_eq!(rr.route(&some_req(), &views), Route::Host(hid(0)));
         // Host 1 saturated (full slots and full queue): skipped.
         views[1].inflight = 2;
         views[1].queue_depth = 4;
-        assert_eq!(rr.route(&some_req(), &views), Route::Host(2));
+        assert_eq!(rr.route(&some_req(), &views), Route::Host(hid(2)));
         // Everyone saturated: defer.
         for v in &mut views {
             v.inflight = 2;
@@ -1064,7 +1148,7 @@ mod tests {
             view(2, 0, 1, false),
         ];
         // Loads: 3, 1, 1 → tie between hosts 1 and 2 → lowest id wins.
-        assert_eq!(ll.route(&some_req(), &views), Route::Host(1));
+        assert_eq!(ll.route(&some_req(), &views), Route::Host(hid(1)));
         let unhealthy: Vec<HostView> = views
             .iter()
             .map(|v| HostView {
@@ -1085,22 +1169,22 @@ mod tests {
             view(1, 2, 1, true),
             view(2, 1, 0, true),
         ];
-        assert_eq!(loc.route(&req, &views), Route::Host(2));
+        assert_eq!(loc.route(&req, &views), Route::Host(hid(2)));
         // No holder: the function's stable FNV home gets it (and will
         // cache it for the next request).
-        let home = (fnv1a(&req.function) % 3) as usize;
+        let home = (fnv1a(&req.function.name()) % 3) as usize;
         let views = vec![
             view(0, 1, 1, false),
             view(1, 1, 1, false),
             view(2, 1, 1, false),
         ];
-        assert_eq!(loc.route(&req, &views), Route::Host(home));
+        assert_eq!(loc.route(&req, &views), Route::Host(hid(home)));
         // Home saturated: falls back (counted as a rebalance).
         let mut views = views;
         views[home].inflight = 2;
         views[home].queue_depth = 4;
         match loc.route(&req, &views) {
-            Route::Fallback(h) => assert_ne!(h, home),
+            Route::Fallback(h) => assert_ne!(h, hid(home)),
             other => panic!("expected fallback, got {other:?}"),
         }
         // All saturated: defer.
@@ -1136,16 +1220,16 @@ mod tests {
                 },
             ),
         ];
-        assert_eq!(loc.route(&req, &views), Route::Host(1));
+        assert_eq!(loc.route(&req, &views), Route::Host(hid(1)));
         // A full holder still beats every partial one.
         let mut views = views;
         views[0].residency = SnapshotResidency::Full;
-        assert_eq!(loc.route(&req, &views), Route::Host(0));
+        assert_eq!(loc.route(&req, &views), Route::Host(hid(0)));
         // Saturate the cheap partial: the next-cheapest takes it.
         views[0].residency = SnapshotResidency::Absent;
         views[1].inflight = 2;
         views[1].queue_depth = 4;
-        assert_eq!(loc.route(&req, &views), Route::Host(2));
+        assert_eq!(loc.route(&req, &views), Route::Host(hid(2)));
     }
 
     #[test]
@@ -1176,7 +1260,7 @@ mod tests {
             .map(|_| {
                 EngineRequest::at(
                     Nanos::ZERO,
-                    InvokeRequest::new("f", Value::map([("n".to_string(), Value::Int(500))])),
+                    InvokeRequest::new(fid("f"), Value::map([("n".to_string(), Value::Int(500))])),
                 )
             })
             .collect()
@@ -1191,8 +1275,8 @@ mod tests {
         let mut rr = RoundRobin::new();
         let report = cluster.run(&mut rr, &burst(2));
         assert_eq!(report.peak_inflight, 2, "one clone per host, concurrently");
-        let hosts: Vec<Option<usize>> = report.completions.iter().map(|c| c.host).collect();
-        assert_eq!(hosts, vec![Some(0), Some(1)]);
+        let hosts: Vec<Option<HostId>> = report.completions.iter().map(|c| c.host).collect();
+        assert_eq!(hosts, vec![Some(hid(0)), Some(hid(1))]);
         for c in &report.completions {
             assert!(c.result.is_ok());
             assert_eq!(c.waited(), Nanos::ZERO, "no queueing across two hosts");
@@ -1239,10 +1323,10 @@ mod tests {
         });
         cluster.install(&spec("f")).expect("installs");
         let report = cluster.run(&mut PrimaryBackup, &burst(2));
-        assert_eq!(report.failed_hosts, vec![0]);
+        assert_eq!(report.failed_hosts, vec![hid(0)]);
         assert_eq!(report.rebalances, 1, "the drained request was re-routed");
-        assert_eq!(report.completions[0].host, Some(0));
-        assert_eq!(report.completions[1].host, Some(1));
+        assert_eq!(report.completions[0].host, Some(hid(0)));
+        assert_eq!(report.completions[1].host, Some(hid(1)));
         for c in &report.completions {
             assert!(c.result.is_ok(), "both requests still succeed");
         }
@@ -1270,7 +1354,7 @@ mod tests {
         });
         cluster.install(&spec("f")).expect("installs");
         let report = cluster.run(&mut PrimaryBackup, &burst(1));
-        assert_eq!(report.failed_hosts, vec![0, 1]);
+        assert_eq!(report.failed_hosts, vec![hid(0), hid(1)]);
         assert!(matches!(
             &report.completions[0].result,
             Err(PlatformError::HostUnavailable { host: Some(1), .. })
@@ -1289,8 +1373,8 @@ mod tests {
         cluster.install(&spec("f")).expect("installs");
         let report = cluster.run(&mut RoundRobin::new(), &burst(2));
         assert_eq!(report.retained.len(), 2);
-        let hosts: Vec<usize> = report.retained.iter().map(|(h, _)| *h).collect();
-        assert_eq!(hosts, vec![0, 1]);
+        let hosts: Vec<HostId> = report.retained.iter().map(|(h, _)| *h).collect();
+        assert_eq!(hosts, vec![hid(0), hid(1)]);
         for (h, token) in report.retained {
             assert!(token.pss_bytes() > 0, "retained clone on host {h} is live");
             cluster.host_mut(h).release_clone(token);

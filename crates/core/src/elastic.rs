@@ -82,6 +82,7 @@ use crate::config::{PlatformConfig, RecoveryPolicy};
 use crate::engine::EngineRequest;
 use crate::env::{EnvConfig, PlatformEnv};
 use crate::mesh::{ChunkMesh, SharedChunkMesh};
+use crate::symbols::{fid, FunctionId, HostId};
 use fireworks_store::ChunkStore;
 
 /// Reserved mesh host id for the scale-to-zero archive store. Chosen
@@ -90,6 +91,11 @@ use fireworks_store::ChunkStore;
 /// the mesh's lowest-id-first donor selection prefers a live replica
 /// over the archive whenever one exists.
 pub const ARCHIVE_HOST: usize = 250;
+
+/// [`ARCHIVE_HOST`] as a typed mesh id.
+fn archive_host_id() -> HostId {
+    HostId::from_index(ARCHIVE_HOST)
+}
 
 /// Consecutive failed boot attempts after which the control plane stops
 /// trying to scale up and fails queued admissions fast (bounds the run
@@ -305,7 +311,11 @@ pub struct ElasticReport {
     /// left mesh, stores, and caches mutually consistent).
     pub audit_violations: Vec<String>,
     /// Hosts that crashed or failed to boot, in failure order.
-    pub failed_hosts: Vec<usize>,
+    pub failed_hosts: Vec<HostId>,
+    /// Simulator events (arrivals, completions, control ticks, boots,
+    /// drains, migrations) the run processed — the deterministic
+    /// denominator of an events/sec throughput measurement.
+    pub events_processed: u64,
 }
 
 struct EHost<P: ConcurrentPlatform> {
@@ -335,7 +345,7 @@ enum Ev {
     Migrate {
         dest: usize,
         donor: usize,
-        function: String,
+        function: FunctionId,
         attempt: u32,
     },
 }
@@ -351,16 +361,16 @@ struct ERun {
     peak_cluster_queue_depth: usize,
     host_time: Nanos,
     last_sample: Nanos,
-    failed_hosts: Vec<usize>,
+    failed_hosts: Vec<HostId>,
     audit_violations: Vec<String>,
     /// Per-function arrivals in the current control interval.
-    tick_counts: BTreeMap<String, u64>,
+    tick_counts: BTreeMap<FunctionId, u64>,
     /// Previous interval's total (rising-trend detection).
     prev_tick_total: u64,
     /// Per-function sliding window of per-interval arrival counts.
-    window: BTreeMap<String, VecDeque<u64>>,
+    window: BTreeMap<FunctionId, VecDeque<u64>>,
     /// Last arrival instant per function (retirement input).
-    last_arrival: BTreeMap<String, Nanos>,
+    last_arrival: BTreeMap<FunctionId, Nanos>,
     /// Outstanding drain hand-offs per draining host.
     pending: BTreeMap<usize, usize>,
     boot_failures_row: u32,
@@ -368,6 +378,9 @@ struct ERun {
     /// Per-request detached trace roots, opened at arrival and closed at
     /// completion or rejection.
     roots: BTreeMap<usize, (TraceId, SpanId)>,
+    /// Reused router-view scratch buffer (one allocation per run, not
+    /// per routing decision).
+    views_buf: Vec<HostView>,
 }
 
 /// A boxed host-platform constructor, retained by the cluster so the
@@ -386,7 +399,7 @@ pub struct ElasticCluster<P: ConcurrentPlatform> {
     hosts: Vec<EHost<P>>,
     mesh: SharedChunkMesh,
     factory: HostFactory<P>,
-    specs: BTreeMap<String, FunctionSpec>,
+    specs: BTreeMap<FunctionId, FunctionSpec>,
     /// The scale-to-zero archive: a cluster-durable chunk store
     /// registered in the mesh under [`ARCHIVE_HOST`] with an inert
     /// injector (the archive never crashes — it models replicated
@@ -395,11 +408,18 @@ pub struct ElasticCluster<P: ConcurrentPlatform> {
     archive_env: PlatformEnv,
     /// Manifests archived so far, for the audit (the mesh holds the
     /// serving copies).
-    archive_manifests: BTreeMap<String, SnapshotManifest>,
+    archive_manifests: BTreeMap<FunctionId, SnapshotManifest>,
     /// Functions currently scaled to zero.
-    archived: BTreeSet<String>,
-    migration_breakers: BTreeMap<String, Breaker>,
+    archived: BTreeSet<FunctionId>,
+    migration_breakers: BTreeMap<FunctionId, Breaker>,
     scale_up_breaker: Breaker,
+    /// Invocations currently in service across the fleet, maintained
+    /// incrementally so gauge sampling is O(1) per event.
+    inflight_total: usize,
+    g_hosts: fireworks_obs::Gauge,
+    g_active: fireworks_obs::Gauge,
+    g_inflight: fireworks_obs::Gauge,
+    g_queue: fireworks_obs::Gauge,
 }
 
 impl<P: ConcurrentPlatform> ElasticCluster<P> {
@@ -437,10 +457,14 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
         let archive_env = PlatformEnv::with_shared(archive_env_config, clock.clone(), obs.clone());
         let archive = Rc::new(RefCell::new(ChunkStore::new(archive_env.host_mem.clone())));
         mesh.borrow_mut().register(
-            ARCHIVE_HOST,
+            archive_host_id(),
             archive.clone(),
             fault::shared(FaultInjector::disabled()),
         );
+        let g_hosts = obs.metrics().gauge("elastic.hosts", &[]);
+        let g_active = obs.metrics().gauge("elastic.active_hosts", &[]);
+        let g_inflight = obs.metrics().gauge("elastic.inflight", &[]);
+        let g_queue = obs.metrics().gauge("elastic.queue_depth", &[]);
         let mut cluster = ElasticCluster {
             clock,
             obs,
@@ -455,6 +479,11 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
             archived: BTreeSet::new(),
             migration_breakers: BTreeMap::new(),
             scale_up_breaker: Breaker::default(),
+            inflight_total: 0,
+            g_hosts,
+            g_active,
+            g_inflight,
+            g_queue,
         };
         for _ in 0..cluster.config.policy.min_hosts {
             let h = cluster.create_host();
@@ -473,7 +502,7 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
             .wrapping_add((h as u64).wrapping_mul(HOST_SEED_STRIDE));
         let env = PlatformEnv::with_shared(env_config, self.clock.clone(), self.obs.clone());
         let mut platform = (self.factory)(env.clone(), &self.config.platform);
-        platform.attach_mesh(self.mesh.clone(), h);
+        platform.attach_mesh(self.mesh.clone(), HostId::from_index(h));
         self.hosts.push(EHost {
             platform,
             env,
@@ -503,34 +532,34 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
     }
 
     /// Host `h`'s current lifecycle phase.
-    pub fn phase(&self, h: usize) -> HostPhase {
-        self.hosts[h].phase
+    pub fn phase(&self, h: HostId) -> HostPhase {
+        self.hosts[h.index()].phase
     }
 
     /// Ids of currently powered hosts (booting, active, or draining),
     /// ascending.
-    pub fn powered_hosts(&self) -> Vec<usize> {
+    pub fn powered_hosts(&self) -> Vec<HostId> {
         self.hosts
             .iter()
             .enumerate()
             .filter(|(_, h)| h.phase.is_powered())
-            .map(|(id, _)| id)
+            .map(|(id, _)| HostId::from_index(id))
             .collect()
     }
 
     /// Host `h`'s platform.
-    pub fn host(&self, h: usize) -> &P {
-        &self.hosts[h].platform
+    pub fn host(&self, h: HostId) -> &P {
+        &self.hosts[h.index()].platform
     }
 
     /// Host `h`'s platform, mutably.
-    pub fn host_mut(&mut self, h: usize) -> &mut P {
-        &mut self.hosts[h].platform
+    pub fn host_mut(&mut self, h: HostId) -> &mut P {
+        &mut self.hosts[h.index()].platform
     }
 
     /// Functions currently scaled to zero (archived, no live replica).
-    pub fn archived_functions(&self) -> Vec<String> {
-        self.archived.iter().cloned().collect()
+    pub fn archived_functions(&self) -> Vec<FunctionId> {
+        self.archived.iter().copied().collect()
     }
 
     /// Installs `spec` on the lowest-id active host (building its
@@ -551,7 +580,7 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
             }
         }
         assert!(installed, "no active host to install on");
-        self.specs.insert(spec.name.clone(), spec.clone());
+        self.specs.insert(fid(&spec.name), spec.clone());
         Ok(())
     }
 
@@ -577,7 +606,7 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
             manifests: self
                 .archive_manifests
                 .iter()
-                .map(|(k, v)| (k.clone(), v.clone()))
+                .map(|(k, v)| (k.name().to_string(), v.clone()))
                 .collect(),
         };
         violations.extend(
@@ -587,10 +616,13 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
                 .map(|v| format!("archive: {v}")),
         );
         for id in self.mesh.borrow().alive_hosts() {
-            if id == ARCHIVE_HOST {
+            if id.index() == ARCHIVE_HOST {
                 continue;
             }
-            let powered = self.hosts.get(id).is_some_and(|h| h.phase.is_powered());
+            let powered = self
+                .hosts
+                .get(id.index())
+                .is_some_and(|h| h.phase.is_powered());
             if !powered {
                 violations.push(format!(
                     "mesh: alive registration for host {id}, which is not powered \
@@ -612,11 +644,11 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
     /// Returns whether the archive now holds the function. The copy is
     /// modeled as background replication traffic — it does not charge
     /// the serving timeline.
-    fn archive_function(&mut self, name: &str) -> bool {
-        if self.archive_manifests.contains_key(name) {
+    fn archive_function(&mut self, function: FunctionId) -> bool {
+        if self.archive_manifests.contains_key(&function) {
             return true;
         }
-        let Some(donor) = self.mesh.borrow().donor_for(name, ARCHIVE_HOST) else {
+        let Some(donor) = self.mesh.borrow().donor_for(function, archive_host_id()) else {
             return false;
         };
         {
@@ -648,33 +680,34 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
                 archive.ingest_remote_chunk(chunk.hash, frames);
             }
         }
-        self.mesh
-            .borrow_mut()
-            .publish(ARCHIVE_HOST, name, donor.manifest.clone(), donor.template);
-        self.archive_manifests
-            .insert(name.to_string(), donor.manifest);
+        self.mesh.borrow_mut().publish(
+            archive_host_id(),
+            function,
+            donor.manifest.clone(),
+            donor.template,
+        );
+        self.archive_manifests.insert(function, donor.manifest);
+        let name = function.name();
         self.obs
             .metrics()
-            .inc("elastic.archived", &[("function", name)]);
+            .inc("elastic.archived", &[("function", &name)]);
         true
     }
 
     /// Current router views: only [`HostPhase::Active`] hosts are
-    /// healthy — booting and draining hosts admit nothing.
-    fn views(&self, function: &str) -> Vec<HostView> {
-        self.hosts
-            .iter()
-            .enumerate()
-            .map(|(id, host)| HostView {
-                id,
-                healthy: host.phase == HostPhase::Active,
-                inflight: host.inflight.len(),
-                queue_depth: host.waiting.len(),
-                slots: self.config.slots_per_host,
-                queue_cap: self.config.host_queue_cap,
-                residency: host.platform.residency(function),
-            })
-            .collect()
+    /// healthy — booting and draining hosts admit nothing. Fills the
+    /// caller's scratch buffer instead of allocating per decision.
+    fn views_into(&self, function: FunctionId, buf: &mut Vec<HostView>) {
+        buf.clear();
+        buf.extend(self.hosts.iter().enumerate().map(|(id, host)| HostView {
+            id: HostId::from_index(id),
+            healthy: host.phase == HostPhase::Active,
+            inflight: host.inflight.len(),
+            queue_depth: host.waiting.len(),
+            slots: self.config.slots_per_host,
+            queue_cap: self.config.host_queue_cap,
+            residency: host.platform.residency(function),
+        }));
     }
 
     fn powered_count(&self) -> usize {
@@ -751,9 +784,12 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
             boot_failures_row: 0,
             boot_give_up: false,
             roots: BTreeMap::new(),
+            views_buf: Vec::new(),
         };
 
+        let mut events_processed = 0u64;
         while let Some(ev) = queue.pop() {
+            events_processed += 1;
             // Integrate powered-host machine time up to this event with
             // the pre-event fleet size.
             let dt = ev.at.saturating_sub(run.last_sample);
@@ -777,7 +813,7 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
                     donor,
                     function,
                     attempt,
-                } => self.on_migrate(dest, donor, &function, attempt, &mut run, &mut queue),
+                } => self.on_migrate(dest, donor, function, attempt, &mut run, &mut queue),
             }
             self.reap_mesh_dead(router, requests, &mut run, &mut queue);
             self.sample_gauges(&mut run);
@@ -812,6 +848,7 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
             host_time: run.host_time,
             audit_violations: run.audit_violations,
             failed_hosts: run.failed_hosts,
+            events_processed,
         }
     }
 
@@ -823,16 +860,17 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
         run: &mut ERun,
         queue: &mut EventQueue<Ev>,
     ) {
-        let f = requests[i].invoke.function.clone();
-        *run.tick_counts.entry(f.clone()).or_insert(0) += 1;
-        run.last_arrival.insert(f.clone(), self.clock.now());
+        let f = requests[i].invoke.function;
+        *run.tick_counts.entry(f).or_insert(0) += 1;
+        run.last_arrival.insert(f, self.clock.now());
         // Admission mints the request's trace: one detached root span
         // per request, so spans from interleaved requests (and hosts)
         // never adopt each other.
         let rec = self.obs.recorder().clone();
         let trace = rec.next_trace_id();
         let root = rec.start_detached("request", cat::INVOKE, trace);
-        rec.attr(root, "function", f.as_str());
+        let name = f.name();
+        rec.attr(root, "function", &*name);
         run.roots.insert(i, (trace, root));
         if self.archived.remove(&f) {
             // Demand resurrection: the archive (or any later replica)
@@ -841,7 +879,7 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
             rec.attr(root, "resurrected", true);
             self.obs
                 .metrics()
-                .inc("elastic.resurrections", &[("function", f.as_str())]);
+                .inc("elastic.resurrections", &[("function", &name)]);
         }
         if !self.dispatch(router, requests, i, None, run, queue) {
             run.cluster_waiting.push_back(i);
@@ -859,6 +897,7 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
     ) {
         if let Some(token) = self.hosts[h].inflight.remove(&index) {
             self.hosts[h].platform.finish_invoke(token);
+            self.inflight_total -= 1;
         }
         self.hosts[h].free += 1;
         match self.hosts[h].phase {
@@ -943,25 +982,31 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
             }
             run.out[i] = Some(ClusterCompletion {
                 index: i,
-                host: rerouted_from,
-                function: r.invoke.function.clone(),
+                host: rerouted_from.map(HostId::from_index),
+                function: r.invoke.function,
                 arrived: r.arrival,
                 started: now,
                 finished: now,
                 result: Err(PlatformError::HostUnavailable {
-                    function: r.invoke.function.clone(),
+                    function: r.invoke.function.name().to_string(),
                     host: rerouted_from,
                 }),
             });
             return true;
         }
-        let views = self.views(&r.invoke.function);
-        let (host, rebalanced) = match router.route(&r.invoke, &views) {
-            Route::Host(h) => (h, false),
-            Route::Fallback(h) => (h, true),
-            Route::Defer => return false,
+        let mut views = std::mem::take(&mut run.views_buf);
+        self.views_into(r.invoke.function, &mut views);
+        let decision = router.route(&r.invoke, &views);
+        let (host, rebalanced) = match decision {
+            Route::Host(h) => (h.index(), false),
+            Route::Fallback(h) => (h.index(), true),
+            Route::Defer => {
+                run.views_buf = views;
+                return false;
+            }
         };
         debug_assert!(views[host].has_capacity(), "router picked a full host");
+        run.views_buf = views;
         if rebalanced || rerouted_from.is_some() {
             run.stats.rebalances += 1;
             self.obs.metrics().inc("elastic.rebalances", &[]);
@@ -1000,7 +1045,7 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
         host.idle_ticks = 0;
         let started = self.clock.now();
         let r = &requests[i];
-        if host.platform.residency(&r.invoke.function).is_full() {
+        if host.platform.residency(r.invoke.function).is_full() {
             run.stats.locality_hits += 1;
             self.obs.metrics().inc("elastic.locality_hits", &[]);
         }
@@ -1024,14 +1069,15 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
         let result = match result {
             Ok((invocation, token)) => {
                 host.inflight.insert(i, token);
+                self.inflight_total += 1;
                 Ok(invocation)
             }
             Err(e) => Err(e),
         };
         run.out[i] = Some(ClusterCompletion {
             index: i,
-            host: Some(h),
-            function: r.invoke.function.clone(),
+            host: Some(HostId::from_index(h)),
+            function: r.invoke.function,
             arrived: r.arrival,
             started,
             finished,
@@ -1055,9 +1101,9 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
     ) {
         self.hosts[h].phase = HostPhase::Dead;
         self.hosts[h].idle_ticks = 0;
-        self.mesh.borrow_mut().mark_dead(h);
+        self.mesh.borrow_mut().mark_dead(HostId::from_index(h));
         run.pending.remove(&h);
-        run.failed_hosts.push(h);
+        run.failed_hosts.push(HostId::from_index(h));
         self.obs.metrics().inc(
             "elastic.host_crashes",
             &[("host", self.hosts[h].label.as_str())],
@@ -1094,6 +1140,7 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
     ) {
         let dead = self.mesh.borrow().dead_hosts();
         for h in dead {
+            let h = h.index();
             if h == ARCHIVE_HOST {
                 continue;
             }
@@ -1109,18 +1156,14 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
     }
 
     fn sample_gauges(&self, run: &mut ERun) {
-        let m = self.obs.metrics();
-        let mut inflight_total = 0;
-        for host in &self.hosts {
-            inflight_total += host.inflight.len();
-        }
-        run.peak_inflight = run.peak_inflight.max(inflight_total);
+        let powered = self.powered_count();
+        run.peak_inflight = run.peak_inflight.max(self.inflight_total);
         run.peak_cluster_queue_depth = run.peak_cluster_queue_depth.max(run.cluster_waiting.len());
-        run.peak_hosts = run.peak_hosts.max(self.powered_count());
-        m.gauge_set("elastic.hosts", &[], self.powered_count() as i64);
-        m.gauge_set("elastic.active_hosts", &[], self.active_count() as i64);
-        m.gauge_set("elastic.inflight", &[], inflight_total as i64);
-        m.gauge_set("elastic.queue_depth", &[], run.cluster_waiting.len() as i64);
+        run.peak_hosts = run.peak_hosts.max(powered);
+        self.g_hosts.set(powered as i64);
+        self.g_active.set(self.active_count() as i64);
+        self.g_inflight.set(self.inflight_total as i64);
+        self.g_queue.set(run.cluster_waiting.len() as i64);
     }
 
     /// Rejects request `i` with [`PlatformError::DeadlineExceeded`] if
@@ -1148,13 +1191,13 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
         }
         run.out[i] = Some(ClusterCompletion {
             index: i,
-            host: rerouted_from,
-            function: r.invoke.function.clone(),
+            host: rerouted_from.map(HostId::from_index),
+            function: r.invoke.function,
             arrived: r.arrival,
             started: now,
             finished: now,
             result: Err(PlatformError::DeadlineExceeded {
-                function: r.invoke.function.clone(),
+                function: r.invoke.function.name().to_string(),
                 deadline,
             }),
         });
@@ -1179,7 +1222,7 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
         let tick_total: u64 = run.tick_counts.values().sum();
         let counts = std::mem::take(&mut run.tick_counts);
         for (f, n) in &counts {
-            let w = run.window.entry(f.clone()).or_default();
+            let w = run.window.entry(*f).or_default();
             w.push_back(*n);
             while w.len() > policy.predictor_window {
                 w.pop_front();
@@ -1254,12 +1297,12 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
                 run.out[i] = Some(ClusterCompletion {
                     index: i,
                     host: None,
-                    function: r.invoke.function.clone(),
+                    function: r.invoke.function,
                     arrived: r.arrival,
                     started: now,
                     finished: now,
                     result: Err(PlatformError::HostUnavailable {
-                        function: r.invoke.function.clone(),
+                        function: r.invoke.function.name().to_string(),
                         host: None,
                     }),
                 });
@@ -1310,7 +1353,7 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
         requests: &[EngineRequest],
         run: &mut ERun,
     ) {
-        let mut resident: BTreeSet<String> = BTreeSet::new();
+        let mut resident: BTreeSet<FunctionId> = BTreeSet::new();
         for host in self.hosts.iter().filter(|h| h.phase == HostPhase::Active) {
             resident.extend(host.platform.hot_functions());
         }
@@ -1318,24 +1361,16 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
         // service — are never retirement candidates, even when their
         // last *arrival* is past the horizon (a backlog served slower
         // than it arrived would otherwise thrash retire/resurrect).
-        let mut busy: BTreeSet<&str> = BTreeSet::new();
+        let mut busy: BTreeSet<FunctionId> = BTreeSet::new();
         for &i in &run.cluster_waiting {
-            busy.insert(&requests[i].invoke.function);
+            busy.insert(requests[i].invoke.function);
         }
         for host in &self.hosts {
-            busy.extend(
-                host.waiting
-                    .iter()
-                    .map(|&i| requests[i].invoke.function.as_str()),
-            );
-            busy.extend(
-                host.inflight
-                    .keys()
-                    .map(|&i| requests[i].invoke.function.as_str()),
-            );
+            busy.extend(host.waiting.iter().map(|&i| requests[i].invoke.function));
+            busy.extend(host.inflight.keys().map(|&i| requests[i].invoke.function));
         }
         for f in resident {
-            if busy.contains(f.as_str()) {
+            if busy.contains(&f) {
                 continue;
             }
             let last = run.last_arrival.get(&f).copied().unwrap_or(Nanos::ZERO);
@@ -1345,21 +1380,22 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
             // Crash safety: the archive copy must exist before any
             // replica is dropped — a retirement that cannot reach the
             // archive keeps its live replicas.
-            if !self.archive_function(&f) {
+            if !self.archive_function(f) {
                 continue;
             }
             let mut any = false;
             for host in self.hosts.iter_mut() {
                 if host.phase.is_powered() {
-                    any |= host.platform.retire(&f);
+                    any |= host.platform.retire(f);
                 }
             }
             if any {
                 run.stats.retired_functions += 1;
-                self.archived.insert(f.clone());
+                self.archived.insert(f);
+                let name = f.name();
                 self.obs
                     .metrics()
-                    .inc("elastic.retired", &[("function", f.as_str())]);
+                    .inc("elastic.retired", &[("function", &name)]);
                 self.audit_into(run);
             }
         }
@@ -1388,8 +1424,8 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
             self.hosts[h].phase = HostPhase::Dead;
             // The host never served: deregister (no crash record for
             // the reaper — there is nothing to drain).
-            self.mesh.borrow_mut().deregister(h);
-            run.failed_hosts.push(h);
+            self.mesh.borrow_mut().deregister(HostId::from_index(h));
+            run.failed_hosts.push(HostId::from_index(h));
             run.stats.scale_up_failures += 1;
             run.boot_failures_row += 1;
             self.scale_up_breaker
@@ -1420,26 +1456,27 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
 
     /// Prewarms the predictor's hottest functions on host `h`.
     fn prewarm_host(&mut self, h: usize, run: &mut ERun) {
-        let mut scored: Vec<(u64, String)> = run
+        let mut scored: Vec<(u64, FunctionId)> = run
             .window
             .iter()
-            .map(|(f, w)| (w.iter().sum::<u64>(), f.clone()))
+            .map(|(f, w)| (w.iter().sum::<u64>(), *f))
             .filter(|(score, _)| *score > 0)
             .collect();
         scored.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
         for (_, f) in scored.into_iter().take(PREWARM_TOP_K) {
-            if self.hosts[h].platform.prewarm(&f) {
+            if self.hosts[h].platform.prewarm(f) {
                 run.stats.prewarms += 1;
+                let name = f.name();
                 self.obs
                     .metrics()
-                    .inc("elastic.prewarms", &[("function", f.as_str())]);
+                    .inc("elastic.prewarms", &[("function", &name)]);
                 if self.archived.remove(&f) {
                     // Predictor-signal resurrection: the prewarm pulled
                     // an archived function back into live service.
                     run.stats.resurrections += 1;
                     self.obs
                         .metrics()
-                        .inc("elastic.resurrections", &[("function", f.as_str())]);
+                        .inc("elastic.resurrections", &[("function", &name)]);
                 }
             }
         }
@@ -1486,7 +1523,7 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
         let hot = self.hosts[h].platform.hot_functions();
         let mut scheduled = 0usize;
         for f in hot {
-            let Some(dest) = self.pick_migration_dest(&f, h) else {
+            let Some(dest) = self.pick_migration_dest(f, h) else {
                 continue;
             };
             queue.schedule(
@@ -1511,7 +1548,7 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
     /// The cheapest active host (fewest missing bytes, then load, then
     /// id) that does not already fully hold `function`; `None` when no
     /// active host exists or every one already holds it.
-    fn pick_migration_dest(&self, function: &str, donor: usize) -> Option<usize> {
+    fn pick_migration_dest(&self, function: FunctionId, donor: usize) -> Option<usize> {
         self.hosts
             .iter()
             .enumerate()
@@ -1530,7 +1567,7 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
         &mut self,
         dest: usize,
         donor: usize,
-        function: &str,
+        function: FunctionId,
         attempt: u32,
         run: &mut ERun,
         queue: &mut EventQueue<Ev>,
@@ -1555,15 +1592,12 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
             // Rerouting of the donor's queue happens in the shared
             // failure path; the reaper sees the mesh death immediately.
             self.hosts[donor].phase = HostPhase::Dead;
-            self.mesh.borrow_mut().mark_dead(donor);
-            run.failed_hosts.push(donor);
+            self.mesh.borrow_mut().mark_dead(HostId::from_index(donor));
+            run.failed_hosts.push(HostId::from_index(donor));
             self.audit_into(run);
             return;
         }
-        let breaker = self
-            .migration_breakers
-            .entry(function.to_string())
-            .or_default();
+        let breaker = self.migration_breakers.entry(function).or_default();
         if breaker.is_open(now) {
             run.stats.migration_failures += 1;
             self.resolve_handoff(donor, run);
@@ -1579,7 +1613,7 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
         let Some(dest) = dest else {
             run.stats.migration_failures += 1;
             self.migration_breakers
-                .get_mut(function)
+                .get_mut(&function)
                 .expect("entry created above")
                 .failure(now, &policy);
             self.resolve_handoff(donor, run);
@@ -1602,7 +1636,7 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
                     Ev::Migrate {
                         dest,
                         donor,
-                        function: function.to_string(),
+                        function,
                         attempt: attempt + 1,
                     },
                 );
@@ -1610,7 +1644,7 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
             }
             run.stats.migration_failures += 1;
             self.migration_breakers
-                .get_mut(function)
+                .get_mut(&function)
                 .expect("entry created above")
                 .failure(now, &policy);
             self.resolve_handoff(donor, run);
@@ -1624,7 +1658,8 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
         let rec = self.obs.recorder().clone();
         let mtrace = rec.next_trace_id();
         let mroot = rec.start_detached("migration", cat::MIGRATE, mtrace);
-        rec.attr(mroot, "function", function);
+        let name = function.name();
+        rec.attr(mroot, "function", &*name);
         rec.attr(mroot, "donor", donor);
         rec.attr(mroot, "dest", dest);
         let handoff = rec.start_under(mroot, "handoff", cat::MIGRATE);
@@ -1644,9 +1679,9 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
             run.stats.migrations += 1;
             self.obs
                 .metrics()
-                .inc("elastic.migrations", &[("function", function)]);
+                .inc("elastic.migrations", &[("function", &name)]);
             self.migration_breakers
-                .get_mut(function)
+                .get_mut(&function)
                 .expect("entry created above")
                 .success();
         } else {
@@ -1654,7 +1689,7 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
             // rebuild-from-source on first demand at the destination.
             run.stats.migration_failures += 1;
             self.migration_breakers
-                .get_mut(function)
+                .get_mut(&function)
                 .expect("entry created above")
                 .failure(now, &policy);
         }
@@ -1686,7 +1721,7 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
         run.stats.graceful_drains += 1;
         self.obs.metrics().inc("elastic.graceful_drains", &[]);
         self.hosts[h].phase = HostPhase::Retired;
-        self.mesh.borrow_mut().deregister(h);
+        self.mesh.borrow_mut().deregister(HostId::from_index(h));
         self.audit_into(run);
     }
 
@@ -1708,7 +1743,7 @@ impl<P: ConcurrentPlatform> ElasticCluster<P> {
         self.obs.metrics().inc("elastic.hard_removals", &[]);
         run.pending.remove(&h);
         self.hosts[h].phase = HostPhase::Retired;
-        self.mesh.borrow_mut().deregister(h);
+        self.mesh.borrow_mut().deregister(HostId::from_index(h));
         // A draining host admits nothing, but displaced requests may
         // have been parked back on its queue before the drain started;
         // conservation demands they reroute.
@@ -1730,6 +1765,7 @@ mod tests {
     use crate::cluster::LocalityAffinity;
     use crate::config::SnapshotStorePolicy;
     use crate::fireworks::FireworksPlatform;
+    use crate::symbols::fid;
     use fireworks_lang::Value;
     use fireworks_runtime::RuntimeKind;
 
@@ -1764,7 +1800,7 @@ mod tests {
             .map(|i| {
                 EngineRequest::at(
                     gap * i as u64,
-                    InvokeRequest::new("f", Value::map([("n".to_string(), Value::Int(200))]))
+                    InvokeRequest::new(fid("f"), Value::map([("n".to_string(), Value::Int(200))]))
                         .with_mode(StartMode::Auto),
                 )
             })
@@ -1838,7 +1874,7 @@ mod tests {
         let last = reqs.last().expect("non-empty").arrival;
         reqs.push(EngineRequest::at(
             last + Nanos::from_millis(50),
-            InvokeRequest::new("f", Value::map([("n".to_string(), Value::Int(200))])),
+            InvokeRequest::new(fid("f"), Value::map([("n".to_string(), Value::Int(200))])),
         ));
         let report = cluster.run(&mut LocalityAffinity::new(), &reqs);
         assert!(report.completions.iter().all(|c| c.result.is_ok()));

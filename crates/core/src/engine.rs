@@ -43,6 +43,7 @@ use fireworks_sim::trace::Phase;
 use fireworks_sim::{Clock, Nanos};
 
 use crate::api::{ConcurrentPlatform, InFlightToken, Invocation, InvokeRequest, PlatformError};
+use crate::symbols::FunctionId;
 
 /// One request offered to the engine: an invocation plus its arrival
 /// instant on the virtual timeline.
@@ -104,7 +105,7 @@ pub struct EngineCompletion {
     /// Index of the request in the submitted schedule.
     pub index: usize,
     /// The function invoked.
-    pub function: String,
+    pub function: FunctionId,
     /// When the request arrived.
     pub arrived: Nanos,
     /// When a slot picked it up (for a missed deadline: when the engine
@@ -144,6 +145,10 @@ pub struct EngineReport<T> {
     /// Highest total PSS attributed to live in-flight (plus retained)
     /// guest memory, sampled at event boundaries.
     pub peak_live_pss_bytes: u64,
+    /// Simulator events (arrivals + completions) the run processed —
+    /// the deterministic denominator of an events/sec throughput
+    /// measurement.
+    pub events_processed: u64,
 }
 
 enum Event {
@@ -203,7 +208,7 @@ pub fn run_concurrent<P: ConcurrentPlatform>(
         fn admit(&mut self, rec: &Recorder, requests: &[EngineRequest], i: usize) {
             let trace = rec.next_trace_id();
             let root = rec.start_detached("request", cat::INVOKE, trace);
-            rec.attr(root, "function", requests[i].invoke.function.as_str());
+            rec.attr(root, "function", &*requests[i].invoke.function.name());
             self.roots.insert(i, (trace, root));
         }
 
@@ -248,7 +253,7 @@ pub fn run_concurrent<P: ConcurrentPlatform>(
             };
             self.out[i] = Some(EngineCompletion {
                 index: i,
-                function: r.invoke.function.clone(),
+                function: r.invoke.function,
                 arrived: r.arrival,
                 started,
                 finished,
@@ -280,12 +285,12 @@ pub fn run_concurrent<P: ConcurrentPlatform>(
             }
             self.out[i] = Some(EngineCompletion {
                 index: i,
-                function: r.invoke.function.clone(),
+                function: r.invoke.function,
                 arrived: r.arrival,
                 started: now,
                 finished: now,
                 result: Err(PlatformError::DeadlineExceeded {
-                    function: r.invoke.function.clone(),
+                    function: r.invoke.function.name().to_string(),
                     deadline,
                 }),
             });
@@ -317,7 +322,9 @@ pub fn run_concurrent<P: ConcurrentPlatform>(
     let g_peak_queue_depth = m.gauge("engine.peak_queue_depth", &[]);
     let g_peak_live_pss = m.gauge("engine.peak_live_pss_bytes", &[]);
 
+    let mut events_processed = 0u64;
     while let Some(ev) = queue.pop() {
+        events_processed += 1;
         clock.warp_to(ev.at);
         match ev.event {
             Event::Arrive(i) => {
@@ -378,6 +385,7 @@ pub fn run_concurrent<P: ConcurrentPlatform>(
         peak_inflight: state.peak_inflight,
         peak_queue_depth: state.peak_queue_depth,
         peak_live_pss_bytes: state.peak_live_pss,
+        events_processed,
     }
 }
 
@@ -387,6 +395,7 @@ mod tests {
     use crate::api::{FunctionSpec, StartKind};
     use crate::env::PlatformEnv;
     use crate::fireworks::FireworksPlatform;
+    use crate::symbols::fid;
     use fireworks_lang::Value;
     use fireworks_runtime::RuntimeKind;
 
@@ -413,7 +422,7 @@ mod tests {
 
     fn burst(count: usize, at: Nanos) -> Vec<EngineRequest> {
         (0..count)
-            .map(|_| EngineRequest::at(at, InvokeRequest::new("f", args(500))))
+            .map(|_| EngineRequest::at(at, InvokeRequest::new(fid("f"), args(500))))
             .collect()
     }
 
@@ -524,8 +533,8 @@ mod tests {
         let mut p = installed_platform();
         let env = p.env().clone();
         let requests = vec![
-            EngineRequest::at(Nanos::ZERO, InvokeRequest::new("ghost", args(1))),
-            EngineRequest::at(Nanos::ZERO, InvokeRequest::new("f", args(10))),
+            EngineRequest::at(Nanos::ZERO, InvokeRequest::new(fid("ghost"), args(1))),
+            EngineRequest::at(Nanos::ZERO, InvokeRequest::new(fid("f"), args(10))),
         ];
         let report = run_concurrent(
             &mut p,
@@ -554,12 +563,12 @@ mod tests {
         // time, so the second — deadline 1 ns after arrival — expires in
         // the queue, and the third still runs.
         let requests = vec![
-            EngineRequest::at(Nanos::ZERO, InvokeRequest::new("f", args(500))),
+            EngineRequest::at(Nanos::ZERO, InvokeRequest::new(fid("f"), args(500))),
             EngineRequest::at(
                 Nanos::ZERO,
-                InvokeRequest::new("f", args(500)).with_deadline(Nanos::from_nanos(1)),
+                InvokeRequest::new(fid("f"), args(500)).with_deadline(Nanos::from_nanos(1)),
             ),
-            EngineRequest::at(Nanos::ZERO, InvokeRequest::new("f", args(500))),
+            EngineRequest::at(Nanos::ZERO, InvokeRequest::new(fid("f"), args(500))),
         ];
         let report = run_concurrent(
             &mut p,

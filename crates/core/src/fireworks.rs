@@ -1,7 +1,6 @@
 //! The FIREWORKS platform.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use fireworks_annotator::{annotate, Annotated, AnnotationConfig};
@@ -31,6 +30,7 @@ use crate::config::{PagingPolicy, PlatformConfig, RecoveryPolicy, SnapshotStoreP
 use crate::env::PlatformEnv;
 use crate::host::{GuestHost, NetMode};
 use crate::mesh::SharedChunkMesh;
+use crate::symbols::{fid, FunctionId, HostId, IdMap};
 
 /// The guest IP baked into every snapshot (identical across clones —
 /// paper Fig. 5's `A.A.A.A`).
@@ -127,7 +127,7 @@ impl InFlightToken for ResidentClone {
 pub struct FireworksPlatform {
     env: PlatformEnv,
     mgr: VmManager,
-    registry: HashMap<String, FunctionEntry>,
+    registry: IdMap<FunctionEntry>,
     cache: SnapshotCache,
     next_instance: u64,
     security: SecurityPolicy,
@@ -142,7 +142,7 @@ pub struct FireworksPlatform {
     /// a mesh peer instead of rebuilding from source.
     delta_fetch: bool,
     /// The cluster's chunk mesh and this host's id in it, once attached.
-    mesh: Option<(SharedChunkMesh, usize)>,
+    mesh: Option<(SharedChunkMesh, HostId)>,
 }
 
 impl FireworksPlatform {
@@ -194,7 +194,7 @@ impl FireworksPlatform {
         FireworksPlatform {
             env,
             mgr,
-            registry: HashMap::new(),
+            registry: IdMap::new(),
             cache,
             next_instance: 1,
             security: config.security,
@@ -316,22 +316,25 @@ impl FireworksPlatform {
 
     /// Regenerates a function's snapshot (security refresh / cache-miss
     /// reinstall). Returns the new snapshot.
-    fn refresh_snapshot(&mut self, name: &str) -> Result<Rc<VmFullSnapshot>, PlatformError> {
+    fn refresh_snapshot(
+        &mut self,
+        function: FunctionId,
+    ) -> Result<Rc<VmFullSnapshot>, PlatformError> {
         let entry = self
             .registry
-            .get(name)
-            .ok_or_else(|| PlatformError::UnknownFunction(name.to_string()))?;
+            .get(function)
+            .ok_or_else(|| PlatformError::UnknownFunction(function.name().to_string()))?;
         let spec = entry.spec.clone();
         let annotated = entry.annotated.clone();
         let profile = entry.profile.clone();
         let t0 = self.env.clock.now();
         let snapshot = self.build_snapshot(&spec, &annotated, &profile)?;
         let took = self.env.clock.now() - t0;
-        let snapshot = self.cache_insert(name, snapshot);
+        let snapshot = self.cache_insert(function, snapshot);
         let entry = self
             .registry
-            .get_mut(name)
-            .ok_or_else(|| PlatformError::UnknownFunction(name.to_string()))?;
+            .get_mut(function)
+            .ok_or_else(|| PlatformError::UnknownFunction(function.name().to_string()))?;
         entry.clones_since_snapshot = 0;
         entry.refreshes += 1;
         entry.refresh_time += took;
@@ -347,7 +350,11 @@ impl FireworksPlatform {
     /// functions occupy host memory once and the manifest is published to
     /// the mesh for peers to delta-fetch. Returns the snapshot actually
     /// cached (the canonical remap in dedup mode).
-    fn cache_insert(&mut self, name: &str, snapshot: Rc<VmFullSnapshot>) -> Rc<VmFullSnapshot> {
+    fn cache_insert(
+        &mut self,
+        function: FunctionId,
+        snapshot: Rc<VmFullSnapshot>,
+    ) -> Rc<VmFullSnapshot> {
         let (cached, evicted) = match &self.chunk_store {
             Some(store) => {
                 let template = snapshot.template();
@@ -361,22 +368,22 @@ impl FireworksPlatform {
                     snapshot.mem().device_state().to_vec(),
                 );
                 let canonical = Rc::new(VmFullSnapshot::from_template(mem, &template));
-                let evicted = self
-                    .cache
-                    .insert_dedup(name, canonical.clone(), manifest.clone());
+                let evicted =
+                    self.cache
+                        .insert_dedup(function, canonical.clone(), manifest.clone());
                 if let Some((mesh, id)) = &self.mesh {
-                    mesh.borrow_mut().publish(*id, name, manifest, template);
+                    mesh.borrow_mut().publish(*id, function, manifest, template);
                 }
                 (canonical, evicted)
             }
             None => {
-                let evicted = self.cache.insert(name, snapshot.clone());
+                let evicted = self.cache.insert(function, snapshot.clone());
                 (snapshot, evicted)
             }
         };
         if let Some((mesh, id)) = &self.mesh {
             let mut mesh = mesh.borrow_mut();
-            for victim in &evicted {
+            for &victim in &evicted {
                 mesh.retract(*id, victim);
             }
         }
@@ -385,10 +392,10 @@ impl FireworksPlatform {
 
     /// Drops a snapshot from the cache and withdraws its mesh
     /// publication (quarantine, security refresh).
-    fn uncache(&mut self, name: &str) {
-        self.cache.remove(name);
+    fn uncache(&mut self, function: FunctionId) {
+        self.cache.remove(function);
         if let Some((mesh, id)) = &self.mesh {
-            mesh.borrow_mut().retract(*id, name);
+            mesh.borrow_mut().retract(*id, function);
         }
     }
 
@@ -403,20 +410,20 @@ impl FireworksPlatform {
     /// Returns `None` — falling back to rebuild-from-source — when
     /// delta fetch is off, no donor qualifies, the donor crashes
     /// mid-transfer, or a chunk transfer exhausts its retries.
-    fn fetch_snapshot_delta(&mut self, name: &str) -> Option<Rc<VmFullSnapshot>> {
+    fn fetch_snapshot_delta(&mut self, function: FunctionId) -> Option<Rc<VmFullSnapshot>> {
         if !self.delta_fetch {
             return None;
         }
         let store = self.chunk_store.clone()?;
         let (mesh, my_id) = self.mesh.clone()?;
-        let donor = mesh.borrow().donor_for(name, my_id)?;
+        let donor = mesh.borrow().donor_for(function, my_id)?;
         let obs = self.env.obs.clone();
         let rec = obs.recorder().clone();
         let sp = rec.start_phase("snapshot_delta_fetch", cat::SNAPSHOT, Phase::Startup);
-        rec.attr(sp, "donor", donor.host as u64);
+        rec.attr(sp, "donor", donor.host.raw() as u64);
 
         let missing = store.borrow().missing_chunks(&donor.manifest);
-        let peer = Ip::new(10, 42, 0, donor.host as u8);
+        let peer = Ip::new(10, 42, 0, donor.host.index() as u8);
         let mut staged: Vec<(ChunkHash, Vec<(usize, FrameId)>)> = Vec::new();
         let mut wire = Nanos::ZERO;
         let mut fetched_bytes = 0u64;
@@ -468,8 +475,9 @@ impl FireworksPlatform {
                     self.env.host_mem.release(f);
                 }
             }
+            let name = function.name();
             obs.metrics()
-                .inc("core.delta.fallbacks", &[("function", name)]);
+                .inc("core.delta.fallbacks", &[("function", &name)]);
             rec.instant(format!("delta_fallback:{name}"), cat::SNAPSHOT);
             rec.end(sp);
             return None;
@@ -506,7 +514,8 @@ impl FireworksPlatform {
         let charged = wire.saturating_sub(overlap);
         self.env.clock.advance(charged);
 
-        let labels: &[(&'static str, &str)] = &[("function", name)];
+        let name = function.name();
+        let labels: &[(&'static str, &str)] = &[("function", &name)];
         let m = obs.metrics();
         m.inc("core.delta.fetches", labels);
         m.add("core.delta.chunks_fetched", labels, missing.len() as u64);
@@ -520,11 +529,11 @@ impl FireworksPlatform {
 
         let evicted = self
             .cache
-            .insert_dedup(name, snapshot.clone(), donor.manifest.clone());
+            .insert_dedup(function, snapshot.clone(), donor.manifest.clone());
         {
             let mut mesh = mesh.borrow_mut();
-            mesh.publish(my_id, name, donor.manifest, donor.template);
-            for victim in &evicted {
+            mesh.publish(my_id, function, donor.manifest, donor.template);
+            for &victim in &evicted {
                 mesh.retract(my_id, victim);
             }
         }
@@ -534,13 +543,13 @@ impl FireworksPlatform {
 
     /// Records an infrastructure failure against `name`'s breaker,
     /// opening the circuit once the threshold is reached.
-    fn note_infra_failure(&mut self, name: &str) {
+    fn note_infra_failure(&mut self, function: FunctionId) {
         let now = self.env.clock.now();
         let (threshold, cooldown) = (
             self.recovery.circuit_threshold,
             self.recovery.circuit_cooldown,
         );
-        if let Some(entry) = self.registry.get_mut(name) {
+        if let Some(entry) = self.registry.get_mut(function) {
             entry.consecutive_failures += 1;
             if entry.consecutive_failures >= threshold {
                 entry.circuit_open_until = Some(now + cooldown);
@@ -555,15 +564,18 @@ impl FireworksPlatform {
     /// platform's internals join the request's cross-host tree.
     fn invoke_internal(
         &mut self,
-        name: &str,
+        function: FunctionId,
         args: &Value,
         trace_ctx: Option<fireworks_obs::SpanContext>,
     ) -> Result<(Invocation, ResidentClone), PlatformError> {
         let clock = self.env.clock.clone();
+        // Resolve the label once; every metric and span below borrows it.
+        let name = function.name();
+        let name_labels: &[(&'static str, &str)] = &[("function", &name)];
         let (default_params, known_working_set, timeout) = {
             let entry = self
                 .registry
-                .get(name)
+                .get(function)
                 .ok_or_else(|| PlatformError::UnknownFunction(name.to_string()))?;
             // Open breaker: fail fast without touching any resources.
             // Past the cooldown the attempt is let through (half-open);
@@ -596,9 +608,8 @@ impl FireworksPlatform {
             Some(ctx) => rec.start_under(ctx.parent, "invoke", cat::INVOKE),
             None => rec.start("invoke", cat::INVOKE),
         };
-        rec.attr(inv_span, "function", name);
-        obs.metrics()
-            .inc("core.invoke.attempts", &[("function", name)]);
+        rec.attr(inv_span, "function", &*name);
+        obs.metrics().inc("core.invoke.attempts", name_labels);
         let t_start = clock.now();
 
         let mut trace = Trace::new();
@@ -608,18 +619,18 @@ impl FireworksPlatform {
         // (content-addressed store only), and otherwise must rebuild it
         // from source (the §6 disk-budget trade-off) — either way charged
         // to this invocation as a labelled start-up span.
-        let mut snapshot = match self.cache.get(name) {
+        let mut snapshot = match self.cache.get(function) {
             Some(s) => s,
             None => {
                 let t0 = clock.now();
-                match self.fetch_snapshot_delta(name) {
+                match self.fetch_snapshot_delta(function) {
                     Some(s) => {
                         trace.record("snapshot_delta_fetch", Phase::Startup, t0, clock.now());
                         s
                     }
                     None => {
                         let sp = rec.start_phase("snapshot_rebuild", cat::SNAPSHOT, Phase::Startup);
-                        let s = self.refresh_snapshot(name);
+                        let s = self.refresh_snapshot(function);
                         rec.end(sp);
                         let s = match s {
                             Ok(s) => s,
@@ -697,13 +708,12 @@ impl FireworksPlatform {
                     // evict the damaged snapshot and rebuild from source.
                     restore_retries_now += 1;
                     obs.metrics()
-                        .inc("core.recovery.restore_retries", &[("function", name)]);
-                    self.uncache(name);
-                    if let Some(entry) = self.registry.get_mut(name) {
+                        .inc("core.recovery.restore_retries", name_labels);
+                    self.uncache(function);
+                    if let Some(entry) = self.registry.get_mut(function) {
                         entry.quarantines += 1;
                     }
-                    obs.metrics()
-                        .inc("core.recovery.quarantines", &[("function", name)]);
+                    obs.metrics().inc("core.recovery.quarantines", name_labels);
                     rec.instant_with(
                         format!("snapshot_quarantine:{name}"),
                         cat::CACHE,
@@ -711,7 +721,7 @@ impl FireworksPlatform {
                     );
                     let t0 = clock.now();
                     let sp = rec.start_phase("snapshot_rebuild", cat::SNAPSHOT, Phase::Startup);
-                    let refreshed = self.refresh_snapshot(name);
+                    let refreshed = self.refresh_snapshot(function);
                     rec.end(sp);
                     match refreshed {
                         Ok(s) => {
@@ -725,7 +735,7 @@ impl FireworksPlatform {
                 Err(_transient) => {
                     restore_retries_now += 1;
                     obs.metrics()
-                        .inc("core.recovery.restore_retries", &[("function", name)]);
+                        .inc("core.recovery.restore_retries", name_labels);
                     let sp = rec.start_phase("recovery_backoff", cat::RESTORE, Phase::Startup);
                     trace.scope(&clock, "recovery_backoff", Phase::Startup, || {
                         clock.advance(self.recovery.backoff(attempt));
@@ -743,12 +753,11 @@ impl FireworksPlatform {
                     .bus
                     .borrow_mut()
                     .delete_topic(&format!("params-{instance}"));
-                self.note_infra_failure(name);
-                if let Some(entry) = self.registry.get_mut(name) {
+                self.note_infra_failure(function);
+                if let Some(entry) = self.registry.get_mut(function) {
                     entry.restore_retries += restore_retries_now;
                 }
-                obs.metrics()
-                    .inc("core.invoke.failures", &[("function", name)]);
+                obs.metrics().inc("core.invoke.failures", name_labels);
                 // The failed invocation returns no trace; its fault events
                 // go to the recorder (as instants) instead of bleeding
                 // into the next invocation's trace.
@@ -802,7 +811,7 @@ impl FireworksPlatform {
             rec.end(sp);
             if prefetch_degraded_now {
                 obs.metrics()
-                    .inc("core.reap.prefetch_degraded", &[("function", name)]);
+                    .inc("core.reap.prefetch_degraded", name_labels);
                 rec.instant(format!("prefetch_degraded:{name}"), cat::PREFETCH);
             }
         }
@@ -855,8 +864,7 @@ impl FireworksPlatform {
                     .delete_topic(&format!("params-{instance}"));
                 let fault_trace = self.env.injector.borrow_mut().drain_trace();
                 rec.ingest_trace(&fault_trace, cat::FAULT);
-                obs.metrics()
-                    .inc("core.invoke.failures", &[("function", name)]);
+                obs.metrics().inc("core.invoke.failures", name_labels);
                 rec.end(inv_span);
                 return Err(e);
             }
@@ -908,7 +916,7 @@ impl FireworksPlatform {
         // gauges.
         rec.scope("pss_recompute", cat::MEM, || {
             let sharing = vm.sharing_stats();
-            let labels: &[(&'static str, &str)] = &[("function", name)];
+            let labels = name_labels;
             let m = obs.metrics();
             m.gauge_set("guestmem.clone.pss_bytes", labels, vm.pss_bytes() as i64);
             m.gauge_set("guestmem.clone.rss_bytes", labels, vm.rss_bytes() as i64);
@@ -926,7 +934,7 @@ impl FireworksPlatform {
 
         let entry = self
             .registry
-            .get_mut(name)
+            .get_mut(function)
             .ok_or_else(|| PlatformError::UnknownFunction(name.to_string()))?;
         entry.clones_since_snapshot += 1;
         if let Some(ws) = recorded_ws {
@@ -964,13 +972,13 @@ impl FireworksPlatform {
         rec.end(inv_span);
         obs.metrics().observe(
             "core.invoke.latency_ns",
-            &[("function", name)],
+            name_labels,
             (clock.now() - t_start).as_nanos(),
         );
 
         // Security maintenance off the invocation path (paper §6).
         if needs_refresh {
-            self.refresh_snapshot(name)?;
+            self.refresh_snapshot(function)?;
         }
 
         Ok((invocation, clone))
@@ -980,10 +988,10 @@ impl FireworksPlatform {
     /// experiments). Release it with [`FireworksPlatform::release_clone`].
     pub fn invoke_resident(
         &mut self,
-        name: &str,
+        function: FunctionId,
         args: &Value,
     ) -> Result<(Invocation, ResidentClone), PlatformError> {
-        self.invoke_internal(name, args, None)
+        self.invoke_internal(function, args, None)
     }
 
     /// Tears down a resident clone: namespace, parameter topic, and guest
@@ -998,10 +1006,10 @@ impl FireworksPlatform {
     }
 
     /// Security audit for an installed function (paper §6).
-    pub fn audit(&self, name: &str) -> Option<SecurityAudit> {
-        let entry = self.registry.get(name)?;
+    pub fn audit(&self, function: FunctionId) -> Option<SecurityAudit> {
+        let entry = self.registry.get(function)?;
         Some(SecurityAudit {
-            function: name.to_string(),
+            function: function.name().to_string(),
             clones_from_current_snapshot: entry.clones_since_snapshot,
             shared_aslr_layout: entry.clones_since_snapshot > 0,
             rng_reseeded_on_restore: self.security.reseed_rng_on_restore,
@@ -1011,20 +1019,20 @@ impl FireworksPlatform {
     }
 
     /// The install report of a function.
-    pub fn install_report(&self, name: &str) -> Option<&InstallReport> {
-        self.registry.get(name).map(|e| &e.install_report)
+    pub fn install_report(&self, function: FunctionId) -> Option<&InstallReport> {
+        self.registry.get(function).map(|e| &e.install_report)
     }
 
     /// The function's cached snapshot, if the LRU still holds it. Touches
     /// the LRU like any other access. Handy for inspecting (or, in
     /// robustness tests, damaging) the exact pages later restores read.
-    pub fn cached_snapshot(&mut self, name: &str) -> Option<Rc<VmFullSnapshot>> {
-        self.cache.get(name)
+    pub fn cached_snapshot(&mut self, function: FunctionId) -> Option<Rc<VmFullSnapshot>> {
+        self.cache.get(function)
     }
 
     /// Reliability counters and breaker state of an installed function.
-    pub fn health(&self, name: &str) -> Option<FunctionHealth> {
-        let entry = self.registry.get(name)?;
+    pub fn health(&self, function: FunctionId) -> Option<FunctionHealth> {
+        let entry = self.registry.get(function)?;
         Some(FunctionHealth {
             consecutive_failures: entry.consecutive_failures,
             circuit_open_until: entry.circuit_open_until,
@@ -1058,9 +1066,10 @@ impl Platform for FireworksPlatform {
             snapshot_bytes: snapshot.file_bytes(),
             annotated_functions: annotated.annotated_functions,
         };
-        self.cache_insert(&spec.name, snapshot);
+        let function = fid(&spec.name);
+        self.cache_insert(function, snapshot);
         self.registry.insert(
-            spec.name.clone(),
+            function,
             FunctionEntry {
                 spec: spec.clone(),
                 annotated,
@@ -1089,7 +1098,7 @@ impl Platform for FireworksPlatform {
         Ok(invocation)
     }
 
-    fn evict(&mut self, _name: &str) {
+    fn evict(&mut self, _function: FunctionId) {
         // Fireworks keeps no warm sandboxes; nothing to evict.
     }
 
@@ -1099,10 +1108,10 @@ impl Platform for FireworksPlatform {
 
     fn invoke_chain(
         &mut self,
-        names: &[&str],
+        stages: &[FunctionId],
         req: &InvokeRequest,
     ) -> Result<Vec<Invocation>, PlatformError> {
-        crate::api::run_chain(self, names, req)
+        crate::api::run_chain(self, stages, req)
     }
 }
 
@@ -1117,14 +1126,14 @@ impl ConcurrentPlatform for FireworksPlatform {
         // is a snapshot restore regardless of `req.mode`, and the clone
         // stays resident — its guest memory charged against the host —
         // until `finish_invoke`.
-        self.invoke_internal(&req.function, &req.args, req.trace)
+        self.invoke_internal(req.function, &req.args, req.trace)
     }
 
     fn finish_invoke(&mut self, clone: ResidentClone) {
         self.release_clone(clone);
     }
 
-    fn residency(&self, function: &str) -> SnapshotResidency {
+    fn residency(&self, function: FunctionId) -> SnapshotResidency {
         // The locality signal a cluster router steers by. Full: this
         // host's LRU holds the function's post-JIT snapshot. Partial: a
         // mesh peer published the manifest and this host's chunk store
@@ -1145,11 +1154,11 @@ impl ConcurrentPlatform for FireworksPlatform {
         SnapshotResidency::Absent
     }
 
-    fn hot_functions(&self) -> Vec<String> {
+    fn hot_functions(&self) -> Vec<FunctionId> {
         self.cache.names()
     }
 
-    fn prewarm(&mut self, function: &str) -> bool {
+    fn prewarm(&mut self, function: FunctionId) -> bool {
         // Already hot, or provisioned by delta-fetching the missing
         // chunks from a mesh donor. Prewarming is opportunistic: with no
         // donor (or a donor crash) it reports `false` and the next
@@ -1157,13 +1166,13 @@ impl ConcurrentPlatform for FireworksPlatform {
         if self.cache.contains(function) {
             return true;
         }
-        if !self.registry.contains_key(function) {
+        if !self.registry.contains(function) {
             return false;
         }
         self.fetch_snapshot_delta(function).is_some()
     }
 
-    fn retire(&mut self, function: &str) -> bool {
+    fn retire(&mut self, function: FunctionId) -> bool {
         let was_resident = self.cache.contains(function);
         self.uncache(function);
         was_resident
@@ -1177,12 +1186,12 @@ impl ConcurrentPlatform for FireworksPlatform {
                 .cache
                 .manifests()
                 .into_iter()
-                .map(|(name, m)| (name.to_string(), m.clone()))
+                .map(|(id, m)| (id.name().to_string(), m.clone()))
                 .collect(),
         })
     }
 
-    fn attach_mesh(&mut self, mesh: SharedChunkMesh, host_id: usize) {
+    fn attach_mesh(&mut self, mesh: SharedChunkMesh, host_id: HostId) {
         // Flat-store platforms have nothing to publish or donate; they
         // stay off the mesh and report Full/Absent residency only.
         if let Some(store) = &self.chunk_store {
@@ -1201,7 +1210,7 @@ impl ConcurrentPlatform for FireworksPlatform {
         let profile = RuntimeProfile::for_kind(spec.runtime);
         let annotated_functions = annotated.annotated_functions;
         self.registry.insert(
-            spec.name.clone(),
+            fid(&spec.name),
             FunctionEntry {
                 spec: spec.clone(),
                 annotated,
@@ -1265,7 +1274,7 @@ mod tests {
     }
 
     fn req(name: &str, n: i64) -> InvokeRequest {
-        InvokeRequest::new(name, args(n))
+        InvokeRequest::new(fid(name), args(n))
     }
 
     #[test]
@@ -1320,8 +1329,8 @@ mod tests {
     fn concurrent_clones_share_memory() {
         let mut p = platform();
         p.install(&spec("fact")).expect("installs");
-        let (_, a) = p.invoke_resident("fact", &args(99)).expect("a");
-        let (_, b) = p.invoke_resident("fact", &args(100)).expect("b");
+        let (_, a) = p.invoke_resident(fid("fact"), &args(99)).expect("a");
+        let (_, b) = p.invoke_resident(fid("fact"), &args(100)).expect("b");
         // Each clone's private write set (exec state + dirtied heap) is a
         // small fraction of the image, so PSS sits well below RSS.
         assert!(
@@ -1366,7 +1375,7 @@ mod tests {
         p.install(&spec("f2")).expect("installs");
         assert!(p.cache_evictions() > 0, "budget forced an eviction");
         assert!(
-            p.residency("f2").is_full() && !p.residency("f1").is_full(),
+            p.residency(fid("f2")).is_full() && !p.residency(fid("f1")).is_full(),
             "the locality signal tracks the LRU"
         );
         let inv = p.invoke(&req("f1", 10)).expect("rebuilds");
@@ -1376,7 +1385,7 @@ mod tests {
             "rebuild must be visible in the trace"
         );
         assert!(
-            p.residency("f1").is_full(),
+            p.residency(fid("f1")).is_full(),
             "the rebuild re-populated the cache"
         );
     }
@@ -1396,7 +1405,7 @@ mod tests {
         for _ in 0..2 {
             p.invoke(&req("fact", 10)).expect("ok");
         }
-        let audit = p.audit("fact").expect("installed");
+        let audit = p.audit(fid("fact")).expect("installed");
         assert_eq!(audit.refreshes, 1, "refresh after 2 invocations");
         assert_eq!(audit.clones_from_current_snapshot, 0);
         assert!(audit.refresh_time > Nanos::ZERO);
@@ -1409,7 +1418,7 @@ mod tests {
         for _ in 0..3 {
             p.invoke(&req("fact", 10)).expect("ok");
         }
-        let audit = p.audit("fact").expect("installed");
+        let audit = p.audit(fid("fact")).expect("installed");
         assert_eq!(audit.clones_from_current_snapshot, 3);
         assert!(audit.has_findings(), "shared ASLR across 3 clones");
     }
@@ -1427,7 +1436,7 @@ mod tests {
         let ns_before = p.env().net.borrow().namespace_count();
         for _ in 0..3 {
             let err = p.invoke(&InvokeRequest::new(
-                "crashy",
+                fid("crashy"),
                 Value::map([("zero".to_string(), Value::Int(0))]),
             ));
             assert!(err.is_err());
@@ -1439,7 +1448,7 @@ mod tests {
         );
         // Successful invocations clean up their parameter topics too.
         p.invoke(&InvokeRequest::new(
-            "crashy",
+            fid("crashy"),
             Value::map([("zero".to_string(), Value::Int(2))]),
         ))
         .expect("runs");
@@ -1523,7 +1532,7 @@ mod tests {
                     .any(|s| s.label == "fault:snapshot_read"),
             "the injected fault appears as a zero-width span"
         );
-        let health = p.health("fact").expect("installed");
+        let health = p.health(fid("fact")).expect("installed");
         assert_eq!(health.recoveries, 1);
         assert_eq!(health.consecutive_failures, 0);
         assert_eq!(health.quarantines, 0);
@@ -1538,7 +1547,7 @@ mod tests {
         p.install(&spec("fact")).expect("installs");
         p.invoke(&req("fact", 360)).expect("recovers");
 
-        let health = p.health("fact").expect("installed");
+        let health = p.health(fid("fact")).expect("installed");
         assert_eq!(health.restore_retries, 1, "one transient retry");
         assert_eq!(health.prefetch_degraded, 0);
 
@@ -1585,14 +1594,18 @@ mod tests {
         p.install(&spec("fact")).expect("installs");
         // Damage a page of the cached snapshot behind the platform's back
         // (disk corruption, not an armed injector).
-        p.cache.get("fact").expect("cached").mem().corrupt_page(123);
+        p.cache
+            .get(fid("fact"))
+            .expect("cached")
+            .mem()
+            .corrupt_page(123);
         let inv = p.invoke(&req("fact", 360)).expect("self-heals");
         assert_eq!(inv.value, Value::Int(6));
         assert!(
             inv.trace.total_for("snapshot_rebuild") > Nanos::ZERO,
             "recovery rebuilds the snapshot from source"
         );
-        let health = p.health("fact").expect("installed");
+        let health = p.health(fid("fact")).expect("installed");
         assert_eq!(health.quarantines, 1);
         assert_eq!(health.rebuilds, 1);
         // The rebuilt snapshot serves the next invocation cleanly.
@@ -1631,7 +1644,7 @@ mod tests {
         assert!(matches!(err, Err(PlatformError::Vm(_))));
         let err = p.invoke(&req("fact", 10));
         assert!(matches!(err, Err(PlatformError::CircuitOpen { .. })));
-        let health = p.health("fact").expect("installed");
+        let health = p.health(fid("fact")).expect("installed");
         assert!(health.circuit_open_until.is_some());
         assert_eq!(health.consecutive_failures, 4);
     }
@@ -1648,12 +1661,12 @@ mod tests {
         .expect("installs");
         for _ in 0..5 {
             let err = p.invoke(&InvokeRequest::new(
-                "crashy",
+                fid("crashy"),
                 Value::map([("zero".to_string(), Value::Int(0))]),
             ));
             assert!(matches!(err, Err(PlatformError::Lang(_))));
         }
-        let health = p.health("crashy").expect("installed");
+        let health = p.health(fid("crashy")).expect("installed");
         assert_eq!(
             health.consecutive_failures, 0,
             "guest bugs are not infrastructure failures"
@@ -1677,7 +1690,10 @@ mod tests {
         .expect("installs");
         assert!(p.supports_chains());
         let results = p
-            .invoke_chain(&["fact", "wrap"], &InvokeRequest::new("fact", args(8)))
+            .invoke_chain(
+                &[fid("fact"), fid("wrap")],
+                &InvokeRequest::new(fid("fact"), args(8)),
+            )
             .expect("chain runs");
         assert_eq!(results.len(), 2);
         // fact(8) = 3 primes → wrap makes { n: 4 }.

@@ -37,6 +37,7 @@ pub mod env;
 pub mod fireworks;
 pub mod host;
 pub mod mesh;
+pub mod symbols;
 
 pub use api::{
     ConcurrentPlatform, FunctionSpec, InFlightToken, InstallReport, Invocation, InvokeRequest,
@@ -59,3 +60,4 @@ pub use engine::{
 pub use env::PlatformEnv;
 pub use fireworks::{FireworksPlatform, FunctionHealth, ResidentClone};
 pub use mesh::{ChunkMesh, DonorInfo, SharedChunkMesh};
+pub use symbols::{fid, FunctionId, HostId, IdMap, SymbolTable};

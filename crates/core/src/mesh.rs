@@ -27,6 +27,8 @@ use fireworks_microvm::SnapshotTemplate;
 use fireworks_sim::fault::SharedInjector;
 use fireworks_store::ChunkStore;
 
+use crate::symbols::{FunctionId, HostId};
+
 /// A cluster-shared handle to the mesh.
 pub type SharedChunkMesh = Rc<RefCell<ChunkMesh>>;
 
@@ -35,16 +37,16 @@ struct MeshHost {
     alive: bool,
     store: Rc<RefCell<ChunkStore>>,
     injector: SharedInjector,
-    /// Function name → the manifest this host claims to hold, plus the
+    /// Function → the manifest this host claims to hold, plus the
     /// template needed to rebuild a [`fireworks_microvm::VmFullSnapshot`]
     /// around a fetched copy.
-    published: BTreeMap<String, (SnapshotManifest, SnapshotTemplate)>,
+    published: BTreeMap<FunctionId, (SnapshotManifest, SnapshotTemplate)>,
 }
 
 /// What a fetching host learns about its chosen donor.
 pub struct DonorInfo {
     /// The donor's cluster host id.
-    pub host: usize,
+    pub host: HostId,
     /// The published manifest (cloned; the fetcher owns its copy).
     pub manifest: SnapshotManifest,
     /// The VM-state template to reconstitute the snapshot with.
@@ -61,7 +63,7 @@ pub struct DonorInfo {
 /// Cluster-wide snapshot-holding registry (see module docs).
 #[derive(Default)]
 pub struct ChunkMesh {
-    hosts: BTreeMap<usize, MeshHost>,
+    hosts: BTreeMap<HostId, MeshHost>,
 }
 
 impl std::fmt::Debug for ChunkMesh {
@@ -87,7 +89,7 @@ impl ChunkMesh {
     /// re-registering replaces the slot (fresh publications).
     pub fn register(
         &mut self,
-        host: usize,
+        host: HostId,
         store: Rc<RefCell<ChunkStore>>,
         injector: SharedInjector,
     ) {
@@ -103,13 +105,13 @@ impl ChunkMesh {
     }
 
     /// Whether `host` is registered and alive.
-    pub fn is_alive(&self, host: usize) -> bool {
+    pub fn is_alive(&self, host: HostId) -> bool {
         self.hosts.get(&host).is_some_and(|h| h.alive)
     }
 
     /// Marks `host` dead: it stops being offered as a donor and its
     /// publications are ignored. Permanent, like a cluster host crash.
-    pub fn mark_dead(&mut self, host: usize) {
+    pub fn mark_dead(&mut self, host: HostId) {
         if let Some(h) = self.hosts.get_mut(&host) {
             h.alive = false;
         }
@@ -118,7 +120,7 @@ impl ChunkMesh {
     /// Registered hosts currently marked dead, ascending. The cluster
     /// polls this to fail hosts whose crash was first observed by a
     /// fetching peer rather than at a service boundary.
-    pub fn dead_hosts(&self) -> Vec<usize> {
+    pub fn dead_hosts(&self) -> Vec<HostId> {
         self.hosts
             .iter()
             .filter(|(_, h)| !h.alive)
@@ -130,14 +132,14 @@ impl ChunkMesh {
     /// injector. This is the *graceful* exit (a completed drain or
     /// retirement): unlike [`ChunkMesh::mark_dead`] the host leaves no
     /// dead-host record, so the cluster does not treat it as a crash.
-    pub fn deregister(&mut self, host: usize) {
+    pub fn deregister(&mut self, host: HostId) {
         self.hosts.remove(&host);
     }
 
     /// Registered-and-alive host ids, ascending. The invariant auditor
     /// cross-checks this against the control plane's membership view: an
     /// alive mesh entry for a retired or dead host is a route to nowhere.
-    pub fn alive_hosts(&self) -> Vec<usize> {
+    pub fn alive_hosts(&self) -> Vec<HostId> {
         self.hosts
             .iter()
             .filter(|(_, h)| h.alive)
@@ -145,33 +147,32 @@ impl ChunkMesh {
             .collect()
     }
 
-    /// Function names `host` currently publishes, sorted (BTreeMap
-    /// order). Empty when the host is unregistered.
-    pub fn published_functions(&self, host: usize) -> Vec<String> {
+    /// Functions `host` currently publishes, in ascending id order
+    /// (BTreeMap order). Empty when the host is unregistered.
+    pub fn published_functions(&self, host: HostId) -> Vec<FunctionId> {
         self.hosts
             .get(&host)
-            .map(|h| h.published.keys().cloned().collect())
+            .map(|h| h.published.keys().copied().collect())
             .unwrap_or_default()
     }
 
     /// Publishes `host`'s claim to hold `function`'s full chunk set.
     pub fn publish(
         &mut self,
-        host: usize,
-        function: &str,
+        host: HostId,
+        function: FunctionId,
         manifest: SnapshotManifest,
         template: SnapshotTemplate,
     ) {
         if let Some(h) = self.hosts.get_mut(&host) {
-            h.published
-                .insert(function.to_string(), (manifest, template));
+            h.published.insert(function, (manifest, template));
         }
     }
 
     /// Withdraws `host`'s claim for `function` (LRU eviction, refresh).
-    pub fn retract(&mut self, host: usize, function: &str) {
+    pub fn retract(&mut self, host: HostId, function: FunctionId) {
         if let Some(h) = self.hosts.get_mut(&host) {
-            h.published.remove(function);
+            h.published.remove(&function);
         }
     }
 
@@ -179,12 +180,12 @@ impl ChunkMesh {
     /// wins) — the cluster-wide "the snapshot exists somewhere" signal a
     /// host's partial-residency answer is computed against. Publications
     /// are re-validated against the publisher's store.
-    pub fn manifest_for(&self, function: &str) -> Option<&SnapshotManifest> {
+    pub fn manifest_for(&self, function: FunctionId) -> Option<&SnapshotManifest> {
         self.hosts.values().find_map(|h| {
             if !h.alive {
                 return None;
             }
-            let (manifest, _) = h.published.get(function)?;
+            let (manifest, _) = h.published.get(&function)?;
             (h.store.borrow().missing_bytes(manifest) == 0).then_some(manifest)
         })
     }
@@ -192,12 +193,12 @@ impl ChunkMesh {
     /// Picks a donor for `function`: the lowest-id alive host other than
     /// `exclude` whose store still holds every chunk of its published
     /// manifest.
-    pub fn donor_for(&self, function: &str, exclude: usize) -> Option<DonorInfo> {
+    pub fn donor_for(&self, function: FunctionId, exclude: HostId) -> Option<DonorInfo> {
         self.hosts.iter().find_map(|(&id, h)| {
             if id == exclude || !h.alive {
                 return None;
             }
-            let (manifest, template) = h.published.get(function)?;
+            let (manifest, template) = h.published.get(&function)?;
             if h.store.borrow().missing_bytes(manifest) != 0 {
                 return None;
             }
@@ -215,6 +216,7 @@ impl ChunkMesh {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::symbols::fid;
     use fireworks_guestmem::HostMemory;
     use fireworks_microvm::{MicroVmConfig, VmManager};
     use fireworks_runtime::RuntimeProfile;
@@ -262,29 +264,38 @@ mod tests {
         let mesh = ChunkMesh::shared();
         let (s0, m0, t0) = published_store(&clock);
         let (s1, m1, t1) = published_store(&clock);
+        let (h0, h1, h9) = (
+            HostId::from_index(0),
+            HostId::from_index(1),
+            HostId::from_index(9),
+        );
+        let f = fid("f");
         {
             let mut mesh = mesh.borrow_mut();
-            mesh.register(0, s0, injector());
-            mesh.register(1, s1, injector());
-            mesh.publish(0, "f", m0.clone(), t0);
-            mesh.publish(1, "f", m1.clone(), t1);
+            mesh.register(h0, s0, injector());
+            mesh.register(h1, s1, injector());
+            mesh.publish(h0, f, m0.clone(), t0);
+            mesh.publish(h1, f, m1.clone(), t1);
         }
         // Lowest-id alive donor wins; the asker itself is excluded.
-        assert_eq!(mesh.borrow().donor_for("f", 9).expect("donor").host, 0);
-        assert_eq!(mesh.borrow().donor_for("f", 0).expect("donor").host, 1);
-        assert!(mesh.borrow().donor_for("g", 9).is_none(), "never published");
+        assert_eq!(mesh.borrow().donor_for(f, h9).expect("donor").host, h0);
+        assert_eq!(mesh.borrow().donor_for(f, h0).expect("donor").host, h1);
+        assert!(
+            mesh.borrow().donor_for(fid("g"), h9).is_none(),
+            "never published"
+        );
         // Death removes a host from donor rotation permanently.
-        mesh.borrow_mut().mark_dead(0);
-        assert_eq!(mesh.borrow().donor_for("f", 9).expect("donor").host, 1);
-        assert_eq!(mesh.borrow().dead_hosts(), vec![0]);
+        mesh.borrow_mut().mark_dead(h0);
+        assert_eq!(mesh.borrow().donor_for(f, h9).expect("donor").host, h1);
+        assert_eq!(mesh.borrow().dead_hosts(), vec![h0]);
         // A stale publication (chunks evicted from the store) is skipped.
         {
             let mesh_ref = mesh.borrow();
-            let donor = mesh_ref.donor_for("f", 0).expect("donor");
+            let donor = mesh_ref.donor_for(f, h0).expect("donor");
             donor.store.borrow_mut().release_manifest(&m1);
         }
-        assert!(mesh.borrow().donor_for("f", 9).is_none(), "no valid donor");
-        assert!(mesh.borrow().manifest_for("f").is_none());
+        assert!(mesh.borrow().donor_for(f, h9).is_none(), "no valid donor");
+        assert!(mesh.borrow().manifest_for(f).is_none());
     }
 
     #[test]
@@ -292,19 +303,21 @@ mod tests {
         let clock = Clock::new();
         let mesh = ChunkMesh::shared();
         let (s0, m0, t0) = published_store(&clock);
-        mesh.borrow_mut().register(0, s0, injector());
-        mesh.borrow_mut().publish(0, "f", m0, t0);
-        assert_eq!(mesh.borrow().alive_hosts(), vec![0]);
-        assert_eq!(mesh.borrow().published_functions(0), vec!["f"]);
-        mesh.borrow_mut().deregister(0);
+        let h0 = HostId::from_index(0);
+        let f = fid("f");
+        mesh.borrow_mut().register(h0, s0, injector());
+        mesh.borrow_mut().publish(h0, f, m0, t0);
+        assert_eq!(mesh.borrow().alive_hosts(), vec![h0]);
+        assert_eq!(mesh.borrow().published_functions(h0), vec![f]);
+        mesh.borrow_mut().deregister(h0);
         // A graceful exit: the host is simply gone — no donor offers, no
         // manifest, and crucially no dead-host record for the cluster's
         // crash reaper to act on.
         assert!(mesh.borrow().alive_hosts().is_empty());
         assert!(mesh.borrow().dead_hosts().is_empty());
-        assert!(mesh.borrow().manifest_for("f").is_none());
-        assert!(mesh.borrow().published_functions(0).is_empty());
-        assert!(!mesh.borrow().is_alive(0));
+        assert!(mesh.borrow().manifest_for(f).is_none());
+        assert!(mesh.borrow().published_functions(h0).is_empty());
+        assert!(!mesh.borrow().is_alive(h0));
     }
 
     #[test]
@@ -312,10 +325,12 @@ mod tests {
         let clock = Clock::new();
         let mesh = ChunkMesh::shared();
         let (s0, m0, t0) = published_store(&clock);
-        mesh.borrow_mut().register(0, s0, injector());
-        mesh.borrow_mut().publish(0, "f", m0, t0);
-        assert!(mesh.borrow().manifest_for("f").is_some());
-        mesh.borrow_mut().retract(0, "f");
-        assert!(mesh.borrow().manifest_for("f").is_none());
+        let h0 = HostId::from_index(0);
+        let f = fid("f");
+        mesh.borrow_mut().register(h0, s0, injector());
+        mesh.borrow_mut().publish(h0, f, m0, t0);
+        assert!(mesh.borrow().manifest_for(f).is_some());
+        mesh.borrow_mut().retract(h0, f);
+        assert!(mesh.borrow().manifest_for(f).is_none());
     }
 }

@@ -38,6 +38,23 @@ pub fn geomean_f64(xs: &[f64]) -> f64 {
 /// which skews small-sample tails like chaos_sweep's 40 invocations;
 /// interpolating fixes that. Use [`percentile_nearest`] where figure
 /// parity with older runs matters.
+///
+/// # Interpolation contract
+///
+/// The sample is treated as the R-7 quantile grid: sorted value `i`
+/// sits at percentile `100·i/(n−1)`, so `percentile(xs, 0)` is the
+/// minimum, `percentile(xs, 100)` the maximum, and any `p` between two
+/// grid points interpolates linearly in *value* space (rounded to the
+/// nearest nanosecond). Edge cases this implies:
+///
+/// - **Empty input** → [`Nanos::ZERO`] (no panic).
+/// - **Single sample** → that sample for every `p`; the grid degenerates
+///   to one point, so there is nothing to interpolate toward.
+/// - **Duplicate-heavy input** → duplicates occupy adjacent ranks, so
+///   any `p` whose bracketing ranks hold equal values returns that value
+///   exactly — interpolation between equal endpoints is the identity,
+///   never a value outside the sample.
+/// - **Out-of-range `p`** → clamped to `[0, 100]`.
 pub fn percentile(xs: &[Nanos], p: f64) -> Nanos {
     if xs.is_empty() {
         return Nanos::ZERO;
@@ -122,6 +139,40 @@ mod tests {
         let two = [ms(0), ms(100)];
         assert_eq!(percentile(&two, 99.0), ms(99));
         assert_eq!(percentile_nearest(&two, 99.0), ms(100));
+    }
+
+    #[test]
+    fn percentile_single_sample_is_constant_in_p() {
+        let one = [ms(37)];
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0, -5.0, 250.0] {
+            assert_eq!(percentile(&one, p), ms(37), "p={p}");
+            assert_eq!(percentile_nearest(&one, p), ms(37), "p={p}");
+        }
+    }
+
+    #[test]
+    fn percentile_duplicate_heavy_input_returns_the_mode_exactly() {
+        // 1 low outlier, 8 copies of the mode, 1 high outlier: every p
+        // bracketed by two copies of the mode returns the mode with no
+        // interpolation drift.
+        let mut xs = vec![ms(1)];
+        xs.extend(std::iter::repeat_n(ms(20), 8));
+        xs.push(ms(400));
+        for p in [20.0, 25.0, 50.0, 75.0, 88.0] {
+            assert_eq!(percentile(&xs, p), ms(20), "p={p}");
+        }
+        // All-equal input: constant for every p, including the extremes.
+        let flat = [ms(7); 6];
+        for p in [0.0, 33.3, 99.9, 100.0] {
+            assert_eq!(percentile(&flat, p), ms(7), "p={p}");
+        }
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range_p() {
+        let xs = [ms(10), ms(20), ms(30)];
+        assert_eq!(percentile(&xs, -10.0), ms(10));
+        assert_eq!(percentile(&xs, 1000.0), ms(30));
     }
 
     #[test]

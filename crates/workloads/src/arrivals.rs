@@ -8,13 +8,14 @@
 
 use fireworks_core::api::InvokeRequest;
 use fireworks_core::engine::EngineRequest;
+use fireworks_core::FunctionId;
 use fireworks_lang::Value;
 use fireworks_sim::rng::SplitMix64;
 use fireworks_sim::Nanos;
 
 /// A Poisson-like open-loop schedule: exponential inter-arrival times
 /// with the given mean, each request picking uniformly from `mix`
-/// (function name plus its request arguments).
+/// (interned function id plus its request arguments).
 ///
 /// # Panics
 ///
@@ -23,7 +24,7 @@ pub fn poisson_schedule(
     seed: u64,
     count: usize,
     mean_inter_arrival: Nanos,
-    mix: &[(&str, Value)],
+    mix: &[(FunctionId, Value)],
 ) -> Vec<EngineRequest> {
     assert!(!mix.is_empty(), "need at least one function in the mix");
     let mut rng = SplitMix64::new(seed);
@@ -33,8 +34,8 @@ pub fn poisson_schedule(
             // Inverse-CDF sample of Exp(1/mean): -ln(U) * mean.
             let u = rng.next_f64().max(1e-12);
             t += mean_inter_arrival.scale(-u.ln());
-            let (name, args) = &mix[rng.next_below(mix.len() as u64) as usize];
-            EngineRequest::at(t, InvokeRequest::new(*name, args.deep_clone()))
+            let (function, args) = &mix[rng.next_below(mix.len() as u64) as usize];
+            EngineRequest::at(t, InvokeRequest::new(*function, args.deep_clone()))
         })
         .collect()
 }
@@ -56,7 +57,7 @@ pub fn flash_crowd(
     crowd_mean: Nanos,
     crowd_start: Nanos,
     crowd_end: Nanos,
-    mix: &[(&str, Value)],
+    mix: &[(FunctionId, Value)],
 ) -> Vec<EngineRequest> {
     assert!(!mix.is_empty(), "need at least one function in the mix");
     assert!(crowd_start <= crowd_end, "crowd window must be ordered");
@@ -71,8 +72,8 @@ pub fn flash_crowd(
             };
             let u = rng.next_f64().max(1e-12);
             t += mean.scale(-u.ln());
-            let (name, args) = &mix[rng.next_below(mix.len() as u64) as usize];
-            EngineRequest::at(t, InvokeRequest::new(*name, args.deep_clone()))
+            let (function, args) = &mix[rng.next_below(mix.len() as u64) as usize];
+            EngineRequest::at(t, InvokeRequest::new(*function, args.deep_clone()))
         })
         .collect()
 }
@@ -80,7 +81,7 @@ pub fn flash_crowd(
 /// A burst of `count` simultaneous arrivals of one function at `at` —
 /// the shape of the paper's density experiments (§5.4), where N clones
 /// must coexist.
-pub fn burst(function: &str, args: &Value, count: usize, at: Nanos) -> Vec<EngineRequest> {
+pub fn burst(function: FunctionId, args: &Value, count: usize, at: Nanos) -> Vec<EngineRequest> {
     (0..count)
         .map(|_| EngineRequest::at(at, InvokeRequest::new(function, args.deep_clone())))
         .collect()
@@ -89,12 +90,13 @@ pub fn burst(function: &str, args: &Value, count: usize, at: Nanos) -> Vec<Engin
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fireworks_core::fid;
 
-    fn mix() -> Vec<(&'static str, Value)> {
+    fn mix() -> Vec<(FunctionId, Value)> {
         vec![
-            ("alpha", Value::Int(1)),
-            ("beta", Value::Int(2)),
-            ("gamma", Value::Int(3)),
+            (fid("alpha"), Value::Int(1)),
+            (fid("beta"), Value::Int(2)),
+            (fid("gamma"), Value::Int(3)),
         ]
     }
 
@@ -120,10 +122,11 @@ mod tests {
     #[test]
     fn the_mix_is_covered() {
         let sched = poisson_schedule(5, 300, Nanos::from_millis(1), &mix());
-        for (name, _) in mix() {
+        for (function, _) in mix() {
             assert!(
-                sched.iter().any(|r| r.invoke.function == name),
-                "{name} never drawn"
+                sched.iter().any(|r| r.invoke.function == function),
+                "{} never drawn",
+                function.name()
             );
         }
     }
@@ -169,7 +172,7 @@ mod tests {
 
     #[test]
     fn bursts_are_simultaneous() {
-        let b = burst("f", &Value::Int(7), 12, Nanos::from_millis(3));
+        let b = burst(fid("f"), &Value::Int(7), 12, Nanos::from_millis(3));
         assert_eq!(b.len(), 12);
         assert!(b.iter().all(|r| r.arrival == Nanos::from_millis(3)));
         assert!(b.iter().all(|r| r.invoke.args == Value::Int(7)));

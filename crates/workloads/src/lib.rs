@@ -10,11 +10,15 @@
 //!   records).
 //! - [`arrivals`]: deterministic open-loop arrival schedules for the
 //!   concurrent invocation engine.
+//! - [`azure`]: the planet-scale Azure-Functions-shaped trace generator
+//!   (Zipf popularity, diurnal envelopes, correlated bursts, log-normal
+//!   execution times) behind the `scale_sweep` bench.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod arrivals;
+pub mod azure;
 pub mod faasdom;
 pub mod generators;
 pub mod serverlessbench;

@@ -5,6 +5,7 @@ use fireworks_core::api::{
     FunctionSpec, Invocation, InvokeRequest, Platform, PlatformError, StartMode,
 };
 use fireworks_core::env::PlatformEnv;
+use fireworks_core::fid;
 use fireworks_lang::Value;
 use fireworks_runtime::RuntimeKind;
 
@@ -172,7 +173,8 @@ impl AlexaApp {
         mode: StartMode,
     ) -> Result<Vec<StageResult>, PlatformError> {
         let request = Value::map([("utterance".to_string(), Value::str(utterance))]);
-        let parse = platform.invoke(&InvokeRequest::new("alexa-parse", request).with_mode(mode))?;
+        let parse =
+            platform.invoke(&InvokeRequest::new(fid("alexa-parse"), request).with_mode(mode))?;
         let intent = match &parse.value {
             Value::Map(m) => match m.borrow().get("intent") {
                 Some(Value::Str(s)) => s.to_string(),
@@ -191,7 +193,7 @@ impl AlexaApp {
             _ => "fact",
         };
         let skill_inv = platform
-            .invoke(&InvokeRequest::new(skill, parse.value.deep_clone()).with_mode(mode))?;
+            .invoke(&InvokeRequest::new(fid(skill), parse.value.deep_clone()).with_mode(mode))?;
         Ok(vec![
             StageResult {
                 stage: "parse",
@@ -355,8 +357,8 @@ impl DataAnalysisApp {
         mode: StartMode,
     ) -> Result<Vec<StageResult>, PlatformError> {
         let results = platform.invoke_chain(
-            &["wage-validate", "wage-insert"],
-            &InvokeRequest::new("wage-validate", record.deep_clone()).with_mode(mode),
+            &[fid("wage-validate"), fid("wage-insert")],
+            &InvokeRequest::new(fid("wage-validate"), record.deep_clone()).with_mode(mode),
         )?;
         let mut out = Vec::with_capacity(2);
         let mut iter = results.into_iter();
@@ -384,8 +386,8 @@ impl DataAnalysisApp {
             return Ok(None);
         }
         self.last_seq = seq;
-        let inv =
-            platform.invoke(&InvokeRequest::new("wage-stats", Value::map([])).with_mode(mode))?;
+        let inv = platform
+            .invoke(&InvokeRequest::new(fid("wage-stats"), Value::map([])).with_mode(mode))?;
         Ok(Some(vec![StageResult {
             stage: "analysis",
             invocation: inv,

@@ -33,7 +33,7 @@ fn main() {
     fw.install(&spec).expect("install");
     let mut clones = Vec::new();
     while !fw_env.host_mem.is_swapping() {
-        let (_, mut clone) = fw.invoke_resident(&spec.name, &args).expect("clone");
+        let (_, mut clone) = fw.invoke_resident(fid(&spec.name), &args).expect("clone");
         // Model continued service until swap onset, like the paper's
         // methodology (see fig10's SERVICE_AGE_OPS).
         clone.age_ops(50_000_000);
@@ -57,7 +57,7 @@ fn main() {
     fc.install(&spec).expect("install");
     let mut vms = Vec::new();
     while !fc_env.host_mem.is_swapping() {
-        let (_, mut vm) = fc.invoke_resident(&spec.name, &args).expect("vm");
+        let (_, mut vm) = fc.invoke_resident(fid(&spec.name), &args).expect("vm");
         vm.age_ops(50_000_000);
         vms.push(vm);
         if vms.len() % 16 == 0 {

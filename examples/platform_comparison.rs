@@ -21,11 +21,11 @@ fn row(label: &str, inv: &Invocation) {
 fn run_platform<P: Platform>(mut platform: P, spec: &FunctionSpec, args: &Value) {
     platform.install(spec).expect("install");
     let cold = platform
-        .invoke(&InvokeRequest::new(&spec.name, args.deep_clone()).with_mode(StartMode::Cold))
+        .invoke(&InvokeRequest::new(fid(&spec.name), args.deep_clone()).with_mode(StartMode::Cold))
         .expect("cold");
     row(&format!("{} (c)", platform.name()), &cold);
     let warm = platform
-        .invoke(&InvokeRequest::new(&spec.name, args.deep_clone()).with_mode(StartMode::Warm))
+        .invoke(&InvokeRequest::new(fid(&spec.name), args.deep_clone()).with_mode(StartMode::Warm))
         .expect("warm");
     row(&format!("{} (w)", platform.name()), &warm);
 }
@@ -75,7 +75,7 @@ fn main() {
     let mut fw = FireworksPlatform::new(PlatformEnv::default_env());
     fw.install(&spec).expect("install");
     let inv = fw
-        .invoke(&InvokeRequest::new(&spec.name, args))
+        .invoke(&InvokeRequest::new(fid(&spec.name), args))
         .expect("invoke");
     row("fireworks (both)", &inv);
 }

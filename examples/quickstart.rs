@@ -56,7 +56,7 @@ fn main() {
     for limit in [10_000i64, 20_000] {
         let args = Value::map([("limit".to_string(), Value::Int(limit))]);
         let inv = platform
-            .invoke(&InvokeRequest::new("count-primes", args))
+            .invoke(&InvokeRequest::new(fid("count-primes"), args))
             .expect("invoke failed");
         println!("== invoke limit={limit} ==");
         println!("  result            : {}", inv.value);

@@ -123,7 +123,7 @@ fn run_on<P: Platform>(mut platform: P, spec: &FunctionSpec, opts: &Options) {
         );
     }
     for i in 1..=opts.invocations {
-        match platform.invoke(&InvokeRequest::new(&spec.name, opts.args.deep_clone())) {
+        match platform.invoke(&InvokeRequest::new(fid(&spec.name), opts.args.deep_clone())) {
             Ok(inv) => {
                 println!(
                     "invoke #{i}: {:?} start, startup {} exec {} others {} → total {}",

@@ -39,7 +39,7 @@
 //! assert!(report.snapshot_pages > 0);
 //!
 //! // Invoke: restore the snapshot and run the already-JITted function.
-//! let req = InvokeRequest::new(&spec.name, Bench::Fact.request_params());
+//! let req = InvokeRequest::new(fid(&spec.name), Bench::Fact.request_params());
 //! let inv = platform.invoke(&req).expect("invoke");
 //! assert_eq!(inv.stats.compiles, 0); // post-JIT: nothing left to compile
 //! println!(
@@ -77,9 +77,9 @@ pub mod prelude {
     };
     pub use fireworks_core::env::{EnvConfig, PlatformEnv};
     pub use fireworks_core::{
-        Cluster, ClusterConfig, ClusterReport, FireworksPlatform, FunctionHealth, LeastLoaded,
-        LocalityAffinity, PagingPolicy, PlatformConfig, RecoveryPolicy, ResidentClone, RoundRobin,
-        Router,
+        fid, Cluster, ClusterConfig, ClusterReport, FireworksPlatform, FunctionHealth, FunctionId,
+        HostId, LeastLoaded, LocalityAffinity, PagingPolicy, PlatformConfig, RecoveryPolicy,
+        ResidentClone, RoundRobin, Router,
     };
     pub use fireworks_lang::Value;
     pub use fireworks_obs::{Metrics, MetricsSnapshot, Obs, Recorder, SpanId};

@@ -22,7 +22,7 @@ fn spec(name: &str) -> FunctionSpec {
 }
 
 fn req(name: &str, n: i64) -> InvokeRequest {
-    InvokeRequest::new(name, Value::map([("n".to_string(), Value::Int(n))]))
+    InvokeRequest::new(fid(name), Value::map([("n".to_string(), Value::Int(n))]))
 }
 
 /// `Platform` must stay object-safe: a router or CLI holds heterogeneous
@@ -67,7 +67,12 @@ fn chains_run_through_a_trait_object() {
     );
     let mut boxed: Box<dyn Platform> = Box::new(FireworksPlatform::new(PlatformEnv::default_env()));
     boxed.install(&stage_spec).expect("install");
-    let stages = run_chain(boxed.as_mut(), &["stage", "stage"], &req("stage", 10)).expect("chain");
+    let stages = run_chain(
+        boxed.as_mut(),
+        &[fid("stage"), fid("stage")],
+        &req("stage", 10),
+    )
+    .expect("chain");
     assert_eq!(stages.len(), 2);
     assert_eq!(
         stages[1].value,
@@ -106,14 +111,15 @@ fn builder_round_trips_every_field() {
 /// derives per-stage requests that inherit mode and deadline.
 #[test]
 fn invoke_request_round_trips_and_stages_inherit() {
-    let r = InvokeRequest::new("f", Value::Int(1))
+    let r = InvokeRequest::new(fid("f"), Value::Int(1))
         .with_mode(StartMode::Cold)
         .with_deadline(Nanos::from_secs(3));
-    assert_eq!(r.function, "f");
+    assert_eq!(r.function, fid("f"));
+    assert_eq!(&*r.function.name(), "f");
     assert_eq!(r.mode, StartMode::Cold);
     assert_eq!(r.deadline, Some(Nanos::from_secs(3)));
-    let staged = r.stage("g", Value::Int(2));
-    assert_eq!(staged.function, "g");
+    let staged = r.stage(fid("g"), Value::Int(2));
+    assert_eq!(staged.function, fid("g"));
     assert_eq!(staged.args, Value::Int(2));
     assert_eq!(staged.mode, StartMode::Cold, "stages inherit the mode");
     assert_eq!(staged.deadline, Some(Nanos::from_secs(3)));

@@ -24,7 +24,7 @@ fn spec(name: &str) -> FunctionSpec {
 }
 
 fn req(name: &str, n: i64) -> InvokeRequest {
-    InvokeRequest::new(name, Value::map([("n".to_string(), Value::Int(n))]))
+    InvokeRequest::new(fid(name), Value::map([("n".to_string(), Value::Int(n))]))
 }
 
 fn dedup_config() -> PlatformConfig {
@@ -58,8 +58,8 @@ fn two_host_mesh(
     let env1 = PlatformEnv::with_shared(EnvConfig::default(), clock, obs.clone());
     let mut p0 = FireworksPlatform::with_config(env0, dedup_config());
     let mut p1 = FireworksPlatform::with_config(env1, dedup_config());
-    p0.attach_mesh(mesh.clone(), 0);
-    p1.attach_mesh(mesh.clone(), 1);
+    p0.attach_mesh(mesh.clone(), HostId::from_index(0));
+    p1.attach_mesh(mesh.clone(), HostId::from_index(1));
     p0.install(&spec("f")).expect("install on host 0");
     p1.register(&spec("f")).expect("register on host 1");
     (p0, p1, mesh, obs)
@@ -75,7 +75,7 @@ fn peer_miss_is_served_by_delta_fetch() {
     // Before the fetch: host 1 holds none of the chunks, but the mesh
     // knows a donor exists, so residency is Partial with the full
     // transfer cost.
-    match p1.residency("f") {
+    match p1.residency(fid("f")) {
         SnapshotResidency::Partial { missing_bytes } => {
             assert!(missing_bytes > 0, "nothing fetched yet")
         }
@@ -84,7 +84,10 @@ fn peer_miss_is_served_by_delta_fetch() {
 
     let inv = p1.invoke(&req("f", 100)).expect("delta-fetched invoke");
     assert_eq!(inv.value, Value::Int(4950));
-    assert!(p1.residency("f").is_full(), "snapshot now cached locally");
+    assert!(
+        p1.residency(fid("f")).is_full(),
+        "snapshot now cached locally"
+    );
 
     let snap = obs.metrics().snapshot();
     let labels: &[(&'static str, &str)] = &[("function", "f")];
@@ -121,11 +124,21 @@ fn donor_crash_mid_transfer_falls_back_to_rebuild() {
     let labels: &[(&'static str, &str)] = &[("function", "f")];
     assert_eq!(snap.counter("core.delta.fallbacks", labels), 1);
     assert_eq!(snap.counter("core.delta.fetches", labels), 0);
-    assert_eq!(mesh.borrow().dead_hosts(), vec![0], "donor reported dead");
+    assert_eq!(
+        mesh.borrow().dead_hosts(),
+        vec![HostId::from_index(0)],
+        "donor reported dead"
+    );
     // The dead donor is never offered again: the next miss on a third
     // host would rebuild too.
-    assert!(mesh.borrow().donor_for("f", 1).is_none());
-    assert!(p1.residency("f").is_full(), "rebuild landed in the cache");
+    assert!(mesh
+        .borrow()
+        .donor_for(fid("f"), HostId::from_index(1))
+        .is_none());
+    assert!(
+        p1.residency(fid("f")).is_full(),
+        "rebuild landed in the cache"
+    );
 }
 
 /// A dedup cluster run — home-host installs, delta fetches on remote

@@ -28,7 +28,7 @@ fn spec(name: &str) -> FunctionSpec {
 fn req_at(at: Nanos, name: &str) -> EngineRequest {
     EngineRequest::at(
         at,
-        InvokeRequest::new(name, Value::map([("n".to_string(), Value::Int(500))])),
+        InvokeRequest::new(fid(name), Value::map([("n".to_string(), Value::Int(500))])),
     )
 }
 
@@ -82,7 +82,10 @@ fn crashed_host_queue_is_conserved() {
             );
         }
     }
-    assert_eq!(report.failed_hosts, vec![0, 1]);
+    assert_eq!(
+        report.failed_hosts,
+        vec![HostId::from_index(0), HostId::from_index(1)]
+    );
     assert!(
         report.crash_reroutes > 0,
         "the dead hosts' queues were displaced and rerouted"
@@ -135,7 +138,7 @@ impl Router for SplitByFunction {
         // spill onto the other host (that would hand it the snapshot
         // organically and defeat the sole-holder setup).
         let healthy = hosts.iter().filter(|v| v.healthy);
-        let pick = if req.function == "g" {
+        let pick = if req.function == fid("g") {
             healthy.max_by_key(|v| v.id)
         } else {
             healthy.min_by_key(|v| v.id)
@@ -208,10 +211,10 @@ fn graceful_drain_migrates_sole_snapshot_to_survivor() {
     // moved real chunks — and the post-drain f request was served
     // warm, nowhere near the ~470 ms a rebuild-from-source costs.
     let last = report.completions.last().expect("final f request");
-    assert_eq!(last.function, "f");
+    assert_eq!(last.function, fid("f"));
     let survivor = last.host.expect("served by a live host");
-    assert!(survivor > 0, "host 0 was drained away");
-    assert!(cluster.host(survivor).residency("f").is_full());
+    assert!(survivor.index() > 0, "host 0 was drained away");
+    assert!(cluster.host(survivor).residency(fid("f")).is_full());
     assert!(
         last.start_latency().expect("served") < Nanos::from_millis(100),
         "migrated snapshot must serve warm, got {:?}",
@@ -306,7 +309,7 @@ fn idle_function_retires_to_archive_and_resurrects_on_demand() {
     let comeback = report
         .completions
         .iter()
-        .find(|c| c.function == "f" && c.arrived >= f_return)
+        .find(|c| c.function == fid("f") && c.arrived >= f_return)
         .expect("f comes back");
     assert!(
         comeback.start_latency().expect("served") < Nanos::from_millis(300),

@@ -21,7 +21,7 @@ fn fireworks_pipeline_runs_all_faasdom_benchmarks_in_both_runtimes() {
             let spec = bench.spec(runtime);
             platform.install(&spec).expect("install");
             let inv = platform
-                .invoke(&InvokeRequest::new(&spec.name, bench.request_params()))
+                .invoke(&InvokeRequest::new(fid(&spec.name), bench.request_params()))
                 .expect("invoke");
             assert_eq!(inv.start, StartKind::SnapshotRestore, "{}", spec.name);
             assert!(inv.total() > Nanos::ZERO);
@@ -40,20 +40,20 @@ fn snapshot_clones_are_isolated_but_share_the_snapshot() {
     // Distinct arguments produce distinct results even though all clones
     // resume from byte-identical memory.
     let r8 = platform
-        .invoke(&InvokeRequest::new(&spec.name, fact_args(8)))
+        .invoke(&InvokeRequest::new(fid(&spec.name), fact_args(8)))
         .expect("invoke");
     let r97 = platform
-        .invoke(&InvokeRequest::new(&spec.name, fact_args(97)))
+        .invoke(&InvokeRequest::new(fid(&spec.name), fact_args(97)))
         .expect("invoke");
     assert_eq!(r8.value, Value::Int(3));
     assert_eq!(r97.value, Value::Int(1));
 
     // Resident clones share guest frames.
     let (_, a) = platform
-        .invoke_resident(&spec.name, &fact_args(50))
+        .invoke_resident(fid(&spec.name), &fact_args(50))
         .expect("clone a");
     let (_, b) = platform
-        .invoke_resident(&spec.name, &fact_args(60))
+        .invoke_resident(fid(&spec.name), &fact_args(60))
         .expect("clone b");
     let shared_fraction = a.pss_bytes() as f64 / a.rss_bytes() as f64;
     assert!(
@@ -72,7 +72,7 @@ fn install_once_invoke_many_start_latency_is_stable() {
     let mut startups = Vec::new();
     for _ in 0..5 {
         let inv = platform
-            .invoke(&InvokeRequest::new(&spec.name, Value::map([])))
+            .invoke(&InvokeRequest::new(fid(&spec.name), Value::map([])))
             .expect("invoke");
         startups.push(inv.breakdown.startup);
     }
@@ -89,7 +89,7 @@ fn all_four_platforms_agree_on_results() {
     let mut fw = FireworksPlatform::new(PlatformEnv::default_env());
     fw.install(&spec).expect("install");
     assert_eq!(
-        fw.invoke(&InvokeRequest::new(&spec.name, args.deep_clone()))
+        fw.invoke(&InvokeRequest::new(fid(&spec.name), args.deep_clone()))
             .expect("fw")
             .value,
         expected
@@ -98,27 +98,33 @@ fn all_four_platforms_agree_on_results() {
     let mut ow = OpenWhiskPlatform::new(PlatformEnv::default_env());
     ow.install(&spec).expect("install");
     assert_eq!(
-        ow.invoke(&InvokeRequest::new(&spec.name, args.deep_clone()).with_mode(StartMode::Cold))
-            .expect("ow")
-            .value,
+        ow.invoke(
+            &InvokeRequest::new(fid(&spec.name), args.deep_clone()).with_mode(StartMode::Cold)
+        )
+        .expect("ow")
+        .value,
         expected
     );
 
     let mut gv = GvisorPlatform::new(PlatformEnv::default_env());
     gv.install(&spec).expect("install");
     assert_eq!(
-        gv.invoke(&InvokeRequest::new(&spec.name, args.deep_clone()).with_mode(StartMode::Cold))
-            .expect("gv")
-            .value,
+        gv.invoke(
+            &InvokeRequest::new(fid(&spec.name), args.deep_clone()).with_mode(StartMode::Cold)
+        )
+        .expect("gv")
+        .value,
         expected
     );
 
     let mut fc = FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::None);
     fc.install(&spec).expect("install");
     assert_eq!(
-        fc.invoke(&InvokeRequest::new(&spec.name, args.deep_clone()).with_mode(StartMode::Cold))
-            .expect("fc")
-            .value,
+        fc.invoke(
+            &InvokeRequest::new(fid(&spec.name), args.deep_clone()).with_mode(StartMode::Cold)
+        )
+        .expect("fc")
+        .value,
         expected
     );
 }
@@ -188,10 +194,10 @@ fn shared_host_runs_multiple_platforms_on_one_timeline() {
     ow.install(&spec_ow).expect("install ow");
 
     let t0 = env.clock.now();
-    fw.invoke(&InvokeRequest::new(&spec.name, fact_args(100)))
+    fw.invoke(&InvokeRequest::new(fid(&spec.name), fact_args(100)))
         .expect("fw");
     let t1 = env.clock.now();
-    ow.invoke(&InvokeRequest::new("fact-ow", fact_args(100)).with_mode(StartMode::Cold))
+    ow.invoke(&InvokeRequest::new(fid("fact-ow"), fact_args(100)).with_mode(StartMode::Cold))
         .expect("ow");
     let t2 = env.clock.now();
     assert!(t1 > t0 && t2 > t1, "one shared monotone timeline");
@@ -205,7 +211,7 @@ fn determinism_same_seed_same_virtual_latency() {
         platform.install(&spec).expect("install");
         let inv = platform
             .invoke(&InvokeRequest::new(
-                &spec.name,
+                fid(&spec.name),
                 Bench::MatrixMult.request_params(),
             ))
             .expect("invoke");

@@ -42,7 +42,10 @@ fn warm_pools_fail_the_unpopular_tail() {
             env.clock.advance(e.at - env.clock.now());
         }
         let inv = ow
-            .invoke(&InvokeRequest::new(&specs[e.function].name, Value::map([])))
+            .invoke(&InvokeRequest::new(
+                fid(&specs[e.function].name),
+                Value::map([]),
+            ))
             .expect("invoke");
         startup[e.function] += inv.breakdown.startup;
         count[e.function] += 1;
@@ -126,10 +129,10 @@ fn reap_prefetch_shape_holds() {
         );
         p.install(&spec).expect("install");
         let first = p
-            .invoke(&InvokeRequest::new(&spec.name, Value::map([])))
+            .invoke(&InvokeRequest::new(fid(&spec.name), Value::map([])))
             .expect("1st");
         let second = p
-            .invoke(&InvokeRequest::new(&spec.name, Value::map([])))
+            .invoke(&InvokeRequest::new(fid(&spec.name), Value::map([])))
             .expect("2nd");
         totals.push((first.total(), second.total()));
     }

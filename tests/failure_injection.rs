@@ -45,7 +45,7 @@ fn runaway_function_is_killed_by_timeout() {
     // Benign input completes.
     let ok = p
         .invoke(&InvokeRequest::new(
-            "spin",
+            fid("spin"),
             Value::map([("spin".to_string(), Value::Bool(false))]),
         ))
         .expect("completes");
@@ -53,7 +53,7 @@ fn runaway_function_is_killed_by_timeout() {
 
     // Hostile input spins forever — the timeout kills it.
     let err = p.invoke(&InvokeRequest::new(
-        "spin",
+        fid("spin"),
         Value::map([("spin".to_string(), Value::Bool(true))]),
     ));
     match err {
@@ -67,7 +67,7 @@ fn runaway_function_is_killed_by_timeout() {
     // The platform still serves requests afterwards.
     let again = p
         .invoke(&InvokeRequest::new(
-            "spin",
+            fid("spin"),
             Value::map([("spin".to_string(), Value::Bool(false))]),
         ))
         .expect("recovers");
@@ -88,21 +88,27 @@ fn timeout_applies_on_baselines_too() {
     let mut ow = OpenWhiskPlatform::new(PlatformEnv::default_env());
     ow.install(&spec).expect("install");
     assert!(matches!(
-        ow.invoke(&InvokeRequest::new("spin", hostile.deep_clone()).with_mode(StartMode::Cold)),
+        ow.invoke(
+            &InvokeRequest::new(fid("spin"), hostile.deep_clone()).with_mode(StartMode::Cold)
+        ),
         Err(PlatformError::Timeout { .. })
     ));
 
     let mut fc = FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::None);
     fc.install(&spec).expect("install");
     assert!(matches!(
-        fc.invoke(&InvokeRequest::new("spin", hostile.deep_clone()).with_mode(StartMode::Cold)),
+        fc.invoke(
+            &InvokeRequest::new(fid("spin"), hostile.deep_clone()).with_mode(StartMode::Cold)
+        ),
         Err(PlatformError::Timeout { .. })
     ));
 
     let mut gv = GvisorPlatform::new(PlatformEnv::default_env());
     gv.install(&spec).expect("install");
     assert!(matches!(
-        gv.invoke(&InvokeRequest::new("spin", hostile.deep_clone()).with_mode(StartMode::Cold)),
+        gv.invoke(
+            &InvokeRequest::new(fid("spin"), hostile.deep_clone()).with_mode(StartMode::Cold)
+        ),
         Err(PlatformError::Timeout { .. })
     ));
 }
@@ -118,14 +124,14 @@ fn guest_runtime_error_is_contained() {
     // Install's warm-up uses default params (no boom) and succeeds; a
     // hostile request divides by zero.
     let err = p.invoke(&InvokeRequest::new(
-        "crashy",
+        fid("crashy"),
         Value::map([("boom".to_string(), Value::Bool(true))]),
     ));
     assert!(matches!(err, Err(PlatformError::Lang(_))), "{err:?}");
     // Next invocation gets a fresh clone and works.
     let ok = p
         .invoke(&InvokeRequest::new(
-            "crashy",
+            fid("crashy"),
             Value::map([("boom".to_string(), Value::Bool(false))]),
         ))
         .expect("fresh clone works");
@@ -144,7 +150,7 @@ fn install_fails_cleanly_on_bad_source() {
     assert!(p.install(&bad).is_err());
     // Nothing half-registered.
     assert!(matches!(
-        p.invoke(&InvokeRequest::new("broken", Value::Null)),
+        p.invoke(&InvokeRequest::new(fid("broken"), Value::Null)),
         Err(PlatformError::UnknownFunction(_))
     ));
 }
@@ -179,7 +185,7 @@ fn memory_pressure_reports_swapping_not_a_crash() {
     let mut clones = Vec::new();
     for _ in 0..64 {
         let (_, c) = p
-            .invoke_resident(&spec.name, &Value::map([]))
+            .invoke_resident(fid(&spec.name), &Value::map([]))
             .expect("clone");
         clones.push(c);
         if env.host_mem.is_swapping() {
@@ -207,7 +213,7 @@ fn injector_at_rate_zero_changes_nothing() {
         p.install(&spec).expect("install");
         let inv = p
             .invoke(&InvokeRequest::new(
-                &spec.name,
+                fid(&spec.name),
                 Bench::Fact.request_params(),
             ))
             .expect("invoke");
@@ -232,7 +238,7 @@ fn same_fault_seed_gives_identical_schedule_and_recovery_trace() {
         let mut spans = Vec::new();
         for _ in 0..25 {
             match p.invoke(&InvokeRequest::new(
-                &spec.name,
+                fid(&spec.name),
                 Bench::Fact.request_params(),
             )) {
                 Ok(inv) => {
@@ -270,19 +276,19 @@ fn corrupted_snapshot_self_heals_end_to_end() {
     p.install(&spec).expect("install");
     let clean = p
         .invoke(&InvokeRequest::new(
-            &spec.name,
+            fid(&spec.name),
             Bench::Fact.request_params(),
         ))
         .expect("baseline");
 
-    p.cached_snapshot(&spec.name)
+    p.cached_snapshot(fid(&spec.name))
         .expect("cached")
         .mem()
         .corrupt_page(4321);
 
     let healed = p
         .invoke(&InvokeRequest::new(
-            &spec.name,
+            fid(&spec.name),
             Bench::Fact.request_params(),
         ))
         .expect("self-heals");
@@ -292,12 +298,12 @@ fn corrupted_snapshot_self_heals_end_to_end() {
         healed.trace.total_for("snapshot_rebuild") > Nanos::ZERO,
         "the rebuild must be visible in the trace"
     );
-    let health = p.health(&spec.name).expect("installed");
+    let health = p.health(fid(&spec.name)).expect("installed");
     assert_eq!(health.quarantines, 1);
 
     let after = p
         .invoke(&InvokeRequest::new(
-            &spec.name,
+            fid(&spec.name),
             Bench::Fact.request_params(),
         ))
         .expect("restores from rebuilt snapshot");
@@ -324,7 +330,7 @@ fn timed_out_invocation_still_charges_its_execution() {
     p.install(&spec).expect("install");
     let before = env.clock.now();
     let _ = p.invoke(&InvokeRequest::new(
-        "spin",
+        fid("spin"),
         Value::map([("spin".to_string(), Value::Bool(true))]),
     ));
     let elapsed = env.clock.now() - before;

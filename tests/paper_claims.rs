@@ -12,7 +12,7 @@ fn fw_invocation(bench: Bench, runtime: RuntimeKind) -> Invocation {
     let mut p = FireworksPlatform::new(PlatformEnv::default_env());
     let spec = bench.spec(runtime);
     p.install(&spec).expect("install");
-    p.invoke(&InvokeRequest::new(&spec.name, bench.request_params()))
+    p.invoke(&InvokeRequest::new(fid(&spec.name), bench.request_params()))
         .expect("invoke")
 }
 
@@ -21,10 +21,14 @@ fn baseline_cold_warm(bench: Bench, runtime: RuntimeKind) -> (Invocation, Invoca
     let spec = bench.spec(runtime);
     p.install(&spec).expect("install");
     let cold = p
-        .invoke(&InvokeRequest::new(&spec.name, bench.request_params()).with_mode(StartMode::Cold))
+        .invoke(
+            &InvokeRequest::new(fid(&spec.name), bench.request_params()).with_mode(StartMode::Cold),
+        )
         .expect("cold");
     let warm = p
-        .invoke(&InvokeRequest::new(&spec.name, bench.request_params()).with_mode(StartMode::Warm))
+        .invoke(
+            &InvokeRequest::new(fid(&spec.name), bench.request_params()).with_mode(StartMode::Warm),
+        )
         .expect("warm");
     (cold, warm)
 }
@@ -42,7 +46,7 @@ fn fw_heavy(runtime: RuntimeKind) -> Invocation {
     let mut p = FireworksPlatform::new(PlatformEnv::default_env());
     let spec = Bench::Fact.paper_spec(runtime);
     p.install(&spec).expect("install");
-    p.invoke(&InvokeRequest::new(&spec.name, heavy_fact_args()))
+    p.invoke(&InvokeRequest::new(fid(&spec.name), heavy_fact_args()))
         .expect("invoke")
 }
 
@@ -51,10 +55,10 @@ fn baseline_heavy(runtime: RuntimeKind) -> (Invocation, Invocation) {
     let spec = Bench::Fact.paper_spec(runtime);
     p.install(&spec).expect("install");
     let cold = p
-        .invoke(&InvokeRequest::new(&spec.name, heavy_fact_args()).with_mode(StartMode::Cold))
+        .invoke(&InvokeRequest::new(fid(&spec.name), heavy_fact_args()).with_mode(StartMode::Cold))
         .expect("cold");
     let warm = p
-        .invoke(&InvokeRequest::new(&spec.name, heavy_fact_args()).with_mode(StartMode::Warm))
+        .invoke(&InvokeRequest::new(fid(&spec.name), heavy_fact_args()).with_mode(StartMode::Warm))
         .expect("warm");
     (cold, warm)
 }
@@ -148,7 +152,8 @@ fn disk_io_sandbox_ordering_matches_paper() {
 
     let mut ow = OpenWhiskPlatform::new(PlatformEnv::default_env());
     ow.install(&spec).expect("install");
-    let cold = |name: &str| InvokeRequest::new(name, args.deep_clone()).with_mode(StartMode::Cold);
+    let cold =
+        |name: &str| InvokeRequest::new(fid(name), args.deep_clone()).with_mode(StartMode::Cold);
     let ow_io = io_of(&ow.invoke(&cold(&spec.name)).expect("ow"));
 
     let mut fc = FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::None);
@@ -207,7 +212,7 @@ fn memory_density_beats_firecracker() {
     fw.install(&spec).expect("install");
     let mut fw_clones = Vec::new();
     while !fw_env.host_mem.is_swapping() && fw_clones.len() < 400 {
-        let (_, c) = fw.invoke_resident(&spec.name, &args).expect("clone");
+        let (_, c) = fw.invoke_resident(fid(&spec.name), &args).expect("clone");
         fw_clones.push(c);
     }
 
@@ -216,7 +221,7 @@ fn memory_density_beats_firecracker() {
     fc.install(&spec).expect("install");
     let mut fc_vms = Vec::new();
     while !fc_env.host_mem.is_swapping() && fc_vms.len() < 400 {
-        let (_, vm) = fc.invoke_resident(&spec.name, &args).expect("vm");
+        let (_, vm) = fc.invoke_resident(fid(&spec.name), &args).expect("vm");
         fc_vms.push(vm);
     }
 
@@ -239,7 +244,8 @@ fn factor_analysis_ordering_holds() {
 
     let mut base = FirecrackerPlatform::new(PlatformEnv::default_env(), SnapshotPolicy::None);
     base.install(&bench.spec(runtime)).expect("install");
-    let cold = |name: &str| InvokeRequest::new(name, args.deep_clone()).with_mode(StartMode::Cold);
+    let cold =
+        |name: &str| InvokeRequest::new(fid(name), args.deep_clone()).with_mode(StartMode::Cold);
     let t_base = base
         .invoke(&cold(&bench.function_name(runtime)))
         .expect("base")
@@ -327,7 +333,7 @@ fn deopt_worst_case_is_correct_and_still_wins() {
         ]),
     )]);
     let inv = p
-        .invoke(&InvokeRequest::new("poly", mixed))
+        .invoke(&InvokeRequest::new(fid("poly"), mixed))
         .expect("invoke");
     assert_eq!(inv.value, Value::str("1/int,two/string,3/int,true/bool"));
 }

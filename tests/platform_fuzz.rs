@@ -68,14 +68,14 @@ fn fuzz_platform<P: Platform>(mut platform: P, seed: u64, steps: u32) {
             2 => {
                 // Evict warm sandboxes.
                 if let Some(name) = installed.last() {
-                    platform.evict(name);
+                    platform.evict(fid(name));
                     cold_seen.remove(*name);
                 }
             }
             3 => {
                 // Invoking an unknown function must error, not panic.
                 assert!(matches!(
-                    platform.invoke(&InvokeRequest::new("ghost", args(1))),
+                    platform.invoke(&InvokeRequest::new(fid("ghost"), args(1))),
                     Err(PlatformError::UnknownFunction(_))
                 ));
             }
@@ -92,7 +92,7 @@ fn fuzz_platform<P: Platform>(mut platform: P, seed: u64, steps: u32) {
                     _ => StartMode::Auto,
                 };
                 let inv = platform
-                    .invoke(&InvokeRequest::new(name, args(n)).with_mode(mode))
+                    .invoke(&InvokeRequest::new(fid(name), args(n)).with_mode(mode))
                     .unwrap_or_else(|e| panic!("step {step}: invoke {name}({n}) {mode:?}: {e}"));
                 assert_eq!(
                     inv.value,
@@ -165,7 +165,7 @@ fn fuzz_resident_clones_do_not_leak() {
     for _ in 0..5 {
         let mut clones = Vec::new();
         for _ in 0..rng.next_range(1, 6) {
-            let (_, c) = p.invoke_resident("alpha", &args(9)).expect("clone");
+            let (_, c) = p.invoke_resident(fid("alpha"), &args(9)).expect("clone");
             clones.push(c);
         }
         for c in clones {
@@ -249,7 +249,7 @@ proptest! {
                     obs.clone(),
                 );
                 let mut p = FireworksPlatform::with_config(env, config.clone());
-                p.attach_mesh(mesh.clone(), h);
+                p.attach_mesh(mesh.clone(), HostId::from_index(h));
                 p
             })
             .collect();
@@ -276,7 +276,7 @@ proptest! {
                             registered[h].insert(name.to_string());
                         }
                         let inv = hosts[h]
-                            .invoke(&InvokeRequest::new(name, args(9)))
+                            .invoke(&InvokeRequest::new(fid(name), args(9)))
                             .expect("invoke");
                         prop_assert_eq!(inv.value, expected(name, 9));
                     }
@@ -284,13 +284,13 @@ proptest! {
                 MeshOp::Retire { host, func } => {
                     let (h, name) = (*host as usize, FUNCS[*func as usize]);
                     if alive[h] {
-                        hosts[h].retire(name);
+                        hosts[h].retire(fid(name));
                     }
                 }
                 MeshOp::Crash { host } => {
                     let h = *host as usize;
                     if alive[h] && alive.iter().filter(|a| **a).count() > 1 {
-                        mesh.borrow_mut().mark_dead(h);
+                        mesh.borrow_mut().mark_dead(HostId::from_index(h));
                         alive[h] = false;
                     }
                 }
@@ -300,16 +300,19 @@ proptest! {
                         let successor =
                             (0..3).find(|&s| s != h && alive[s]).expect("a survivor");
                         for f in hosts[h].hot_functions() {
-                            if !registered[successor].contains(&f) {
-                                hosts[successor].register(&mesh_spec(&f)).expect("register");
-                                registered[successor].insert(f.clone());
+                            let name = f.name();
+                            if !registered[successor].contains(&*name) {
+                                hosts[successor]
+                                    .register(&mesh_spec(&name))
+                                    .expect("register");
+                                registered[successor].insert(name.to_string());
                             }
                             // Opportunistic: a donor crash mid-handoff
                             // just means the successor rebuilds later.
-                            hosts[successor].prewarm(&f);
-                            hosts[h].retire(&f);
+                            hosts[successor].prewarm(f);
+                            hosts[h].retire(f);
                         }
-                        mesh.borrow_mut().deregister(h);
+                        mesh.borrow_mut().deregister(HostId::from_index(h));
                         alive[h] = false;
                     }
                 }

@@ -35,7 +35,7 @@ fn spec(name: &str) -> FunctionSpec {
 fn req_at(at: Nanos, name: &str) -> EngineRequest {
     EngineRequest::at(
         at,
-        InvokeRequest::new(name, Value::map([("n".to_string(), Value::Int(500))])),
+        InvokeRequest::new(fid(name), Value::map([("n".to_string(), Value::Int(500))])),
     )
 }
 
@@ -162,7 +162,7 @@ impl Router for SplitByFunction {
     }
     fn route(&mut self, req: &InvokeRequest, hosts: &[HostView]) -> Route {
         let healthy = hosts.iter().filter(|v| v.healthy);
-        let pick = if req.function == "g" {
+        let pick = if req.function == fid("g") {
             healthy.max_by_key(|v| v.id)
         } else {
             healthy.min_by_key(|v| v.id)
