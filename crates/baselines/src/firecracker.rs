@@ -10,7 +10,7 @@ use fireworks_core::config::PlatformConfig;
 use fireworks_core::env::PlatformEnv;
 use fireworks_core::host::{GuestHost, NetMode};
 use fireworks_core::{fid, FunctionId, IdMap};
-use fireworks_lang::Value;
+use fireworks_lang::{JitConfig, Value};
 use fireworks_microvm::{MicroVm, MicroVmConfig, VmFullSnapshot, VmManager};
 use fireworks_obs::cat;
 use fireworks_runtime::RuntimeProfile;
@@ -136,7 +136,8 @@ impl FirecrackerPlatform {
         };
         let mut vm = self.mgr.create(MicroVmConfig::default());
         self.mgr.boot(&mut vm)?;
-        self.mgr.launch_runtime(&mut vm, profile, &source, None)?;
+        self.mgr
+            .launch_runtime(&mut vm, profile, &source, JitConfig::default())?;
         Ok(vm)
     }
 

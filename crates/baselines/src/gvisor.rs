@@ -8,7 +8,7 @@ use fireworks_core::config::PlatformConfig;
 use fireworks_core::env::PlatformEnv;
 use fireworks_core::host::{GuestHost, NetMode};
 use fireworks_core::{fid, FunctionId, IdMap};
-use fireworks_lang::Value;
+use fireworks_lang::{JitConfig, Value};
 use fireworks_runtime::RuntimeProfile;
 use fireworks_sandbox::container::ContainerCheckpoint;
 use fireworks_sandbox::{Container, ContainerKind, ContainerManager, IsolationLevel};
@@ -138,8 +138,12 @@ impl GvisorPlatform {
                     }
                     None => {
                         let c = trace.scope(&clock, "sandbox_create", Phase::Startup, || {
-                            self.containers
-                                .create(ContainerKind::Gvisor, profile, &source, None)
+                            self.containers.create(
+                                ContainerKind::Gvisor,
+                                profile,
+                                &source,
+                                JitConfig::default(),
+                            )
                         })?;
                         (c, StartKind::ColdBoot)
                     }
@@ -297,7 +301,7 @@ impl Platform for GvisorPlatform {
                 ContainerKind::Gvisor,
                 profile.clone(),
                 &spec.source,
-                None,
+                JitConfig::default(),
             )?;
             Some(self.containers.checkpoint(&mut c))
         } else {

@@ -8,7 +8,7 @@ use fireworks_core::config::PlatformConfig;
 use fireworks_core::env::PlatformEnv;
 use fireworks_core::host::{GuestHost, NetMode};
 use fireworks_core::{fid, FunctionId, IdMap};
-use fireworks_lang::Value;
+use fireworks_lang::{JitConfig, Value};
 use fireworks_runtime::RuntimeProfile;
 use fireworks_sandbox::{Container, ContainerKind, ContainerManager, IsolationLevel};
 use fireworks_sim::trace::{Phase, Trace};
@@ -161,8 +161,12 @@ impl OpenWhiskPlatform {
             }
             _ => {
                 let c = trace.scope(&clock, "container_create", Phase::Startup, || {
-                    self.containers
-                        .create(ContainerKind::Plain, profile, &source, None)
+                    self.containers.create(
+                        ContainerKind::Plain,
+                        profile,
+                        &source,
+                        JitConfig::default(),
+                    )
                 })?;
                 self.cold_starts += 1;
                 (c, StartKind::ColdBoot)

@@ -8,7 +8,7 @@ use std::rc::Rc;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use fireworks_annotator::{annotate, AnnotationConfig};
 use fireworks_guestmem::{AddressSpace, HostMemory, SnapshotFile, PAGE_SIZE};
-use fireworks_lang::{compile, JitPolicy, NoopHost, Outcome, Value, Vm};
+use fireworks_lang::{compile, JitPolicy, NoopHost, Outcome, TaggedValue, Value, Vm};
 use fireworks_msgbus::MessageBus;
 use fireworks_netsim::{HostNetwork, Ip, Mac};
 use fireworks_obs::{LogHistogram, Metrics};
@@ -120,6 +120,58 @@ fn bench_jit_tiers(c: &mut Criterion) {
     group.finish();
 }
 
+/// The value-representation ablation behind the VM's NaN-boxed stack: an
+/// interpreter-shaped arithmetic kernel (push two operands, pop, add,
+/// pop into an accumulator) over the boxed `Value` enum versus the
+/// 8-byte `TaggedValue`. The tagged kernel is what `Vm` actually runs;
+/// the enum kernel is the pre-tagging baseline kept for comparison.
+fn bench_value_repr(c: &mut Criterion) {
+    const N: i64 = 10_000;
+    let mut group = c.benchmark_group("value_repr");
+    group.throughput(Throughput::Elements(N as u64));
+
+    group.bench_function("enum_arith_kernel", |b| {
+        b.iter(|| {
+            let mut stack: Vec<Value> = Vec::with_capacity(8);
+            let mut acc = 0i64;
+            for i in 0..N {
+                stack.push(Value::Int(i));
+                stack.push(Value::Int(i ^ 7));
+                let rhs = stack.pop().expect("rhs");
+                let lhs = stack.pop().expect("lhs");
+                if let (Value::Int(x), Value::Int(y)) = (lhs, rhs) {
+                    stack.push(Value::Int(x.wrapping_add(y)));
+                }
+                if let Some(Value::Int(v)) = stack.pop() {
+                    acc = acc.wrapping_add(v);
+                }
+            }
+            acc
+        });
+    });
+
+    group.bench_function("tagged_arith_kernel", |b| {
+        b.iter(|| {
+            let mut stack: Vec<TaggedValue> = Vec::with_capacity(8);
+            let mut acc = 0i64;
+            for i in 0..N {
+                stack.push(TaggedValue::int(i));
+                stack.push(TaggedValue::int(i ^ 7));
+                let rhs = stack.pop().expect("rhs");
+                let lhs = stack.pop().expect("lhs");
+                if let (Some(x), Some(y)) = (lhs.as_int(), rhs.as_int()) {
+                    stack.push(TaggedValue::int(x.wrapping_add(y)));
+                }
+                if let Some(v) = stack.pop().and_then(|v| v.as_int()) {
+                    acc = acc.wrapping_add(v);
+                }
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
 fn bench_annotator(c: &mut Criterion) {
     let mut group = c.benchmark_group("annotator");
     group.bench_function("annotate_fact", |b| {
@@ -208,6 +260,7 @@ criterion_group!(
     benches,
     bench_snapshot,
     bench_jit_tiers,
+    bench_value_repr,
     bench_annotator,
     bench_msgbus,
     bench_netsim,

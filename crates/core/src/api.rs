@@ -19,13 +19,13 @@
 //! take ids, and registries downstream key by id. Strings survive only
 //! at the edges: [`FunctionSpec::name`] (the install boundary interns
 //! it), error values, metric labels, and exports. The v2
-//! string-accepting entry points remain for one release as
-//! `#[deprecated]` shims ([`InvokeRequest::by_name`],
-//! [`Platform::evict_named`], and friends).
+//! string-accepting shims (`by_name`, `evict_named`, and friends) have
+//! completed their deprecation cycle and are gone; intern once with
+//! [`crate::symbols::FunctionId::intern`] and use the id-keyed methods.
 
 use std::fmt;
 
-use crate::symbols::{fid, FunctionId, HostId};
+use crate::symbols::{FunctionId, HostId};
 
 use fireworks_lang::{ExecStats, LangError, Value};
 use fireworks_microvm::VmError;
@@ -293,15 +293,6 @@ impl InvokeRequest {
         }
     }
 
-    /// v2 shim: builds the request from a function *name*, interning it
-    /// on the spot. Prefer interning once with
-    /// [`crate::symbols::FunctionId::intern`] and calling
-    /// [`InvokeRequest::new`].
-    #[deprecated(since = "0.3.0", note = "intern the name and use InvokeRequest::new")]
-    pub fn by_name(function: &str, args: Value) -> Self {
-        InvokeRequest::new(fid(function), args)
-    }
-
     /// Sets the start mode.
     pub fn with_mode(mut self, mode: StartMode) -> Self {
         self.mode = mode;
@@ -379,12 +370,6 @@ pub trait Platform {
 
     /// Drops any kept-warm sandboxes for a function.
     fn evict(&mut self, function: FunctionId);
-
-    /// v2 shim: [`Platform::evict`] by function name.
-    #[deprecated(since = "0.3.0", note = "intern the name and use Platform::evict")]
-    fn evict_named(&mut self, name: &str) {
-        self.evict(fid(name));
-    }
 
     /// Whether the platform can execute a chain of functions (paper §5.3:
     /// only OpenWhisk and Fireworks can).
@@ -470,12 +455,6 @@ pub trait ConcurrentPlatform: Platform {
         SnapshotResidency::Absent
     }
 
-    /// v2 shim: [`ConcurrentPlatform::residency`] by function name.
-    #[deprecated(since = "0.3.0", note = "intern the name and use residency")]
-    fn residency_named(&self, name: &str) -> SnapshotResidency {
-        self.residency(fid(name))
-    }
-
     /// Functions whose complete start artifact this platform currently
     /// holds hot (cached snapshot, warm pool), in ascending id order so
     /// walks are deterministic. A draining host's hand-off iterates
@@ -494,12 +473,6 @@ pub trait ConcurrentPlatform: Platform {
         false
     }
 
-    /// v2 shim: [`ConcurrentPlatform::prewarm`] by function name.
-    #[deprecated(since = "0.3.0", note = "intern the name and use prewarm")]
-    fn prewarm_named(&mut self, name: &str) -> bool {
-        self.prewarm(fid(name))
-    }
-
     /// Drops `function`'s local start artifact (scale-to-zero
     /// retirement): the cached snapshot is released and any mesh
     /// publication withdrawn. Returns whether anything was resident.
@@ -508,12 +481,6 @@ pub trait ConcurrentPlatform: Platform {
     fn retire(&mut self, function: FunctionId) -> bool {
         let _ = function;
         false
-    }
-
-    /// v2 shim: [`ConcurrentPlatform::retire`] by function name.
-    #[deprecated(since = "0.3.0", note = "intern the name and use retire")]
-    fn retire_named(&mut self, name: &str) -> bool {
-        self.retire(fid(name))
     }
 
     /// A consistency snapshot of this platform's content-addressed
@@ -656,6 +623,7 @@ pub fn run_chain<P: Platform + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::symbols::fid;
 
     #[test]
     fn platform_error_display_covers_variants() {
@@ -720,13 +688,6 @@ mod tests {
         assert_eq!(stage.function, fid("g"));
         assert_eq!(stage.mode, StartMode::Cold);
         assert_eq!(stage.deadline, Some(Nanos::from_millis(7)));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn v2_by_name_shim_interns_to_the_same_id() {
-        let via_shim = InvokeRequest::by_name("shim-f", Value::Int(1));
-        assert_eq!(via_shim.function, fid("shim-f"));
     }
 
     #[test]

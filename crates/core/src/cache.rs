@@ -270,7 +270,7 @@ mod tests {
             &mut vm,
             RuntimeProfile::node(),
             "fn main(n) { return n; }",
-            None,
+            fireworks_lang::JitConfig::default(),
         )
         .expect("launches");
         Rc::new(mgr.snapshot(&mut vm))

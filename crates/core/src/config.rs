@@ -8,6 +8,7 @@
 //! one config value, and a platform's policy is immutable once it is
 //! serving traffic.
 
+use fireworks_lang::JitConfig;
 use fireworks_sim::Nanos;
 
 use crate::audit::SecurityPolicy;
@@ -136,6 +137,11 @@ pub struct PlatformConfig {
     /// ([`fireworks_sim::fault::FaultSite::NetLoss`]), armed on the
     /// platform's fault injector at construction.
     pub packet_loss: f64,
+    /// Guest JIT shape used for every runtime the platform launches:
+    /// tier-up policy override, code-cache byte budget, inline-cache
+    /// polymorphism limit. The default leaves the policy to each
+    /// runtime profile and the budget effectively uncapped.
+    pub jit: JitConfig,
 }
 
 impl Default for PlatformConfig {
@@ -149,6 +155,7 @@ impl Default for PlatformConfig {
             snapshot_store: SnapshotStorePolicy::Flat,
             store_outage: 0.0,
             packet_loss: 0.0,
+            jit: JitConfig::default(),
         }
     }
 }
@@ -235,6 +242,13 @@ impl PlatformConfigBuilder {
         self
     }
 
+    /// Sets the guest JIT shape (policy override, code-cache budget,
+    /// inline-cache limits) for every runtime the platform launches.
+    pub fn jit(mut self, jit: JitConfig) -> Self {
+        self.config.jit = jit;
+        self
+    }
+
     /// Finishes the build.
     pub fn build(self) -> PlatformConfig {
         self.config
@@ -269,6 +283,12 @@ mod tests {
             })
             .store_outage(0.25)
             .packet_loss(0.05)
+            .jit(
+                JitConfig::default()
+                    .with_policy(Some(fireworks_lang::JitPolicy::AnnotatedEager))
+                    .with_code_cache_capacity_bytes(1 << 20)
+                    .with_ic_poly_limit(2),
+            )
             .build();
         assert_eq!(cfg.cache_budget_bytes, 123);
         assert_eq!(cfg.recovery.max_attempts, 7);
@@ -286,6 +306,12 @@ mod tests {
         );
         assert_eq!(cfg.store_outage, 0.25);
         assert_eq!(cfg.packet_loss, 0.05);
+        assert_eq!(
+            cfg.jit.policy,
+            Some(fireworks_lang::JitPolicy::AnnotatedEager)
+        );
+        assert_eq!(cfg.jit.code_cache_capacity_bytes, 1 << 20);
+        assert_eq!(cfg.jit.ic_poly_limit, 2);
     }
 
     #[test]
@@ -297,6 +323,7 @@ mod tests {
         assert_eq!(cfg.snapshot_store, SnapshotStorePolicy::Flat);
         assert_eq!(cfg.store_outage, 0.0);
         assert_eq!(cfg.packet_loss, 0.0);
+        assert_eq!(cfg.jit.policy, None, "JIT policy defers to the profile");
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::rc::Rc;
 
 use fireworks_annotator::{annotate, Annotated, AnnotationConfig};
 use fireworks_guestmem::{ChunkHash, FrameId, SnapshotFile};
-use fireworks_lang::{JitPolicy, Value};
+use fireworks_lang::{JitConfig, JitPolicy, Value};
 use fireworks_microvm::reap::PagingCosts;
 use fireworks_microvm::{
     MicroVm, MicroVmConfig, ReapMode, ReapSession, VmError, VmFullSnapshot, VmManager, WorkingSet,
@@ -133,6 +133,7 @@ pub struct FireworksPlatform {
     security: SecurityPolicy,
     paging: PagingPolicy,
     recovery: RecoveryPolicy,
+    jit: JitConfig,
     /// Content-addressed chunk store
     /// ([`SnapshotStorePolicy::Dedup`] only).
     chunk_store: Option<Rc<RefCell<ChunkStore>>>,
@@ -200,6 +201,7 @@ impl FireworksPlatform {
             security: config.security,
             paging: config.paging,
             recovery: config.recovery,
+            jit: config.jit,
             chunk_store,
             chunk_pages,
             delta_fetch,
@@ -289,7 +291,10 @@ impl FireworksPlatform {
             &mut vm,
             profile.clone(),
             &annotated.source,
-            Some(JitPolicy::AnnotatedEager),
+            // The platform's JIT shape, with the install-time policy
+            // pinned: annotated functions compile eagerly so the
+            // snapshot is taken post-JIT.
+            self.jit.with_policy(Some(JitPolicy::AnnotatedEager)),
         )?;
         let mut host = self.install_host(&spec.default_params);
         {
@@ -975,6 +980,28 @@ impl FireworksPlatform {
             name_labels,
             (clock.now() - t_start).as_nanos(),
         );
+        // Guest-JIT health for this invocation: inline-cache hit/miss
+        // traffic, deopts, and code-cache evictions. Restore-side deopt
+        // storms (snapshot taken before IC warm-up, or shape drift in
+        // live traffic) surface here.
+        {
+            let m = obs.metrics();
+            let stats = &invocation.stats;
+            m.add("vm.ic.hits", name_labels, stats.ic_hits);
+            m.add("vm.ic.misses", name_labels, stats.ic_misses);
+            m.add("vm.jit.deopts", name_labels, stats.deopts);
+            m.add("vm.code_cache.evictions", name_labels, stats.code_evictions);
+            if let Some(rt) = clone.vm.runtime() {
+                m.gauge_set(
+                    "vm.code_cache.used_bytes",
+                    name_labels,
+                    rt.vm().code_cache_used_bytes() as i64,
+                );
+                let ic = rt.vm().ic_summary();
+                m.gauge_set("vm.ic.sites", name_labels, ic.sites as i64);
+                m.gauge_set("vm.ic.megamorphic_sites", name_labels, ic.mega as i64);
+            }
+        }
 
         // Security maintenance off the invocation path (paper §6).
         if needs_refresh {
@@ -1585,6 +1612,59 @@ mod tests {
                 |e| matches!(e, Event::Span(s) if s.name == "snapshot_restore" && s.parent.is_some())
             ),
             "the manager's restore span nests under the invocation"
+        );
+    }
+
+    #[test]
+    fn guest_jit_health_is_exported_through_obs() {
+        // `main(params)` reads `params["n"]` — a string-literal index,
+        // i.e. an inline-cache property site. The platform must export
+        // per-invocation IC and code-cache telemetry under `vm.*`.
+        let mut p = platform();
+        p.install(&spec("fact")).expect("installs");
+        let inv = p.invoke(&req("fact", 360)).expect("runs");
+        assert!(
+            inv.stats.ic_hits + inv.stats.ic_misses > 0,
+            "property site must route through the IC: {:?}",
+            inv.stats
+        );
+
+        let snap = p.env().obs.metrics().snapshot();
+        let fact = &[("function", "fact")];
+        assert_eq!(
+            snap.counter("vm.ic.hits", fact) + snap.counter("vm.ic.misses", fact),
+            inv.stats.ic_hits + inv.stats.ic_misses
+        );
+        assert_eq!(snap.counter("vm.jit.deopts", fact), inv.stats.deopts);
+        assert_eq!(
+            snap.counter("vm.code_cache.evictions", fact),
+            inv.stats.code_evictions
+        );
+        assert!(
+            snap.gauge("vm.code_cache.used_bytes", fact).unwrap_or(-1) > 0,
+            "post-JIT snapshot clones carry resident compiled code"
+        );
+        assert!(snap.gauge("vm.ic.sites", fact).unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn platform_jit_config_constrains_guest_code_cache() {
+        // A byte-starved platform-level code-cache budget suppresses
+        // compilation in every launched runtime: installs still work,
+        // but the snapshot carries no JIT code.
+        let mut p = FireworksPlatform::with_config(
+            PlatformEnv::default_env(),
+            PlatformConfig::builder()
+                .jit(fireworks_lang::JitConfig::default().with_code_cache_capacity_bytes(8))
+                .build(),
+        );
+        p.install(&spec("fact")).expect("installs");
+        let inv = p.invoke(&req("fact", 360)).expect("runs");
+        assert_eq!(inv.stats.compiles, 0, "{:?}", inv.stats);
+        let snap = p.env().obs.metrics().snapshot();
+        assert_eq!(
+            snap.gauge("vm.code_cache.used_bytes", &[("function", "fact")]),
+            Some(0)
         );
     }
 

@@ -243,7 +243,7 @@ mod tests {
             &mut vm,
             RuntimeProfile::node(),
             "fn main(n) { return n; }",
-            None,
+            fireworks_lang::JitConfig::default(),
         )
         .expect("launches");
         let snap = mgr.snapshot(&mut vm);

@@ -172,6 +172,14 @@ pub enum Op {
     Index,
     /// Generic index store: stack is `base, index, value`.
     SetIndex,
+    /// Property load `base.name` (`consts[i]` is the property name).
+    /// Runs through the per-site inline cache: the base map's shape is
+    /// matched against the site's mono/poly shape list, and a shape miss
+    /// in compiled code deoptimises the function.
+    GetProp(u16),
+    /// Property store `base.name = v`; stack is `base, value`.
+    /// Shares the inline-cache machinery with [`Op::GetProp`].
+    SetProp(u16),
 
     // ---- Quickened (JIT) ops: type-specialised with guards. -------------
     /// `int + int` with guard.
@@ -266,7 +274,7 @@ impl Chunk {
         );
         for (i, op) in self.ops.iter().enumerate() {
             let detail = match op {
-                Op::Const(c) | Op::CallHost { name: c, .. } => {
+                Op::Const(c) | Op::CallHost { name: c, .. } | Op::GetProp(c) | Op::SetProp(c) => {
                     format!("  ; {}", self.consts[*c as usize])
                 }
                 _ => String::new(),

@@ -171,10 +171,20 @@ impl<'p> FnCompiler<'p> {
                     Ok(())
                 }
                 Target::Index { base, index } => {
-                    self.compile_expr(base)?;
-                    self.compile_expr(index)?;
-                    self.compile_expr(value)?;
-                    self.emit(Op::SetIndex);
+                    // `obj.field = v` sugar parses as an index store with a
+                    // literal string key; emit the inline-cached property
+                    // store so the site participates in IC profiling.
+                    if let Expr::Str(key) = index {
+                        self.compile_expr(base)?;
+                        self.compile_expr(value)?;
+                        let c = self.add_const(Value::str(key))?;
+                        self.emit(Op::SetProp(c));
+                    } else {
+                        self.compile_expr(base)?;
+                        self.compile_expr(index)?;
+                        self.compile_expr(value)?;
+                        self.emit(Op::SetIndex);
+                    }
                     Ok(())
                 }
             },
@@ -383,9 +393,17 @@ impl<'p> FnCompiler<'p> {
                 }
             }
             Expr::Index { base, index } => {
-                self.compile_expr(base)?;
-                self.compile_expr(index)?;
-                self.emit(Op::Index);
+                // `obj.field` sugar parses as an index load with a literal
+                // string key; emit the inline-cached property load.
+                if let Expr::Str(key) = &**index {
+                    self.compile_expr(base)?;
+                    let c = self.add_const(Value::str(key))?;
+                    self.emit(Op::GetProp(c));
+                } else {
+                    self.compile_expr(base)?;
+                    self.compile_expr(index)?;
+                    self.emit(Op::Index);
+                }
             }
             Expr::Array(items) => {
                 if items.len() > u16::MAX as usize {
@@ -631,6 +649,41 @@ mod tests {
         let p = compile_src("@jit fn hot() { } fn cold() { }");
         assert!(p.functions[p.function("hot").expect("exists")].jit_hint);
         assert!(!p.functions[p.function("cold").expect("exists")].jit_hint);
+    }
+
+    #[test]
+    fn property_sugar_compiles_to_prop_ops() {
+        // `.field` access and assignment must emit the IC-backed
+        // GetProp/SetProp ops, not the generic Index/SetIndex path.
+        let p = compile_src("fn f(m) { m.count = m.count + 1; return m.total; }");
+        let chunk = &p.functions[p.function("f").expect("exists")].chunk;
+        let gets = chunk
+            .ops
+            .iter()
+            .filter(|op| matches!(op, Op::GetProp(_)))
+            .count();
+        let sets = chunk
+            .ops
+            .iter()
+            .filter(|op| matches!(op, Op::SetProp(_)))
+            .count();
+        assert_eq!(gets, 2, "{}", chunk.disassemble());
+        assert_eq!(sets, 1, "{}", chunk.disassemble());
+        assert!(!chunk
+            .ops
+            .iter()
+            .any(|op| matches!(op, Op::Index | Op::SetIndex)));
+        // The property name lives in the constant pool for the IC site.
+        for op in &chunk.ops {
+            if let Op::GetProp(c) | Op::SetProp(c) = op {
+                assert!(matches!(&chunk.consts[*c as usize], Value::Str(_)));
+            }
+        }
+        // Computed indexing stays on the generic path.
+        let p = compile_src("fn g(m, k) { return m[k]; }");
+        let chunk = &p.functions[p.function("g").expect("exists")].chunk;
+        assert!(chunk.ops.iter().any(|op| matches!(op, Op::Index)));
+        assert!(!chunk.ops.iter().any(|op| matches!(op, Op::GetProp(_))));
     }
 
     #[test]

@@ -23,21 +23,28 @@
 //! crate converts into virtual time under a language-runtime profile.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the NaN-boxed value representation in
+// [`tagged`] needs raw-pointer packing and opts in locally; every other
+// module stays safe code.
+#![deny(unsafe_code)]
 
 pub mod ast;
 pub mod bytecode;
 pub mod compiler;
 pub mod error;
+pub mod jit;
 pub mod lexer;
 pub mod parser;
 pub mod printer;
+pub mod tagged;
 pub mod value;
 pub mod vm;
 
 pub use error::LangError;
+pub use jit::JitConfig;
+pub use tagged::TaggedValue;
 pub use value::Value;
-pub use vm::{ExecStats, Host, JitPolicy, NoopHost, Outcome, Vm};
+pub use vm::{ExecStats, Host, IcSummary, JitPolicy, NoopHost, Outcome, Vm};
 
 /// Compiles Flame source text into an executable [`Program`].
 ///

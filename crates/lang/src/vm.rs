@@ -15,12 +15,14 @@
 //! created with [`Vm::from_snapshot`], each resuming right after the
 //! snapshot point.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 use crate::bytecode::{Builtin, Chunk, Op};
 use crate::compiler::Program;
 use crate::error::LangError;
+use crate::jit::JitConfig;
+use crate::tagged::TaggedValue;
 use crate::value::Value;
 
 /// Type-feedback bits recorded per op site.
@@ -93,6 +95,14 @@ pub struct ExecStats {
     pub host_calls: u64,
     /// Builtin calls dispatched.
     pub builtin_calls: u64,
+    /// Inline-cache hits (property access matched a cached shape).
+    pub ic_hits: u64,
+    /// Inline-cache misses (first observation, shape change, or a
+    /// megamorphic site — each pays the slow lookup path).
+    pub ic_misses: u64,
+    /// Compiled functions evicted from the code cache to fit the budget
+    /// (each eviction demotes the function back to the interpreter).
+    pub code_evictions: u64,
 }
 
 impl ExecStats {
@@ -113,6 +123,9 @@ impl ExecStats {
             calls: self.calls + other.calls,
             host_calls: self.host_calls + other.host_calls,
             builtin_calls: self.builtin_calls + other.builtin_calls,
+            ic_hits: self.ic_hits + other.ic_hits,
+            ic_misses: self.ic_misses + other.ic_misses,
+            code_evictions: self.code_evictions + other.code_evictions,
         }
     }
 }
@@ -179,7 +192,86 @@ const OPT_COMPILE_FACTOR: u64 = 3;
 /// annotation or sustained traffic does.
 const OPT_PROMOTE_FACTOR: u32 = 25;
 
-/// Mutable per-function state (profiling counters, tier, feedback).
+/// One property-access site's inline-cache state: monomorphic after the
+/// first observed shape, polymorphic up to the configured limit, then
+/// megamorphic (every access a miss) — the V8/SpiderMonkey ladder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum IcState {
+    Uninit,
+    Mono(u32),
+    Poly(Vec<u32>),
+    Mega,
+}
+
+/// Per-site inline cache with hit/miss counters.
+#[derive(Debug, Clone)]
+struct IcSite {
+    state: IcState,
+    hits: u64,
+    misses: u64,
+}
+
+impl IcSite {
+    fn new() -> IcSite {
+        IcSite {
+            state: IcState::Uninit,
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+/// Aggregate inline-cache telemetry, exported as `vm.ic.*` metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IcSummary {
+    /// Property-access sites that have been executed at least once.
+    pub sites: u64,
+    /// Sites currently monomorphic (one cached shape).
+    pub mono: u64,
+    /// Sites currently polymorphic (several cached shapes).
+    pub poly: u64,
+    /// Sites that went megamorphic (cache disabled, every access slow).
+    pub mega: u64,
+    /// Total hits across all sites (lifetime, survives snapshots).
+    pub hits: u64,
+    /// Total misses across all sites (lifetime, survives snapshots).
+    pub misses: u64,
+}
+
+/// Interns content-based map shapes to dense ids.
+///
+/// A shape is the FNV-1a hash of a map's key list; ids are assigned in
+/// first-seen order, so — execution being single-threaded and
+/// deterministic — shape ids are reproducible across runs (no pointer
+/// identity, which would break byte-identical benchmark output).
+#[derive(Debug, Clone, Default)]
+struct ShapeTable {
+    ids: HashMap<u64, u32>,
+}
+
+impl ShapeTable {
+    fn intern(&mut self, hash: u64) -> u32 {
+        let next = self.ids.len() as u32 + 1;
+        *self.ids.entry(hash).or_insert(next)
+    }
+}
+
+/// FNV-1a over a map's key list (values do not affect shape).
+fn shape_hash(map: &BTreeMap<String, Value>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for k in map.keys() {
+        for b in k.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= 0xff;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Mutable per-function state (profiling counters, tier, feedback,
+/// inline caches, code-cache accounting).
 #[derive(Debug, Clone)]
 struct FnState {
     calls: u32,
@@ -188,6 +280,14 @@ struct FnState {
     feedback: Vec<u8>,
     compiles: u32,
     banned: bool,
+    /// Inline caches keyed by op index (only property-access sites).
+    ics: BTreeMap<u32, IcSite>,
+    /// Last execution tick (call dispatch or back-edge) — the LRU key
+    /// for code-cache eviction.
+    last_exec: u64,
+    /// Modelled code bytes this function holds in the code cache
+    /// (0 while interpreted).
+    code_bytes: u64,
 }
 
 impl FnState {
@@ -199,6 +299,9 @@ impl FnState {
             feedback: Vec::new(),
             compiles: 0,
             banned: false,
+            ics: BTreeMap::new(),
+            last_exec: 0,
+            code_bytes: 0,
         }
     }
 }
@@ -223,6 +326,10 @@ pub struct VmSnapshot {
     stack: Vec<Value>,
     frames: Vec<Frame>,
     policy: JitPolicy,
+    jit: JitConfig,
+    shapes: ShapeTable,
+    code_bytes_used: u64,
+    exec_tick: u64,
 }
 
 impl VmSnapshot {
@@ -236,6 +343,11 @@ impl VmSnapshot {
             })
             .sum()
     }
+
+    /// Modelled code-cache occupancy captured in the snapshot, in bytes.
+    pub fn code_cache_used_bytes(&self) -> u64 {
+        self.code_bytes_used
+    }
 }
 
 /// The Flame virtual machine.
@@ -243,11 +355,20 @@ impl VmSnapshot {
 pub struct Vm {
     program: Rc<Program>,
     fn_states: Vec<FnState>,
-    globals: Vec<Value>,
-    stack: Vec<Value>,
+    globals: Vec<TaggedValue>,
+    stack: Vec<TaggedValue>,
     frames: Vec<Frame>,
     stats: ExecStats,
     policy: JitPolicy,
+    /// Code-cache budget, IC limits, and code-size model.
+    jit: JitConfig,
+    /// Content-based map-shape interner shared by all IC sites.
+    shapes: ShapeTable,
+    /// Modelled bytes of compiled code currently resident.
+    code_bytes_used: u64,
+    /// Monotonic execution clock (call dispatches and back-edges), the
+    /// LRU time base for code-cache eviction.
+    exec_tick: u64,
     /// Remaining op budget; `None` is unlimited. Exhaustion aborts the
     /// run with [`LangError::Timeout`] (the platform invocation timeout).
     fuel: Option<u64>,
@@ -259,34 +380,54 @@ impl Vm {
         Vm::with_policy(program, JitPolicy::default())
     }
 
-    /// Creates a VM with an explicit JIT policy.
+    /// Creates a VM with an explicit JIT policy and default [`JitConfig`]
+    /// limits (generous code-cache budget, poly limit 4).
     pub fn with_policy(program: Rc<Program>, policy: JitPolicy) -> Self {
+        Vm::with_config(program, JitConfig::default().with_policy(Some(policy)))
+    }
+
+    /// Creates a VM with a full [`JitConfig`]. A `None` policy in the
+    /// config falls back to [`JitPolicy::default`] (embedders that carry
+    /// a runtime profile resolve `None` to the profile's policy first).
+    pub fn with_config(program: Rc<Program>, jit: JitConfig) -> Self {
         let n_funcs = program.functions.len();
         let n_globals = program.global_names.len();
         Vm {
             program,
             fn_states: (0..n_funcs).map(|_| FnState::new()).collect(),
-            globals: vec![Value::Null; n_globals],
+            globals: vec![TaggedValue::null(); n_globals],
             stack: Vec::with_capacity(256),
             frames: Vec::with_capacity(16),
             stats: ExecStats::default(),
-            policy,
+            policy: jit.policy.unwrap_or_default(),
+            jit,
+            shapes: ShapeTable::default(),
+            code_bytes_used: 0,
+            exec_tick: 0,
             fuel: None,
         }
     }
 
     /// Rebuilds a VM from a snapshot. The clone resumes exactly where the
-    /// snapshot was taken (right after the `fireworks_snapshot()` call).
+    /// snapshot was taken (right after the `fireworks_snapshot()` call),
+    /// carrying the warmed JIT state: tiers, inline caches, shape table,
+    /// and code-cache occupancy.
     pub fn from_snapshot(snapshot: &VmSnapshot) -> Self {
         let mut seen = HashMap::new();
+        let globals = deep_clone_values(&snapshot.globals, &mut seen);
+        let stack = deep_clone_values(&snapshot.stack, &mut seen);
         Vm {
             program: snapshot.program.clone(),
             fn_states: snapshot.fn_states.clone(),
-            globals: deep_clone_values(&snapshot.globals, &mut seen),
-            stack: deep_clone_values(&snapshot.stack, &mut seen),
+            globals: globals.into_iter().map(TaggedValue::from_value).collect(),
+            stack: stack.into_iter().map(TaggedValue::from_value).collect(),
             frames: snapshot.frames.clone(),
             stats: ExecStats::default(),
             policy: snapshot.policy,
+            jit: snapshot.jit,
+            shapes: snapshot.shapes.clone(),
+            code_bytes_used: snapshot.code_bytes_used,
+            exec_tick: snapshot.exec_tick,
             fuel: None,
         }
     }
@@ -304,13 +445,21 @@ impl Vm {
     /// Captures a deep-cloned snapshot of the current execution state.
     pub fn snapshot_state(&self) -> VmSnapshot {
         let mut seen = HashMap::new();
+        // Unbox through one shared identity map so aliasing between
+        // globals and stack survives both the untagging and the clone.
+        let globals: Vec<Value> = self.globals.iter().map(TaggedValue::to_value).collect();
+        let stack: Vec<Value> = self.stack.iter().map(TaggedValue::to_value).collect();
         VmSnapshot {
             program: self.program.clone(),
             fn_states: self.fn_states.clone(),
-            globals: deep_clone_values(&self.globals, &mut seen),
-            stack: deep_clone_values(&self.stack, &mut seen),
+            globals: deep_clone_values(&globals, &mut seen),
+            stack: deep_clone_values(&stack, &mut seen),
             frames: self.frames.clone(),
             policy: self.policy,
+            jit: self.jit,
+            shapes: self.shapes.clone(),
+            code_bytes_used: self.code_bytes_used,
+            exec_tick: self.exec_tick,
         }
     }
 
@@ -357,10 +506,40 @@ impl Vm {
             .sum()
     }
 
+    /// The JIT configuration this VM runs under.
+    pub fn jit_config(&self) -> JitConfig {
+        self.jit
+    }
+
+    /// Modelled code-cache occupancy in bytes (always within the
+    /// configured `code_cache_capacity_bytes` budget).
+    pub fn code_cache_used_bytes(&self) -> u64 {
+        self.code_bytes_used
+    }
+
+    /// Aggregates inline-cache state across all functions.
+    pub fn ic_summary(&self) -> IcSummary {
+        let mut out = IcSummary::default();
+        for st in &self.fn_states {
+            for site in st.ics.values() {
+                out.sites += 1;
+                out.hits += site.hits;
+                out.misses += site.misses;
+                match &site.state {
+                    IcState::Uninit => {}
+                    IcState::Mono(_) => out.mono += 1,
+                    IcState::Poly(_) => out.poly += 1,
+                    IcState::Mega => out.mega += 1,
+                }
+            }
+        }
+        out
+    }
+
     /// Reads a global by name (for tests and embedders).
     pub fn global(&self, name: &str) -> Option<Value> {
         let i = self.program.global_names.iter().position(|g| g == name)?;
-        Some(self.globals[i].clone())
+        Some(self.globals[i].to_value())
     }
 
     /// Whether the VM has a suspended call stack (is mid-execution).
@@ -373,7 +552,7 @@ impl Vm {
         self.globals
             .iter()
             .chain(self.stack.iter())
-            .map(Value::heap_estimate)
+            .map(|v| v.to_value().heap_estimate())
             .sum()
     }
 
@@ -398,11 +577,15 @@ impl Vm {
         }
         let n_locals = chunk.n_locals;
         let base = self.stack.len();
-        self.stack.extend(args);
+        self.stack
+            .extend(args.into_iter().map(TaggedValue::from_value));
         for _ in self.stack.len() - base..n_locals as usize {
-            self.stack.push(Value::Null);
+            self.stack.push(TaggedValue::null());
         }
-        self.fn_states[func].calls += 1;
+        self.exec_tick += 1;
+        let st = &mut self.fn_states[func];
+        st.last_exec = self.exec_tick;
+        st.calls += 1;
         self.maybe_tier_up(func);
         self.frames.push(Frame { func, ip: 0, base });
         Ok(())
@@ -461,10 +644,29 @@ impl Vm {
             return;
         };
         let chunk = self.chunk(func).clone();
+        // Budgeted code cache: compiled code costs modelled bytes; a
+        // compile that does not fit evicts least-recently-executed
+        // functions first (demoting them to the interpreter), and a
+        // function bigger than the whole budget is never compiled.
+        let cost = chunk.ops.len() as u64 * self.jit.code_bytes_per_op;
+        let capacity = self.jit.code_cache_capacity_bytes;
+        if cost > capacity {
+            return;
+        }
+        // Re-tiering replaces this function's resident code, so its own
+        // bytes are freed by the same transaction.
+        let already = self.fn_states[func].code_bytes;
+        while self.code_bytes_used - already + cost > capacity {
+            if !self.evict_coldest(func) {
+                return;
+            }
+        }
         let quick = quicken(&chunk, &self.fn_states[func].feedback);
         self.stats.compiles += 1;
+        self.code_bytes_used = self.code_bytes_used - already + cost;
         let st = &mut self.fn_states[func];
         st.compiles += 1;
+        st.code_bytes = cost;
         match target {
             TargetTier::Quick => {
                 self.stats.compile_ops += chunk.ops.len() as u64;
@@ -477,12 +679,42 @@ impl Vm {
         }
     }
 
-    /// Deoptimises `func`: back to the interpreter, poison the site, and
-    /// ban the function after too many recompilations.
+    /// Evicts the least-recently-executed compiled function (other than
+    /// `protect`), demoting it to the interpreter and resetting its heat
+    /// so it must re-earn compilation. Ties break on the lowest function
+    /// index, keeping eviction order deterministic.
+    fn evict_coldest(&mut self, protect: usize) -> bool {
+        let victim = self
+            .fn_states
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| *i != protect && s.code_bytes > 0)
+            .min_by_key(|(i, s)| (s.last_exec, *i))
+            .map(|(i, _)| i);
+        let Some(i) = victim else {
+            return false;
+        };
+        let st = &mut self.fn_states[i];
+        self.code_bytes_used -= st.code_bytes;
+        st.code_bytes = 0;
+        st.tier = Tier::Interp;
+        // Reset heat (but keep type feedback) so the next compile of
+        // this function is driven by fresh traffic, not stale counters.
+        st.calls = 0;
+        st.back_edges = 0;
+        self.stats.code_evictions += 1;
+        true
+    }
+
+    /// Deoptimises `func`: back to the interpreter, release its code
+    /// bytes, poison the site, and ban the function after too many
+    /// recompilations.
     fn deopt(&mut self, func: usize, site: usize) {
         self.stats.deopts += 1;
         let ops_len = self.chunk(func).ops.len();
         let st = &mut self.fn_states[func];
+        self.code_bytes_used -= st.code_bytes;
+        st.code_bytes = 0;
         st.tier = Tier::Interp;
         if st.feedback.is_empty() {
             st.feedback = vec![0; ops_len];
@@ -491,6 +723,57 @@ impl Vm {
         if st.compiles >= MAX_COMPILES {
             st.banned = true;
         }
+    }
+
+    /// Advances one property-access site's inline cache for an observed
+    /// map shape. Returns `true` when the access must deoptimise: a
+    /// monomorphic site compiled on one shape just saw another while
+    /// running compiled code (the paper's restore-side deopt hazard).
+    fn ic_access(&mut self, func: usize, site: usize, in_jit: bool, shape: u32) -> bool {
+        let limit = usize::from(self.jit.ic_poly_limit.max(1));
+        let ic = self.fn_states[func]
+            .ics
+            .entry(site as u32)
+            .or_insert_with(IcSite::new);
+        let mut hit = false;
+        let mut deopt_now = false;
+        let state = std::mem::replace(&mut ic.state, IcState::Uninit);
+        ic.state = match state {
+            IcState::Uninit => IcState::Mono(shape),
+            IcState::Mono(s) if s == shape => {
+                hit = true;
+                IcState::Mono(s)
+            }
+            IcState::Mono(s) => {
+                deopt_now = in_jit;
+                if limit >= 2 {
+                    IcState::Poly(vec![s, shape])
+                } else {
+                    IcState::Mega
+                }
+            }
+            IcState::Poly(shapes) if shapes.contains(&shape) => {
+                hit = true;
+                IcState::Poly(shapes)
+            }
+            IcState::Poly(mut shapes) => {
+                if shapes.len() < limit {
+                    shapes.push(shape);
+                    IcState::Poly(shapes)
+                } else {
+                    IcState::Mega
+                }
+            }
+            IcState::Mega => IcState::Mega,
+        };
+        if hit {
+            ic.hits += 1;
+            self.stats.ic_hits += 1;
+        } else {
+            ic.misses += 1;
+            self.stats.ic_misses += 1;
+        }
+        deopt_now
     }
 
     fn record_feedback(&mut self, func: usize, site: usize, mask: u8) {
@@ -504,11 +787,19 @@ impl Vm {
 
     // ---- stack helpers ---------------------------------------------------
 
-    fn pop(&mut self) -> Value {
+    fn pop(&mut self) -> TaggedValue {
         self.stack.pop().expect("stack underflow is a compiler bug")
     }
 
-    fn peek(&self, depth: usize) -> &Value {
+    fn pop_value(&mut self) -> Value {
+        self.pop().into_value()
+    }
+
+    fn push_value(&mut self, v: Value) {
+        self.stack.push(TaggedValue::from_value(v));
+    }
+
+    fn peek(&self, depth: usize) -> &TaggedValue {
         &self.stack[self.stack.len() - 1 - depth]
     }
 
@@ -552,7 +843,7 @@ impl Vm {
             match op {
                 Op::Const(c) => {
                     let v = self.chunk(func).consts[c as usize].clone();
-                    self.stack.push(v);
+                    self.push_value(v);
                 }
                 Op::LoadLocal(slot) => {
                     let v = self.stack[frame.base + slot as usize].clone();
@@ -578,12 +869,12 @@ impl Vm {
                 Op::Eq => {
                     let r = self.pop();
                     let l = self.pop();
-                    self.stack.push(Value::Bool(l.eq_value(&r)));
+                    self.stack.push(TaggedValue::bool(l == r));
                 }
                 Op::Ne => {
                     let r = self.pop();
                     let l = self.pop();
-                    self.stack.push(Value::Bool(!l.eq_value(&r)));
+                    self.stack.push(TaggedValue::bool(l != r));
                 }
                 Op::Lt => self.binary_generic(func, site, in_jit, BinKind::Lt)?,
                 Op::Le => self.binary_generic(func, site, in_jit, BinKind::Le)?,
@@ -592,21 +883,21 @@ impl Vm {
 
                 Op::Neg => {
                     let v = self.pop();
-                    let out = match v {
-                        Value::Int(i) => Value::Int(i.wrapping_neg()),
-                        Value::Float(f) => Value::Float(-f),
-                        other => {
-                            return Err(LangError::runtime(format!(
-                                "cannot negate {}",
-                                other.type_name()
-                            )))
-                        }
+                    let out = if let Some(i) = v.as_int() {
+                        TaggedValue::int(i.wrapping_neg())
+                    } else if let Some(f) = v.as_float() {
+                        TaggedValue::float(-f)
+                    } else {
+                        return Err(LangError::runtime(format!(
+                            "cannot negate {}",
+                            v.type_name()
+                        )));
                     };
                     self.stack.push(out);
                 }
                 Op::Not => {
                     let v = self.pop();
-                    self.stack.push(Value::Bool(!v.truthy()));
+                    self.stack.push(TaggedValue::bool(!v.truthy()));
                 }
 
                 Op::Jump(target) => {
@@ -614,7 +905,10 @@ impl Vm {
                     if t <= site {
                         // Loop back-edge: profile, maybe tier up (OSR —
                         // safe because quickening is 1:1 on op indices).
-                        self.fn_states[func].back_edges += 1;
+                        self.exec_tick += 1;
+                        let st = &mut self.fn_states[func];
+                        st.last_exec = self.exec_tick;
+                        st.back_edges += 1;
                         self.maybe_tier_up(func);
                     }
                     self.frames.last_mut().expect("frame stack non-empty").ip = t;
@@ -648,9 +942,12 @@ impl Vm {
                     }
                     let base = self.stack.len() - argc as usize;
                     for _ in argc as u16..chunk.n_locals {
-                        self.stack.push(Value::Null);
+                        self.stack.push(TaggedValue::null());
                     }
-                    self.fn_states[callee].calls += 1;
+                    self.exec_tick += 1;
+                    let st = &mut self.fn_states[callee];
+                    st.last_exec = self.exec_tick;
+                    st.calls += 1;
                     self.maybe_tier_up(callee);
                     self.frames.push(Frame {
                         func: callee,
@@ -674,14 +971,19 @@ impl Vm {
                         }
                     };
                     let at = self.stack.len() - argc as usize;
-                    let args: Vec<Value> = self.stack.split_off(at);
+                    let args: Vec<Value> = self
+                        .stack
+                        .split_off(at)
+                        .into_iter()
+                        .map(TaggedValue::into_value)
+                        .collect();
                     let result = host.host_call(&name, &args)?;
-                    self.stack.push(result);
+                    self.push_value(result);
                 }
                 Op::Snapshot => {
                     // The call's result (null) is pushed *before*
                     // suspending so the captured state resumes cleanly.
-                    self.stack.push(Value::Null);
+                    self.stack.push(TaggedValue::null());
                     return Ok(Outcome::Snapshot);
                 }
                 Op::Return => {
@@ -689,7 +991,7 @@ impl Vm {
                     let frame = self.frames.pop().expect("frame stack non-empty");
                     self.stack.truncate(frame.base);
                     if self.frames.is_empty() {
-                        return Ok(Outcome::Done(value));
+                        return Ok(Outcome::Done(value.into_value()));
                     }
                     self.stack.push(value);
                 }
@@ -698,12 +1000,22 @@ impl Vm {
                 }
                 Op::MakeArray(n) => {
                     let at = self.stack.len() - n as usize;
-                    let items = self.stack.split_off(at);
-                    self.stack.push(Value::array(items));
+                    let items: Vec<Value> = self
+                        .stack
+                        .split_off(at)
+                        .into_iter()
+                        .map(TaggedValue::into_value)
+                        .collect();
+                    self.push_value(Value::array(items));
                 }
                 Op::MakeMap(n) => {
                     let at = self.stack.len() - 2 * n as usize;
-                    let mut flat = self.stack.split_off(at);
+                    let mut flat: Vec<Value> = self
+                        .stack
+                        .split_off(at)
+                        .into_iter()
+                        .map(TaggedValue::into_value)
+                        .collect();
                     let mut entries = Vec::with_capacity(n as usize);
                     for _ in 0..n {
                         let v = flat.pop().expect("compiler pushed 2n values");
@@ -714,35 +1026,33 @@ impl Vm {
                         entries.push((k.to_string(), v));
                     }
                     entries.reverse();
-                    self.stack.push(Value::map(entries));
+                    self.push_value(Value::map(entries));
                 }
                 Op::Index => self.index_generic(func, site, in_jit)?,
                 Op::SetIndex => self.set_index_generic(func, site, in_jit)?,
+                Op::GetProp(c) => self.get_prop(func, site, in_jit, c)?,
+                Op::SetProp(c) => self.set_prop(func, site, in_jit, c)?,
 
                 // ---- quickened ops ----------------------------------------
                 Op::AddII | Op::SubII | Op::MulII | Op::ModII | Op::DivII => {
-                    if let (Value::Int(_), Value::Int(_)) = (self.peek(1), self.peek(0)) {
-                        let Value::Int(r) = self.pop() else {
-                            unreachable!()
-                        };
-                        let Value::Int(l) = self.pop() else {
-                            unreachable!()
-                        };
+                    if let (Some(l), Some(r)) = (self.peek(1).as_int(), self.peek(0).as_int()) {
+                        self.pop();
+                        self.pop();
                         let out = match op {
-                            Op::AddII => Value::Int(l.wrapping_add(r)),
-                            Op::SubII => Value::Int(l.wrapping_sub(r)),
-                            Op::MulII => Value::Int(l.wrapping_mul(r)),
+                            Op::AddII => TaggedValue::int(l.wrapping_add(r)),
+                            Op::SubII => TaggedValue::int(l.wrapping_sub(r)),
+                            Op::MulII => TaggedValue::int(l.wrapping_mul(r)),
                             Op::ModII => {
                                 if r == 0 {
                                     return Err(LangError::runtime("modulo by zero"));
                                 }
-                                Value::Int(l.wrapping_rem(r))
+                                TaggedValue::int(l.wrapping_rem(r))
                             }
                             Op::DivII => {
                                 if r == 0 {
                                     return Err(LangError::runtime("division by zero"));
                                 }
-                                Value::Int(l.wrapping_div(r))
+                                TaggedValue::int(l.wrapping_div(r))
                             }
                             _ => unreachable!(),
                         };
@@ -761,11 +1071,9 @@ impl Vm {
                     }
                 }
                 Op::AddFF | Op::SubFF | Op::MulFF | Op::DivFF => {
-                    let ok = matches!(self.peek(1), Value::Int(_) | Value::Float(_))
-                        && matches!(self.peek(0), Value::Int(_) | Value::Float(_));
-                    if ok {
-                        let r = as_f64(&self.pop());
-                        let l = as_f64(&self.pop());
+                    if let (Some(l), Some(r)) = (self.peek(1).as_num(), self.peek(0).as_num()) {
+                        self.pop();
+                        self.pop();
                         let out = match op {
                             Op::AddFF => l + r,
                             Op::SubFF => l - r,
@@ -773,7 +1081,7 @@ impl Vm {
                             Op::DivFF => l / r,
                             _ => unreachable!(),
                         };
-                        self.stack.push(Value::Float(out));
+                        self.stack.push(TaggedValue::float(out));
                     } else {
                         self.deopt(func, site);
                         let kind = match op {
@@ -787,13 +1095,9 @@ impl Vm {
                     }
                 }
                 Op::LtII | Op::LeII | Op::GtII | Op::GeII => {
-                    if let (Value::Int(_), Value::Int(_)) = (self.peek(1), self.peek(0)) {
-                        let Value::Int(r) = self.pop() else {
-                            unreachable!()
-                        };
-                        let Value::Int(l) = self.pop() else {
-                            unreachable!()
-                        };
+                    if let (Some(l), Some(r)) = (self.peek(1).as_int(), self.peek(0).as_int()) {
+                        self.pop();
+                        self.pop();
                         let out = match op {
                             Op::LtII => l < r,
                             Op::LeII => l <= r,
@@ -801,7 +1105,7 @@ impl Vm {
                             Op::GeII => l >= r,
                             _ => unreachable!(),
                         };
-                        self.stack.push(Value::Bool(out));
+                        self.stack.push(TaggedValue::bool(out));
                     } else {
                         self.deopt(func, site);
                         let kind = match op {
@@ -815,33 +1119,26 @@ impl Vm {
                     }
                 }
                 Op::AddSS => {
-                    if let (Value::Str(_), Value::Str(_)) = (self.peek(1), self.peek(0)) {
-                        let Value::Str(r) = self.pop() else {
-                            unreachable!()
-                        };
-                        let Value::Str(l) = self.pop() else {
-                            unreachable!()
+                    if self.peek(1).as_str().is_some() && self.peek(0).as_str().is_some() {
+                        let r = self.pop_value();
+                        let l = self.pop_value();
+                        let (Value::Str(l), Value::Str(r)) = (l, r) else {
+                            unreachable!("guard checked strings")
                         };
                         let mut s = String::with_capacity(l.len() + r.len());
                         s.push_str(&l);
                         s.push_str(&r);
-                        self.stack.push(Value::str(s));
+                        self.push_value(Value::str(s));
                     } else {
                         self.deopt(func, site);
                         self.binary_generic(func, site, false, BinKind::Add)?;
                     }
                 }
                 Op::IndexArrI => {
-                    let guard = matches!(
-                        (self.peek(1), self.peek(0)),
-                        (Value::Array(_), Value::Int(_))
-                    );
-                    if guard {
-                        let Value::Int(i) = self.pop() else {
-                            unreachable!()
-                        };
-                        let Value::Array(a) = self.pop() else {
-                            unreachable!()
+                    if self.peek(1).is_array() && self.peek(0).as_int().is_some() {
+                        let i = self.pop().as_int().expect("guard checked int");
+                        let Value::Array(a) = self.pop_value() else {
+                            unreachable!("guard checked array")
                         };
                         let a = a.borrow();
                         let item = usize::try_from(i)
@@ -854,41 +1151,33 @@ impl Vm {
                                 ))
                             })?;
                         drop(a);
-                        self.stack.push(item);
+                        self.push_value(item);
                     } else {
                         self.deopt(func, site);
                         self.index_generic(func, site, false)?;
                     }
                 }
                 Op::IndexMapS => {
-                    let guard =
-                        matches!((self.peek(1), self.peek(0)), (Value::Map(_), Value::Str(_)));
-                    if guard {
-                        let Value::Str(k) = self.pop() else {
-                            unreachable!()
+                    if self.peek(1).is_map() && self.peek(0).as_str().is_some() {
+                        let Value::Str(k) = self.pop_value() else {
+                            unreachable!("guard checked string")
                         };
-                        let Value::Map(m) = self.pop() else {
-                            unreachable!()
+                        let Value::Map(m) = self.pop_value() else {
+                            unreachable!("guard checked map")
                         };
                         let v = m.borrow().get(&*k).cloned().unwrap_or(Value::Null);
-                        self.stack.push(v);
+                        self.push_value(v);
                     } else {
                         self.deopt(func, site);
                         self.index_generic(func, site, false)?;
                     }
                 }
                 Op::SetIndexArrI => {
-                    let guard = matches!(
-                        (self.peek(2), self.peek(1)),
-                        (Value::Array(_), Value::Int(_))
-                    );
-                    if guard {
-                        let v = self.pop();
-                        let Value::Int(i) = self.pop() else {
-                            unreachable!()
-                        };
-                        let Value::Array(a) = self.pop() else {
-                            unreachable!()
+                    if self.peek(2).is_array() && self.peek(1).as_int().is_some() {
+                        let v = self.pop_value();
+                        let i = self.pop().as_int().expect("guard checked int");
+                        let Value::Array(a) = self.pop_value() else {
+                            unreachable!("guard checked array")
                         };
                         let mut a = a.borrow_mut();
                         let len = a.len();
@@ -919,28 +1208,28 @@ impl Vm {
         in_jit: bool,
         kind: BinKind,
     ) -> Result<(), LangError> {
+        let r = self.pop_value();
+        let l = self.pop_value();
         if !in_jit {
-            let mask = classify_pair(self.peek(1), self.peek(0));
+            let mask = classify_pair(&l, &r);
             self.record_feedback(func, site, mask);
         }
-        let r = self.pop();
-        let l = self.pop();
         let out = apply_binary(kind, l, r)?;
-        self.stack.push(out);
+        self.push_value(out);
         Ok(())
     }
 
     fn index_generic(&mut self, func: usize, site: usize, in_jit: bool) -> Result<(), LangError> {
+        let index = self.pop_value();
+        let base = self.pop_value();
         if !in_jit {
-            let mask = match (self.peek(1), self.peek(0)) {
+            let mask = match (&base, &index) {
                 (Value::Array(_), Value::Int(_)) => feedback::ARR_INT,
                 (Value::Map(_), Value::Str(_)) => feedback::MAP_STR,
                 _ => feedback::OTHER,
             };
             self.record_feedback(func, site, mask);
         }
-        let index = self.pop();
-        let base = self.pop();
         let out = match (&base, &index) {
             (Value::Array(a), Value::Int(i)) => {
                 let a = a.borrow();
@@ -976,7 +1265,7 @@ impl Vm {
                 )))
             }
         };
-        self.stack.push(out);
+        self.push_value(out);
         Ok(())
     }
 
@@ -986,16 +1275,16 @@ impl Vm {
         site: usize,
         in_jit: bool,
     ) -> Result<(), LangError> {
+        let value = self.pop_value();
+        let index = self.pop_value();
+        let base = self.pop_value();
         if !in_jit {
-            let mask = match (self.peek(2), self.peek(1)) {
+            let mask = match (&base, &index) {
                 (Value::Array(_), Value::Int(_)) => feedback::ARR_INT,
                 _ => feedback::OTHER,
             };
             self.record_feedback(func, site, mask);
         }
-        let value = self.pop();
-        let index = self.pop();
-        let base = self.pop();
         match (&base, &index) {
             (Value::Array(a), Value::Int(i)) => {
                 let mut a = a.borrow_mut();
@@ -1022,6 +1311,82 @@ impl Vm {
         Ok(())
     }
 
+    /// `base.name` through the site's inline cache. Lookup semantics are
+    /// identical to `base["name"]`; the IC only shapes the cost model
+    /// (hit/miss counters, deopt on shape change in compiled code).
+    fn get_prop(
+        &mut self,
+        func: usize,
+        site: usize,
+        in_jit: bool,
+        key_const: u16,
+    ) -> Result<(), LangError> {
+        let key = match &self.chunk(func).consts[key_const as usize] {
+            Value::Str(s) => s.clone(),
+            other => {
+                return Err(LangError::runtime(format!(
+                    "property name must be a string, got {}",
+                    other.type_name()
+                )))
+            }
+        };
+        let base = self.pop_value();
+        match &base {
+            Value::Map(m) => {
+                let hash = shape_hash(&m.borrow());
+                let shape = self.shapes.intern(hash);
+                if self.ic_access(func, site, in_jit, shape) {
+                    self.deopt(func, site);
+                }
+                let v = m.borrow().get(&*key).cloned().unwrap_or(Value::Null);
+                self.push_value(v);
+                Ok(())
+            }
+            other => Err(LangError::runtime(format!(
+                "cannot index {} with string",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// `base.name = value` through the site's inline cache. The shape is
+    /// observed *before* the insert, so a store that adds a new key is a
+    /// transition: the next access at this site sees the grown shape.
+    fn set_prop(
+        &mut self,
+        func: usize,
+        site: usize,
+        in_jit: bool,
+        key_const: u16,
+    ) -> Result<(), LangError> {
+        let key = match &self.chunk(func).consts[key_const as usize] {
+            Value::Str(s) => s.clone(),
+            other => {
+                return Err(LangError::runtime(format!(
+                    "property name must be a string, got {}",
+                    other.type_name()
+                )))
+            }
+        };
+        let value = self.pop_value();
+        let base = self.pop_value();
+        match &base {
+            Value::Map(m) => {
+                let hash = shape_hash(&m.borrow());
+                let shape = self.shapes.intern(hash);
+                if self.ic_access(func, site, in_jit, shape) {
+                    self.deopt(func, site);
+                }
+                m.borrow_mut().insert(key.to_string(), value);
+                Ok(())
+            }
+            other => Err(LangError::runtime(format!(
+                "cannot assign into {} with string index",
+                other.type_name()
+            ))),
+        }
+    }
+
     fn call_builtin(
         &mut self,
         builtin: Builtin,
@@ -1029,9 +1394,14 @@ impl Vm {
         host: &mut dyn Host,
     ) -> Result<(), LangError> {
         let at = self.stack.len() - argc as usize;
-        let args: Vec<Value> = self.stack.split_off(at);
+        let args: Vec<Value> = self
+            .stack
+            .split_off(at)
+            .into_iter()
+            .map(TaggedValue::into_value)
+            .collect();
         let result = eval_builtin(builtin, args, host)?;
-        self.stack.push(result);
+        self.push_value(result);
         Ok(())
     }
 }
@@ -1995,6 +2365,318 @@ mod tests {
         let program = Rc::new(compile("fn main(n) { return n; }").expect("ok"));
         let vm = Vm::new(program);
         assert_eq!(vm.fuel(), None);
+    }
+
+    #[test]
+    fn property_sites_go_monomorphic_and_hit() {
+        let src = "fn main(n) {
+            let p = { x: 1, y: 2 };
+            let t = 0;
+            for (let i = 0; i < n; i = i + 1) { t = t + p.x + p.y; }
+            return t;
+        }";
+        let program = Rc::new(compile(src).expect("compiles"));
+        let mut vm = Vm::with_policy(program, JitPolicy::Off);
+        vm.start("main", vec![Value::Int(100)]).expect("starts");
+        let Outcome::Done(v) = vm.run(&mut TestHost::default()).expect("runs") else {
+            panic!("expected done")
+        };
+        assert!(v.eq_value(&Value::Int(300)));
+        let ic = vm.ic_summary();
+        assert_eq!(ic.mono, 2, "both access sites stay monomorphic: {ic:?}");
+        assert_eq!(ic.mega, 0);
+        // One miss per site (first observation), hits for the other 99.
+        assert_eq!(vm.stats().ic_misses, 2);
+        assert_eq!(vm.stats().ic_hits, 2 * 100 - 2);
+    }
+
+    #[test]
+    fn ic_transitions_mono_to_poly_to_mega() {
+        // One access site (`read`) sees four distinct map shapes. With a
+        // poly limit of 2 the ladder is: mono(a) → poly(a,b) → mega.
+        let src = "
+            fn read(m) { return m.k; }
+            fn main(x) {
+                let a = { k: 1 };
+                let b = { k: 2, extra: 0 };
+                let c = { k: 3, other: 0 };
+                let d = { k: 4, more: 0, yet: 1 };
+                return read(a) + read(a) + read(b) + read(c) + read(d);
+            }";
+        let program = Rc::new(compile(src).expect("compiles"));
+        let mut vm = Vm::with_config(
+            program,
+            JitConfig::default()
+                .with_policy(Some(JitPolicy::Off))
+                .with_ic_poly_limit(2),
+        );
+        vm.start("main", vec![Value::Int(0)]).expect("starts");
+        let Outcome::Done(v) = vm.run(&mut TestHost::default()).expect("runs") else {
+            panic!("expected done")
+        };
+        assert!(v.eq_value(&Value::Int(11)));
+        let ic = vm.ic_summary();
+        assert_eq!(ic.sites, 1, "{ic:?}");
+        assert_eq!(ic.mega, 1, "site must end megamorphic: {ic:?}");
+        // Misses: first sight of a, then b (poly), c (to mega), d (mega).
+        assert_eq!(vm.stats().ic_misses, 4);
+        assert_eq!(vm.stats().ic_hits, 1, "second read(a) hits");
+    }
+
+    #[test]
+    fn mono_shape_miss_in_compiled_code_deopts() {
+        // Warm `read` on one shape until it compiles, then feed it a
+        // different shape: the mono IC misses inside compiled code and
+        // the function deoptimises (the restore-side hazard).
+        let src = "
+            fn read(m) { return m.k; }
+            fn main(x) {
+                let a = { k: 1 };
+                let t = 0;
+                for (let i = 0; i < 50; i = i + 1) { t = t + read(a); }
+                let b = { k: 10, extra: 0 };
+                return t + read(b);
+            }";
+        let program = Rc::new(compile(src).expect("compiles"));
+        let mut vm = Vm::with_config(
+            program,
+            JitConfig::default().with_policy(Some(JitPolicy::HotSpot {
+                call_threshold: 4,
+                loop_threshold: 1_000_000,
+            })),
+        );
+        vm.start("main", vec![Value::Int(0)]).expect("starts");
+        let Outcome::Done(v) = vm.run(&mut TestHost::default()).expect("runs") else {
+            panic!("expected done")
+        };
+        assert!(v.eq_value(&Value::Int(60)));
+        assert!(
+            vm.stats().deopts >= 1,
+            "shape miss must deopt: {:?}",
+            vm.stats()
+        );
+        assert!(!vm.is_jitted("read"), "deopt demotes to the interpreter");
+        assert_eq!(
+            vm.ic_summary().poly,
+            1,
+            "site is polymorphic after the miss"
+        );
+    }
+
+    #[test]
+    fn code_cache_budget_evicts_lru_and_stays_within_budget() {
+        // Two hot functions, a budget that fits only one compiled body:
+        // compiling the second evicts the first (LRU), and occupancy
+        // never exceeds the budget.
+        let src = "
+            fn f(n) { return n + 1; }
+            fn g(n) { return n + 2; }
+            fn main(x) {
+                let t = 0;
+                for (let i = 0; i < 40; i = i + 1) { t = f(t); }
+                for (let i = 0; i < 40; i = i + 1) { t = g(t); }
+                return t;
+            }";
+        let program = Rc::new(compile(src).expect("compiles"));
+        let f_ops = program.functions[program.function("f").expect("f")]
+            .chunk
+            .ops
+            .len();
+        let g_ops = program.functions[program.function("g").expect("g")]
+            .chunk
+            .ops
+            .len();
+        let per_op = 8u64;
+        // Enough for the larger of the two, not for both.
+        let budget = per_op * f_ops.max(g_ops) as u64 + per_op;
+        let mut vm = Vm::with_config(
+            program,
+            JitConfig::default()
+                .with_policy(Some(JitPolicy::HotSpot {
+                    call_threshold: 4,
+                    loop_threshold: 1_000_000,
+                }))
+                .with_code_cache_capacity_bytes(budget)
+                .with_code_bytes_per_op(per_op),
+        );
+        vm.start("main", vec![Value::Int(0)]).expect("starts");
+        let Outcome::Done(v) = vm.run(&mut TestHost::default()).expect("runs") else {
+            panic!("expected done")
+        };
+        assert!(v.eq_value(&Value::Int(120)));
+        let stats = vm.stats();
+        assert!(stats.code_evictions >= 1, "g must evict f: {stats:?}");
+        assert!(vm.code_cache_used_bytes() <= budget);
+        assert!(!vm.is_jitted("f"), "f was evicted and demoted");
+        assert!(vm.is_jitted("g"), "g holds the cache at the end");
+    }
+
+    #[test]
+    fn function_larger_than_budget_never_compiles() {
+        let src =
+            "fn main(n) { let t = 0; for (let i = 0; i < n; i = i + 1) { t = t + i; } return t; }";
+        let program = Rc::new(compile(src).expect("compiles"));
+        let mut vm = Vm::with_config(
+            program,
+            JitConfig::default()
+                .with_policy(Some(JitPolicy::default()))
+                .with_code_cache_capacity_bytes(4),
+        );
+        vm.start("main", vec![Value::Int(10_000)]).expect("starts");
+        vm.run(&mut TestHost::default()).expect("runs");
+        let stats = vm.stats();
+        assert_eq!(stats.compiles, 0, "{stats:?}");
+        assert_eq!(stats.jit_ops, 0);
+        assert_eq!(vm.code_cache_used_bytes(), 0);
+    }
+
+    #[test]
+    fn eviction_keeps_tier_accounting_consistent() {
+        // The eviction bugfix invariant: total retired ops are identical
+        // whether functions thrash in and out of the code cache or the
+        // JIT is off entirely — demoted functions retire their ops in
+        // the interpreter, never double-counted in `jit_ops`.
+        let src = "
+            fn f(n) { return n + 1; }
+            fn g(n) { return n + 2; }
+            fn main(x) {
+                let t = 0;
+                for (let i = 0; i < 30; i = i + 1) { t = f(t); t = g(t); }
+                return t;
+            }";
+        let program = Rc::new(compile(src).expect("compiles"));
+        let hot = JitPolicy::HotSpot {
+            call_threshold: 2,
+            loop_threshold: 1_000_000,
+        };
+        let run = |jit: JitConfig| {
+            let mut vm = Vm::with_config(Rc::new(compile(src).expect("compiles")), jit);
+            vm.start("main", vec![Value::Int(0)]).expect("starts");
+            let Outcome::Done(v) = vm.run(&mut TestHost::default()).expect("runs") else {
+                panic!("expected done")
+            };
+            (v, vm.stats())
+        };
+        let _ = program;
+        let (v_off, s_off) = run(JitConfig::default().with_policy(Some(JitPolicy::Off)));
+        let (v_thrash, s_thrash) = run(JitConfig::default()
+            .with_policy(Some(hot))
+            // Budget fits one tiny function at a time → constant
+            // evictions as f and g alternate.
+            .with_code_cache_capacity_bytes(80)
+            .with_code_bytes_per_op(8));
+        assert!(v_off.eq_value(&v_thrash));
+        assert!(s_thrash.code_evictions > 0, "{s_thrash:?}");
+        assert_eq!(
+            s_off.total_ops(),
+            s_thrash.total_ops(),
+            "eviction must not double-count retired ops: {s_off:?} vs {s_thrash:?}"
+        );
+        assert_eq!(s_thrash.jit_ops + s_thrash.interp_ops, s_thrash.total_ops());
+        assert!(s_thrash.opt_ops <= s_thrash.jit_ops);
+    }
+
+    #[test]
+    fn snapshot_carries_ic_state_and_code_cache() {
+        let src = "
+            fn read(m) { return m.k; }
+            fn hot(n) { let t = 0; for (let i = 0; i < n; i = i + 1) { t = t + i; } return t; }
+            fn main(x) {
+                let a = { k: 7 };
+                let t = 0;
+                for (let i = 0; i < 50; i = i + 1) { t = t + read(a); }
+                hot(1000);
+                fireworks_snapshot();
+                for (let i = 0; i < 50; i = i + 1) { t = t + read(a); }
+                return t + hot(100);
+            }";
+        let program = Rc::new(compile(src).expect("compiles"));
+        let mut vm = Vm::new(program);
+        vm.start("main", vec![Value::Int(0)]).expect("starts");
+        assert_eq!(
+            vm.run(&mut TestHost::default()).expect("runs"),
+            Outcome::Snapshot
+        );
+        let warm_ic = vm.ic_summary();
+        assert!(warm_ic.mono >= 1);
+        assert!(vm.code_cache_used_bytes() > 0);
+        let snap = vm.snapshot_state();
+        assert_eq!(snap.code_cache_used_bytes(), vm.code_cache_used_bytes());
+
+        let mut clone = Vm::from_snapshot(&snap);
+        assert_eq!(
+            clone.ic_summary(),
+            warm_ic,
+            "IC state survives the snapshot"
+        );
+        assert_eq!(clone.code_cache_used_bytes(), vm.code_cache_used_bytes());
+        let Outcome::Done(v) = clone.run(&mut TestHost::default()).expect("runs") else {
+            panic!("expected done")
+        };
+        assert!(v.eq_value(&Value::Int(700 + 4950)));
+        let stats = clone.stats();
+        // The warmed mono IC keeps hitting after restore: no misses and
+        // no deopts — the post-JIT snapshot benefit. (Tier *promotions*
+        // may still happen; what must not recur is warmup-from-cold.)
+        assert_eq!(stats.ic_misses, 0, "{stats:?}");
+        assert!(stats.ic_hits >= 50);
+        assert_eq!(stats.deopts, 0);
+    }
+
+    #[test]
+    fn restored_clone_deopts_when_traffic_changes_shape() {
+        // Snapshot warmed on shape A; the clone serves shape B — it
+        // must deopt after restore and still produce correct results.
+        let src = "
+            fn read(m) { return m.k; }
+            let req = null;
+            fn main(x) {
+                let a = { k: 1 };
+                let t = 0;
+                for (let i = 0; i < 50; i = i + 1) { t = t + read(a); }
+                fireworks_snapshot();
+                return read(req);
+            }";
+        let program = Rc::new(compile(src).expect("compiles"));
+        let mut vm = Vm::with_policy(
+            program.clone(),
+            JitPolicy::HotSpot {
+                call_threshold: 4,
+                loop_threshold: 1_000_000,
+            },
+        );
+        vm.start(crate::compiler::TOPLEVEL, vec![]).expect("starts");
+        vm.run(&mut TestHost::default()).expect("runs");
+        vm.start("main", vec![Value::Int(0)]).expect("starts");
+        assert_eq!(
+            vm.run(&mut TestHost::default()).expect("runs"),
+            Outcome::Snapshot
+        );
+        assert!(vm.is_jitted("read"));
+        let snap = vm.snapshot_state();
+
+        let mut clone = Vm::from_snapshot(&snap);
+        // Inject a different-shaped request into the clone's global.
+        let g = clone
+            .program
+            .global_names
+            .iter()
+            .position(|g| g == "req")
+            .expect("global exists");
+        clone.globals[g] = TaggedValue::from_value(Value::map([
+            ("k".to_string(), Value::Int(99)),
+            ("trace".to_string(), Value::Null),
+        ]));
+        let Outcome::Done(v) = clone.run(&mut TestHost::default()).expect("runs") else {
+            panic!("expected done")
+        };
+        assert!(v.eq_value(&Value::Int(99)));
+        let stats = clone.stats();
+        assert!(
+            stats.deopts >= 1,
+            "restore-side shape change deopts: {stats:?}"
+        );
+        assert!(stats.ic_misses >= 1);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use fireworks_guestmem::{AddressSpace, HostMemory, SnapshotFile};
-use fireworks_lang::{JitPolicy, LangError};
+use fireworks_lang::{JitConfig, JitPolicy, LangError};
 use fireworks_obs::{cat, Obs, SpanId};
 use fireworks_runtime::{GuestRuntime, MemoryModel, RuntimeProfile};
 use fireworks_sim::fault::{FaultSite, SharedInjector};
@@ -168,23 +168,48 @@ impl VmManager {
     }
 
     /// Launches a language runtime inside the VM and loads `source`.
+    ///
+    /// `jit` is the platform-level JIT shape ([`JitConfig`]): tier-up
+    /// policy override, code-cache budget, and inline-cache limits. Use
+    /// [`JitConfig::default`] for the runtime profile's stock behaviour.
     pub fn launch_runtime(
         &mut self,
         vm: &mut MicroVm,
         profile: RuntimeProfile,
         source: &str,
-        policy: Option<JitPolicy>,
+        jit: JitConfig,
     ) -> Result<(), LangError> {
         assert_eq!(vm.state, VmState::Running, "runtime needs a booted guest");
         let start = self.clock.now();
         let span = self.span_start("runtime_launch", cat::BOOT);
-        let result = GuestRuntime::launch(&self.clock, profile, source, policy);
+        let result = GuestRuntime::launch(&self.clock, profile, source, jit);
         self.span_end(span);
         let rt = result?;
         vm.runtime = Some(rt);
         vm.sync_runtime_memory();
         vm.boot_time += self.clock.now() - start;
         Ok(())
+    }
+
+    /// Launches a language runtime with a bare tier-up policy override.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `launch_runtime` with a `JitConfig` (wrap the policy \
+                via `JitConfig::default().with_policy(..)`)"
+    )]
+    pub fn launch_runtime_with_policy(
+        &mut self,
+        vm: &mut MicroVm,
+        profile: RuntimeProfile,
+        source: &str,
+        policy: Option<JitPolicy>,
+    ) -> Result<(), LangError> {
+        self.launch_runtime(
+            vm,
+            profile,
+            source,
+            JitConfig::default().with_policy(policy),
+        )
     }
 
     /// Pauses a running VM in memory (warm pool).
@@ -343,10 +368,10 @@ mod tests {
         VmManager::new(clock, Rc::new(CostModel::default()), host)
     }
 
-    fn booted_vm(mgr: &mut VmManager, src: &str, policy: Option<JitPolicy>) -> MicroVm {
+    fn booted_vm(mgr: &mut VmManager, src: &str, jit: JitConfig) -> MicroVm {
         let mut vm = mgr.create(MicroVmConfig::default());
         mgr.boot(&mut vm).expect("boots");
-        mgr.launch_runtime(&mut vm, RuntimeProfile::node(), src, policy)
+        mgr.launch_runtime(&mut vm, RuntimeProfile::node(), src, jit)
             .expect("launches");
         vm
     }
@@ -354,7 +379,7 @@ mod tests {
     #[test]
     fn cold_boot_charges_full_pipeline() {
         let mut mgr = manager();
-        let vm = booted_vm(&mut mgr, SRC, None);
+        let vm = booted_vm(&mut mgr, SRC, JitConfig::default());
         // VMM + kernel + init + runtime launch + app load ≈ 2 s.
         assert!(
             vm.boot_time().as_millis() > 1_500,
@@ -376,7 +401,7 @@ mod tests {
     #[test]
     fn pause_resume_is_cheap() {
         let mut mgr = manager();
-        let mut vm = booted_vm(&mut mgr, SRC, None);
+        let mut vm = booted_vm(&mut mgr, SRC, JitConfig::default());
         mgr.pause(&mut vm);
         let before = mgr.clock().now();
         mgr.resume(&mut vm);
@@ -388,7 +413,7 @@ mod tests {
     #[test]
     fn snapshot_cost_scales_with_resident_pages() {
         let mut mgr = manager();
-        let mut vm = booted_vm(&mut mgr, SRC, None);
+        let mut vm = booted_vm(&mut mgr, SRC, JitConfig::default());
         let before = mgr.clock().now();
         let snap = mgr.snapshot(&mut vm);
         let took = mgr.clock().now() - before;
@@ -403,7 +428,7 @@ mod tests {
     #[test]
     fn restore_is_orders_of_magnitude_faster_than_boot() {
         let mut mgr = manager();
-        let mut vm = booted_vm(&mut mgr, SRC, None);
+        let mut vm = booted_vm(&mut mgr, SRC, JitConfig::default());
         let boot = vm.boot_time();
         let snap = mgr.snapshot(&mut vm);
         let before = mgr.clock().now();
@@ -420,7 +445,7 @@ mod tests {
     #[test]
     fn restored_vm_shares_memory_until_invocation() {
         let mut mgr = manager();
-        let mut vm = booted_vm(&mut mgr, SRC, None);
+        let mut vm = booted_vm(&mut mgr, SRC, JitConfig::default());
         let snap = mgr.snapshot(&mut vm);
         drop(vm);
         let a = mgr.restore(&snap).expect("restores");
@@ -448,7 +473,7 @@ mod tests {
             &mut vm,
             RuntimeProfile::python(),
             INSTALL_SRC,
-            Some(JitPolicy::AnnotatedEager),
+            JitConfig::default().with_policy(Some(JitPolicy::AnnotatedEager)),
         )
         .expect("launches");
 
@@ -477,7 +502,7 @@ mod tests {
     #[test]
     fn mmds_is_per_instance_not_in_snapshot() {
         let mut mgr = manager();
-        let mut vm = booted_vm(&mut mgr, SRC, None);
+        let mut vm = booted_vm(&mut mgr, SRC, JitConfig::default());
         vm.mmds_set("instance-id", "original");
         let snap = mgr.snapshot(&mut vm);
         let mut a = mgr.restore(&snap).expect("restores");
@@ -494,6 +519,48 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_policy_launch_matches_jitconfig_launch() {
+        let mut mgr_a = manager();
+        let mut vm_a = mgr_a.create(MicroVmConfig::default());
+        mgr_a.boot(&mut vm_a).expect("boots");
+        mgr_a
+            .launch_runtime_with_policy(
+                &mut vm_a,
+                RuntimeProfile::node(),
+                SRC,
+                Some(JitPolicy::Off),
+            )
+            .expect("launches");
+
+        let mut mgr_b = manager();
+        let mut vm_b = mgr_b.create(MicroVmConfig::default());
+        mgr_b.boot(&mut vm_b).expect("boots");
+        mgr_b
+            .launch_runtime(
+                &mut vm_b,
+                RuntimeProfile::node(),
+                SRC,
+                JitConfig::default().with_policy(Some(JitPolicy::Off)),
+            )
+            .expect("launches");
+
+        assert_eq!(vm_a.boot_time(), vm_b.boot_time());
+        let ra = vm_a
+            .runtime_mut()
+            .expect("rt")
+            .invoke(mgr_a.clock(), "main", vec![Value::Int(500)], &mut NoopHost)
+            .expect("runs");
+        let rb = vm_b
+            .runtime_mut()
+            .expect("rt")
+            .invoke(mgr_b.clock(), "main", vec![Value::Int(500)], &mut NoopHost)
+            .expect("runs");
+        assert_eq!(ra.value, rb.value);
+        assert_eq!(ra.exec_time, rb.exec_time);
+    }
+
+    #[test]
     fn vm_ids_are_unique() {
         let mut mgr = manager();
         let a = mgr.create(MicroVmConfig::default());
@@ -504,7 +571,7 @@ mod tests {
     #[test]
     fn working_set_covers_code_heap_and_exec_state() {
         let mut mgr = manager();
-        let vm = booted_vm(&mut mgr, SRC, None);
+        let vm = booted_vm(&mut mgr, SRC, JitConfig::default());
         let ranges = vm.working_set_ranges();
         assert!(!ranges.is_empty());
         let total_pages: usize = ranges.iter().map(|(_, n)| n).sum();
@@ -523,7 +590,7 @@ mod tests {
     #[test]
     fn aging_dirties_churn_progressively_up_to_the_arena_cap() {
         let mut mgr = manager();
-        let mut vm = booted_vm(&mut mgr, SRC, None);
+        let mut vm = booted_vm(&mut mgr, SRC, JitConfig::default());
         let snap = mgr.snapshot(&mut vm);
         let mut clone = mgr.restore(&snap).expect("restores");
         let base = clone.pss_bytes();
@@ -544,7 +611,11 @@ mod tests {
     fn jit_growth_after_restore_dirties_only_new_pages() {
         let mut mgr = manager();
         // Snapshot without JIT (plain OS+runtime snapshot).
-        let mut vm = booted_vm(&mut mgr, SRC, Some(JitPolicy::Off));
+        let mut vm = booted_vm(
+            &mut mgr,
+            SRC,
+            JitConfig::default().with_policy(Some(JitPolicy::Off)),
+        );
         let snap = mgr.snapshot(&mut vm);
         let mut clone = mgr.restore(&snap).expect("restores");
         let rss_before = clone.rss_bytes();
@@ -579,7 +650,7 @@ mod tests {
     #[test]
     fn restore_read_fault_is_transient() {
         let mut mgr = manager();
-        let mut vm = booted_vm(&mut mgr, SRC, None);
+        let mut vm = booted_vm(&mut mgr, SRC, JitConfig::default());
         let snap = mgr.snapshot(&mut vm);
         let plan = FaultPlan::new(3).nth(FaultSite::SnapshotRead, 1);
         mgr.set_fault_injector(fault::shared(FaultInjector::new(plan)));
@@ -592,7 +663,7 @@ mod tests {
     #[test]
     fn injected_corruption_is_caught_by_checksums_and_persists() {
         let mut mgr = manager();
-        let mut vm = booted_vm(&mut mgr, SRC, None);
+        let mut vm = booted_vm(&mut mgr, SRC, JitConfig::default());
         let snap = mgr.snapshot(&mut vm);
         let plan = FaultPlan::new(11).nth(FaultSite::SnapshotCorruption, 1);
         mgr.set_fault_injector(fault::shared(FaultInjector::new(plan)));
@@ -608,7 +679,7 @@ mod tests {
     #[test]
     fn pristine_snapshot_restores_even_with_injector_at_rate_zero() {
         let mut mgr = manager();
-        let mut vm = booted_vm(&mut mgr, SRC, None);
+        let mut vm = booted_vm(&mut mgr, SRC, JitConfig::default());
         let snap = mgr.snapshot(&mut vm);
         mgr.set_fault_injector(fault::shared(FaultInjector::new(FaultPlan::uniform(
             42, 0.0,

@@ -3,7 +3,9 @@
 use std::rc::Rc;
 
 use fireworks_lang::vm::VmSnapshot;
-use fireworks_lang::{compile, ExecStats, Host, JitPolicy, LangError, Outcome, Program, Value, Vm};
+use fireworks_lang::{
+    compile, ExecStats, Host, JitConfig, JitPolicy, LangError, Outcome, Program, Value, Vm,
+};
 use fireworks_sim::{Clock, Nanos};
 
 use crate::profile::RuntimeProfile;
@@ -79,17 +81,25 @@ impl GuestRuntime {
     /// and app-load time. Does *not* run any code yet (the module body, if
     /// present, runs on first `start`/`run` of `__toplevel__` or is folded
     /// into the entry by the caller).
+    ///
+    /// `jit` carries the full JIT shape for this instance. A `None`
+    /// policy inside it means "use the profile's default tier-up policy";
+    /// the code-cache byte cost per compiled op is always taken from the
+    /// profile (it models the runtime's code generator, not the
+    /// platform's preference).
     pub fn launch(
         clock: &Clock,
         profile: RuntimeProfile,
         source: &str,
-        policy: Option<JitPolicy>,
+        jit: JitConfig,
     ) -> Result<Self, LangError> {
         clock.advance(profile.launch_time);
         let program = Rc::new(compile(source)?);
         clock.advance(profile.app_load_time(program.total_ops()));
-        let policy = policy.unwrap_or(profile.default_policy);
-        let vm = Vm::with_policy(program.clone(), policy);
+        let jit = jit
+            .with_policy(Some(jit.policy.unwrap_or(profile.default_policy)))
+            .with_code_bytes_per_op(profile.jit_code_bytes_per_op);
+        let vm = Vm::with_config(program.clone(), jit);
         Ok(GuestRuntime {
             profile,
             program,
@@ -100,6 +110,26 @@ impl GuestRuntime {
             first_run_local: false,
             ops_since_reset: 0,
         })
+    }
+
+    /// Launches with a bare tier-up policy override.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `launch` with a `JitConfig` (wrap the policy via \
+                `JitConfig::default().with_policy(..)`)"
+    )]
+    pub fn launch_with_policy(
+        clock: &Clock,
+        profile: RuntimeProfile,
+        source: &str,
+        policy: Option<JitPolicy>,
+    ) -> Result<Self, LangError> {
+        GuestRuntime::launch(
+            clock,
+            profile,
+            source,
+            JitConfig::default().with_policy(policy),
+        )
     }
 
     /// Rebuilds a runtime from a snapshot. Charges nothing — the restore
@@ -281,8 +311,12 @@ impl GuestRuntime {
     }
 
     /// Resident JIT-code bytes under this runtime's duplication model.
+    ///
+    /// Uses the VM's budgeted code-cache occupancy (which already charges
+    /// `jit_code_bytes_per_op` per compiled op and reflects evictions),
+    /// scaled by the runtime's duplication factor.
     pub fn jit_code_bytes(&self) -> u64 {
-        self.profile.jit_code_bytes(self.vm.jit_code_ops())
+        self.vm.code_cache_used_bytes() * u64::from(self.profile.jit_code_duplication)
     }
 
     /// Rough guest-heap footprint of live values.
@@ -307,7 +341,8 @@ mod tests {
     #[test]
     fn launch_charges_launch_and_load_time() {
         let clock = Clock::new();
-        let rt = GuestRuntime::launch(&clock, RuntimeProfile::node(), SRC, None).expect("ok");
+        let rt = GuestRuntime::launch(&clock, RuntimeProfile::node(), SRC, JitConfig::default())
+            .expect("ok");
         let expected_min = rt.profile().launch_time + rt.profile().app_load_base;
         assert!(clock.now() >= expected_min);
     }
@@ -315,7 +350,9 @@ mod tests {
     #[test]
     fn invoke_returns_value_and_charges_time() {
         let clock = Clock::new();
-        let mut rt = GuestRuntime::launch(&clock, RuntimeProfile::node(), SRC, None).expect("ok");
+        let mut rt =
+            GuestRuntime::launch(&clock, RuntimeProfile::node(), SRC, JitConfig::default())
+                .expect("ok");
         let before = clock.now();
         let r = rt
             .invoke(&clock, "main", vec![Value::Int(1000)], &mut NoopHost)
@@ -329,14 +366,20 @@ mod tests {
     fn python_profile_is_slower_than_node_on_the_same_work() {
         let clock_n = Clock::new();
         let mut node =
-            GuestRuntime::launch(&clock_n, RuntimeProfile::node(), SRC, None).expect("ok");
+            GuestRuntime::launch(&clock_n, RuntimeProfile::node(), SRC, JitConfig::default())
+                .expect("ok");
         let rn = node
             .invoke(&clock_n, "main", vec![Value::Int(20_000)], &mut NoopHost)
             .expect("runs");
 
         let clock_p = Clock::new();
-        let mut py =
-            GuestRuntime::launch(&clock_p, RuntimeProfile::python(), SRC, None).expect("ok");
+        let mut py = GuestRuntime::launch(
+            &clock_p,
+            RuntimeProfile::python(),
+            SRC,
+            JitConfig::default(),
+        )
+        .expect("ok");
         let rp = py
             .invoke(&clock_p, "main", vec![Value::Int(20_000)], &mut NoopHost)
             .expect("runs");
@@ -353,7 +396,9 @@ mod tests {
     fn warm_second_invocation_is_faster_for_node() {
         // First call pays interp + compile; second runs mostly JITted.
         let clock = Clock::new();
-        let mut rt = GuestRuntime::launch(&clock, RuntimeProfile::node(), SRC, None).expect("ok");
+        let mut rt =
+            GuestRuntime::launch(&clock, RuntimeProfile::node(), SRC, JitConfig::default())
+                .expect("ok");
         let cold = rt
             .invoke(&clock, "main", vec![Value::Int(400_000)], &mut NoopHost)
             .expect("runs");
@@ -383,7 +428,7 @@ mod tests {
             &clock,
             RuntimeProfile::python(),
             src,
-            Some(JitPolicy::AnnotatedEager),
+            JitConfig::default().with_policy(Some(JitPolicy::AnnotatedEager)),
         )
         .expect("ok");
         rt.start("installer", vec![Value::Int(5_000)])
@@ -406,6 +451,58 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn launch_with_policy_shim_matches_jitconfig_launch() {
+        let clock_a = Clock::new();
+        let mut a = GuestRuntime::launch_with_policy(
+            &clock_a,
+            RuntimeProfile::node(),
+            SRC,
+            Some(JitPolicy::AnnotatedEager),
+        )
+        .expect("ok");
+        let clock_b = Clock::new();
+        let mut b = GuestRuntime::launch(
+            &clock_b,
+            RuntimeProfile::node(),
+            SRC,
+            JitConfig::default().with_policy(Some(JitPolicy::AnnotatedEager)),
+        )
+        .expect("ok");
+        let ra = a
+            .invoke(&clock_a, "main", vec![Value::Int(5_000)], &mut NoopHost)
+            .expect("runs");
+        let rb = b
+            .invoke(&clock_b, "main", vec![Value::Int(5_000)], &mut NoopHost)
+            .expect("runs");
+        assert_eq!(ra.value, rb.value);
+        assert_eq!(ra.exec_time, rb.exec_time);
+        assert_eq!(clock_a.now(), clock_b.now());
+    }
+
+    #[test]
+    fn code_cache_budget_reaches_the_vm() {
+        // A starved code cache through the runtime layer: no compiled
+        // code is ever resident.
+        let clock = Clock::new();
+        let src = "@jit fn hot(n) { let t = 0; for (let i = 0; i < n; i = i + 1) { t = t + i; } return t; }
+                   fn main(n) { return hot(n); }";
+        let mut rt = GuestRuntime::launch(
+            &clock,
+            RuntimeProfile::node(),
+            src,
+            JitConfig::default()
+                .with_policy(Some(JitPolicy::AnnotatedEager))
+                .with_code_cache_capacity_bytes(8),
+        )
+        .expect("ok");
+        rt.invoke(&clock, "main", vec![Value::Int(10_000)], &mut NoopHost)
+            .expect("runs");
+        assert_eq!(rt.jit_code_bytes(), 0);
+        assert_eq!(rt.vm().stats().compiles, 0);
+    }
+
+    #[test]
     fn python_jit_code_is_bigger_due_to_duplication() {
         let clock = Clock::new();
         let src = "@jit fn hot(n) { let t = 0; for (let i = 0; i < n; i = i + 1) { t = t + i; } return t; }
@@ -414,14 +511,14 @@ mod tests {
             &clock,
             RuntimeProfile::node(),
             src,
-            Some(JitPolicy::AnnotatedEager),
+            JitConfig::default().with_policy(Some(JitPolicy::AnnotatedEager)),
         )
         .expect("ok");
         let mut py = GuestRuntime::launch(
             &clock,
             RuntimeProfile::python(),
             src,
-            Some(JitPolicy::AnnotatedEager),
+            JitConfig::default().with_policy(Some(JitPolicy::AnnotatedEager)),
         )
         .expect("ok");
         node.invoke(&clock, "main", vec![Value::Int(10)], &mut NoopHost)

@@ -117,8 +117,8 @@ mod tests {
     use super::*;
     use crate::profile::RuntimeProfile;
     use fireworks_guestmem::{HostMemory, SnapshotFile, PAGE_SIZE};
-    use fireworks_lang::NoopHost;
     use fireworks_lang::Value;
+    use fireworks_lang::{JitConfig, NoopHost};
     use fireworks_sim::Clock;
 
     const SRC: &str =
@@ -133,7 +133,8 @@ mod tests {
         let clock = Clock::new();
         let host = HostMemory::new(clock.clone(), 4 << 30, 60);
         let mut space = vm_space(&host);
-        let rt = GuestRuntime::launch(&clock, RuntimeProfile::node(), SRC, None).expect("ok");
+        let rt = GuestRuntime::launch(&clock, RuntimeProfile::node(), SRC, JitConfig::default())
+            .expect("ok");
         MemoryModel::default().materialize(&mut space, &rt);
         let expected_min = rt.profile().base_image_bytes / PAGE_SIZE as u64;
         assert!(space.resident_pages() as u64 > expected_min);
@@ -146,7 +147,9 @@ mod tests {
         let model = MemoryModel::default();
 
         let mut space = vm_space(&host);
-        let mut rt = GuestRuntime::launch(&clock, RuntimeProfile::node(), SRC, None).expect("ok");
+        let mut rt =
+            GuestRuntime::launch(&clock, RuntimeProfile::node(), SRC, JitConfig::default())
+                .expect("ok");
         rt.invoke(&clock, "main", vec![Value::Int(1000)], &mut NoopHost)
             .expect("runs");
         model.materialize(&mut space, &rt);
@@ -176,7 +179,7 @@ mod tests {
             let clock = Clock::new();
             let host = HostMemory::new(clock.clone(), 4 << 30, 60);
             let mut space = vm_space(&host);
-            let rt = GuestRuntime::launch(&clock, profile, SRC, None).expect("ok");
+            let rt = GuestRuntime::launch(&clock, profile, SRC, JitConfig::default()).expect("ok");
             model.materialize(&mut space, &rt);
             let snap = SnapshotFile::capture(&space, Vec::new());
             let mut clone = snap.restore(&host);

@@ -51,6 +51,10 @@ pub struct RuntimeProfile {
     pub compile_per_op: Nanos,
     /// Fixed cost of one deoptimisation (frame reconstruction).
     pub deopt_cost: Nanos,
+    /// Cost of one inline-cache miss on a property access (shape lookup,
+    /// cache update, slow-path dictionary probe). Hits are already folded
+    /// into the per-op tier costs; only misses are surcharged.
+    pub ic_miss_cost: Nanos,
     /// Per host-call dispatch overhead inside the runtime (marshalling).
     pub host_call_dispatch: Nanos,
     /// The tier-up policy the runtime uses out of the box.
@@ -110,6 +114,9 @@ impl RuntimeProfile {
             jit_op: Nanos::from_nanos(9),
             compile_per_op: Nanos::from_micros(6),
             deopt_cost: Nanos::from_micros(35),
+            // V8 megamorphic/miss path: hashed stub-cache probe then
+            // dictionary lookup.
+            ic_miss_cost: Nanos::from_nanos(120),
             host_call_dispatch: Nanos::from_micros(4),
             // V8 requires real heat before optimizing: a cold run spends a
             // visible fraction of a serverless-scale execution in the
@@ -156,6 +163,9 @@ impl RuntimeProfile {
             // quickening.
             compile_per_op: Nanos::from_micros(240),
             deopt_cost: Nanos::from_micros(60),
+            // Every CPython attribute miss is a full dict probe chain
+            // (instance, type, MRO) — far pricier than V8's stub cache.
+            ic_miss_cost: Nanos::from_nanos(300),
             host_call_dispatch: Nanos::from_micros(6),
             default_policy: JitPolicy::Off,
             base_image_bytes: 38 << 20,
@@ -186,6 +196,7 @@ impl RuntimeProfile {
         total += self.jit_op * stats.opt_ops;
         total += self.compile_per_op * stats.compile_ops;
         total += self.deopt_cost * stats.deopts;
+        total += self.ic_miss_cost * stats.ic_misses;
         total += self.host_call_dispatch * stats.host_calls;
         clock.advance(total);
         total
@@ -264,6 +275,9 @@ mod tests {
             calls: 10,
             host_calls: 4,
             builtin_calls: 7,
+            ic_hits: 90,
+            ic_misses: 12,
+            code_evictions: 1,
         };
         let t = p.charge(&clock, &stats);
         assert_eq!(clock.now(), t);
@@ -272,6 +286,7 @@ mod tests {
             + p.jit_op * 2000
             + p.compile_per_op * 300
             + p.deopt_cost * 1
+            + p.ic_miss_cost * 12
             + p.host_call_dispatch * 4;
         assert_eq!(t, expected);
     }

@@ -5,7 +5,7 @@
 use std::rc::Rc;
 
 use fireworks_guestmem::{AddressSpace, HostMemory, SnapshotFile};
-use fireworks_lang::{JitPolicy, LangError};
+use fireworks_lang::{JitConfig, LangError};
 use fireworks_runtime::{GuestRuntime, MemoryModel, RuntimeProfile, RuntimeSnapshot};
 use fireworks_sim::{Clock, CostModel, Nanos};
 
@@ -168,7 +168,7 @@ impl ContainerManager {
         kind: ContainerKind,
         profile: RuntimeProfile,
         source: &str,
-        policy: Option<JitPolicy>,
+        jit: JitConfig,
     ) -> Result<Container, LangError> {
         let start = self.clock.now();
         match kind {
@@ -182,7 +182,7 @@ impl ContainerManager {
                 self.clock.advance(self.costs.gvisor.gofer_start);
             }
         }
-        let runtime = GuestRuntime::launch(&self.clock, profile, source, policy)?;
+        let runtime = GuestRuntime::launch(&self.clock, profile, source, jit)?;
         let id = self.next_id;
         self.next_id += 1;
         let mut container = Container {
@@ -276,10 +276,20 @@ mod tests {
     fn plain_cold_start_is_faster_than_gvisor() {
         let mut mgr = manager();
         let plain = mgr
-            .create(ContainerKind::Plain, RuntimeProfile::node(), SRC, None)
+            .create(
+                ContainerKind::Plain,
+                RuntimeProfile::node(),
+                SRC,
+                JitConfig::default(),
+            )
             .expect("plain");
         let gvisor = mgr
-            .create(ContainerKind::Gvisor, RuntimeProfile::node(), SRC, None)
+            .create(
+                ContainerKind::Gvisor,
+                RuntimeProfile::node(),
+                SRC,
+                JitConfig::default(),
+            )
             .expect("gvisor");
         assert!(
             plain.create_time() < gvisor.create_time(),
@@ -293,7 +303,12 @@ mod tests {
     fn warm_attach_is_far_cheaper_than_create() {
         let mut mgr = manager();
         let mut c = mgr
-            .create(ContainerKind::Plain, RuntimeProfile::node(), SRC, None)
+            .create(
+                ContainerKind::Plain,
+                RuntimeProfile::node(),
+                SRC,
+                JitConfig::default(),
+            )
             .expect("creates");
         mgr.pause(&mut c);
         let before = mgr.clock().now();
@@ -307,7 +322,12 @@ mod tests {
     fn runtime_executes_inside_container() {
         let mut mgr = manager();
         let mut c = mgr
-            .create(ContainerKind::Plain, RuntimeProfile::node(), SRC, None)
+            .create(
+                ContainerKind::Plain,
+                RuntimeProfile::node(),
+                SRC,
+                JitConfig::default(),
+            )
             .expect("creates");
         let clock = mgr.clock().clone();
         let r = c
@@ -336,7 +356,12 @@ mod tests {
     fn checkpoint_restore_is_fast_and_shares_memory() {
         let mut mgr = manager();
         let mut c = mgr
-            .create(ContainerKind::Gvisor, RuntimeProfile::node(), SRC, None)
+            .create(
+                ContainerKind::Gvisor,
+                RuntimeProfile::node(),
+                SRC,
+                JitConfig::default(),
+            )
             .expect("creates");
         let cold_time = c.create_time();
         let ckpt = mgr.checkpoint(&mut c);
@@ -360,7 +385,12 @@ mod tests {
     fn restored_container_executes_the_loaded_function() {
         let mut mgr = manager();
         let mut c = mgr
-            .create(ContainerKind::Gvisor, RuntimeProfile::node(), SRC, None)
+            .create(
+                ContainerKind::Gvisor,
+                RuntimeProfile::node(),
+                SRC,
+                JitConfig::default(),
+            )
             .expect("creates");
         let ckpt = mgr.checkpoint(&mut c);
         drop(c);
@@ -378,7 +408,12 @@ mod tests {
     fn container_memory_is_accounted() {
         let mut mgr = manager();
         let c = mgr
-            .create(ContainerKind::Plain, RuntimeProfile::node(), SRC, None)
+            .create(
+                ContainerKind::Plain,
+                RuntimeProfile::node(),
+                SRC,
+                JitConfig::default(),
+            )
             .expect("creates");
         // Runtime base image is materialised.
         assert!(c.rss_bytes() > 40 << 20);
